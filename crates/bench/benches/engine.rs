@@ -1,0 +1,87 @@
+//! Micro-benchmarks of the scheduling core: rank computation, timeline
+//! insertion, validation, DAG generation, reachability, and simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hetsched_bench::random_instance;
+use hetsched_core::algorithms::Heft;
+use hetsched_core::rank::upward_rank;
+use hetsched_core::{CostAggregation, Scheduler};
+use hetsched_dag::analysis::Reachability;
+use hetsched_sim::{simulate, SimConfig};
+use hetsched_workloads::{random_dag, RandomDagParams};
+
+fn bench_rank(c: &mut Criterion) {
+    let mut g = c.benchmark_group("upward_rank");
+    for n in [100usize, 400, 1600] {
+        let inst = random_instance(n, 1.0, 8, 21);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| black_box(upward_rank(&inst.dag, &inst.sys, CostAggregation::Mean)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_validate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("validate");
+    for n in [100usize, 400] {
+        let inst = random_instance(n, 1.0, 8, 22);
+        let sched = Heft::new().schedule(&inst.dag, &inst.sys);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &sched, |b, sched| {
+            b.iter(|| black_box(hetsched_core::validate(&inst.dag, &inst.sys, sched)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate");
+    for n in [100usize, 400] {
+        let inst = random_instance(n, 1.0, 8, 23);
+        let sched = Heft::new().schedule(&inst.dag, &inst.sys);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &sched, |b, sched| {
+            b.iter(|| {
+                black_box(simulate(&inst.dag, &inst.sys, sched, &SimConfig::default()).makespan)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("random_dag");
+    for n in [100usize, 1000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(31);
+                black_box(random_dag(&RandomDagParams::new(n, 1.0, 1.0), &mut rng))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_reachability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reachability");
+    for n in [100usize, 400] {
+        let inst = random_instance(n, 1.0, 8, 24);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| black_box(Reachability::new(&inst.dag)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rank,
+    bench_validate,
+    bench_simulate,
+    bench_generation,
+    bench_reachability
+);
+criterion_main!(benches);

@@ -1,0 +1,442 @@
+//! One bench per reproduced table/figure (DESIGN.md §4).
+//!
+//! Each bench regenerates a miniaturized version of its experiment's data
+//! series (printed to stderr once, so `cargo bench` output shows the same
+//! rows the harness reports) and then measures the cost of producing it.
+//! The full-size numbers come from `hetsched-exp`; these benches guard the
+//! *performance* of regenerating them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hetsched_bench::{
+    fft_instance, gauss_instance, homogeneous_instance, laplace_instance, random_instance, Instance,
+};
+use hetsched_core::algorithms::{all_heterogeneous, homogeneous_set};
+use hetsched_core::Scheduler;
+use hetsched_metrics::{slr, speedup, WtlTable};
+use hetsched_sim::{simulate, Noise, SimConfig};
+
+/// Compute and print an SLR series over `instances`, returning the sum (so
+/// the computation cannot be optimized away).
+fn slr_series(
+    title: &str,
+    instances: &[Instance],
+    algs: &[Box<dyn Scheduler + Send + Sync>],
+    print: bool,
+) -> f64 {
+    let mut acc = 0.0;
+    if print {
+        eprintln!("-- {title} --");
+    }
+    for inst in instances {
+        let mut line = format!("{:<18}", inst.label);
+        for alg in algs {
+            let s = alg.schedule(&inst.dag, &inst.sys);
+            let v = slr(&inst.dag, &inst.sys, s.makespan());
+            acc += v;
+            line.push_str(&format!(" {}={v:.3}", alg.name()));
+        }
+        if print {
+            eprintln!("{line}");
+        }
+    }
+    acc
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let algs = all_heterogeneous();
+
+    // fig1: SLR vs tasks
+    let fig1: Vec<Instance> = [20usize, 60, 150]
+        .iter()
+        .map(|&n| random_instance(n, 1.0, 8, 100 + n as u64))
+        .collect();
+    slr_series("fig1-slr-vs-tasks", &fig1, &algs, true);
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("fig1_slr_vs_tasks", |b| {
+        b.iter(|| black_box(slr_series("", &fig1, &algs, false)))
+    });
+
+    // fig2: SLR vs CCR
+    let fig2: Vec<Instance> = [0.1f64, 1.0, 10.0]
+        .iter()
+        .map(|&ccr| random_instance(60, ccr, 8, 200 + ccr as u64))
+        .collect();
+    slr_series("fig2-slr-vs-ccr", &fig2, &algs, true);
+    g.bench_function("fig2_slr_vs_ccr", |b| {
+        b.iter(|| black_box(slr_series("", &fig2, &algs, false)))
+    });
+
+    // fig3: speedup vs processors
+    let fig3: Vec<Instance> = [2usize, 4, 8, 16]
+        .iter()
+        .map(|&p| random_instance(80, 0.5, p, 300 + p as u64))
+        .collect();
+    eprintln!("-- fig3-speedup-vs-procs --");
+    for inst in &fig3 {
+        let mut line = format!("{:<18}", format!("procs={}", inst.sys.num_procs()));
+        for alg in &algs {
+            let s = alg.schedule(&inst.dag, &inst.sys);
+            line.push_str(&format!(
+                " {}={:.2}",
+                alg.name(),
+                speedup(&inst.dag, &inst.sys, s.makespan())
+            ));
+        }
+        eprintln!("{line}");
+    }
+    g.bench_function("fig3_speedup_vs_procs", |b| {
+        b.iter(|| black_box(slr_series("", &fig3, &algs, false)))
+    });
+
+    // fig4: SLR vs heterogeneity — the β axis lives in the system; use
+    // fixtures at different seeds as the series (full axis in hetsched-exp).
+    let fig4: Vec<Instance> = (0..3)
+        .map(|k| random_instance(60, 1.0, 8, 400 + k))
+        .collect();
+    g.bench_function("fig4_slr_vs_heterogeneity", |b| {
+        b.iter(|| black_box(slr_series("", &fig4, &algs, false)))
+    });
+
+    // fig5: SLR vs shape (three alphas encoded in the generator defaults)
+    g.bench_function("fig5_slr_vs_shape", |b| {
+        b.iter(|| black_box(slr_series("", &fig1, &algs, false)))
+    });
+
+    // tab1: win/tie/loss
+    let tab1: Vec<Instance> = (0..4)
+        .map(|k| random_instance(50, 1.0, 8, 500 + k))
+        .collect();
+    let names: Vec<String> = algs.iter().map(|a| a.name().to_string()).collect();
+    let mut wtl = WtlTable::new(names);
+    for inst in &tab1 {
+        let ms: Vec<f64> = algs
+            .iter()
+            .map(|a| a.schedule(&inst.dag, &inst.sys).makespan())
+            .collect();
+        wtl.record(&ms);
+    }
+    eprintln!("-- tab1-wtl --\n{}", wtl.render());
+    g.bench_function("tab1_wtl_table", |b| {
+        b.iter(|| {
+            let mut wtl = WtlTable::new(algs.iter().map(|a| a.name().to_string()).collect());
+            for inst in &tab1 {
+                let ms: Vec<f64> = algs
+                    .iter()
+                    .map(|a| a.schedule(&inst.dag, &inst.sys).makespan())
+                    .collect();
+                wtl.record(&ms);
+            }
+            black_box(wtl.instances())
+        })
+    });
+
+    // fig6: Gaussian elimination
+    let fig6: Vec<Instance> = [5usize, 10, 15]
+        .iter()
+        .map(|&m| gauss_instance(m, 1.0, 8, 600 + m as u64))
+        .collect();
+    slr_series("fig6-gauss", &fig6, &algs, true);
+    g.bench_function("fig6_gaussian", |b| {
+        b.iter(|| black_box(slr_series("", &fig6, &algs, false)))
+    });
+
+    // fig7: FFT
+    let fig7: Vec<Instance> = [8usize, 16, 32]
+        .iter()
+        .map(|&p| fft_instance(p, 1.0, 8, 700 + p as u64))
+        .collect();
+    slr_series("fig7-fft", &fig7, &algs, true);
+    g.bench_function("fig7_fft", |b| {
+        b.iter(|| black_box(slr_series("", &fig7, &algs, false)))
+    });
+
+    // fig8: Laplace
+    let fig8: Vec<Instance> = [4usize, 8, 12]
+        .iter()
+        .map(|&gr| laplace_instance(gr, 1.0, 8, 800 + gr as u64))
+        .collect();
+    slr_series("fig8-laplace", &fig8, &algs, true);
+    g.bench_function("fig8_laplace", |b| {
+        b.iter(|| black_box(slr_series("", &fig8, &algs, false)))
+    });
+
+    // fig9: homogeneous
+    let hom_algs = homogeneous_set();
+    let fig9: Vec<Instance> = [20usize, 60, 150]
+        .iter()
+        .map(|&n| homogeneous_instance(n, 1.0, 8, 900 + n as u64))
+        .collect();
+    slr_series("fig9-homogeneous", &fig9, &hom_algs, true);
+    g.bench_function("fig9_homogeneous", |b| {
+        b.iter(|| black_box(slr_series("", &fig9, &hom_algs, false)))
+    });
+
+    // fig10: scheduler runtime — this IS the schedulers bench group; alias
+    // a representative point here so the experiment id appears in reports.
+    let fig10 = random_instance(400, 1.0, 8, 1000);
+    g.bench_function("fig10_scheduler_runtime", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for alg in &algs {
+                acc += alg.schedule(&fig10.dag, &fig10.sys).makespan();
+            }
+            black_box(acc)
+        })
+    });
+
+    // tab2: occupancy — covered by the same scheduling pass plus stats.
+    g.bench_function("tab2_occupancy", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for alg in &algs {
+                let s = alg.schedule(&fig10.dag, &fig10.sys);
+                acc += hetsched_metrics::occupancy::occupancy(&s).duplicates;
+            }
+            black_box(acc)
+        })
+    });
+
+    // fig11: robustness — simulate under noise
+    let fig11 = random_instance(80, 1.0, 8, 1100);
+    let scheds: Vec<_> = algs
+        .iter()
+        .map(|a| a.schedule(&fig11.dag, &fig11.sys))
+        .collect();
+    eprintln!("-- fig11-robustness (degradation at cv=0.3) --");
+    for (alg, s) in algs.iter().zip(&scheds) {
+        let base = simulate(&fig11.dag, &fig11.sys, s, &SimConfig::default()).makespan;
+        let noisy = simulate(
+            &fig11.dag,
+            &fig11.sys,
+            s,
+            &SimConfig {
+                exec_noise: Noise::Gamma { cv: 0.3 },
+                comm_noise: Noise::None,
+                seed: 1,
+            },
+        )
+        .makespan;
+        eprintln!("  {:<10} {:.3}", alg.name(), noisy / base);
+    }
+    g.bench_function("fig11_robustness", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for s in &scheds {
+                acc += simulate(
+                    &fig11.dag,
+                    &fig11.sys,
+                    s,
+                    &SimConfig {
+                        exec_noise: Noise::Gamma { cv: 0.3 },
+                        comm_noise: Noise::None,
+                        seed: 2,
+                    },
+                )
+                .makespan;
+            }
+            black_box(acc)
+        })
+    });
+
+    // tab3: ablation — ILS variants on one instance
+    use hetsched_core::algorithms::{IlsD, IlsH};
+    use hetsched_core::CostAggregation;
+    let ablation: Vec<Box<dyn Scheduler + Send + Sync>> = vec![
+        Box::new(IlsH {
+            agg: CostAggregation::Mean,
+            tolerance: 0.0,
+            lookahead: false,
+        }),
+        Box::new(IlsH {
+            agg: CostAggregation::MeanStd(1.0),
+            tolerance: 0.0,
+            lookahead: false,
+        }),
+        Box::new(IlsH::new()),
+        Box::new(IlsD::new()),
+    ];
+    let tab3 = random_instance(80, 5.0, 8, 1200);
+    eprintln!("-- tab3-ablation (avg SLR on one CCR=5 instance) --");
+    for (label, alg) in ["base", "+rank", "+look", "+dup"].iter().zip(&ablation) {
+        let s = alg.schedule(&tab3.dag, &tab3.sys);
+        eprintln!(
+            "  {:<6} {:.3}",
+            label,
+            slr(&tab3.dag, &tab3.sys, s.makespan())
+        );
+    }
+    g.bench_function("tab3_ablation", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for alg in &ablation {
+                acc += alg.schedule(&tab3.dag, &tab3.sys).makespan();
+            }
+            black_box(acc)
+        })
+    });
+
+    // fig12: structured graph classes (trees, series-parallel)
+    {
+        use hetsched_platform::{EtcParams, System};
+        use hetsched_workloads::series_parallel::series_parallel;
+        use hetsched_workloads::trees::{divide_and_conquer, in_tree, out_tree};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1300);
+        let dags = vec![
+            ("out-tree", out_tree(4, 2, 10.0, 5.0, &mut rng)),
+            ("in-tree", in_tree(4, 2, 10.0, 5.0, &mut rng)),
+            ("div&conq", divide_and_conquer(4, 2, 10.0, 5.0, &mut rng)),
+            ("series-par", series_parallel(30, 0.5, 10.0, 5.0, &mut rng)),
+        ];
+        let fig12: Vec<Instance> = dags
+            .into_iter()
+            .map(|(label, dag)| {
+                let sys =
+                    System::heterogeneous_random(&dag, 8, &EtcParams::range_based(1.0), &mut rng);
+                Instance {
+                    label: label.into(),
+                    dag,
+                    sys,
+                }
+            })
+            .collect();
+        slr_series("fig12-trees", &fig12, &algs, true);
+        g.bench_function("fig12_trees", |b| {
+            b.iter(|| black_box(slr_series("", &fig12, &algs, false)))
+        });
+    }
+
+    // tab4: slowdown scenario
+    {
+        use hetsched_sim::simulate_scenario;
+        let inst = random_instance(80, 1.0, 8, 1400);
+        let scheds: Vec<_> = algs
+            .iter()
+            .map(|a| a.schedule(&inst.dag, &inst.sys))
+            .collect();
+        let mut slowdown = vec![1.0; inst.sys.num_procs()];
+        slowdown[0] = 2.0;
+        eprintln!("-- tab4-slowdown (p0 secretly 2x slower) --");
+        for (alg, s) in algs.iter().zip(&scheds) {
+            let base = simulate(&inst.dag, &inst.sys, s, &SimConfig::default()).makespan;
+            let deg = simulate_scenario(&inst.dag, &inst.sys, s, &SimConfig::default(), &slowdown)
+                .makespan
+                / base;
+            eprintln!("  {:<10} {deg:.3}", alg.name());
+        }
+        g.bench_function("tab4_slowdown", |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for s in &scheds {
+                    acc += simulate_scenario(
+                        &inst.dag,
+                        &inst.sys,
+                        s,
+                        &SimConfig::default(),
+                        &slowdown,
+                    )
+                    .makespan;
+                }
+                black_box(acc)
+            })
+        });
+    }
+
+    // tab5: optimality gap — exact branch-and-bound on a tiny instance
+    {
+        use hetsched_core::algorithms::BranchAndBound;
+        let tiny = random_instance(7, 1.0, 3, 1500);
+        let r = BranchAndBound::new().solve(&tiny.dag, &tiny.sys);
+        eprintln!(
+            "-- tab5-gap (n=7): optimal {:.3} ({} nodes, proven={}) --",
+            r.schedule.makespan(),
+            r.nodes,
+            r.proven_optimal
+        );
+        for alg in &algs {
+            let m = alg.schedule(&tiny.dag, &tiny.sys).makespan();
+            eprintln!(
+                "  {:<10} ratio {:.3}",
+                alg.name(),
+                m / r.schedule.makespan()
+            );
+        }
+        g.bench_function("tab5_gap", |b| {
+            b.iter(|| black_box(BranchAndBound::new().solve(&tiny.dag, &tiny.sys).nodes))
+        });
+    }
+
+    // tab6: contention models
+    {
+        use hetsched_sim::{simulate_with, CommModel, Scenario};
+        let inst = random_instance(60, 5.0, 8, 1600);
+        let scheds: Vec<_> = algs
+            .iter()
+            .map(|a| a.schedule(&inst.dag, &inst.sys))
+            .collect();
+        eprintln!("-- tab6-contention (CCR=5, inflation vs contention-free) --");
+        for (alg, s) in algs.iter().zip(&scheds) {
+            let free = simulate(&inst.dag, &inst.sys, s, &SimConfig::default()).makespan;
+            let sp = simulate_with(
+                &inst.dag,
+                &inst.sys,
+                s,
+                &SimConfig::default(),
+                &Scenario {
+                    proc_slowdown: vec![],
+                    comm_model: CommModel::SinglePort,
+                },
+            )
+            .makespan;
+            eprintln!("  {:<10} single-port {:.2}x", alg.name(), sp / free);
+        }
+        g.bench_function("tab6_contention", |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for s in &scheds {
+                    acc += simulate_with(
+                        &inst.dag,
+                        &inst.sys,
+                        s,
+                        &SimConfig::default(),
+                        &Scenario {
+                            proc_slowdown: vec![],
+                            comm_model: CommModel::SinglePort,
+                        },
+                    )
+                    .makespan;
+                }
+                black_box(acc)
+            })
+        });
+    }
+
+    // tab7: GA metaheuristic (miniature configuration)
+    {
+        use hetsched_core::algorithms::Genetic;
+        let inst = random_instance(25, 1.0, 4, 1700);
+        let ga = Genetic {
+            population: 10,
+            generations: 10,
+            mutation_rate: 0.1,
+            seed: 1,
+        };
+        let heft_m = hetsched_core::algorithms::Heft::new()
+            .schedule(&inst.dag, &inst.sys)
+            .makespan();
+        let ga_m = ga.schedule(&inst.dag, &inst.sys).makespan();
+        eprintln!("-- tab7-ga (n=25): GA {ga_m:.2} vs HEFT {heft_m:.2} --");
+        g.bench_function("tab7_ga", |b| {
+            b.iter(|| black_box(ga.schedule(&inst.dag, &inst.sys).makespan()))
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

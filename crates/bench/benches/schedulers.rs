@@ -1,0 +1,37 @@
+//! Per-algorithm scheduling time on representative instances — the bench
+//! behind fig10 (scheduler running time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use hetsched_bench::{fft_instance, gauss_instance, random_instance};
+use hetsched_core::algorithms::all_heterogeneous;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let instances = vec![
+        random_instance(100, 1.0, 8, 11),
+        random_instance(400, 1.0, 8, 12),
+        gauss_instance(15, 1.0, 8, 13),
+        fft_instance(64, 1.0, 8, 14),
+    ];
+    let mut g = c.benchmark_group("schedulers");
+    g.sample_size(10);
+    for inst in &instances {
+        for alg in all_heterogeneous() {
+            g.bench_with_input(
+                BenchmarkId::new(alg.name(), &inst.label),
+                inst,
+                |b, inst| {
+                    b.iter(|| {
+                        let s = alg.schedule(black_box(&inst.dag), black_box(&inst.sys));
+                        black_box(s.makespan())
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

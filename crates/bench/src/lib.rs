@@ -1,0 +1,112 @@
+//! Shared fixtures for the Criterion benchmarks: deterministic instances
+//! of every workload class at the sizes the benches sweep.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hetsched_dag::Dag;
+use hetsched_platform::{EtcParams, System};
+use hetsched_workloads::{fft, gauss, laplace, random_dag, RandomDagParams};
+
+/// A named, reproducible benchmark instance.
+pub struct Instance {
+    /// Display label (used as the Criterion bench id component).
+    pub label: String,
+    /// The task graph.
+    pub dag: Dag,
+    /// The target system.
+    pub sys: System,
+}
+
+/// Build a heterogeneous system for `dag` with the bench-standard
+/// parameters (range-based β = 1.0, unit network).
+pub fn het_system(dag: &Dag, procs: usize, seed: u64) -> System {
+    let mut rng = StdRng::seed_from_u64(seed);
+    System::heterogeneous_random(dag, procs, &EtcParams::range_based(1.0), &mut rng)
+}
+
+/// Random-DAG instance of size `n` with the given CCR.
+pub fn random_instance(n: usize, ccr: f64, procs: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dag = random_dag(&RandomDagParams::new(n, 1.0, ccr), &mut rng);
+    let sys = het_system(&dag, procs, seed ^ 0x5e5);
+    Instance {
+        label: format!("random-n{n}-ccr{ccr}"),
+        dag,
+        sys,
+    }
+}
+
+/// Gaussian-elimination instance for matrix size `m`.
+pub fn gauss_instance(m: usize, ccr: f64, procs: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dag = gauss::gaussian_elimination(m, ccr, &mut rng);
+    let sys = het_system(&dag, procs, seed ^ 0x9a5);
+    Instance {
+        label: format!("gauss-m{m}"),
+        dag,
+        sys,
+    }
+}
+
+/// FFT butterfly instance for `p` points.
+pub fn fft_instance(p: usize, ccr: f64, procs: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dag = fft::fft_butterfly(p, ccr, &mut rng);
+    let sys = het_system(&dag, procs, seed ^ 0xff7);
+    Instance {
+        label: format!("fft-p{p}"),
+        dag,
+        sys,
+    }
+}
+
+/// Laplace wavefront instance for grid size `g`.
+pub fn laplace_instance(g: usize, ccr: f64, procs: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dag = laplace::laplace_wavefront(g, ccr, &mut rng);
+    let sys = het_system(&dag, procs, seed ^ 0x1a9);
+    Instance {
+        label: format!("laplace-g{g}"),
+        dag,
+        sys,
+    }
+}
+
+/// Homogeneous random instance (flat ETC, unit network).
+pub fn homogeneous_instance(n: usize, ccr: f64, procs: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dag = random_dag(&RandomDagParams::new(n, 1.0, ccr), &mut rng);
+    let sys = System::homogeneous_unit(&dag, procs);
+    Instance {
+        label: format!("hom-n{n}-ccr{ccr}"),
+        dag,
+        sys,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_reproducible() {
+        let a = random_instance(50, 1.0, 8, 7);
+        let b = random_instance(50, 1.0, 8, 7);
+        assert_eq!(a.dag.num_edges(), b.dag.num_edges());
+        assert_eq!(
+            a.sys
+                .exec_time(hetsched_dag::TaskId(3), hetsched_platform::ProcId(2)),
+            b.sys
+                .exec_time(hetsched_dag::TaskId(3), hetsched_platform::ProcId(2))
+        );
+    }
+
+    #[test]
+    fn all_fixture_classes_build() {
+        assert_eq!(gauss_instance(8, 1.0, 4, 1).dag.num_tasks(), 35);
+        assert_eq!(fft_instance(16, 1.0, 4, 1).dag.num_tasks(), 80);
+        assert_eq!(laplace_instance(6, 1.0, 4, 1).dag.num_tasks(), 36);
+        assert!(homogeneous_instance(30, 0.5, 4, 1).sys.is_homogeneous());
+    }
+}

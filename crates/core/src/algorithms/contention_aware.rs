@@ -1,0 +1,199 @@
+//! CA-HEFT — contention-aware list scheduling (extension).
+//!
+//! tab6 shows that plans optimized for the contention-free model inflate
+//! badly when links serialize. CA-HEFT closes the loop: it keeps HEFT's
+//! upward-rank order but charges communications against a **single-port
+//! model** while selecting processors — each processor owns one send and
+//! one receive port, and the scheduler tracks their availability, so an
+//! EFT estimate includes the queueing delay of earlier-committed
+//! messages.
+//!
+//! The produced schedule is also valid under the contention-free model
+//! (arrivals can only be later than the free-model ones), so the standard
+//! validator applies; its value shows when replayed under
+//! `hetsched_sim::CommModel::SinglePort`.
+
+use hetsched_dag::{Dag, TaskId};
+use hetsched_platform::{ProcId, System};
+
+use crate::cost::CostAggregation;
+use crate::rank::{sort_by_priority_desc, upward_rank};
+use crate::schedule::Schedule;
+use crate::Scheduler;
+
+/// Contention-aware HEFT (single-port communication model).
+#[derive(Debug, Clone, Copy)]
+pub struct CaHeft {
+    /// Rank aggregation (mean, as HEFT).
+    pub agg: CostAggregation,
+}
+
+impl CaHeft {
+    /// Default CA-HEFT.
+    pub fn new() -> Self {
+        CaHeft {
+            agg: CostAggregation::Mean,
+        }
+    }
+}
+
+impl Default for CaHeft {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Port state: next free time of each processor's send and receive port.
+#[derive(Debug, Clone)]
+struct Ports {
+    send_free: Vec<f64>,
+    recv_free: Vec<f64>,
+}
+
+impl Ports {
+    fn new(n: usize) -> Self {
+        Ports {
+            send_free: vec![0.0; n],
+            recv_free: vec![0.0; n],
+        }
+    }
+
+    /// Greedily dispatch the messages feeding task `t` on processor `p`
+    /// (predecessors sorted by readiness, FIFO over the shared ports),
+    /// updating port state. Trial evaluations operate on a clone of the
+    /// port table. Returns the data-ready time.
+    fn data_ready(
+        &mut self,
+        dag: &Dag,
+        sys: &System,
+        sched: &Schedule,
+        t: TaskId,
+        p: ProcId,
+    ) -> f64 {
+        let mut msgs: Vec<(ProcId, f64, f64)> = dag
+            .predecessors(t)
+            .map(|(u, data)| {
+                let (q, _, fin) = sched
+                    .assignment(u)
+                    .expect("predecessor scheduled before consumer");
+                (q, fin, data)
+            })
+            .collect();
+        msgs.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+
+        let send_free = &mut self.send_free;
+        let recv_free = &mut self.recv_free;
+
+        let mut ready = 0.0f64;
+        for (q, fin, data) in msgs {
+            if q == p {
+                ready = ready.max(fin);
+                continue;
+            }
+            let dur = sys.comm_time(data, q, p);
+            let start = fin.max(send_free[q.index()]).max(recv_free[p.index()]);
+            let arrive = start + dur;
+            send_free[q.index()] = arrive;
+            recv_free[p.index()] = arrive;
+            ready = ready.max(arrive);
+        }
+        ready
+    }
+}
+
+impl Scheduler for CaHeft {
+    fn name(&self) -> &'static str {
+        "CA-HEFT"
+    }
+
+    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
+        let rank = upward_rank(dag, sys, self.agg);
+        let order = sort_by_priority_desc(&rank);
+        let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
+        let mut ports = Ports::new(sys.num_procs());
+        for t in order {
+            // trial EFT per processor under current port state; append
+            // placement (gap insertion would invalidate the port timeline)
+            let (p, dur) = sys
+                .proc_ids()
+                .map(|p| {
+                    let mut trial = ports.clone();
+                    let ready = trial.data_ready(dag, sys, &sched, t, p);
+                    let dur = sys.exec_time(t, p);
+                    let start = ready.max(sched.proc_finish(p));
+                    (p, start + dur, dur)
+                })
+                .min_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)))
+                .map(|(p, _, dur)| (p, dur))
+                .expect("at least one processor");
+            // commit the chosen processor's messages for real
+            let ready = ports.data_ready(dag, sys, &sched, t, p);
+            let start = ready.max(sched.proc_finish(p));
+            sched
+                .insert(t, p, start, dur)
+                .expect("append placement is conflict-free");
+        }
+        debug_assert!(sched.is_complete());
+        sched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+    use hetsched_dag::builder::dag_from_edges;
+    use hetsched_dag::Dag;
+
+    /// Broadcast: entry on some proc feeds two consumers; single-port
+    /// serializes the two messages.
+    fn broadcast() -> (Dag, System) {
+        let dag = dag_from_edges(&[2.0, 1.0, 1.0], &[(0, 1, 4.0), (0, 2, 4.0)]).unwrap();
+        (dag.clone(), System::homogeneous_unit(&dag, 3))
+    }
+
+    #[test]
+    fn produces_valid_schedules() {
+        let (dag, sys) = broadcast();
+        let s = CaHeft::new().schedule(&dag, &sys);
+        assert_eq!(validate(&dag, &sys, &s), Ok(()));
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn accounts_for_port_serialization() {
+        // On the broadcast, plain HEFT would keep both children local
+        // (cheapest under free comm: 2+1+1 = 4). CA-HEFT sees the same —
+        // this graph does not force remote sends. Force them with 1-wide
+        // processors: make the entry's processor too slow for the children.
+        use hetsched_platform::{EtcMatrix, Network};
+        let dag = dag_from_edges(&[1.0, 4.0, 4.0], &[(0, 1, 3.0), (0, 2, 3.0)]).unwrap();
+        let etc = EtcMatrix::from_fn(3, 3, |t, p| match (t.index(), p.index()) {
+            (0, 0) => 1.0,
+            (0, _) => 50.0, // entry only sensible on p0
+            (_, 0) => 50.0, // children must leave p0
+            _ => 4.0,
+        });
+        let sys = System::new(etc, Network::unit(3));
+        let s = CaHeft::new().schedule(&dag, &sys);
+        assert_eq!(validate(&dag, &sys, &s), Ok(()));
+        // entry finishes at 1; first message occupies p0's send port until
+        // 4, the second until 7. CA-HEFT's plan must reflect the 7.
+        let starts: Vec<f64> = [1u32, 2]
+            .iter()
+            .map(|&i| s.assignment(TaskId(i)).unwrap().1)
+            .collect();
+        let latest = starts.iter().copied().fold(0.0f64, f64::max);
+        assert!(
+            latest >= 7.0 - 1e-9,
+            "plan ignores port contention: {starts:?}"
+        );
+    }
+
+    use hetsched_dag::TaskId;
+
+    // NOTE: the sim-replay comparisons for CA-HEFT (single-port replay
+    // beats HEFT's; free-model replay never exceeds the plan) live in the
+    // workspace integration tests — hetsched-sim cannot be a dev-dependency
+    // here without building a second copy of this crate.
+}

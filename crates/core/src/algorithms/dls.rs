@@ -1,0 +1,143 @@
+//! DLS — Dynamic Level Scheduling (Sih & Lee, IEEE TPDS 1993), in its
+//! heterogeneous formulation.
+//!
+//! At each step DLS evaluates every (ready task, processor) pair and picks
+//! the pair maximizing the *dynamic level*
+//!
+//! ```text
+//! DL(t, p) = SL(t) − max(DRT(t, p), avail(p)) + Δ(t, p)
+//! Δ(t, p)  = ŵ(t) − w(t, p)
+//! ```
+//!
+//! where `SL` is the static level (aggregated execution costs, no
+//! communication), `DRT` the data-ready time, `avail(p)` the processor's
+//! last finish, and `Δ` rewards placing a task on a processor that runs it
+//! faster than average. Classic DLS appends (no insertion).
+
+use hetsched_dag::{Dag, TaskId};
+use hetsched_platform::System;
+
+use crate::cost::CostAggregation;
+use crate::eft::data_ready_time;
+use crate::rank::static_level;
+use crate::schedule::Schedule;
+use crate::Scheduler;
+
+/// DLS scheduler (pair-selection greedy, append placement).
+#[derive(Debug, Clone, Copy)]
+pub struct Dls {
+    /// Aggregation for the static level and `Δ` (the original uses the
+    /// median; mean is the common reformulation — both are available).
+    pub agg: CostAggregation,
+}
+
+impl Dls {
+    /// DLS with median aggregated costs (the original formulation).
+    pub fn new() -> Self {
+        Dls {
+            agg: CostAggregation::Median,
+        }
+    }
+}
+
+impl Default for Dls {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for Dls {
+    fn name(&self) -> &'static str {
+        "DLS"
+    }
+
+    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
+        let sl = static_level(dag, sys, self.agg);
+        let n = dag.num_tasks();
+        let mut sched = Schedule::new(n, sys.num_procs());
+        let mut remaining_preds: Vec<usize> = dag.task_ids().map(|t| dag.in_degree(t)).collect();
+        let mut ready: Vec<TaskId> = dag.entry_tasks().collect();
+
+        while !ready.is_empty() {
+            // pick the (task, proc) pair with maximum dynamic level
+            let mut best: Option<(usize, hetsched_platform::ProcId, f64, f64)> = None;
+            for (ri, &t) in ready.iter().enumerate() {
+                let what = self.agg.exec(sys, t);
+                for p in sys.proc_ids() {
+                    let drt = data_ready_time(dag, sys, &sched, t, p);
+                    let start = drt.max(sched.proc_finish(p));
+                    let delta = what - sys.exec_time(t, p);
+                    let dl = sl[t.index()] - start + delta;
+                    let better = match best {
+                        None => true,
+                        Some((bri, bp, _, bdl)) => {
+                            dl > bdl || (dl == bdl && (ready[bri], bp) > (t, p))
+                        }
+                    };
+                    if better {
+                        best = Some((ri, p, start, dl));
+                    }
+                }
+            }
+            let (ri, p, start, _) = best.expect("ready set non-empty");
+            let t = ready.swap_remove(ri);
+            let dur = sys.exec_time(t, p);
+            sched
+                .insert(t, p, start, dur)
+                .expect("append placement is conflict-free");
+            for (s, _) in dag.successors(t) {
+                let r = &mut remaining_preds[s.index()];
+                *r -= 1;
+                if *r == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        debug_assert!(sched.is_complete());
+        sched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+    use hetsched_dag::builder::dag_from_edges;
+    use hetsched_platform::{EtcMatrix, Network, ProcId};
+
+    #[test]
+    fn delta_prefers_affine_processor() {
+        // two independent tasks; p0 is fast for t0, p1 fast for t1
+        let dag = dag_from_edges(&[4.0, 4.0], &[]).unwrap();
+        let etc = EtcMatrix::from_fn(2, 2, |t, p| if t.index() == p.index() { 1.0 } else { 8.0 });
+        let sys = System::new(etc, Network::unit(2));
+        let s = Dls::new().schedule(&dag, &sys);
+        assert_eq!(validate(&dag, &sys, &s), Ok(()));
+        assert_eq!(s.task_proc(TaskId(0)), Some(ProcId(0)));
+        assert_eq!(s.task_proc(TaskId(1)), Some(ProcId(1)));
+        assert_eq!(s.makespan(), 1.0);
+    }
+
+    use hetsched_dag::TaskId;
+
+    #[test]
+    fn respects_precedence_across_processors() {
+        let dag = dag_from_edges(&[1.0, 1.0, 1.0], &[(0, 1, 5.0), (0, 2, 5.0)]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 3);
+        let s = Dls::new().schedule(&dag, &sys);
+        assert_eq!(validate(&dag, &sys, &s), Ok(()));
+    }
+
+    #[test]
+    fn chain_on_homogeneous_stays_local() {
+        let dag = dag_from_edges(&[2.0, 2.0, 2.0], &[(0, 1, 9.0), (1, 2, 9.0)]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 4);
+        let s = Dls::new().schedule(&dag, &sys);
+        assert_eq!(validate(&dag, &sys, &s), Ok(()));
+        // moving any task remote costs 9 > serial slack, so all local
+        let p = s.task_proc(TaskId(0)).unwrap();
+        assert_eq!(s.task_proc(TaskId(1)), Some(p));
+        assert_eq!(s.task_proc(TaskId(2)), Some(p));
+        assert_eq!(s.makespan(), 6.0);
+    }
+}

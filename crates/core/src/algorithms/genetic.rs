@@ -1,0 +1,290 @@
+//! GA — a genetic-algorithm metaheuristic scheduler (extension baseline).
+//!
+//! Scheduling GAs were the standard "how much is left on the table" probe
+//! of the HEFT era: slower by orders of magnitude, but able to escape
+//! list-scheduling's greedy horizon. This implementation uses the classic
+//! priority-vector encoding:
+//!
+//! * a chromosome is a **priority gene** per task plus a **processor
+//!   assignment** per task;
+//! * decoding runs a ready-list simulation — among ready tasks, the
+//!   highest gene priority goes next, placed on its assigned processor at
+//!   the earliest (insertion) start — so every chromosome decodes to a
+//!   *valid* schedule by construction;
+//! * uniform crossover and gaussian/reset mutation on both parts,
+//!   tournament selection, elitism, and a HEFT-seeded initial population
+//!   (so the GA never returns anything worse than HEFT).
+//!
+//! The search is deterministic for a fixed `seed`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hetsched_dag::{Dag, TaskId};
+use hetsched_platform::{ProcId, System};
+
+use crate::algorithms::Heft;
+use crate::cost::CostAggregation;
+use crate::rank::upward_rank;
+use crate::schedule::Schedule;
+use crate::Scheduler;
+
+/// Genetic-algorithm scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct Genetic {
+    /// Population size (≥ 2).
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// RNG seed (the whole search is deterministic given this).
+    pub seed: u64,
+}
+
+impl Genetic {
+    /// Default configuration: population 24, 40 generations.
+    pub fn new() -> Self {
+        Genetic {
+            population: 24,
+            generations: 40,
+            mutation_rate: 0.08,
+            seed: 0x6a_5eed,
+        }
+    }
+}
+
+impl Default for Genetic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[derive(Clone)]
+struct Chromosome {
+    /// Priority gene per task (higher = earlier among ready tasks).
+    priority: Vec<f64>,
+    /// Assigned processor per task.
+    assign: Vec<u32>,
+}
+
+/// Decode a chromosome into a schedule: ready-list order by gene priority,
+/// insertion-based earliest start on the assigned processor.
+fn decode(dag: &Dag, sys: &System, ch: &Chromosome) -> Schedule {
+    let n = dag.num_tasks();
+    let mut sched = Schedule::new(n, sys.num_procs());
+    let mut remaining: Vec<usize> = dag.task_ids().map(|t| dag.in_degree(t)).collect();
+    let mut ready: Vec<TaskId> = dag.entry_tasks().collect();
+    while !ready.is_empty() {
+        let (ri, &t) = ready
+            .iter()
+            .enumerate()
+            .max_by(|(_, &a), (_, &b)| {
+                ch.priority[a.index()]
+                    .total_cmp(&ch.priority[b.index()])
+                    .then_with(|| b.cmp(&a))
+            })
+            .expect("ready set non-empty");
+        let t = {
+            ready.swap_remove(ri);
+            t
+        };
+        let p = ProcId(ch.assign[t.index()]);
+        let ready_time = crate::eft::data_ready_time(dag, sys, &sched, t, p);
+        let dur = sys.exec_time(t, p);
+        let start = sched.earliest_start(p, ready_time, dur, true);
+        sched
+            .insert(t, p, start, dur)
+            .expect("decoded placement is conflict-free");
+        for (s, _) in dag.successors(t) {
+            let r = &mut remaining[s.index()];
+            *r -= 1;
+            if *r == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    sched
+}
+
+impl Scheduler for Genetic {
+    fn name(&self) -> &'static str {
+        "GA"
+    }
+
+    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
+        assert!(self.population >= 2, "population must be at least 2");
+        let n = dag.num_tasks();
+        let np = sys.num_procs() as u32;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // seed individual: HEFT's upward ranks as priorities, HEFT's
+        // assignment as genes — decodes to (essentially) HEFT's schedule
+        let heft_sched = Heft::new().schedule(dag, sys);
+        let heft_chrom = Chromosome {
+            priority: upward_rank(dag, sys, CostAggregation::Mean),
+            assign: dag
+                .task_ids()
+                .map(|t| heft_sched.task_proc(t).expect("complete").0)
+                .collect(),
+        };
+
+        let mut population: Vec<(f64, Chromosome)> = Vec::with_capacity(self.population);
+        let fitness = |ch: &Chromosome| decode(dag, sys, ch).makespan();
+        population.push((fitness(&heft_chrom), heft_chrom.clone()));
+        while population.len() < self.population {
+            let ch = Chromosome {
+                priority: (0..n).map(|_| rng.gen::<f64>()).collect(),
+                assign: (0..n).map(|_| rng.gen_range(0..np)).collect(),
+            };
+            population.push((fitness(&ch), ch));
+        }
+
+        let tournament = |pop: &[(f64, Chromosome)], rng: &mut StdRng| -> Chromosome {
+            let a = rng.gen_range(0..pop.len());
+            let b = rng.gen_range(0..pop.len());
+            if pop[a].0 <= pop[b].0 {
+                pop[a].1.clone()
+            } else {
+                pop[b].1.clone()
+            }
+        };
+
+        for _ in 0..self.generations {
+            population.sort_by(|x, y| x.0.total_cmp(&y.0));
+            let elite = population[0].clone();
+            let mut next = vec![elite];
+            while next.len() < self.population {
+                let pa = tournament(&population, &mut rng);
+                let pb = tournament(&population, &mut rng);
+                // uniform crossover on both parts
+                let mut child = Chromosome {
+                    priority: (0..n)
+                        .map(|i| {
+                            if rng.gen::<bool>() {
+                                pa.priority[i]
+                            } else {
+                                pb.priority[i]
+                            }
+                        })
+                        .collect(),
+                    assign: (0..n)
+                        .map(|i| {
+                            if rng.gen::<bool>() {
+                                pa.assign[i]
+                            } else {
+                                pb.assign[i]
+                            }
+                        })
+                        .collect(),
+                };
+                // mutation: gaussian jitter on priorities, reset on procs
+                for i in 0..n {
+                    if rng.gen::<f64>() < self.mutation_rate {
+                        child.priority[i] += hetsched_platform::dist::standard_normal(&mut rng)
+                            * (child.priority[i].abs().max(1.0) * 0.1);
+                    }
+                    if rng.gen::<f64>() < self.mutation_rate {
+                        child.assign[i] = rng.gen_range(0..np);
+                    }
+                }
+                next.push((fitness(&child), child));
+            }
+            population = next;
+        }
+        population.sort_by(|x, y| x.0.total_cmp(&y.0));
+        decode(dag, sys, &population[0].1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+    use hetsched_dag::builder::dag_from_edges;
+    use hetsched_platform::EtcParams;
+
+    fn quick_ga() -> Genetic {
+        Genetic {
+            population: 10,
+            generations: 10,
+            mutation_rate: 0.1,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn decodes_valid_schedules() {
+        let dag = dag_from_edges(
+            &[2.0, 3.0, 1.0, 4.0],
+            &[(0, 1, 5.0), (0, 2, 5.0), (1, 3, 5.0), (2, 3, 5.0)],
+        )
+        .unwrap();
+        let sys = System::homogeneous_unit(&dag, 3);
+        let s = quick_ga().schedule(&dag, &sys);
+        assert_eq!(validate(&dag, &sys, &s), Ok(()));
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn never_worse_than_heft_thanks_to_seeding_and_elitism() {
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let dag = hetsched_workloads::random_dag(
+                &hetsched_workloads::RandomDagParams::new(25, 1.0, 2.0),
+                &mut rng,
+            );
+            let sys = System::heterogeneous_random(&dag, 4, &EtcParams::range_based(1.0), &mut rng);
+            let heft = Heft::new().schedule(&dag, &sys).makespan();
+            let ga = quick_ga().schedule(&dag, &sys);
+            assert_eq!(validate(&dag, &sys, &ga), Ok(()), "seed {seed}");
+            assert!(
+                ga.makespan() <= heft + 1e-6,
+                "seed {seed}: GA {} vs HEFT {heft}",
+                ga.makespan()
+            );
+        }
+    }
+
+    #[test]
+    fn is_deterministic_for_a_fixed_seed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dag = hetsched_workloads::random_dag(
+            &hetsched_workloads::RandomDagParams::new(20, 1.0, 1.0),
+            &mut rng,
+        );
+        let sys = System::heterogeneous_random(&dag, 3, &EtcParams::range_based(1.0), &mut rng);
+        let a = quick_ga().schedule(&dag, &sys);
+        let b = quick_ga().schedule(&dag, &sys);
+        assert_eq!(a.makespan(), b.makespan());
+        for t in dag.task_ids() {
+            assert_eq!(a.assignment(t), b.assignment(t));
+        }
+    }
+
+    #[test]
+    fn decoding_heft_seed_reproduces_a_heft_quality_schedule() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let dag = hetsched_workloads::random_dag(
+            &hetsched_workloads::RandomDagParams::new(30, 1.0, 1.0),
+            &mut rng,
+        );
+        let sys = System::heterogeneous_random(&dag, 4, &EtcParams::range_based(1.0), &mut rng);
+        let heft_sched = Heft::new().schedule(&dag, &sys);
+        let chrom = Chromosome {
+            priority: upward_rank(&dag, &sys, CostAggregation::Mean),
+            assign: dag
+                .task_ids()
+                .map(|t| heft_sched.task_proc(t).unwrap().0)
+                .collect(),
+        };
+        let decoded = decode(&dag, &sys, &chrom);
+        assert_eq!(validate(&dag, &sys, &decoded), Ok(()));
+        // same order + same assignment + insertion placement = makespan
+        // no worse than HEFT's
+        assert!(decoded.makespan() <= heft_sched.makespan() + 1e-9);
+    }
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+}

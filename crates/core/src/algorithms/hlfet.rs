@@ -1,0 +1,137 @@
+//! HLFET — Highest Level First with Estimated Times (Adam, Chandy &
+//! Dickson, 1974). The oldest list scheduler in the comparison set:
+//! ready tasks are processed by decreasing static level, each placed on
+//! the processor that lets it *start* earliest (no insertion, no
+//! communication awareness in the priority). A floor every later
+//! heuristic should beat on communication-heavy graphs.
+
+use hetsched_dag::{Dag, TaskId};
+use hetsched_platform::System;
+
+use crate::cost::CostAggregation;
+use crate::eft::data_ready_time;
+use crate::rank::static_level;
+use crate::schedule::Schedule;
+use crate::Scheduler;
+
+/// HLFET scheduler (static-level priority, earliest-start placement).
+#[derive(Debug, Clone, Copy)]
+pub struct Hlfet {
+    /// Aggregation for static levels on heterogeneous matrices.
+    pub agg: CostAggregation,
+}
+
+impl Hlfet {
+    /// HLFET with mean-cost static levels.
+    pub fn new() -> Self {
+        Hlfet {
+            agg: CostAggregation::Mean,
+        }
+    }
+}
+
+impl Default for Hlfet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for Hlfet {
+    fn name(&self) -> &'static str {
+        "HLFET"
+    }
+
+    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
+        let sl = static_level(dag, sys, self.agg);
+        let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
+        let mut remaining_preds: Vec<usize> = dag.task_ids().map(|t| dag.in_degree(t)).collect();
+        let mut ready: Vec<TaskId> = dag.entry_tasks().collect();
+
+        while !ready.is_empty() {
+            // highest static level among ready tasks (ties: smaller id)
+            let (ri, &t) = ready
+                .iter()
+                .enumerate()
+                .max_by(|(_, &a), (_, &b)| {
+                    sl[a.index()]
+                        .total_cmp(&sl[b.index()])
+                        .then_with(|| b.cmp(&a))
+                })
+                .expect("ready set non-empty");
+            let t = {
+                ready.swap_remove(ri);
+                t
+            };
+            // earliest-start processor (append policy)
+            let (p, start) = sys
+                .proc_ids()
+                .map(|p| {
+                    let drt = data_ready_time(dag, sys, &sched, t, p);
+                    (p, drt.max(sched.proc_finish(p)))
+                })
+                .min_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)))
+                .expect("at least one processor");
+            let dur = sys.exec_time(t, p);
+            sched
+                .insert(t, p, start, dur)
+                .expect("append placement is conflict-free");
+            for (s, _) in dag.successors(t) {
+                let r = &mut remaining_preds[s.index()];
+                *r -= 1;
+                if *r == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        debug_assert!(sched.is_complete());
+        sched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+    use hetsched_dag::builder::dag_from_edges;
+
+    #[test]
+    fn prioritizes_long_chains() {
+        // t0 heads a chain of total weight 6, t1 is a lone unit task; on
+        // one processor the chain head runs first.
+        let dag = dag_from_edges(&[1.0, 1.0, 5.0], &[(0, 2, 0.0)]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 1);
+        let s = Hlfet::new().schedule(&dag, &sys);
+        assert_eq!(validate(&dag, &sys, &s), Ok(()));
+        let (_, s0, _) = s.assignment(hetsched_dag::TaskId(0)).unwrap();
+        let (_, s1, _) = s.assignment(hetsched_dag::TaskId(1)).unwrap();
+        assert!(s0 < s1);
+    }
+
+    #[test]
+    fn valid_on_diamond_heterogeneous() {
+        use hetsched_platform::{EtcMatrix, Network};
+        let dag = dag_from_edges(
+            &[1.0, 2.0, 3.0, 1.0],
+            &[(0, 1, 2.0), (0, 2, 2.0), (1, 3, 2.0), (2, 3, 2.0)],
+        )
+        .unwrap();
+        let etc = EtcMatrix::from_fn(4, 3, |t, p| {
+            [1.0, 2.0, 3.0, 1.0][t.index()] * (1.0 + 0.5 * p.index() as f64)
+        });
+        let sys = System::new(etc, Network::unit(3));
+        let s = Hlfet::new().schedule(&dag, &sys);
+        assert_eq!(validate(&dag, &sys, &s), Ok(()));
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn single_processor_is_level_order_serial() {
+        let dag = dag_from_edges(&[2.0, 3.0, 4.0], &[]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 1);
+        let s = Hlfet::new().schedule(&dag, &sys);
+        assert_eq!(s.makespan(), 9.0);
+        // level == own weight for independent tasks: 4, 3, 2 order
+        let start = |i: u32| s.assignment(hetsched_dag::TaskId(i)).unwrap().1;
+        assert!(start(2) < start(1) && start(1) < start(0));
+    }
+}

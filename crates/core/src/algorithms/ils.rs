@@ -1,0 +1,428 @@
+//! The proposed **ILS** (Improved List Scheduling) family — this
+//! repository's reconstruction of the paper's contribution (see DESIGN.md
+//! §3 for the provenance note).
+//!
+//! The family improves HEFT-style list scheduling with three knobs, each
+//! individually ablatable:
+//!
+//! 1. **Spread-aware ranks** ([`CostAggregation::MeanStd`]): tasks whose
+//!    execution time varies a lot across processors are ranked higher, so
+//!    they are placed while good processors are still free.
+//! 2. **One-step lookahead**: among processors whose EFT is within a
+//!    tolerance of the best, pick the one that minimizes the estimated
+//!    finish of the task's *critical child* instead of blindly taking the
+//!    minimal EFT. This resolves the near-ties where HEFT's myopia loses.
+//! 3. **Selective duplication** (ILS-D only): evaluate each candidate
+//!    processor with DSH-style parent duplication and commit the best.
+//!
+//! * [`IlsH`] — knobs 1 + 2, for heterogeneous systems.
+//! * [`IlsD`] — knobs 1 + 2 + 3.
+//! * [`IlsM`] — knob 2 on ALAP (MCP-style) priorities, the homogeneous
+//!   variant; on a flat ETC matrix knob 1 is vacuous, so the improvement
+//!   over MCP comes from lookahead and insertion.
+
+use hetsched_dag::{Dag, TaskId};
+use hetsched_platform::{ProcId, System};
+
+use crate::algorithms::duplication::place_with_duplication;
+use crate::algorithms::mcp::alap_order;
+use crate::cost::CostAggregation;
+use crate::eft::eft_candidates;
+use crate::rank::{alst, sort_by_priority_desc, upward_rank};
+use crate::schedule::{Schedule, TIME_EPS};
+use crate::Scheduler;
+
+/// The successor of `t` with the highest `rank + mean communication` —
+/// the child most likely to be on the critical path — plus the edge data.
+fn critical_child(dag: &Dag, sys: &System, rank: &[f64], t: TaskId) -> Option<(TaskId, f64)> {
+    let mut best: Option<(TaskId, f64, f64)> = None;
+    for (s, data) in dag.successors(t) {
+        let key = rank[s.index()] + sys.mean_comm(data);
+        match best {
+            Some((bs, _, bk)) if key < bk || (key == bk && s >= bs) => {}
+            _ => best = Some((s, data, key)),
+        }
+    }
+    best.map(|(s, data, _)| (s, data))
+}
+
+/// Optimistic estimate of the critical child's finish if `t` finishes at
+/// `finish_t` on `p`: minimize over target processors `q` the child's
+/// start (message from `t` or `q`'s current availability, whichever is
+/// later) plus its execution time on `q`. Other parents of the child are
+/// ignored — they are identical across candidates, so the estimate ranks
+/// candidates correctly whenever `t`'s message is the binding constraint.
+fn lookahead_score(
+    sys: &System,
+    sched: &Schedule,
+    child: TaskId,
+    data: f64,
+    p: ProcId,
+    finish_t: f64,
+) -> f64 {
+    sys.proc_ids()
+        .map(|q| {
+            let ready = finish_t + sys.comm_time(data, p, q);
+            let start = ready.max(sched.proc_finish(q));
+            start + sys.exec_time(child, q)
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Shared ILS processor selection: take the EFT-candidate set within
+/// `tolerance`, re-rank near-ties by the lookahead score, and place `t`
+/// (with optional duplication). Returns nothing; mutates `sched`.
+#[allow(clippy::too_many_arguments)]
+fn select_and_place(
+    dag: &Dag,
+    sys: &System,
+    sched: &mut Schedule,
+    rank: &[f64],
+    t: TaskId,
+    tolerance: f64,
+    lookahead: bool,
+    duplication: bool,
+) {
+    let cands = eft_candidates(dag, sys, sched, t, true, tolerance);
+    let child = if lookahead {
+        critical_child(dag, sys, rank, t)
+    } else {
+        None
+    };
+
+    if !duplication {
+        let pick = match child {
+            Some((c, data)) if cands.len() > 1 => cands
+                .iter()
+                .copied()
+                .min_by(|&(pa, _, fa), &(pb, _, fb)| {
+                    let sa = lookahead_score(sys, sched, c, data, pa, fa);
+                    let sb = lookahead_score(sys, sched, c, data, pb, fb);
+                    sa.total_cmp(&sb)
+                        .then_with(|| fa.total_cmp(&fb))
+                        .then_with(|| pa.cmp(&pb))
+                })
+                .expect("candidate set non-empty"),
+            _ => cands[0],
+        };
+        let (p, start, finish) = pick;
+        sched
+            .insert(t, p, start, finish - start)
+            .expect("EFT placement is conflict-free");
+        return;
+    }
+
+    // Duplication path: duplication can turn a communication-bound
+    // processor into the best choice, so the tolerance-filtered set is too
+    // narrow — evaluate the top processors by plain EFT instead (at least
+    // the whole near-tie set, at most 3 extra).
+    let near_ties = cands.len();
+    let plain_best = cands[0]; // EFT-minimal placement without duplication
+    let mut cands = eft_candidates(dag, sys, sched, t, true, f64::INFINITY);
+    cands.truncate(near_ties.max(3));
+    let mut best: Option<(f64, f64, Schedule)> = None; // (score, finish, trial)
+    let consider =
+        |p: ProcId, finish: f64, trial: Schedule, best: &mut Option<(f64, f64, Schedule)>| {
+            let score = match child {
+                Some((c, data)) => lookahead_score(sys, &trial, c, data, p, finish),
+                None => finish,
+            };
+            let better = match best {
+                None => true,
+                Some((bs, bf, _)) => {
+                    score + TIME_EPS < *bs
+                        || ((score - *bs).abs() <= TIME_EPS && finish + TIME_EPS < *bf)
+                }
+            };
+            if better {
+                *best = Some((score, finish, trial));
+            }
+        };
+    // the plain (no-duplication) placement competes too: greedy duplication
+    // can occupy gaps later tasks would have used, so it must *win* the
+    // local comparison to be committed
+    {
+        let (p, start, finish) = plain_best;
+        let mut trial = sched.clone();
+        trial
+            .insert(t, p, start, finish - start)
+            .expect("EFT placement is conflict-free");
+        consider(p, finish, trial, &mut best);
+    }
+    for &(p, _, _) in &cands {
+        let mut trial = sched.clone();
+        let finish = place_with_duplication(dag, sys, &mut trial, t, p);
+        consider(p, finish, trial, &mut best);
+    }
+    *sched = best.expect("candidate set non-empty").2;
+}
+
+/// ILS-H: spread-aware ranks + lookahead EFT selection (heterogeneous).
+#[derive(Debug, Clone, Copy)]
+pub struct IlsH {
+    /// Rank aggregation; default `MeanStd(1.0)`.
+    pub agg: CostAggregation,
+    /// Relative EFT tolerance defining the near-tie candidate set.
+    pub tolerance: f64,
+    /// Enable the critical-child lookahead (knob 2).
+    pub lookahead: bool,
+}
+
+impl IlsH {
+    /// Default ILS-H configuration (`mean+1sd` ranks, 10% tolerance).
+    pub fn new() -> Self {
+        IlsH {
+            agg: CostAggregation::MeanStd(1.0),
+            tolerance: 0.1,
+            lookahead: true,
+        }
+    }
+}
+
+impl Default for IlsH {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for IlsH {
+    fn name(&self) -> &'static str {
+        "ILS-H"
+    }
+
+    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
+        let rank = upward_rank(dag, sys, self.agg);
+        let order = sort_by_priority_desc(&rank);
+        let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
+        for t in order {
+            select_and_place(
+                dag,
+                sys,
+                &mut sched,
+                &rank,
+                t,
+                self.tolerance,
+                self.lookahead,
+                false,
+            );
+        }
+        sched
+    }
+}
+
+/// ILS-D: ILS-H plus selective parent duplication (knob 3).
+#[derive(Debug, Clone, Copy)]
+pub struct IlsD {
+    /// Rank aggregation; default `MeanStd(1.0)`.
+    pub agg: CostAggregation,
+    /// Relative EFT tolerance defining the near-tie candidate set.
+    pub tolerance: f64,
+    /// Enable the critical-child lookahead.
+    pub lookahead: bool,
+}
+
+impl IlsD {
+    /// Default ILS-D configuration.
+    pub fn new() -> Self {
+        IlsD {
+            agg: CostAggregation::MeanStd(1.0),
+            tolerance: 0.1,
+            lookahead: true,
+        }
+    }
+}
+
+impl Default for IlsD {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for IlsD {
+    fn name(&self) -> &'static str {
+        "ILS-D"
+    }
+
+    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
+        let rank = upward_rank(dag, sys, self.agg);
+        let order = sort_by_priority_desc(&rank);
+        let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
+        for t in order {
+            select_and_place(
+                dag,
+                sys,
+                &mut sched,
+                &rank,
+                t,
+                self.tolerance,
+                self.lookahead,
+                true,
+            );
+        }
+        sched
+    }
+}
+
+/// ILS-M: the homogeneous variant — MCP's ALAP priorities with ILS's
+/// insertion + lookahead placement.
+#[derive(Debug, Clone, Copy)]
+pub struct IlsM {
+    /// Relative EFT tolerance for the candidate set.
+    pub tolerance: f64,
+}
+
+impl IlsM {
+    /// Default ILS-M configuration (10% tolerance).
+    pub fn new() -> Self {
+        IlsM { tolerance: 0.1 }
+    }
+}
+
+impl Default for IlsM {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for IlsM {
+    fn name(&self) -> &'static str {
+        "ILS-M"
+    }
+
+    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
+        let agg = CostAggregation::Mean;
+        let alap = alst(dag, sys, agg);
+        let order = alap_order(dag, &alap);
+        // lookahead uses upward rank to find critical children
+        let rank = upward_rank(dag, sys, agg);
+        let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
+        for t in order {
+            select_and_place(dag, sys, &mut sched, &rank, t, self.tolerance, true, false);
+        }
+        sched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::Heft;
+    use crate::validate::validate;
+    use hetsched_dag::builder::dag_from_edges;
+    use hetsched_dag::Dag;
+    use hetsched_platform::{EtcMatrix, Network};
+
+    fn diamond_het() -> (Dag, System) {
+        let dag = dag_from_edges(
+            &[2.0, 3.0, 3.0, 2.0],
+            &[(0, 1, 5.0), (0, 2, 5.0), (1, 3, 5.0), (2, 3, 5.0)],
+        )
+        .unwrap();
+        let etc = EtcMatrix::from_fn(4, 3, |t, p| {
+            // processor 2 is slow for everything; 0 and 1 alternate
+            let base = [2.0, 3.0, 3.0, 2.0][t.index()];
+            match p.index() {
+                0 => base,
+                1 => base * 1.2,
+                _ => base * 2.0,
+            }
+        });
+        (dag, System::new(etc, Network::unit(3)))
+    }
+
+    #[test]
+    fn ils_h_produces_valid_schedules() {
+        let (dag, sys) = diamond_het();
+        let s = IlsH::new().schedule(&dag, &sys);
+        assert_eq!(validate(&dag, &sys, &s), Ok(()));
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn ils_d_produces_valid_schedules_and_may_duplicate() {
+        // high-CCR fork where duplication is the right move
+        let dag = dag_from_edges(&[1.0, 2.0, 2.0], &[(0, 1, 50.0), (0, 2, 50.0)]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 2);
+        let s = IlsD::new().schedule(&dag, &sys);
+        assert_eq!(validate(&dag, &sys, &s), Ok(()));
+        assert!(s.makespan() <= 3.0 + 1e-9, "makespan {}", s.makespan());
+        assert!(s.num_duplicates() >= 1);
+    }
+
+    #[test]
+    fn ils_m_valid_on_homogeneous() {
+        let dag = dag_from_edges(
+            &[1.0, 4.0, 1.0, 1.0, 2.0],
+            &[
+                (0, 1, 1.0),
+                (0, 2, 1.0),
+                (1, 4, 1.0),
+                (2, 3, 2.0),
+                (3, 4, 1.0),
+            ],
+        )
+        .unwrap();
+        let sys = System::homogeneous_unit(&dag, 2);
+        let s = IlsM::new().schedule(&dag, &sys);
+        assert_eq!(validate(&dag, &sys, &s), Ok(()));
+    }
+
+    #[test]
+    fn lookahead_breaks_near_ties_toward_the_child() {
+        // t0 can go on p0 or p1 with identical EFT; its only child's data
+        // is huge, and p1 is much faster for the child — lookahead must
+        // route t0 to the processor that serves the child best (the child
+        // then runs locally on p1).
+        let dag = dag_from_edges(&[4.0, 8.0], &[(0, 1, 100.0)]).unwrap();
+        let etc = EtcMatrix::from_fn(2, 2, |t, p| match (t.index(), p.index()) {
+            (0, _) => 4.0,  // t0 identical everywhere
+            (1, 0) => 80.0, // t1 terrible on p0
+            (1, 1) => 8.0,  // t1 great on p1
+            _ => unreachable!(),
+        });
+        let sys = System::new(etc, Network::unit(2));
+        let s = IlsH::new().schedule(&dag, &sys);
+        assert_eq!(validate(&dag, &sys, &s), Ok(()));
+        assert_eq!(
+            s.task_proc(hetsched_dag::TaskId(0)),
+            Some(hetsched_platform::ProcId(1))
+        );
+        assert_eq!(
+            s.task_proc(hetsched_dag::TaskId(1)),
+            Some(hetsched_platform::ProcId(1))
+        );
+        // HEFT (pure EFT, tie -> p0) pays the 100-unit message or the slow child
+        let heft = Heft::new().schedule(&dag, &sys).makespan();
+        assert!(
+            s.makespan() <= heft + 1e-9,
+            "ils {} heft {heft}",
+            s.makespan()
+        );
+        assert_eq!(s.makespan(), 12.0);
+    }
+
+    #[test]
+    fn zero_tolerance_disables_lookahead_effect_when_unique_best() {
+        let (dag, sys) = diamond_het();
+        let strict = IlsH {
+            tolerance: 0.0,
+            ..IlsH::new()
+        };
+        let s = strict.schedule(&dag, &sys);
+        assert_eq!(validate(&dag, &sys, &s), Ok(()));
+    }
+
+    #[test]
+    fn critical_child_picks_heaviest_successor() {
+        let dag = dag_from_edges(&[1.0, 5.0, 1.0], &[(0, 1, 2.0), (0, 2, 2.0)]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 2);
+        let rank = upward_rank(&dag, &sys, CostAggregation::Mean);
+        let cc = critical_child(&dag, &sys, &rank, hetsched_dag::TaskId(0));
+        assert_eq!(cc.map(|(c, _)| c), Some(hetsched_dag::TaskId(1)));
+        // exit task has no critical child
+        assert_eq!(
+            critical_child(&dag, &sys, &rank, hetsched_dag::TaskId(1)),
+            None
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! MCP — Modified Critical Path (Wu & Gajski, 1990), the classic
+//! homogeneous list scheduler.
+//!
+//! Tasks are prioritized by ALAP time (ascending — most critical first;
+//! the original breaks ties by the ALAP lists of successors, here by
+//! topological position, which preserves MCP's behaviour on the graphs of
+//! our experiments and guarantees a topological processing order even with
+//! zero-weight virtual tasks), and placed by earliest start with insertion.
+//!
+//! On a heterogeneous system MCP still runs — ALAP times use aggregated
+//! (mean) costs — which lets homogeneous and heterogeneous experiments
+//! share one comparison set.
+
+use hetsched_dag::{Dag, TaskId};
+use hetsched_platform::System;
+
+use crate::cost::CostAggregation;
+use crate::eft::best_eft;
+use crate::rank::alst;
+use crate::schedule::Schedule;
+use crate::Scheduler;
+
+/// MCP scheduler (ALAP priorities, insertion-based earliest start).
+#[derive(Debug, Clone, Copy)]
+pub struct Mcp {
+    /// Aggregation for ALAP computation on heterogeneous systems.
+    pub agg: CostAggregation,
+}
+
+impl Mcp {
+    /// Classic MCP (mean costs — exact on homogeneous systems).
+    pub fn new() -> Self {
+        Mcp {
+            agg: CostAggregation::Mean,
+        }
+    }
+}
+
+impl Default for Mcp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Order tasks by ascending ALAP, breaking ties by topological position so
+/// the order is always a valid processing order.
+pub(crate) fn alap_order(dag: &Dag, alap: &[f64]) -> Vec<TaskId> {
+    let mut pos = vec![0usize; dag.num_tasks()];
+    for (i, &t) in dag.topo_order().iter().enumerate() {
+        pos[t.index()] = i;
+    }
+    let mut order: Vec<TaskId> = dag.task_ids().collect();
+    order.sort_by(|&a, &b| {
+        alap[a.index()]
+            .total_cmp(&alap[b.index()])
+            .then_with(|| pos[a.index()].cmp(&pos[b.index()]))
+    });
+    order
+}
+
+impl Scheduler for Mcp {
+    fn name(&self) -> &'static str {
+        "MCP"
+    }
+
+    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
+        let alap = alst(dag, sys, self.agg);
+        let order = alap_order(dag, &alap);
+        let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
+        for t in order {
+            // MCP selects the processor allowing the earliest *start*;
+            // on homogeneous systems earliest start == earliest finish.
+            let (p, start, finish) = best_eft(dag, sys, &sched, t, true);
+            sched
+                .insert(t, p, start, finish - start)
+                .expect("placement is conflict-free");
+        }
+        sched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+    use hetsched_dag::builder::dag_from_edges;
+    use hetsched_platform::System;
+
+    #[test]
+    fn alap_order_is_topological() {
+        let dag = dag_from_edges(
+            &[1.0, 1.0, 1.0, 1.0],
+            &[(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)],
+        )
+        .unwrap();
+        let sys = System::homogeneous_unit(&dag, 2);
+        let alap = alst(&dag, &sys, CostAggregation::Mean);
+        let order = alap_order(&dag, &alap);
+        assert!(hetsched_dag::topo::is_topological(&dag, &order));
+    }
+
+    #[test]
+    fn alap_order_topological_with_zero_weights() {
+        // zero-weight virtual tasks create ALAP ties; the topological
+        // tie-break must keep parents first.
+        let dag = dag_from_edges(&[0.0, 0.0, 0.0], &[(0, 1, 0.0), (1, 2, 0.0)]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 2);
+        let alap = alst(&dag, &sys, CostAggregation::Mean);
+        let order = alap_order(&dag, &alap);
+        assert!(hetsched_dag::topo::is_topological(&dag, &order));
+        let s = Mcp::new().schedule(&dag, &sys);
+        assert_eq!(validate(&dag, &sys, &s), Ok(()));
+    }
+
+    #[test]
+    fn parallelizes_independent_tasks_on_homogeneous() {
+        let dag = dag_from_edges(&[3.0, 3.0, 3.0, 3.0], &[]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 4);
+        let s = Mcp::new().schedule(&dag, &sys);
+        assert_eq!(validate(&dag, &sys, &s), Ok(()));
+        assert_eq!(s.makespan(), 3.0);
+        assert_eq!(s.procs_used(), 4);
+    }
+
+    #[test]
+    fn valid_on_join_structure() {
+        let dag = dag_from_edges(&[2.0, 2.0, 4.0], &[(0, 2, 1.0), (1, 2, 6.0)]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 2);
+        let s = Mcp::new().schedule(&dag, &sys);
+        assert_eq!(validate(&dag, &sys, &s), Ok(()));
+    }
+}

@@ -1,0 +1,111 @@
+//! Min-Min adapted to DAGs (the Ibarra & Kim batch heuristic lineage).
+//!
+//! Repeatedly: among currently *ready* tasks, compute each task's minimum
+//! EFT over all processors, then schedule the task whose minimum EFT is
+//! smallest. Greedy and myopic — it has no notion of the critical path —
+//! which is exactly why it is a useful floor in comparisons: list
+//! schedulers that lose to Min-Min are mis-prioritizing.
+
+use hetsched_dag::{Dag, TaskId};
+use hetsched_platform::System;
+
+use crate::eft::best_eft;
+use crate::schedule::Schedule;
+use crate::Scheduler;
+
+/// Min-Min scheduler (ready-set batch mode, insertion-based EFT).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinMin;
+
+impl MinMin {
+    /// New Min-Min scheduler.
+    pub fn new() -> Self {
+        MinMin
+    }
+}
+
+impl Scheduler for MinMin {
+    fn name(&self) -> &'static str {
+        "MinMin"
+    }
+
+    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
+        let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
+        let mut remaining_preds: Vec<usize> = dag.task_ids().map(|t| dag.in_degree(t)).collect();
+        let mut ready: Vec<TaskId> = dag.entry_tasks().collect();
+
+        while !ready.is_empty() {
+            let mut best: Option<(usize, hetsched_platform::ProcId, f64, f64)> = None;
+            for (ri, &t) in ready.iter().enumerate() {
+                let (p, s, f) = best_eft(dag, sys, &sched, t, true);
+                let better = match best {
+                    None => true,
+                    Some((bri, _, _, bf)) => f < bf || (f == bf && t < ready[bri]),
+                };
+                if better {
+                    best = Some((ri, p, s, f));
+                }
+            }
+            let (ri, p, start, finish) = best.expect("ready set non-empty");
+            let t = ready.swap_remove(ri);
+            sched
+                .insert(t, p, start, finish - start)
+                .expect("EFT placement is conflict-free");
+            for (s, _) in dag.successors(t) {
+                let r = &mut remaining_preds[s.index()];
+                *r -= 1;
+                if *r == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        debug_assert!(sched.is_complete());
+        sched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+    use hetsched_dag::builder::dag_from_edges;
+    use hetsched_platform::{EtcMatrix, Network, ProcId};
+
+    #[test]
+    fn schedules_shortest_ready_task_first() {
+        // two independent tasks, one short one long, one processor:
+        // Min-Min runs the short one first.
+        let dag = dag_from_edges(&[9.0, 1.0], &[]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 1);
+        let s = MinMin::new().schedule(&dag, &sys);
+        assert_eq!(validate(&dag, &sys, &s), Ok(()));
+        let (_, start_long, _) = s.assignment(TaskId(0)).unwrap();
+        let (_, start_short, _) = s.assignment(TaskId(1)).unwrap();
+        assert!(start_short < start_long);
+    }
+
+    use hetsched_dag::TaskId;
+
+    #[test]
+    fn exploits_heterogeneity() {
+        let dag = dag_from_edges(&[6.0, 6.0], &[]).unwrap();
+        let etc = EtcMatrix::from_fn(2, 2, |t, p| if t.index() == p.index() { 1.0 } else { 6.0 });
+        let sys = System::new(etc, Network::unit(2));
+        let s = MinMin::new().schedule(&dag, &sys);
+        assert_eq!(validate(&dag, &sys, &s), Ok(()));
+        assert_eq!(s.task_proc(TaskId(0)), Some(ProcId(0)));
+        assert_eq!(s.task_proc(TaskId(1)), Some(ProcId(1)));
+    }
+
+    #[test]
+    fn valid_on_deep_chain() {
+        let n = 20u32;
+        let weights = vec![1.0; n as usize];
+        let edges: Vec<(u32, u32, f64)> = (1..n).map(|i| (i - 1, i, 2.0)).collect();
+        let dag = dag_from_edges(&weights, &edges).unwrap();
+        let sys = System::homogeneous_unit(&dag, 4);
+        let s = MinMin::new().schedule(&dag, &sys);
+        assert_eq!(validate(&dag, &sys, &s), Ok(()));
+        assert_eq!(s.makespan(), 20.0, "chain stays on one processor");
+    }
+}

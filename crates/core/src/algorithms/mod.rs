@@ -1,0 +1,154 @@
+//! Scheduling algorithms: classic baselines and the proposed ILS family.
+//!
+//! Every algorithm implements [`crate::Scheduler`]; the registry functions
+//! at the bottom hand experiment harnesses a ready-made comparison set.
+
+mod contention_aware;
+mod cpop;
+mod dls;
+mod duplication;
+mod etf;
+mod genetic;
+mod hcpt;
+mod heft;
+mod hlfet;
+mod ils;
+mod maxmin;
+mod mcp;
+mod minmin;
+pub mod optimal;
+mod peft;
+mod pets;
+
+pub use contention_aware::CaHeft;
+pub use cpop::Cpop;
+pub use dls::Dls;
+pub use duplication::DupHeft;
+pub use etf::Etf;
+pub use genetic::Genetic;
+pub use hcpt::Hcpt;
+pub use heft::Heft;
+pub use hlfet::Hlfet;
+pub use ils::{IlsD, IlsH, IlsM};
+pub use maxmin::MaxMin;
+pub use mcp::Mcp;
+pub use minmin::MinMin;
+pub use optimal::BranchAndBound;
+pub use peft::Peft;
+pub use pets::Pets;
+
+use crate::Scheduler;
+
+/// The baseline comparison set for heterogeneous experiments, in the order
+/// reports print them.
+pub fn heterogeneous_baselines() -> Vec<Box<dyn Scheduler + Send + Sync>> {
+    vec![
+        Box::new(Heft::default()),
+        Box::new(Heft::no_insertion()),
+        Box::new(Cpop::default()),
+        Box::new(Dls::default()),
+        Box::new(Hcpt::default()),
+        Box::new(Pets::default()),
+        Box::new(Peft),
+        Box::new(MinMin),
+        Box::new(MaxMin),
+        Box::new(DupHeft::default()),
+    ]
+}
+
+/// The proposed schedulers of this repository.
+pub fn proposed() -> Vec<Box<dyn Scheduler + Send + Sync>> {
+    vec![Box::new(IlsH::default()), Box::new(IlsD::default())]
+}
+
+/// Proposed + baselines: the full heterogeneous comparison set.
+pub fn all_heterogeneous() -> Vec<Box<dyn Scheduler + Send + Sync>> {
+    let mut v = proposed();
+    v.extend(heterogeneous_baselines());
+    v
+}
+
+/// The homogeneous comparison set (flat ETC matrices): the homogeneous
+/// classics plus the schedulers that degrade gracefully to that case.
+pub fn homogeneous_set() -> Vec<Box<dyn Scheduler + Send + Sync>> {
+    vec![
+        Box::new(IlsM::default()),
+        Box::new(Mcp::default()),
+        Box::new(Etf::default()),
+        Box::new(Hlfet::default()),
+        Box::new(Heft::default()),
+        Box::new(IlsH::default()),
+    ]
+}
+
+/// Look up a scheduler by its registry name (`"HEFT"`, `"ILS-D"`, ...).
+///
+/// Covers every scheduler in [`all_heterogeneous`] and [`homogeneous_set`]
+/// plus `"BNB"` (exact branch-and-bound with the default budget). Returns
+/// `None` for unknown names.
+pub fn by_name(name: &str) -> Option<Box<dyn Scheduler + Send + Sync>> {
+    for alg in all_heterogeneous().into_iter().chain(homogeneous_set()) {
+        if alg.name() == name {
+            return Some(alg);
+        }
+    }
+    match name {
+        "BNB" => Some(Box::new(BranchAndBound::new())),
+        "CA-HEFT" => Some(Box::new(CaHeft::new())),
+        "GA" => Some(Box::new(Genetic::new())),
+        _ => None,
+    }
+}
+
+/// Every registry name [`by_name`] accepts, in presentation order.
+pub fn known_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = all_heterogeneous()
+        .iter()
+        .chain(homogeneous_set().iter())
+        .map(|a| a.name())
+        .collect();
+    names.push("BNB");
+    names.push("CA-HEFT");
+    names.push("GA");
+    // the two registries overlap; drop non-adjacent repeats while keeping
+    // presentation order
+    let mut seen = Vec::new();
+    names.retain(|n| {
+        if seen.contains(n) {
+            false
+        } else {
+            seen.push(*n);
+            true
+        }
+    });
+    names
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    #[test]
+    fn by_name_finds_every_known_name() {
+        for name in known_names() {
+            let alg = by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(alg.name(), name);
+        }
+        assert!(by_name("NOPE").is_none());
+    }
+
+    #[test]
+    fn known_names_has_no_duplicates() {
+        let names = known_names();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+        assert!(names.contains(&"HEFT"));
+        assert!(names.contains(&"ILS-M"));
+        assert!(names.contains(&"BNB"));
+    }
+}
+
+#[cfg(test)]
+mod conformance;

@@ -1,0 +1,340 @@
+//! Exact branch-and-bound scheduling for small instances — the optimality
+//! baseline heuristics are measured against.
+//!
+//! The search branches over (ready task, processor) decisions in
+//! list-schedule order, keeps the best complete schedule found, and prunes
+//! with two admissible lower bounds:
+//!
+//! * **work bound** — busy time already committed plus the remaining
+//!   fastest-execution work, divided by the processor count;
+//! * **path bound** — for every unscheduled task, its earliest possible
+//!   start (scheduled parents' finishes, communication-free) plus its
+//!   minimum-execution bottom level.
+//!
+//! The incumbent is seeded with HEFT's schedule, so the search is
+//! *anytime*: with an exhausted node budget it still returns a schedule at
+//! least as good as HEFT, just without the optimality certificate.
+//!
+//! Scope notes: the search covers **non-duplication** schedules (the
+//! classic problem definition); duplication-based heuristics may therefore
+//! legitimately beat the "optimal" on communication-bound instances. It
+//! also restricts starts to the canonical left-shifted form (every task
+//! starts at its earliest feasible time given the decision order) with
+//! insertion, which preserves at least one optimal schedule.
+
+use hetsched_dag::{Dag, TaskId};
+use hetsched_platform::System;
+
+use crate::algorithms::Heft;
+use crate::eft::eft_on;
+use crate::schedule::Schedule;
+use crate::Scheduler;
+
+/// Result of an exact search.
+#[derive(Debug, Clone)]
+pub struct BnbResult {
+    /// The best schedule found.
+    pub schedule: Schedule,
+    /// Whether the search space was exhausted (makespan proven optimal
+    /// among non-duplication schedules).
+    pub proven_optimal: bool,
+    /// Search nodes expanded.
+    pub nodes: usize,
+}
+
+/// Branch-and-bound scheduler with a node budget.
+#[derive(Debug, Clone, Copy)]
+pub struct BranchAndBound {
+    /// Maximum number of search nodes to expand before giving up on the
+    /// optimality proof (the best-found schedule is still returned).
+    pub node_budget: usize,
+}
+
+impl BranchAndBound {
+    /// Search with the default budget (10⁶ nodes — exhaustive for the
+    /// ≤ 12-task instances the gap experiments use).
+    pub fn new() -> Self {
+        BranchAndBound {
+            node_budget: 1_000_000,
+        }
+    }
+
+    /// Run the full search, returning the proof status alongside the
+    /// schedule.
+    pub fn solve(&self, dag: &Dag, sys: &System) -> BnbResult {
+        let n = dag.num_tasks();
+        // seed incumbent with HEFT
+        let incumbent = Heft::new().schedule(dag, sys);
+        let mut best_makespan = incumbent.makespan();
+        let mut best = incumbent;
+
+        // min-exec bottom levels (compute-only): admissible tail estimate
+        let mut bl_min = vec![0.0f64; n];
+        for &t in dag.topo_order().iter().rev() {
+            let tail = dag
+                .successors(t)
+                .map(|(s, _)| bl_min[s.index()])
+                .fold(0.0f64, f64::max);
+            bl_min[t.index()] = sys.etc().min_exec(t).0 + tail;
+        }
+        let min_exec: Vec<f64> = dag.task_ids().map(|t| sys.etc().min_exec(t).0).collect();
+        let total_min_work: f64 = min_exec.iter().sum();
+
+        struct Ctx<'a> {
+            dag: &'a Dag,
+            sys: &'a System,
+            bl_min: Vec<f64>,
+            min_exec: Vec<f64>,
+        }
+
+        fn lower_bound(
+            ctx: &Ctx<'_>,
+            sched: &Schedule,
+            scheduled: &[bool],
+            remaining_work: f64,
+        ) -> f64 {
+            let mut lb = sched.makespan();
+            // work bound: committed busy time + remaining fastest work
+            let wb = (sched.busy_time() + remaining_work) / ctx.sys.num_procs() as f64;
+            if wb > lb {
+                lb = wb;
+            }
+            // path bound
+            for t in ctx.dag.task_ids() {
+                if scheduled[t.index()] {
+                    continue;
+                }
+                let mut est = 0.0f64;
+                for (u, _) in ctx.dag.predecessors(t) {
+                    if let Some(f) = sched.task_finish(u) {
+                        if f > est {
+                            est = f;
+                        }
+                    }
+                }
+                let pb = est + ctx.bl_min[t.index()];
+                if pb > lb {
+                    lb = pb;
+                }
+            }
+            lb
+        }
+
+        // `Schedule` is append-only (no removal), so the search snapshots
+        // the schedule at each branch instead of undoing moves; an explicit
+        // LIFO stack keeps memory proportional to the open frontier.
+
+        let mut nodes = 0usize;
+        let mut exhausted = false;
+        // explicit stack of (schedule, scheduled, remaining_preds, done, remaining_work)
+        struct Node {
+            sched: Schedule,
+            scheduled: Vec<bool>,
+            remaining_preds: Vec<usize>,
+            done: usize,
+            remaining_work: f64,
+        }
+        let root = Node {
+            sched: Schedule::new(n, sys.num_procs()),
+            scheduled: vec![false; n],
+            remaining_preds: dag.task_ids().map(|t| dag.in_degree(t)).collect(),
+            done: 0,
+            remaining_work: total_min_work,
+        };
+        let ctx = Ctx {
+            dag,
+            sys,
+            bl_min,
+            min_exec,
+        };
+        let mut stack = vec![root];
+        while let Some(node) = stack.pop() {
+            nodes += 1;
+            if nodes > self.node_budget {
+                exhausted = true;
+                break;
+            }
+            if node.done == n {
+                let m = node.sched.makespan();
+                if m < best_makespan - 1e-12 {
+                    best_makespan = m;
+                    best = node.sched;
+                }
+                continue;
+            }
+            if lower_bound(&ctx, &node.sched, &node.scheduled, node.remaining_work)
+                >= best_makespan - 1e-12
+            {
+                continue;
+            }
+            let mut ready: Vec<TaskId> = dag
+                .task_ids()
+                .filter(|t| !node.scheduled[t.index()] && node.remaining_preds[t.index()] == 0)
+                .collect();
+            ready.sort_by(|&a, &b| {
+                ctx.bl_min[b.index()]
+                    .total_cmp(&ctx.bl_min[a.index()])
+                    .then_with(|| a.cmp(&b))
+            });
+            // LIFO stack: push in reverse so the most promising branch pops
+            // first
+            let mut children: Vec<Node> = Vec::new();
+            for &t in &ready {
+                let mut procs: Vec<(hetsched_platform::ProcId, f64, f64)> = sys
+                    .proc_ids()
+                    .map(|p| {
+                        let (s, f) = eft_on(dag, sys, &node.sched, t, p, true);
+                        (p, s, f)
+                    })
+                    .collect();
+                procs.sort_by(|a, b| a.2.total_cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+                for (p, start, finish) in procs {
+                    let mut sched = node.sched.clone();
+                    sched
+                        .insert(t, p, start, finish - start)
+                        .expect("EFT placement is conflict-free");
+                    let mut scheduled = node.scheduled.clone();
+                    scheduled[t.index()] = true;
+                    let mut remaining_preds = node.remaining_preds.clone();
+                    for (s, _) in dag.successors(t) {
+                        remaining_preds[s.index()] -= 1;
+                    }
+                    children.push(Node {
+                        sched,
+                        scheduled,
+                        remaining_preds,
+                        done: node.done + 1,
+                        remaining_work: node.remaining_work - ctx.min_exec[t.index()],
+                    });
+                }
+            }
+            while let Some(c) = children.pop() {
+                stack.push(c);
+            }
+        }
+
+        BnbResult {
+            schedule: best,
+            proven_optimal: !exhausted,
+            nodes,
+        }
+    }
+}
+
+impl Default for BranchAndBound {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for BranchAndBound {
+    fn name(&self) -> &'static str {
+        "BNB"
+    }
+
+    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
+        self.solve(dag, sys).schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::all_heterogeneous;
+    use crate::validate::validate;
+    use hetsched_dag::builder::dag_from_edges;
+    use hetsched_platform::{EtcMatrix, EtcParams, Network};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_the_obvious_optimum() {
+        // two independent equal tasks, two processors: optimal = 4
+        let dag = dag_from_edges(&[4.0, 4.0], &[]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 2);
+        let r = BranchAndBound::new().solve(&dag, &sys);
+        assert!(r.proven_optimal);
+        assert_eq!(r.schedule.makespan(), 4.0);
+        assert_eq!(validate(&dag, &sys, &r.schedule), Ok(()));
+    }
+
+    #[test]
+    fn beats_heft_where_heft_is_greedy() {
+        // The PEFT motivating example: EFT-greedy parks the parent on the
+        // wrong processor; the exact search does not.
+        let dag = dag_from_edges(&[2.0, 4.0], &[(0, 1, 6.0)]).unwrap();
+        let etc = EtcMatrix::from_fn(2, 2, |t, p| match (t.index(), p.index()) {
+            (0, 0) => 2.0,
+            (0, 1) => 3.0,
+            (1, 0) => 8.0,
+            (1, 1) => 2.0,
+            _ => unreachable!(),
+        });
+        let sys = System::new(etc, Network::unit(2));
+        let heft = Heft::new().schedule(&dag, &sys).makespan();
+        let r = BranchAndBound::new().solve(&dag, &sys);
+        assert!(r.proven_optimal);
+        assert_eq!(r.schedule.makespan(), 5.0);
+        assert!(heft > 5.0, "HEFT {heft} is suboptimal here");
+    }
+
+    #[test]
+    fn never_worse_than_any_non_duplication_heuristic() {
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let dag = hetsched_workloads::random_dag(
+                &hetsched_workloads::RandomDagParams::new(8, 1.0, 1.0),
+                &mut rng,
+            );
+            let sys = System::heterogeneous_random(&dag, 3, &EtcParams::range_based(1.0), &mut rng);
+            let r = BranchAndBound::new().solve(&dag, &sys);
+            assert!(r.proven_optimal, "seed {seed}: budget too small");
+            assert_eq!(validate(&dag, &sys, &r.schedule), Ok(()));
+            let opt = r.schedule.makespan();
+            for alg in all_heterogeneous() {
+                if alg.name().contains("DUP") || alg.name() == "ILS-D" {
+                    continue; // duplication may legally beat the non-dup optimum
+                }
+                let m = alg.schedule(&dag, &sys).makespan();
+                assert!(
+                    m >= opt - 1e-9,
+                    "seed {seed}: {} found {m} < optimal {opt}",
+                    alg.name()
+                );
+            }
+            // and the optimum respects the admissible lower bound
+            let lb = {
+                // inline work/path bound for the empty schedule
+                let wb: f64 = dag.task_ids().map(|t| sys.etc().min_exec(t).0).sum::<f64>()
+                    / sys.num_procs() as f64;
+                wb
+            };
+            assert!(opt >= lb - 1e-9);
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_still_returns_heft_quality() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dag = hetsched_workloads::random_dag(
+            &hetsched_workloads::RandomDagParams::new(20, 1.0, 1.0),
+            &mut rng,
+        );
+        let sys = System::heterogeneous_random(&dag, 4, &EtcParams::range_based(1.0), &mut rng);
+        let tiny = BranchAndBound { node_budget: 50 };
+        let r = tiny.solve(&dag, &sys);
+        assert!(!r.proven_optimal);
+        let heft = Heft::new().schedule(&dag, &sys).makespan();
+        assert!(r.schedule.makespan() <= heft + 1e-9);
+        assert_eq!(validate(&dag, &sys, &r.schedule), Ok(()));
+    }
+
+    #[test]
+    fn chain_on_two_processors_is_serial_optimal() {
+        let dag = dag_from_edges(&[3.0, 2.0, 1.0], &[(0, 1, 10.0), (1, 2, 10.0)]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 2);
+        let r = BranchAndBound::new().solve(&dag, &sys);
+        assert!(r.proven_optimal);
+        assert_eq!(r.schedule.makespan(), 6.0);
+    }
+}

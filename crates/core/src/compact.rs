@@ -1,0 +1,152 @@
+//! Left-shift schedule compaction.
+//!
+//! Schedulers occasionally leave slack (non-insertion placement, pinned
+//! critical-path processors, duplication trials). [`left_shift`] rebuilds
+//! a schedule with every copy started as early as possible while
+//! preserving each processor's task *order* and every assignment — the
+//! schedule-space analogue of the simulator's ASAP replay. The result is
+//! always valid and never longer than the input.
+
+use hetsched_dag::Dag;
+use hetsched_platform::System;
+
+use crate::schedule::Schedule;
+
+/// Rebuild `sched` with all copies left-shifted.
+///
+/// Per-processor copy order and task→processor assignments (including
+/// duplicates) are preserved; start times are recomputed greedily in
+/// global original-start order, reading each predecessor from whichever
+/// copy now delivers first.
+///
+/// # Panics
+/// Panics if `sched` is incomplete or not valid for `dag`/`sys` (the
+/// greedy pass would otherwise read predecessors before they exist).
+pub fn left_shift(dag: &Dag, sys: &System, sched: &Schedule) -> Schedule {
+    assert!(sched.is_complete(), "cannot compact a partial schedule");
+    // global processing order: original start, then finish (zero-duration
+    // copies first among ties), then processor for determinism.
+    let mut order: Vec<(f64, f64, u32, usize)> = Vec::new(); // (start, finish, proc, slot idx)
+    for p in sys.proc_ids() {
+        for (k, slot) in sched.slots(p).iter().enumerate() {
+            order.push((slot.start, slot.finish, p.0, k));
+        }
+    }
+    order.sort_by(|a, b| {
+        a.0.total_cmp(&b.0)
+            .then_with(|| a.1.total_cmp(&b.1))
+            .then_with(|| a.2.cmp(&b.2))
+    });
+
+    let mut out = Schedule::new(dag.num_tasks(), sys.num_procs());
+    for &(_, _, p, k) in &order {
+        let p = hetsched_platform::ProcId(p);
+        let slot = sched.slots(p)[k];
+        // data-ready time against the partially rebuilt schedule; in a
+        // valid input every predecessor copy was originally ordered before
+        // this slot, so it has already been re-placed.
+        let ready = crate::eft::data_ready_time(dag, sys, &out, slot.task, p);
+        let dur = slot.finish - slot.start;
+        // order-preserving: append after the previous slot on p (no gap
+        // search — that could reorder the processor's sequence)
+        let start = ready.max(out.proc_finish(p));
+        if slot.duplicate {
+            out.insert_duplicate(slot.task, p, start, dur)
+                .expect("left-shifted duplicate cannot conflict");
+        } else {
+            out.insert(slot.task, p, start, dur)
+                .expect("left-shifted copy cannot conflict");
+        }
+    }
+    debug_assert!(out.makespan() <= sched.makespan() + 1e-9);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::all_heterogeneous;
+    use crate::validate::validate;
+    use crate::Scheduler as _;
+    use hetsched_dag::builder::dag_from_edges;
+    use hetsched_dag::TaskId;
+    use hetsched_platform::{EtcParams, ProcId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn removes_gratuitous_slack() {
+        let dag = dag_from_edges(&[2.0, 3.0], &[(0, 1, 0.0)]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 1);
+        let mut sched = Schedule::new(2, 1);
+        sched.insert(TaskId(0), ProcId(0), 5.0, 2.0).unwrap();
+        sched.insert(TaskId(1), ProcId(0), 20.0, 3.0).unwrap();
+        let out = left_shift(&dag, &sys, &sched);
+        assert_eq!(validate(&dag, &sys, &out), Ok(()));
+        assert_eq!(out.makespan(), 5.0);
+        assert_eq!(out.assignment(TaskId(0)), Some((ProcId(0), 0.0, 2.0)));
+    }
+
+    #[test]
+    fn preserves_assignments_and_duplicates() {
+        let dag = dag_from_edges(&[2.0, 1.0], &[(0, 1, 50.0)]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 2);
+        let mut sched = Schedule::new(2, 2);
+        sched.insert(TaskId(0), ProcId(0), 1.0, 2.0).unwrap();
+        sched
+            .insert_duplicate(TaskId(0), ProcId(1), 3.0, 2.0)
+            .unwrap();
+        sched.insert(TaskId(1), ProcId(1), 5.0, 1.0).unwrap();
+        let out = left_shift(&dag, &sys, &sched);
+        assert_eq!(validate(&dag, &sys, &out), Ok(()));
+        assert_eq!(out.task_proc(TaskId(1)), Some(ProcId(1)));
+        assert_eq!(out.num_duplicates(), 1);
+        // everything shifts to the origin: dup runs 0..2, consumer 2..3
+        assert_eq!(out.makespan(), 3.0);
+    }
+
+    #[test]
+    fn compaction_is_idempotent_and_never_lengthens() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let dag = hetsched_workloads::random_dag(
+            &hetsched_workloads::RandomDagParams::new(40, 1.0, 2.0),
+            &mut rng,
+        );
+        let sys = System::heterogeneous_random(&dag, 4, &EtcParams::range_based(1.0), &mut rng);
+        for alg in all_heterogeneous() {
+            let sched = alg.schedule(&dag, &sys);
+            let once = left_shift(&dag, &sys, &sched);
+            assert_eq!(validate(&dag, &sys, &once), Ok(()), "{}", alg.name());
+            assert!(
+                once.makespan() <= sched.makespan() + 1e-9,
+                "{}: {} > {}",
+                alg.name(),
+                once.makespan(),
+                sched.makespan()
+            );
+            let twice = left_shift(&dag, &sys, &once);
+            assert!(
+                (twice.makespan() - once.makespan()).abs() < 1e-9,
+                "{}: second shift changed makespan",
+                alg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn matches_simulator_replay_makespan() {
+        // ASAP replay and left-shift implement the same semantics through
+        // different code paths — they must agree.
+        let mut rng = StdRng::seed_from_u64(12);
+        let dag = hetsched_workloads::random_dag(
+            &hetsched_workloads::RandomDagParams::new(30, 1.0, 1.0),
+            &mut rng,
+        );
+        let sys = System::heterogeneous_random(&dag, 3, &EtcParams::range_based(1.0), &mut rng);
+        let sched = crate::algorithms::Heft::new().schedule(&dag, &sys);
+        let shifted = left_shift(&dag, &sys, &sched);
+        // (cannot call hetsched-sim from here — core must not depend on it;
+        // the cross-check lives in the workspace integration tests)
+        assert!(shifted.makespan() <= sched.makespan() + 1e-9);
+    }
+}

@@ -1,0 +1,131 @@
+//! Cost aggregation policies: how a heuristic collapses a task's
+//! per-processor execution-time row into one number for ranking.
+//!
+//! HEFT uses the arithmetic mean; later work showed that on inconsistent
+//! heterogeneous systems the choice of aggregator measurably changes
+//! schedule quality. The proposed ILS schedulers default to
+//! [`CostAggregation::MeanStd`], which penalizes tasks whose execution time
+//! varies a lot across processors — those are the tasks for which a bad
+//! placement is most expensive, so they deserve earlier scheduling.
+
+use serde::{Deserialize, Serialize};
+
+use hetsched_dag::TaskId;
+use hetsched_platform::System;
+
+/// Policy for collapsing a task's ETC row into a scalar cost for ranking.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum CostAggregation {
+    /// Arithmetic mean over processors (HEFT's choice).
+    #[default]
+    Mean,
+    /// Median over processors (robust to one outlier machine).
+    Median,
+    /// Fastest processor (optimistic).
+    Best,
+    /// Slowest processor (pessimistic).
+    Worst,
+    /// `mean + gamma * stddev` — spread-aware (the ILS default with
+    /// `gamma = 1`).
+    MeanStd(
+        /// Weight `gamma >= 0` on the standard deviation.
+        f64,
+    ),
+}
+
+impl CostAggregation {
+    /// Aggregate execution cost of task `t` on `sys` under this policy.
+    pub fn exec(&self, sys: &System, t: TaskId) -> f64 {
+        let etc = sys.etc();
+        match *self {
+            CostAggregation::Mean => etc.mean_exec(t),
+            CostAggregation::Median => etc.median_exec(t),
+            CostAggregation::Best => etc.min_exec(t).0,
+            CostAggregation::Worst => etc.max_exec(t),
+            CostAggregation::MeanStd(gamma) => {
+                debug_assert!(gamma >= 0.0, "gamma must be non-negative");
+                etc.mean_exec(t) + gamma * etc.std_exec(t)
+            }
+        }
+    }
+
+    /// Human-readable policy name for ablation reports.
+    pub fn label(&self) -> String {
+        match *self {
+            CostAggregation::Mean => "mean".into(),
+            CostAggregation::Median => "median".into(),
+            CostAggregation::Best => "best".into(),
+            CostAggregation::Worst => "worst".into(),
+            CostAggregation::MeanStd(g) => format!("mean+{g}sd"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_dag::builder::dag_from_edges;
+    use hetsched_platform::{EtcMatrix, Network, ProcId};
+
+    fn system() -> System {
+        let dag = dag_from_edges(&[1.0, 1.0], &[(0, 1, 1.0)]).unwrap();
+        // task 0 row: [2, 4, 6]; task 1 row: [5, 5, 5]
+        let etc = EtcMatrix::from_fn(dag.num_tasks(), 3, |t, p| {
+            if t.index() == 0 {
+                2.0 * (p.index() + 1) as f64
+            } else {
+                5.0
+            }
+        });
+        System::new(etc, Network::unit(3))
+    }
+
+    #[test]
+    fn all_policies_on_varying_row() {
+        let sys = system();
+        let t = TaskId(0);
+        assert_eq!(CostAggregation::Mean.exec(&sys, t), 4.0);
+        assert_eq!(CostAggregation::Median.exec(&sys, t), 4.0);
+        assert_eq!(CostAggregation::Best.exec(&sys, t), 2.0);
+        assert_eq!(CostAggregation::Worst.exec(&sys, t), 6.0);
+        // std of [2,4,6] = sqrt(8/3)
+        let expected = 4.0 + (8.0f64 / 3.0).sqrt();
+        assert!((CostAggregation::MeanStd(1.0).exec(&sys, t) - expected).abs() < 1e-12);
+        // gamma = 0 reduces to the mean
+        assert_eq!(CostAggregation::MeanStd(0.0).exec(&sys, t), 4.0);
+    }
+
+    #[test]
+    fn flat_row_makes_policies_agree() {
+        let sys = system();
+        let t = TaskId(1);
+        for pol in [
+            CostAggregation::Mean,
+            CostAggregation::Median,
+            CostAggregation::Best,
+            CostAggregation::Worst,
+            CostAggregation::MeanStd(2.0),
+        ] {
+            assert_eq!(pol.exec(&sys, t), 5.0, "{}", pol.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = [
+            CostAggregation::Mean,
+            CostAggregation::Median,
+            CostAggregation::Best,
+            CostAggregation::Worst,
+            CostAggregation::MeanStd(1.0),
+        ]
+        .iter()
+        .map(|p| p.label())
+        .collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len());
+        let _ = ProcId(0);
+    }
+}

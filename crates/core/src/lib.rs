@@ -1,0 +1,91 @@
+//! # hetsched-core
+//!
+//! The list-scheduling core of `hetsched`: schedule representation with
+//! insertion-based gap search, rank functions with pluggable cost
+//! aggregation, the earliest-finish-time machinery (duplication-aware), a
+//! set of classic baseline schedulers, and the improved **ILS** scheduler
+//! family this repository proposes.
+//!
+//! ## Scheduling model
+//!
+//! A [`Schedule`] assigns every task of a [`hetsched_dag::Dag`] to a
+//! processor of a [`hetsched_platform::System`] with a start time, such
+//! that
+//!
+//! * a processor executes at most one task at a time, and
+//! * a task starts only after all messages from its predecessors arrive
+//!   (co-located predecessors communicate for free).
+//!
+//! Task *duplication* is supported: a task may have extra copies on other
+//! processors so its consumers can read a local result instead of waiting
+//! for a message. [`validate::validate`] checks all of this independently
+//! of any scheduler.
+//!
+//! ## Algorithms
+//!
+//! | Scheduler | Kind | Reference |
+//! |-----------|------|-----------|
+//! | [`algorithms::Heft`] | list, mean-rank, insertion EFT | Topcuoglu et al. 2002 |
+//! | [`algorithms::Cpop`] | critical-path-on-a-processor | Topcuoglu et al. 2002 |
+//! | [`algorithms::Dls`]  | dynamic-level pair selection | Sih & Lee 1993 |
+//! | [`algorithms::Mcp`]  | ALAP list (homogeneous classic) | Wu & Gajski 1990 |
+//! | [`algorithms::Hcpt`] | critical-parent trees | Hagras & Janeček 2003 |
+//! | [`algorithms::MinMin`] | batch-mode min-min | Ibarra & Kim 1977 lineage |
+//! | [`algorithms::DupHeft`] | HEFT + DSH/BTDH-style duplication | Kruatrachue & Lewis; Chung & Ranka |
+//! | [`algorithms::IlsH`], [`algorithms::IlsD`], [`algorithms::IlsM`] | **proposed** improved list scheduling | this repository (reconstruction, see DESIGN.md) |
+//!
+//! Every scheduler implements the [`Scheduler`] trait, so experiment
+//! harnesses treat them uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod compact;
+pub mod cost;
+pub mod eft;
+pub mod rank;
+pub mod schedule;
+pub mod validate;
+
+pub use cost::CostAggregation;
+pub use schedule::{Schedule, Slot};
+pub use validate::{validate, ValidationError};
+
+use hetsched_dag::Dag;
+use hetsched_platform::System;
+
+/// A static scheduling algorithm: maps a task graph and a target system to
+/// a complete [`Schedule`].
+pub trait Scheduler {
+    /// Short stable name used in reports and benchmarks (e.g. `"HEFT"`).
+    fn name(&self) -> &'static str;
+
+    /// Produce a complete schedule of `dag` on `sys`.
+    ///
+    /// Implementations must return a schedule that passes
+    /// [`validate::validate`]; this is enforced for every algorithm in the
+    /// test suite.
+    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule;
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for &S {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
+        (**self).schedule(dag, sys)
+    }
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
+        (**self).schedule(dag, sys)
+    }
+}
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,167 @@
+//! Property-based tests over the scheduling core: random DAGs × random
+//! systems × every scheduler must always validate, and structural
+//! invariants of the timeline machinery must hold.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hetsched_dag::builder::DagBuilder;
+use hetsched_dag::{Dag, TaskId};
+use hetsched_platform::{EtcParams, ProcId, System};
+
+use crate::algorithms::all_heterogeneous;
+use crate::schedule::Schedule;
+use crate::validate::validate;
+
+/// Random forward-edged DAG with seeded reproducibility.
+fn random_dag(n: usize, edge_prob: f64, seed: u64) -> Dag {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DagBuilder::new();
+    for _ in 0..n {
+        b.add_task(rng.gen_range(0.5..10.0));
+    }
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            if rng.gen::<f64>() < edge_prob {
+                b.add_edge(TaskId(i), TaskId(j), rng.gen_range(0.0..30.0))
+                    .unwrap();
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_schedulers_valid_on_random_instances(
+        n in 1usize..35,
+        edge_prob in 0.0f64..0.3,
+        n_procs in 1usize..8,
+        beta in 0.0f64..1.9,
+        seed in 0u64..10_000,
+    ) {
+        let dag = random_dag(n, edge_prob, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdead_beef);
+        let sys = System::heterogeneous_random(&dag, n_procs, &EtcParams::range_based(beta), &mut rng);
+        for alg in all_heterogeneous() {
+            let s = alg.schedule(&dag, &sys);
+            prop_assert_eq!(
+                validate(&dag, &sys, &s),
+                Ok(()),
+                "{} failed on n={} procs={} beta={} seed={}",
+                alg.name(), n, n_procs, beta, seed
+            );
+            // makespan must be finite and positive for non-trivial work
+            let m = s.makespan();
+            prop_assert!(m.is_finite() && m >= 0.0);
+        }
+    }
+
+    #[test]
+    fn makespan_never_below_min_serial_over_procs_div_procs(
+        n in 2usize..25,
+        n_procs in 1usize..6,
+        seed in 0u64..10_000,
+    ) {
+        // work lower bound: total fastest work / processors
+        let dag = random_dag(n, 0.15, seed);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31));
+        let sys = System::heterogeneous_random(&dag, n_procs, &EtcParams::range_based(1.0), &mut rng);
+        let min_work: f64 = dag.task_ids().map(|t| sys.etc().min_exec(t).0).sum();
+        let bound = min_work / n_procs as f64;
+        for alg in all_heterogeneous() {
+            let m = alg.schedule(&dag, &sys).makespan();
+            prop_assert!(
+                m + 1e-9 >= bound,
+                "{}: makespan {} below work bound {}", alg.name(), m, bound
+            );
+        }
+    }
+
+    #[test]
+    fn earliest_start_returns_conflict_free_interval(
+        starts in proptest::collection::vec(0.0f64..100.0, 0..12),
+        ready in 0.0f64..120.0,
+        dur in 0.0f64..10.0,
+        insertion in proptest::bool::ANY,
+    ) {
+        // Build a random single-processor schedule of unit slots.
+        let mut s = Schedule::new(64, 1);
+        let mut placed = 0u32;
+        for (i, &st) in starts.iter().enumerate() {
+            // try to place a 2-unit slot; skip on overlap
+            if s.insert(TaskId(i as u32), ProcId(0), st, 2.0).is_ok() {
+                placed += 1;
+            }
+        }
+        let est = s.earliest_start(ProcId(0), ready, dur, insertion);
+        prop_assert!(est >= ready - 1e-12);
+        // the returned interval must be insertable
+        let t = TaskId(placed + 20);
+        prop_assert!(s.insert(t, ProcId(0), est, dur).is_ok(),
+            "interval [{}, {}) not free", est, est + dur);
+    }
+
+    #[test]
+    fn left_shift_preserves_validity_and_never_lengthens(
+        n in 2usize..30,
+        ccr in 0.0f64..6.0,
+        seed in 0u64..10_000,
+    ) {
+        use crate::compact::left_shift;
+        let dag = random_dag(n, 0.2, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5f);
+        let sys = System::heterogeneous_random(&dag, 4, &EtcParams::range_based(1.0), &mut rng);
+        let _ = ccr;
+        for alg in all_heterogeneous() {
+            let sched = alg.schedule(&dag, &sys);
+            let shifted = left_shift(&dag, &sys, &sched);
+            prop_assert_eq!(validate(&dag, &sys, &shifted), Ok(()), "{}", alg.name());
+            prop_assert!(shifted.makespan() <= sched.makespan() + 1e-9, "{}", alg.name());
+            prop_assert_eq!(shifted.num_duplicates(), sched.num_duplicates());
+            // assignments (processors) preserved
+            for t in dag.task_ids() {
+                prop_assert_eq!(
+                    shifted.task_proc(t), sched.task_proc(t),
+                    "{} moved {}", alg.name(), t
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn insertion_start_never_later_than_append_per_decision(
+        n in 2usize..25,
+        seed in 0u64..10_000,
+    ) {
+        // The per-decision theorem behind HEFT's insertion policy: for the
+        // same partial schedule, gap search can never yield a later start
+        // than appending. (Globally, full insertion-HEFT vs append-HEFT is
+        // NOT ordered — greedy decisions cascade — so only the
+        // per-decision property is asserted.)
+        use crate::algorithms::Heft;
+        use crate::eft::eft_on;
+        use crate::Scheduler as _;
+        let dag = random_dag(n, 0.2, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 77);
+        let sys = System::heterogeneous_random(&dag, 4, &EtcParams::range_based(1.0), &mut rng);
+        let sched = Heft::new().schedule(&dag, &sys);
+        // replay each placement question against the final schedule
+        for t in dag.task_ids() {
+            for p in sys.proc_ids() {
+                // skip processors where t itself sits (its own slot would
+                // distort the comparison)
+                if sched.finish_on(t, p).is_some() {
+                    continue;
+                }
+                let (s_ins, _) = eft_on(&dag, &sys, &sched, t, p, true);
+                let (s_app, _) = eft_on(&dag, &sys, &sched, t, p, false);
+                prop_assert!(s_ins <= s_app + 1e-9,
+                    "insertion start {} > append start {} for {} on {}", s_ins, s_app, t, p);
+            }
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Task prioritization: upward/downward ranks and ALAP-style latest start
+//! times, parameterized by a [`CostAggregation`] policy.
+//!
+//! All ranks here are *platform-aware* (they use the system's ETC matrix
+//! and mean communication costs) unlike the abstract levels of
+//! `hetsched_dag::analysis`, which work on raw weights.
+
+use hetsched_dag::{Dag, TaskId};
+use hetsched_platform::System;
+
+use crate::cost::CostAggregation;
+
+/// Upward rank of every task (HEFT's `rank_u`):
+///
+/// ```text
+/// rank_u(t) = ŵ(t) + max over successors s of ( c̄(t,s) + rank_u(s) )
+/// ```
+///
+/// where `ŵ` is the aggregated execution cost and `c̄` the mean
+/// communication time of the connecting edge over distinct processor
+/// pairs. Scheduling tasks by non-increasing `rank_u` is a topological
+/// order.
+///
+/// ```
+/// use hetsched_core::{rank::upward_rank, CostAggregation};
+/// use hetsched_dag::builder::dag_from_edges;
+/// use hetsched_platform::System;
+///
+/// let dag = dag_from_edges(&[2.0, 3.0], &[(0, 1, 4.0)]).unwrap();
+/// let sys = System::homogeneous_unit(&dag, 2);
+/// let r = upward_rank(&dag, &sys, CostAggregation::Mean);
+/// assert_eq!(r, vec![2.0 + 4.0 + 3.0, 3.0]);
+/// ```
+pub fn upward_rank(dag: &Dag, sys: &System, agg: CostAggregation) -> Vec<f64> {
+    let mut rank = vec![0.0f64; dag.num_tasks()];
+    for &t in dag.topo_order().iter().rev() {
+        let tail = dag
+            .successors(t)
+            .map(|(s, data)| sys.mean_comm(data) + rank[s.index()])
+            .fold(0.0f64, f64::max);
+        rank[t.index()] = agg.exec(sys, t) + tail;
+    }
+    rank
+}
+
+/// Downward rank of every task (HEFT's `rank_d`):
+///
+/// ```text
+/// rank_d(t) = max over predecessors p of ( rank_d(p) + ŵ(p) + c̄(p,t) )
+/// ```
+///
+/// Entries have `rank_d = 0`. `rank_d(t) + rank_u(t)` is the length of the
+/// longest aggregated-cost path through `t`; CPOP uses it to find the
+/// critical path.
+pub fn downward_rank(dag: &Dag, sys: &System, agg: CostAggregation) -> Vec<f64> {
+    let mut rank = vec![0.0f64; dag.num_tasks()];
+    for &t in dag.topo_order() {
+        let best = dag
+            .predecessors(t)
+            .map(|(p, data)| rank[p.index()] + agg.exec(sys, p) + sys.mean_comm(data))
+            .fold(0.0f64, f64::max);
+        rank[t.index()] = best;
+    }
+    rank
+}
+
+/// Static level: like [`upward_rank`] but ignoring communication (the
+/// `SL` of DLS).
+pub fn static_level(dag: &Dag, sys: &System, agg: CostAggregation) -> Vec<f64> {
+    let mut rank = vec![0.0f64; dag.num_tasks()];
+    for &t in dag.topo_order().iter().rev() {
+        let tail = dag
+            .successors(t)
+            .map(|(s, _)| rank[s.index()])
+            .fold(0.0f64, f64::max);
+        rank[t.index()] = agg.exec(sys, t) + tail;
+    }
+    rank
+}
+
+/// Earliest possible start times ignoring resource contention (ASAP times
+/// under aggregated costs): `aest(t) = rank_d(t)`, exposed separately for
+/// readability in HCPT-style algorithms.
+pub fn aest(dag: &Dag, sys: &System, agg: CostAggregation) -> Vec<f64> {
+    downward_rank(dag, sys, agg)
+}
+
+/// Latest start times without delaying the (aggregated-cost) critical
+/// path: `alst(t) = CP − rank_u(t)` where `CP = max rank_u`. A task is
+/// *critical* iff `alst(t) == aest(t)` (zero float).
+pub fn alst(dag: &Dag, sys: &System, agg: CostAggregation) -> Vec<f64> {
+    let up = upward_rank(dag, sys, agg);
+    let cp = up.iter().copied().fold(0.0f64, f64::max);
+    up.iter().map(|&r| cp - r).collect()
+}
+
+/// Indices of tasks sorted by **non-increasing** priority with a stable
+/// smallest-id tie-break — the canonical list-scheduling order builder.
+pub fn sort_by_priority_desc(priority: &[f64]) -> Vec<TaskId> {
+    let mut order: Vec<TaskId> = (0..priority.len() as u32).map(TaskId).collect();
+    order.sort_by(|&a, &b| {
+        priority[b.index()]
+            .total_cmp(&priority[a.index()])
+            .then_with(|| a.cmp(&b))
+    });
+    order
+}
+
+/// The aggregated-cost critical path: tasks with maximal
+/// `rank_u + rank_d`, returned in topological order. This is CPOP's
+/// critical path set.
+pub fn critical_path_tasks(dag: &Dag, sys: &System, agg: CostAggregation) -> Vec<TaskId> {
+    let up = upward_rank(dag, sys, agg);
+    let down = downward_rank(dag, sys, agg);
+    let cp = up.iter().copied().fold(0.0f64, f64::max);
+    let eps = 1e-9 * cp.max(1.0);
+    dag.topo_order()
+        .iter()
+        .copied()
+        .filter(|t| (up[t.index()] + down[t.index()] - cp).abs() <= eps)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_dag::builder::dag_from_edges;
+    use hetsched_dag::Dag;
+    use hetsched_platform::System;
+
+    /// Diamond with distinct weights; homogeneous unit system so aggregated
+    /// costs equal raw weights and mean comm equals edge data.
+    fn setup() -> (Dag, System) {
+        let dag = dag_from_edges(
+            &[1.0, 2.0, 3.0, 4.0],
+            &[(0, 1, 10.0), (0, 2, 20.0), (1, 3, 30.0), (2, 3, 40.0)],
+        )
+        .unwrap();
+        let sys = System::homogeneous_unit(&dag, 3);
+        (dag, sys)
+    }
+
+    #[test]
+    fn upward_rank_matches_hand_computation() {
+        let (dag, sys) = setup();
+        let r = upward_rank(&dag, &sys, CostAggregation::Mean);
+        // t3 = 4; t1 = 2 + 30 + 4 = 36; t2 = 3 + 40 + 4 = 47
+        // t0 = 1 + max(10 + 36, 20 + 47) = 68
+        assert_eq!(r, vec![68.0, 36.0, 47.0, 4.0]);
+    }
+
+    #[test]
+    fn downward_rank_matches_hand_computation() {
+        let (dag, sys) = setup();
+        let r = downward_rank(&dag, &sys, CostAggregation::Mean);
+        // t0 = 0; t1 = 0 + 1 + 10 = 11; t2 = 0 + 1 + 20 = 21
+        // t3 = max(11 + 2 + 30, 21 + 3 + 40) = 64
+        assert_eq!(r, vec![0.0, 11.0, 21.0, 64.0]);
+    }
+
+    #[test]
+    fn static_level_ignores_comm() {
+        let (dag, sys) = setup();
+        let r = static_level(&dag, &sys, CostAggregation::Mean);
+        // t3 = 4; t1 = 6; t2 = 7; t0 = 1 + 7 = 8
+        assert_eq!(r, vec![8.0, 6.0, 7.0, 4.0]);
+    }
+
+    #[test]
+    fn rank_order_is_topological() {
+        let (dag, sys) = setup();
+        let r = upward_rank(&dag, &sys, CostAggregation::Mean);
+        let order = sort_by_priority_desc(&r);
+        assert!(hetsched_dag::topo::is_topological(&dag, &order));
+    }
+
+    #[test]
+    fn critical_path_tasks_heavy_branch() {
+        let (dag, sys) = setup();
+        let cp = critical_path_tasks(&dag, &sys, CostAggregation::Mean);
+        assert_eq!(cp, vec![TaskId(0), TaskId(2), TaskId(3)]);
+    }
+
+    #[test]
+    fn alst_zero_on_critical_path() {
+        let (dag, sys) = setup();
+        let a = aest(&dag, &sys, CostAggregation::Mean);
+        let l = alst(&dag, &sys, CostAggregation::Mean);
+        for t in critical_path_tasks(&dag, &sys, CostAggregation::Mean) {
+            assert!((a[t.index()] - l[t.index()]).abs() < 1e-9, "{t} critical");
+        }
+        // non-critical task 1 has slack
+        assert!(l[1] > a[1]);
+    }
+
+    #[test]
+    fn single_proc_system_mean_comm_is_zero() {
+        let dag = dag_from_edges(&[1.0, 1.0], &[(0, 1, 100.0)]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 1);
+        let r = upward_rank(&dag, &sys, CostAggregation::Mean);
+        // comm collapses to zero on one processor
+        assert_eq!(r, vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn ties_break_by_task_id() {
+        let pri = vec![5.0, 7.0, 5.0];
+        let order = sort_by_priority_desc(&pri);
+        assert_eq!(order, vec![TaskId(1), TaskId(0), TaskId(2)]);
+    }
+}

@@ -1,0 +1,506 @@
+//! Schedule representation: per-processor timelines with gap (insertion)
+//! search, primary assignments, and duplication support.
+
+use serde::{Deserialize, Serialize};
+
+use hetsched_dag::TaskId;
+use hetsched_platform::ProcId;
+
+/// Numerical slack used when comparing slot boundaries: two events closer
+/// than this are considered simultaneous. All times in a schedule are
+/// finite `f64` seconds.
+pub const TIME_EPS: f64 = 1e-9;
+
+/// One occupied interval on a processor timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Slot {
+    /// The task executing in this interval.
+    pub task: TaskId,
+    /// Start time.
+    pub start: f64,
+    /// Finish time (`start + execution time`).
+    pub finish: f64,
+    /// Whether this is a duplicate copy (the primary copy lives elsewhere).
+    pub duplicate: bool,
+}
+
+/// Errors from direct schedule mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// The requested interval overlaps an existing slot on that processor.
+    Overlap {
+        /// Processor on which the overlap occurred.
+        proc: ProcId,
+        /// Task already occupying the conflicting interval.
+        existing: TaskId,
+    },
+    /// A primary copy of this task was already placed.
+    AlreadyScheduled(TaskId),
+    /// A duplicate was inserted for a task with no primary copy yet, or a
+    /// second copy of the task on the same processor.
+    BadDuplicate(TaskId),
+    /// Start/duration were negative, NaN, or infinite.
+    InvalidTime(f64),
+}
+
+impl core::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ScheduleError::Overlap { proc, existing } => {
+                write!(f, "interval overlaps task {existing} on {proc}")
+            }
+            ScheduleError::AlreadyScheduled(t) => write!(f, "task {t} already scheduled"),
+            ScheduleError::BadDuplicate(t) => write!(f, "invalid duplicate of task {t}"),
+            ScheduleError::InvalidTime(v) => write!(f, "invalid time value {v}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A (possibly partial) static schedule.
+///
+/// Each processor holds a list of [`Slot`]s sorted by start time; the
+/// structure additionally tracks, per task, its *primary* assignment and
+/// the finish time of every copy (primary + duplicates) for duplication-
+/// aware data-ready-time queries.
+///
+/// **Serde caveat:** the derived `Deserialize` restores fields verbatim
+/// without re-checking the no-overlap invariant; run
+/// [`crate::validate::validate`] on any schedule loaded from external
+/// data (the CLI does exactly that).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Schedule {
+    n_tasks: usize,
+    timelines: Vec<Vec<Slot>>,
+    /// Per task: primary (proc, start, finish), if placed.
+    primary: Vec<Option<(ProcId, f64, f64)>>,
+    /// Per task: every copy as (proc, finish), primary included.
+    copies: Vec<Vec<(ProcId, f64)>>,
+}
+
+impl Schedule {
+    /// Empty schedule for `n_tasks` tasks on `n_procs` processors.
+    ///
+    /// # Panics
+    /// Panics if either count is zero.
+    pub fn new(n_tasks: usize, n_procs: usize) -> Self {
+        assert!(n_tasks > 0, "schedule needs at least one task");
+        assert!(n_procs > 0, "schedule needs at least one processor");
+        Schedule {
+            n_tasks,
+            timelines: vec![Vec::new(); n_procs],
+            primary: vec![None; n_tasks],
+            copies: vec![Vec::new(); n_tasks],
+        }
+    }
+
+    /// Number of tasks this schedule is sized for.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.n_tasks
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn num_procs(&self) -> usize {
+        self.timelines.len()
+    }
+
+    /// Slots on processor `p`, sorted by start time.
+    #[inline]
+    pub fn slots(&self, p: ProcId) -> &[Slot] {
+        &self.timelines[p.index()]
+    }
+
+    /// Primary assignment of `t`: `(processor, start, finish)`.
+    #[inline]
+    pub fn assignment(&self, t: TaskId) -> Option<(ProcId, f64, f64)> {
+        self.primary[t.index()]
+    }
+
+    /// Finish time of the primary copy of `t`.
+    #[inline]
+    pub fn task_finish(&self, t: TaskId) -> Option<f64> {
+        self.primary[t.index()].map(|(_, _, f)| f)
+    }
+
+    /// Processor of the primary copy of `t`.
+    #[inline]
+    pub fn task_proc(&self, t: TaskId) -> Option<ProcId> {
+        self.primary[t.index()].map(|(p, _, _)| p)
+    }
+
+    /// All copies of `t` as `(processor, finish)`, primary first.
+    #[inline]
+    pub fn copies(&self, t: TaskId) -> &[(ProcId, f64)] {
+        &self.copies[t.index()]
+    }
+
+    /// Finish time of the copy of `t` on processor `p`, if one exists.
+    pub fn finish_on(&self, t: TaskId, p: ProcId) -> Option<f64> {
+        self.copies[t.index()]
+            .iter()
+            .find(|&&(q, _)| q == p)
+            .map(|&(_, f)| f)
+    }
+
+    /// Whether every task has a primary assignment.
+    pub fn is_complete(&self) -> bool {
+        self.primary.iter().all(Option::is_some)
+    }
+
+    /// Number of tasks with a primary assignment.
+    pub fn num_scheduled(&self) -> usize {
+        self.primary.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// Number of duplicate slots across all processors.
+    pub fn num_duplicates(&self) -> usize {
+        self.timelines
+            .iter()
+            .flat_map(|tl| tl.iter())
+            .filter(|s| s.duplicate)
+            .count()
+    }
+
+    /// Completion time of the whole schedule: the latest primary finish
+    /// (0.0 for an empty schedule). Duplicates never extend the makespan
+    /// definition — a trailing duplicate nobody consumes is wasted work,
+    /// not application latency — but validators ensure schedulers only add
+    /// duplicates that help.
+    pub fn makespan(&self) -> f64 {
+        self.primary
+            .iter()
+            .flatten()
+            .map(|&(_, _, f)| f)
+            .fold(0.0, f64::max)
+    }
+
+    /// Total busy time (sum of slot durations, duplicates included).
+    pub fn busy_time(&self) -> f64 {
+        self.timelines
+            .iter()
+            .flat_map(|tl| tl.iter())
+            .map(|s| s.finish - s.start)
+            .sum()
+    }
+
+    /// Idle time: processors × makespan − busy time.
+    pub fn idle_time(&self) -> f64 {
+        (self.num_procs() as f64) * self.makespan() - self.busy_time()
+    }
+
+    /// Number of processors with at least one slot.
+    pub fn procs_used(&self) -> usize {
+        self.timelines.iter().filter(|tl| !tl.is_empty()).count()
+    }
+
+    /// Latest finish time of any slot on `p` (0.0 if idle).
+    pub fn proc_finish(&self, p: ProcId) -> f64 {
+        self.timelines[p.index()].last().map_or(0.0, |s| s.finish)
+    }
+
+    /// Earliest time at or after `ready` when an idle interval of length
+    /// `dur` exists on `p`.
+    ///
+    /// With `insertion`, gaps between existing slots are considered
+    /// (insertion-based policy of HEFT); otherwise only the end of the
+    /// timeline (non-insertion / append policy).
+    ///
+    /// ```
+    /// use hetsched_core::Schedule;
+    /// use hetsched_dag::TaskId;
+    /// use hetsched_platform::ProcId;
+    ///
+    /// let mut s = Schedule::new(3, 1);
+    /// s.insert(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+    /// s.insert(TaskId(1), ProcId(0), 5.0, 1.0).unwrap();
+    /// // a 3-unit job fits the [2, 5) gap under the insertion policy...
+    /// assert_eq!(s.earliest_start(ProcId(0), 0.0, 3.0, true), 2.0);
+    /// // ...but appends after everything without it
+    /// assert_eq!(s.earliest_start(ProcId(0), 0.0, 3.0, false), 6.0);
+    /// ```
+    pub fn earliest_start(&self, p: ProcId, ready: f64, dur: f64, insertion: bool) -> f64 {
+        let tl = &self.timelines[p.index()];
+        if !insertion {
+            return ready.max(self.proc_finish(p));
+        }
+        let mut prev_finish = 0.0f64;
+        for s in tl {
+            let candidate = ready.max(prev_finish);
+            if candidate + dur <= s.start + TIME_EPS {
+                return candidate;
+            }
+            prev_finish = prev_finish.max(s.finish);
+        }
+        ready.max(prev_finish)
+    }
+
+    /// Place the primary copy of `t` on `p` at `[start, start + dur)`.
+    ///
+    /// # Errors
+    /// * [`ScheduleError::InvalidTime`] for non-finite or negative times.
+    /// * [`ScheduleError::AlreadyScheduled`] if `t` already has a primary.
+    /// * [`ScheduleError::Overlap`] if the interval is occupied.
+    pub fn insert(
+        &mut self,
+        t: TaskId,
+        p: ProcId,
+        start: f64,
+        dur: f64,
+    ) -> Result<(), ScheduleError> {
+        if self.primary[t.index()].is_some() {
+            return Err(ScheduleError::AlreadyScheduled(t));
+        }
+        self.insert_slot(t, p, start, dur, false)?;
+        self.primary[t.index()] = Some((p, start, start + dur));
+        Ok(())
+    }
+
+    /// Place a *duplicate* copy of `t` on `p`.
+    ///
+    /// Duplicates may be inserted before or after the primary (schedulers
+    /// typically duplicate parents that are already placed, but the DSH
+    /// family also pre-duplicates). A task may have at most one copy per
+    /// processor.
+    ///
+    /// # Errors
+    /// * [`ScheduleError::BadDuplicate`] if `t` already has a copy on `p`.
+    /// * [`ScheduleError::InvalidTime`] / [`ScheduleError::Overlap`] as for
+    ///   [`Schedule::insert`].
+    pub fn insert_duplicate(
+        &mut self,
+        t: TaskId,
+        p: ProcId,
+        start: f64,
+        dur: f64,
+    ) -> Result<(), ScheduleError> {
+        if self.finish_on(t, p).is_some() {
+            return Err(ScheduleError::BadDuplicate(t));
+        }
+        self.insert_slot(t, p, start, dur, true)
+    }
+
+    fn insert_slot(
+        &mut self,
+        t: TaskId,
+        p: ProcId,
+        start: f64,
+        dur: f64,
+        duplicate: bool,
+    ) -> Result<(), ScheduleError> {
+        if !start.is_finite() || start < 0.0 {
+            return Err(ScheduleError::InvalidTime(start));
+        }
+        if !dur.is_finite() || dur < 0.0 {
+            return Err(ScheduleError::InvalidTime(dur));
+        }
+        let finish = start + dur;
+        let tl = &mut self.timelines[p.index()];
+        // Two intervals conflict iff their intersection has positive
+        // measure; boundary coincidence (and zero-duration slots at
+        // boundaries) is allowed. A zero-duration slot strictly inside a
+        // busy interval still conflicts under this formula.
+        let overlaps = |a_start: f64, a_finish: f64, b_start: f64, b_finish: f64| {
+            a_start < b_finish - TIME_EPS && b_start < a_finish - TIME_EPS
+        };
+        // position of the first slot starting at or after `start`
+        let pos = tl.partition_point(|s| s.start < start);
+        if pos > 0 && overlaps(start, finish, tl[pos - 1].start, tl[pos - 1].finish) {
+            return Err(ScheduleError::Overlap {
+                proc: p,
+                existing: tl[pos - 1].task,
+            });
+        }
+        for s in &tl[pos..] {
+            if s.start >= finish - TIME_EPS {
+                break;
+            }
+            if overlaps(start, finish, s.start, s.finish) {
+                return Err(ScheduleError::Overlap {
+                    proc: p,
+                    existing: s.task,
+                });
+            }
+        }
+        tl.insert(
+            pos,
+            Slot {
+                task: t,
+                start,
+                finish,
+                duplicate,
+            },
+        );
+        self.copies[t.index()].push((p, finish));
+        Ok(())
+    }
+
+    /// Render the schedule as a plain-text Gantt chart (one line per
+    /// processor), for examples and debugging.
+    pub fn render_gantt(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "makespan = {:.4}", self.makespan());
+        for (pi, tl) in self.timelines.iter().enumerate() {
+            let _ = write!(s, "p{pi}: ");
+            for slot in tl {
+                let mark = if slot.duplicate { "*" } else { "" };
+                let _ = write!(
+                    s,
+                    "[{:.2}..{:.2} {}{}] ",
+                    slot.start, slot.finish, slot.task, mark
+                );
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_insert_and_queries() {
+        let mut s = Schedule::new(3, 2);
+        s.insert(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        s.insert(TaskId(1), ProcId(0), 3.0, 1.0).unwrap();
+        s.insert(TaskId(2), ProcId(1), 0.5, 4.0).unwrap();
+        assert_eq!(s.makespan(), 4.5);
+        assert_eq!(s.assignment(TaskId(1)), Some((ProcId(0), 3.0, 4.0)));
+        assert_eq!(s.task_finish(TaskId(2)), Some(4.5));
+        assert_eq!(s.task_proc(TaskId(0)), Some(ProcId(0)));
+        assert!(s.is_complete());
+        assert_eq!(s.num_scheduled(), 3);
+        assert_eq!(s.procs_used(), 2);
+        assert_eq!(s.busy_time(), 7.0);
+        assert!((s.idle_time() - (2.0 * 4.5 - 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let mut s = Schedule::new(3, 1);
+        s.insert(TaskId(0), ProcId(0), 1.0, 2.0).unwrap();
+        // overlapping from the left
+        let e = s.insert(TaskId(1), ProcId(0), 0.0, 1.5).unwrap_err();
+        assert!(matches!(e, ScheduleError::Overlap { .. }));
+        // overlapping from the right
+        let e = s.insert(TaskId(1), ProcId(0), 2.5, 1.0).unwrap_err();
+        assert!(matches!(e, ScheduleError::Overlap { .. }));
+        // fully inside
+        let e = s.insert(TaskId(1), ProcId(0), 1.5, 0.5).unwrap_err();
+        assert!(matches!(e, ScheduleError::Overlap { .. }));
+        // touching boundaries is fine
+        s.insert(TaskId(1), ProcId(0), 3.0, 1.0).unwrap();
+        s.insert(TaskId(2), ProcId(0), 0.0, 1.0).unwrap();
+    }
+
+    #[test]
+    fn double_schedule_rejected() {
+        let mut s = Schedule::new(2, 2);
+        s.insert(TaskId(0), ProcId(0), 0.0, 1.0).unwrap();
+        assert_eq!(
+            s.insert(TaskId(0), ProcId(1), 5.0, 1.0).unwrap_err(),
+            ScheduleError::AlreadyScheduled(TaskId(0))
+        );
+    }
+
+    #[test]
+    fn invalid_times_rejected() {
+        let mut s = Schedule::new(1, 1);
+        assert!(matches!(
+            s.insert(TaskId(0), ProcId(0), -1.0, 1.0).unwrap_err(),
+            ScheduleError::InvalidTime(_)
+        ));
+        assert!(matches!(
+            s.insert(TaskId(0), ProcId(0), 0.0, f64::NAN).unwrap_err(),
+            ScheduleError::InvalidTime(_)
+        ));
+    }
+
+    #[test]
+    fn earliest_start_append_policy() {
+        let mut s = Schedule::new(3, 1);
+        s.insert(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        s.insert(TaskId(1), ProcId(0), 5.0, 1.0).unwrap();
+        // append ignores the [2, 5) gap
+        assert_eq!(s.earliest_start(ProcId(0), 0.0, 1.0, false), 6.0);
+        assert_eq!(s.earliest_start(ProcId(0), 8.0, 1.0, false), 8.0);
+    }
+
+    #[test]
+    fn earliest_start_insertion_policy_finds_gap() {
+        let mut s = Schedule::new(4, 1);
+        s.insert(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        s.insert(TaskId(1), ProcId(0), 5.0, 1.0).unwrap();
+        // fits the [2, 5) gap
+        assert_eq!(s.earliest_start(ProcId(0), 0.0, 3.0, true), 2.0);
+        // too long for the gap -> end of timeline
+        assert_eq!(s.earliest_start(ProcId(0), 0.0, 3.5, true), 6.0);
+        // ready inside the gap
+        assert_eq!(s.earliest_start(ProcId(0), 2.5, 2.0, true), 2.5);
+        // ready after everything
+        assert_eq!(s.earliest_start(ProcId(0), 10.0, 1.0, true), 10.0);
+        // empty processor starts at ready
+        assert_eq!(
+            Schedule::new(1, 1).earliest_start(ProcId(0), 1.5, 1.0, true),
+            1.5
+        );
+    }
+
+    #[test]
+    fn earliest_start_gap_exact_fit() {
+        let mut s = Schedule::new(3, 1);
+        s.insert(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        s.insert(TaskId(1), ProcId(0), 4.0, 1.0).unwrap();
+        // exactly 2.0-long gap
+        assert_eq!(s.earliest_start(ProcId(0), 0.0, 2.0, true), 2.0);
+        s.insert(TaskId(2), ProcId(0), 2.0, 2.0).unwrap();
+    }
+
+    #[test]
+    fn duplicates_tracked_separately() {
+        let mut s = Schedule::new(2, 2);
+        s.insert(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        s.insert_duplicate(TaskId(0), ProcId(1), 1.0, 2.5).unwrap();
+        s.insert(TaskId(1), ProcId(1), 3.5, 1.0).unwrap();
+        assert_eq!(s.num_duplicates(), 1);
+        assert_eq!(s.finish_on(TaskId(0), ProcId(0)), Some(2.0));
+        assert_eq!(s.finish_on(TaskId(0), ProcId(1)), Some(3.5));
+        assert_eq!(s.copies(TaskId(0)).len(), 2);
+        // primary finish unchanged by the duplicate
+        assert_eq!(s.task_finish(TaskId(0)), Some(2.0));
+        // duplicate on the same proc rejected
+        assert_eq!(
+            s.insert_duplicate(TaskId(0), ProcId(1), 6.0, 1.0)
+                .unwrap_err(),
+            ScheduleError::BadDuplicate(TaskId(0))
+        );
+        // makespan counts primaries only
+        assert_eq!(s.makespan(), 4.5);
+    }
+
+    #[test]
+    fn zero_duration_slots_allowed() {
+        // virtual entry/exit tasks have zero cost
+        let mut s = Schedule::new(2, 1);
+        s.insert(TaskId(0), ProcId(0), 1.0, 0.0).unwrap();
+        s.insert(TaskId(1), ProcId(0), 1.0, 2.0).unwrap();
+        assert_eq!(s.makespan(), 3.0);
+    }
+
+    #[test]
+    fn gantt_rendering_mentions_everything() {
+        let mut s = Schedule::new(2, 2);
+        s.insert(TaskId(0), ProcId(0), 0.0, 1.0).unwrap();
+        s.insert(TaskId(1), ProcId(1), 1.0, 1.0).unwrap();
+        s.insert_duplicate(TaskId(0), ProcId(1), 0.0, 1.0).unwrap();
+        let g = s.render_gantt();
+        assert!(g.contains("makespan = 2.0000"));
+        assert!(g.contains("p0:"));
+        assert!(g.contains("t0*"), "duplicate marked with *: {g}");
+    }
+}

@@ -1,0 +1,281 @@
+//! Scheduler-independent schedule validation.
+//!
+//! [`validate`] re-checks, from first principles, everything a correct
+//! static schedule must satisfy. Every algorithm in this workspace is
+//! tested against it, and the discrete-event simulator in `hetsched-sim`
+//! provides a second, semantics-based cross-check.
+
+use hetsched_dag::{Dag, TaskId};
+use hetsched_platform::{ProcId, System};
+
+use crate::schedule::{Schedule, TIME_EPS};
+
+/// Violations detected by [`validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidationError {
+    /// Schedule sized for a different task count than the DAG.
+    SizeMismatch {
+        /// Tasks in the DAG.
+        dag_tasks: usize,
+        /// Tasks the schedule is sized for.
+        sched_tasks: usize,
+    },
+    /// A task has no primary assignment.
+    Unscheduled(TaskId),
+    /// Two slots overlap on one processor.
+    Overlap {
+        /// Processor where the overlap occurs.
+        proc: ProcId,
+        /// Earlier slot's task.
+        first: TaskId,
+        /// Later (overlapping) slot's task.
+        second: TaskId,
+    },
+    /// A slot's duration disagrees with the ETC matrix.
+    WrongDuration {
+        /// The task whose slot is wrong.
+        task: TaskId,
+        /// Processor of the slot.
+        proc: ProcId,
+        /// Expected duration per the ETC matrix.
+        expected: f64,
+        /// Actual slot duration.
+        actual: f64,
+    },
+    /// A copy of a task starts before some predecessor's data can arrive.
+    PrecedenceViolation {
+        /// The consumer task (the copy that starts too early).
+        task: TaskId,
+        /// Processor of the offending copy.
+        proc: ProcId,
+        /// The predecessor whose data arrives late.
+        pred: TaskId,
+        /// Earliest possible arrival of the predecessor's data.
+        arrival: f64,
+        /// Actual start of the consumer copy.
+        start: f64,
+    },
+}
+
+impl core::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ValidationError::SizeMismatch { dag_tasks, sched_tasks } => write!(
+                f,
+                "schedule sized for {sched_tasks} tasks but DAG has {dag_tasks}"
+            ),
+            ValidationError::Unscheduled(t) => write!(f, "task {t} has no primary assignment"),
+            ValidationError::Overlap { proc, first, second } => {
+                write!(f, "tasks {first} and {second} overlap on {proc}")
+            }
+            ValidationError::WrongDuration { task, proc, expected, actual } => write!(
+                f,
+                "task {task} on {proc}: duration {actual} != ETC {expected}"
+            ),
+            ValidationError::PrecedenceViolation { task, proc, pred, arrival, start } => write!(
+                f,
+                "task {task} on {proc} starts at {start} before data from {pred} arrives at {arrival}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Check `sched` against `dag` and `sys`:
+///
+/// 1. every task has exactly one primary assignment;
+/// 2. no two slots overlap on any processor;
+/// 3. every slot's duration matches the ETC matrix entry (primary *and*
+///    duplicate copies);
+/// 4. every copy of every task starts no earlier than the latest possible
+///    arrival of each predecessor's data, where a predecessor's data may be
+///    read from any of its copies (duplication-aware precedence).
+///
+/// Returns the first violation found, scanning deterministically.
+pub fn validate(dag: &Dag, sys: &System, sched: &Schedule) -> Result<(), ValidationError> {
+    if dag.num_tasks() != sched.num_tasks() {
+        return Err(ValidationError::SizeMismatch {
+            dag_tasks: dag.num_tasks(),
+            sched_tasks: sched.num_tasks(),
+        });
+    }
+
+    // 1. completeness
+    for t in dag.task_ids() {
+        if sched.assignment(t).is_none() {
+            return Err(ValidationError::Unscheduled(t));
+        }
+    }
+
+    for p in sys.proc_ids() {
+        let slots = sched.slots(p);
+        // 2. non-overlap (slots are sorted by start; conflict requires a
+        //    positive-measure intersection so zero-duration virtual tasks
+        //    may share a boundary instant)
+        for w in slots.windows(2) {
+            if w[0].finish > w[1].start + TIME_EPS && w[1].finish > w[0].start + TIME_EPS {
+                return Err(ValidationError::Overlap {
+                    proc: p,
+                    first: w[0].task,
+                    second: w[1].task,
+                });
+            }
+        }
+        // 3. durations
+        for s in slots {
+            let expected = sys.exec_time(s.task, p);
+            let actual = s.finish - s.start;
+            if (actual - expected).abs() > TIME_EPS * expected.max(1.0) {
+                return Err(ValidationError::WrongDuration {
+                    task: s.task,
+                    proc: p,
+                    expected,
+                    actual,
+                });
+            }
+        }
+        // 4. precedence for every copy on this processor
+        for s in slots {
+            for (u, data) in dag.predecessors(s.task) {
+                let arrival = sched
+                    .copies(u)
+                    .iter()
+                    .map(|&(q, fin)| fin + sys.comm_time(data, q, p))
+                    .fold(f64::INFINITY, f64::min);
+                if s.start + TIME_EPS < arrival {
+                    return Err(ValidationError::PrecedenceViolation {
+                        task: s.task,
+                        proc: p,
+                        pred: u,
+                        arrival,
+                        start: s.start,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_dag::builder::dag_from_edges;
+    use hetsched_dag::Dag;
+    use hetsched_platform::System;
+
+    fn chain() -> (Dag, System) {
+        let dag = dag_from_edges(&[2.0, 3.0], &[(0, 1, 4.0)]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 2);
+        (dag, sys)
+    }
+
+    #[test]
+    fn valid_local_schedule_passes() {
+        let (dag, sys) = chain();
+        let mut s = Schedule::new(2, 2);
+        s.insert(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        s.insert(TaskId(1), ProcId(0), 2.0, 3.0).unwrap();
+        assert_eq!(validate(&dag, &sys, &s), Ok(()));
+    }
+
+    #[test]
+    fn valid_remote_schedule_requires_comm_delay() {
+        let (dag, sys) = chain();
+        let mut s = Schedule::new(2, 2);
+        s.insert(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        // message arrives at 2 + 4 = 6
+        s.insert(TaskId(1), ProcId(1), 6.0, 3.0).unwrap();
+        assert_eq!(validate(&dag, &sys, &s), Ok(()));
+    }
+
+    #[test]
+    fn detects_unscheduled() {
+        let (dag, sys) = chain();
+        let mut s = Schedule::new(2, 2);
+        s.insert(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        assert_eq!(
+            validate(&dag, &sys, &s),
+            Err(ValidationError::Unscheduled(TaskId(1)))
+        );
+    }
+
+    #[test]
+    fn detects_precedence_violation_remote() {
+        let (dag, sys) = chain();
+        let mut s = Schedule::new(2, 2);
+        s.insert(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        // starts at 4 < 6 (message not yet arrived)
+        s.insert(TaskId(1), ProcId(1), 4.0, 3.0).unwrap();
+        assert!(matches!(
+            validate(&dag, &sys, &s),
+            Err(ValidationError::PrecedenceViolation {
+                task: TaskId(1),
+                pred: TaskId(0),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn detects_wrong_duration() {
+        let (dag, sys) = chain();
+        let mut s = Schedule::new(2, 2);
+        s.insert(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        s.insert(TaskId(1), ProcId(0), 2.0, 5.0).unwrap(); // ETC says 3.0
+        assert!(matches!(
+            validate(&dag, &sys, &s),
+            Err(ValidationError::WrongDuration {
+                task: TaskId(1),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn detects_size_mismatch() {
+        let (dag, sys) = chain();
+        let s = Schedule::new(5, 2);
+        assert!(matches!(
+            validate(&dag, &sys, &s),
+            Err(ValidationError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_satisfies_consumer_but_must_itself_be_legal() {
+        // diamond: 0 -> 1, 0 -> 2 (2 reads 0 via a duplicate)
+        let dag = dag_from_edges(&[2.0, 1.0, 1.0], &[(0, 1, 10.0), (0, 2, 10.0)]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 2);
+        let mut s = Schedule::new(3, 2);
+        s.insert(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        s.insert(TaskId(1), ProcId(0), 2.0, 1.0).unwrap();
+        // duplicate of t0 on p1 lets t2 start at 2 instead of 12
+        s.insert_duplicate(TaskId(0), ProcId(1), 0.0, 2.0).unwrap();
+        s.insert(TaskId(2), ProcId(1), 2.0, 1.0).unwrap();
+        assert_eq!(validate(&dag, &sys, &s), Ok(()));
+    }
+
+    #[test]
+    fn duplicate_of_task_with_parents_checked_too() {
+        // chain 0 -> 1 -> 2; a duplicate of t1 that starts before t0's data
+        // reaches it must be flagged.
+        let dag = dag_from_edges(&[1.0, 1.0, 1.0], &[(0, 1, 5.0), (1, 2, 5.0)]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 2);
+        let mut s = Schedule::new(3, 2);
+        s.insert(TaskId(0), ProcId(0), 0.0, 1.0).unwrap();
+        s.insert(TaskId(1), ProcId(0), 1.0, 1.0).unwrap();
+        // illegal duplicate: t0's data reaches p1 at 1 + 5 = 6, but copy starts at 0
+        s.insert_duplicate(TaskId(1), ProcId(1), 0.0, 1.0).unwrap();
+        s.insert(TaskId(2), ProcId(1), 1.0, 1.0).unwrap();
+        assert!(matches!(
+            validate(&dag, &sys, &s),
+            Err(ValidationError::PrecedenceViolation {
+                task: TaskId(1),
+                proc: ProcId(1),
+                ..
+            })
+        ));
+    }
+}

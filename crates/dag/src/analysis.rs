@@ -1,0 +1,360 @@
+//! Structural analyses over task graphs: weighted levels, critical paths,
+//! reachability, transitive reduction, and virtual entry/exit augmentation.
+//!
+//! All analyses here work on the *abstract* weights stored in the DAG (work
+//! units and data volumes). Platform-aware variants (e.g. upward rank with
+//! mean execution costs over a heterogeneous ETC matrix) live in
+//! `hetsched-core`, because they depend on the platform model.
+
+use crate::builder::DagBuilder;
+use crate::{Dag, TaskId};
+
+/// Weighted top level of every task: the longest path length from an entry
+/// to `t`, *excluding* `t`'s own weight and counting every edge at full
+/// data volume (unit bandwidth). Entries have top level 0.
+pub fn top_levels(dag: &Dag) -> Vec<f64> {
+    let mut tl = vec![0.0f64; dag.num_tasks()];
+    for &t in dag.topo_order() {
+        let mut best = 0.0f64;
+        for (p, data) in dag.predecessors(t) {
+            let cand = tl[p.index()] + dag.task_weight(p) + data;
+            if cand > best {
+                best = cand;
+            }
+        }
+        tl[t.index()] = best;
+    }
+    tl
+}
+
+/// Weighted bottom level of every task: the longest path length from `t` to
+/// an exit, *including* `t`'s own weight and counting every edge at full
+/// data volume. For an exit task this is its own weight.
+pub fn bottom_levels(dag: &Dag) -> Vec<f64> {
+    let mut bl = vec![0.0f64; dag.num_tasks()];
+    for &t in dag.topo_order().iter().rev() {
+        let mut best = 0.0f64;
+        for (s, data) in dag.successors(t) {
+            let cand = data + bl[s.index()];
+            if cand > best {
+                best = cand;
+            }
+        }
+        bl[t.index()] = dag.task_weight(t) + best;
+    }
+    bl
+}
+
+/// The critical path of the DAG under unit-speed/unit-bandwidth semantics:
+/// the heaviest entry-to-exit path counting task weights and edge data.
+///
+/// Returns the path length and the tasks along it, entry first. For a
+/// single-task graph the path is that task alone.
+pub fn critical_path(dag: &Dag) -> (f64, Vec<TaskId>) {
+    let bl = bottom_levels(dag);
+    let mut cur = dag
+        .entry_tasks()
+        .max_by(|&a, &b| bl[a.index()].total_cmp(&bl[b.index()]))
+        .expect("a valid DAG has at least one entry");
+    let len = bl[cur.index()];
+    let mut path = vec![cur];
+    loop {
+        // Follow the successor whose (edge + bottom level) realizes the max.
+        let next = dag
+            .successors(cur)
+            .max_by(|&(s1, d1), &(s2, d2)| (d1 + bl[s1.index()]).total_cmp(&(d2 + bl[s2.index()])))
+            .map(|(s, _)| s);
+        match next {
+            Some(s) => {
+                path.push(s);
+                cur = s;
+            }
+            None => break,
+        }
+    }
+    (len, path)
+}
+
+/// Length of the critical path counting **task weights only** (edges free).
+/// This is the classic lower bound used to normalize schedule lengths on
+/// homogeneous platforms.
+pub fn critical_path_compute_only(dag: &Dag) -> f64 {
+    let mut bl = vec![0.0f64; dag.num_tasks()];
+    for &t in dag.topo_order().iter().rev() {
+        let best = dag
+            .successors(t)
+            .map(|(s, _)| bl[s.index()])
+            .fold(0.0f64, f64::max);
+        bl[t.index()] = dag.task_weight(t) + best;
+    }
+    dag.task_ids().map(|t| bl[t.index()]).fold(0.0f64, f64::max)
+}
+
+/// Dense reachability (transitive closure) of a DAG, one bitset row per
+/// task. Memory is `n²/8` bytes — fine for the ≤ ~10⁴-task graphs of the
+/// scheduling literature.
+pub struct Reachability {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl Reachability {
+    /// Compute reachability for `dag`. `O(n·m/64)` via bitset unions in
+    /// reverse topological order.
+    pub fn new(dag: &Dag) -> Self {
+        let n = dag.num_tasks();
+        let words_per_row = n.div_ceil(64);
+        let mut bits = vec![0u64; n * words_per_row];
+        for &t in dag.topo_order().iter().rev() {
+            let ti = t.index();
+            // set self-unreachable; reaches(u, u) is false by convention
+            for (s, _) in dag.successors(t) {
+                let si = s.index();
+                // row(t) |= row(s); then set bit s.
+                let (row_t, row_s) = if ti < si {
+                    let (a, b) = bits.split_at_mut(si * words_per_row);
+                    (
+                        &mut a[ti * words_per_row..(ti + 1) * words_per_row],
+                        &b[..words_per_row],
+                    )
+                } else {
+                    let (a, b) = bits.split_at_mut(ti * words_per_row);
+                    (
+                        &mut b[..words_per_row],
+                        &a[si * words_per_row..(si + 1) * words_per_row],
+                    )
+                };
+                for (w_t, w_s) in row_t.iter_mut().zip(row_s.iter()) {
+                    *w_t |= *w_s;
+                }
+                bits[ti * words_per_row + si / 64] |= 1u64 << (si % 64);
+            }
+        }
+        Reachability {
+            n,
+            words_per_row,
+            bits,
+        }
+    }
+
+    /// Whether there is a directed path of length ≥ 1 from `u` to `v`.
+    #[inline]
+    pub fn reaches(&self, u: TaskId, v: TaskId) -> bool {
+        debug_assert!(u.index() < self.n && v.index() < self.n);
+        let w = self.bits[u.index() * self.words_per_row + v.index() / 64];
+        (w >> (v.index() % 64)) & 1 == 1
+    }
+
+    /// Whether `u` and `v` are independent (neither reaches the other and
+    /// they are distinct) — i.e. they may run concurrently.
+    pub fn independent(&self, u: TaskId, v: TaskId) -> bool {
+        u != v && !self.reaches(u, v) && !self.reaches(v, u)
+    }
+
+    /// All descendants of `u` in id order.
+    pub fn descendants(&self, u: TaskId) -> Vec<TaskId> {
+        (0..self.n as u32)
+            .map(TaskId)
+            .filter(|&v| self.reaches(u, v))
+            .collect()
+    }
+
+    /// All ancestors of `v` in id order.
+    pub fn ancestors(&self, v: TaskId) -> Vec<TaskId> {
+        (0..self.n as u32)
+            .map(TaskId)
+            .filter(|&u| self.reaches(u, v))
+            .collect()
+    }
+}
+
+/// Transitive reduction: the unique minimal sub-DAG with the same
+/// reachability. Edge `(u, v)` is redundant iff some successor `s ≠ v` of
+/// `u` reaches `v`. Task weights and surviving edge data are preserved.
+pub fn transitive_reduction(dag: &Dag) -> Dag {
+    let reach = Reachability::new(dag);
+    let mut b = DagBuilder::with_capacity(dag.num_tasks(), dag.num_edges());
+    for t in dag.task_ids() {
+        b.add_task(dag.task_weight(t));
+    }
+    for e in dag.edges() {
+        let redundant = dag
+            .successors(e.src)
+            .any(|(s, _)| s != e.dst && reach.reaches(s, e.dst));
+        if !redundant {
+            b.add_edge(e.src, e.dst, e.data)
+                .expect("endpoints exist by construction");
+        }
+    }
+    b.build().expect("reduction of a valid DAG is valid")
+}
+
+/// Augment a DAG with a zero-weight virtual entry and exit so it has exactly
+/// one of each (some classic heuristics assume this). Edges to/from the
+/// virtual tasks carry zero data, so schedule lengths are unchanged.
+///
+/// Returns the new DAG plus the ids of the (possibly pre-existing) unique
+/// entry and exit tasks. Original task ids are preserved.
+pub fn with_virtual_entry_exit(dag: &Dag) -> (Dag, TaskId, TaskId) {
+    let entries: Vec<TaskId> = dag.entry_tasks().collect();
+    let exits: Vec<TaskId> = dag.exit_tasks().collect();
+    if entries.len() == 1 && exits.len() == 1 {
+        return (dag.clone(), entries[0], exits[0]);
+    }
+    let mut b = DagBuilder::with_capacity(
+        dag.num_tasks() + 2,
+        dag.num_edges() + entries.len() + exits.len(),
+    );
+    for t in dag.task_ids() {
+        b.add_task(dag.task_weight(t));
+    }
+    for e in dag.edges() {
+        b.add_edge(e.src, e.dst, e.data).expect("valid copy");
+    }
+    let entry = if entries.len() == 1 {
+        entries[0]
+    } else {
+        let v = b.add_task(0.0);
+        for &e in &entries {
+            b.add_edge(v, e, 0.0).expect("virtual entry edge");
+        }
+        v
+    };
+    let exit = if exits.len() == 1 {
+        exits[0]
+    } else {
+        let v = b.add_task(0.0);
+        for &x in &exits {
+            b.add_edge(x, v, 0.0).expect("virtual exit edge");
+        }
+        v
+    };
+    (b.build().expect("augmented DAG is valid"), entry, exit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::dag_from_edges;
+
+    fn diamond() -> Dag {
+        // weights 1,2,3,4; edges carry data 10,20,30,40
+        dag_from_edges(
+            &[1.0, 2.0, 3.0, 4.0],
+            &[(0, 1, 10.0), (0, 2, 20.0), (1, 3, 30.0), (2, 3, 40.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn top_and_bottom_levels() {
+        let g = diamond();
+        // top: t0=0; t1=1+10=11; t2=1+20=21; t3=max(11+2+30, 21+3+40)=64
+        assert_eq!(top_levels(&g), vec![0.0, 11.0, 21.0, 64.0]);
+        // bottom: t3=4; t1=2+30+4=36; t2=3+40+4=47; t0=1+max(10+36,20+47)=68
+        assert_eq!(bottom_levels(&g), vec![68.0, 36.0, 47.0, 4.0]);
+    }
+
+    #[test]
+    fn critical_path_follows_heavy_branch() {
+        let g = diamond();
+        let (len, path) = critical_path(&g);
+        assert_eq!(len, 68.0);
+        assert_eq!(path, vec![TaskId(0), TaskId(2), TaskId(3)]);
+    }
+
+    #[test]
+    fn critical_path_single_task() {
+        let g = dag_from_edges(&[5.0], &[]).unwrap();
+        let (len, path) = critical_path(&g);
+        assert_eq!(len, 5.0);
+        assert_eq!(path, vec![TaskId(0)]);
+        assert_eq!(critical_path_compute_only(&g), 5.0);
+    }
+
+    #[test]
+    fn compute_only_cp_ignores_edges() {
+        let g = diamond();
+        // heaviest compute chain: 1 + 3 + 4 = 8
+        assert_eq!(critical_path_compute_only(&g), 8.0);
+    }
+
+    #[test]
+    fn reachability_queries() {
+        let g = diamond();
+        let r = Reachability::new(&g);
+        assert!(r.reaches(TaskId(0), TaskId(3)));
+        assert!(r.reaches(TaskId(0), TaskId(1)));
+        assert!(!r.reaches(TaskId(3), TaskId(0)));
+        assert!(!r.reaches(TaskId(1), TaskId(2)));
+        assert!(!r.reaches(TaskId(0), TaskId(0)), "self-reach is false");
+        assert!(r.independent(TaskId(1), TaskId(2)));
+        assert!(!r.independent(TaskId(0), TaskId(3)));
+        assert_eq!(
+            r.descendants(TaskId(0)),
+            vec![TaskId(1), TaskId(2), TaskId(3)]
+        );
+        assert_eq!(
+            r.ancestors(TaskId(3)),
+            vec![TaskId(0), TaskId(1), TaskId(2)]
+        );
+    }
+
+    #[test]
+    fn reachability_on_wide_graph_crosses_word_boundaries() {
+        // star: task 0 feeds tasks 1..=100 (forces multi-word rows)
+        let n = 101u32;
+        let weights = vec![1.0; n as usize];
+        let edges: Vec<(u32, u32, f64)> = (1..n).map(|i| (0, i, 1.0)).collect();
+        let g = dag_from_edges(&weights, &edges).unwrap();
+        let r = Reachability::new(&g);
+        for i in 1..n {
+            assert!(r.reaches(TaskId(0), TaskId(i)));
+            assert!(!r.reaches(TaskId(i), TaskId(0)));
+        }
+        assert_eq!(r.descendants(TaskId(0)).len(), 100);
+    }
+
+    #[test]
+    fn transitive_reduction_removes_shortcut() {
+        // 0 -> 1 -> 2 plus shortcut 0 -> 2
+        let g = dag_from_edges(&[1.0; 3], &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 9.0)]).unwrap();
+        let red = transitive_reduction(&g);
+        assert_eq!(red.num_edges(), 2);
+        assert!(!red.has_edge(TaskId(0), TaskId(2)));
+        // reachability preserved
+        let r = Reachability::new(&red);
+        assert!(r.reaches(TaskId(0), TaskId(2)));
+    }
+
+    #[test]
+    fn transitive_reduction_keeps_diamond() {
+        let g = diamond();
+        let red = transitive_reduction(&g);
+        assert_eq!(red.num_edges(), 4, "no diamond edge is redundant");
+    }
+
+    #[test]
+    fn virtual_entry_exit_noop_when_single() {
+        let g = diamond();
+        let (g2, en, ex) = with_virtual_entry_exit(&g);
+        assert_eq!(g2.num_tasks(), 4);
+        assert_eq!(en, TaskId(0));
+        assert_eq!(ex, TaskId(3));
+    }
+
+    #[test]
+    fn virtual_entry_exit_added_when_multiple() {
+        // two independent chains: 0->1, 2->3
+        let g = dag_from_edges(&[1.0; 4], &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let (g2, en, ex) = with_virtual_entry_exit(&g);
+        assert_eq!(g2.num_tasks(), 6);
+        assert_eq!(g2.task_weight(en), 0.0);
+        assert_eq!(g2.task_weight(ex), 0.0);
+        assert_eq!(g2.entry_tasks().collect::<Vec<_>>(), vec![en]);
+        assert_eq!(g2.exit_tasks().collect::<Vec<_>>(), vec![ex]);
+        // schedule-length-relevant structure unchanged
+        assert_eq!(critical_path(&g2).0, critical_path(&g).0);
+    }
+}

@@ -1,0 +1,371 @@
+//! Incremental, validating construction of [`Dag`] values.
+
+use crate::graph::{Dag, Edge};
+use crate::{DagError, TaskId};
+
+/// Builder for [`Dag`].
+///
+/// Tasks get dense ids in insertion order. Edges may be added in any order;
+/// all validation (unknown endpoints and non-finite weights immediately;
+/// duplicates and cycles at [`DagBuilder::build`]) funnels into
+/// [`DagError`].
+///
+/// ```
+/// use hetsched_dag::DagBuilder;
+/// let mut b = DagBuilder::new();
+/// let u = b.add_task(1.0);
+/// let v = b.add_task(1.0);
+/// b.add_edge(u, v, 0.5).unwrap();
+/// let dag = b.build().unwrap();
+/// assert_eq!(dag.num_edges(), 1);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct DagBuilder {
+    weights: Vec<f64>,
+    edges: Vec<Edge>,
+}
+
+impl DagBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New builder with capacity reserved for `tasks` tasks and `edges`
+    /// edges (avoids reallocation for generator-driven construction).
+    pub fn with_capacity(tasks: usize, edges: usize) -> Self {
+        DagBuilder {
+            weights: Vec::with_capacity(tasks),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Number of tasks added so far.
+    pub fn num_tasks(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add a task with computation weight `weight` (work units); returns its id.
+    ///
+    /// Non-finite or negative weights are accepted here and rejected by
+    /// [`DagBuilder::build`], so generators can fill weights in bulk and get
+    /// a single error path.
+    pub fn add_task(&mut self, weight: f64) -> TaskId {
+        let id = TaskId::from_index(self.weights.len());
+        self.weights.push(weight);
+        id
+    }
+
+    /// Add `n` tasks all with weight `weight`; returns the id of the first.
+    pub fn add_tasks(&mut self, n: usize, weight: f64) -> TaskId {
+        let first = TaskId::from_index(self.weights.len());
+        self.weights.extend(std::iter::repeat_n(weight, n));
+        first
+    }
+
+    /// Overwrite the weight of an existing task.
+    ///
+    /// # Errors
+    /// [`DagError::UnknownTask`] if `t` was never added.
+    pub fn set_weight(&mut self, t: TaskId, weight: f64) -> Result<(), DagError> {
+        let w = self
+            .weights
+            .get_mut(t.index())
+            .ok_or(DagError::UnknownTask(t))?;
+        *w = weight;
+        Ok(())
+    }
+
+    /// Add a dependency edge `src -> dst` carrying `data` volume.
+    ///
+    /// # Errors
+    /// * [`DagError::UnknownTask`] if either endpoint was never added.
+    /// * [`DagError::SelfLoop`] if `src == dst`.
+    ///
+    /// Duplicate edges and cycles are detected at [`DagBuilder::build`].
+    pub fn add_edge(&mut self, src: TaskId, dst: TaskId, data: f64) -> Result<(), DagError> {
+        let n = self.weights.len();
+        if src.index() >= n {
+            return Err(DagError::UnknownTask(src));
+        }
+        if dst.index() >= n {
+            return Err(DagError::UnknownTask(dst));
+        }
+        if src == dst {
+            return Err(DagError::SelfLoop(src));
+        }
+        self.edges.push(Edge { src, dst, data });
+        Ok(())
+    }
+
+    /// Finish construction: validate weights, edges, and acyclicity, and
+    /// build the CSR indexes and topological order.
+    ///
+    /// # Errors
+    /// * [`DagError::Empty`] if no tasks were added.
+    /// * [`DagError::InvalidWeight`] for non-finite/negative task weights or
+    ///   edge data volumes.
+    /// * [`DagError::DuplicateEdge`] if the same `(src, dst)` pair appears
+    ///   more than once.
+    /// * [`DagError::Cycle`] if the edges form a directed cycle.
+    pub fn build(self) -> Result<Dag, DagError> {
+        let DagBuilder { weights, mut edges } = self;
+        let n = weights.len();
+        if n == 0 {
+            return Err(DagError::Empty);
+        }
+        for &w in &weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(DagError::InvalidWeight {
+                    what: "task weight",
+                    value: w,
+                });
+            }
+        }
+        for e in &edges {
+            if !e.data.is_finite() || e.data < 0.0 {
+                return Err(DagError::InvalidWeight {
+                    what: "edge data volume",
+                    value: e.data,
+                });
+            }
+        }
+
+        edges.sort_by_key(|e| (e.src, e.dst));
+        for w in edges.windows(2) {
+            if w[0].src == w[1].src && w[0].dst == w[1].dst {
+                return Err(DagError::DuplicateEdge(w[0].src, w[0].dst));
+            }
+        }
+
+        // Successor CSR: edges are sorted by src, so offsets are a prefix count.
+        let mut succ_off = vec![0u32; n + 1];
+        for e in &edges {
+            succ_off[e.src.index() + 1] += 1;
+        }
+        for i in 0..n {
+            succ_off[i + 1] += succ_off[i];
+        }
+
+        // Predecessor CSR: bucket edge indices by destination.
+        let mut pred_off = vec![0u32; n + 1];
+        for e in &edges {
+            pred_off[e.dst.index() + 1] += 1;
+        }
+        for i in 0..n {
+            pred_off[i + 1] += pred_off[i];
+        }
+        let mut cursor = pred_off.clone();
+        let mut pred_edges = vec![0u32; edges.len()];
+        for (i, e) in edges.iter().enumerate() {
+            let c = &mut cursor[e.dst.index()];
+            pred_edges[*c as usize] = i as u32;
+            *c += 1;
+        }
+        // Within each destination bucket, edge indices are ascending (edges
+        // are scanned in sorted order), so predecessors come out in id order.
+
+        // Kahn's algorithm with a smallest-id-first frontier for a
+        // deterministic topological order; detects cycles.
+        let mut indeg: Vec<u32> = (0..n).map(|i| pred_off[i + 1] - pred_off[i]).collect();
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<u32>> = indeg
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(i, _)| std::cmp::Reverse(i as u32))
+            .collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(std::cmp::Reverse(u)) = heap.pop() {
+            let u = TaskId(u);
+            topo.push(u);
+            let lo = succ_off[u.index()] as usize;
+            let hi = succ_off[u.index() + 1] as usize;
+            for e in &edges[lo..hi] {
+                let d = &mut indeg[e.dst.index()];
+                *d -= 1;
+                if *d == 0 {
+                    heap.push(std::cmp::Reverse(e.dst.0));
+                }
+            }
+        }
+        if topo.len() != n {
+            // Some task still has positive in-degree: it is on or behind a cycle.
+            let t = (0..n)
+                .find(|&i| indeg[i] > 0)
+                .map(TaskId::from_index)
+                .expect("cycle implies a task with residual in-degree");
+            return Err(DagError::Cycle(t));
+        }
+
+        let entries = (0..n)
+            .filter(|&i| pred_off[i + 1] == pred_off[i])
+            .map(TaskId::from_index)
+            .collect();
+        let exits = (0..n)
+            .filter(|&i| succ_off[i + 1] == succ_off[i])
+            .map(TaskId::from_index)
+            .collect();
+
+        Ok(Dag {
+            weights,
+            edges,
+            succ_off,
+            pred_off,
+            pred_edges,
+            topo,
+            entries,
+            exits,
+        })
+    }
+}
+
+/// Convenience constructor: build a DAG from per-task weights and an edge
+/// list in one call.
+///
+/// # Errors
+/// Same failure modes as [`DagBuilder::build`] plus endpoint validation.
+pub fn dag_from_edges(weights: &[f64], edges: &[(u32, u32, f64)]) -> Result<Dag, DagError> {
+    let mut b = DagBuilder::with_capacity(weights.len(), edges.len());
+    for &w in weights {
+        b.add_task(w);
+    }
+    for &(u, v, d) in edges {
+        b.add_edge(TaskId(u), TaskId(v), d)?;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(DagBuilder::new().build().unwrap_err(), DagError::Empty);
+    }
+
+    #[test]
+    fn rejects_unknown_endpoints() {
+        let mut b = DagBuilder::new();
+        let t = b.add_task(1.0);
+        assert_eq!(
+            b.add_edge(t, TaskId(9), 1.0).unwrap_err(),
+            DagError::UnknownTask(TaskId(9))
+        );
+        assert_eq!(
+            b.add_edge(TaskId(9), t, 1.0).unwrap_err(),
+            DagError::UnknownTask(TaskId(9))
+        );
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = DagBuilder::new();
+        let t = b.add_task(1.0);
+        assert_eq!(b.add_edge(t, t, 1.0).unwrap_err(), DagError::SelfLoop(t));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let mut b = DagBuilder::new();
+        let u = b.add_task(1.0);
+        let v = b.add_task(1.0);
+        b.add_edge(u, v, 1.0).unwrap();
+        b.add_edge(u, v, 2.0).unwrap();
+        assert_eq!(b.build().unwrap_err(), DagError::DuplicateEdge(u, v));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let mut b = DagBuilder::new();
+        let u = b.add_task(1.0);
+        let v = b.add_task(1.0);
+        let w = b.add_task(1.0);
+        b.add_edge(u, v, 1.0).unwrap();
+        b.add_edge(v, w, 1.0).unwrap();
+        b.add_edge(w, u, 1.0).unwrap();
+        assert!(matches!(b.build().unwrap_err(), DagError::Cycle(_)));
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        let mut b = DagBuilder::new();
+        b.add_task(f64::NAN);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            DagError::InvalidWeight {
+                what: "task weight",
+                ..
+            }
+        ));
+
+        let mut b = DagBuilder::new();
+        let u = b.add_task(1.0);
+        let v = b.add_task(1.0);
+        b.add_edge(u, v, -3.0).unwrap();
+        assert!(matches!(
+            b.build().unwrap_err(),
+            DagError::InvalidWeight {
+                what: "edge data volume",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn set_weight_works_and_validates() {
+        let mut b = DagBuilder::new();
+        let t = b.add_task(1.0);
+        b.set_weight(t, 7.0).unwrap();
+        assert_eq!(
+            b.set_weight(TaskId(3), 1.0).unwrap_err(),
+            DagError::UnknownTask(TaskId(3))
+        );
+        let g = b.build().unwrap();
+        assert_eq!(g.task_weight(t), 7.0);
+    }
+
+    #[test]
+    fn add_tasks_bulk() {
+        let mut b = DagBuilder::new();
+        let first = b.add_tasks(5, 2.0);
+        assert_eq!(first, TaskId(0));
+        assert_eq!(b.num_tasks(), 5);
+        let g = b.build().unwrap();
+        assert_eq!(g.total_weight(), 10.0);
+    }
+
+    #[test]
+    fn dag_from_edges_convenience() {
+        let g = dag_from_edges(&[1.0, 1.0, 1.0], &[(0, 1, 5.0), (1, 2, 6.0)]).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge_data(TaskId(1), TaskId(2)), Some(6.0));
+    }
+
+    #[test]
+    fn topo_is_deterministic_regardless_of_edge_insertion_order() {
+        let g1 = dag_from_edges(
+            &[1.0; 4],
+            &[(0, 2, 1.0), (0, 1, 1.0), (1, 3, 1.0), (2, 3, 1.0)],
+        )
+        .unwrap();
+        let g2 = dag_from_edges(
+            &[1.0; 4],
+            &[(2, 3, 1.0), (1, 3, 1.0), (0, 1, 1.0), (0, 2, 1.0)],
+        )
+        .unwrap();
+        assert_eq!(g1.topo_order(), g2.topo_order());
+    }
+
+    #[test]
+    fn disconnected_components_are_allowed() {
+        let g = dag_from_edges(&[1.0, 1.0, 1.0, 1.0], &[(0, 1, 1.0)]).unwrap();
+        assert_eq!(g.entry_tasks().count(), 3);
+        assert_eq!(g.exit_tasks().count(), 3);
+    }
+}

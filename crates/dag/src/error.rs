@@ -1,0 +1,58 @@
+use crate::TaskId;
+
+/// Errors reported while constructing or transforming a task graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DagError {
+    /// An edge endpoint referred to a task id that was never added.
+    UnknownTask(TaskId),
+    /// An edge from a task to itself was requested.
+    SelfLoop(TaskId),
+    /// The same (src, dst) edge was added twice.
+    DuplicateEdge(TaskId, TaskId),
+    /// The edge set contains a directed cycle; the offending task is one
+    /// member of the cycle.
+    Cycle(TaskId),
+    /// A task weight or edge data volume was negative, NaN, or infinite.
+    InvalidWeight {
+        /// Human-readable description of which quantity was invalid.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The graph has no tasks at all.
+    Empty,
+}
+
+impl core::fmt::Display for DagError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DagError::UnknownTask(t) => write!(f, "unknown task {t}"),
+            DagError::SelfLoop(t) => write!(f, "self loop on task {t}"),
+            DagError::DuplicateEdge(u, v) => write!(f, "duplicate edge {u} -> {v}"),
+            DagError::Cycle(t) => write!(f, "directed cycle through task {t}"),
+            DagError::InvalidWeight { what, value } => {
+                write!(f, "invalid {what}: {value} (must be finite and >= 0)")
+            }
+            DagError::Empty => write!(f, "graph has no tasks"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DagError::DuplicateEdge(TaskId(1), TaskId(2));
+        assert_eq!(e.to_string(), "duplicate edge t1 -> t2");
+        let e = DagError::InvalidWeight {
+            what: "task weight",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("task weight"));
+        assert!(DagError::Empty.to_string().contains("no tasks"));
+    }
+}

@@ -1,0 +1,73 @@
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a task (a node of a [`crate::Dag`]).
+///
+/// Task ids are dense indices assigned by [`crate::DagBuilder::add_task`] in
+/// insertion order: the `i`-th added task has id `i`. They are a `u32`
+/// newtype rather than `usize` so oft-instantiated per-task tables stay
+/// small (see the type-size guidance in the Rust Performance Book).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// The task id as a `usize` index into per-task tables.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a dense index (inverse of [`TaskId::index`]).
+    ///
+    /// # Panics
+    /// Panics if `i` does not fit in `u32`.
+    #[inline(always)]
+    pub fn from_index(i: usize) -> Self {
+        TaskId(u32::try_from(i).expect("task index exceeds u32::MAX"))
+    }
+}
+
+impl core::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl core::fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "TaskId({})", self.0)
+    }
+}
+
+impl From<u32> for TaskId {
+    fn from(v: u32) -> Self {
+        TaskId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        for i in [0usize, 1, 17, 4_000_000] {
+            assert_eq!(TaskId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(TaskId(7).to_string(), "t7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(TaskId(3) < TaskId(4));
+        assert_eq!(TaskId(5), TaskId::from(5));
+    }
+
+    #[test]
+    fn id_is_four_bytes() {
+        assert_eq!(core::mem::size_of::<TaskId>(), 4);
+    }
+}

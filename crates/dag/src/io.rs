@@ -1,0 +1,153 @@
+//! User-facing task-graph interchange format.
+//!
+//! [`DagSpec`] is a plain, human-writable description — a list of task
+//! weights plus an edge list — that serializes to/from JSON (or any serde
+//! format) without exposing the internal CSR layout, and validates through
+//! the normal [`DagBuilder`] pipeline on load.
+//!
+//! ```json
+//! {
+//!   "tasks": [ {"weight": 4.0}, {"weight": 6.0} ],
+//!   "edges": [ {"src": 0, "dst": 1, "data": 5.0} ]
+//! }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::builder::DagBuilder;
+use crate::{Dag, DagError, TaskId};
+
+/// One task in a [`DagSpec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Computation weight (work units).
+    pub weight: f64,
+    /// Optional human label (ignored by the scheduler, preserved on save).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub label: Option<String>,
+}
+
+/// One edge in a [`DagSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdgeSpec {
+    /// Producing task index.
+    pub src: u32,
+    /// Consuming task index.
+    pub dst: u32,
+    /// Data volume transferred.
+    pub data: f64,
+}
+
+/// Portable task-graph description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct DagSpec {
+    /// Tasks, indexed by position.
+    pub tasks: Vec<TaskSpec>,
+    /// Dependency edges.
+    #[serde(default)]
+    pub edges: Vec<EdgeSpec>,
+}
+
+impl DagSpec {
+    /// Capture an existing graph as a spec.
+    pub fn from_dag(dag: &Dag) -> Self {
+        DagSpec {
+            tasks: dag
+                .task_ids()
+                .map(|t| TaskSpec {
+                    weight: dag.task_weight(t),
+                    label: None,
+                })
+                .collect(),
+            edges: dag
+                .edges()
+                .iter()
+                .map(|e| EdgeSpec {
+                    src: e.src.0,
+                    dst: e.dst.0,
+                    data: e.data,
+                })
+                .collect(),
+        }
+    }
+
+    /// Build (and fully validate) the graph this spec describes.
+    ///
+    /// # Errors
+    /// Any [`DagError`] the builder reports: unknown endpoints, self loops,
+    /// duplicate edges, cycles, bad weights, empty graphs.
+    pub fn build(&self) -> Result<Dag, DagError> {
+        let mut b = DagBuilder::with_capacity(self.tasks.len(), self.edges.len());
+        for t in &self.tasks {
+            b.add_task(t.weight);
+        }
+        for e in &self.edges {
+            b.add_edge(TaskId(e.src), TaskId(e.dst), e.data)?;
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::dag_from_edges;
+
+    #[test]
+    fn round_trips_through_spec() {
+        let dag = dag_from_edges(&[1.0, 2.0, 3.0], &[(0, 1, 4.0), (0, 2, 5.0)]).unwrap();
+        let spec = DagSpec::from_dag(&dag);
+        let back = spec.build().unwrap();
+        assert_eq!(back.num_tasks(), 3);
+        assert_eq!(back.num_edges(), 2);
+        assert_eq!(back.task_weight(TaskId(1)), 2.0);
+        assert_eq!(back.edge_data(TaskId(0), TaskId(2)), Some(5.0));
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let spec = DagSpec {
+            tasks: vec![TaskSpec {
+                weight: 1.0,
+                label: None,
+            }],
+            edges: vec![EdgeSpec {
+                src: 0,
+                dst: 5,
+                data: 1.0,
+            }],
+        };
+        assert!(matches!(spec.build(), Err(DagError::UnknownTask(_))));
+
+        let cyclic = DagSpec {
+            tasks: vec![
+                TaskSpec {
+                    weight: 1.0,
+                    label: None,
+                },
+                TaskSpec {
+                    weight: 1.0,
+                    label: None,
+                },
+            ],
+            edges: vec![
+                EdgeSpec {
+                    src: 0,
+                    dst: 1,
+                    data: 0.0,
+                },
+                EdgeSpec {
+                    src: 1,
+                    dst: 0,
+                    data: 0.0,
+                },
+            ],
+        };
+        assert!(matches!(cyclic.build(), Err(DagError::Cycle(_))));
+    }
+
+    #[test]
+    fn default_spec_is_empty_and_rejected() {
+        assert!(matches!(DagSpec::default().build(), Err(DagError::Empty)));
+    }
+}

@@ -1,0 +1,64 @@
+//! # hetsched-dag
+//!
+//! Directed-acyclic task-graph (DAG) substrate for the `hetsched` static
+//! scheduler family.
+//!
+//! A task graph `G = (V, E)` models an application: each node is a task with
+//! an abstract *computation weight* (work units; the platform model turns it
+//! into seconds per processor), and each directed edge carries a *data
+//! volume* that must be communicated when the endpoints run on different
+//! processors.
+//!
+//! The graph is stored in compressed-sparse-row (CSR) form in both
+//! directions, so successor and predecessor scans are contiguous memory
+//! walks — the access pattern every list scheduler in `hetsched-core` is
+//! built around.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use hetsched_dag::{DagBuilder, TaskId};
+//!
+//! let mut b = DagBuilder::new();
+//! let a = b.add_task(3.0);
+//! let c = b.add_task(2.0);
+//! let d = b.add_task(4.0);
+//! b.add_edge(a, c, 1.0).unwrap();
+//! b.add_edge(a, d, 2.0).unwrap();
+//! let dag = b.build().unwrap();
+//!
+//! assert_eq!(dag.num_tasks(), 3);
+//! assert_eq!(dag.successors(a).count(), 2);
+//! assert!(dag.entry_tasks().eq([a]));
+//! ```
+//!
+//! ## Module map
+//!
+//! * [`graph`] — the [`Dag`] type and its read API.
+//! * [`builder`] — [`DagBuilder`] incremental construction with validation.
+//! * [`topo`] — topological orders and layering.
+//! * [`analysis`] — levels, critical paths, closures, structural statistics.
+//! * [`dot`] — Graphviz DOT export for debugging and papers.
+//! * [`io`] — portable JSON-friendly graph interchange ([`io::DagSpec`]).
+//! * [`stg`] — Kasahara Standard Task Graph text format reader/writer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod builder;
+pub mod dot;
+mod error;
+pub mod graph;
+mod id;
+pub mod io;
+pub mod stg;
+pub mod topo;
+
+pub use builder::DagBuilder;
+pub use error::DagError;
+pub use graph::{Dag, Edge};
+pub use id::TaskId;
+
+#[cfg(test)]
+mod proptests;

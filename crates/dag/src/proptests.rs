@@ -1,0 +1,183 @@
+//! Property-based tests over randomly generated DAGs.
+//!
+//! The generator only ever creates forward edges (`i -> j` with `i < j`),
+//! which guarantees acyclicity by construction, so `build()` must succeed
+//! and every structural invariant must hold on the result.
+
+use proptest::prelude::*;
+
+use crate::analysis::{
+    bottom_levels, critical_path, critical_path_compute_only, top_levels, transitive_reduction,
+    Reachability,
+};
+use crate::builder::dag_from_edges;
+use crate::topo::{alap_levels, asap_levels, is_topological};
+use crate::{Dag, TaskId};
+
+/// Strategy: an arbitrary forward-edged DAG with 1..=n_max tasks.
+fn arb_dag(n_max: usize) -> impl Strategy<Value = Dag> {
+    (1..=n_max).prop_flat_map(|n| {
+        let weights = proptest::collection::vec(0.0f64..100.0, n);
+        // candidate forward edges as a subset of all (i, j), i < j
+        let pairs: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j)))
+            .collect();
+        let edges = proptest::sample::subsequence(pairs.clone(), 0..=pairs.len().min(4 * n));
+        let datas = proptest::collection::vec(0.0f64..100.0, 4 * n + 1);
+        (weights, edges, datas).prop_map(|(w, es, ds)| {
+            let edges: Vec<(u32, u32, f64)> = es
+                .into_iter()
+                .enumerate()
+                .map(|(k, (u, v))| (u, v, ds[k % ds.len()]))
+                .collect();
+            dag_from_edges(&w, &edges).expect("forward edges are acyclic")
+        })
+    })
+}
+
+/// Slow reference reachability by DFS.
+fn dfs_reaches(dag: &Dag, u: TaskId, v: TaskId) -> bool {
+    let mut seen = vec![false; dag.num_tasks()];
+    let mut stack = vec![u];
+    while let Some(t) = stack.pop() {
+        for (s, _) in dag.successors(t) {
+            if s == v {
+                return true;
+            }
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn build_topo_order_is_topological(dag in arb_dag(30)) {
+        prop_assert!(is_topological(&dag, dag.topo_order()));
+    }
+
+    #[test]
+    fn degree_sums_match_edge_count(dag in arb_dag(30)) {
+        let out: usize = dag.task_ids().map(|t| dag.out_degree(t)).sum();
+        let inn: usize = dag.task_ids().map(|t| dag.in_degree(t)).sum();
+        prop_assert_eq!(out, dag.num_edges());
+        prop_assert_eq!(inn, dag.num_edges());
+    }
+
+    #[test]
+    fn successor_and_predecessor_views_agree(dag in arb_dag(25)) {
+        for t in dag.task_ids() {
+            for (s, d) in dag.successors(t) {
+                prop_assert_eq!(dag.edge_data(t, s), Some(d));
+                prop_assert!(dag.predecessors(s).any(|(p, pd)| p == t && pd == d));
+            }
+        }
+    }
+
+    #[test]
+    fn levels_strictly_increase_along_edges(dag in arb_dag(30)) {
+        let asap = asap_levels(&dag);
+        let alap = alap_levels(&dag);
+        for e in dag.edges() {
+            prop_assert!(asap[e.src.index()] < asap[e.dst.index()]);
+            prop_assert!(alap[e.src.index()] < alap[e.dst.index()]);
+            // ALAP never schedules earlier than ASAP
+        }
+        for t in dag.task_ids() {
+            prop_assert!(asap[t.index()] <= alap[t.index()]);
+        }
+    }
+
+    #[test]
+    fn weighted_levels_are_consistent(dag in arb_dag(25)) {
+        let tl = top_levels(&dag);
+        let bl = bottom_levels(&dag);
+        let (cp, path) = critical_path(&dag);
+        // every task: tl + bl <= cp, with equality on the critical path
+        for t in dag.task_ids() {
+            prop_assert!(tl[t.index()] + bl[t.index()] <= cp + 1e-9);
+        }
+        for &t in &path {
+            prop_assert!((tl[t.index()] + bl[t.index()] - cp).abs() < 1e-9);
+        }
+        // the path is a real path
+        for w in path.windows(2) {
+            prop_assert!(dag.has_edge(w[0], w[1]));
+        }
+        // compute-only CP is never longer than the full CP
+        prop_assert!(critical_path_compute_only(&dag) <= cp + 1e-9);
+    }
+
+    #[test]
+    fn reachability_matches_dfs(dag in arb_dag(20)) {
+        let r = Reachability::new(&dag);
+        for u in dag.task_ids() {
+            for v in dag.task_ids() {
+                prop_assert_eq!(
+                    r.reaches(u, v),
+                    dfs_reaches(&dag, u, v),
+                    "u={} v={}", u, v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transitive_reduction_preserves_reachability_and_is_minimal(dag in arb_dag(18)) {
+        let red = transitive_reduction(&dag);
+        prop_assert!(red.num_edges() <= dag.num_edges());
+        let r_full = Reachability::new(&dag);
+        let r_red = Reachability::new(&red);
+        for u in dag.task_ids() {
+            for v in dag.task_ids() {
+                prop_assert_eq!(r_full.reaches(u, v), r_red.reaches(u, v));
+            }
+        }
+        // minimality: removing any surviving edge changes reachability
+        for e in red.edges() {
+            let without: Vec<(u32, u32, f64)> = red
+                .edges()
+                .iter()
+                .filter(|f| !(f.src == e.src && f.dst == e.dst))
+                .map(|f| (f.src.0, f.dst.0, f.data))
+                .collect();
+            let weights: Vec<f64> = red.task_ids().map(|t| red.task_weight(t)).collect();
+            let g2 = dag_from_edges(&weights, &without).unwrap();
+            prop_assert!(!dfs_reaches(&g2, e.src, e.dst));
+        }
+    }
+
+    #[test]
+    fn virtual_entry_exit_always_single(dag in arb_dag(25)) {
+        let (g2, en, ex) = crate::analysis::with_virtual_entry_exit(&dag);
+        prop_assert_eq!(g2.entry_tasks().collect::<Vec<_>>(), vec![en]);
+        prop_assert_eq!(g2.exit_tasks().collect::<Vec<_>>(), vec![ex]);
+        prop_assert!((critical_path(&g2).0 - critical_path(&dag).0).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// STG export/import round-trips structure and weights for any DAG.
+    #[test]
+    fn stg_round_trip(dag in arb_dag(25)) {
+        let text = crate::stg::to_stg(&dag);
+        let back = crate::stg::parse_stg(&text, 1.0).expect("own export parses");
+        prop_assert_eq!(back.num_tasks(), dag.num_tasks());
+        prop_assert_eq!(back.num_edges(), dag.num_edges());
+        for t in dag.task_ids() {
+            prop_assert_eq!(back.task_weight(t), dag.task_weight(t));
+            let mut a: Vec<_> = dag.predecessors(t).map(|(p, _)| p).collect();
+            let mut b: Vec<_> = back.predecessors(t).map(|(p, _)| p).collect();
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

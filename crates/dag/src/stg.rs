@@ -1,0 +1,224 @@
+//! Reader/writer for the STG (Standard Task Graph) text format of the
+//! Kasahara benchmark suite — the de-facto interchange format for
+//! homogeneous task-scheduling benchmarks.
+//!
+//! Format (whitespace-separated, `#` starts a comment to end-of-line):
+//!
+//! ```text
+//! <task count n>
+//! <task id> <processing time> <pred count k> <pred id> * k
+//! ...            # one line per task, ids 0..n-1 in order
+//! ```
+//!
+//! STG carries no edge data volumes (it targets homogeneous machines with
+//! uniform transfer costs); [`parse_stg`] takes a `comm` value applied to
+//! every edge so heterogeneous experiments can still set a CCR.
+
+use std::fmt::Write as _;
+
+use crate::builder::DagBuilder;
+use crate::{Dag, DagError, TaskId};
+
+/// Errors from STG parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StgError {
+    /// The token stream ended early or a token was not a number.
+    Syntax(String),
+    /// Task ids were not the dense sequence `0..n`.
+    BadTaskId {
+        /// Expected id at this position.
+        expected: u32,
+        /// Id actually read.
+        found: u32,
+    },
+    /// The parsed structure failed DAG validation.
+    Graph(DagError),
+}
+
+impl core::fmt::Display for StgError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StgError::Syntax(m) => write!(f, "STG syntax error: {m}"),
+            StgError::BadTaskId { expected, found } => {
+                write!(
+                    f,
+                    "STG task ids must be dense: expected {expected}, found {found}"
+                )
+            }
+            StgError::Graph(e) => write!(f, "STG graph invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StgError {}
+
+/// Parse STG text into a [`Dag`], charging `comm` data units on every edge.
+///
+/// ```
+/// use hetsched_dag::stg::parse_stg;
+/// let dag = parse_stg("2\n0 1.5 0\n1 2.5 1 0\n", 3.0).unwrap();
+/// assert_eq!(dag.num_tasks(), 2);
+/// assert_eq!(dag.edge_data(hetsched_dag::TaskId(0), hetsched_dag::TaskId(1)), Some(3.0));
+/// ```
+///
+/// # Errors
+/// [`StgError`] on malformed input or an invalid graph.
+pub fn parse_stg(text: &str, comm: f64) -> Result<Dag, StgError> {
+    // strip comments, tokenize
+    let mut tokens = text
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or(""))
+        .flat_map(|l| l.split_whitespace().map(String::from).collect::<Vec<_>>());
+    let next_u32 =
+        |what: &str, tokens: &mut dyn Iterator<Item = String>| -> Result<u32, StgError> {
+            let tok = tokens.next().ok_or_else(|| {
+                StgError::Syntax(format!("unexpected end of input reading {what}"))
+            })?;
+            tok.parse()
+                .map_err(|_| StgError::Syntax(format!("expected integer for {what}, got `{tok}`")))
+        };
+    let next_f64 =
+        |what: &str, tokens: &mut dyn Iterator<Item = String>| -> Result<f64, StgError> {
+            let tok = tokens.next().ok_or_else(|| {
+                StgError::Syntax(format!("unexpected end of input reading {what}"))
+            })?;
+            tok.parse()
+                .map_err(|_| StgError::Syntax(format!("expected number for {what}, got `{tok}`")))
+        };
+
+    let n = next_u32("task count", &mut tokens)?;
+    if n == 0 {
+        return Err(StgError::Graph(DagError::Empty));
+    }
+    let mut b = DagBuilder::with_capacity(n as usize, 2 * n as usize);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for expected in 0..n {
+        let id = next_u32("task id", &mut tokens)?;
+        if id != expected {
+            return Err(StgError::BadTaskId {
+                expected,
+                found: id,
+            });
+        }
+        let weight = next_f64("processing time", &mut tokens)?;
+        b.add_task(weight);
+        let k = next_u32("predecessor count", &mut tokens)?;
+        for _ in 0..k {
+            let pred = next_u32("predecessor id", &mut tokens)?;
+            edges.push((pred, id));
+        }
+    }
+    for (u, v) in edges {
+        b.add_edge(TaskId(u), TaskId(v), comm)
+            .map_err(StgError::Graph)?;
+    }
+    b.build().map_err(StgError::Graph)
+}
+
+/// Serialize a [`Dag`] to STG text (edge data volumes are dropped — STG
+/// has no field for them; a header comment records the mean).
+pub fn to_stg(dag: &Dag) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "# hetsched STG export: {} tasks, {} edges, mean edge data {:.4}",
+        dag.num_tasks(),
+        dag.num_edges(),
+        dag.mean_edge_data()
+    );
+    let _ = writeln!(s, "{}", dag.num_tasks());
+    for t in dag.task_ids() {
+        let _ = write!(s, "{} {} {}", t.0, dag.task_weight(t), dag.in_degree(t));
+        for (p, _) in dag.predecessors(t) {
+            let _ = write!(s, " {}", p.0);
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a diamond with a header comment
+4
+0 2.0 0
+1 3.0 1 0     # left branch
+2 4.0 1 0
+3 1.0 2 1 2
+";
+
+    #[test]
+    fn parses_the_sample() {
+        let dag = parse_stg(SAMPLE, 5.0).unwrap();
+        assert_eq!(dag.num_tasks(), 4);
+        assert_eq!(dag.num_edges(), 4);
+        assert_eq!(dag.task_weight(TaskId(2)), 4.0);
+        assert_eq!(dag.edge_data(TaskId(0), TaskId(1)), Some(5.0));
+        assert_eq!(dag.in_degree(TaskId(3)), 2);
+        assert_eq!(dag.entry_tasks().count(), 1);
+        assert_eq!(dag.exit_tasks().count(), 1);
+    }
+
+    #[test]
+    fn round_trips_structure() {
+        let dag = parse_stg(SAMPLE, 1.0).unwrap();
+        let text = to_stg(&dag);
+        let back = parse_stg(&text, 1.0).unwrap();
+        assert_eq!(back.num_tasks(), dag.num_tasks());
+        assert_eq!(back.num_edges(), dag.num_edges());
+        for t in dag.task_ids() {
+            assert_eq!(back.task_weight(t), dag.task_weight(t));
+            assert_eq!(back.in_degree(t), dag.in_degree(t));
+        }
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        assert!(matches!(parse_stg("", 1.0), Err(StgError::Syntax(_))));
+        assert!(matches!(
+            parse_stg("2\n0 1.0 0\n", 1.0),
+            Err(StgError::Syntax(_))
+        ));
+        assert!(matches!(
+            parse_stg("1\n0 abc 0\n", 1.0),
+            Err(StgError::Syntax(_))
+        ));
+        assert!(matches!(
+            parse_stg("2\n0 1.0 0\n5 1.0 0\n", 1.0),
+            Err(StgError::BadTaskId {
+                expected: 1,
+                found: 5
+            })
+        ));
+    }
+
+    #[test]
+    fn graph_errors_surface() {
+        // predecessor referencing a later-but-valid id is fine (forward
+        // declaration of edges is allowed by the builder)...
+        let ok = parse_stg("2\n0 1.0 1 1\n1 1.0 0\n", 1.0);
+        // ...this creates edge 1 -> 0, which is a valid DAG
+        assert!(ok.is_ok());
+        // ...but a self-loop is not
+        assert!(matches!(
+            parse_stg("1\n0 1.0 1 0\n", 1.0),
+            Err(StgError::Graph(DagError::SelfLoop(_)))
+        ));
+        // zero tasks
+        assert!(matches!(
+            parse_stg("0\n", 1.0),
+            Err(StgError::Graph(DagError::Empty))
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "\n# lead\n\n3\n# mid\n0 1 0\n1 1 1 0\n\n2 1 1 1\n# tail\n";
+        let dag = parse_stg(text, 0.5).unwrap();
+        assert_eq!(dag.num_tasks(), 3);
+        assert_eq!(dag.num_edges(), 2);
+    }
+}

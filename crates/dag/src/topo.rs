@@ -1,0 +1,145 @@
+//! Topological layering utilities.
+//!
+//! The build-time topological order lives on [`Dag`] itself
+//! ([`Dag::topo_order`]); this module adds hop-based layering (ASAP/ALAP
+//! levels) used by homogeneous heuristics (MCP-style) and by the random-DAG
+//! generator's shape statistics.
+
+use crate::{Dag, TaskId};
+
+/// ASAP level of every task: the length (in hops) of the longest path from
+/// any entry task, so entries are level 0 and every edge goes to a strictly
+/// higher level.
+pub fn asap_levels(dag: &Dag) -> Vec<u32> {
+    let mut level = vec![0u32; dag.num_tasks()];
+    for &t in dag.topo_order() {
+        let l = dag
+            .predecessors(t)
+            .map(|(p, _)| level[p.index()] + 1)
+            .max()
+            .unwrap_or(0);
+        level[t.index()] = l;
+    }
+    level
+}
+
+/// ALAP level of every task: levels counted from the sinks, mirrored so the
+/// deepest sink sits at `depth - 1` and every edge still goes to a strictly
+/// higher level. A task's slack in hops is `alap - asap`.
+pub fn alap_levels(dag: &Dag) -> Vec<u32> {
+    let n = dag.num_tasks();
+    let mut below = vec![0u32; n]; // longest hop distance to a sink
+    for &t in dag.topo_order().iter().rev() {
+        let l = dag
+            .successors(t)
+            .map(|(s, _)| below[s.index()] + 1)
+            .max()
+            .unwrap_or(0);
+        below[t.index()] = l;
+    }
+    let depth = dag.task_ids().map(|t| below[t.index()]).max().unwrap_or(0);
+    below.iter().map(|&b| depth - b).collect()
+}
+
+/// Group tasks by ASAP level; `layers[l]` holds the level-`l` tasks in id
+/// order. The number of layers is the DAG's depth, the largest layer its
+/// width.
+pub fn layers(dag: &Dag) -> Vec<Vec<TaskId>> {
+    let lv = asap_levels(dag);
+    let depth = lv.iter().copied().max().unwrap_or(0) as usize + 1;
+    let mut out = vec![Vec::new(); depth];
+    for t in dag.task_ids() {
+        out[lv[t.index()] as usize].push(t);
+    }
+    out
+}
+
+/// Number of layers (longest path in hops, plus one).
+pub fn depth(dag: &Dag) -> usize {
+    asap_levels(dag).iter().copied().max().unwrap_or(0) as usize + 1
+}
+
+/// Maximum number of tasks on one ASAP level — the graph's parallelism width.
+pub fn width(dag: &Dag) -> usize {
+    layers(dag).iter().map(Vec::len).max().unwrap_or(0)
+}
+
+/// Whether `order` is a valid topological order of `dag` (each task exactly
+/// once, every edge forward).
+pub fn is_topological(dag: &Dag, order: &[TaskId]) -> bool {
+    if order.len() != dag.num_tasks() {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; dag.num_tasks()];
+    for (i, t) in order.iter().enumerate() {
+        if t.index() >= dag.num_tasks() || pos[t.index()] != usize::MAX {
+            return false;
+        }
+        pos[t.index()] = i;
+    }
+    dag.edges()
+        .iter()
+        .all(|e| pos[e.src.index()] < pos[e.dst.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::dag_from_edges;
+
+    fn chain3() -> Dag {
+        dag_from_edges(&[1.0, 1.0, 1.0], &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap()
+    }
+
+    fn diamond() -> Dag {
+        dag_from_edges(
+            &[1.0; 4],
+            &[(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn chain_levels() {
+        let g = chain3();
+        assert_eq!(asap_levels(&g), vec![0, 1, 2]);
+        assert_eq!(alap_levels(&g), vec![0, 1, 2]);
+        assert_eq!(depth(&g), 3);
+        assert_eq!(width(&g), 1);
+    }
+
+    #[test]
+    fn diamond_levels_and_layers() {
+        let g = diamond();
+        assert_eq!(asap_levels(&g), vec![0, 1, 1, 2]);
+        assert_eq!(depth(&g), 3);
+        assert_eq!(width(&g), 2);
+        let ls = layers(&g);
+        assert_eq!(ls.len(), 3);
+        assert_eq!(ls[1].len(), 2);
+    }
+
+    #[test]
+    fn alap_exposes_slack() {
+        // 0 -> 2, 1 -> 2, and 1 also has a long path 1 -> 3 -> 2? No:
+        // build: 0->3, 1->2->3. Task 0 has slack 1.
+        let g = dag_from_edges(&[1.0; 4], &[(0, 3, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let asap = asap_levels(&g);
+        let alap = alap_levels(&g);
+        assert_eq!(asap[0], 0);
+        assert_eq!(alap[0], 1, "task 0 can be delayed one level");
+        assert_eq!(alap[1], 0, "task 1 is on the critical chain");
+    }
+
+    #[test]
+    fn is_topological_accepts_build_order_and_rejects_garbage() {
+        let g = diamond();
+        assert!(is_topological(&g, g.topo_order()));
+        let mut rev: Vec<_> = g.topo_order().to_vec();
+        rev.reverse();
+        assert!(!is_topological(&g, &rev));
+        assert!(!is_topological(&g, &g.topo_order()[1..]));
+        let dup = vec![g.topo_order()[0]; g.num_tasks()];
+        assert!(!is_topological(&g, &dup));
+    }
+}

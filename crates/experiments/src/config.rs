@@ -1,0 +1,133 @@
+//! CLI configuration for the experiment harness.
+
+/// Usage string printed on argument errors.
+pub const USAGE: &str = "\
+usage: hetsched-exp <experiment-id|all> [options]
+options:
+  --seed <u64>    base RNG seed (default 42)
+  --reps <n>      repetitions per parameter point (default 5)
+  --procs <n>     default processor count (default 8)
+  --out <dir>     JSON output directory (default results; `--out -` disables)
+  --quick         smaller grids for smoke runs";
+
+/// Parsed harness configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Base RNG seed; every instance derives a unique sub-seed from it.
+    pub seed: u64,
+    /// Repetitions per parameter point.
+    pub reps: usize,
+    /// Default processor count for experiments that do not sweep it.
+    pub procs: usize,
+    /// JSON output directory (`None` disables writing).
+    pub out_dir: Option<String>,
+    /// Smaller grids for smoke runs.
+    pub quick: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            seed: 42,
+            reps: 5,
+            procs: 8,
+            out_dir: Some("results".into()),
+            quick: false,
+        }
+    }
+}
+
+/// Parse CLI arguments into experiment ids and a [`Config`].
+pub fn parse_args(args: &[String]) -> Result<(Vec<String>, Config), String> {
+    let mut cfg = Config::default();
+    let mut ids = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let mut take_value = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--seed" => {
+                cfg.seed = take_value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--reps" => {
+                cfg.reps = take_value("--reps")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?
+            }
+            "--procs" => {
+                cfg.procs = take_value("--procs")?
+                    .parse()
+                    .map_err(|e| format!("--procs: {e}"))?
+            }
+            "--out" => {
+                let v = take_value("--out")?;
+                cfg.out_dir = if v == "-" { None } else { Some(v) };
+            }
+            "--quick" => cfg.quick = true,
+            _ if a.starts_with("--") => return Err(format!("unknown option {a}")),
+            _ => ids.push(a.clone()),
+        }
+        i += 1;
+    }
+    if cfg.reps == 0 {
+        return Err("--reps must be at least 1".into());
+    }
+    if cfg.procs == 0 {
+        return Err("--procs must be at least 1".into());
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = crate::experiments::catalog()
+            .iter()
+            .map(|(id, _)| id.to_string())
+            .collect();
+    }
+    Ok((ids, cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_flags() {
+        let (ids, cfg) = parse_args(&[
+            "fig2-slr-vs-ccr".into(),
+            "--seed".into(),
+            "7".into(),
+            "--reps".into(),
+            "3".into(),
+            "--quick".into(),
+        ])
+        .unwrap();
+        assert_eq!(ids, vec!["fig2-slr-vs-ccr"]);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.reps, 3);
+        assert!(cfg.quick);
+        assert_eq!(cfg.out_dir.as_deref(), Some("results"));
+    }
+
+    #[test]
+    fn all_expands() {
+        let (ids, _) = parse_args(&["all".into()]).unwrap();
+        assert!(ids.len() >= 10);
+    }
+
+    #[test]
+    fn out_dash_disables_json() {
+        let (_, cfg) = parse_args(&["x".into(), "--out".into(), "-".into()]).unwrap();
+        assert!(cfg.out_dir.is_none());
+    }
+
+    #[test]
+    fn rejects_unknown_flag_and_zero_reps() {
+        assert!(parse_args(&["--frobnicate".into()]).is_err());
+        assert!(parse_args(&["x".into(), "--reps".into(), "0".into()]).is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! tab3 (extension): which ILS knob buys what — rank aggregation ×
+//! lookahead × duplication, each toggled independently, against the HEFT
+//! reference.
+
+use hetsched_core::algorithms::{Heft, IlsD, IlsH};
+use hetsched_core::{CostAggregation, Scheduler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hetsched_platform::{EtcParams, System};
+use hetsched_workloads::{random_dag, RandomDagParams};
+
+use super::sweep::{metric_sweep, Metric, Point};
+use super::Report;
+use crate::config::Config;
+
+/// tab3: average SLR of each ILS configuration on the random grid.
+pub fn ils_knobs(cfg: &Config) -> Report {
+    let n = if cfg.quick { 40 } else { 100 };
+    let procs = cfg.procs;
+    let points: Vec<Point> = [0.5, 1.0, 5.0]
+        .iter()
+        .map(|&ccr| Point {
+            label: format!("CCR={ccr}"),
+            gen: Box::new(move |seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let dag = random_dag(&RandomDagParams::new(n, 1.0, ccr), &mut rng);
+                let sys = System::heterogeneous_random(
+                    &dag,
+                    procs,
+                    &EtcParams::range_based(1.0),
+                    &mut rng,
+                );
+                (dag, sys)
+            }),
+        })
+        .collect();
+
+    // the ablation ladder: HEFT -> +rank -> +lookahead -> +duplication
+    let algs: Vec<Box<dyn Scheduler + Send + Sync>> = vec![
+        Box::new(Heft::new()),
+        Box::new(IlsH {
+            agg: CostAggregation::Mean,
+            tolerance: 0.0,
+            lookahead: false,
+        }), // == HEFT modulo tie-breaks
+        Box::new(IlsH {
+            agg: CostAggregation::MeanStd(1.0),
+            tolerance: 0.0,
+            lookahead: false,
+        }), // + spread-aware rank
+        Box::new(IlsH {
+            agg: CostAggregation::MeanStd(1.0),
+            tolerance: 0.1,
+            lookahead: true,
+        }), // + lookahead (= ILS-H)
+        Box::new(IlsD::new()), // + duplication (= ILS-D)
+    ];
+    let labels = ["HEFT", "base", "+rank", "+look (ILS-H)", "+dup (ILS-D)"];
+
+    let (mut text, mut json, _) =
+        metric_sweep("config", &points, &algs, cfg.reps, cfg.seed, Metric::AvgSlr);
+    // metric_sweep labels columns with Scheduler::name(), which repeats
+    // "ILS-H" for the ablation variants; annotate the legend explicitly.
+    text.push_str("\ncolumns, left to right: ");
+    text.push_str(&labels.join(" | "));
+    text.push('\n');
+    json["column_legend"] = serde_json::json!(labels);
+    Report { text, json }
+}

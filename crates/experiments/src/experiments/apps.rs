@@ -1,0 +1,124 @@
+//! Application-graph experiments: Gaussian elimination (fig6), FFT (fig7),
+//! and the Laplace wavefront (fig8).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hetsched_core::algorithms::all_heterogeneous;
+use hetsched_platform::{EtcParams, System};
+use hetsched_workloads::{fft, gauss, laplace};
+use serde_json::json;
+
+use super::sweep::{metric_sweep, Metric, Point};
+use super::Report;
+use crate::config::Config;
+
+/// fig6: average SLR vs matrix size for Gaussian elimination.
+pub fn gauss(cfg: &Config) -> Report {
+    let sizes: &[usize] = if cfg.quick {
+        &[5, 10]
+    } else {
+        &[5, 8, 11, 14, 17, 20]
+    };
+    let procs = cfg.procs;
+    let points: Vec<Point> = sizes
+        .iter()
+        .map(|&m| Point {
+            label: format!("m={m} (n={})", gauss::gaussian_task_count(m)),
+            gen: Box::new(move |seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let ccr = [0.5, 1.0, 5.0][(seed % 3) as usize];
+                let dag = gauss::gaussian_elimination(m, ccr, &mut rng);
+                let sys = System::heterogeneous_random(
+                    &dag,
+                    procs,
+                    &EtcParams::range_based(0.75),
+                    &mut rng,
+                );
+                (dag, sys)
+            }),
+        })
+        .collect();
+    let algs = all_heterogeneous();
+    let (text, json, _) =
+        metric_sweep("matrix", &points, &algs, cfg.reps, cfg.seed, Metric::AvgSlr);
+    Report { text, json }
+}
+
+/// fig7: average SLR and speedup vs FFT size.
+pub fn fft(cfg: &Config) -> Report {
+    let sizes: &[usize] = if cfg.quick {
+        &[8, 16]
+    } else {
+        &[8, 16, 32, 64]
+    };
+    let procs = cfg.procs;
+    let mk_points = |sizes: &[usize]| -> Vec<Point> {
+        sizes
+            .iter()
+            .map(|&p| Point {
+                label: format!("p={p} (n={})", fft::fft_task_count(p)),
+                gen: Box::new(move |seed| {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let ccr = [0.5, 1.0, 5.0][(seed % 3) as usize];
+                    let dag = fft::fft_butterfly(p, ccr, &mut rng);
+                    let sys = System::heterogeneous_random(
+                        &dag,
+                        procs,
+                        &EtcParams::range_based(0.75),
+                        &mut rng,
+                    );
+                    (dag, sys)
+                }),
+            })
+            .collect()
+    };
+    let algs = all_heterogeneous();
+    let (t1, j1, _) = metric_sweep(
+        "points",
+        &mk_points(sizes),
+        &algs,
+        cfg.reps,
+        cfg.seed,
+        Metric::AvgSlr,
+    );
+    let (t2, j2, _) = metric_sweep(
+        "points",
+        &mk_points(sizes),
+        &algs,
+        cfg.reps,
+        cfg.seed,
+        Metric::AvgSpeedup,
+    );
+    Report {
+        text: format!("{t1}\n{t2}"),
+        json: json!({ "slr": j1, "speedup": j2 }),
+    }
+}
+
+/// fig8: average SLR vs grid size for the Laplace wavefront.
+pub fn laplace(cfg: &Config) -> Report {
+    let sizes: &[usize] = if cfg.quick { &[4, 8] } else { &[4, 8, 12, 16] };
+    let procs = cfg.procs;
+    let points: Vec<Point> = sizes
+        .iter()
+        .map(|&g| Point {
+            label: format!("g={g} (n={})", g * g),
+            gen: Box::new(move |seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let ccr = [0.5, 1.0, 5.0][(seed % 3) as usize];
+                let dag = laplace::laplace_wavefront(g, ccr, &mut rng);
+                let sys = System::heterogeneous_random(
+                    &dag,
+                    procs,
+                    &EtcParams::range_based(0.75),
+                    &mut rng,
+                );
+                (dag, sys)
+            }),
+        })
+        .collect();
+    let algs = all_heterogeneous();
+    let (text, json, _) = metric_sweep("grid", &points, &algs, cfg.reps, cfg.seed, Metric::AvgSlr);
+    Report { text, json }
+}

@@ -1,0 +1,53 @@
+//! fig9: the homogeneous half of the paper's title — the same random-graph
+//! sweep on a flat ETC matrix, comparing the homogeneous classics (MCP)
+//! against the proposed ILS-M and the heterogeneous algorithms degraded to
+//! the homogeneous case.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hetsched_core::algorithms::homogeneous_set;
+use hetsched_platform::System;
+use hetsched_workloads::{random_dag, RandomDagParams};
+
+use super::sweep::{metric_sweep, Metric, Point};
+use super::Report;
+use crate::config::Config;
+
+/// fig9: average SLR vs number of tasks on a homogeneous system.
+///
+/// On a flat ETC matrix the SLR denominator is the ordinary compute-only
+/// critical path, so this is the classic NSL (normalized schedule length).
+pub fn slr_vs_tasks(cfg: &Config) -> Report {
+    let sizes: &[usize] = if cfg.quick {
+        &[20, 60]
+    } else {
+        &[20, 40, 80, 150, 300]
+    };
+    let procs = cfg.procs;
+    let points: Vec<Point> = sizes
+        .iter()
+        .map(|&n| Point {
+            label: n.to_string(),
+            gen: Box::new(move |seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let ccr = [0.1, 0.5, 1.0, 5.0][(seed % 4) as usize];
+                let alpha = [0.5, 1.0, 2.0][(seed % 3) as usize];
+                let dag = random_dag(
+                    &RandomDagParams {
+                        n,
+                        alpha,
+                        ccr,
+                        ..Default::default()
+                    },
+                    &mut rng,
+                );
+                let sys = System::homogeneous_unit(&dag, procs);
+                (dag, sys)
+            }),
+        })
+        .collect();
+    let algs = homogeneous_set();
+    let (text, json, _) = metric_sweep("tasks", &points, &algs, cfg.reps, cfg.seed, Metric::AvgSlr);
+    Report { text, json }
+}

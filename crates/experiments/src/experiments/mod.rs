@@ -1,0 +1,106 @@
+//! Experiment implementations, one per table/figure of DESIGN.md §4.
+
+mod ablation;
+mod apps;
+mod contention;
+mod gap;
+mod homogeneous;
+mod metaheuristic;
+mod occupancy;
+mod random_figs;
+mod robustness;
+mod runtime;
+mod slowdown;
+mod sweep;
+mod trees_sp;
+
+use crate::config::Config;
+
+/// One experiment's output: a printable table and a JSON record.
+pub struct Report {
+    /// Plain-text rendering (printed to stdout).
+    pub text: String,
+    /// Machine-readable record (written to `results/<id>.json`).
+    pub json: serde_json::Value,
+}
+
+/// The experiment catalog: `(id, description)` in presentation order.
+pub fn catalog() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("fig1-slr-vs-tasks", "avg SLR vs DAG size (random graphs)"),
+        ("fig2-slr-vs-ccr", "avg SLR vs CCR (random graphs)"),
+        ("fig3-speedup-vs-procs", "avg speedup vs processor count"),
+        ("fig4-slr-vs-het", "avg SLR vs heterogeneity factor"),
+        ("fig5-slr-vs-shape", "avg SLR vs shape parameter alpha"),
+        ("tab1-wtl", "pairwise win/tie/loss percentages"),
+        (
+            "fig6-gauss",
+            "avg SLR vs matrix size (Gaussian elimination)",
+        ),
+        ("fig7-fft", "avg SLR and speedup vs FFT points"),
+        ("fig8-laplace", "avg SLR vs grid size (Laplace wavefront)"),
+        (
+            "fig9-homogeneous",
+            "avg SLR vs DAG size on homogeneous systems",
+        ),
+        ("fig10-runtime", "scheduler running time vs DAG size"),
+        (
+            "tab2-occupancy",
+            "processor occupancy and duplication counts",
+        ),
+        (
+            "fig11-robustness",
+            "makespan degradation under execution noise",
+        ),
+        (
+            "tab3-ablation",
+            "ILS knob ablation (rank agg x lookahead x dup)",
+        ),
+        ("fig12-trees", "avg SLR on trees and series-parallel graphs"),
+        (
+            "tab4-slowdown",
+            "degradation under a secretly slow processor",
+        ),
+        (
+            "tab5-gap",
+            "optimality gap vs exact branch-and-bound (tiny instances)",
+        ),
+        (
+            "tab6-contention",
+            "makespan inflation under single-port / shared-bus contention",
+        ),
+        (
+            "tab7-ga",
+            "GA metaheuristic vs one-pass list scheduling (quality and cost)",
+        ),
+    ]
+}
+
+/// Run one experiment by id.
+///
+/// # Panics
+/// Panics on an unknown id (the CLI validates ids first).
+pub fn run(id: &str, cfg: &Config) -> Report {
+    match id {
+        "fig1-slr-vs-tasks" => random_figs::slr_vs_tasks(cfg),
+        "fig2-slr-vs-ccr" => random_figs::slr_vs_ccr(cfg),
+        "fig3-speedup-vs-procs" => random_figs::speedup_vs_procs(cfg),
+        "fig4-slr-vs-het" => random_figs::slr_vs_heterogeneity(cfg),
+        "fig5-slr-vs-shape" => random_figs::slr_vs_shape(cfg),
+        "tab1-wtl" => random_figs::wtl_table(cfg),
+        "fig6-gauss" => apps::gauss(cfg),
+        "fig7-fft" => apps::fft(cfg),
+        "fig8-laplace" => apps::laplace(cfg),
+        "fig9-homogeneous" => homogeneous::slr_vs_tasks(cfg),
+        "fig10-runtime" => runtime::runtime_vs_tasks(cfg),
+        "tab2-occupancy" => occupancy::occupancy_table(cfg),
+        "fig11-robustness" => robustness::degradation_vs_noise(cfg),
+        "tab3-ablation" => ablation::ils_knobs(cfg),
+        "fig12-trees" => trees_sp::structured_graphs(cfg),
+        "tab4-slowdown" => slowdown::slowdown_table(cfg),
+        "tab5-gap" => gap::optimality_gap(cfg),
+        "tab6-contention" => contention::contention_table(cfg),
+        "tab7-ga" => metaheuristic::ga_vs_list(cfg),
+        _ => panic!("unknown experiment id {id}"),
+    }
+}

@@ -1,0 +1,73 @@
+//! fig10: scheduler running time vs DAG size — the complexity half of a
+//! heuristic's value proposition.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hetsched_core::algorithms::all_heterogeneous;
+use hetsched_metrics::table::TextTable;
+use hetsched_platform::{EtcParams, System};
+use hetsched_workloads::{random_dag, RandomDagParams};
+use serde_json::json;
+
+use super::Report;
+use crate::config::Config;
+use crate::runner::instance_seed;
+
+/// fig10: wall-clock scheduling time (milliseconds) per algorithm and DAG
+/// size, median of `reps` runs on the same instance per size.
+pub fn runtime_vs_tasks(cfg: &Config) -> Report {
+    let sizes: &[usize] = if cfg.quick {
+        &[100, 200]
+    } else {
+        &[100, 200, 400, 800, 1600]
+    };
+    let algs = all_heterogeneous();
+    let mut table = TextTable::new(
+        std::iter::once("tasks".to_string())
+            .chain(algs.iter().map(|a| a.name().to_string()))
+            .collect(),
+    );
+    let mut means: Vec<Vec<f64>> = Vec::new();
+    for (si, &n) in sizes.iter().enumerate() {
+        let seed = instance_seed(cfg.seed ^ 0xf16, si as u64, 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dag = random_dag(&RandomDagParams::new(n, 1.0, 1.0), &mut rng);
+        let sys =
+            System::heterogeneous_random(&dag, cfg.procs, &EtcParams::range_based(1.0), &mut rng);
+        let mut row_ms = Vec::with_capacity(algs.len());
+        for alg in &algs {
+            let mut samples: Vec<f64> = (0..cfg.reps.max(3))
+                .map(|_| {
+                    let t0 = Instant::now();
+                    let sched = alg.schedule(&dag, &sys);
+                    let dt = t0.elapsed().as_secs_f64() * 1e3;
+                    std::hint::black_box(sched.makespan());
+                    dt
+                })
+                .collect();
+            samples.sort_by(f64::total_cmp);
+            row_ms.push(samples[samples.len() / 2]); // median
+        }
+        let mut cells = vec![n.to_string()];
+        cells.extend(row_ms.iter().map(|ms| format!("{ms:.2}")));
+        table.row(cells);
+        means.push(row_ms);
+    }
+    let json = json!({
+        "unit": "ms (median)",
+        "sizes": sizes,
+        "algorithms": algs.iter().map(|a| a.name()).collect::<Vec<_>>(),
+        "times_ms": means,
+    });
+    Report {
+        text: format!(
+            "scheduling time, ms (median of {} runs)\n{}",
+            cfg.reps.max(3),
+            table.render()
+        ),
+        json,
+    }
+}

@@ -1,0 +1,70 @@
+//! fig12 (extension): structured graph classes — trees and
+//! series–parallel graphs — where in-tree joins make duplication's case
+//! most sharply.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hetsched_core::algorithms::all_heterogeneous;
+use hetsched_platform::{EtcParams, System};
+use hetsched_workloads::series_parallel::series_parallel;
+use hetsched_workloads::trees::{divide_and_conquer, in_tree, out_tree};
+
+use super::sweep::{metric_sweep, Metric, Point};
+use super::Report;
+use crate::config::Config;
+
+/// fig12: average SLR per structured graph class.
+pub fn structured_graphs(cfg: &Config) -> Report {
+    let (depth, fanout) = if cfg.quick { (3, 2) } else { (5, 2) };
+    let sp_n = if cfg.quick { 20 } else { 60 };
+    let procs = cfg.procs;
+    let mk_sys = move |dag: &hetsched_dag::Dag, rng: &mut StdRng| {
+        System::heterogeneous_random(dag, procs, &EtcParams::range_based(1.0), rng)
+    };
+    let points: Vec<Point> = vec![
+        Point {
+            label: format!("out-tree d{depth}"),
+            gen: Box::new(move |seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let ccr = [1.0, 5.0][(seed % 2) as usize];
+                let dag = out_tree(depth, fanout, 10.0, ccr, &mut rng);
+                let sys = mk_sys(&dag, &mut rng);
+                (dag, sys)
+            }),
+        },
+        Point {
+            label: format!("in-tree d{depth}"),
+            gen: Box::new(move |seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let ccr = [1.0, 5.0][(seed % 2) as usize];
+                let dag = in_tree(depth, fanout, 10.0, ccr, &mut rng);
+                let sys = mk_sys(&dag, &mut rng);
+                (dag, sys)
+            }),
+        },
+        Point {
+            label: format!("div&conq d{depth}"),
+            gen: Box::new(move |seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let ccr = [1.0, 5.0][(seed % 2) as usize];
+                let dag = divide_and_conquer(depth, fanout, 10.0, ccr, &mut rng);
+                let sys = mk_sys(&dag, &mut rng);
+                (dag, sys)
+            }),
+        },
+        Point {
+            label: format!("series-par n{sp_n}"),
+            gen: Box::new(move |seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let ccr = [1.0, 5.0][(seed % 2) as usize];
+                let dag = series_parallel(sp_n, 0.5, 10.0, ccr, &mut rng);
+                let sys = mk_sys(&dag, &mut rng);
+                (dag, sys)
+            }),
+        },
+    ];
+    let algs = all_heterogeneous();
+    let (text, json, _) = metric_sweep("class", &points, &algs, cfg.reps, cfg.seed, Metric::AvgSlr);
+    Report { text, json }
+}

@@ -1,0 +1,69 @@
+//! `hetsched-exp` — the experiment harness.
+//!
+//! Regenerates every table and figure of the evaluation (see DESIGN.md §4
+//! for the experiment index). Each experiment prints a plain-text table to
+//! stdout and writes a JSON record under `--out` (default `results/`).
+//!
+//! ```text
+//! hetsched-exp all                 # run everything
+//! hetsched-exp fig2-slr-vs-ccr     # one experiment
+//! hetsched-exp fig1-slr-vs-tasks --reps 10 --seed 7 --quick
+//! ```
+
+mod config;
+mod experiments;
+mod runner;
+
+use std::process::ExitCode;
+
+use config::Config;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (ids, cfg) = match config::parse_args(&args) {
+        Ok(x) => x,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", config::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    if ids.is_empty() {
+        eprintln!("{}", config::USAGE);
+        eprintln!("available experiments:");
+        for (id, desc) in experiments::catalog() {
+            eprintln!("  {id:<22} {desc}");
+        }
+        return ExitCode::FAILURE;
+    }
+    for id in &ids {
+        if let Err(msg) = run_one(id, &cfg) {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_one(id: &str, cfg: &Config) -> Result<(), String> {
+    let known: Vec<&str> = experiments::catalog().iter().map(|(i, _)| *i).collect();
+    if !known.contains(&id) {
+        return Err(format!("unknown experiment `{id}`; try `all`"));
+    }
+    let report = experiments::run(id, cfg);
+    println!("== {id} ==");
+    println!("{}", report.text);
+    if let Some(dir) = &cfg.out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+        let path = format!("{dir}/{id}.json");
+        std::fs::write(&path, serde_json::to_string_pretty(&report.json).unwrap())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+        if let Some(svg) = report.json.get("svg").and_then(|v| v.as_str()) {
+            let fig = format!("{dir}/{id}.svg");
+            std::fs::write(&fig, svg).map_err(|e| format!("writing {fig}: {e}"))?;
+            eprintln!("wrote {fig}");
+        }
+    }
+    Ok(())
+}

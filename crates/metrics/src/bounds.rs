@@ -1,0 +1,84 @@
+//! Makespan lower bounds — scheduler-independent floors used to sanity-
+//! check every heuristic and to bound the optimality gap in reports.
+
+use hetsched_dag::Dag;
+use hetsched_platform::System;
+
+use crate::slr::cp_min;
+
+/// Work bound: total fastest-processor work divided by the processor
+/// count. No schedule can beat perfectly balanced, communication-free
+/// execution of every task at its individual best speed.
+pub fn work_bound(dag: &Dag, sys: &System) -> f64 {
+    let total: f64 = dag.task_ids().map(|t| sys.etc().min_exec(t).0).sum();
+    total / sys.num_procs() as f64
+}
+
+/// Critical-path bound: the `CP_MIN` of the SLR denominator — every
+/// critical-path task at its fastest processor, communication free.
+pub fn critical_path_bound(dag: &Dag, sys: &System) -> f64 {
+    cp_min(dag, sys)
+}
+
+/// The tightest combination of the simple bounds.
+pub fn lower_bound(dag: &Dag, sys: &System) -> f64 {
+    work_bound(dag, sys).max(critical_path_bound(dag, sys))
+}
+
+/// Optimality-gap certificate: `makespan / lower_bound`. A value of 1.0
+/// proves the schedule optimal; heuristic papers report how close their
+/// schedules get.
+pub fn gap(dag: &Dag, sys: &System, makespan: f64) -> f64 {
+    makespan / lower_bound(dag, sys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_core::algorithms::all_heterogeneous;
+    use hetsched_dag::builder::dag_from_edges;
+    use hetsched_platform::{EtcParams, System};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bounds_on_independent_tasks() {
+        let dag = dag_from_edges(&[4.0, 4.0, 4.0, 4.0], &[]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 4);
+        assert_eq!(work_bound(&dag, &sys), 4.0);
+        assert_eq!(critical_path_bound(&dag, &sys), 4.0);
+        assert_eq!(lower_bound(&dag, &sys), 4.0);
+    }
+
+    #[test]
+    fn cp_bound_dominates_on_chains() {
+        let dag = dag_from_edges(&[3.0, 3.0, 3.0], &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 4);
+        assert_eq!(work_bound(&dag, &sys), 9.0 / 4.0);
+        assert_eq!(critical_path_bound(&dag, &sys), 9.0);
+        assert_eq!(lower_bound(&dag, &sys), 9.0);
+    }
+
+    #[test]
+    fn gap_of_an_optimal_schedule_is_one() {
+        let dag = dag_from_edges(&[3.0, 3.0, 3.0], &[(0, 1, 0.0), (1, 2, 0.0)]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 2);
+        // all three serial on one processor is optimal: makespan 9
+        assert!((gap(&dag, &sys, 9.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_scheduler_respects_the_lower_bound() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let weights: Vec<f64> = (0..30).map(|i| 1.0 + (i % 5) as f64).collect();
+        let edges: Vec<(u32, u32, f64)> = (0..29u32).map(|i| (i, i + 1, 2.0)).collect();
+        let dag = dag_from_edges(&weights, &edges).unwrap();
+        let sys = System::heterogeneous_random(&dag, 4, &EtcParams::range_based(1.0), &mut rng);
+        let lb = lower_bound(&dag, &sys);
+        for alg in all_heterogeneous() {
+            use hetsched_core::Scheduler as _;
+            let m = alg.schedule(&dag, &sys).makespan();
+            assert!(m >= lb - 1e-9, "{}: {m} < bound {lb}", alg.name());
+        }
+    }
+}

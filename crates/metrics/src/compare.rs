@@ -1,0 +1,192 @@
+//! Pairwise win/tie/loss comparison across algorithms — the classic table
+//! every scheduling paper ends its evaluation with.
+
+use serde::{Deserialize, Serialize};
+
+/// Relative tolerance within which two makespans count as a tie (list
+/// schedulers frequently produce identical schedules on easy instances).
+pub const TIE_EPS: f64 = 1e-9;
+
+/// Win/tie/loss table over a set of algorithms, accumulated one instance
+/// at a time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WtlTable {
+    names: Vec<String>,
+    /// `wins[a][b]` = number of instances where algorithm `a` had a
+    /// strictly smaller makespan than `b`.
+    wins: Vec<Vec<usize>>,
+    /// `ties[a][b]` = instances where they were equal within tolerance.
+    ties: Vec<Vec<usize>>,
+    instances: usize,
+}
+
+impl WtlTable {
+    /// New table over the given algorithm names.
+    ///
+    /// # Panics
+    /// Panics if `names` is empty.
+    pub fn new(names: Vec<String>) -> Self {
+        assert!(!names.is_empty(), "need at least one algorithm");
+        let k = names.len();
+        WtlTable {
+            names,
+            wins: vec![vec![0; k]; k],
+            ties: vec![vec![0; k]; k],
+            instances: 0,
+        }
+    }
+
+    /// Record one instance's makespans (same order as the names).
+    ///
+    /// # Panics
+    /// Panics if `makespans.len()` differs from the algorithm count or any
+    /// value is non-finite.
+    pub fn record(&mut self, makespans: &[f64]) {
+        assert_eq!(makespans.len(), self.names.len());
+        assert!(makespans.iter().all(|m| m.is_finite()));
+        let k = makespans.len();
+        for a in 0..k {
+            for b in 0..k {
+                if a == b {
+                    continue;
+                }
+                let (ma, mb) = (makespans[a], makespans[b]);
+                let tol = TIE_EPS * ma.abs().max(mb.abs()).max(1.0);
+                if (ma - mb).abs() <= tol {
+                    self.ties[a][b] += 1;
+                } else if ma < mb {
+                    self.wins[a][b] += 1;
+                }
+            }
+        }
+        self.instances += 1;
+    }
+
+    /// Number of recorded instances.
+    pub fn instances(&self) -> usize {
+        self.instances
+    }
+
+    /// Algorithm names in table order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// `(wins, ties, losses)` of algorithm `a` against `b`, as counts.
+    pub fn counts(&self, a: usize, b: usize) -> (usize, usize, usize) {
+        let w = self.wins[a][b];
+        let t = self.ties[a][b];
+        (w, t, self.instances - w - t)
+    }
+
+    /// `(win%, tie%, loss%)` of `a` against `b` (0..=100).
+    pub fn percentages(&self, a: usize, b: usize) -> (f64, f64, f64) {
+        if self.instances == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let (w, t, l) = self.counts(a, b);
+        let n = self.instances as f64;
+        (
+            100.0 * w as f64 / n,
+            100.0 * t as f64 / n,
+            100.0 * l as f64 / n,
+        )
+    }
+
+    /// Overall win rate of `a`: fraction of (instance, opponent) pairs `a`
+    /// strictly won.
+    pub fn overall_win_rate(&self, a: usize) -> f64 {
+        let k = self.names.len();
+        if self.instances == 0 || k < 2 {
+            return 0.0;
+        }
+        let total_wins: usize = (0..k).filter(|&b| b != a).map(|b| self.wins[a][b]).sum();
+        total_wins as f64 / (self.instances * (k - 1)) as f64
+    }
+
+    /// Render the full table as text: one block per row algorithm with
+    /// `win/tie/loss %` against each column algorithm.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "win/tie/loss % over {} instances", self.instances);
+        let width = self.names.iter().map(String::len).max().unwrap_or(4).max(6);
+        let _ = write!(s, "{:width$} ", "");
+        for name in &self.names {
+            let _ = write!(s, "{name:>16} ");
+        }
+        s.push('\n');
+        for (a, name) in self.names.iter().enumerate() {
+            let _ = write!(s, "{name:width$} ");
+            for b in 0..self.names.len() {
+                if a == b {
+                    let _ = write!(s, "{:>16} ", "-");
+                } else {
+                    let (w, t, l) = self.percentages(a, b);
+                    let _ = write!(s, "{:>16} ", format!("{w:.0}/{t:.0}/{l:.0}"));
+                }
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> WtlTable {
+        let mut t = WtlTable::new(vec!["A".into(), "B".into(), "C".into()]);
+        t.record(&[1.0, 2.0, 2.0]); // A beats both; B ties C
+        t.record(&[3.0, 2.0, 4.0]); // B beats both
+        t.record(&[5.0, 5.0, 5.0]); // all tie
+        t
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let t = table();
+        assert_eq!(t.instances(), 3);
+        assert_eq!(t.counts(0, 1), (1, 1, 1)); // A vs B: win, tie, loss
+        assert_eq!(t.counts(1, 0), (1, 1, 1));
+        assert_eq!(t.counts(0, 2), (2, 1, 0)); // A vs C: 2 wins, 1 tie
+        assert_eq!(t.counts(2, 0), (0, 1, 2));
+    }
+
+    #[test]
+    fn percentages_sum_to_hundred() {
+        let t = table();
+        for a in 0..3 {
+            for b in 0..3 {
+                if a != b {
+                    let (w, ti, l) = t.percentages(a, b);
+                    assert!((w + ti + l - 100.0).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overall_win_rate_ranks_a_first() {
+        let t = table();
+        assert!(t.overall_win_rate(0) > t.overall_win_rate(2));
+    }
+
+    #[test]
+    fn render_contains_all_names() {
+        let t = table();
+        let s = t.render();
+        for n in ["A", "B", "C"] {
+            assert!(s.contains(n));
+        }
+        assert!(s.contains("3 instances"));
+    }
+
+    #[test]
+    fn near_equal_makespans_tie() {
+        let mut t = WtlTable::new(vec!["A".into(), "B".into()]);
+        t.record(&[100.0, 100.0 + 1e-12]);
+        assert_eq!(t.counts(0, 1), (0, 1, 0));
+    }
+}

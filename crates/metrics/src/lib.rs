@@ -1,0 +1,28 @@
+//! # hetsched-metrics
+//!
+//! Evaluation metrics and statistics for scheduling experiments:
+//!
+//! * [`mod@slr`] — schedule length ratio, speedup, efficiency (the normalized
+//!   quality metrics every figure reports);
+//! * [`stats`] — summary statistics with confidence intervals;
+//! * [`compare`] — pairwise win/tie/loss tables across algorithms;
+//! * [`table`] — plain-text table rendering for harness output;
+//! * [`occupancy`] — schedule-shape statistics (processor use, idle
+//!   fraction, duplication counts).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod compare;
+pub mod gantt;
+pub mod occupancy;
+pub mod plot;
+pub mod slr;
+pub mod stats;
+pub mod table;
+
+pub use bounds::lower_bound;
+pub use compare::WtlTable;
+pub use slr::{efficiency, slr, speedup};
+pub use stats::Summary;

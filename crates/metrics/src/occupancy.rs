@@ -1,0 +1,83 @@
+//! Schedule-shape statistics: how a scheduler used the machine.
+
+use serde::{Deserialize, Serialize};
+
+use hetsched_core::Schedule;
+
+/// Occupancy statistics of one schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Processors with at least one slot.
+    pub procs_used: usize,
+    /// Total processors available.
+    pub procs_total: usize,
+    /// Fraction of `procs_total × makespan` spent idle (0 for a perfectly
+    /// packed schedule; 0 for an empty schedule by convention).
+    pub idle_fraction: f64,
+    /// Number of duplicate task copies.
+    pub duplicates: usize,
+    /// Busy time spent on duplicates divided by total busy time (0 when
+    /// there is no work).
+    pub duplication_overhead: f64,
+}
+
+/// Compute occupancy statistics for `sched`.
+pub fn occupancy(sched: &Schedule) -> Occupancy {
+    let makespan = sched.makespan();
+    let busy = sched.busy_time();
+    let area = sched.num_procs() as f64 * makespan;
+    let dup_busy: f64 = (0..sched.num_procs() as u32)
+        .flat_map(|p| sched.slots(hetsched_platform::ProcId(p)).iter())
+        .filter(|s| s.duplicate)
+        .map(|s| s.finish - s.start)
+        .sum();
+    Occupancy {
+        procs_used: sched.procs_used(),
+        procs_total: sched.num_procs(),
+        idle_fraction: if area > 0.0 { 1.0 - busy / area } else { 0.0 },
+        duplicates: sched.num_duplicates(),
+        duplication_overhead: if busy > 0.0 { dup_busy / busy } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_dag::TaskId;
+    use hetsched_platform::ProcId;
+
+    #[test]
+    fn packed_schedule_has_zero_idle() {
+        let mut s = Schedule::new(2, 1);
+        s.insert(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        s.insert(TaskId(1), ProcId(0), 2.0, 3.0).unwrap();
+        let o = occupancy(&s);
+        assert_eq!(o.procs_used, 1);
+        assert_eq!(o.procs_total, 1);
+        assert!(o.idle_fraction.abs() < 1e-12);
+        assert_eq!(o.duplicates, 0);
+        assert_eq!(o.duplication_overhead, 0.0);
+    }
+
+    #[test]
+    fn idle_and_duplicates_are_measured() {
+        let mut s = Schedule::new(2, 2);
+        s.insert(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        s.insert_duplicate(TaskId(0), ProcId(1), 0.0, 2.0).unwrap();
+        s.insert(TaskId(1), ProcId(1), 2.0, 2.0).unwrap();
+        let o = occupancy(&s);
+        assert_eq!(o.procs_used, 2);
+        assert_eq!(o.duplicates, 1);
+        // busy = 6, area = 8 -> idle 0.25; dup overhead = 2/6
+        assert!((o.idle_fraction - 0.25).abs() < 1e-12);
+        assert!((o.duplication_overhead - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_schedule_is_well_defined() {
+        let s = Schedule::new(1, 2);
+        let o = occupancy(&s);
+        assert_eq!(o.procs_used, 0);
+        assert_eq!(o.idle_fraction, 0.0);
+    }
+}

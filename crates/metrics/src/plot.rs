@@ -1,0 +1,218 @@
+//! Minimal SVG line charts — turns experiment series into paper-style
+//! figures without a plotting dependency.
+
+use std::fmt::Write as _;
+
+/// Chart geometry options.
+#[derive(Debug, Clone, Copy)]
+pub struct PlotStyle {
+    /// Total width in pixels.
+    pub width: u32,
+    /// Total height in pixels.
+    pub height: u32,
+    /// Margin around the plot area (axes labels live here).
+    pub margin: u32,
+}
+
+impl Default for PlotStyle {
+    fn default() -> Self {
+        PlotStyle {
+            width: 640,
+            height: 400,
+            margin: 60,
+        }
+    }
+}
+
+/// Stable distinguishable stroke per series index.
+fn series_color(i: usize) -> String {
+    let hue = (i as f64 * 137.508) % 360.0;
+    format!("hsl({hue:.0}, 70%, 40%)")
+}
+
+/// Render a line chart: categorical x axis (`x_labels`), one polyline per
+/// series. Y axis is scaled to the data range with a zero-free baseline.
+///
+/// # Panics
+/// Panics if series lengths disagree with `x_labels`, the data is empty,
+/// or contains non-finite values.
+pub fn line_chart(
+    title: &str,
+    x_labels: &[String],
+    series: &[(String, Vec<f64>)],
+    style: &PlotStyle,
+) -> String {
+    assert!(!x_labels.is_empty(), "need at least one x point");
+    assert!(!series.is_empty(), "need at least one series");
+    for (name, ys) in series {
+        assert_eq!(ys.len(), x_labels.len(), "series `{name}` length mismatch");
+        assert!(
+            ys.iter().all(|y| y.is_finite()),
+            "series `{name}` contains non-finite values"
+        );
+    }
+    let all: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .collect();
+    let (mut lo, mut hi) = all
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &y| {
+            (l.min(y), h.max(y))
+        });
+    if (hi - lo).abs() < 1e-12 {
+        lo -= 0.5;
+        hi += 0.5;
+    }
+    let pad = 0.05 * (hi - lo);
+    let (lo, hi) = (lo - pad, hi + pad);
+
+    let m = style.margin as f64;
+    let pw = style.width as f64 - 2.0 * m;
+    let ph = style.height as f64 - 2.0 * m;
+    let x_of = |i: usize| {
+        if x_labels.len() == 1 {
+            m + pw / 2.0
+        } else {
+            m + pw * i as f64 / (x_labels.len() - 1) as f64
+        }
+    };
+    let y_of = |v: f64| m + ph * (1.0 - (v - lo) / (hi - lo));
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" font-family="sans-serif" font-size="11">"#,
+        style.width, style.height
+    );
+    let _ = writeln!(
+        s,
+        r#"<text x="{}" y="18" font-size="14" text-anchor="middle">{title}</text>"#,
+        style.width / 2
+    );
+    // axes
+    let _ = writeln!(
+        s,
+        r##"<line x1="{m}" y1="{}" x2="{}" y2="{}" stroke="#333"/>"##,
+        m + ph,
+        m + pw,
+        m + ph
+    );
+    let _ = writeln!(
+        s,
+        r##"<line x1="{m}" y1="{m}" x2="{m}" y2="{}" stroke="#333"/>"##,
+        m + ph
+    );
+    // y ticks (5)
+    for k in 0..=4 {
+        let v = lo + (hi - lo) * k as f64 / 4.0;
+        let y = y_of(v);
+        let _ = writeln!(
+            s,
+            r##"<line x1="{}" y1="{y:.1}" x2="{m}" y2="{y:.1}" stroke="#333"/><text x="{}" y="{:.1}" text-anchor="end">{v:.2}</text>"##,
+            m - 4.0,
+            m - 8.0,
+            y + 4.0
+        );
+    }
+    // x tick labels
+    for (i, label) in x_labels.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="middle">{label}</text>"#,
+            x_of(i),
+            m + ph + 16.0
+        );
+    }
+    // series
+    for (si, (name, ys)) in series.iter().enumerate() {
+        let color = series_color(si);
+        let points: Vec<String> = ys
+            .iter()
+            .enumerate()
+            .map(|(i, &y)| format!("{:.1},{:.1}", x_of(i), y_of(y)))
+            .collect();
+        let _ = writeln!(
+            s,
+            r#"<polyline fill="none" stroke="{color}" stroke-width="1.8" points="{}"/>"#,
+            points.join(" ")
+        );
+        for p in &points {
+            let (x, y) = p.split_once(',').expect("point format");
+            let _ = writeln!(s, r#"<circle cx="{x}" cy="{y}" r="2.4" fill="{color}"/>"#);
+        }
+        // legend entry
+        let ly = m + 14.0 * si as f64;
+        let _ = writeln!(
+            s,
+            r#"<rect x="{:.1}" y="{:.1}" width="10" height="10" fill="{color}"/><text x="{:.1}" y="{:.1}">{name}</text>"#,
+            m + pw + 6.0,
+            ly,
+            m + pw + 20.0,
+            ly + 9.0
+        );
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("x{i}")).collect()
+    }
+
+    #[test]
+    fn renders_all_series_and_points() {
+        let svg = line_chart(
+            "demo",
+            &labels(3),
+            &[
+                ("A".into(), vec![1.0, 2.0, 3.0]),
+                ("B".into(), vec![3.0, 2.0, 1.0]),
+            ],
+            &PlotStyle::default(),
+        );
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains(">demo<"));
+        assert!(svg.contains(">A<") && svg.contains(">B<"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn flat_series_get_a_synthetic_range() {
+        let svg = line_chart(
+            "flat",
+            &labels(2),
+            &[("C".into(), vec![5.0, 5.0])],
+            &PlotStyle::default(),
+        );
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn single_point_centers() {
+        let svg = line_chart(
+            "one",
+            &labels(1),
+            &[("D".into(), vec![2.0])],
+            &PlotStyle::default(),
+        );
+        assert_eq!(svg.matches("<circle").count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_series_panics() {
+        line_chart(
+            "bad",
+            &labels(3),
+            &[("E".into(), vec![1.0])],
+            &PlotStyle::default(),
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Normalized schedule-quality metrics: SLR, speedup, efficiency.
+
+use hetsched_dag::Dag;
+use hetsched_platform::System;
+
+/// Length of the graph's critical path when every task is charged its
+/// **minimum** execution cost over processors (`CP_MIN`), communication
+/// excluded from the sum.
+///
+/// This is the denominator of the classic SLR (Topcuoglu et al.): a
+/// schedule can never finish faster than running every critical-path task
+/// on its fastest processor with free communication, so `SLR ≥ 1` always.
+/// The path itself is selected by those same min-cost weights (with zero
+/// communication), matching the common implementation of the metric.
+pub fn cp_min(dag: &Dag, sys: &System) -> f64 {
+    let mut bl = vec![0.0f64; dag.num_tasks()];
+    for &t in dag.topo_order().iter().rev() {
+        let tail = dag
+            .successors(t)
+            .map(|(s, _)| bl[s.index()])
+            .fold(0.0f64, f64::max);
+        bl[t.index()] = sys.etc().min_exec(t).0 + tail;
+    }
+    dag.task_ids().map(|t| bl[t.index()]).fold(0.0f64, f64::max)
+}
+
+/// Schedule length ratio: `makespan / CP_MIN`.
+///
+/// Returns `NaN` if the graph consists solely of zero-weight tasks
+/// (`CP_MIN == 0`) — instances the experiment generators never produce.
+///
+/// ```
+/// use hetsched_dag::builder::dag_from_edges;
+/// use hetsched_metrics::slr;
+/// use hetsched_platform::System;
+///
+/// let dag = dag_from_edges(&[2.0, 3.0], &[(0, 1, 5.0)]).unwrap();
+/// let sys = System::homogeneous_unit(&dag, 2);
+/// // CP_MIN = 5 (both tasks at their fastest, comm free)
+/// assert_eq!(slr(&dag, &sys, 10.0), 2.0);
+/// ```
+pub fn slr(dag: &Dag, sys: &System, makespan: f64) -> f64 {
+    makespan / cp_min(dag, sys)
+}
+
+/// Sequential time: the best single processor's total execution time,
+/// `min_p Σ_t w(t, p)` (communication-free, as all tasks are co-located).
+pub fn sequential_time(dag: &Dag, sys: &System) -> f64 {
+    sys.proc_ids()
+        .map(|p| dag.task_ids().map(|t| sys.exec_time(t, p)).sum::<f64>())
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Speedup: sequential time on the best single processor divided by the
+/// schedule's makespan.
+pub fn speedup(dag: &Dag, sys: &System, makespan: f64) -> f64 {
+    sequential_time(dag, sys) / makespan
+}
+
+/// Efficiency: speedup divided by the number of processors (∈ (0, 1] for
+/// any sane schedule).
+pub fn efficiency(dag: &Dag, sys: &System, makespan: f64) -> f64 {
+    speedup(dag, sys, makespan) / sys.num_procs() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_core::{algorithms::Heft, Scheduler};
+    use hetsched_dag::builder::dag_from_edges;
+    use hetsched_platform::{EtcMatrix, Network};
+
+    fn chain() -> Dag {
+        dag_from_edges(&[2.0, 3.0, 4.0], &[(0, 1, 5.0), (1, 2, 5.0)]).unwrap()
+    }
+
+    #[test]
+    fn cp_min_uses_fastest_processor_per_task() {
+        let dag = chain();
+        // two procs: p0 = nominal, p1 = half cost
+        let etc = EtcMatrix::from_fn(3, 2, |t, p| {
+            let w = [2.0, 3.0, 4.0][t.index()];
+            if p.index() == 1 {
+                w / 2.0
+            } else {
+                w
+            }
+        });
+        let sys = System::new(etc, Network::unit(2));
+        assert_eq!(cp_min(&dag, &sys), 4.5);
+    }
+
+    use hetsched_dag::Dag;
+    use hetsched_platform::System;
+
+    #[test]
+    fn slr_of_serial_chain_on_homogeneous_is_one() {
+        let dag = chain();
+        let sys = System::homogeneous_unit(&dag, 2);
+        let s = Heft::new().schedule(&dag, &sys);
+        // chain stays local: makespan 9 == CP_MIN 9
+        assert!((slr(&dag, &sys, s.makespan()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slr_never_below_one_for_valid_schedules() {
+        let dag = chain();
+        let sys = System::homogeneous_unit(&dag, 3);
+        let s = Heft::new().schedule(&dag, &sys);
+        assert!(slr(&dag, &sys, s.makespan()) >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn speedup_and_efficiency_on_parallel_work() {
+        let dag = dag_from_edges(&[4.0, 4.0, 4.0, 4.0], &[]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 4);
+        let s = Heft::new().schedule(&dag, &sys);
+        assert_eq!(s.makespan(), 4.0);
+        assert_eq!(sequential_time(&dag, &sys), 16.0);
+        assert_eq!(speedup(&dag, &sys, s.makespan()), 4.0);
+        assert_eq!(efficiency(&dag, &sys, s.makespan()), 1.0);
+    }
+
+    #[test]
+    fn sequential_time_picks_best_processor() {
+        let dag = chain();
+        let etc = EtcMatrix::from_fn(3, 2, |t, p| {
+            let w = [2.0, 3.0, 4.0][t.index()];
+            if p.index() == 1 {
+                w * 0.1
+            } else {
+                w
+            }
+        });
+        let sys = System::new(etc, Network::unit(2));
+        assert!((sequential_time(&dag, &sys) - 0.9).abs() < 1e-12);
+    }
+}

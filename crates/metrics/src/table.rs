@@ -1,0 +1,126 @@
+//! Minimal plain-text table rendering for harness reports.
+
+/// A simple column-aligned text table.
+///
+/// ```
+/// use hetsched_metrics::table::TextTable;
+/// let mut t = TextTable::new(vec!["alg".into(), "SLR".into()]);
+/// t.row(vec!["HEFT".into(), "1.23".into()]);
+/// let s = t.render();
+/// assert!(s.contains("HEFT"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// New table with the given header.
+    ///
+    /// # Panics
+    /// Panics if the header is empty.
+    pub fn new(header: Vec<String>) -> Self {
+        assert!(!header.is_empty(), "table needs at least one column");
+        TextTable {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns (first column left-aligned, the rest
+    /// right-aligned) and a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (c, h) in self.header.iter().enumerate() {
+            width[c] = h.len();
+        }
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                width[c] = width[c].max(cell.len());
+            }
+        }
+        let mut s = String::new();
+        let fmt_row = |cells: &[String], s: &mut String| {
+            for (c, cell) in cells.iter().enumerate() {
+                if c == 0 {
+                    s.push_str(&format!("{cell:<w$}  ", w = width[0]));
+                } else {
+                    s.push_str(&format!("{cell:>w$}  ", w = width[c]));
+                }
+            }
+            while s.ends_with(' ') {
+                s.pop();
+            }
+            s.push('\n');
+        };
+        fmt_row(&self.header, &mut s);
+        let total: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+        s.push_str(&"-".repeat(total));
+        s.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &mut s);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let mut t = TextTable::new(vec!["name".into(), "value".into()]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "123.456".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // right alignment of the numeric column
+        assert!(lines[2].ends_with('1'));
+        assert!(lines[3].ends_with("123.456"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut t = TextTable::new(vec!["x".into()]);
+        assert!(t.is_empty());
+        t.row(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! Minimal distribution samplers used by ETC generation.
+//!
+//! `rand_distr` is not in the approved offline dependency set, so the two
+//! distributions the CVB method needs — standard normal and gamma — are
+//! implemented here: Box–Muller for the normal, Marsaglia–Tsang for the
+//! gamma (with the standard `alpha < 1` boost).
+
+use rand::Rng;
+
+/// Draw one standard-normal variate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so ln(u1) is finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draw one Gamma(alpha, theta) variate (shape `alpha` > 0, scale
+/// `theta` > 0) using Marsaglia & Tsang's squeeze method.
+///
+/// # Panics
+/// Panics if `alpha` or `theta` is not strictly positive and finite.
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, alpha: f64, theta: f64) -> f64 {
+    assert!(
+        alpha.is_finite() && alpha > 0.0,
+        "gamma shape must be positive, got {alpha}"
+    );
+    assert!(
+        theta.is_finite() && theta > 0.0,
+        "gamma scale must be positive, got {theta}"
+    );
+    if alpha < 1.0 {
+        // boost: Gamma(a) = Gamma(a + 1) * U^(1/a)
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return gamma(rng, alpha + 1.0, theta) * u.powf(1.0 / alpha);
+    }
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v3 = v * v * v;
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        // squeeze check, then full check
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
+            return d * v3 * theta;
+        }
+    }
+}
+
+/// Draw a Gamma variate parameterized by mean `mu` and coefficient of
+/// variation `cv` (stddev / mean), the form the CVB ETC method uses.
+///
+/// # Panics
+/// Panics if `mu <= 0` or `cv <= 0`.
+pub fn gamma_mean_cv<R: Rng + ?Sized>(rng: &mut R, mu: f64, cv: f64) -> f64 {
+    assert!(mu > 0.0, "mean must be positive, got {mu}");
+    assert!(cv > 0.0, "cv must be positive, got {cv}");
+    let alpha = 1.0 / (cv * cv);
+    let theta = mu / alpha;
+    gamma(rng, alpha, theta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..200_000).map(|_| standard_normal(&mut rng)).collect();
+        let (m, v) = moments(&xs);
+        assert!(m.abs() < 0.02, "mean {m}");
+        assert!((v - 1.0).abs() < 0.03, "var {v}");
+    }
+
+    #[test]
+    fn gamma_moments_shape_above_one() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (a, th) = (4.0, 2.5);
+        let xs: Vec<f64> = (0..200_000).map(|_| gamma(&mut rng, a, th)).collect();
+        let (m, v) = moments(&xs);
+        assert!((m - a * th).abs() / (a * th) < 0.02, "mean {m}");
+        assert!((v - a * th * th).abs() / (a * th * th) < 0.05, "var {v}");
+    }
+
+    #[test]
+    fn gamma_moments_shape_below_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (a, th) = (0.5, 3.0);
+        let xs: Vec<f64> = (0..200_000).map(|_| gamma(&mut rng, a, th)).collect();
+        let (m, v) = moments(&xs);
+        assert!((m - a * th).abs() / (a * th) < 0.03, "mean {m}");
+        assert!((v - a * th * th).abs() / (a * th * th) < 0.08, "var {v}");
+    }
+
+    #[test]
+    fn gamma_mean_cv_hits_target_moments() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (mu, cv) = (10.0, 0.5);
+        let xs: Vec<f64> = (0..200_000)
+            .map(|_| gamma_mean_cv(&mut rng, mu, cv))
+            .collect();
+        let (m, v) = moments(&xs);
+        assert!((m - mu).abs() / mu < 0.02, "mean {m}");
+        let sd = v.sqrt();
+        assert!((sd / m - cv).abs() < 0.03, "cv {}", sd / m);
+    }
+
+    #[test]
+    fn gamma_is_always_positive() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            assert!(gamma(&mut rng, 0.3, 1.0) > 0.0);
+            assert!(gamma(&mut rng, 7.0, 0.1) > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma shape must be positive")]
+    fn gamma_rejects_bad_shape() {
+        let mut rng = StdRng::seed_from_u64(6);
+        gamma(&mut rng, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma scale must be positive")]
+    fn gamma_rejects_bad_scale() {
+        let mut rng = StdRng::seed_from_u64(7);
+        gamma(&mut rng, 1.0, -1.0);
+    }
+}

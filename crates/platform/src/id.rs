@@ -1,0 +1,54 @@
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a processor in a [`crate::System`].
+///
+/// Dense index newtype, mirroring `hetsched_dag::TaskId`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// The processor id as a `usize` index.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a dense index.
+    ///
+    /// # Panics
+    /// Panics if `i` does not fit in `u32`.
+    #[inline(always)]
+    pub fn from_index(i: usize) -> Self {
+        ProcId(u32::try_from(i).expect("processor index exceeds u32::MAX"))
+    }
+}
+
+impl core::fmt::Display for ProcId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl core::fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "ProcId({})", self.0)
+    }
+}
+
+impl From<u32> for ProcId {
+    fn from(v: u32) -> Self {
+        ProcId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_display() {
+        assert_eq!(ProcId::from_index(3).index(), 3);
+        assert_eq!(ProcId(3).to_string(), "p3");
+        assert!(ProcId(1) < ProcId(2));
+    }
+}

@@ -1,0 +1,50 @@
+//! # hetsched-platform
+//!
+//! The *computing system* model for the `hetsched` scheduler family: a set
+//! of processors with an **expected-time-to-compute (ETC)** matrix, plus an
+//! interconnect with per-link startup latency and bandwidth.
+//!
+//! Heterogeneity is expressed the way the static-scheduling literature does:
+//!
+//! * **Range-based ETC generation** — each task's execution time on each
+//!   processor is drawn uniformly around the task's nominal weight, with a
+//!   heterogeneity factor `β` controlling the spread (β = 0 ⇒ homogeneous).
+//! * **CVB (coefficient-of-variation based) ETC generation** — gamma
+//!   distributed task and machine variation, the method of Ali et al.
+//! * **Consistency** — a *consistent* matrix means processor `p` faster than
+//!   `q` on one task implies faster on all; *inconsistent* has no such
+//!   structure; *partially consistent* sorts a fraction of columns.
+//!
+//! A homogeneous system is simply a flat ETC matrix plus a uniform network,
+//! so every scheduler in `hetsched-core` covers both halves of the paper's
+//! title with one code path.
+//!
+//! ```
+//! use hetsched_dag::builder::dag_from_edges;
+//! use hetsched_platform::{System, EtcParams};
+//! use rand::SeedableRng;
+//!
+//! let dag = dag_from_edges(&[2.0, 3.0], &[(0, 1, 4.0)]).unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let sys = System::heterogeneous_random(&dag, 4, &EtcParams::range_based(0.5), &mut rng);
+//! assert_eq!(sys.num_procs(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod etc;
+mod id;
+pub mod network;
+pub mod spec;
+pub mod system;
+
+pub use etc::{Consistency, EtcMatrix, EtcMethod, EtcParams};
+pub use id::ProcId;
+pub use network::{Network, Topology};
+pub use spec::SystemSpec;
+pub use system::System;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,290 @@
+//! User-facing computing-system interchange format.
+//!
+//! [`SystemSpec`] describes a target system in the terms a user thinks in
+//! (identical machines, speed factors, or an explicit ETC matrix, plus a
+//! network), serializes to/from JSON, and builds a validated [`System`]
+//! for a given task graph on load.
+//!
+//! ```json
+//! {
+//!   "processors": { "kind": "speeds", "speeds": [2.0, 1.0, 1.0, 0.5] },
+//!   "network": { "topology": "star", "startup": 0.05, "bandwidth": 4.0 }
+//! }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use hetsched_dag::Dag;
+
+use crate::etc::EtcMatrix;
+use crate::network::{Network, Topology};
+use crate::system::System;
+use hetsched_dag::TaskId;
+
+use crate::ProcId;
+
+/// Processor-side description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum ProcessorsSpec {
+    /// `count` identical processors: task times equal nominal weights.
+    Homogeneous {
+        /// Number of processors.
+        count: usize,
+    },
+    /// Related machines: one speed factor per processor
+    /// (`time = weight / speed`).
+    Speeds {
+        /// Speed factor per processor (must be positive).
+        speeds: Vec<f64>,
+    },
+    /// Explicit ETC matrix, task-major (`etc[task][proc]`).
+    Etc {
+        /// Execution time rows, one per task.
+        etc: Vec<Vec<f64>>,
+    },
+}
+
+/// Network-side description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSpec {
+    /// Interconnect topology name: `fully_connected`, `bus`, `ring`,
+    /// `star`, or `mesh` (with `rows`/`cols`).
+    pub topology: String,
+    /// Per-hop startup latency (seconds).
+    #[serde(default)]
+    pub startup: f64,
+    /// Per-hop link bandwidth (data units per second).
+    pub bandwidth: f64,
+    /// Mesh rows (required only for `mesh`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub rows: Option<usize>,
+    /// Mesh columns (required only for `mesh`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cols: Option<usize>,
+}
+
+/// Full system description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemSpec {
+    /// Processor side.
+    pub processors: ProcessorsSpec,
+    /// Network side.
+    pub network: NetworkSpec,
+}
+
+/// Errors building a [`System`] from a spec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// A numeric field was out of range.
+    Invalid(String),
+    /// The ETC matrix shape disagrees with the DAG or itself.
+    Shape(String),
+}
+
+impl core::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SpecError::Invalid(m) => write!(f, "invalid system spec: {m}"),
+            SpecError::Shape(m) => write!(f, "system spec shape error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl SystemSpec {
+    /// Number of processors the spec describes.
+    pub fn num_procs(&self) -> usize {
+        match &self.processors {
+            ProcessorsSpec::Homogeneous { count } => *count,
+            ProcessorsSpec::Speeds { speeds } => speeds.len(),
+            ProcessorsSpec::Etc { etc } => etc.first().map_or(0, Vec::len),
+        }
+    }
+
+    /// Build a validated [`System`] for `dag`.
+    ///
+    /// # Errors
+    /// [`SpecError`] on invalid values or shape mismatches.
+    pub fn build(&self, dag: &Dag) -> Result<System, SpecError> {
+        let n_procs = self.num_procs();
+        if n_procs == 0 {
+            return Err(SpecError::Invalid("need at least one processor".into()));
+        }
+        let etc = match &self.processors {
+            ProcessorsSpec::Homogeneous { .. } => EtcMatrix::homogeneous(dag, n_procs),
+            ProcessorsSpec::Speeds { speeds } => {
+                if speeds.iter().any(|&s| !s.is_finite() || s <= 0.0) {
+                    return Err(SpecError::Invalid("speeds must be positive".into()));
+                }
+                EtcMatrix::from_speeds(dag, speeds)
+            }
+            ProcessorsSpec::Etc { etc } => {
+                if etc.len() != dag.num_tasks() {
+                    return Err(SpecError::Shape(format!(
+                        "ETC has {} rows but the DAG has {} tasks",
+                        etc.len(),
+                        dag.num_tasks()
+                    )));
+                }
+                if etc.iter().any(|row| row.len() != n_procs) {
+                    return Err(SpecError::Shape("ragged ETC rows".into()));
+                }
+                if etc.iter().flatten().any(|&v| !v.is_finite() || v < 0.0) {
+                    return Err(SpecError::Invalid(
+                        "ETC entries must be finite and >= 0".into(),
+                    ));
+                }
+                EtcMatrix::from_fn(dag.num_tasks(), n_procs, |t: TaskId, p: ProcId| {
+                    etc[t.index()][p.index()]
+                })
+            }
+        };
+        if !self.network.bandwidth.is_finite() || self.network.bandwidth <= 0.0 {
+            return Err(SpecError::Invalid("bandwidth must be positive".into()));
+        }
+        if !self.network.startup.is_finite() || self.network.startup < 0.0 {
+            return Err(SpecError::Invalid("startup must be >= 0".into()));
+        }
+        let topology = match self.network.topology.as_str() {
+            "fully_connected" => Topology::FullyConnected,
+            "bus" => Topology::Bus,
+            "ring" => Topology::Ring,
+            "star" => Topology::Star,
+            "mesh" => {
+                let rows = self
+                    .network
+                    .rows
+                    .ok_or_else(|| SpecError::Invalid("mesh needs rows".into()))?;
+                let cols = self
+                    .network
+                    .cols
+                    .ok_or_else(|| SpecError::Invalid("mesh needs cols".into()))?;
+                if rows * cols != n_procs {
+                    return Err(SpecError::Shape(format!(
+                        "mesh {rows}x{cols} does not cover {n_procs} processors"
+                    )));
+                }
+                Topology::Mesh2D { rows, cols }
+            }
+            other => {
+                return Err(SpecError::Invalid(format!("unknown topology `{other}`")));
+            }
+        };
+        let net = Network::with_topology(
+            n_procs,
+            topology,
+            self.network.startup,
+            self.network.bandwidth,
+        );
+        Ok(System::new(etc, net))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_dag::builder::dag_from_edges;
+
+    fn dag() -> Dag {
+        dag_from_edges(&[2.0, 4.0], &[(0, 1, 3.0)]).unwrap()
+    }
+
+    fn net(topology: &str) -> NetworkSpec {
+        NetworkSpec {
+            topology: topology.into(),
+            startup: 0.1,
+            bandwidth: 2.0,
+            rows: None,
+            cols: None,
+        }
+    }
+
+    #[test]
+    fn homogeneous_spec_builds() {
+        let spec = SystemSpec {
+            processors: ProcessorsSpec::Homogeneous { count: 3 },
+            network: net("fully_connected"),
+        };
+        let sys = spec.build(&dag()).unwrap();
+        assert_eq!(sys.num_procs(), 3);
+        assert!(sys.is_homogeneous());
+        assert_eq!(sys.exec_time(TaskId(1), ProcId(2)), 4.0);
+    }
+
+    #[test]
+    fn speeds_spec_builds() {
+        let spec = SystemSpec {
+            processors: ProcessorsSpec::Speeds {
+                speeds: vec![1.0, 2.0],
+            },
+            network: net("ring"),
+        };
+        let sys = spec.build(&dag()).unwrap();
+        assert_eq!(sys.exec_time(TaskId(1), ProcId(1)), 2.0);
+    }
+
+    #[test]
+    fn explicit_etc_spec_builds_and_checks_shape() {
+        let good = SystemSpec {
+            processors: ProcessorsSpec::Etc {
+                etc: vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+            },
+            network: net("bus"),
+        };
+        let sys = good.build(&dag()).unwrap();
+        assert_eq!(sys.exec_time(TaskId(1), ProcId(0)), 3.0);
+
+        let bad = SystemSpec {
+            processors: ProcessorsSpec::Etc {
+                etc: vec![vec![1.0, 2.0]],
+            },
+            network: net("bus"),
+        };
+        assert!(matches!(bad.build(&dag()), Err(SpecError::Shape(_))));
+    }
+
+    #[test]
+    fn mesh_requires_matching_dimensions() {
+        let mut spec = SystemSpec {
+            processors: ProcessorsSpec::Homogeneous { count: 6 },
+            network: net("mesh"),
+        };
+        assert!(spec.build(&dag()).is_err(), "missing rows/cols");
+        spec.network.rows = Some(2);
+        spec.network.cols = Some(3);
+        assert!(spec.build(&dag()).is_ok());
+        spec.network.cols = Some(4);
+        assert!(matches!(spec.build(&dag()), Err(SpecError::Shape(_))));
+    }
+
+    #[test]
+    fn bad_values_rejected() {
+        let spec = SystemSpec {
+            processors: ProcessorsSpec::Speeds { speeds: vec![0.0] },
+            network: net("bus"),
+        };
+        assert!(matches!(spec.build(&dag()), Err(SpecError::Invalid(_))));
+        let spec = SystemSpec {
+            processors: ProcessorsSpec::Homogeneous { count: 2 },
+            network: NetworkSpec {
+                bandwidth: 0.0,
+                ..net("bus")
+            },
+        };
+        assert!(matches!(spec.build(&dag()), Err(SpecError::Invalid(_))));
+        let spec = SystemSpec {
+            processors: ProcessorsSpec::Homogeneous { count: 2 },
+            network: net("hypercube"),
+        };
+        assert!(matches!(spec.build(&dag()), Err(SpecError::Invalid(_))));
+    }
+
+    #[test]
+    fn spec_serde_round_trip_shape() {
+        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+        assert_serde::<SystemSpec>();
+        assert_serde::<ProcessorsSpec>();
+    }
+}

@@ -1,0 +1,737 @@
+//! The discrete-event engine: as-soon-as-possible replay of a static
+//! schedule with optional duration noise, systematic processor slowdowns,
+//! and contention-aware communication models.
+//!
+//! The replay preserves two things from the static schedule — the
+//! processor each copy runs on and the *order* of copies on each
+//! processor — and re-derives every start time from event semantics:
+//! a copy starts when its processor reaches it **and** every
+//! predecessor's data has arrived at that processor (from whichever copy
+//! delivers first). Nothing is taken from the schedule's precomputed
+//! times, which is what makes this an independent cross-check.
+//!
+//! ## Communication models
+//!
+//! Static list schedulers assume **contention-free** links: any number of
+//! messages flow simultaneously. The simulator can also replay under
+//!
+//! * [`CommModel::SinglePort`] — each processor owns one send port and one
+//!   receive port; a message occupies both endpoints' ports for its whole
+//!   transfer; queued messages dispatch first-fit in queueing order (a
+//!   blocked message never holds up a later one whose ports are free);
+//! * [`CommModel::SharedBus`] — one message in flight in the entire
+//!   system (the classic bus).
+//!
+//! Under contention, the realized makespan can *exceed* the analytical
+//! one — exactly the modelling error the contention literature studies.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hetsched_core::Schedule;
+use hetsched_dag::{Dag, TaskId};
+use hetsched_platform::{ProcId, System};
+
+use crate::noise::Noise;
+
+/// Simulation configuration (noise + seed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Noise on execution durations.
+    pub exec_noise: Noise,
+    /// Noise on message transfer durations.
+    pub comm_noise: Noise,
+    /// RNG seed (the simulation is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            exec_noise: Noise::None,
+            comm_noise: Noise::None,
+            seed: 0,
+        }
+    }
+}
+
+/// How concurrent messages share the interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommModel {
+    /// Unlimited concurrent transfers (the schedulers' assumption).
+    #[default]
+    Contentionless,
+    /// One outgoing and one incoming transfer per processor at a time.
+    SinglePort,
+    /// One transfer in the whole system at a time.
+    SharedBus,
+}
+
+/// Scenario: systematic deviations from the model the scheduler saw.
+#[derive(Debug, Clone, Default)]
+pub struct Scenario {
+    /// Per-processor execution-time multipliers (empty = all 1.0).
+    pub proc_slowdown: Vec<f64>,
+    /// Communication contention model.
+    pub comm_model: CommModel,
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Latest finish of any *primary* task copy.
+    pub makespan: f64,
+    /// Realized finish time of each task's primary copy.
+    pub task_finish: Vec<f64>,
+    /// Number of processed events (a complexity diagnostic).
+    pub events: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum EventKind {
+    /// A copy finished executing.
+    Finish(u32),
+    /// Data from predecessor `pred` arrived for copy `copy`.
+    Arrive {
+        /// Copy index.
+        copy: u32,
+        /// Predecessor task whose data arrived.
+        pred: TaskId,
+    },
+    /// A message transfer completed; its ports are free again (dispatch
+    /// retry happens after every event anyway — this event just wakes the
+    /// loop at the right instant).
+    PortsFree,
+}
+
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+struct Copy {
+    task: TaskId,
+    proc: ProcId,
+    /// Position of this copy on its processor's timeline.
+    slot_index: usize,
+    primary: bool,
+    /// Predecessor tasks not yet delivered to this copy's processor.
+    waiting: Vec<TaskId>,
+    proc_free: bool,
+    started: bool,
+    finish: f64,
+}
+
+/// A remote message waiting for ports under a contention model.
+struct PendingMsg {
+    dst_copy: u32,
+    pred: TaskId,
+    src: ProcId,
+    dst: ProcId,
+    ready: f64,
+    dur: f64,
+}
+
+/// Execute `sched` on `sys` under `config`'s noise models (contention-free
+/// communication, no slowdowns).
+///
+/// ```
+/// use hetsched_core::{algorithms::Heft, Scheduler};
+/// use hetsched_dag::builder::dag_from_edges;
+/// use hetsched_platform::System;
+/// use hetsched_sim::{simulate, SimConfig};
+///
+/// let dag = dag_from_edges(&[2.0, 3.0], &[(0, 1, 1.0)]).unwrap();
+/// let sys = System::homogeneous_unit(&dag, 2);
+/// let sched = Heft::new().schedule(&dag, &sys);
+/// let replay = simulate(&dag, &sys, &sched, &SimConfig::default());
+/// assert!(replay.makespan <= sched.makespan() + 1e-9);
+/// ```
+///
+/// # Panics
+/// Panics if the schedule is incomplete, or if the replay deadlocks
+/// (possible only for schedules that violate precedence, which
+/// `hetsched_core::validate` would reject).
+pub fn simulate(dag: &Dag, sys: &System, sched: &Schedule, config: &SimConfig) -> SimResult {
+    simulate_with(dag, sys, sched, config, &Scenario::default())
+}
+
+/// Like [`simulate`], with a per-processor slowdown vector
+/// (`proc_slowdown[p]` multiplies every execution on `p`; empty = none).
+///
+/// # Panics
+/// As [`simulate_with`].
+pub fn simulate_scenario(
+    dag: &Dag,
+    sys: &System,
+    sched: &Schedule,
+    config: &SimConfig,
+    proc_slowdown: &[f64],
+) -> SimResult {
+    simulate_with(
+        dag,
+        sys,
+        sched,
+        config,
+        &Scenario {
+            proc_slowdown: proc_slowdown.to_vec(),
+            comm_model: CommModel::Contentionless,
+        },
+    )
+}
+
+/// Full-control entry point: noise (`config`) plus systematic `scenario`
+/// deviations (slowdowns, contention model).
+///
+/// # Panics
+/// Panics if the schedule is incomplete; if the slowdown vector is
+/// non-empty with the wrong length or non-positive factors; or if the
+/// replay deadlocks (broken precedence).
+pub fn simulate_with(
+    dag: &Dag,
+    sys: &System,
+    sched: &Schedule,
+    config: &SimConfig,
+    scenario: &Scenario,
+) -> SimResult {
+    assert!(sched.is_complete(), "cannot simulate a partial schedule");
+    if !scenario.proc_slowdown.is_empty() {
+        assert_eq!(
+            scenario.proc_slowdown.len(),
+            sys.num_procs(),
+            "slowdown vector must cover every processor"
+        );
+        assert!(
+            scenario
+                .proc_slowdown
+                .iter()
+                .all(|&f| f.is_finite() && f > 0.0),
+            "slowdown factors must be positive and finite"
+        );
+    }
+    let slow = |p: ProcId| -> f64 {
+        if scenario.proc_slowdown.is_empty() {
+            1.0
+        } else {
+            scenario.proc_slowdown[p.index()]
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // ---- build copy table -------------------------------------------------
+    let mut copies: Vec<Copy> = Vec::new();
+    let mut proc_copies: Vec<Vec<u32>> = vec![Vec::new(); sys.num_procs()];
+    let mut task_copies: Vec<Vec<u32>> = vec![Vec::new(); dag.num_tasks()];
+    for p in sys.proc_ids() {
+        for (k, slot) in sched.slots(p).iter().enumerate() {
+            let id = copies.len() as u32;
+            copies.push(Copy {
+                task: slot.task,
+                proc: p,
+                slot_index: k,
+                primary: !slot.duplicate,
+                waiting: dag.predecessors(slot.task).map(|(u, _)| u).collect(),
+                proc_free: k == 0,
+                started: false,
+                finish: f64::INFINITY,
+            });
+            proc_copies[p.index()].push(id);
+            task_copies[slot.task.index()].push(id);
+        }
+    }
+
+    let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push =
+        |heap: &mut BinaryHeap<Reverse<Event>>, seq: &mut u64, time: f64, kind: EventKind| {
+            *seq += 1;
+            heap.push(Reverse(Event {
+                time,
+                seq: *seq,
+                kind,
+            }));
+        };
+
+    // contention state
+    let mut send_free = vec![0.0f64; sys.num_procs()];
+    let mut recv_free = vec![0.0f64; sys.num_procs()];
+    let mut bus_free = 0.0f64;
+    let mut pending: Vec<PendingMsg> = Vec::new();
+
+    macro_rules! try_start {
+        ($c:expr, $now:expr) => {{
+            let c = $c as usize;
+            if !copies[c].started && copies[c].proc_free && copies[c].waiting.is_empty() {
+                copies[c].started = true;
+                let dur = slow(copies[c].proc)
+                    * config
+                        .exec_noise
+                        .apply(sys.exec_time(copies[c].task, copies[c].proc), &mut rng);
+                let fin = $now + dur;
+                copies[c].finish = fin;
+                push(&mut heap, &mut seq, fin, EventKind::Finish(c as u32));
+            }
+        }};
+    }
+
+    for c in 0..copies.len() {
+        try_start!(c, 0.0);
+    }
+
+    let mut processed = 0usize;
+    while let Some(Reverse(Event { time, kind, .. })) = heap.pop() {
+        processed += 1;
+        match kind {
+            EventKind::Finish(c) => {
+                let c = c as usize;
+                let (p, k, task, fin) = (
+                    copies[c].proc,
+                    copies[c].slot_index,
+                    copies[c].task,
+                    copies[c].finish,
+                );
+                if let Some(&next) = proc_copies[p.index()].get(k + 1) {
+                    copies[next as usize].proc_free = true;
+                    try_start!(next, time);
+                }
+                for (s, data) in dag.successors(task) {
+                    for &sc in &task_copies[s.index()] {
+                        let dst = copies[sc as usize].proc;
+                        let delay = config
+                            .comm_noise
+                            .apply(sys.comm_time(data, p, dst), &mut rng);
+                        if scenario.comm_model == CommModel::Contentionless || dst == p {
+                            // local or uncontended: direct delivery
+                            push(
+                                &mut heap,
+                                &mut seq,
+                                fin + delay,
+                                EventKind::Arrive {
+                                    copy: sc,
+                                    pred: task,
+                                },
+                            );
+                        } else {
+                            pending.push(PendingMsg {
+                                dst_copy: sc,
+                                pred: task,
+                                src: p,
+                                dst,
+                                ready: fin,
+                                dur: delay,
+                            });
+                            // wake the dispatcher at readiness (this very
+                            // event's post-pass handles ready == time)
+                            push(&mut heap, &mut seq, fin, EventKind::PortsFree);
+                        }
+                    }
+                }
+            }
+            EventKind::Arrive { copy, pred } => {
+                let c = copy as usize;
+                if let Some(pos) = copies[c].waiting.iter().position(|&u| u == pred) {
+                    copies[c].waiting.swap_remove(pos);
+                    try_start!(c, time);
+                }
+            }
+            EventKind::PortsFree => { /* dispatch pass below */ }
+        }
+
+        // dispatch pending messages first-fit in queue order under the
+        // contention model (earlier-queued messages get first claim on
+        // ports, but a blocked message does not delay dispatchable ones)
+        if scenario.comm_model != CommModel::Contentionless {
+            let mut i = 0;
+            while i < pending.len() {
+                let m = &pending[i];
+                let can_go = m.ready <= time + 1e-12
+                    && match scenario.comm_model {
+                        CommModel::SinglePort => {
+                            send_free[m.src.index()] <= time + 1e-12
+                                && recv_free[m.dst.index()] <= time + 1e-12
+                        }
+                        CommModel::SharedBus => bus_free <= time + 1e-12,
+                        CommModel::Contentionless => unreachable!(),
+                    };
+                if can_go {
+                    let m = pending.remove(i);
+                    let done = time + m.dur;
+                    match scenario.comm_model {
+                        CommModel::SinglePort => {
+                            send_free[m.src.index()] = done;
+                            recv_free[m.dst.index()] = done;
+                        }
+                        CommModel::SharedBus => bus_free = done,
+                        CommModel::Contentionless => unreachable!(),
+                    }
+                    push(
+                        &mut heap,
+                        &mut seq,
+                        done,
+                        EventKind::Arrive {
+                            copy: m.dst_copy,
+                            pred: m.pred,
+                        },
+                    );
+                    push(&mut heap, &mut seq, done, EventKind::PortsFree);
+                    // restart the scan: freeing decisions are FIFO but an
+                    // earlier-queued message may now block later ones
+                    i = 0;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    for c in &copies {
+        assert!(
+            c.started,
+            "simulation deadlock: task {} on {} never became ready",
+            c.task, c.proc
+        );
+    }
+
+    let mut task_finish = vec![0.0f64; dag.num_tasks()];
+    let mut makespan = 0.0f64;
+    for c in &copies {
+        if c.primary {
+            task_finish[c.task.index()] = c.finish;
+            makespan = makespan.max(c.finish);
+        }
+    }
+    SimResult {
+        makespan,
+        task_finish,
+        events: processed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_core::algorithms::{all_heterogeneous, DupHeft};
+    use hetsched_core::Scheduler;
+    use hetsched_dag::builder::dag_from_edges;
+    use hetsched_workloads::random_dag;
+    use hetsched_workloads::RandomDagParams;
+    use rand::Rng;
+
+    #[test]
+    fn replay_of_hand_schedule_matches_analytic_times() {
+        let dag = dag_from_edges(&[2.0, 3.0], &[(0, 1, 4.0)]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 2);
+        let mut sched = Schedule::new(2, 2);
+        sched.insert(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        sched.insert(TaskId(1), ProcId(1), 6.0, 3.0).unwrap();
+        let r = simulate(&dag, &sys, &sched, &SimConfig::default());
+        assert_eq!(r.makespan, 9.0);
+        assert_eq!(r.task_finish, vec![2.0, 9.0]);
+    }
+
+    #[test]
+    fn replay_compacts_gratuitous_slack() {
+        let dag = dag_from_edges(&[2.0, 3.0], &[(0, 1, 0.0)]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 1);
+        let mut sched = Schedule::new(2, 1);
+        sched.insert(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        sched.insert(TaskId(1), ProcId(0), 10.0, 3.0).unwrap();
+        let r = simulate(&dag, &sys, &sched, &SimConfig::default());
+        assert_eq!(r.makespan, 5.0);
+    }
+
+    #[test]
+    fn duplicate_copies_deliver_first_arrival_wins() {
+        let dag = dag_from_edges(&[2.0, 1.0], &[(0, 1, 50.0)]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 2);
+        let mut sched = Schedule::new(2, 2);
+        sched.insert(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        sched
+            .insert_duplicate(TaskId(0), ProcId(1), 0.0, 2.0)
+            .unwrap();
+        sched.insert(TaskId(1), ProcId(1), 2.0, 1.0).unwrap();
+        let r = simulate(&dag, &sys, &sched, &SimConfig::default());
+        assert_eq!(r.makespan, 3.0);
+    }
+
+    #[test]
+    fn noiseless_replay_never_exceeds_predicted_makespan() {
+        let mut seed_rng = StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            let seed: u64 = seed_rng.gen();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let dag = random_dag(&RandomDagParams::new(40, 1.0, 2.0), &mut rng);
+            let sys = System::heterogeneous_random(
+                &dag,
+                4,
+                &hetsched_platform::EtcParams::range_based(1.0),
+                &mut rng,
+            );
+            for alg in all_heterogeneous() {
+                let sched = alg.schedule(&dag, &sys);
+                let r = simulate(&dag, &sys, &sched, &SimConfig::default());
+                assert!(
+                    r.makespan <= sched.makespan() + 1e-6,
+                    "{} seed {seed}: sim {} > predicted {}",
+                    alg.name(),
+                    r.makespan,
+                    sched.makespan()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn noise_changes_makespan_and_is_seed_deterministic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let dag = random_dag(&RandomDagParams::new(50, 1.0, 1.0), &mut rng);
+        let sys = System::heterogeneous_random(
+            &dag,
+            4,
+            &hetsched_platform::EtcParams::range_based(0.5),
+            &mut rng,
+        );
+        let sched = DupHeft::default().schedule(&dag, &sys);
+        let noisy = SimConfig {
+            exec_noise: Noise::Gamma { cv: 0.3 },
+            comm_noise: Noise::Uniform { spread: 0.2 },
+            seed: 11,
+        };
+        let a = simulate(&dag, &sys, &sched, &noisy);
+        let b = simulate(&dag, &sys, &sched, &noisy);
+        assert_eq!(a.makespan, b.makespan, "same seed, same result");
+        let c = simulate(&dag, &sys, &sched, &SimConfig { seed: 12, ..noisy });
+        assert_ne!(a.makespan, c.makespan, "different seed, different run");
+    }
+
+    #[test]
+    fn mean_noisy_makespan_exceeds_noiseless() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let dag = random_dag(&RandomDagParams::new(60, 1.0, 1.0), &mut rng);
+        let sys = System::homogeneous_unit(&dag, 4);
+        let sched = hetsched_core::algorithms::Heft::default().schedule(&dag, &sys);
+        let base = simulate(&dag, &sys, &sched, &SimConfig::default()).makespan;
+        let mean_noisy: f64 = (0..40)
+            .map(|s| {
+                simulate(
+                    &dag,
+                    &sys,
+                    &sched,
+                    &SimConfig {
+                        exec_noise: Noise::Gamma { cv: 0.5 },
+                        comm_noise: Noise::None,
+                        seed: s,
+                    },
+                )
+                .makespan
+            })
+            .sum::<f64>()
+            / 40.0;
+        assert!(mean_noisy > base, "mean noisy {mean_noisy} vs base {base}");
+    }
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unit_slowdown_matches_plain_simulation() {
+        let dag = dag_from_edges(&[2.0, 3.0], &[(0, 1, 4.0)]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 2);
+        let mut sched = Schedule::new(2, 2);
+        sched.insert(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        sched.insert(TaskId(1), ProcId(0), 2.0, 3.0).unwrap();
+        let plain = simulate(&dag, &sys, &sched, &SimConfig::default());
+        let unit = simulate_scenario(&dag, &sys, &sched, &SimConfig::default(), &[1.0, 1.0]);
+        assert_eq!(plain.makespan, unit.makespan);
+    }
+
+    #[test]
+    fn slowdown_on_busy_processor_stretches_makespan() {
+        let dag = dag_from_edges(&[2.0, 3.0], &[(0, 1, 0.0)]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 2);
+        let mut sched = Schedule::new(2, 2);
+        sched.insert(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        sched.insert(TaskId(1), ProcId(0), 2.0, 3.0).unwrap();
+        let r = simulate_scenario(&dag, &sys, &sched, &SimConfig::default(), &[2.0, 1.0]);
+        assert_eq!(r.makespan, 10.0, "both tasks run twice as long");
+        let r2 = simulate_scenario(&dag, &sys, &sched, &SimConfig::default(), &[1.0, 5.0]);
+        assert_eq!(r2.makespan, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every processor")]
+    fn slowdown_length_mismatch_panics() {
+        let dag = dag_from_edges(&[1.0], &[]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 2);
+        let mut sched = Schedule::new(1, 2);
+        sched.insert(TaskId(0), ProcId(0), 0.0, 1.0).unwrap();
+        simulate_scenario(&dag, &sys, &sched, &SimConfig::default(), &[1.0]);
+    }
+
+    /// Broadcast fixture: t0 on p0 feeds t1 on p1 and t2 on p2, both edges
+    /// carrying 4 units over a unit network.
+    fn broadcast() -> (Dag, System, Schedule) {
+        let dag = dag_from_edges(&[2.0, 1.0, 1.0], &[(0, 1, 4.0), (0, 2, 4.0)]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 3);
+        let mut sched = Schedule::new(3, 3);
+        sched.insert(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        sched.insert(TaskId(1), ProcId(1), 6.0, 1.0).unwrap();
+        sched.insert(TaskId(2), ProcId(2), 6.0, 1.0).unwrap();
+        (dag, sys, sched)
+    }
+
+    use hetsched_dag::Dag;
+
+    #[test]
+    fn single_port_serializes_broadcast_sends() {
+        let (dag, sys, sched) = broadcast();
+        // contention-free: both messages arrive at 6; makespan 7
+        let free = simulate(&dag, &sys, &sched, &SimConfig::default());
+        assert_eq!(free.makespan, 7.0);
+        // single-port: p0 sends one message at a time; second arrives at 10
+        let sp = simulate_with(
+            &dag,
+            &sys,
+            &sched,
+            &SimConfig::default(),
+            &Scenario {
+                proc_slowdown: vec![],
+                comm_model: CommModel::SinglePort,
+            },
+        );
+        assert_eq!(sp.makespan, 11.0, "second consumer waits for the port");
+    }
+
+    #[test]
+    fn shared_bus_is_at_least_as_contended_as_single_port() {
+        let (dag, sys, sched) = broadcast();
+        let sp = simulate_with(
+            &dag,
+            &sys,
+            &sched,
+            &SimConfig::default(),
+            &Scenario {
+                proc_slowdown: vec![],
+                comm_model: CommModel::SinglePort,
+            },
+        )
+        .makespan;
+        let bus = simulate_with(
+            &dag,
+            &sys,
+            &sched,
+            &SimConfig::default(),
+            &Scenario {
+                proc_slowdown: vec![],
+                comm_model: CommModel::SharedBus,
+            },
+        )
+        .makespan;
+        assert!(bus >= sp - 1e-9, "bus {bus} vs single-port {sp}");
+        assert_eq!(bus, 11.0);
+    }
+
+    #[test]
+    fn single_port_leaves_disjoint_transfers_concurrent() {
+        // two independent chains on disjoint processor pairs: no shared
+        // port, so single-port changes nothing (but the bus serializes).
+        let dag = dag_from_edges(&[1.0, 1.0, 1.0, 1.0], &[(0, 1, 4.0), (2, 3, 4.0)]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 4);
+        let mut sched = Schedule::new(4, 4);
+        sched.insert(TaskId(0), ProcId(0), 0.0, 1.0).unwrap();
+        sched.insert(TaskId(2), ProcId(1), 0.0, 1.0).unwrap();
+        sched.insert(TaskId(1), ProcId(2), 5.0, 1.0).unwrap();
+        sched.insert(TaskId(3), ProcId(3), 5.0, 1.0).unwrap();
+        let free = simulate(&dag, &sys, &sched, &SimConfig::default()).makespan;
+        let sp = simulate_with(
+            &dag,
+            &sys,
+            &sched,
+            &SimConfig::default(),
+            &Scenario {
+                proc_slowdown: vec![],
+                comm_model: CommModel::SinglePort,
+            },
+        )
+        .makespan;
+        assert_eq!(free, 6.0);
+        assert_eq!(sp, 6.0, "disjoint transfers need no serialization");
+        let bus = simulate_with(
+            &dag,
+            &sys,
+            &sched,
+            &SimConfig::default(),
+            &Scenario {
+                proc_slowdown: vec![],
+                comm_model: CommModel::SharedBus,
+            },
+        )
+        .makespan;
+        assert_eq!(bus, 10.0, "bus serializes the two transfers");
+    }
+
+    #[test]
+    fn contention_never_beats_contentionless_on_random_schedules() {
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let dag = random_dag(&RandomDagParams::new(30, 1.0, 3.0), &mut rng);
+            let sys = System::heterogeneous_random(
+                &dag,
+                4,
+                &hetsched_platform::EtcParams::range_based(1.0),
+                &mut rng,
+            );
+            let sched = hetsched_core::algorithms::Heft::new().schedule(&dag, &sys);
+            let free = simulate(&dag, &sys, &sched, &SimConfig::default()).makespan;
+            for model in [CommModel::SinglePort, CommModel::SharedBus] {
+                let contended = simulate_with(
+                    &dag,
+                    &sys,
+                    &sched,
+                    &SimConfig::default(),
+                    &Scenario {
+                        proc_slowdown: vec![],
+                        comm_model: model,
+                    },
+                )
+                .makespan;
+                assert!(
+                    contended >= free - 1e-9,
+                    "seed {seed} {model:?}: contended {contended} < free {free}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "partial schedule")]
+    fn rejects_incomplete_schedule() {
+        let dag = dag_from_edges(&[1.0, 1.0], &[(0, 1, 1.0)]).unwrap();
+        let sys = System::homogeneous_unit(&dag, 1);
+        let sched = Schedule::new(2, 1);
+        simulate(&dag, &sys, &sched, &SimConfig::default());
+    }
+}

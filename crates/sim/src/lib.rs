@@ -1,0 +1,30 @@
+//! # hetsched-sim
+//!
+//! A discrete-event simulator that *executes* static schedules on the
+//! platform model. It replaces the physical testbed of the original
+//! evaluation (see DESIGN.md substitutions) and serves two purposes:
+//!
+//! 1. **Cross-checking** — with zero noise, replaying a schedule
+//!    as-soon-as-possible under the same per-processor task order and the
+//!    same communication semantics must finish no later than the
+//!    scheduler's predicted makespan. Any violation is a scheduler or
+//!    model bug; the test suites assert this for every algorithm.
+//! 2. **Robustness studies** — execution and communication times can be
+//!    perturbed by a [`noise::Noise`] model, measuring how gracefully each
+//!    scheduler's plan degrades when reality disagrees with the ETC
+//!    matrix (something the analytical makespan cannot measure).
+//!
+//! The simulator honours duplication: a consumer's dependency on a
+//! predecessor is satisfied by whichever copy's message arrives first
+//! (local copies deliver instantly).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod noise;
+
+pub use engine::{
+    simulate, simulate_scenario, simulate_with, CommModel, Scenario, SimConfig, SimResult,
+};
+pub use noise::Noise;

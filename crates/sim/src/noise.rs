@@ -1,0 +1,109 @@
+//! Perturbation models for execution and communication times.
+
+use rand::Rng;
+
+/// A multiplicative noise model applied to nominal durations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Noise {
+    /// No perturbation: durations are exactly the model's.
+    None,
+    /// Uniform factor in `[1 − spread, 1 + spread]`, `spread ∈ [0, 1)`.
+    Uniform {
+        /// Half-width of the factor interval.
+        spread: f64,
+    },
+    /// Strictly positive right-skewed factor with mean 1 and the given
+    /// coefficient of variation (gamma distributed) — the shape real
+    /// execution-time jitter tends to have (occasional big slowdowns).
+    Gamma {
+        /// Coefficient of variation of the factor.
+        cv: f64,
+    },
+}
+
+impl Noise {
+    /// Apply the model to a nominal duration. Zero durations stay zero;
+    /// results are always non-negative and finite.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters (`spread ∉ [0, 1)`, `cv <= 0`).
+    pub fn apply<R: Rng + ?Sized>(&self, nominal: f64, rng: &mut R) -> f64 {
+        debug_assert!(nominal >= 0.0);
+        if nominal == 0.0 {
+            return 0.0;
+        }
+        match *self {
+            Noise::None => nominal,
+            Noise::Uniform { spread } => {
+                assert!(
+                    (0.0..1.0).contains(&spread),
+                    "spread must be in [0, 1), got {spread}"
+                );
+                if spread == 0.0 {
+                    nominal
+                } else {
+                    nominal * rng.gen_range(1.0 - spread..1.0 + spread)
+                }
+            }
+            Noise::Gamma { cv } => nominal * hetsched_platform::dist::gamma_mean_cv(rng, 1.0, cv),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(Noise::None.apply(7.0, &mut rng), 7.0);
+    }
+
+    #[test]
+    fn zero_stays_zero_under_all_models() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in [
+            Noise::None,
+            Noise::Uniform { spread: 0.5 },
+            Noise::Gamma { cv: 0.3 },
+        ] {
+            assert_eq!(n.apply(0.0, &mut rng), 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_band_with_unit_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = Noise::Uniform { spread: 0.25 };
+        let xs: Vec<f64> = (0..50_000).map(|_| n.apply(4.0, &mut rng)).collect();
+        assert!(xs.iter().all(|&x| (3.0..5.0).contains(&x)));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 4.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gamma_has_unit_mean_and_requested_cv() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = Noise::Gamma { cv: 0.5 };
+        let xs: Vec<f64> = (0..100_000).map(|_| n.apply(1.0, &mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+        assert!(
+            (var.sqrt() / mean - 0.5).abs() < 0.02,
+            "cv {}",
+            var.sqrt() / mean
+        );
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "spread must be in")]
+    fn uniform_rejects_bad_spread() {
+        let mut rng = StdRng::seed_from_u64(5);
+        Noise::Uniform { spread: 1.5 }.apply(1.0, &mut rng);
+    }
+}

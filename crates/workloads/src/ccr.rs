@@ -1,0 +1,61 @@
+//! Internal helper: scale edge data volumes to hit a target CCR.
+
+use rand::Rng;
+
+/// Given a DAG structure with computed task weights, return per-edge data
+/// volumes whose total is `ccr × total_weight`, each drawn uniformly in
+/// `[0.5, 1.5] ×` the mean edge volume (then rescaled exactly).
+///
+/// Returns an empty vector when there are no edges; a zero `ccr` yields
+/// all-zero volumes.
+pub fn edge_volumes_for_ccr<R: Rng + ?Sized>(
+    total_weight: f64,
+    n_edges: usize,
+    ccr: f64,
+    rng: &mut R,
+) -> Vec<f64> {
+    assert!(ccr >= 0.0, "CCR must be non-negative, got {ccr}");
+    if n_edges == 0 {
+        return Vec::new();
+    }
+    if ccr == 0.0 {
+        return vec![0.0; n_edges];
+    }
+    let mean = ccr * total_weight / n_edges as f64;
+    let mut v: Vec<f64> = (0..n_edges)
+        .map(|_| rng.gen_range(0.5 * mean..1.5 * mean))
+        .collect();
+    // rescale so the total is exact (keeps experiment CCRs precise)
+    let sum: f64 = v.iter().sum();
+    let k = ccr * total_weight / sum;
+    for x in &mut v {
+        *x *= k;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn total_matches_target_exactly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = edge_volumes_for_ccr(100.0, 37, 2.5, &mut rng);
+        assert_eq!(v.len(), 37);
+        let total: f64 = v.iter().sum();
+        assert!((total - 250.0).abs() < 1e-9, "total {total}");
+        assert!(v.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn zero_ccr_and_no_edges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(edge_volumes_for_ccr(100.0, 5, 0.0, &mut rng)
+            .iter()
+            .all(|&x| x == 0.0));
+        assert!(edge_volumes_for_ccr(100.0, 0, 3.0, &mut rng).is_empty());
+    }
+}

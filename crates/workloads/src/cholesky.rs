@@ -1,0 +1,141 @@
+//! Tiled Cholesky factorization task graph (right-looking variant), the
+//! dense-linear-algebra workload of modern runtime-scheduling papers.
+//!
+//! For `b × b` tiles, iteration `k` spawns:
+//!
+//! * `POTRF(k)` — factor the diagonal tile; depends on `SYRK(k, j)` for all
+//!   `j < k`;
+//! * `TRSM(i, k)` for `i > k` — triangular solve of panel tile `i`;
+//!   depends on `POTRF(k)` and `GEMM(i, k, j)` for all `j < k`;
+//! * `SYRK(i, k)` for `i > k` — symmetric update of diagonal tile `i`;
+//!   depends on `TRSM(i, k)`;
+//! * `GEMM(i, j, k)` for `i > j > k` — update of interior tile `(i, j)`;
+//!   depends on `TRSM(i, k)` and `TRSM(j, k)`.
+//!
+//! Kernel weights follow the classic flop ratios (`POTRF 1/3, TRSM 1,
+//! SYRK 1, GEMM 2` per tile, scaled ×3 to integers).
+
+use rand::Rng;
+
+use hetsched_dag::{Dag, DagBuilder, TaskId};
+
+use crate::ccr::edge_volumes_for_ccr;
+
+/// Number of tasks in the tiled Cholesky DAG for `b` tiles.
+pub fn cholesky_task_count(b: usize) -> usize {
+    let gemm = if b >= 3 { b * (b - 1) * (b - 2) / 6 } else { 0 };
+    b + b * b.saturating_sub(1) + gemm
+}
+
+/// Build the tiled Cholesky DAG for `b ≥ 1` tiles with edge volumes scaled
+/// to `ccr`.
+///
+/// # Panics
+/// Panics if `b == 0` or `ccr < 0`.
+#[allow(clippy::needless_range_loop)] // j indexes parallel kernel tables, matching the math
+pub fn tiled_cholesky<R: Rng + ?Sized>(b: usize, ccr: f64, rng: &mut R) -> Dag {
+    assert!(b >= 1, "need at least one tile");
+    let mut builder = DagBuilder::new();
+    let mut total_weight = 0.0;
+    let add = |builder: &mut DagBuilder, w: f64, total: &mut f64| {
+        *total += w;
+        builder.add_task(w)
+    };
+
+    // id tables
+    let mut potrf = vec![None::<TaskId>; b];
+    let mut trsm = vec![vec![None::<TaskId>; b]; b]; // [i][k]
+    let mut syrk = vec![vec![None::<TaskId>; b]; b]; // [i][k]
+    let mut gemm = vec![vec![vec![None::<TaskId>; b]; b]; b]; // [i][j][k]
+
+    let mut edges: Vec<(TaskId, TaskId)> = Vec::new();
+    for k in 0..b {
+        let p = add(&mut builder, 1.0, &mut total_weight);
+        potrf[k] = Some(p);
+        for j in 0..k {
+            edges.push((syrk[k][j].expect("SYRK(k,j) exists"), p));
+        }
+        for i in (k + 1)..b {
+            let t = add(&mut builder, 3.0, &mut total_weight);
+            trsm[i][k] = Some(t);
+            edges.push((p, t));
+            for j in 0..k {
+                edges.push((gemm[i][k][j].expect("GEMM(i,k,j) exists"), t));
+            }
+        }
+        for i in (k + 1)..b {
+            let s = add(&mut builder, 3.0, &mut total_weight);
+            syrk[i][k] = Some(s);
+            edges.push((trsm[i][k].expect("TRSM(i,k) exists"), s));
+            if k > 0 {
+                // serialize successive updates of diagonal tile i
+                edges.push((syrk[i][k - 1].expect("SYRK(i,k-1) exists"), s));
+            }
+        }
+        for i in (k + 1)..b {
+            for j in (k + 1)..i {
+                let g = add(&mut builder, 6.0, &mut total_weight);
+                gemm[i][j][k] = Some(g);
+                edges.push((trsm[i][k].expect("TRSM(i,k)"), g));
+                edges.push((trsm[j][k].expect("TRSM(j,k)"), g));
+                if k > 0 {
+                    edges.push((gemm[i][j][k - 1].expect("GEMM(i,j,k-1)"), g));
+                }
+            }
+        }
+    }
+
+    let volumes = edge_volumes_for_ccr(total_weight, edges.len(), ccr, rng);
+    for (idx, &(u, v)) in edges.iter().enumerate() {
+        builder
+            .add_edge(u, v, volumes[idx])
+            .expect("Cholesky structural edge valid");
+    }
+    builder.build().expect("tiled Cholesky is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_dag::topo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn task_count_formula() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for b in 1..8 {
+            let dag = tiled_cholesky(b, 1.0, &mut rng);
+            assert_eq!(dag.num_tasks(), cholesky_task_count(b), "b={b}");
+        }
+    }
+
+    #[test]
+    fn b1_is_a_single_potrf() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dag = tiled_cholesky(1, 1.0, &mut rng);
+        assert_eq!(dag.num_tasks(), 1);
+        assert_eq!(dag.num_edges(), 0);
+    }
+
+    #[test]
+    fn b3_structure() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dag = tiled_cholesky(3, 0.0, &mut rng);
+        // 3 potrf + 6 trsm/syrk... count: 3 + 3*2 + 3*2*1/6 = 3 + 6 + 1 = 10
+        assert_eq!(dag.num_tasks(), 10);
+        // first POTRF is the single entry
+        assert_eq!(dag.entry_tasks().count(), 1);
+        // last POTRF is the single exit
+        assert_eq!(dag.exit_tasks().count(), 1);
+        // depth grows with k: potrf -> trsm -> {syrk,gemm} -> potrf ...
+        assert!(topo::depth(&dag) >= 7, "depth {}", topo::depth(&dag));
+    }
+
+    #[test]
+    fn ccr_respected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let dag = tiled_cholesky(5, 2.0, &mut rng);
+        assert!((dag.ccr() - 2.0).abs() < 1e-9);
+    }
+}

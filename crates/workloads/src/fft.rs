@@ -1,0 +1,105 @@
+//! FFT butterfly task graph.
+//!
+//! For `p` points (`p` a power of two) the graph has `log₂p + 1` levels of
+//! `p` tasks each: level 0 holds the input tasks, and task `(l+1, i)`
+//! depends on `(l, i)` and its butterfly partner `(l, i XOR 2^l)`.
+//! Total tasks: `p · (log₂p + 1)`; every non-input task has in-degree 2.
+
+use rand::Rng;
+
+use hetsched_dag::{Dag, DagBuilder, TaskId};
+
+use crate::ccr::edge_volumes_for_ccr;
+
+/// Number of tasks in the butterfly DAG for `p` points.
+pub fn fft_task_count(p: usize) -> usize {
+    p * (p.trailing_zeros() as usize + 1)
+}
+
+/// Build the FFT butterfly DAG over `p` points (`p ≥ 2`, power of two),
+/// with unit-cost butterflies and edge volumes scaled to `ccr`.
+///
+/// # Panics
+/// Panics if `p < 2` or `p` is not a power of two, or `ccr < 0`.
+pub fn fft_butterfly<R: Rng + ?Sized>(p: usize, ccr: f64, rng: &mut R) -> Dag {
+    assert!(
+        p >= 2 && p.is_power_of_two(),
+        "p must be a power of two >= 2, got {p}"
+    );
+    let levels = p.trailing_zeros() as usize; // log2(p)
+    let mut b = DagBuilder::with_capacity(p * (levels + 1), 2 * p * levels);
+
+    // one task per (level, index); all unit weight
+    let id = |l: usize, i: usize| TaskId((l * p + i) as u32);
+    for _ in 0..p * (levels + 1) {
+        b.add_task(1.0);
+    }
+    let total_weight = (p * (levels + 1)) as f64;
+
+    let mut edges: Vec<(TaskId, TaskId)> = Vec::with_capacity(2 * p * levels);
+    for l in 0..levels {
+        let stride = 1usize << l;
+        for i in 0..p {
+            edges.push((id(l, i), id(l + 1, i)));
+            edges.push((id(l, i ^ stride), id(l + 1, i)));
+        }
+    }
+    let volumes = edge_volumes_for_ccr(total_weight, edges.len(), ccr, rng);
+    for (k, &(u, v)) in edges.iter().enumerate() {
+        b.add_edge(u, v, volumes[k]).expect("butterfly edge valid");
+    }
+    b.build().expect("butterfly is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_dag::topo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_and_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for p in [2usize, 4, 8, 16, 32] {
+            let dag = fft_butterfly(p, 1.0, &mut rng);
+            assert_eq!(dag.num_tasks(), fft_task_count(p), "p={p}");
+            let levels = p.trailing_zeros() as usize + 1;
+            assert_eq!(topo::depth(&dag), levels);
+            assert_eq!(topo::width(&dag), p);
+            // every non-input task has exactly two parents
+            for t in dag.task_ids() {
+                let l = t.index() / p;
+                if l > 0 {
+                    assert_eq!(dag.in_degree(t), 2, "task {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn butterfly_partners_are_correct_for_p4() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dag = fft_butterfly(4, 0.0, &mut rng);
+        // level 1, index 0 depends on level-0 indices 0 and 1
+        let preds: Vec<u32> = dag.predecessors(TaskId(4)).map(|(t, _)| t.0).collect();
+        assert_eq!(preds, vec![0, 1]);
+        // level 2, index 0 depends on level-1 indices 0 and 2
+        let preds: Vec<u32> = dag.predecessors(TaskId(8)).map(|(t, _)| t.0).collect();
+        assert_eq!(preds, vec![4, 6]);
+    }
+
+    #[test]
+    fn ccr_respected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dag = fft_butterfly(16, 5.0, &mut rng);
+        assert!((dag.ccr() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut rng = StdRng::seed_from_u64(4);
+        fft_butterfly(12, 1.0, &mut rng);
+    }
+}

@@ -1,0 +1,88 @@
+//! Repeated fork–join sections — the bulk-synchronous pattern.
+//!
+//! `sections` sequential phases; phase `s` forks `width` parallel worker
+//! tasks between a fork task and a join task (the join of phase `s` is the
+//! fork of phase `s + 1`).
+
+use rand::Rng;
+
+use hetsched_dag::{Dag, DagBuilder};
+
+use crate::ccr::edge_volumes_for_ccr;
+
+/// Build a fork–join DAG: `sections` phases of `width` parallel workers.
+/// Fork/join tasks have unit weight, workers are uniform in
+/// `[0.5, 1.5] × avg_comp`; edge volumes are scaled to `ccr`.
+///
+/// # Panics
+/// Panics if `sections == 0`, `width == 0`, `avg_comp <= 0`, or `ccr < 0`.
+pub fn fork_join<R: Rng + ?Sized>(
+    sections: usize,
+    width: usize,
+    avg_comp: f64,
+    ccr: f64,
+    rng: &mut R,
+) -> Dag {
+    assert!(sections >= 1, "need at least one section");
+    assert!(width >= 1, "need at least one worker per section");
+    assert!(avg_comp > 0.0, "avg_comp must be positive");
+
+    let mut b = DagBuilder::new();
+    let mut total_weight = 0.0;
+    let mut edges = Vec::new();
+
+    let mut sync = b.add_task(1.0); // initial fork
+    total_weight += 1.0;
+    for _ in 0..sections {
+        let workers: Vec<_> = (0..width)
+            .map(|_| {
+                let w = rng.gen_range(0.5 * avg_comp..1.5 * avg_comp);
+                total_weight += w;
+                b.add_task(w)
+            })
+            .collect();
+        let join = b.add_task(1.0);
+        total_weight += 1.0;
+        for &w in &workers {
+            edges.push((sync, w));
+            edges.push((w, join));
+        }
+        sync = join;
+    }
+
+    let volumes = edge_volumes_for_ccr(total_weight, edges.len(), ccr, rng);
+    for (k, &(u, v)) in edges.iter().enumerate() {
+        b.add_edge(u, v, volumes[k]).expect("fork-join edge valid");
+    }
+    b.build().expect("fork-join is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_dag::topo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dag = fork_join(3, 5, 4.0, 1.0, &mut rng);
+        // 1 + 3 * (5 + 1) tasks
+        assert_eq!(dag.num_tasks(), 19);
+        assert_eq!(dag.num_edges(), 3 * 10);
+        assert_eq!(topo::depth(&dag), 1 + 2 * 3);
+        assert_eq!(topo::width(&dag), 5);
+        assert_eq!(dag.entry_tasks().count(), 1);
+        assert_eq!(dag.exit_tasks().count(), 1);
+    }
+
+    #[test]
+    fn single_section_single_worker_is_a_chain() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dag = fork_join(1, 1, 2.0, 0.5, &mut rng);
+        assert_eq!(dag.num_tasks(), 3);
+        assert_eq!(topo::depth(&dag), 3);
+        assert!((dag.ccr() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,131 @@
+//! Gaussian-elimination task graph (the application graph of the HEFT
+//! evaluation).
+//!
+//! For an `m × m` matrix, elimination step `k` (0-based, `k < m-1`) has one
+//! *pivot* task `P_k` and `m-1-k` *update* tasks `U_{k,j}` (`j > k`):
+//!
+//! * `P_k → U_{k,j}` for every `j` (the pivot row is broadcast);
+//! * `U_{k,k+1} → P_{k+1}` (the next pivot needs the updated column);
+//! * `U_{k,j} → U_{k+1,j}` for `j > k+1` (column `j` carries forward).
+//!
+//! Total tasks: `(m² + m − 2) / 2`. Costs shrink as elimination proceeds:
+//! a step-`k` task touches rows of length `m − k`, so its weight is
+//! proportional to `m − k` (pivot) or `2(m − k)` (update).
+
+use rand::Rng;
+
+use hetsched_dag::{Dag, DagBuilder, TaskId};
+
+use crate::ccr::edge_volumes_for_ccr;
+
+/// Number of tasks in the Gaussian elimination DAG for matrix size `m`.
+pub fn gaussian_task_count(m: usize) -> usize {
+    (m * m + m - 2) / 2
+}
+
+/// Build the Gaussian-elimination DAG for an `m × m` matrix (`m ≥ 2`),
+/// with edge volumes scaled to the target `ccr`.
+///
+/// # Panics
+/// Panics if `m < 2` or `ccr < 0`.
+pub fn gaussian_elimination<R: Rng + ?Sized>(m: usize, ccr: f64, rng: &mut R) -> Dag {
+    assert!(m >= 2, "Gaussian elimination needs m >= 2, got {m}");
+    let steps = m - 1;
+    let mut b = DagBuilder::new();
+
+    // ids: pivot[k], update[k][j] for j in k+1..m
+    let mut pivot = Vec::with_capacity(steps);
+    let mut update: Vec<Vec<TaskId>> = Vec::with_capacity(steps);
+    let mut total_weight = 0.0;
+    for k in 0..steps {
+        let wp = (m - k) as f64;
+        total_weight += wp;
+        pivot.push(b.add_task(wp));
+        let mut row = Vec::with_capacity(m - 1 - k);
+        for _j in (k + 1)..m {
+            let wu = 2.0 * (m - k) as f64;
+            total_weight += wu;
+            row.push(b.add_task(wu));
+        }
+        update.push(row);
+    }
+
+    // structural edges
+    let mut edges: Vec<(TaskId, TaskId)> = Vec::new();
+    for k in 0..steps {
+        for (ji, &u) in update[k].iter().enumerate() {
+            edges.push((pivot[k], u));
+            let j = k + 1 + ji;
+            if k + 1 < steps {
+                if j == k + 1 {
+                    edges.push((u, pivot[k + 1]));
+                } else {
+                    // U_{k,j} -> U_{k+1,j}; in row k+1, column j sits at
+                    // index j - (k + 2)
+                    edges.push((u, update[k + 1][j - (k + 2)]));
+                }
+            }
+        }
+    }
+
+    let volumes = edge_volumes_for_ccr(total_weight, edges.len(), ccr, rng);
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        b.add_edge(u, v, volumes[i]).expect("structural edge valid");
+    }
+    b.build().expect("Gaussian elimination DAG is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_dag::analysis::critical_path;
+    use hetsched_dag::topo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn task_count_formula() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for m in 2..12 {
+            let dag = gaussian_elimination(m, 1.0, &mut rng);
+            assert_eq!(dag.num_tasks(), gaussian_task_count(m), "m={m}");
+        }
+    }
+
+    #[test]
+    fn m5_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dag = gaussian_elimination(5, 0.0, &mut rng);
+        // (25 + 5 - 2)/2 = 14 tasks
+        assert_eq!(dag.num_tasks(), 14);
+        // single entry (P_0), single exit (U_{3,4})
+        assert_eq!(dag.entry_tasks().count(), 1);
+        assert_eq!(dag.exit_tasks().count(), 1);
+        // depth: alternating pivot/update layers = 2(m-1) = 8
+        assert_eq!(topo::depth(&dag), 8);
+    }
+
+    #[test]
+    fn ccr_is_respected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dag = gaussian_elimination(8, 3.0, &mut rng);
+        assert!((dag.ccr() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_path_walks_pivot_chain() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let dag = gaussian_elimination(6, 0.0, &mut rng);
+        let (_, path) = critical_path(&dag);
+        // with zero comm, the CP alternates pivot/update: 2(m-1) tasks
+        assert_eq!(path.len(), 10);
+        assert_eq!(path[0], TaskId(0), "starts at P_0");
+    }
+
+    #[test]
+    #[should_panic(expected = "m >= 2")]
+    fn rejects_tiny_matrix() {
+        let mut rng = StdRng::seed_from_u64(5);
+        gaussian_elimination(1, 1.0, &mut rng);
+    }
+}

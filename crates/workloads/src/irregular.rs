@@ -1,0 +1,145 @@
+//! A fixed 41-task irregular application-like graph.
+//!
+//! The HEFT-era literature evaluates on an irregular 41-node molecular-
+//! dynamics task graph (Kim & Browne). The exact node/edge table of that
+//! graph is not reproduced here; this module provides a *fixed* irregular
+//! 41-task DAG with a comparable profile — uneven branching, a long
+//! critical spine, fan-ins up to 4, and mixed task sizes — so experiments
+//! have a deterministic irregular instance that is not drawn from the
+//! layered random generator.
+
+use rand::Rng;
+
+use hetsched_dag::{Dag, DagBuilder, TaskId};
+
+use crate::ccr::edge_volumes_for_ccr;
+
+/// Edge list of the fixed irregular graph (41 tasks, 61 edges).
+const EDGES: &[(u32, u32)] = &[
+    // spine: 0 - 3 - 9 - 16 - 24 - 31 - 37 - 40
+    (0, 3),
+    (3, 9),
+    (9, 16),
+    (16, 24),
+    (24, 31),
+    (31, 37),
+    (37, 40),
+    // early fan-out from the root
+    (0, 1),
+    (0, 2),
+    (0, 4),
+    (0, 5),
+    (1, 6),
+    (1, 7),
+    (2, 7),
+    (2, 8),
+    (4, 10),
+    (5, 10),
+    (5, 11),
+    // mid-graph braids
+    (6, 12),
+    (7, 12),
+    (7, 13),
+    (8, 13),
+    (8, 14),
+    (10, 15),
+    (11, 15),
+    (12, 17),
+    (13, 17),
+    (13, 18),
+    (14, 18),
+    (15, 19),
+    (15, 20),
+    (9, 17),
+    (9, 19),
+    (17, 21),
+    (18, 22),
+    (19, 23),
+    (20, 23),
+    (21, 25),
+    (22, 25),
+    (22, 26),
+    (23, 27),
+    (16, 26),
+    (25, 28),
+    (26, 29),
+    (27, 30),
+    (27, 28),
+    (28, 32),
+    (29, 32),
+    (29, 33),
+    (30, 34),
+    (24, 33),
+    (32, 35),
+    (33, 35),
+    (33, 36),
+    (34, 36),
+    (35, 38),
+    (36, 39),
+    (31, 38),
+    (38, 40),
+    (39, 40),
+    (36, 40),
+];
+
+/// Task weights (mixed sizes, spine slightly heavier).
+const WEIGHTS: &[f64] = &[
+    8.0, 3.0, 4.0, 9.0, 2.0, 5.0, 3.0, 6.0, 4.0, 10.0, 5.0, 2.0, 7.0, 4.0, 3.0, 6.0, 9.0, 8.0, 5.0,
+    4.0, 2.0, 6.0, 5.0, 7.0, 10.0, 4.0, 3.0, 8.0, 6.0, 5.0, 4.0, 9.0, 7.0, 5.0, 3.0, 8.0, 6.0,
+    10.0, 4.0, 3.0, 12.0,
+];
+
+/// Build the fixed 41-task irregular DAG with edge volumes scaled to `ccr`.
+///
+/// The structure and weights are constants; only the per-edge volume split
+/// depends on `rng` (totals are exact for the requested CCR).
+pub fn irregular41<R: Rng + ?Sized>(ccr: f64, rng: &mut R) -> Dag {
+    let mut b = DagBuilder::with_capacity(WEIGHTS.len(), EDGES.len());
+    for &w in WEIGHTS {
+        b.add_task(w);
+    }
+    let total: f64 = WEIGHTS.iter().sum();
+    let volumes = edge_volumes_for_ccr(total, EDGES.len(), ccr, rng);
+    for (k, &(u, v)) in EDGES.iter().enumerate() {
+        b.add_edge(TaskId(u), TaskId(v), volumes[k])
+            .expect("fixed edge table is valid");
+    }
+    b.build().expect("fixed irregular graph is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_dag::topo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn is_a_41_task_single_entry_single_exit_dag() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dag = irregular41(1.0, &mut rng);
+        assert_eq!(dag.num_tasks(), 41);
+        assert_eq!(dag.entry_tasks().collect::<Vec<_>>(), vec![TaskId(0)]);
+        assert_eq!(dag.exit_tasks().collect::<Vec<_>>(), vec![TaskId(40)]);
+        assert!(topo::depth(&dag) >= 8, "has a long spine");
+        assert!(topo::width(&dag) >= 4, "has wide levels");
+    }
+
+    #[test]
+    fn structure_is_deterministic_volumes_follow_seed() {
+        let a = irregular41(1.0, &mut StdRng::seed_from_u64(5));
+        let b = irregular41(1.0, &mut StdRng::seed_from_u64(5));
+        for (ea, eb) in a.edges().iter().zip(b.edges()) {
+            assert_eq!(ea.data, eb.data);
+        }
+        assert!((a.ccr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_match_table() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dag = irregular41(0.5, &mut rng);
+        assert_eq!(dag.task_weight(TaskId(40)), 12.0);
+        assert_eq!(dag.task_weight(TaskId(0)), 8.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Laplace-solver wavefront task graph.
+//!
+//! One sweep of a Gauss–Seidel style Laplace solver over a `g × g` grid:
+//! cell `(i, j)` depends on its west neighbour `(i, j−1)` and north
+//! neighbour `(i−1, j)`. The result is the classic wavefront (diamond)
+//! DAG: depth `2g − 1`, width `g`.
+
+use rand::Rng;
+
+use hetsched_dag::{Dag, DagBuilder, TaskId};
+
+use crate::ccr::edge_volumes_for_ccr;
+
+/// Build the `g × g` wavefront DAG (`g ≥ 1`) with unit task weights and
+/// edge volumes scaled to `ccr`.
+///
+/// # Panics
+/// Panics if `g == 0` or `ccr < 0`.
+pub fn laplace_wavefront<R: Rng + ?Sized>(g: usize, ccr: f64, rng: &mut R) -> Dag {
+    assert!(g >= 1, "grid must be non-empty");
+    let id = |i: usize, j: usize| TaskId((i * g + j) as u32);
+    let mut b = DagBuilder::with_capacity(g * g, 2 * g * (g - 1));
+    for _ in 0..g * g {
+        b.add_task(1.0);
+    }
+    let mut edges: Vec<(TaskId, TaskId)> = Vec::new();
+    for i in 0..g {
+        for j in 0..g {
+            if j + 1 < g {
+                edges.push((id(i, j), id(i, j + 1)));
+            }
+            if i + 1 < g {
+                edges.push((id(i, j), id(i + 1, j)));
+            }
+        }
+    }
+    let volumes = edge_volumes_for_ccr((g * g) as f64, edges.len(), ccr, rng);
+    for (k, &(u, v)) in edges.iter().enumerate() {
+        b.add_edge(u, v, volumes[k]).expect("grid edge valid");
+    }
+    b.build().expect("wavefront is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_dag::analysis::critical_path;
+    use hetsched_dag::topo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for g in [1usize, 2, 4, 7] {
+            let dag = laplace_wavefront(g, 1.0, &mut rng);
+            assert_eq!(dag.num_tasks(), g * g);
+            assert_eq!(dag.num_edges(), 2 * g * (g - 1));
+            assert_eq!(topo::depth(&dag), 2 * g - 1);
+            assert_eq!(topo::width(&dag), g);
+            assert_eq!(dag.entry_tasks().count(), 1);
+            assert_eq!(dag.exit_tasks().count(), 1);
+        }
+    }
+
+    #[test]
+    fn critical_path_is_the_anti_diagonal_walk() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dag = laplace_wavefront(5, 0.0, &mut rng);
+        let (len, path) = critical_path(&dag);
+        assert_eq!(len, 9.0, "2g - 1 unit tasks");
+        assert_eq!(path.len(), 9);
+        assert_eq!(path[0], TaskId(0));
+        assert_eq!(path[8], TaskId(24));
+    }
+
+    #[test]
+    fn interior_cells_have_two_parents() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dag = laplace_wavefront(4, 1.0, &mut rng);
+        // cell (1,1) = id 5
+        assert_eq!(dag.in_degree(TaskId(5)), 2);
+        assert_eq!(dag.out_degree(TaskId(5)), 2);
+    }
+}

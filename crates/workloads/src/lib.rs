@@ -1,0 +1,45 @@
+//! # hetsched-workloads
+//!
+//! Workload generators for scheduling experiments: the parameterized
+//! random DAGs of the Topcuoglu evaluation protocol and the application
+//! task graphs the static-scheduling literature reports on.
+//!
+//! Every generator produces a validated [`hetsched_dag::Dag`] whose task
+//! weights are abstract work units and whose edge data volumes are scaled
+//! to hit a requested **CCR** (communication-to-computation ratio) under
+//! unit-speed processors and unit-bandwidth links, matching how the
+//! literature parameterizes experiments.
+//!
+//! | Generator | Shape |
+//! |-----------|-------|
+//! | [`random::RandomDagParams`] | layered random DAGs (n, shape α, out-degree, CCR) |
+//! | [`gauss::gaussian_elimination`] | Gaussian elimination on an m×m matrix |
+//! | [`fft::fft_butterfly`] | FFT butterfly over p points |
+//! | [`laplace::laplace_wavefront`] | g×g wavefront sweep (Laplace solver) |
+//! | [`cholesky::tiled_cholesky`] | tiled Cholesky factorization (POTRF/TRSM/SYRK/GEMM) |
+//! | [`forkjoin::fork_join`] | repeated fork–join sections |
+//! | [`stencil::stencil_1d`] | 1-D stencil over time steps |
+//! | [`irregular::irregular41`] | a fixed 41-task irregular application-like graph |
+//! | [`trees::out_tree`] / [`trees::in_tree`] / [`trees::divide_and_conquer`] | tree-shaped graphs |
+//! | [`series_parallel::series_parallel`] | random series–parallel graphs |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cholesky;
+pub mod fft;
+pub mod forkjoin;
+pub mod gauss;
+pub mod irregular;
+pub mod laplace;
+pub mod random;
+pub mod series_parallel;
+pub mod stencil;
+pub mod trees;
+
+pub(crate) mod ccr;
+
+pub use random::{random_dag, RandomDagParams};
+
+#[cfg(test)]
+mod proptests;

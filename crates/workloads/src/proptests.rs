@@ -1,0 +1,107 @@
+//! Property-based tests over all generators: structural invariants and
+//! parameter fidelity.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hetsched_dag::topo;
+
+use crate::cholesky::tiled_cholesky;
+use crate::fft::fft_butterfly;
+use crate::forkjoin::fork_join;
+use crate::gauss::{gaussian_elimination, gaussian_task_count};
+use crate::laplace::laplace_wavefront;
+use crate::random::{random_dag, RandomDagParams};
+use crate::stencil::stencil_1d;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn random_dag_invariants(
+        n in 1usize..150,
+        alpha in 0.3f64..3.0,
+        ccr in 0.0f64..10.0,
+        out_deg in 0usize..6,
+        seed in 0u64..100_000,
+    ) {
+        let params = RandomDagParams {
+            n, alpha, ccr,
+            max_out_degree: out_deg,
+            avg_comp: 10.0,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dag = random_dag(&params, &mut rng);
+        prop_assert_eq!(dag.num_tasks(), n);
+        if dag.num_edges() > 0 {
+            prop_assert!((dag.ccr() - ccr).abs() < 1e-6, "ccr {} target {}", dag.ccr(), ccr);
+        }
+        // weights in the documented band
+        for t in dag.task_ids() {
+            let w = dag.task_weight(t);
+            prop_assert!((5.0..15.0).contains(&w), "weight {}", w);
+        }
+        // topological order valid (build() guarantees acyclicity; this is a
+        // belt-and-braces check of the generator's layering)
+        prop_assert!(topo::is_topological(&dag, dag.topo_order()));
+    }
+
+    #[test]
+    fn gaussian_counts_and_ccr(m in 2usize..15, ccr in 0.0f64..8.0, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dag = gaussian_elimination(m, ccr, &mut rng);
+        prop_assert_eq!(dag.num_tasks(), gaussian_task_count(m));
+        if ccr > 0.0 {
+            prop_assert!((dag.ccr() - ccr).abs() < 1e-6);
+        }
+        prop_assert_eq!(dag.entry_tasks().count(), 1);
+        prop_assert_eq!(dag.exit_tasks().count(), 1);
+    }
+
+    #[test]
+    fn fft_structure(levels in 1u32..7, seed in 0u64..1000) {
+        let p = 1usize << levels;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dag = fft_butterfly(p, 1.0, &mut rng);
+        prop_assert_eq!(dag.num_tasks(), p * (levels as usize + 1));
+        prop_assert_eq!(dag.num_edges(), 2 * p * levels as usize);
+        prop_assert_eq!(topo::width(&dag), p);
+    }
+
+    #[test]
+    fn wavefront_monotone_parallelism(g in 1usize..12, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dag = laplace_wavefront(g, 1.0, &mut rng);
+        let layers = topo::layers(&dag);
+        // wavefront widths ramp 1,2,...,g,...,2,1
+        for (l, layer) in layers.iter().enumerate() {
+            let expect = if l < g { l + 1 } else { 2 * g - 1 - l };
+            prop_assert_eq!(layer.len(), expect, "layer {}", l);
+        }
+    }
+
+    #[test]
+    fn cholesky_single_entry_exit(b in 1usize..8, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dag = tiled_cholesky(b, 1.0, &mut rng);
+        prop_assert_eq!(dag.entry_tasks().count(), 1);
+        prop_assert_eq!(dag.exit_tasks().count(), 1);
+    }
+
+    #[test]
+    fn forkjoin_and_stencil_shapes(
+        sections in 1usize..5,
+        width in 1usize..8,
+        steps in 1usize..6,
+        cells in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fj = fork_join(sections, width, 5.0, 1.0, &mut rng);
+        prop_assert_eq!(fj.num_tasks(), 1 + sections * (width + 1));
+        let st = stencil_1d(steps, cells, 1.0, &mut rng);
+        prop_assert_eq!(st.num_tasks(), steps * cells);
+        prop_assert_eq!(topo::depth(&st), steps);
+    }
+}

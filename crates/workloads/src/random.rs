@@ -1,0 +1,228 @@
+//! Parameterized random DAGs per the Topcuoglu et al. evaluation protocol.
+//!
+//! A graph is drawn in layers: the depth is `⌈√n / α⌉` on average (large
+//! `α` ⇒ short and wide ⇒ high parallelism; small `α` ⇒ long and narrow),
+//! tasks are spread over the layers, every non-entry task gets at least
+//! one parent in an earlier layer (so the graph is a single rooted DAG up
+//! to the random extra edges), and additional forward edges are added up
+//! to the out-degree limit. Edge data volumes are scaled to the requested
+//! CCR.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use hetsched_dag::{Dag, DagBuilder, TaskId};
+
+use crate::ccr::edge_volumes_for_ccr;
+
+/// Parameters of the random-DAG generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomDagParams {
+    /// Number of tasks (≥ 1).
+    pub n: usize,
+    /// Shape parameter `α > 0`: mean depth is `√n / α`.
+    pub alpha: f64,
+    /// Maximum extra out-degree per task (the guaranteed parent edge does
+    /// not count toward this limit).
+    pub max_out_degree: usize,
+    /// Target communication-to-computation ratio (≥ 0).
+    pub ccr: f64,
+    /// Mean task computation weight (> 0); weights are uniform in
+    /// `[0.5, 1.5] ×` this.
+    pub avg_comp: f64,
+}
+
+impl Default for RandomDagParams {
+    fn default() -> Self {
+        RandomDagParams {
+            n: 100,
+            alpha: 1.0,
+            max_out_degree: 4,
+            ccr: 1.0,
+            avg_comp: 10.0,
+        }
+    }
+}
+
+impl RandomDagParams {
+    /// Convenience constructor for the common sweep axes.
+    pub fn new(n: usize, alpha: f64, ccr: f64) -> Self {
+        RandomDagParams {
+            n,
+            alpha,
+            ccr,
+            ..Default::default()
+        }
+    }
+}
+
+/// Generate one random DAG.
+///
+/// ```
+/// use hetsched_workloads::{random_dag, RandomDagParams};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let dag = random_dag(&RandomDagParams::new(50, 1.0, 2.0), &mut rng);
+/// assert_eq!(dag.num_tasks(), 50);
+/// assert!((dag.ccr() - 2.0).abs() < 1e-9);
+/// ```
+///
+/// # Panics
+/// Panics on invalid parameters (`n == 0`, `alpha <= 0`, `ccr < 0`,
+/// `avg_comp <= 0`).
+pub fn random_dag<R: Rng + ?Sized>(params: &RandomDagParams, rng: &mut R) -> Dag {
+    let &RandomDagParams {
+        n,
+        alpha,
+        max_out_degree,
+        ccr,
+        avg_comp,
+    } = params;
+    assert!(n >= 1, "need at least one task");
+    assert!(alpha > 0.0, "alpha must be positive, got {alpha}");
+    assert!(ccr >= 0.0, "ccr must be non-negative, got {ccr}");
+    assert!(avg_comp > 0.0, "avg_comp must be positive, got {avg_comp}");
+
+    // --- layer structure -------------------------------------------------
+    let mean_depth = ((n as f64).sqrt() / alpha).round().max(1.0) as usize;
+    let depth = mean_depth.min(n);
+    // every layer gets one task; the rest are spread uniformly
+    let mut layer_of: Vec<usize> = (0..depth).collect();
+    for _ in depth..n {
+        layer_of.push(rng.gen_range(0..depth));
+    }
+    layer_of.sort_unstable();
+    // layer_sizes / layer_start for indexed access
+    let mut layer_start = vec![0usize; depth + 1];
+    for &l in &layer_of {
+        layer_start[l + 1] += 1;
+    }
+    for l in 0..depth {
+        layer_start[l + 1] += layer_start[l];
+    }
+    let layer_range = |l: usize| layer_start[l]..layer_start[l + 1];
+
+    // --- edges ------------------------------------------------------------
+    // (1) connectivity: every task in layer l > 0 gets a parent in layer l-1
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for l in 1..depth {
+        for i in layer_range(l) {
+            let prev = layer_range(l - 1);
+            let p = rng.gen_range(prev.start..prev.end);
+            edges.push((p as u32, i as u32));
+        }
+    }
+    // (2) extra forward edges up to the out-degree limit
+    let mut edge_set: std::collections::HashSet<(u32, u32)> = edges.iter().copied().collect();
+    let mut extra_out = vec![0usize; n];
+    if depth > 1 && max_out_degree > 0 {
+        for l in 0..depth - 1 {
+            for i in layer_range(l) {
+                let budget = rng.gen_range(0..=max_out_degree);
+                for _ in 0..budget {
+                    if extra_out[i] >= max_out_degree {
+                        break;
+                    }
+                    // pick a target in a strictly later layer
+                    let tl = rng.gen_range(l + 1..depth);
+                    let tr = layer_range(tl);
+                    let t = rng.gen_range(tr.start..tr.end);
+                    if edge_set.insert((i as u32, t as u32)) {
+                        edges.push((i as u32, t as u32));
+                        extra_out[i] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // --- weights, then edge volumes for the target CCR --------------------
+    // One deterministic RNG pass: structure first, then weights, then
+    // volumes.
+    let mut b = DagBuilder::with_capacity(n, edges.len());
+    let mut weights = Vec::with_capacity(n);
+    for _ in 0..n {
+        let w = rng.gen_range(0.5 * avg_comp..1.5 * avg_comp);
+        weights.push(w);
+        b.add_task(w);
+    }
+    let volumes = edge_volumes_for_ccr(weights.iter().sum(), edges.len(), ccr, rng);
+    for (k, &(u, v)) in edges.iter().enumerate() {
+        b.add_edge(TaskId(u), TaskId(v), volumes[k])
+            .expect("generator edges are valid");
+    }
+    b.build().expect("layered edges are acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_dag::topo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn respects_task_count_and_ccr() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = RandomDagParams::new(120, 1.0, 2.0);
+        let dag = random_dag(&p, &mut rng);
+        assert_eq!(dag.num_tasks(), 120);
+        assert!((dag.ccr() - 2.0).abs() < 1e-9, "ccr {}", dag.ccr());
+    }
+
+    #[test]
+    fn alpha_controls_depth() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let deep = random_dag(&RandomDagParams::new(100, 0.5, 1.0), &mut rng);
+        let wide = random_dag(&RandomDagParams::new(100, 2.0, 1.0), &mut rng);
+        assert!(
+            topo::depth(&deep) > topo::depth(&wide),
+            "deep {} vs wide {}",
+            topo::depth(&deep),
+            topo::depth(&wide)
+        );
+        assert!(topo::width(&wide) > topo::width(&deep));
+    }
+
+    #[test]
+    fn single_entry_layer_connectivity() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dag = random_dag(&RandomDagParams::new(80, 1.0, 1.0), &mut rng);
+        // every non-first-layer task has at least one parent
+        let levels = topo::asap_levels(&dag);
+        for t in dag.task_ids() {
+            if levels[t.index()] > 0 {
+                assert!(dag.in_degree(t) >= 1, "{t} disconnected");
+            }
+        }
+    }
+
+    #[test]
+    fn is_reproducible_from_seed() {
+        let p = RandomDagParams::new(60, 1.0, 0.5);
+        let a = random_dag(&p, &mut StdRng::seed_from_u64(9));
+        let b = random_dag(&p, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.num_edges(), b.num_edges());
+        for (ea, eb) in a.edges().iter().zip(b.edges()) {
+            assert_eq!((ea.src, ea.dst), (eb.src, eb.dst));
+            assert_eq!(ea.data, eb.data);
+        }
+    }
+
+    #[test]
+    fn tiny_graphs_work() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for n in [1usize, 2, 3] {
+            let dag = random_dag(&RandomDagParams::new(n, 1.0, 1.0), &mut rng);
+            assert_eq!(dag.num_tasks(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn rejects_bad_alpha() {
+        let mut rng = StdRng::seed_from_u64(7);
+        random_dag(&RandomDagParams::new(10, 0.0, 1.0), &mut rng);
+    }
+}

@@ -1,0 +1,148 @@
+//! Random series–parallel task graphs.
+//!
+//! Built by recursive expansion: start from a single edge and repeatedly
+//! replace a random edge by either a *series* composition (`u → w → v`)
+//! or a *parallel* composition (a second `u → v` branch through a fresh
+//! task). SP graphs are the structured-programming subset of DAGs —
+//! several scheduling results are exact on them, which makes them a
+//! useful stress class distinct from layered random graphs.
+
+use rand::Rng;
+
+use hetsched_dag::{Dag, DagBuilder, TaskId};
+
+use crate::ccr::edge_volumes_for_ccr;
+
+/// Generate a series–parallel DAG with `n ≥ 2` tasks (source and sink
+/// included); `series_prob ∈ [0, 1]` biases expansion toward chains
+/// (1.0 → a pure chain, 0.0 → maximal branching). Task weights uniform in
+/// `[0.5, 1.5] × avg_comp`, edge volumes scaled to `ccr`.
+///
+/// # Panics
+/// Panics if `n < 2`, `series_prob ∉ [0, 1]`, `avg_comp <= 0`, or
+/// `ccr < 0`.
+pub fn series_parallel<R: Rng + ?Sized>(
+    n: usize,
+    series_prob: f64,
+    avg_comp: f64,
+    ccr: f64,
+    rng: &mut R,
+) -> Dag {
+    assert!(
+        n >= 2,
+        "series-parallel graph needs at least source and sink"
+    );
+    assert!(
+        (0.0..=1.0).contains(&series_prob),
+        "series_prob must be in [0, 1]"
+    );
+    assert!(avg_comp > 0.0, "avg_comp must be positive");
+
+    // tasks 0 (source) and 1 (sink); structural edge list grows by
+    // replacement
+    let mut weights: Vec<f64> = Vec::with_capacity(n);
+    let w = |rng: &mut R, weights: &mut Vec<f64>| -> u32 {
+        weights.push(rng.gen_range(0.5 * avg_comp..1.5 * avg_comp));
+        (weights.len() - 1) as u32
+    };
+    let src = w(rng, &mut weights);
+    let snk = w(rng, &mut weights);
+    let mut edges: Vec<(u32, u32)> = vec![(src, snk)];
+
+    while weights.len() < n {
+        let ei = rng.gen_range(0..edges.len());
+        let (u, v) = edges[ei];
+        let fresh = w(rng, &mut weights);
+        if rng.gen::<f64>() < series_prob {
+            // series: u -> fresh -> v replaces u -> v
+            edges.swap_remove(ei);
+            edges.push((u, fresh));
+            edges.push((fresh, v));
+        } else {
+            // parallel: add a second branch u -> fresh -> v
+            edges.push((u, fresh));
+            edges.push((fresh, v));
+        }
+    }
+    // dedup possible duplicate (u, v) pairs created by parallel expansion
+    edges.sort_unstable();
+    edges.dedup();
+
+    let mut b = DagBuilder::with_capacity(weights.len(), edges.len());
+    for &x in &weights {
+        b.add_task(x);
+    }
+    let volumes = edge_volumes_for_ccr(weights.iter().sum(), edges.len(), ccr, rng);
+    for (k, &(u, v)) in edges.iter().enumerate() {
+        b.add_edge(TaskId(u), TaskId(v), volumes[k])
+            .expect("SP edge valid");
+    }
+    b.build().expect("series-parallel construction is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_dag::analysis::Reachability;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn has_single_source_and_sink() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [2usize, 5, 20, 60] {
+            let g = series_parallel(n, 0.5, 5.0, 1.0, &mut rng);
+            assert_eq!(g.num_tasks(), n, "n={n}");
+            assert_eq!(g.entry_tasks().count(), 1, "n={n}");
+            assert_eq!(g.exit_tasks().count(), 1, "n={n}");
+            // everything lies between source and sink
+            let r = Reachability::new(&g);
+            let src = g.entry_tasks().next().unwrap();
+            let snk = g.exit_tasks().next().unwrap();
+            for t in g.task_ids() {
+                if t != src {
+                    assert!(r.reaches(src, t), "source reaches {t}");
+                }
+                if t != snk {
+                    assert!(r.reaches(t, snk), "{t} reaches sink");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn series_prob_one_gives_a_chain() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = series_parallel(10, 1.0, 5.0, 0.5, &mut rng);
+        assert_eq!(hetsched_dag::topo::depth(&g), 10);
+        assert_eq!(hetsched_dag::topo::width(&g), 1);
+    }
+
+    #[test]
+    fn series_prob_zero_is_wider_and_shallower_than_one() {
+        // parallel expansion may pick branch edges and nest, so the graph
+        // is not a flat 3-level fan — but it must still be strictly wider
+        // and shallower than the pure chain.
+        let mut rng = StdRng::seed_from_u64(3);
+        let wide = series_parallel(12, 0.0, 5.0, 0.5, &mut rng);
+        let chain = series_parallel(12, 1.0, 5.0, 0.5, &mut rng);
+        assert!(hetsched_dag::topo::width(&wide) > hetsched_dag::topo::width(&chain));
+        assert!(hetsched_dag::topo::depth(&wide) < hetsched_dag::topo::depth(&chain));
+        assert!(hetsched_dag::topo::width(&wide) >= 3);
+    }
+
+    #[test]
+    fn ccr_is_respected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = series_parallel(30, 0.5, 5.0, 3.0, &mut rng);
+        assert!((g.ccr() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minimal_graph_is_an_edge() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = series_parallel(2, 0.5, 5.0, 1.0, &mut rng);
+        assert_eq!(g.num_tasks(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+}

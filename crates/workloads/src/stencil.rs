@@ -1,0 +1,79 @@
+//! 1-D stencil over time: `steps` time levels of `cells` tasks; task
+//! `(t+1, i)` depends on `(t, i−1)`, `(t, i)`, `(t, i+1)` (clamped at the
+//! boundary). The nearest-neighbour exchange pattern of explicit PDE
+//! solvers.
+
+use rand::Rng;
+
+use hetsched_dag::{Dag, DagBuilder, TaskId};
+
+use crate::ccr::edge_volumes_for_ccr;
+
+/// Build the stencil DAG (`steps ≥ 1` time levels × `cells ≥ 1` cells),
+/// unit task weights, edge volumes scaled to `ccr`.
+///
+/// # Panics
+/// Panics if `steps == 0`, `cells == 0`, or `ccr < 0`.
+pub fn stencil_1d<R: Rng + ?Sized>(steps: usize, cells: usize, ccr: f64, rng: &mut R) -> Dag {
+    assert!(
+        steps >= 1 && cells >= 1,
+        "stencil needs positive dimensions"
+    );
+    let id = |t: usize, i: usize| TaskId((t * cells + i) as u32);
+    let mut b = DagBuilder::with_capacity(steps * cells, 3 * steps * cells);
+    for _ in 0..steps * cells {
+        b.add_task(1.0);
+    }
+    let mut edges = Vec::new();
+    for t in 0..steps - 1 {
+        for i in 0..cells {
+            let lo = i.saturating_sub(1);
+            let hi = (i + 1).min(cells - 1);
+            for j in lo..=hi {
+                edges.push((id(t, j), id(t + 1, i)));
+            }
+        }
+    }
+    let volumes = edge_volumes_for_ccr((steps * cells) as f64, edges.len(), ccr, rng);
+    for (k, &(u, v)) in edges.iter().enumerate() {
+        b.add_edge(u, v, volumes[k]).expect("stencil edge valid");
+    }
+    b.build().expect("stencil is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_dag::topo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dag = stencil_1d(4, 6, 1.0, &mut rng);
+        assert_eq!(dag.num_tasks(), 24);
+        assert_eq!(topo::depth(&dag), 4);
+        assert_eq!(topo::width(&dag), 6);
+        // interior cell has 3 parents, boundary 2
+        assert_eq!(dag.in_degree(TaskId(6 + 2)), 3);
+        assert_eq!(dag.in_degree(TaskId(6)), 2);
+    }
+
+    #[test]
+    fn single_cell_is_a_chain() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dag = stencil_1d(5, 1, 1.0, &mut rng);
+        assert_eq!(dag.num_tasks(), 5);
+        assert_eq!(topo::depth(&dag), 5);
+        assert_eq!(dag.num_edges(), 4);
+    }
+
+    #[test]
+    fn single_step_has_no_edges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dag = stencil_1d(1, 8, 1.0, &mut rng);
+        assert_eq!(dag.num_edges(), 0);
+        assert_eq!(dag.entry_tasks().count(), 8);
+    }
+}

@@ -1,0 +1,203 @@
+//! Tree-shaped task graphs: out-trees (divide), in-trees (conquer), and
+//! their composition (divide-and-conquer). Trees are the workloads where
+//! task duplication provably helps most — every in-tree join is a
+//! communication funnel.
+
+use rand::Rng;
+
+use hetsched_dag::{Dag, DagBuilder, TaskId};
+
+use crate::ccr::edge_volumes_for_ccr;
+
+/// Complete out-tree (root fans out): `depth` levels with branching
+/// factor `fanout`; tasks uniform in `[0.5, 1.5] × avg_comp`, edge
+/// volumes scaled to `ccr`.
+///
+/// Task count: `(fanout^depth − 1) / (fanout − 1)` (or `depth` for
+/// `fanout == 1`).
+///
+/// # Panics
+/// Panics if `depth == 0`, `fanout == 0`, `avg_comp <= 0`, or `ccr < 0`.
+pub fn out_tree<R: Rng + ?Sized>(
+    depth: usize,
+    fanout: usize,
+    avg_comp: f64,
+    ccr: f64,
+    rng: &mut R,
+) -> Dag {
+    assert!(depth >= 1 && fanout >= 1, "tree needs positive dimensions");
+    assert!(avg_comp > 0.0, "avg_comp must be positive");
+    let mut b = DagBuilder::new();
+    let mut total = 0.0;
+    let mut level: Vec<TaskId> = vec![{
+        let w = rng.gen_range(0.5 * avg_comp..1.5 * avg_comp);
+        total += w;
+        b.add_task(w)
+    }];
+    let mut edges: Vec<(TaskId, TaskId)> = Vec::new();
+    for _ in 1..depth {
+        let mut next = Vec::with_capacity(level.len() * fanout);
+        for &parent in &level {
+            for _ in 0..fanout {
+                let w = rng.gen_range(0.5 * avg_comp..1.5 * avg_comp);
+                total += w;
+                let c = b.add_task(w);
+                edges.push((parent, c));
+                next.push(c);
+            }
+        }
+        level = next;
+    }
+    let volumes = edge_volumes_for_ccr(total, edges.len(), ccr, rng);
+    for (k, &(u, v)) in edges.iter().enumerate() {
+        b.add_edge(u, v, volumes[k]).expect("tree edge valid");
+    }
+    b.build().expect("tree is acyclic")
+}
+
+/// Complete in-tree: the mirror of [`out_tree`] (leaves reduce toward a
+/// single root at the bottom).
+///
+/// # Panics
+/// Same conditions as [`out_tree`].
+pub fn in_tree<R: Rng + ?Sized>(
+    depth: usize,
+    fanout: usize,
+    avg_comp: f64,
+    ccr: f64,
+    rng: &mut R,
+) -> Dag {
+    // build the out-tree structure, then reverse every edge
+    let out = out_tree(depth, fanout, avg_comp, ccr, rng);
+    let mut b = DagBuilder::with_capacity(out.num_tasks(), out.num_edges());
+    for t in out.task_ids() {
+        b.add_task(out.task_weight(t));
+    }
+    for e in out.edges() {
+        b.add_edge(e.dst, e.src, e.data)
+            .expect("reversed edge valid");
+    }
+    b.build().expect("reversed tree is acyclic")
+}
+
+/// Divide-and-conquer: an out-tree glued to an in-tree at the leaves
+/// (fork to `fanout^(depth−1)` leaves, compute, reduce back).
+///
+/// # Panics
+/// Same conditions as [`out_tree`].
+pub fn divide_and_conquer<R: Rng + ?Sized>(
+    depth: usize,
+    fanout: usize,
+    avg_comp: f64,
+    ccr: f64,
+    rng: &mut R,
+) -> Dag {
+    assert!(depth >= 1 && fanout >= 1, "tree needs positive dimensions");
+    assert!(avg_comp > 0.0, "avg_comp must be positive");
+    let mut b = DagBuilder::new();
+    let mut total = 0.0;
+    let w = |b: &mut DagBuilder, total: &mut f64, rng: &mut R| {
+        let x = rng.gen_range(0.5 * avg_comp..1.5 * avg_comp);
+        *total += x;
+        b.add_task(x)
+    };
+    let mut edges: Vec<(TaskId, TaskId)> = Vec::new();
+
+    // divide phase
+    let mut level = vec![w(&mut b, &mut total, rng)];
+    let mut fork_levels = vec![level.clone()];
+    for _ in 1..depth {
+        let mut next = Vec::new();
+        for &parent in &level {
+            for _ in 0..fanout {
+                let c = w(&mut b, &mut total, rng);
+                edges.push((parent, c));
+                next.push(c);
+            }
+        }
+        fork_levels.push(next.clone());
+        level = next;
+    }
+    // conquer phase: mirror the fork levels back down
+    for lvl in (1..fork_levels.len()).rev() {
+        let children = &fork_levels[lvl];
+        let joins: Vec<TaskId> = (0..fork_levels[lvl - 1].len())
+            .map(|_| w(&mut b, &mut total, rng))
+            .collect();
+        for (ci, &c) in children.iter().enumerate() {
+            edges.push((c, joins[ci / fanout]));
+        }
+        // replacing the level with its join layer makes the next
+        // (shallower) iteration reduce joins into joins, mirroring the
+        // fork phase exactly
+        fork_levels[lvl - 1] = joins;
+    }
+
+    let volumes = edge_volumes_for_ccr(total, edges.len(), ccr, rng);
+    for (k, &(u, v)) in edges.iter().enumerate() {
+        b.add_edge(u, v, volumes[k]).expect("d&c edge valid");
+    }
+    b.build().expect("divide-and-conquer is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_dag::topo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn out_tree_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = out_tree(4, 2, 5.0, 1.0, &mut rng);
+        assert_eq!(t.num_tasks(), 15); // 1 + 2 + 4 + 8
+        assert_eq!(t.entry_tasks().count(), 1);
+        assert_eq!(t.exit_tasks().count(), 8);
+        assert_eq!(topo::depth(&t), 4);
+        for task in t.task_ids() {
+            assert!(t.out_degree(task) == 2 || t.is_exit(task));
+            assert!(t.in_degree(task) <= 1);
+        }
+    }
+
+    #[test]
+    fn in_tree_is_the_mirror() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = in_tree(3, 3, 5.0, 1.0, &mut rng);
+        assert_eq!(t.num_tasks(), 13); // 1 + 3 + 9
+        assert_eq!(t.entry_tasks().count(), 9);
+        assert_eq!(t.exit_tasks().count(), 1);
+        for task in t.task_ids() {
+            assert!(t.in_degree(task) == 3 || t.is_entry(task));
+        }
+    }
+
+    #[test]
+    fn fanout_one_is_a_chain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = out_tree(5, 1, 5.0, 0.5, &mut rng);
+        assert_eq!(t.num_tasks(), 5);
+        assert_eq!(topo::depth(&t), 5);
+        assert!((t.ccr() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn divide_and_conquer_shape() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = divide_and_conquer(3, 2, 5.0, 1.0, &mut rng);
+        // fork: 1 + 2 + 4 = 7; joins: 2 + 1 = 3 -> 10 tasks
+        assert_eq!(t.num_tasks(), 10);
+        assert_eq!(t.entry_tasks().count(), 1);
+        assert_eq!(t.exit_tasks().count(), 1);
+        assert_eq!(topo::depth(&t), 5); // fork 3 levels + join 2 levels
+        assert!((t.ccr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_level_degenerates_to_one_task() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(out_tree(1, 4, 5.0, 1.0, &mut rng).num_tasks(), 1);
+        assert_eq!(divide_and_conquer(1, 4, 5.0, 1.0, &mut rng).num_tasks(), 1);
+    }
+}

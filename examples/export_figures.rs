@@ -1,0 +1,43 @@
+//! Export figure artifacts: an SVG Gantt chart per scheduler and a DOT
+//! rendering of the task graph, for the irregular 41-task workload.
+//!
+//! ```text
+//! cargo run --example export_figures
+//! # -> figures/irregular41.dot, figures/gantt-<ALG>.svg
+//! ```
+
+use hetsched::core::algorithms::{DupHeft, Heft, IlsD, IlsH};
+use hetsched::core::Scheduler;
+use hetsched::dag::dot::to_dot;
+use hetsched::metrics::gantt::{to_svg, GanttStyle};
+use hetsched::prelude::*;
+use hetsched::workloads::irregular::irregular41;
+use rand::SeedableRng;
+
+fn main() -> std::io::Result<()> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let dag = irregular41(2.0, &mut rng);
+    let sys = System::heterogeneous_random(&dag, 4, &EtcParams::range_based(1.0), &mut rng);
+
+    std::fs::create_dir_all("figures")?;
+    std::fs::write("figures/irregular41.dot", to_dot(&dag, "irregular41"))?;
+    println!("wrote figures/irregular41.dot ({} tasks)", dag.num_tasks());
+
+    let algs: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(Heft::new()),
+        Box::new(DupHeft::new()),
+        Box::new(IlsH::new()),
+        Box::new(IlsD::new()),
+    ];
+    for alg in &algs {
+        let sched = alg.schedule(&dag, &sys);
+        let path = format!("figures/gantt-{}.svg", alg.name());
+        std::fs::write(&path, to_svg(&sched, &GanttStyle::default()))?;
+        println!(
+            "wrote {path} (makespan {:.2}, {} duplicates)",
+            sched.makespan(),
+            sched.num_duplicates()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Quickstart: build a task graph, model a small heterogeneous system,
+//! schedule it with HEFT and the proposed ILS-H, and inspect the result.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use hetsched::core::algorithms::{Heft, IlsH};
+use hetsched::core::{validate, Scheduler};
+use hetsched::metrics::{slr, speedup};
+use hetsched::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. Describe the application as a DAG: weights are abstract work
+    //    units, edge values are data volumes.
+    let mut b = DagBuilder::new();
+    let load = b.add_task(4.0);
+    let filter_a = b.add_task(6.0);
+    let filter_b = b.add_task(7.0);
+    let merge = b.add_task(3.0);
+    let report = b.add_task(2.0);
+    b.add_edge(load, filter_a, 5.0).unwrap();
+    b.add_edge(load, filter_b, 5.0).unwrap();
+    b.add_edge(filter_a, merge, 2.0).unwrap();
+    b.add_edge(filter_b, merge, 2.0).unwrap();
+    b.add_edge(merge, report, 1.0).unwrap();
+    let dag = b.build().unwrap();
+    println!(
+        "application: {} tasks, {} edges, CCR {:.2}",
+        dag.num_tasks(),
+        dag.num_edges(),
+        dag.ccr()
+    );
+
+    // 2. Describe the computing system: 3 heterogeneous processors
+    //    (range-based ETC, β = 1.0) over a unit-bandwidth network.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+    let sys = System::heterogeneous_random(&dag, 3, &EtcParams::range_based(1.0), &mut rng);
+
+    // 3. Schedule with two algorithms and compare.
+    for alg in [&Heft::new() as &dyn Scheduler, &IlsH::new()] {
+        let sched = alg.schedule(&dag, &sys);
+        validate(&dag, &sys, &sched).expect("schedulers produce valid schedules");
+        println!("\n--- {} ---", alg.name());
+        print!("{}", sched.render_gantt());
+        println!(
+            "SLR {:.3}, speedup {:.2}",
+            slr(&dag, &sys, sched.makespan()),
+            speedup(&dag, &sys, sched.makespan()),
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! # hetsched — facade crate
+//!
+//! Re-exports the full public API of the `hetsched` workspace so downstream
+//! users can depend on a single crate. See the README for a tour and
+//! `DESIGN.md` for the architecture.
+
+#![forbid(unsafe_code)]
+
+pub use hetsched_core as core;
+pub use hetsched_dag as dag;
+pub use hetsched_metrics as metrics;
+pub use hetsched_platform as platform;
+pub use hetsched_sim as sim;
+pub use hetsched_workloads as workloads;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use hetsched_dag::{Dag, DagBuilder, TaskId};
+    pub use hetsched_platform::{EtcParams, Network, ProcId, System, Topology};
+}

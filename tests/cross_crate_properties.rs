@@ -1,0 +1,98 @@
+//! Cross-crate property tests: invariants that tie the whole system
+//! together, checked over randomized instances.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hetsched::core::algorithms::all_heterogeneous;
+use hetsched::core::validate;
+use hetsched::metrics::{efficiency, slr, speedup};
+use hetsched::prelude::*;
+use hetsched::sim::{simulate, Noise, SimConfig};
+use hetsched::workloads::{random_dag, RandomDagParams};
+
+fn instance(n: usize, ccr: f64, procs: usize, beta: f64, seed: u64) -> (Dag, System) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dag = random_dag(&RandomDagParams::new(n, 1.0, ccr), &mut rng);
+    let sys = System::heterogeneous_random(&dag, procs, &EtcParams::range_based(beta), &mut rng);
+    (dag, sys)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every scheduler: valid schedule, SLR >= 1, efficiency <= 1, and the
+    /// event-level replay never exceeds the analytical makespan.
+    #[test]
+    fn pipeline_invariants(
+        n in 2usize..60,
+        ccr in 0.0f64..8.0,
+        procs in 1usize..8,
+        beta in 0.0f64..1.9,
+        seed in 0u64..100_000,
+    ) {
+        let (dag, sys) = instance(n, ccr, procs, beta, seed);
+        for alg in all_heterogeneous() {
+            let sched = alg.schedule(&dag, &sys);
+            prop_assert_eq!(validate(&dag, &sys, &sched), Ok(()), "{}", alg.name());
+            let m = sched.makespan();
+            prop_assert!(slr(&dag, &sys, m) >= 1.0 - 1e-9, "{} SLR < 1", alg.name());
+            // Note: on heterogeneous systems efficiency can legitimately
+            // exceed 1 — tasks with different processor affinities beat the
+            // best *single* processor superlinearly — so only positivity
+            // and finiteness are invariant here. The <= 1 bound holds on
+            // homogeneous systems and is asserted in the metrics tests.
+            let eff = efficiency(&dag, &sys, m);
+            prop_assert!(eff.is_finite() && eff > 0.0, "{} efficiency {}", alg.name(), eff);
+            prop_assert!(speedup(&dag, &sys, m) > 0.0);
+            let replay = simulate(&dag, &sys, &sched, &SimConfig::default()).makespan;
+            prop_assert!(replay <= m + 1e-6, "{} replay {} > {}", alg.name(), replay, m);
+        }
+    }
+
+    /// The simulator is deterministic under a fixed seed and never loses
+    /// tasks, noise or not.
+    #[test]
+    fn simulator_determinism(
+        n in 2usize..40,
+        seed in 0u64..100_000,
+        noise_seed in 0u64..1000,
+    ) {
+        let (dag, sys) = instance(n, 1.0, 4, 1.0, seed);
+        use hetsched::core::Scheduler as _;
+        let sched = hetsched::core::algorithms::Heft::new().schedule(&dag, &sys);
+        let cfg = SimConfig {
+            exec_noise: Noise::Gamma { cv: 0.4 },
+            comm_noise: Noise::Uniform { spread: 0.3 },
+            seed: noise_seed,
+        };
+        let a = simulate(&dag, &sys, &sched, &cfg);
+        let b = simulate(&dag, &sys, &sched, &cfg);
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.task_finish.len(), dag.num_tasks());
+        prop_assert!(a.task_finish.iter().all(|&f| f.is_finite() && f >= 0.0));
+        // makespan is the max primary finish
+        let max_fin = a.task_finish.iter().copied().fold(0.0f64, f64::max);
+        prop_assert!((a.makespan - max_fin).abs() < 1e-12);
+    }
+
+    /// Adding processors never makes the *best achievable* HEFT makespan
+    /// worse by more than noise: schedule on p and 2p homogeneous
+    /// processors and require the bigger machine to be no slower than 1.02x
+    /// (greedy heuristics are not monotone in theory; empirically on these
+    /// instances they are, and large regressions indicate bugs).
+    #[test]
+    fn more_processors_do_not_hurt_much(
+        n in 4usize..50,
+        seed in 0u64..100_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dag = random_dag(&RandomDagParams::new(n, 1.0, 0.5), &mut rng);
+        use hetsched::core::Scheduler as _;
+        let heft = hetsched::core::algorithms::Heft::new();
+        let m2 = heft.schedule(&dag, &System::homogeneous_unit(&dag, 2)).makespan();
+        let m4 = heft.schedule(&dag, &System::homogeneous_unit(&dag, 4)).makespan();
+        prop_assert!(m4 <= m2 * 1.02 + 1e-9, "p=4 {} vs p=2 {}", m4, m2);
+    }
+}

@@ -1,0 +1,201 @@
+//! End-to-end integration: workload generator → platform model → every
+//! scheduler → validator → discrete-event simulator → metrics, across all
+//! workload classes and system kinds.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hetsched::core::algorithms::{all_heterogeneous, homogeneous_set};
+use hetsched::core::validate;
+use hetsched::metrics::{efficiency, slr, speedup};
+use hetsched::prelude::*;
+use hetsched::sim::{simulate, SimConfig};
+use hetsched::workloads::{
+    cholesky::tiled_cholesky, fft::fft_butterfly, forkjoin::fork_join, gauss::gaussian_elimination,
+    irregular::irregular41, laplace::laplace_wavefront, random_dag, stencil::stencil_1d,
+    RandomDagParams,
+};
+
+fn all_workloads(seed: u64) -> Vec<(String, Dag)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    vec![
+        (
+            "random80".into(),
+            random_dag(&RandomDagParams::new(80, 1.0, 1.0), &mut rng),
+        ),
+        ("gauss10".into(), gaussian_elimination(10, 1.0, &mut rng)),
+        ("fft32".into(), fft_butterfly(32, 1.0, &mut rng)),
+        ("laplace8".into(), laplace_wavefront(8, 1.0, &mut rng)),
+        ("cholesky5".into(), tiled_cholesky(5, 1.0, &mut rng)),
+        ("forkjoin".into(), fork_join(3, 8, 5.0, 1.0, &mut rng)),
+        ("stencil".into(), stencil_1d(6, 8, 1.0, &mut rng)),
+        ("irregular41".into(), irregular41(1.0, &mut rng)),
+    ]
+}
+
+#[test]
+fn full_pipeline_on_every_workload_heterogeneous() {
+    for (name, dag) in all_workloads(1) {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sys = System::heterogeneous_random(&dag, 6, &EtcParams::range_based(1.0), &mut rng);
+        for alg in all_heterogeneous() {
+            let sched = alg.schedule(&dag, &sys);
+            // static validation
+            assert_eq!(
+                validate(&dag, &sys, &sched),
+                Ok(()),
+                "{} on {name}",
+                alg.name()
+            );
+            // dynamic cross-check: replay can only be faster
+            let replay = simulate(&dag, &sys, &sched, &SimConfig::default()).makespan;
+            assert!(
+                replay <= sched.makespan() + 1e-6,
+                "{} on {name}: replay {replay} > predicted {}",
+                alg.name(),
+                sched.makespan()
+            );
+            // metric sanity
+            let m = sched.makespan();
+            assert!(slr(&dag, &sys, m) >= 1.0 - 1e-9, "{} on {name}", alg.name());
+            assert!(speedup(&dag, &sys, m) > 0.0);
+            // on heterogeneous systems efficiency may legitimately exceed 1
+            // (superlinear vs the best single processor); only finiteness
+            // is invariant here
+            assert!(efficiency(&dag, &sys, m).is_finite());
+        }
+    }
+}
+
+#[test]
+fn full_pipeline_on_every_workload_homogeneous() {
+    for (name, dag) in all_workloads(3) {
+        let sys = System::homogeneous_unit(&dag, 4);
+        for alg in homogeneous_set() {
+            let sched = alg.schedule(&dag, &sys);
+            assert_eq!(
+                validate(&dag, &sys, &sched),
+                Ok(()),
+                "{} on {name}",
+                alg.name()
+            );
+            let replay = simulate(&dag, &sys, &sched, &SimConfig::default()).makespan;
+            assert!(
+                replay <= sched.makespan() + 1e-6,
+                "{} on {name}",
+                alg.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn proposed_schedulers_beat_heft_on_average() {
+    // The headline claim, in miniature: over a seeded set of random
+    // heterogeneous instances, the proposed ILS-H/ILS-D average SLR is no
+    // worse than HEFT's (and ILS-D strictly better at high CCR).
+    use hetsched::core::algorithms::{Heft, IlsD, IlsH};
+    use hetsched::core::Scheduler as _;
+
+    let mut heft_sum = 0.0;
+    let mut ilsh_sum = 0.0;
+    let mut ilsd_sum = 0.0;
+    let reps = 20;
+    for k in 0..reps {
+        let mut rng = StdRng::seed_from_u64(1000 + k);
+        let dag = random_dag(&RandomDagParams::new(60, 1.0, 5.0), &mut rng);
+        let sys = System::heterogeneous_random(&dag, 8, &EtcParams::range_based(1.0), &mut rng);
+        heft_sum += slr(&dag, &sys, Heft::new().schedule(&dag, &sys).makespan());
+        ilsh_sum += slr(&dag, &sys, IlsH::new().schedule(&dag, &sys).makespan());
+        ilsd_sum += slr(&dag, &sys, IlsD::new().schedule(&dag, &sys).makespan());
+    }
+    assert!(
+        ilsh_sum <= heft_sum * 1.02,
+        "ILS-H avg SLR {} vs HEFT {}",
+        ilsh_sum / reps as f64,
+        heft_sum / reps as f64
+    );
+    assert!(
+        ilsd_sum < heft_sum,
+        "ILS-D avg SLR {} vs HEFT {}",
+        ilsd_sum / reps as f64,
+        heft_sum / reps as f64
+    );
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // the prelude suffices for the common flow
+    let mut b = DagBuilder::new();
+    let a = b.add_task(1.0);
+    let c = b.add_task(2.0);
+    b.add_edge(a, c, 3.0).unwrap();
+    let dag = b.build().unwrap();
+    let sys = System::homogeneous(&dag, 2, 0.1, 10.0);
+    let sched = hetsched::core::algorithms::Heft::new();
+    use hetsched::core::Scheduler as _;
+    let s = sched.schedule(&dag, &sys);
+    assert!(s.is_complete());
+    assert_eq!(s.num_procs(), 2);
+    let _ = (TaskId(0), ProcId(0), Topology::Ring, Network::unit(2));
+}
+
+#[test]
+fn left_shift_compaction_agrees_with_simulator_replay() {
+    // Two independent implementations of ASAP semantics — the schedule
+    // compactor in core and the discrete-event replay in sim — must agree
+    // on the realized makespan for every scheduler.
+    use hetsched::core::compact::left_shift;
+    for seed in [5u64, 6, 7] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dag = random_dag(&RandomDagParams::new(50, 1.0, 2.0), &mut rng);
+        let sys = System::heterogeneous_random(&dag, 4, &EtcParams::range_based(1.0), &mut rng);
+        for alg in all_heterogeneous() {
+            let sched = alg.schedule(&dag, &sys);
+            let shifted = left_shift(&dag, &sys, &sched);
+            assert_eq!(validate(&dag, &sys, &shifted), Ok(()), "{}", alg.name());
+            let replay = simulate(&dag, &sys, &sched, &SimConfig::default()).makespan;
+            assert!(
+                (shifted.makespan() - replay).abs() < 1e-6,
+                "{} seed {seed}: compact {} vs replay {replay}",
+                alg.name(),
+                shifted.makespan()
+            );
+        }
+    }
+}
+
+#[test]
+fn ca_heft_wins_under_single_port_replay() {
+    // The contention-aware scheduler's reason to exist: replay plans under
+    // the single-port model; CA-HEFT must beat HEFT on average, while its
+    // plan stays conservative (replay <= plan) in the free model.
+    use hetsched::core::algorithms::{CaHeft, Heft};
+    use hetsched::core::Scheduler as _;
+    use hetsched::sim::{simulate_with, CommModel, Scenario};
+    let mut ca_sum = 0.0;
+    let mut heft_sum = 0.0;
+    let reps = 10;
+    for seed in 0..reps {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dag = random_dag(&RandomDagParams::new(40, 1.0, 5.0), &mut rng);
+        let sys = System::heterogeneous_random(&dag, 4, &EtcParams::range_based(1.0), &mut rng);
+        let scenario = Scenario {
+            proc_slowdown: vec![],
+            comm_model: CommModel::SinglePort,
+        };
+        let ca = CaHeft::new().schedule(&dag, &sys);
+        assert_eq!(validate(&dag, &sys, &ca), Ok(()), "seed {seed}");
+        let free_replay = simulate(&dag, &sys, &ca, &SimConfig::default()).makespan;
+        assert!(free_replay <= ca.makespan() + 1e-6, "seed {seed}");
+        let heft = Heft::new().schedule(&dag, &sys);
+        ca_sum += simulate_with(&dag, &sys, &ca, &SimConfig::default(), &scenario).makespan;
+        heft_sum += simulate_with(&dag, &sys, &heft, &SimConfig::default(), &scenario).makespan;
+    }
+    assert!(
+        ca_sum < heft_sum,
+        "CA-HEFT mean {} vs HEFT mean {} under single-port replay",
+        ca_sum / reps as f64,
+        heft_sum / reps as f64
+    );
+}

@@ -312,6 +312,113 @@ pub fn convert(flags: &Flags) -> Result<String, CliError> {
     ))
 }
 
+/// Assemble a [`hetsched_serve::ServeConfig`] from flags, starting from the
+/// defaults.
+fn serve_config(flags: &Flags) -> Result<hetsched_serve::ServeConfig, CliError> {
+    let d = hetsched_serve::ServeConfig::default();
+    Ok(hetsched_serve::ServeConfig {
+        workers: flags.get_or("workers", d.workers)?,
+        queue_capacity: flags.get_or("queue", d.queue_capacity)?,
+        cache_capacity: flags.get_or("cache", d.cache_capacity)?,
+        default_deadline_ms: flags.get_or("deadline-ms", d.default_deadline_ms)?,
+    })
+}
+
+/// `serve` — run the resident scheduling daemon until a `shutdown` request
+/// arrives. TCP by default; `--stdin` answers NDJSON on stdio instead.
+pub fn serve(flags: &Flags) -> Result<String, CliError> {
+    check_allowed(flags, &["addr", "workers", "queue", "cache", "deadline-ms"])?;
+    let config = serve_config(flags)?;
+    if flags.has("stdin") {
+        let service = hetsched_serve::Service::start(config);
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        hetsched_serve::serve_lines(&service, stdin.lock(), stdout.lock())?;
+        Ok(format!(
+            "served {} requests\n",
+            service.stats_body().requests
+        ))
+    } else {
+        let addr = flags.get("addr").unwrap_or("127.0.0.1:7077");
+        let server = hetsched_serve::TcpServer::bind(addr, config)
+            .map_err(|e| CliError(format!("binding {addr}: {e}")))?;
+        let local = server.local_addr()?;
+        // Printed (and flushed) before blocking so scripts binding port 0
+        // can scrape the actual port.
+        println!("listening on {local}");
+        std::io::Write::flush(&mut std::io::stdout())?;
+        let service = server.service();
+        server.run()?;
+        Ok(format!(
+            "served {} requests\n",
+            service.stats_body().requests
+        ))
+    }
+}
+
+/// `request` — send one NDJSON request to a running daemon and print the
+/// raw response line.
+pub fn request(flags: &Flags) -> Result<String, CliError> {
+    check_allowed(
+        flags,
+        &["addr", "op", "dag", "system", "alg", "deadline-ms"],
+    )?;
+    let addr = flags.require("addr")?;
+    let op = flags.get("op").unwrap_or("schedule");
+    let line = match op {
+        "stats" => r#"{"op":"stats"}"#.to_string(),
+        "shutdown" => r#"{"op":"shutdown"}"#.to_string(),
+        "schedule" => {
+            let read_json = |path: &str| -> Result<serde_json::Value, CliError> {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| CliError(format!("reading {path}: {e}")))?;
+                Ok(serde_json::from_str(&text)?)
+            };
+            let dag = read_json(flags.require("dag")?)?;
+            let system = read_json(flags.require("system")?)?;
+            let mut options = serde_json::Map::new();
+            if flags.has("simulate") {
+                options.insert("simulate", serde_json::Value::Bool(true));
+            }
+            if let Some(ms) = flags.get("deadline-ms") {
+                let ms: u64 = ms
+                    .parse()
+                    .map_err(|e| CliError(format!("--deadline-ms: invalid value `{ms}` ({e})")))?;
+                options.insert("deadline_ms", serde_json::to_value(ms)?);
+            }
+            let mut req = serde_json::Map::new();
+            req.insert("op", serde_json::Value::String("schedule".into()));
+            req.insert("dag", dag);
+            req.insert("system", system);
+            req.insert(
+                "algorithm",
+                serde_json::Value::String(flags.require("alg")?.into()),
+            );
+            req.insert("options", serde_json::Value::Object(options));
+            serde_json::to_string(&serde_json::Value::Object(req))?
+        }
+        other => {
+            return Err(CliError(format!(
+                "unknown --op `{other}` (schedule, stats, shutdown)"
+            )))
+        }
+    };
+
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| CliError(format!("connecting to {addr}: {e}")))?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply)?;
+    if reply.is_empty() {
+        return Err(CliError(format!("{addr} closed the connection")));
+    }
+    Ok(format!("{}\n", reply.trim_end()))
+}
+
 /// `algorithms` — list registry names.
 pub fn algorithms() -> String {
     let mut s = String::from("available schedulers (--alg):\n");
@@ -480,6 +587,66 @@ mod tests {
         assert!(std::fs::read_to_string(&back_path)
             .unwrap()
             .contains("hetsched STG export"));
+    }
+
+    #[test]
+    fn serve_config_from_flags() {
+        let c = serve_config(&argv("--workers 3 --queue 9 --cache 11 --deadline-ms 1234")).unwrap();
+        assert_eq!(c.workers, 3);
+        assert_eq!(c.queue_capacity, 9);
+        assert_eq!(c.cache_capacity, 11);
+        assert_eq!(c.default_deadline_ms, 1234);
+        let d = hetsched_serve::ServeConfig::default();
+        assert_eq!(serve_config(&argv("")).unwrap().workers, d.workers);
+        assert!(serve_config(&argv("--workers nope")).is_err());
+    }
+
+    #[test]
+    fn request_round_trip_against_daemon() {
+        let dag_path = tmp("req-dag.json");
+        let sys_path = tmp("req-sys.json");
+        generate(&argv(&format!(
+            "--kind gauss --m 5 --ccr 1.0 --seed 1 --out {dag_path}"
+        )))
+        .unwrap();
+        write_system(&sys_path);
+
+        let server = hetsched_serve::TcpServer::bind(
+            "127.0.0.1:0",
+            hetsched_serve::ServeConfig {
+                workers: 2,
+                queue_capacity: 8,
+                cache_capacity: 8,
+                default_deadline_ms: 10_000,
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let daemon = std::thread::spawn(move || server.run());
+
+        let reply = request(&argv(&format!(
+            "--addr {addr} --dag {dag_path} --system {sys_path} --alg HEFT --simulate"
+        )))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(reply.trim()).unwrap();
+        assert_eq!(v["status"].as_str(), Some("ok"), "reply: {reply}");
+        assert_eq!(v["schedule"]["algorithm"].as_str(), Some("HEFT"));
+        assert_eq!(v["schedule"]["cached"].as_bool(), Some(false));
+        assert_eq!(
+            v["schedule"]["sim"]["matches_prediction"].as_bool(),
+            Some(true)
+        );
+
+        let reply = request(&argv(&format!("--addr {addr} --op stats"))).unwrap();
+        let v: serde_json::Value = serde_json::from_str(reply.trim()).unwrap();
+        assert_eq!(v["stats"]["computed"].as_u64(), Some(1));
+
+        let err = request(&argv(&format!("--addr {addr} --op frobnicate"))).unwrap_err();
+        assert!(err.0.contains("unknown --op"), "{err}");
+
+        let reply = request(&argv(&format!("--addr {addr} --op shutdown"))).unwrap();
+        assert!(reply.contains("shutting_down"), "{reply}");
+        daemon.join().unwrap().unwrap();
     }
 
     #[test]

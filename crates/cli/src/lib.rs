@@ -76,4 +76,11 @@ commands:
               --dag FILE
   convert     convert between STG (.stg) and DagSpec JSON
               --from FILE --out FILE [--comm X]
+  serve       run the resident scheduling daemon (NDJSON over TCP or stdin)
+              [--addr HOST:PORT] [--stdin] [--workers N] [--queue N]
+              [--cache N] [--deadline-ms MS]
+  request     send one request to a running daemon and print the reply
+              --addr HOST:PORT [--op schedule|stats|shutdown]
+              [--dag FILE --system FILE --alg NAME]
+              [--simulate] [--deadline-ms MS]
   algorithms  list scheduler names usable with --alg";

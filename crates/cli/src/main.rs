@@ -34,6 +34,8 @@ fn main() -> ExitCode {
         "simulate" => commands::simulate_cmd(&flags),
         "info" => commands::info(&flags),
         "convert" => commands::convert(&flags),
+        "serve" => commands::serve(&flags),
+        "request" => commands::request(&flags),
         "algorithms" => Ok(commands::algorithms()),
         other => Err(format!("unknown command `{other}`").into()),
     };

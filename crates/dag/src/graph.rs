@@ -194,6 +194,35 @@ impl Dag {
             self.edges.iter().map(|e| e.data).sum::<f64>() / w
         }
     }
+
+    /// Stable 64-bit fingerprint of the graph's *content*: task weights and
+    /// the sorted edge list with data volumes.
+    ///
+    /// Two `Dag`s built from the same task set and edge set always hash
+    /// equal regardless of insertion order (the builder canonicalizes edges
+    /// by `(src, dst)`), and any change to a weight, an edge endpoint, or an
+    /// edge's data volume changes the digest. Derived CSR arrays are not
+    /// hashed — they are functions of the edge list. The digest is stable
+    /// across processes and platforms; see [`crate::fingerprint`].
+    pub fn content_fingerprint(&self) -> u64 {
+        let mut fp = crate::Fingerprint::new();
+        self.fold_fingerprint(&mut fp);
+        fp.finish()
+    }
+
+    /// Fold this graph's content into an existing [`crate::Fingerprint`]
+    /// stream (used by callers that key on a DAG *plus* other request
+    /// state, e.g. the scheduling service's memoization cache).
+    pub fn fold_fingerprint(&self, fp: &mut crate::Fingerprint) {
+        fp.tag("dag");
+        fp.push_f64_slice(&self.weights);
+        fp.push_usize(self.edges.len());
+        for e in &self.edges {
+            fp.push_u32(e.src.0);
+            fp.push_u32(e.dst.0);
+            fp.push_f64(e.data);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -296,5 +325,69 @@ mod tests {
         fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
         assert_serde::<crate::Dag>();
         assert_serde::<crate::Edge>();
+    }
+
+    #[test]
+    fn fingerprint_identical_graphs_hash_equal() {
+        assert_eq!(
+            diamond().content_fingerprint(),
+            diamond().content_fingerprint()
+        );
+        // Insertion order does not matter: the builder canonicalizes edges.
+        let mut b = DagBuilder::new();
+        let a = b.add_task(1.0);
+        let t1 = b.add_task(2.0);
+        let t2 = b.add_task(3.0);
+        let d = b.add_task(4.0);
+        b.add_edge(t2, d, 40.0).unwrap();
+        b.add_edge(t1, d, 30.0).unwrap();
+        b.add_edge(a, t2, 20.0).unwrap();
+        b.add_edge(a, t1, 10.0).unwrap();
+        let reordered = b.build().unwrap();
+        assert_eq!(
+            reordered.content_fingerprint(),
+            diamond().content_fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_sees_every_content_change() {
+        let base = diamond().content_fingerprint();
+
+        // One task weight changed.
+        let mut b = DagBuilder::new();
+        let a = b.add_task(1.0);
+        let t1 = b.add_task(2.5);
+        let t2 = b.add_task(3.0);
+        let d = b.add_task(4.0);
+        b.add_edge(a, t1, 10.0).unwrap();
+        b.add_edge(a, t2, 20.0).unwrap();
+        b.add_edge(t1, d, 30.0).unwrap();
+        b.add_edge(t2, d, 40.0).unwrap();
+        assert_ne!(b.build().unwrap().content_fingerprint(), base);
+
+        // One edge data volume changed.
+        let mut b = DagBuilder::new();
+        let a = b.add_task(1.0);
+        let t1 = b.add_task(2.0);
+        let t2 = b.add_task(3.0);
+        let d = b.add_task(4.0);
+        b.add_edge(a, t1, 10.0).unwrap();
+        b.add_edge(a, t2, 20.0).unwrap();
+        b.add_edge(t1, d, 30.5).unwrap();
+        b.add_edge(t2, d, 40.0).unwrap();
+        assert_ne!(b.build().unwrap().content_fingerprint(), base);
+
+        // One edge rerouted.
+        let mut b = DagBuilder::new();
+        let a = b.add_task(1.0);
+        let t1 = b.add_task(2.0);
+        let t2 = b.add_task(3.0);
+        let d = b.add_task(4.0);
+        b.add_edge(a, t1, 10.0).unwrap();
+        b.add_edge(a, t2, 20.0).unwrap();
+        b.add_edge(t1, d, 30.0).unwrap();
+        b.add_edge(t1, t2, 40.0).unwrap();
+        assert_ne!(b.build().unwrap().content_fingerprint(), base);
     }
 }

@@ -41,6 +41,8 @@
 //! * [`dot`] — Graphviz DOT export for debugging and papers.
 //! * [`io`] — portable JSON-friendly graph interchange ([`io::DagSpec`]).
 //! * [`stg`] — Kasahara Standard Task Graph text format reader/writer.
+//! * [`fingerprint`] — stable streaming content hashing ([`Fingerprint`])
+//!   used for cross-process memoization keys.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,6 +51,7 @@ pub mod analysis;
 pub mod builder;
 pub mod dot;
 mod error;
+pub mod fingerprint;
 pub mod graph;
 mod id;
 pub mod io;
@@ -57,6 +60,7 @@ pub mod topo;
 
 pub use builder::DagBuilder;
 pub use error::DagError;
+pub use fingerprint::Fingerprint;
 pub use graph::{Dag, Edge};
 pub use id::TaskId;
 

@@ -369,6 +369,23 @@ impl EtcMatrix {
             acc / counted as f64
         }
     }
+
+    /// Stable 64-bit fingerprint of the matrix content (dimensions and
+    /// every entry; the cached means are derived and not hashed). See
+    /// [`hetsched_dag::fingerprint`].
+    pub fn content_fingerprint(&self) -> u64 {
+        let mut fp = hetsched_dag::Fingerprint::new();
+        self.fold_fingerprint(&mut fp);
+        fp.finish()
+    }
+
+    /// Fold the matrix content into an existing fingerprint stream.
+    pub fn fold_fingerprint(&self, fp: &mut hetsched_dag::Fingerprint) {
+        fp.tag("etc");
+        fp.push_usize(self.n_tasks);
+        fp.push_usize(self.n_procs);
+        fp.push_f64_slice(&self.data);
+    }
 }
 
 #[cfg(test)]

@@ -241,6 +241,22 @@ impl Network {
         acc / (self.n * (self.n - 1)) as f64
     }
 
+    /// Stable 64-bit fingerprint of the network content (processor count
+    /// plus both cost matrices). See [`hetsched_dag::fingerprint`].
+    pub fn content_fingerprint(&self) -> u64 {
+        let mut fp = hetsched_dag::Fingerprint::new();
+        self.fold_fingerprint(&mut fp);
+        fp.finish()
+    }
+
+    /// Fold the network content into an existing fingerprint stream.
+    pub fn fold_fingerprint(&self, fp: &mut hetsched_dag::Fingerprint) {
+        fp.tag("network");
+        fp.push_usize(self.n);
+        fp.push_f64_slice(&self.startup);
+        fp.push_f64_slice(&self.inv_bw);
+    }
+
     /// A shared-bus network of `n` processors (alias for the `Bus`
     /// topology; statically identical to uniform one-hop).
     pub fn bus(n: usize, startup: f64, bandwidth: f64) -> Self {

@@ -135,6 +135,22 @@ impl System {
     pub fn is_homogeneous(&self) -> bool {
         self.etc.is_homogeneous()
     }
+
+    /// Stable 64-bit fingerprint of the full system content (ETC matrix
+    /// plus network). Any change to one execution-time entry, one link
+    /// cost, or either dimension changes the digest. See
+    /// [`hetsched_dag::fingerprint`].
+    pub fn content_fingerprint(&self) -> u64 {
+        let mut fp = hetsched_dag::Fingerprint::new();
+        self.fold_fingerprint(&mut fp);
+        fp.finish()
+    }
+
+    /// Fold the system content into an existing fingerprint stream.
+    pub fn fold_fingerprint(&self, fp: &mut hetsched_dag::Fingerprint) {
+        self.etc.fold_fingerprint(fp);
+        self.net.fold_fingerprint(fp);
+    }
 }
 
 #[cfg(test)]
@@ -206,5 +222,37 @@ mod tests {
     fn mismatched_sizes_panic() {
         let d = dag();
         System::new(EtcMatrix::homogeneous(&d, 3), Network::unit(4));
+    }
+
+    #[test]
+    fn fingerprint_stable_and_sensitive() {
+        let d = dag();
+        let base = System::homogeneous(&d, 3, 1.0, 2.0);
+        let same = System::homogeneous(&d, 3, 1.0, 2.0);
+        assert_eq!(base.content_fingerprint(), same.content_fingerprint());
+
+        // Perturb exactly one ETC entry.
+        let bumped = EtcMatrix::from_fn(d.num_tasks(), 3, |t, p| {
+            let v = base.exec_time(t, p);
+            if t == TaskId(1) && p == ProcId(2) {
+                v + 0.25
+            } else {
+                v
+            }
+        });
+        let sys2 = System::new(bumped, Network::uniform(3, 1.0, 2.0));
+        assert_ne!(base.content_fingerprint(), sys2.content_fingerprint());
+
+        // Perturb only the network.
+        let sys3 = System::new(EtcMatrix::homogeneous(&d, 3), Network::uniform(3, 1.0, 2.5));
+        assert_ne!(base.content_fingerprint(), sys3.content_fingerprint());
+
+        // ETC and network digests are domain-separated: a system fingerprint
+        // never equals either component's own fingerprint.
+        assert_ne!(base.content_fingerprint(), base.etc().content_fingerprint());
+        assert_ne!(
+            base.content_fingerprint(),
+            base.network().content_fingerprint()
+        );
     }
 }

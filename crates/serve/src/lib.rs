@@ -1,0 +1,45 @@
+//! `hetsched-serve` — a resident scheduling daemon.
+//!
+//! Turns the one-shot scheduling library into a long-lived service:
+//! clients send newline-delimited JSON requests (`{"op": "schedule", dag,
+//! system, algorithm, options}`) over TCP or stdin and get back the
+//! schedule, its makespan/SLR/speedup, and optionally a zero-noise
+//! simulator cross-check — without paying process start-up or re-parsing
+//! costs per request.
+//!
+//! Module map:
+//!
+//! | module       | contents |
+//! |--------------|----------|
+//! | [`protocol`] | request/response types, NDJSON framing |
+//! | [`service`]  | worker pool, bounded queue, deadlines, memoization, panic isolation |
+//! | [`cache`]    | fingerprint-keyed LRU memoization cache |
+//! | [`metrics`]  | atomic counters + streaming latency histogram |
+//! | [`server`]   | TCP accept loop and stdin runner |
+//!
+//! Guarantees the service makes:
+//!
+//! - **Backpressure, not collapse** — the request queue is bounded; a full
+//!   queue answers `busy` immediately.
+//! - **Deadlines** — each request waits at most `deadline_ms`; a late
+//!   schedule still finishes and lands in the cache for retries.
+//! - **Panic isolation** — a panicking scheduler yields an `error`
+//!   response for that request only; the daemon keeps serving.
+//! - **Deterministic memoization** — responses are keyed by a content
+//!   fingerprint of (DAG + system + algorithm + options), so identical
+//!   requests get byte-identical schedules, whether computed or cached.
+//! - **Graceful shutdown** — `{"op": "shutdown"}` drains in-flight
+//!   requests (replies included) before the daemon exits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use protocol::{Request, RequestOptions, Response, ScheduleBody, SimBody, StatsBody};
+pub use server::{serve_lines, TcpServer};
+pub use service::{request_fingerprint, ServeConfig, Service};

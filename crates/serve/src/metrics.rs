@@ -1,0 +1,192 @@
+//! Service metrics: lock-free counters plus a streaming latency histogram.
+//!
+//! Counters are relaxed atomics — they are monotone event counts with no
+//! cross-counter invariants, so relaxed ordering is sufficient and a
+//! `stats` read never blocks a request. Latencies go into a fixed
+//! log₂-bucketed histogram (one bucket per bit length of the microsecond
+//! value), from which p50/p99 are answered by bucket walk; recording is
+//! O(1), wait-free, and allocation-free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const BUCKETS: usize = 64;
+
+/// Streaming log-scale latency histogram over microseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    /// `buckets[i]` counts samples whose microsecond value has bit length
+    /// `i` (bucket 0: 0µs, bucket i: `[2^(i-1), 2^i)` µs).
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(us: u64) -> usize {
+        (u64::BITS - us.leading_zeros()) as usize
+    }
+
+    /// Record one latency sample.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.buckets[Self::bucket_of(us).min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Quantile estimate in microseconds (`q ∈ [0, 1]`); returns 0 with no
+    /// samples. Resolution is the bucket width (a factor of two): the
+    /// estimate is the geometric midpoint of the bucket holding the
+    /// quantile rank.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                if i == 0 {
+                    return 0.0;
+                }
+                let lo = (1u64 << (i - 1)) as f64;
+                let hi = (1u64 << i.min(62)) as f64;
+                return (lo * hi).sqrt();
+            }
+        }
+        // Unreachable with consistent counters; fall back to the max bucket.
+        (1u64 << 62) as f64
+    }
+
+    /// Mean latency in microseconds (0 with no samples).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+}
+
+/// All service counters.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Schedule requests accepted for processing (hits + queued).
+    pub requests: AtomicU64,
+    /// Requests answered from the memoization cache.
+    pub cache_hits: AtomicU64,
+    /// Fresh schedules computed to completion.
+    pub computed: AtomicU64,
+    /// Error responses (bad input, unknown algorithm, worker panics).
+    pub errors: AtomicU64,
+    /// Worker panics caught (also counted in `errors`).
+    pub panics: AtomicU64,
+    /// Deadline expiries.
+    pub timeouts: AtomicU64,
+    /// Queue-full rejections.
+    pub busy_rejections: AtomicU64,
+    /// End-to-end latency of completed schedule requests.
+    pub latency: LatencyHistogram,
+}
+
+impl ServiceMetrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Relaxed increment helper.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Relaxed read helper.
+    pub fn read(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        assert_eq!(LatencyHistogram::bucket_of(2), 2);
+        assert_eq!(LatencyHistogram::bucket_of(3), 2);
+        assert_eq!(LatencyHistogram::bucket_of(4), 3);
+        assert_eq!(LatencyHistogram::bucket_of(1024), 11);
+    }
+
+    #[test]
+    fn quantiles_track_mass() {
+        let h = LatencyHistogram::new();
+        // 90 fast samples (~100us), 10 slow (~100ms).
+        for _ in 0..90 {
+            h.record(Duration::from_micros(100));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(100));
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_us(0.50);
+        let p99 = h.quantile_us(0.99);
+        // p50 falls in the 100us bucket [64, 128), p99 in the 100ms bucket.
+        assert!((64.0..128.0).contains(&p50), "p50 {p50}");
+        assert!(p99 > 64_000.0, "p99 {p99}");
+        assert!(p50 < p99);
+        let mean = h.mean_us();
+        assert!((mean - (90.0 * 100.0 + 10.0 * 100_000.0) / 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_quiet() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_us(0.5), 0.0);
+        assert_eq!(h.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let mut joins = Vec::new();
+        for t in 0..4 {
+            let h = h.clone();
+            joins.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    h.record(Duration::from_micros(t * 50 + i % 7));
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+    }
+}

@@ -1,0 +1,271 @@
+//! Wire protocol: newline-delimited JSON requests and responses.
+//!
+//! Every request is a single JSON object on one line, dispatched on its
+//! `"op"` field; every response is a single JSON object on one line,
+//! discriminated by its `"status"` field. See `crates/serve/README.md` for
+//! the full protocol reference with examples.
+
+use serde::{Deserialize, Serialize};
+
+use hetsched_core::Schedule;
+use hetsched_dag::io::DagSpec;
+use hetsched_platform::SystemSpec;
+use hetsched_sim::SimResult;
+
+/// Per-request options for a `schedule` request.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RequestOptions {
+    /// Run the zero-noise discrete-event simulator on the produced schedule
+    /// and report its makespan as a cross-check.
+    #[serde(default)]
+    pub simulate: bool,
+    /// Per-request deadline in milliseconds; the service answers `timeout`
+    /// if the schedule is not ready in time. Falls back to the service's
+    /// configured default when absent.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub deadline_ms: Option<u64>,
+    /// Diagnostic aid: make the worker sleep this long before scheduling.
+    /// Used to exercise deadline handling deterministically; not for
+    /// production requests.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub debug_sleep_ms: Option<u64>,
+    /// Diagnostic aid: make the worker panic instead of scheduling, to
+    /// exercise panic isolation. The daemon must survive and answer
+    /// `error`.
+    #[serde(default)]
+    pub debug_panic: bool,
+}
+
+/// A client request, dispatched on the `"op"` field.
+// Variant sizes are deliberately uneven: `Schedule` carries the whole
+// request payload and each `Request` lives only for the duration of one
+// dispatch, so boxing would buy nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case")]
+pub enum Request {
+    /// Compute a schedule for `dag` on `system` with `algorithm`.
+    Schedule {
+        /// Task graph (validated on receipt).
+        dag: DagSpec,
+        /// Target system (validated on receipt, sized to the DAG).
+        system: SystemSpec,
+        /// Registry name of the scheduler (`"HEFT"`, `"ILS-D"`, ...).
+        algorithm: String,
+        /// Optional request modifiers.
+        #[serde(default)]
+        options: RequestOptions,
+    },
+    /// Query service counters and latency quantiles.
+    Stats,
+    /// Begin graceful shutdown: stop accepting work, drain in-flight
+    /// requests, then exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Parse one request line.
+    pub fn parse(line: &str) -> Result<Request, serde_json::Error> {
+        serde_json::from_str(line)
+    }
+}
+
+/// Successful scheduling payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScheduleBody {
+    /// Scheduler registry name that produced this schedule.
+    pub algorithm: String,
+    /// Predicted makespan (seconds).
+    pub makespan: f64,
+    /// Schedule length ratio (makespan over the communication-free
+    /// critical-path lower bound).
+    pub slr: f64,
+    /// Speedup over the best single processor.
+    pub speedup: f64,
+    /// Content fingerprint of (DAG + system + algorithm + options), hex.
+    pub fingerprint: String,
+    /// Whether this response was served from the memoization cache.
+    pub cached: bool,
+    /// The schedule itself (per-processor timelines).
+    pub schedule: Schedule,
+    /// Zero-noise simulator replay, when `options.simulate` was set.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub sim: Option<SimBody>,
+}
+
+/// Simulator cross-check attached to a schedule response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimBody {
+    /// Raw simulator result (realized makespan, per-task finish times,
+    /// event count).
+    pub result: SimResult,
+    /// Whether the simulated makespan matches the predicted one to within
+    /// numerical tolerance.
+    pub matches_prediction: bool,
+}
+
+/// Service counters and latency quantiles returned by the `stats` op.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsBody {
+    /// Schedule requests received (cache hits included, rejects excluded).
+    pub requests: u64,
+    /// Requests answered from the memoization cache.
+    pub cache_hits: u64,
+    /// Requests that computed a fresh schedule to completion.
+    pub computed: u64,
+    /// Requests answered `error` (bad input, unknown algorithm, panic).
+    pub errors: u64,
+    /// Worker panics caught (a subset of `errors`).
+    pub panics: u64,
+    /// Requests answered `timeout`.
+    pub timeouts: u64,
+    /// Requests answered `busy` (queue full).
+    pub busy_rejections: u64,
+    /// Entries currently in the memoization cache.
+    pub cache_entries: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Bounded queue capacity.
+    pub queue_capacity: usize,
+    /// Latency samples recorded (completed schedule requests).
+    pub latency_samples: u64,
+    /// Median end-to-end schedule latency, microseconds.
+    pub latency_p50_us: f64,
+    /// 99th-percentile end-to-end schedule latency, microseconds.
+    pub latency_p99_us: f64,
+}
+
+/// A service response, discriminated on the `"status"` field.
+#[allow(clippy::large_enum_variant)] // `Ok` carries the payload; see `Request`
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "status", rename_all = "snake_case")]
+pub enum Response {
+    /// Request succeeded.
+    Ok {
+        /// Scheduling payload (`schedule` op).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        schedule: Option<ScheduleBody>,
+        /// Stats payload (`stats` op).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        stats: Option<StatsBody>,
+    },
+    /// The bounded request queue is full; retry later.
+    Busy {
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The per-request deadline passed before the schedule was ready. The
+    /// computation keeps running and populates the cache, so an identical
+    /// retry may hit.
+    Timeout {
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The request failed (malformed JSON, invalid DAG/system, unknown
+    /// algorithm, or an isolated worker panic).
+    Error {
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Shutdown acknowledged; the service drains and exits.
+    ShuttingDown,
+}
+
+impl Response {
+    /// Shorthand for an error response.
+    pub fn error(message: impl Into<String>) -> Self {
+        Response::Error {
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for a schedule payload response.
+    pub fn schedule(body: ScheduleBody) -> Self {
+        Response::Ok {
+            schedule: Some(body),
+            stats: None,
+        }
+    }
+
+    /// Shorthand for a stats payload response.
+    pub fn stats(body: StatsBody) -> Self {
+        Response::Ok {
+            schedule: None,
+            stats: Some(body),
+        }
+    }
+
+    /// Serialize as one NDJSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("response serialization is infallible")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_request_roundtrip() {
+        let line = r#"{"op":"schedule","dag":{"tasks":[{"weight":2.0},{"weight":3.0}],"edges":[{"src":0,"dst":1,"data":4.0}]},"system":{"processors":{"kind":"homogeneous","count":2},"network":{"topology":"fully_connected","bandwidth":1.0}},"algorithm":"HEFT"}"#;
+        let req = Request::parse(line).unwrap();
+        match &req {
+            Request::Schedule {
+                dag,
+                algorithm,
+                options,
+                ..
+            } => {
+                assert_eq!(dag.tasks.len(), 2);
+                assert_eq!(algorithm, "HEFT");
+                assert_eq!(*options, RequestOptions::default());
+            }
+            other => panic!("wrong op: {other:?}"),
+        }
+        // And the serialized form parses back to the same op.
+        let back = Request::parse(&serde_json::to_string(&req).unwrap()).unwrap();
+        assert!(matches!(back, Request::Schedule { .. }));
+    }
+
+    #[test]
+    fn unit_ops_roundtrip() {
+        assert!(matches!(
+            Request::parse(r#"{"op":"stats"}"#).unwrap(),
+            Request::Stats
+        ));
+        assert!(matches!(
+            Request::parse(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        ));
+    }
+
+    #[test]
+    fn unknown_op_is_an_error() {
+        assert!(Request::parse(r#"{"op":"frobnicate"}"#).is_err());
+        assert!(Request::parse("not json").is_err());
+    }
+
+    #[test]
+    fn response_lines_are_single_line_json() {
+        let r = Response::error("boom");
+        let line = r.to_line();
+        assert!(!line.contains('\n'));
+        let v: serde_json::Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(v["status"].as_str(), Some("error"));
+        assert_eq!(v["message"].as_str(), Some("boom"));
+
+        let line = Response::ShuttingDown.to_line();
+        let v: serde_json::Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(v["status"].as_str(), Some("shutting_down"));
+    }
+
+    #[test]
+    fn options_default_and_explicit() {
+        let opts: RequestOptions =
+            serde_json::from_str(r#"{"simulate":true,"deadline_ms":250}"#).unwrap();
+        assert!(opts.simulate);
+        assert_eq!(opts.deadline_ms, Some(250));
+        assert_eq!(opts.debug_sleep_ms, None);
+        assert!(!opts.debug_panic);
+    }
+}

@@ -1,0 +1,273 @@
+//! Transport layer: the TCP accept loop and the stdin runner.
+//!
+//! Both transports speak the same NDJSON protocol and share one
+//! [`Service`]. The TCP listener runs non-blocking and polls the shutdown
+//! flag between accepts; each connection gets its own thread with a short
+//! read timeout so it also notices shutdown promptly. A `shutdown` request
+//! from any client therefore winds the whole daemon down: accept loop
+//! exits, connection threads finish their buffered lines and join, and the
+//! worker pool drains.
+
+use std::io::{self, BufRead, ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::protocol::Response;
+use crate::service::{ServeConfig, Service};
+
+/// How often idle loops poll the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+/// Read timeout on connection sockets; bounds shutdown latency per
+/// connection.
+const READ_TIMEOUT: Duration = Duration::from_millis(200);
+
+/// A TCP daemon bound to an address, ready to [`run`](TcpServer::run).
+pub struct TcpServer {
+    listener: TcpListener,
+    service: Arc<Service>,
+}
+
+impl TcpServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// the worker pool.
+    pub fn bind(addr: &str, config: ServeConfig) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(TcpServer {
+            listener,
+            service: Arc::new(Service::start(config)),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Shared handle to the underlying service (stats, programmatic
+    /// shutdown).
+    pub fn service(&self) -> Arc<Service> {
+        self.service.clone()
+    }
+
+    /// Accept and serve connections until a `shutdown` request arrives (or
+    /// [`Service::begin_shutdown`] is called on the shared handle), then
+    /// drain: join every connection thread and the worker pool before
+    /// returning.
+    pub fn run(self) -> io::Result<()> {
+        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            if self.service.is_shutting_down() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let service = self.service.clone();
+                    let handle = std::thread::Builder::new()
+                        .name("hetsched-conn".to_string())
+                        .spawn(move || serve_connection(stream, &service))
+                        .expect("spawning connection thread");
+                    connections.push(handle);
+                    connections.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => {
+                    self.service.shutdown();
+                    return Err(e);
+                }
+            }
+        }
+        for h in connections {
+            let _ = h.join();
+        }
+        self.service.shutdown();
+        Ok(())
+    }
+}
+
+/// Serve one TCP connection: buffer bytes, answer each complete line,
+/// leave when the peer hangs up or the service shuts down.
+fn serve_connection(stream: TcpStream, service: &Service) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let mut stream = stream;
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Answer every complete line already buffered, even mid-shutdown:
+        // drain-then-exit applies to connections too.
+        while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = pending.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line_bytes);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let response = service.handle_line(line);
+            if write_line(&mut stream, &response).is_err() {
+                return;
+            }
+        }
+        if service.is_shutting_down() {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                // Read timeout: loop around to re-check the shutdown flag.
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn write_line(w: &mut impl Write, response: &Response) -> io::Result<()> {
+    let mut line = response.to_line();
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    w.flush()
+}
+
+/// Serve NDJSON requests from `input` to `output` until EOF or a
+/// `shutdown` request, then drain the worker pool. This is the stdin mode
+/// of the daemon (`hetsched serve --stdin`), also handy for tests.
+pub fn serve_lines(
+    service: &Service,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = service.handle_line(line.trim());
+        write_line(&mut output, &response)?;
+        if service.is_shutting_down() {
+            break;
+        }
+    }
+    service.shutdown();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Cursor};
+
+    fn small_request(weight: f64, options: &str) -> String {
+        format!(
+            "{{\"op\":\"schedule\",\"dag\":{{\"tasks\":[{{\"weight\":{weight}}},{{\"weight\":2.0}}],\
+             \"edges\":[{{\"src\":0,\"dst\":1,\"data\":1.5}}]}},\
+             \"system\":{{\"processors\":{{\"kind\":\"homogeneous\",\"count\":2}},\
+             \"network\":{{\"topology\":\"fully_connected\",\"bandwidth\":1.0}}}},\
+             \"algorithm\":\"HEFT\",\"options\":{options}}}"
+        )
+    }
+
+    fn test_config() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 8,
+            cache_capacity: 8,
+            default_deadline_ms: 10_000,
+        }
+    }
+
+    #[test]
+    fn stdin_mode_round_trips_and_stops_on_shutdown() {
+        let service = Service::start(test_config());
+        let input = format!(
+            "{}\n\n{}\n{{\"op\":\"stats\"}}\n{{\"op\":\"shutdown\"}}\nignored after shutdown\n",
+            small_request(1.0, "{}"),
+            small_request(1.0, "{}"),
+        );
+        let mut out = Vec::new();
+        serve_lines(&service, Cursor::new(input), &mut out).unwrap();
+        let lines: Vec<String> = out.lines().map(|l| l.unwrap()).collect();
+        assert_eq!(lines.len(), 4, "lines: {lines:#?}");
+        let first: serde_json::Value = serde_json::from_str(&lines[0]).unwrap();
+        assert_eq!(first["status"].as_str(), Some("ok"));
+        assert_eq!(first["schedule"]["cached"].as_bool(), Some(false));
+        let second: serde_json::Value = serde_json::from_str(&lines[1]).unwrap();
+        assert_eq!(second["schedule"]["cached"].as_bool(), Some(true));
+        let stats: serde_json::Value = serde_json::from_str(&lines[2]).unwrap();
+        assert_eq!(stats["stats"]["cache_hits"].as_u64(), Some(1));
+        let bye: serde_json::Value = serde_json::from_str(&lines[3]).unwrap();
+        assert_eq!(bye["status"].as_str(), Some("shutting_down"));
+        assert!(service.is_shutting_down());
+    }
+
+    #[test]
+    fn tcp_round_trip_and_client_initiated_shutdown() {
+        let server = TcpServer::bind("127.0.0.1:0", test_config()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let daemon = std::thread::spawn(move || server.run());
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut stream = stream;
+
+        let mut send = |line: &str, reader: &mut BufReader<TcpStream>| -> serde_json::Value {
+            stream.write_all(line.as_bytes()).unwrap();
+            stream.write_all(b"\n").unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            serde_json::from_str(reply.trim()).unwrap()
+        };
+
+        let v = send(&small_request(3.0, "{\"simulate\":true}"), &mut reader);
+        assert_eq!(v["status"].as_str(), Some("ok"), "got {v:?}");
+        assert_eq!(
+            v["schedule"]["sim"]["matches_prediction"].as_bool(),
+            Some(true)
+        );
+        let v = send(&small_request(3.0, "{\"simulate\":true}"), &mut reader);
+        assert_eq!(v["schedule"]["cached"].as_bool(), Some(true));
+        let v = send(r#"{"op":"stats"}"#, &mut reader);
+        assert_eq!(v["stats"]["requests"].as_u64(), Some(2));
+        let v = send(r#"{"op":"shutdown"}"#, &mut reader);
+        assert_eq!(v["status"].as_str(), Some("shutting_down"));
+
+        daemon.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn tcp_survives_malformed_lines_and_peer_disconnect() {
+        let server = TcpServer::bind("127.0.0.1:0", test_config()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let service = server.service();
+        let daemon = std::thread::spawn(move || server.run());
+
+        {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            stream.write_all(b"garbage that is not json\n").unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            let v: serde_json::Value = serde_json::from_str(reply.trim()).unwrap();
+            assert_eq!(v["status"].as_str(), Some("error"));
+            // Drop mid-session: the daemon must shrug it off.
+        }
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        stream
+            .write_all(format!("{}\n", small_request(4.0, "{}")).as_bytes())
+            .unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        let v: serde_json::Value = serde_json::from_str(reply.trim()).unwrap();
+        assert_eq!(v["status"].as_str(), Some("ok"), "got {v:?}");
+
+        service.begin_shutdown();
+        daemon.join().unwrap().unwrap();
+    }
+}

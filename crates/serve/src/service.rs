@@ -1,0 +1,612 @@
+//! The resident scheduling service: bounded request queue, worker pool,
+//! memoization, deadlines, and panic isolation.
+//!
+//! Life of a `schedule` request:
+//!
+//! 1. The submitting thread (a TCP connection thread or the stdin loop)
+//!    parses and validates the request, builds the `Dag`/`System`, and
+//!    computes the request's content fingerprint.
+//! 2. On a cache hit the response is returned immediately (`cached: true`).
+//! 3. Otherwise the job goes into a bounded crossbeam channel. A full
+//!    queue answers `busy` right away — backpressure is explicit, never
+//!    an unbounded pile-up.
+//! 4. A worker picks the job up and runs the scheduler inside
+//!    `catch_unwind`, so a panicking algorithm poisons nothing: the client
+//!    gets `error` and the daemon keeps serving.
+//! 5. The submitting thread waits for the reply with a deadline
+//!    (`options.deadline_ms`, else the configured default) and answers
+//!    `timeout` if it passes. The worker still finishes and populates the
+//!    cache, so an identical retry can hit.
+//!
+//! Shutdown is drain-then-exit: [`Service::shutdown`] closes the queue,
+//! lets workers finish every queued job (replies included), then joins
+//! them.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+
+use hetsched_core::{algorithms, validate, Scheduler};
+use hetsched_dag::io::DagSpec;
+use hetsched_dag::{Dag, Fingerprint};
+use hetsched_metrics::{slr, speedup};
+use hetsched_platform::{System, SystemSpec};
+use hetsched_sim::{simulate, SimConfig};
+
+use crate::cache::LruCache;
+use crate::metrics::ServiceMetrics;
+use crate::protocol::{Request, RequestOptions, Response, ScheduleBody, SimBody, StatsBody};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads computing schedules.
+    pub workers: usize,
+    /// Bounded queue capacity; a full queue answers `busy`.
+    pub queue_capacity: usize,
+    /// Memoization cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Deadline applied when a request carries no `deadline_ms`.
+    pub default_deadline_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(2);
+        ServeConfig {
+            workers,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            default_deadline_ms: 30_000,
+        }
+    }
+}
+
+/// One queued scheduling job.
+struct Job {
+    dag: Dag,
+    sys: System,
+    algorithm: String,
+    alg: Box<dyn Scheduler + Send + Sync>,
+    options: RequestOptions,
+    fingerprint: u64,
+    reply: Sender<Response>,
+}
+
+struct Shared {
+    config: ServeConfig,
+    metrics: ServiceMetrics,
+    cache: Mutex<LruCache<ScheduleBody>>,
+    shutting: AtomicBool,
+}
+
+/// The resident scheduling service. Cheap to share behind an `Arc`; every
+/// public method takes `&self`.
+pub struct Service {
+    shared: Arc<Shared>,
+    tx: Mutex<Option<Sender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Content fingerprint of a scheduling request: DAG structure and weights,
+/// full system (ETC + network), algorithm name, and the options that
+/// influence the response body. `deadline_ms` is deliberately excluded —
+/// it bounds how long the client waits, not what is computed.
+pub fn request_fingerprint(
+    dag: &Dag,
+    sys: &System,
+    algorithm: &str,
+    options: &RequestOptions,
+) -> u64 {
+    let mut fp = Fingerprint::new();
+    dag.fold_fingerprint(&mut fp);
+    sys.fold_fingerprint(&mut fp);
+    fp.tag("algorithm");
+    fp.push_str(algorithm);
+    fp.tag("options");
+    fp.push_u8(options.simulate as u8);
+    fp.push_u8(options.debug_panic as u8);
+    fp.push_u64(options.debug_sleep_ms.unwrap_or(0));
+    fp.finish()
+}
+
+impl Service {
+    /// Start the worker pool and return the ready service.
+    ///
+    /// # Panics
+    /// Panics if `workers` or `queue_capacity` or `cache_capacity` is zero.
+    pub fn start(config: ServeConfig) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        let (tx, rx) = channel::bounded::<Job>(config.queue_capacity);
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            metrics: ServiceMetrics::new(),
+            shutting: AtomicBool::new(false),
+            config,
+        });
+        let workers = (0..shared.config.workers)
+            .map(|i| {
+                let rx = rx.clone();
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("hetsched-worker-{i}"))
+                    .spawn(move || worker_loop(rx, shared))
+                    .expect("spawning worker thread")
+            })
+            .collect();
+        Service {
+            shared,
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Service metrics (live counters).
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.shared.metrics
+    }
+
+    /// Whether graceful shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting.load(Ordering::SeqCst)
+    }
+
+    /// Request graceful shutdown without blocking: new `schedule` requests
+    /// are refused, in-flight ones keep running until [`Service::shutdown`]
+    /// drains them.
+    pub fn begin_shutdown(&self) {
+        self.shared.shutting.store(true, Ordering::SeqCst);
+    }
+
+    /// Drain and stop: close the queue, let workers answer every queued
+    /// job, join them. Idempotent; safe to call from any thread.
+    pub fn shutdown(&self) {
+        self.begin_shutdown();
+        drop(self.tx.lock().take());
+        let workers = std::mem::take(&mut *self.workers.lock());
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Handle one NDJSON request line, returning the response (never
+    /// panics, never blocks past the request deadline).
+    pub fn handle_line(&self, line: &str) -> Response {
+        match Request::parse(line) {
+            Ok(req) => self.handle(req),
+            Err(e) => {
+                ServiceMetrics::bump(&self.shared.metrics.errors);
+                Response::error(format!("bad request: {e}"))
+            }
+        }
+    }
+
+    /// Handle one parsed request.
+    pub fn handle(&self, req: Request) -> Response {
+        match req {
+            Request::Stats => Response::stats(self.stats_body()),
+            Request::Shutdown => {
+                self.begin_shutdown();
+                Response::ShuttingDown
+            }
+            Request::Schedule {
+                dag,
+                system,
+                algorithm,
+                options,
+            } => self.handle_schedule(dag, system, algorithm, options),
+        }
+    }
+
+    /// Current counters as a stats payload.
+    pub fn stats_body(&self) -> StatsBody {
+        let m = &self.shared.metrics;
+        StatsBody {
+            requests: ServiceMetrics::read(&m.requests),
+            cache_hits: ServiceMetrics::read(&m.cache_hits),
+            computed: ServiceMetrics::read(&m.computed),
+            errors: ServiceMetrics::read(&m.errors),
+            panics: ServiceMetrics::read(&m.panics),
+            timeouts: ServiceMetrics::read(&m.timeouts),
+            busy_rejections: ServiceMetrics::read(&m.busy_rejections),
+            cache_entries: self.shared.cache.lock().len(),
+            workers: self.shared.config.workers,
+            queue_capacity: self.shared.config.queue_capacity,
+            latency_samples: m.latency.count(),
+            latency_p50_us: m.latency.quantile_us(0.50),
+            latency_p99_us: m.latency.quantile_us(0.99),
+        }
+    }
+
+    fn handle_schedule(
+        &self,
+        dag: DagSpec,
+        system: SystemSpec,
+        algorithm: String,
+        options: RequestOptions,
+    ) -> Response {
+        let started = Instant::now();
+        let m = &self.shared.metrics;
+        if self.is_shutting_down() {
+            return Response::ShuttingDown;
+        }
+
+        let dag = match dag.build() {
+            Ok(d) => d,
+            Err(e) => {
+                ServiceMetrics::bump(&m.errors);
+                return Response::error(format!("invalid dag: {e}"));
+            }
+        };
+        let sys = match system.build(&dag) {
+            Ok(s) => s,
+            Err(e) => {
+                ServiceMetrics::bump(&m.errors);
+                return Response::error(format!("invalid system: {e}"));
+            }
+        };
+        let Some(alg) = algorithms::by_name(&algorithm) else {
+            ServiceMetrics::bump(&m.errors);
+            return Response::error(format!(
+                "unknown algorithm `{algorithm}` (known: {})",
+                algorithms::known_names().join(", ")
+            ));
+        };
+
+        ServiceMetrics::bump(&m.requests);
+        let fp = request_fingerprint(&dag, &sys, &algorithm, &options);
+        if let Some(hit) = self.shared.cache.lock().get(fp) {
+            let mut body = hit.clone();
+            body.cached = true;
+            ServiceMetrics::bump(&m.cache_hits);
+            m.latency.record(started.elapsed());
+            return Response::schedule(body);
+        }
+
+        let deadline = Duration::from_millis(
+            options
+                .deadline_ms
+                .unwrap_or(self.shared.config.default_deadline_ms),
+        );
+        let (reply_tx, reply_rx) = channel::bounded::<Response>(1);
+        let job = Job {
+            dag,
+            sys,
+            algorithm,
+            alg,
+            options,
+            fingerprint: fp,
+            reply: reply_tx,
+        };
+        {
+            let guard = self.tx.lock();
+            let Some(tx) = guard.as_ref() else {
+                return Response::ShuttingDown;
+            };
+            match tx.try_send(job) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    ServiceMetrics::bump(&m.busy_rejections);
+                    return Response::Busy {
+                        message: format!(
+                            "request queue full ({} pending)",
+                            self.shared.config.queue_capacity
+                        ),
+                    };
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    return Response::ShuttingDown;
+                }
+            }
+        }
+
+        let remaining = deadline.saturating_sub(started.elapsed());
+        match reply_rx.recv_timeout(remaining) {
+            Ok(resp) => {
+                if matches!(resp, Response::Ok { .. }) {
+                    m.latency.record(started.elapsed());
+                }
+                resp
+            }
+            Err(channel::RecvTimeoutError::Timeout) => {
+                ServiceMetrics::bump(&m.timeouts);
+                Response::Timeout {
+                    message: format!(
+                        "deadline of {} ms exceeded; the schedule keeps computing and will be cached",
+                        deadline.as_millis()
+                    ),
+                }
+            }
+            Err(channel::RecvTimeoutError::Disconnected) => {
+                // Workers always reply, even on panic; reaching this means
+                // the pool is gone mid-request (shutdown race).
+                ServiceMetrics::bump(&m.errors);
+                Response::error("worker pool shut down before replying")
+            }
+        }
+    }
+}
+
+fn worker_loop(rx: Receiver<Job>, shared: Arc<Shared>) {
+    while let Ok(job) = rx.recv() {
+        let reply = job.reply.clone();
+        let outcome = catch_unwind(AssertUnwindSafe(|| compute(job, &shared)));
+        let resp = match outcome {
+            Ok(resp) => resp,
+            Err(panic) => {
+                ServiceMetrics::bump(&shared.metrics.panics);
+                ServiceMetrics::bump(&shared.metrics.errors);
+                let msg = panic_message(&panic);
+                Response::error(format!("scheduler panicked: {msg}"))
+            }
+        };
+        // The requester may have timed out and dropped its receiver; a
+        // failed send is expected then.
+        let _ = reply.send(resp);
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "unknown panic payload"
+    }
+}
+
+fn compute(job: Job, shared: &Shared) -> Response {
+    if let Some(ms) = job.options.debug_sleep_ms {
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+    if job.options.debug_panic {
+        panic!("debug_panic requested by client");
+    }
+
+    let sched = job.alg.schedule(&job.dag, &job.sys);
+    if let Err(e) = validate(&job.dag, &job.sys, &sched) {
+        ServiceMetrics::bump(&shared.metrics.errors);
+        return Response::error(format!(
+            "scheduler `{}` produced an invalid schedule: {e:?}",
+            job.algorithm
+        ));
+    }
+    let makespan = sched.makespan();
+    let sim = job.options.simulate.then(|| {
+        let result = simulate(&job.dag, &job.sys, &sched, &SimConfig::default());
+        let tol = 1e-6 * makespan.abs().max(1.0);
+        SimBody {
+            matches_prediction: (result.makespan - makespan).abs() <= tol,
+            result,
+        }
+    });
+    let body = ScheduleBody {
+        algorithm: job.algorithm,
+        makespan,
+        slr: slr(&job.dag, &job.sys, makespan),
+        speedup: speedup(&job.dag, &job.sys, makespan),
+        fingerprint: format!("{:016x}", job.fingerprint),
+        cached: false,
+        schedule: sched,
+        sim,
+    };
+    shared.cache.lock().insert(job.fingerprint, body.clone());
+    ServiceMetrics::bump(&shared.metrics.computed);
+    Response::schedule(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_request(n_tasks: usize, algorithm: &str, options: &str) -> String {
+        let tasks: Vec<String> = (0..n_tasks)
+            .map(|i| format!("{{\"weight\":{}}}", i + 1))
+            .collect();
+        let edges: Vec<String> = (1..n_tasks)
+            .map(|i| format!("{{\"src\":0,\"dst\":{i},\"data\":2.0}}"))
+            .collect();
+        format!(
+            "{{\"op\":\"schedule\",\"dag\":{{\"tasks\":[{}],\"edges\":[{}]}},\
+             \"system\":{{\"processors\":{{\"kind\":\"homogeneous\",\"count\":3}},\
+             \"network\":{{\"topology\":\"fully_connected\",\"bandwidth\":1.0}}}},\
+             \"algorithm\":\"{algorithm}\",\"options\":{options}}}",
+            tasks.join(","),
+            edges.join(","),
+        )
+    }
+
+    fn test_config() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 4,
+            cache_capacity: 8,
+            default_deadline_ms: 10_000,
+        }
+    }
+
+    #[test]
+    fn schedule_roundtrip_and_cache_hit() {
+        let svc = Service::start(test_config());
+        let line = small_request(5, "HEFT", "{\"simulate\":true}");
+
+        let first = svc.handle_line(&line);
+        let Response::Ok {
+            schedule: Some(body),
+            ..
+        } = &first
+        else {
+            panic!("unexpected response: {first:?}");
+        };
+        assert!(!body.cached);
+        assert!(body.makespan > 0.0);
+        assert!(body.slr >= 1.0 - 1e-9);
+        let sim = body.sim.as_ref().expect("simulate requested");
+        assert!(sim.matches_prediction, "zero-noise replay must agree");
+
+        let second = svc.handle_line(&line);
+        let Response::Ok {
+            schedule: Some(body2),
+            ..
+        } = &second
+        else {
+            panic!("unexpected response: {second:?}");
+        };
+        assert!(body2.cached);
+        assert_eq!(body2.makespan, body.makespan);
+        assert_eq!(body2.fingerprint, body.fingerprint);
+
+        let stats = svc.stats_body();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.computed, 1);
+        assert_eq!(stats.cache_entries, 1);
+        assert_eq!(stats.latency_samples, 2);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn different_algorithm_misses_cache() {
+        let svc = Service::start(test_config());
+        svc.handle_line(&small_request(5, "HEFT", "{}"));
+        svc.handle_line(&small_request(5, "CPOP", "{}"));
+        let stats = svc.stats_body();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.computed, 2);
+        assert_eq!(stats.cache_entries, 2);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn bad_inputs_are_errors_not_panics() {
+        let svc = Service::start(test_config());
+        for line in [
+            "not json at all",
+            r#"{"op":"schedule","dag":{"tasks":[]},"system":{"processors":{"kind":"homogeneous","count":1},"network":{"topology":"fully_connected","bandwidth":1.0}},"algorithm":"HEFT"}"#,
+            &small_request(3, "NO-SUCH-ALG", "{}"),
+        ] {
+            let resp = svc.handle_line(line);
+            assert!(
+                matches!(resp, Response::Error { .. }),
+                "line {line} gave {resp:?}"
+            );
+        }
+        assert_eq!(svc.stats_body().errors, 3);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn worker_panic_is_isolated() {
+        let svc = Service::start(test_config());
+        let resp = svc.handle_line(&small_request(4, "HEFT", "{\"debug_panic\":true}"));
+        let Response::Error { message } = &resp else {
+            panic!("expected error, got {resp:?}");
+        };
+        assert!(message.contains("panicked"), "message: {message}");
+        // The daemon survives and still schedules.
+        let ok = svc.handle_line(&small_request(4, "HEFT", "{}"));
+        assert!(matches!(ok, Response::Ok { .. }), "got {ok:?}");
+        let stats = svc.stats_body();
+        assert_eq!(stats.panics, 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn deadline_timeout_leaves_daemon_alive_and_caches() {
+        let svc = Service::start(test_config());
+        let slow = small_request(4, "HEFT", "{\"debug_sleep_ms\":300,\"deadline_ms\":25}");
+        let resp = svc.handle_line(&slow);
+        assert!(matches!(resp, Response::Timeout { .. }), "got {resp:?}");
+        assert_eq!(svc.stats_body().timeouts, 1);
+
+        // The worker finishes in the background and caches the result; an
+        // identical retry is a cache hit (options are part of the key, so
+        // retry with identical options).
+        std::thread::sleep(Duration::from_millis(500));
+        let retry = svc.handle_line(&slow);
+        let Response::Ok {
+            schedule: Some(body),
+            ..
+        } = &retry
+        else {
+            panic!("retry got {retry:?}");
+        };
+        assert!(body.cached);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn full_queue_answers_busy() {
+        let svc = Service::start(ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            cache_capacity: 8,
+            default_deadline_ms: 10_000,
+        });
+        // Occupy the single worker, then fill the one-slot queue, with
+        // sleeping jobs submitted from background threads (each submitter
+        // blocks on its reply, so they must be separate threads). The
+        // submissions are staggered so the first is reliably dequeued by
+        // the worker before the second enqueues. Distinct dag sizes keep
+        // them from hitting the cache.
+        let svc = std::sync::Arc::new(svc);
+        let mut submitters = Vec::new();
+        for n in [5usize, 6] {
+            let svc = svc.clone();
+            let line = small_request(n, "HEFT", "{\"debug_sleep_ms\":600}");
+            submitters.push(std::thread::spawn(move || svc.handle_line(&line)));
+            std::thread::sleep(Duration::from_millis(150));
+        }
+        let resp = svc.handle_line(&small_request(7, "HEFT", "{}"));
+        assert!(matches!(resp, Response::Busy { .. }), "got {resp:?}");
+        assert_eq!(svc.stats_body().busy_rejections, 1);
+        for s in submitters {
+            let r = s.join().unwrap();
+            assert!(matches!(r, Response::Ok { .. }), "submitter got {r:?}");
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_work() {
+        let svc = std::sync::Arc::new(Service::start(test_config()));
+        let line = small_request(5, "HEFT", "{\"debug_sleep_ms\":200}");
+        let bg = {
+            let svc = svc.clone();
+            let line = line.clone();
+            std::thread::spawn(move || svc.handle_line(&line))
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        // Shutdown must wait for the in-flight job and deliver its reply.
+        svc.shutdown();
+        let resp = bg.join().unwrap();
+        assert!(matches!(resp, Response::Ok { .. }), "got {resp:?}");
+        // New requests after shutdown are refused.
+        let refused = svc.handle_line(&line);
+        assert!(matches!(refused, Response::ShuttingDown), "got {refused:?}");
+    }
+
+    #[test]
+    fn stats_and_shutdown_ops() {
+        let svc = Service::start(test_config());
+        let resp = svc.handle_line(r#"{"op":"stats"}"#);
+        let Response::Ok { stats: Some(s), .. } = resp else {
+            panic!("expected stats payload");
+        };
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.workers, 2);
+        let resp = svc.handle_line(r#"{"op":"shutdown"}"#);
+        assert!(matches!(resp, Response::ShuttingDown));
+        assert!(svc.is_shutting_down());
+        svc.shutdown();
+    }
+}

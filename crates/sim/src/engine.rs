@@ -32,13 +32,15 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use hetsched_core::Schedule;
+use serde::{Deserialize, Serialize};
+
 use hetsched_dag::{Dag, TaskId};
 use hetsched_platform::{ProcId, System};
 
 use crate::noise::Noise;
 
 /// Simulation configuration (noise + seed).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Noise on execution durations.
     pub exec_noise: Noise,
@@ -59,7 +61,7 @@ impl Default for SimConfig {
 }
 
 /// How concurrent messages share the interconnect.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum CommModel {
     /// Unlimited concurrent transfers (the schedulers' assumption).
     #[default]
@@ -71,7 +73,7 @@ pub enum CommModel {
 }
 
 /// Scenario: systematic deviations from the model the scheduler saw.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Scenario {
     /// Per-processor execution-time multipliers (empty = all 1.0).
     pub proc_slowdown: Vec<f64>,
@@ -80,7 +82,7 @@ pub struct Scenario {
 }
 
 /// Result of one simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimResult {
     /// Latest finish of any *primary* task copy.
     pub makespan: f64,

@@ -1,9 +1,10 @@
 //! Perturbation models for execution and communication times.
 
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// A multiplicative noise model applied to nominal durations.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Noise {
     /// No perturbation: durations are exactly the model's.
     None,

@@ -122,13 +122,24 @@ mod tests {
     fn series_prob_zero_is_wider_and_shallower_than_one() {
         // parallel expansion may pick branch edges and nest, so the graph
         // is not a flat 3-level fan — but it must still be strictly wider
-        // and shallower than the pure chain.
-        let mut rng = StdRng::seed_from_u64(3);
-        let wide = series_parallel(12, 0.0, 5.0, 0.5, &mut rng);
-        let chain = series_parallel(12, 1.0, 5.0, 0.5, &mut rng);
-        assert!(hetsched_dag::topo::width(&wide) > hetsched_dag::topo::width(&chain));
-        assert!(hetsched_dag::topo::depth(&wide) < hetsched_dag::topo::depth(&chain));
-        assert!(hetsched_dag::topo::width(&wide) >= 3);
+        // and shallower than the pure chain. Width >= 3 is distributional
+        // (an unlucky seed can nest every branch), so assert it over a
+        // handful of seeds rather than pinning one RNG stream.
+        let mut saw_width_3 = 0;
+        for seed in 0..8 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let wide = series_parallel(12, 0.0, 5.0, 0.5, &mut rng);
+            let chain = series_parallel(12, 1.0, 5.0, 0.5, &mut rng);
+            assert!(hetsched_dag::topo::width(&wide) > hetsched_dag::topo::width(&chain));
+            assert!(hetsched_dag::topo::depth(&wide) < hetsched_dag::topo::depth(&chain));
+            if hetsched_dag::topo::width(&wide) >= 3 {
+                saw_width_3 += 1;
+            }
+        }
+        assert!(
+            saw_width_3 >= 4,
+            "only {saw_width_3}/8 seeds reached width 3"
+        );
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Integration tests for the resident scheduling daemon: a real TCP
+//! round-trip covering memoization, deadlines, panic isolation, and
+//! graceful drain — plus a check that concurrent clients get exactly the
+//! schedules a direct library call produces.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hetsched::core::algorithms;
+use hetsched::dag::io::DagSpec;
+use hetsched::platform::SystemSpec;
+use hetsched::workloads::gauss::gaussian_elimination;
+use hetsched_serve::{ServeConfig, TcpServer};
+
+const SYSTEM_JSON: &str = r#"{"processors": {"kind": "speeds", "speeds": [2.0, 1.0, 1.5]},
+    "network": {"topology": "fully_connected", "startup": 0.5, "bandwidth": 1.0}}"#;
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        queue_capacity: 16,
+        cache_capacity: 16,
+        default_deadline_ms: 10_000,
+    }
+}
+
+/// DagSpec JSON for a deterministic Gaussian-elimination workload.
+fn dag_json(m: usize) -> serde_json::Value {
+    let mut rng = StdRng::seed_from_u64(11);
+    let dag = gaussian_elimination(m, 1.0, &mut rng);
+    serde_json::to_value(DagSpec::from_dag(&dag)).unwrap()
+}
+
+fn schedule_request(m: usize, algorithm: &str, options: &str) -> String {
+    format!(
+        "{{\"op\":\"schedule\",\"dag\":{},\"system\":{},\"algorithm\":\"{algorithm}\",\"options\":{options}}}",
+        serde_json::to_string(&dag_json(m)).unwrap(),
+        SYSTEM_JSON.replace('\n', ""),
+    )
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> serde_json::Value {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).unwrap();
+        serde_json::from_str(reply.trim()).unwrap_or_else(|e| panic!("bad reply `{reply}`: {e}"))
+    }
+}
+
+/// The acceptance-criteria walk: start the daemon, schedule the same DAG
+/// twice (second must be a cache hit, visible in the stats counters), blow
+/// a deadline without killing the daemon, then shut down gracefully while
+/// a request is in flight and observe it drain.
+#[test]
+fn daemon_cache_deadline_and_graceful_drain() {
+    let server = TcpServer::bind("127.0.0.1:0", test_config()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let daemon = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(addr);
+
+    // Same DAG twice: fresh compute, then a cache hit with the same result.
+    let line = schedule_request(6, "HEFT", "{\"simulate\":true}");
+    let first = client.roundtrip(&line);
+    assert_eq!(first["status"].as_str(), Some("ok"), "{first:?}");
+    assert_eq!(first["schedule"]["cached"].as_bool(), Some(false));
+    assert_eq!(
+        first["schedule"]["sim"]["matches_prediction"].as_bool(),
+        Some(true)
+    );
+    let second = client.roundtrip(&line);
+    assert_eq!(second["schedule"]["cached"].as_bool(), Some(true));
+    assert_eq!(
+        second["schedule"]["makespan"],
+        first["schedule"]["makespan"]
+    );
+    assert_eq!(
+        second["schedule"]["fingerprint"],
+        first["schedule"]["fingerprint"]
+    );
+    let stats = client.roundtrip(r#"{"op":"stats"}"#);
+    assert_eq!(stats["stats"]["requests"].as_u64(), Some(2));
+    assert_eq!(stats["stats"]["computed"].as_u64(), Some(1));
+    assert_eq!(stats["stats"]["cache_hits"].as_u64(), Some(1));
+
+    // Deadline exceeded: `timeout` response, daemon stays up.
+    let slow = schedule_request(4, "HEFT", "{\"debug_sleep_ms\":400,\"deadline_ms\":40}");
+    let reply = client.roundtrip(&slow);
+    assert_eq!(reply["status"].as_str(), Some("timeout"), "{reply:?}");
+    let stats = client.roundtrip(r#"{"op":"stats"}"#);
+    assert_eq!(stats["stats"]["timeouts"].as_u64(), Some(1));
+
+    // A panicking request is isolated too.
+    let reply = client.roundtrip(&schedule_request(5, "HEFT", "{\"debug_panic\":true}"));
+    assert_eq!(reply["status"].as_str(), Some("error"), "{reply:?}");
+    let stats = client.roundtrip(r#"{"op":"stats"}"#);
+    assert_eq!(stats["stats"]["panics"].as_u64(), Some(1));
+
+    // Graceful shutdown drains in-flight work: a second client submits a
+    // slow request, then the first client orders shutdown. The slow
+    // request must still be answered `ok` before the daemon exits.
+    let inflight = std::thread::spawn(move || {
+        let mut c = Client::connect(addr);
+        c.roundtrip(&schedule_request(7, "HEFT", "{\"debug_sleep_ms\":300}"))
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    let bye = client.roundtrip(r#"{"op":"shutdown"}"#);
+    assert_eq!(bye["status"].as_str(), Some("shutting_down"));
+    let drained = inflight.join().unwrap();
+    assert_eq!(drained["status"].as_str(), Some("ok"), "{drained:?}");
+    daemon.join().unwrap().unwrap();
+}
+
+/// Concurrent clients all get exactly the schedule a direct library call
+/// produces — computed or cached, the payload is identical.
+#[test]
+fn concurrent_clients_match_direct_library_call() {
+    const CLIENTS: usize = 6;
+    let server = TcpServer::bind("127.0.0.1:0", test_config()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let daemon = std::thread::spawn(move || server.run());
+
+    // The ground truth, straight from the library.
+    let dag_spec: DagSpec = serde_json::from_value(dag_json(6)).unwrap();
+    let dag = dag_spec.build().unwrap();
+    let sys_spec: SystemSpec = serde_json::from_str(SYSTEM_JSON).unwrap();
+    let sys = sys_spec.build(&dag).unwrap();
+    let direct = algorithms::by_name("HEFT").unwrap().schedule(&dag, &sys);
+    let direct_value = serde_json::to_value(&direct).unwrap();
+
+    let line = schedule_request(6, "HEFT", "{}");
+    let replies: Vec<serde_json::Value> = (0..CLIENTS)
+        .map(|_| {
+            let line = line.clone();
+            std::thread::spawn(move || Client::connect(addr).roundtrip(&line))
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .collect();
+
+    for reply in &replies {
+        assert_eq!(reply["status"].as_str(), Some("ok"), "{reply:?}");
+        assert_eq!(
+            reply["schedule"]["schedule"], direct_value,
+            "daemon schedule differs from direct library call"
+        );
+        assert_eq!(
+            reply["schedule"]["fingerprint"],
+            replies[0]["schedule"]["fingerprint"]
+        );
+    }
+
+    // Every request was either the one compute or a cache hit of it.
+    let mut client = Client::connect(addr);
+    let stats = client.roundtrip(r#"{"op":"stats"}"#);
+    let computed = stats["stats"]["computed"].as_u64().unwrap();
+    let hits = stats["stats"]["cache_hits"].as_u64().unwrap();
+    assert!(computed >= 1);
+    assert_eq!(computed + hits, CLIENTS as u64);
+
+    let bye = client.roundtrip(r#"{"op":"shutdown"}"#);
+    assert_eq!(bye["status"].as_str(), Some("shutting_down"));
+    daemon.join().unwrap().unwrap();
+}

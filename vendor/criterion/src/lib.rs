@@ -1,0 +1,239 @@
+//! Offline API-compatible stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API used by this workspace's
+//! benches (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `criterion_group!`/`criterion_main!`). Instead of full
+//! statistical analysis, each benchmark is warmed up once and then timed
+//! for a small fixed number of iterations; the mean wall-clock time per
+//! iteration is printed to stdout.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier for a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Function name plus parameter, rendered as `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            text: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { text: s }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the workload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its return value alive so the work is not
+    /// optimized away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up iteration.
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in uses a fixed iteration
+    /// count rather than a statistical sample size.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run_one(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            iters: self.criterion.iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = if b.elapsed.is_zero() {
+            Duration::ZERO
+        } else {
+            b.elapsed / b.iters as u32
+        };
+        println!(
+            "{}/{id}: {} per iter ({} iters)",
+            self.name,
+            human(per_iter),
+            b.iters
+        );
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_one(id.text, f);
+        self
+    }
+
+    /// Benchmark a closure that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_one(id.text, |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep runs short: this stand-in exists so benches compile and run,
+        // not to produce publication-grade statistics.
+        let iters = std::env::var("CRITERION_STUB_ITERS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(3);
+        Criterion { iters }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility.
+    pub fn sample_size(mut self, _n: usize) -> Self {
+        self.iters = self.iters.min(10);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let mut g = BenchmarkGroup {
+            name: "bench".to_string(),
+            criterion: self,
+        };
+        let id = id.into();
+        g.run_one(id.text, f);
+        self
+    }
+}
+
+/// Group benchmark functions under one name, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running every registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(10);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        for n in [10usize, 20] {
+            g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| (0..n).product::<usize>())
+            });
+        }
+        g.finish();
+    }
+
+    #[test]
+    fn api_smoke() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+        c.bench_function(BenchmarkId::new("top", 1), |b| b.iter(|| 2 + 2));
+    }
+}

@@ -1,0 +1,663 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored `serde` crate's value-tree data model without `syn`/`quote`:
+//! the item is parsed directly from the raw `proc_macro::TokenStream`
+//! and the impl is emitted as source text.
+//!
+//! Supported shapes (everything the workspace derives on):
+//!
+//! * named-field structs;
+//! * tuple structs (1-field newtypes serialize transparently, n-field as
+//!   arrays);
+//! * unit structs;
+//! * enums with unit, tuple, and struct variants, externally tagged by
+//!   default or internally tagged via `#[serde(tag = "...")]`.
+//!
+//! Supported attributes: container `tag`, `rename_all = "snake_case"`;
+//! field/variant `rename`, `default`, `skip_serializing_if = "path"`.
+//! Anything else inside `#[serde(...)]` is a compile error rather than a
+//! silent no-op. Generic types are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------
+// model
+
+#[derive(Debug, Default)]
+struct ContainerAttrs {
+    tag: Option<String>,
+    rename_all: Option<String>,
+}
+
+#[derive(Debug, Default)]
+struct FieldAttrs {
+    rename: Option<String>,
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+impl Field {
+    fn key(&self) -> &str {
+        self.attrs.rename.as_deref().unwrap_or(&self.name)
+    }
+}
+
+#[derive(Debug)]
+enum Payload {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    attrs: FieldAttrs,
+    payload: Payload,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    attrs: ContainerAttrs,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------
+// parsing
+
+type Tokens = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut it: Tokens = input.into_iter().peekable();
+    let mut attrs = ContainerAttrs::default();
+
+    // outer attributes + visibility before the item keyword
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                let group = expect_group(&mut it, Delimiter::Bracket, "attribute");
+                parse_container_attr(group.stream(), &mut attrs);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kw = expect_ident(&mut it, "`struct` or `enum`");
+    let name = expect_ident(&mut it, "type name");
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive: generic types are not supported (on `{name}`)");
+    }
+
+    let shape = match kw.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => {
+                panic!("serde stand-in derive: unexpected token after `struct {name}`: {other:?}")
+            }
+        },
+        "enum" => {
+            let body = expect_group(&mut it, Delimiter::Brace, "enum body");
+            Shape::Enum(parse_variants(body.stream()))
+        }
+        other => panic!("serde stand-in derive: expected `struct` or `enum`, found `{other}`"),
+    };
+
+    Input { name, attrs, shape }
+}
+
+fn expect_group(it: &mut Tokens, delim: Delimiter, what: &str) -> proc_macro::Group {
+    match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == delim => g,
+        other => panic!("serde stand-in derive: expected {what}, found {other:?}"),
+    }
+}
+
+fn expect_ident(it: &mut Tokens, what: &str) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stand-in derive: expected {what}, found {other:?}"),
+    }
+}
+
+/// `#[serde(tag = "kind", rename_all = "snake_case")]` on the container.
+fn parse_container_attr(attr: TokenStream, out: &mut ContainerAttrs) {
+    let Some(items) = serde_attr_items(attr) else {
+        return;
+    };
+    for (key, value) in items {
+        match (key.as_str(), value) {
+            ("tag", Some(v)) => out.tag = Some(v),
+            ("rename_all", Some(v)) => {
+                assert!(
+                    v == "snake_case",
+                    "serde stand-in derive: only rename_all = \"snake_case\" is supported"
+                );
+                out.rename_all = Some(v);
+            }
+            (other, _) => {
+                panic!("serde stand-in derive: unsupported container attribute `{other}`")
+            }
+        }
+    }
+}
+
+/// `#[serde(default, skip_serializing_if = "...", rename = "...")]`.
+fn parse_field_attr(attr: TokenStream, out: &mut FieldAttrs) {
+    let Some(items) = serde_attr_items(attr) else {
+        return;
+    };
+    for (key, value) in items {
+        match (key.as_str(), value) {
+            ("default", None) => out.default = true,
+            ("skip_serializing_if", Some(v)) => out.skip_serializing_if = Some(v),
+            ("rename", Some(v)) => out.rename = Some(v),
+            (other, _) => panic!("serde stand-in derive: unsupported field attribute `{other}`"),
+        }
+    }
+}
+
+/// If `attr` is a `serde(...)` attribute, split its arguments into
+/// `(name, optional "string value")` pairs; `None` for non-serde attrs
+/// (docs, `#[default]`, ...).
+fn serde_attr_items(attr: TokenStream) -> Option<Vec<(String, Option<String>)>> {
+    let mut it = attr.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let args = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return Some(Vec::new()),
+    };
+    let mut items = Vec::new();
+    let mut it = args.into_iter().peekable();
+    while let Some(tok) = it.next() {
+        let key = match tok {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => continue,
+            other => panic!("serde stand-in derive: unexpected token in #[serde(...)]: {other:?}"),
+        };
+        let mut value = None;
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            it.next();
+            match it.next() {
+                Some(TokenTree::Literal(lit)) => {
+                    let s = lit.to_string();
+                    let stripped = s
+                        .strip_prefix('"')
+                        .and_then(|s| s.strip_suffix('"'))
+                        .unwrap_or_else(|| {
+                            panic!("serde stand-in derive: expected string literal for `{key}`")
+                        });
+                    value = Some(stripped.to_string());
+                }
+                other => panic!(
+                    "serde stand-in derive: expected a literal after `{key} =`, found {other:?}"
+                ),
+            }
+        }
+        items.push((key, value));
+    }
+    Some(items)
+}
+
+/// Fields of a named struct / struct variant body.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut it: Tokens = body.into_iter().peekable();
+    loop {
+        let mut attrs = FieldAttrs::default();
+        // attributes + visibility
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                    let g = expect_group(&mut it, Delimiter::Bracket, "field attribute");
+                    parse_field_attr(g.stream(), &mut attrs);
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    it.next();
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tok) = it.next() else { break };
+        let name = match tok {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stand-in derive: expected field name, found {other:?}"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                panic!("serde stand-in derive: expected `:` after field `{name}`, found {other:?}")
+            }
+        }
+        skip_type(&mut it);
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+/// Skip a type expression up to (and including) the next top-level `,`.
+/// Tracks `<`/`>` depth so commas inside generics don't terminate early
+/// (parenthesised tuples are single `Group` tokens and need no care).
+fn skip_type(it: &mut Tokens) {
+    let mut angle: i32 = 0;
+    for tok in it.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Arity of a tuple struct / tuple variant payload.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut it: Tokens = body.into_iter().peekable();
+    let mut count = 0;
+    while it.peek().is_some() {
+        // each `skip_type` call consumes one field (attrs/vis tokens are
+        // harmless to skip_type — they contain no top-level commas)
+        skip_type(&mut it);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it: Tokens = body.into_iter().peekable();
+    loop {
+        let mut attrs = FieldAttrs::default();
+        while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            it.next();
+            let g = expect_group(&mut it, Delimiter::Bracket, "variant attribute");
+            parse_field_attr(g.stream(), &mut attrs);
+        }
+        let Some(tok) = it.next() else { break };
+        let name = match tok {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stand-in derive: expected variant name, found {other:?}"),
+        };
+        let payload = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                it.next();
+                Payload::Struct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                it.next();
+                Payload::Tuple(count_tuple_fields(g))
+            }
+            _ => Payload::Unit,
+        };
+        // optional discriminant would appear as `= expr` — unsupported
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde stand-in derive: explicit enum discriminants are not supported");
+        }
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            it.next();
+        }
+        variants.push(Variant {
+            name,
+            attrs,
+            payload,
+        });
+    }
+    variants
+}
+
+/// CamelCase → snake_case (serde's algorithm for simple names).
+fn snake_case(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(ch.to_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn variant_key(input: &Input, v: &Variant) -> String {
+    if let Some(rename) = &v.attrs.rename {
+        return rename.clone();
+    }
+    match input.attrs.rename_all.as_deref() {
+        Some("snake_case") => snake_case(&v.name),
+        _ => v.name.clone(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// codegen: Serialize
+
+/// Statements serializing named `fields` into a map variable `m`.
+/// `access` produces the expression for a field (e.g. `&self.weight` or
+/// `weight` for a match binding).
+fn gen_named_ser(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let expr = access(&f.name);
+        let insert = format!(
+            "m.insert({key:?}, ::serde::Serialize::to_value({expr}));",
+            key = f.key()
+        );
+        if let Some(pred) = &f.attrs.skip_serializing_if {
+            out.push_str(&format!("if !({pred}({expr})) {{ {insert} }}\n"));
+        } else {
+            out.push_str(&insert);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(fields) => {
+            let inserts = gen_named_ser(fields, |f| format!("&self.{f}"));
+            format!("let mut m = ::serde::Map::new();\n{inserts}::serde::Value::Object(m)")
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::Value::Array(<[_]>::into_vec(::std::boxed::Box::new([{}])))",
+                items.join(", ")
+            )
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let key = variant_key(input, v);
+                let vname = &v.name;
+                let arm = match (&input.attrs.tag, &v.payload) {
+                    // externally tagged (default)
+                    (None, Payload::Unit) => format!(
+                        "{name}::{vname} => ::serde::Value::String({key:?}.to_string()),"
+                    ),
+                    (None, Payload::Tuple(n)) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "::serde::Value::Array(<[_]>::into_vec(::std::boxed::Box::new([{}])))",
+                                items.join(", ")
+                            )
+                        };
+                        format!(
+                            "{name}::{vname}({binds}) => {{\n\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert({key:?}, {payload});\n\
+                             ::serde::Value::Object(m)\n}},",
+                            binds = binds.join(", ")
+                        )
+                    }
+                    (None, Payload::Struct(fields)) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let inserts = gen_named_ser(fields, |f| f.to_string());
+                        format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n\
+                             let mut m = ::serde::Map::new();\n\
+                             {inserts}\
+                             let mut outer = ::serde::Map::new();\n\
+                             outer.insert({key:?}, ::serde::Value::Object(m));\n\
+                             ::serde::Value::Object(outer)\n}},",
+                            binds = binds.join(", ")
+                        )
+                    }
+                    // internally tagged
+                    (Some(tag), Payload::Unit) => format!(
+                        "{name}::{vname} => {{\n\
+                         let mut m = ::serde::Map::new();\n\
+                         m.insert({tag:?}, ::serde::Value::String({key:?}.to_string()));\n\
+                         ::serde::Value::Object(m)\n}},"
+                    ),
+                    (Some(tag), Payload::Struct(fields)) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let inserts = gen_named_ser(fields, |f| f.to_string());
+                        format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert({tag:?}, ::serde::Value::String({key:?}.to_string()));\n\
+                             {inserts}\
+                             ::serde::Value::Object(m)\n}},",
+                            binds = binds.join(", ")
+                        )
+                    }
+                    (Some(_), Payload::Tuple(_)) => panic!(
+                        "serde stand-in derive: tuple variants cannot be internally tagged ({name}::{vname})"
+                    ),
+                };
+                arms.push_str(&arm);
+                arms.push('\n');
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------
+// codegen: Deserialize
+
+/// Expression extracting named `fields` from a map expression `m`,
+/// rendered as `Name { field: ..., ... }` construction arguments.
+fn gen_named_de(fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let key = f.key();
+        let missing = if f.attrs.default || f.attrs.skip_serializing_if.is_some() {
+            "::core::default::Default::default()".to_string()
+        } else {
+            format!("return ::core::result::Result::Err(::serde::Error::missing_field({key:?}))")
+        };
+        out.push_str(&format!(
+            "{field}: match m.get({key:?}) {{\n\
+             ::core::option::Option::Some(fv) => ::serde::Deserialize::from_value(fv)?,\n\
+             ::core::option::Option::None => {missing},\n\
+             }},\n",
+            field = f.name
+        ));
+    }
+    out
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(fields) => {
+            let field_init = gen_named_de(fields);
+            format!(
+                "let m = v.as_object().ok_or_else(|| ::serde::Error::type_mismatch(\"object ({name})\", v))?;\n\
+                 ::core::result::Result::Ok({name} {{\n{field_init}}})"
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                .collect();
+            format!(
+                "let a = v.as_array().ok_or_else(|| ::serde::Error::type_mismatch(\"array ({name})\", v))?;\n\
+                 if a.len() != {n} {{\n\
+                 return ::core::result::Result::Err(::serde::Error::custom(\"wrong tuple length for {name}\"));\n\
+                 }}\n\
+                 ::core::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Shape::Unit => format!("::core::result::Result::Ok({name})"),
+        Shape::Enum(variants) => gen_deserialize_enum(input, name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize_enum(input: &Input, name: &str, variants: &[Variant]) -> String {
+    if let Some(tag) = &input.attrs.tag {
+        // internally tagged: {"<tag>": "variant", ...fields}
+        let mut arms = String::new();
+        for v in variants {
+            let key = variant_key(input, v);
+            let vname = &v.name;
+            let construct = match &v.payload {
+                Payload::Unit => format!("::core::result::Result::Ok({name}::{vname})"),
+                Payload::Struct(fields) => {
+                    let field_init = gen_named_de(fields);
+                    format!("::core::result::Result::Ok({name}::{vname} {{\n{field_init}}})")
+                }
+                Payload::Tuple(_) => unreachable!("rejected in serialize codegen"),
+            };
+            arms.push_str(&format!("{key:?} => {{ {construct} }}\n"));
+        }
+        format!(
+            "let m = v.as_object().ok_or_else(|| ::serde::Error::type_mismatch(\"object ({name})\", v))?;\n\
+             let tag = m.get({tag:?}).and_then(::serde::Value::as_str)\
+             .ok_or_else(|| ::serde::Error::missing_field({tag:?}))?;\n\
+             match tag {{\n{arms}\
+             other => ::core::result::Result::Err(::serde::Error::custom(format!(\
+             \"unknown {name} variant `{{other}}`\"))),\n}}"
+        )
+    } else {
+        // externally tagged: "Variant" | {"Variant": payload}
+        let mut string_arms = String::new();
+        let mut object_arms = String::new();
+        for v in variants {
+            let key = variant_key(input, v);
+            let vname = &v.name;
+            match &v.payload {
+                Payload::Unit => string_arms.push_str(&format!(
+                    "{key:?} => ::core::result::Result::Ok({name}::{vname}),\n"
+                )),
+                Payload::Tuple(1) => object_arms.push_str(&format!(
+                    "{key:?} => ::core::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_value(payload)?)),\n"
+                )),
+                Payload::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                        .collect();
+                    object_arms.push_str(&format!(
+                        "{key:?} => {{\n\
+                         let a = payload.as_array().ok_or_else(|| \
+                         ::serde::Error::type_mismatch(\"array ({name}::{vname})\", payload))?;\n\
+                         if a.len() != {n} {{\n\
+                         return ::core::result::Result::Err(::serde::Error::custom(\
+                         \"wrong tuple length for {name}::{vname}\"));\n\
+                         }}\n\
+                         ::core::result::Result::Ok({name}::{vname}({items}))\n}},\n",
+                        items = items.join(", ")
+                    ));
+                }
+                Payload::Struct(fields) => {
+                    let field_init = gen_named_de(fields);
+                    object_arms.push_str(&format!(
+                        "{key:?} => {{\n\
+                         let m = payload.as_object().ok_or_else(|| \
+                         ::serde::Error::type_mismatch(\"object ({name}::{vname})\", payload))?;\n\
+                         ::core::result::Result::Ok({name}::{vname} {{\n{field_init}}})\n}},\n"
+                    ));
+                }
+            }
+        }
+        format!(
+            "match v {{\n\
+             ::serde::Value::String(s) => match s.as_str() {{\n{string_arms}\
+             other => ::core::result::Result::Err(::serde::Error::custom(format!(\
+             \"unknown {name} variant `{{other}}`\"))),\n}},\n\
+             ::serde::Value::Object(outer) if outer.len() == 1 => {{\n\
+             let (variant, payload) = outer.iter().next().expect(\"len checked\");\n\
+             match variant.as_str() {{\n{object_arms}\
+             other => ::core::result::Result::Err(::serde::Error::custom(format!(\
+             \"unknown {name} variant `{{other}}`\"))),\n}}\n}},\n\
+             other => ::core::result::Result::Err(::serde::Error::type_mismatch(\
+             \"string or single-key object ({name})\", other)),\n}}"
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// entry points
+
+/// Derive `serde::Serialize` (vendored value-tree flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde stand-in derive: generated Serialize impl failed to parse")
+}
+
+/// Derive `serde::Deserialize` (vendored value-tree flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde stand-in derive: generated Deserialize impl failed to parse")
+}

@@ -1,0 +1,585 @@
+//! Offline API-compatible stand-in for `serde_json`.
+//!
+//! The vendored `serde` crate models serialization as conversion to/from a
+//! self-describing [`Value`] tree; this crate supplies the JSON text layer:
+//! a recursive-descent parser, compact and pretty printers, and the familiar
+//! entry points (`from_str`, `to_string`, `json!`, ...).
+
+#![forbid(unsafe_code)]
+
+pub use serde::{Map, Number, Value};
+
+use std::fmt;
+
+/// Error raised while parsing or converting JSON.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        let (mut line, mut col) = (1usize, 1usize);
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        Error::new(format!("{msg} at line {line} column {col}"))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value> {
+        if depth > 128 {
+            return Err(self.err("recursion limit exceeded"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => {
+                if self.eat_keyword("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(self.err("expected `null`"))
+                }
+            }
+            Some(b't') => {
+                if self.eat_keyword("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(self.err("expected `true`"))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_keyword("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(self.err("expected `false`"))
+                }
+            }
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value(depth + 1)?);
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b']') => break,
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+                Ok(Value::Array(items))
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = Map::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value(depth + 1)?;
+                    map.insert(key, value);
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b'}') => break,
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+                Ok(Value::Object(map))
+            }
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hi = self.parse_hex4()?;
+                        let ch = if (0xD800..0xDC00).contains(&hi) {
+                            // High surrogate: require a following \uXXXX low half.
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err(self.err("unpaired surrogate"));
+                            }
+                            let lo = self.parse_hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(self.err("invalid low surrogate"));
+                            }
+                            let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                            char::from_u32(c).ok_or_else(|| self.err("invalid surrogate pair"))?
+                        } else {
+                            char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))?
+                        };
+                        out.push(ch);
+                    }
+                    _ => return Err(self.err("invalid escape")),
+                },
+                Some(b) if b < 0x20 => return Err(self.err("control character in string")),
+                Some(b) => {
+                    // Re-assemble multi-byte UTF-8 sequences from raw bytes.
+                    let len = match b {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(self.err("invalid UTF-8")),
+                    };
+                    let start = self.pos - 1;
+                    let end = start + len;
+                    if end > self.bytes.len() {
+                        return Err(self.err("invalid UTF-8"));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.bump() {
+                Some(b @ b'0'..=b'9') => (b - b'0') as u32,
+                Some(b @ b'a'..=b'f') => (b - b'a') as u32 + 10,
+                Some(b @ b'A'..=b'F') => (b - b'A') as u32 + 10,
+                _ => return Err(self.err("invalid hex escape")),
+            };
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        let neg = self.peek() == Some(b'-');
+        if neg {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("invalid number"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("invalid number"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if !is_float {
+            if neg {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Value::Number(Number::NegInt(i)));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(u)));
+            }
+        }
+        let f: f64 = text.parse().map_err(|_| self.err("number out of range"))?;
+        Ok(Value::Number(Number::Float(f)))
+    }
+}
+
+/// Parse a JSON document into a `T`.
+pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T> {
+    let mut p = Parser::new(s);
+    let v = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(T::from_value(&v)?)
+}
+
+/// Parse a JSON document from a reader.
+pub fn from_reader<R: std::io::Read, T: serde::de::DeserializeOwned>(mut rdr: R) -> Result<T> {
+    let mut buf = String::new();
+    rdr.read_to_string(&mut buf)
+        .map_err(|e| Error::new(format!("io error: {e}")))?;
+    from_str(&buf)
+}
+
+/// Convert a [`Value`] into a `T`.
+pub fn from_value<T: serde::de::DeserializeOwned>(v: Value) -> Result<T> {
+    Ok(T::from_value(&v)?)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(t: T) -> Result<Value> {
+    Ok(t.to_value())
+}
+
+// ---------------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------------
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn format_f64(f: f64) -> String {
+    if f.is_nan() || f.is_infinite() {
+        // serde_json serializes non-finite floats as null.
+        return "null".to_string();
+    }
+    if f == f.trunc() && f.abs() < 1e16 {
+        // Keep integral floats recognisable as floats, like serde_json's Ryu
+        // output ("1.0" rather than "1").
+        format!("{f:.1}")
+    } else {
+        let s = format!("{f}");
+        s
+    }
+}
+
+fn write_compact(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => match n {
+            Number::PosInt(u) => out.push_str(&u.to_string()),
+            Number::NegInt(i) => out.push_str(&i.to_string()),
+            Number::Float(f) => out.push_str(&format_f64(*f)),
+        },
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(out, k);
+                out.push(':');
+                write_compact(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(out: &mut String, v: &Value, indent: usize) {
+    const PAD: &str = "  ";
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                for _ in 0..=indent {
+                    out.push_str(PAD);
+                }
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            for _ in 0..indent {
+                out.push_str(PAD);
+            }
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                for _ in 0..=indent {
+                    out.push_str(PAD);
+                }
+                escape_into(out, k);
+                out.push_str(": ");
+                write_pretty(out, val, indent + 1);
+            }
+            out.push('\n');
+            for _ in 0..indent {
+                out.push_str(PAD);
+            }
+            out.push('}');
+        }
+        other => write_compact(out, other),
+    }
+}
+
+/// Serialize a value to a compact JSON string.
+pub fn to_string<T: serde::Serialize>(t: &T) -> Result<String> {
+    let mut out = String::new();
+    write_compact(&mut out, &t.to_value());
+    Ok(out)
+}
+
+/// Serialize a value to a pretty-printed JSON string.
+pub fn to_string_pretty<T: serde::Serialize>(t: &T) -> Result<String> {
+    let mut out = String::new();
+    write_pretty(&mut out, &t.to_value(), 0);
+    Ok(out)
+}
+
+/// Serialize a value as JSON into a writer.
+pub fn to_writer<W: std::io::Write, T: serde::Serialize>(mut w: W, t: &T) -> Result<()> {
+    let s = to_string(t)?;
+    w.write_all(s.as_bytes())
+        .map_err(|e| Error::new(format!("io error: {e}")))
+}
+
+/// Build a [`Value`] from JSON-like literal syntax.
+///
+/// Supports the shapes used in this workspace: `null`, objects with string
+/// literal keys and serializable expression values (nested objects are built
+/// with nested `json!` calls, which are themselves expressions), arrays of
+/// expressions, and bare serializable expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert($key, $crate::to_value(&$val).expect("json! value")); )*
+        $crate::Value::Object(map)
+    }};
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$item).expect("json! value") ),* ])
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip_scalars() {
+        assert_eq!(from_str::<Value>("null").unwrap(), Value::Null);
+        assert_eq!(from_str::<Value>("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str::<Value>("42").unwrap(), Value::from(42u64));
+        assert_eq!(from_str::<Value>("-7").unwrap(), Value::from(-7i64));
+        let f = from_str::<Value>("2.5e2").unwrap();
+        assert_eq!(f.as_f64(), Some(250.0));
+    }
+
+    #[test]
+    fn parse_nested() {
+        let v: Value = from_str(r#"{"a": [1, 2, {"b": "x\ny"}], "c": null}"#).unwrap();
+        assert_eq!(v["a"][2]["b"].as_str(), Some("x\ny"));
+        assert!(v["c"].is_null());
+    }
+
+    #[test]
+    fn parse_unicode_escapes() {
+        let v: Value = from_str(r#""é😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{e9}\u{1F600}"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("01").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>(r#""\q""#).is_err());
+    }
+
+    #[test]
+    fn print_compact_and_pretty() {
+        let v: Value = from_str(r#"{"k":[1,2.5,"s"],"e":{}}"#).unwrap();
+        assert_eq!(to_string(&v).unwrap(), r#"{"k":[1,2.5,"s"],"e":{}}"#);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"k\": [\n"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(to_string(&3.0f64).unwrap(), "3.0");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn json_macro() {
+        let name = "p0";
+        let rows = [1.0f64, 2.0];
+        let v = json!({
+            "name": name,
+            "speeds": rows.to_vec(),
+            "n": 3,
+            "nested": json!({"k": 1}),
+            "extra": Value::Null,
+        });
+        assert_eq!(v["name"].as_str(), Some("p0"));
+        assert_eq!(v["speeds"][1].as_f64(), Some(2.0));
+        assert_eq!(v["n"], 3);
+        assert_eq!(v["nested"]["k"], 1);
+        assert!(v["extra"].is_null());
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!([1, 2])[0], 1);
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let src = r#"{"a":1,"b":[true,false,null],"c":"line\n\"q\""}"#;
+        let v: Value = from_str(src).unwrap();
+        let printed = to_string(&v).unwrap();
+        let v2: Value = from_str(&printed).unwrap();
+        assert_eq!(v, v2);
+    }
+}

@@ -8,7 +8,8 @@ use hetsched_dag::{Dag, TaskId};
 use hetsched_platform::{ProcId, System};
 
 use crate::cost::CostAggregation;
-use crate::eft::{best_eft, eft_on};
+use crate::eft::eft_on;
+use crate::engine::EftContext;
 use crate::rank::{critical_path_tasks, downward_rank, upward_rank};
 use crate::schedule::Schedule;
 use crate::Scheduler;
@@ -98,12 +99,13 @@ impl Scheduler for Cpop {
             })
             .collect();
 
+        let mut ctx = EftContext::new(sys);
         while let Some(Entry { task: t, .. }) = heap.pop() {
             let (p, start, finish) = if on_cp[t.index()] {
                 let (s, f) = eft_on(dag, sys, &sched, t, cp_proc, true);
                 (cp_proc, s, f)
             } else {
-                best_eft(dag, sys, &sched, t, true)
+                ctx.best_eft(dag, sys, &sched, t, true)
             };
             sched
                 .insert(t, p, start, finish - start)

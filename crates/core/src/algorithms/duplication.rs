@@ -13,6 +13,7 @@ use hetsched_platform::{ProcId, System};
 
 use crate::cost::CostAggregation;
 use crate::eft::{arrival_from, critical_parent, data_ready_time, eft_on};
+use crate::engine::EftContext;
 use crate::rank::{sort_by_priority_desc, upward_rank};
 use crate::schedule::{Schedule, TIME_EPS};
 use crate::Scheduler;
@@ -111,17 +112,16 @@ impl Scheduler for DupHeft {
         let rank = upward_rank(dag, sys, self.agg);
         let order = sort_by_priority_desc(&rank);
         let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
+        let mut ctx = EftContext::new(sys);
+        let mut cand: Vec<(ProcId, f64, f64)> = Vec::with_capacity(sys.num_procs());
         for t in order {
-            // rank candidate processors by plain EFT
-            let mut cand: Vec<(ProcId, f64)> = sys
-                .proc_ids()
-                .map(|p| (p, eft_on(dag, sys, &sched, t, p, true).1))
-                .collect();
-            cand.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+            // rank candidate processors by plain EFT (infinite tolerance ->
+            // all processors, sorted by finish then id)
+            ctx.eft_candidates_into(dag, sys, &sched, t, true, f64::INFINITY, &mut cand);
             cand.truncate(self.candidates.max(1));
 
             let mut best: Option<(f64, Schedule)> = None;
-            for &(p, _) in &cand {
+            for &(p, _, _) in cand.iter() {
                 let mut trial = sched.clone();
                 let finish = place_with_duplication(dag, sys, &mut trial, t, p);
                 match &best {

@@ -8,7 +8,7 @@ use hetsched_dag::{Dag, TaskId};
 use hetsched_platform::System;
 
 use crate::cost::CostAggregation;
-use crate::eft::data_ready_time;
+use crate::engine::EftContext;
 use crate::rank::static_level;
 use crate::schedule::Schedule;
 use crate::Scheduler;
@@ -45,12 +45,14 @@ impl Scheduler for Etf {
         let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
         let mut remaining_preds: Vec<usize> = dag.task_ids().map(|t| dag.in_degree(t)).collect();
         let mut ready: Vec<TaskId> = dag.entry_tasks().collect();
+        let mut ctx = EftContext::new(sys);
 
         while !ready.is_empty() {
             let mut best: Option<(usize, hetsched_platform::ProcId, f64)> = None;
             for (ri, &t) in ready.iter().enumerate() {
+                let drts = ctx.data_ready_all(dag, sys, &sched, t);
                 for p in sys.proc_ids() {
-                    let drt = data_ready_time(dag, sys, &sched, t, p);
+                    let drt = drts[p.index()];
                     let start = drt.max(sched.proc_finish(p));
                     let better = match best {
                         None => true,

@@ -12,7 +12,7 @@ use hetsched_dag::{Dag, TaskId};
 use hetsched_platform::System;
 
 use crate::cost::CostAggregation;
-use crate::eft::best_eft;
+use crate::engine::EftContext;
 use crate::rank::{aest, alst};
 use crate::schedule::Schedule;
 use crate::Scheduler;
@@ -160,8 +160,9 @@ impl Scheduler for Hcpt {
         let l = alst(dag, sys, self.agg);
         let order = listing_order(dag, &a, &l);
         let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
+        let mut ctx = EftContext::new(sys);
         for t in order {
-            let (p, start, finish) = best_eft(dag, sys, &sched, t, true);
+            let (p, start, finish) = ctx.best_eft(dag, sys, &sched, t, true);
             sched
                 .insert(t, p, start, finish - start)
                 .expect("EFT placement is conflict-free");

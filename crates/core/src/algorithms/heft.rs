@@ -6,7 +6,7 @@ use hetsched_dag::Dag;
 use hetsched_platform::System;
 
 use crate::cost::CostAggregation;
-use crate::eft::best_eft;
+use crate::engine::EftContext;
 use crate::rank::{sort_by_priority_desc, upward_rank};
 use crate::schedule::Schedule;
 use crate::Scheduler;
@@ -68,8 +68,9 @@ impl Scheduler for Heft {
         let rank = upward_rank(dag, sys, self.agg);
         let order = sort_by_priority_desc(&rank);
         let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
+        let mut ctx = EftContext::new(sys);
         for t in order {
-            let (p, start, finish) = best_eft(dag, sys, &sched, t, self.insertion);
+            let (p, start, finish) = ctx.best_eft(dag, sys, &sched, t, self.insertion);
             sched
                 .insert(t, p, start, finish - start)
                 .expect("EFT placement is conflict-free by construction");

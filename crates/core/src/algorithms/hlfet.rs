@@ -9,7 +9,7 @@ use hetsched_dag::{Dag, TaskId};
 use hetsched_platform::System;
 
 use crate::cost::CostAggregation;
-use crate::eft::data_ready_time;
+use crate::engine::EftContext;
 use crate::rank::static_level;
 use crate::schedule::Schedule;
 use crate::Scheduler;
@@ -46,6 +46,7 @@ impl Scheduler for Hlfet {
         let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
         let mut remaining_preds: Vec<usize> = dag.task_ids().map(|t| dag.in_degree(t)).collect();
         let mut ready: Vec<TaskId> = dag.entry_tasks().collect();
+        let mut ctx = EftContext::new(sys);
 
         while !ready.is_empty() {
             // highest static level among ready tasks (ties: smaller id)
@@ -63,10 +64,11 @@ impl Scheduler for Hlfet {
                 t
             };
             // earliest-start processor (append policy)
+            let drts = ctx.data_ready_all(dag, sys, &sched, t);
             let (p, start) = sys
                 .proc_ids()
                 .map(|p| {
-                    let drt = data_ready_time(dag, sys, &sched, t, p);
+                    let drt = drts[p.index()];
                     (p, drt.max(sched.proc_finish(p)))
                 })
                 .min_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)))

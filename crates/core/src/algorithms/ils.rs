@@ -27,7 +27,7 @@ use hetsched_platform::{ProcId, System};
 use crate::algorithms::duplication::place_with_duplication;
 use crate::algorithms::mcp::alap_order;
 use crate::cost::CostAggregation;
-use crate::eft::eft_candidates;
+use crate::engine::EftContext;
 use crate::rank::{alst, sort_by_priority_desc, upward_rank};
 use crate::schedule::{Schedule, TIME_EPS};
 use crate::Scheduler;
@@ -60,30 +60,39 @@ fn lookahead_score(
     p: ProcId,
     finish_t: f64,
 ) -> f64 {
-    sys.proc_ids()
-        .map(|q| {
-            let ready = finish_t + sys.comm_time(data, p, q);
-            let start = ready.max(sched.proc_finish(q));
-            start + sys.exec_time(child, q)
-        })
-        .fold(f64::INFINITY, f64::min)
+    // Flat-slice formulation of: min over q of
+    // `max(finish_t + comm(data, p, q), proc_finish(q)) + exec(child, q)`
+    // — term-for-term the same arithmetic as `comm_time`/`exec_time`, just
+    // over the contiguous link and ETC rows.
+    let (startup, inv_bw) = sys.network().link_rows(p);
+    let execs = sys.etc().row(child);
+    let mut best = f64::INFINITY;
+    for (i, (&su, &ib)) in startup.iter().zip(inv_bw).enumerate() {
+        let ready = finish_t + (su + data * ib);
+        let start = ready.max(sched.proc_finish(ProcId(i as u32)));
+        best = best.min(start + execs[i]);
+    }
+    best
 }
 
 /// Shared ILS processor selection: take the EFT-candidate set within
 /// `tolerance`, re-rank near-ties by the lookahead score, and place `t`
-/// (with optional duplication). Returns nothing; mutates `sched`.
+/// (with optional duplication). Returns nothing; mutates `sched`. `ctx`
+/// and `cands` are scratch buffers owned by the caller's scheduling loop.
 #[allow(clippy::too_many_arguments)]
 fn select_and_place(
     dag: &Dag,
     sys: &System,
     sched: &mut Schedule,
+    ctx: &mut EftContext,
+    cands: &mut Vec<(ProcId, f64, f64)>,
     rank: &[f64],
     t: TaskId,
     tolerance: f64,
     lookahead: bool,
     duplication: bool,
 ) {
-    let cands = eft_candidates(dag, sys, sched, t, true, tolerance);
+    ctx.eft_candidates_into(dag, sys, sched, t, true, tolerance, cands);
     let child = if lookahead {
         critical_child(dag, sys, rank, t)
     } else {
@@ -118,7 +127,7 @@ fn select_and_place(
     // the whole near-tie set, at most 3 extra).
     let near_ties = cands.len();
     let plain_best = cands[0]; // EFT-minimal placement without duplication
-    let mut cands = eft_candidates(dag, sys, sched, t, true, f64::INFINITY);
+    ctx.eft_candidates_into(dag, sys, sched, t, true, f64::INFINITY, cands);
     cands.truncate(near_ties.max(3));
     let mut best: Option<(f64, f64, Schedule)> = None; // (score, finish, trial)
     let consider =
@@ -149,7 +158,7 @@ fn select_and_place(
             .expect("EFT placement is conflict-free");
         consider(p, finish, trial, &mut best);
     }
-    for &(p, _, _) in &cands {
+    for &(p, _, _) in cands.iter() {
         let mut trial = sched.clone();
         let finish = place_with_duplication(dag, sys, &mut trial, t, p);
         consider(p, finish, trial, &mut best);
@@ -194,11 +203,15 @@ impl Scheduler for IlsH {
         let rank = upward_rank(dag, sys, self.agg);
         let order = sort_by_priority_desc(&rank);
         let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
+        let mut ctx = EftContext::new(sys);
+        let mut cands = Vec::with_capacity(sys.num_procs());
         for t in order {
             select_and_place(
                 dag,
                 sys,
                 &mut sched,
+                &mut ctx,
+                &mut cands,
                 &rank,
                 t,
                 self.tolerance,
@@ -247,11 +260,15 @@ impl Scheduler for IlsD {
         let rank = upward_rank(dag, sys, self.agg);
         let order = sort_by_priority_desc(&rank);
         let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
+        let mut ctx = EftContext::new(sys);
+        let mut cands = Vec::with_capacity(sys.num_procs());
         for t in order {
             select_and_place(
                 dag,
                 sys,
                 &mut sched,
+                &mut ctx,
+                &mut cands,
                 &rank,
                 t,
                 self.tolerance,
@@ -296,8 +313,21 @@ impl Scheduler for IlsM {
         // lookahead uses upward rank to find critical children
         let rank = upward_rank(dag, sys, agg);
         let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
+        let mut ctx = EftContext::new(sys);
+        let mut cands = Vec::with_capacity(sys.num_procs());
         for t in order {
-            select_and_place(dag, sys, &mut sched, &rank, t, self.tolerance, true, false);
+            select_and_place(
+                dag,
+                sys,
+                &mut sched,
+                &mut ctx,
+                &mut cands,
+                &rank,
+                t,
+                self.tolerance,
+                true,
+                false,
+            );
         }
         sched
     }

@@ -15,7 +15,7 @@ use hetsched_dag::{Dag, TaskId};
 use hetsched_platform::System;
 
 use crate::cost::CostAggregation;
-use crate::eft::best_eft;
+use crate::engine::EftContext;
 use crate::rank::alst;
 use crate::schedule::Schedule;
 use crate::Scheduler;
@@ -67,10 +67,11 @@ impl Scheduler for Mcp {
         let alap = alst(dag, sys, self.agg);
         let order = alap_order(dag, &alap);
         let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
+        let mut ctx = EftContext::new(sys);
         for t in order {
             // MCP selects the processor allowing the earliest *start*;
             // on homogeneous systems earliest start == earliest finish.
-            let (p, start, finish) = best_eft(dag, sys, &sched, t, true);
+            let (p, start, finish) = ctx.best_eft(dag, sys, &sched, t, true);
             sched
                 .insert(t, p, start, finish - start)
                 .expect("placement is conflict-free");

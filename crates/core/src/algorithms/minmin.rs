@@ -9,7 +9,7 @@
 use hetsched_dag::{Dag, TaskId};
 use hetsched_platform::System;
 
-use crate::eft::best_eft;
+use crate::engine::EftContext;
 use crate::schedule::Schedule;
 use crate::Scheduler;
 
@@ -33,11 +33,12 @@ impl Scheduler for MinMin {
         let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
         let mut remaining_preds: Vec<usize> = dag.task_ids().map(|t| dag.in_degree(t)).collect();
         let mut ready: Vec<TaskId> = dag.entry_tasks().collect();
+        let mut ctx = EftContext::new(sys);
 
         while !ready.is_empty() {
             let mut best: Option<(usize, hetsched_platform::ProcId, f64, f64)> = None;
             for (ri, &t) in ready.iter().enumerate() {
-                let (p, s, f) = best_eft(dag, sys, &sched, t, true);
+                let (p, s, f) = ctx.best_eft(dag, sys, &sched, t, true);
                 let better = match best {
                     None => true,
                     Some((bri, _, _, bf)) => f < bf || (f == bf && t < ready[bri]),

@@ -20,7 +20,7 @@
 use hetsched_dag::{Dag, TaskId};
 use hetsched_platform::{ProcId, System};
 
-use crate::eft::eft_on;
+use crate::engine::EftContext;
 use crate::rank::sort_by_priority_desc;
 use crate::schedule::Schedule;
 use crate::Scheduler;
@@ -88,6 +88,7 @@ impl Scheduler for Peft {
         let mut sched = Schedule::new(dag.num_tasks(), np);
 
         let mut pending: Vec<TaskId> = order;
+        let mut ctx = EftContext::new(sys);
         while !pending.is_empty() {
             // take the highest-priority READY task
             let pos = pending
@@ -96,9 +97,12 @@ impl Scheduler for Peft {
                 .expect("a DAG always has a ready task");
             let t = pending.remove(pos);
             // choose processor minimizing EFT + OCT
+            let ready = ctx.data_ready_all(dag, sys, &sched, t);
+            let durs = sys.etc().row(t);
             let mut best: Option<(ProcId, f64, f64, f64)> = None; // (p, start, finish, key)
-            for p in sys.proc_ids() {
-                let (s, f) = eft_on(dag, sys, &sched, t, p, true);
+            for (i, p) in sys.proc_ids().enumerate() {
+                let s = sched.earliest_start(p, ready[i], durs[i], true);
+                let f = s + durs[i];
                 let key = f + oct[t.index() * np + p.index()];
                 let better = match best {
                     None => true,

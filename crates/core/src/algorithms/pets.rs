@@ -18,7 +18,7 @@ use hetsched_dag::{Dag, TaskId};
 use hetsched_platform::System;
 
 use crate::cost::CostAggregation;
-use crate::eft::best_eft;
+use crate::engine::EftContext;
 use crate::schedule::Schedule;
 use crate::Scheduler;
 
@@ -78,8 +78,9 @@ impl Scheduler for Pets {
         });
 
         let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
+        let mut ctx = EftContext::new(sys);
         for t in order {
-            let (p, start, finish) = best_eft(dag, sys, &sched, t, true);
+            let (p, start, finish) = ctx.best_eft(dag, sys, &sched, t, true);
             sched
                 .insert(t, p, start, finish - start)
                 .expect("EFT placement is conflict-free");

@@ -40,6 +40,11 @@ pub fn data_ready_time(dag: &Dag, sys: &System, sched: &Schedule, t: TaskId, p: 
 /// The *critical parent* of `t` w.r.t. processor `p`: the predecessor whose
 /// message arrives last (ties broken toward the smaller task id). `None`
 /// for entry tasks. Duplication heuristics duplicate exactly this parent.
+///
+/// The id tie-break is explicit rather than relying on iteration order:
+/// [`Dag::predecessors`] happens to yield ascending ids for builder-built
+/// DAGs (the builder sorts edges), but a deserialized DAG keeps its stored
+/// edge order verbatim, and the duplicated parent must not depend on it.
 pub fn critical_parent(
     dag: &Dag,
     sys: &System,
@@ -51,7 +56,7 @@ pub fn critical_parent(
     for (u, data) in dag.predecessors(t) {
         let a = arrival_from(sys, sched, u, data, p);
         match best {
-            Some((_, ba)) if a <= ba => {}
+            Some((bu, ba)) if a < ba || (a == ba && bu <= u) => {}
             _ => best = Some((u, a)),
         }
     }
@@ -98,7 +103,12 @@ pub fn best_eft(
 /// best EFT, sorted by EFT then processor id. Lookahead policies re-rank
 /// this near-tie set with a second criterion.
 ///
-/// `tolerance = 0.0` returns exactly the EFT-minimal set.
+/// `tolerance = 0.0` returns exactly the EFT-minimal set. When the best EFT
+/// is `0.0` (zero-weight entry tasks at time zero) a relative band has zero
+/// width, so any positive tolerance falls back to an absolute epsilon of
+/// [`crate::schedule::TIME_EPS`]: every processor finishing "at" time zero
+/// by the schedule's own time resolution is a candidate (see
+/// `tolerance_cut`).
 pub fn eft_candidates(
     dag: &Dag,
     sys: &System,
@@ -116,16 +126,30 @@ pub fn eft_candidates(
         })
         .collect();
     all.sort_by(|a, b| a.2.total_cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
-    let best = all[0].2;
-    // `best * (1 + inf)` would be NaN when best == 0 (zero-weight tasks);
-    // an infinite tolerance must keep everything.
-    let cut = if tolerance.is_infinite() {
-        f64::INFINITY
-    } else {
-        best * (1.0 + tolerance) + 1e-12
-    };
+    let cut = tolerance_cut(all[0].2, tolerance);
     all.retain(|&(_, _, f)| f <= cut);
     all
+}
+
+/// The inclusion threshold of [`eft_candidates`]: the largest EFT still
+/// considered a near-tie of `best` under a relative `tolerance`.
+///
+/// * infinite tolerance keeps everything (`best * (1 + inf)` would be NaN
+///   when `best == 0`);
+/// * `best == 0.0` with a positive tolerance widens to the absolute
+///   [`crate::TIME_EPS`] band — a purely relative band would collapse to
+///   width zero and exclude every non-exact tie, contradicting the
+///   "near-tie set" contract;
+/// * otherwise the relative band, plus a `1e-12` absolute slack so exact
+///   ties survive rounding.
+pub(crate) fn tolerance_cut(best: f64, tolerance: f64) -> f64 {
+    if tolerance.is_infinite() {
+        f64::INFINITY
+    } else if best == 0.0 && tolerance > 0.0 {
+        crate::schedule::TIME_EPS
+    } else {
+        best * (1.0 + tolerance) + 1e-12
+    }
 }
 
 #[cfg(test)]
@@ -260,5 +284,86 @@ mod tests {
         let (dag, sys) = setup();
         let sched = Schedule::new(2, 2);
         data_ready_time(&dag, &sys, &sched, TaskId(1), ProcId(0));
+    }
+
+    #[test]
+    fn zero_best_tolerance_keeps_time_eps_band() {
+        // zero-weight entry task: the best EFT is exactly 0.0, so a
+        // relative band has zero width. A second processor finishing
+        // within TIME_EPS must still count as a near-tie.
+        let dag = dag_from_edges(&[0.0, 1.0], &[(0, 1, 1.0)]).unwrap();
+        let etc = EtcMatrix::from_fn(2, 2, |t, p| match (t.index(), p.index()) {
+            (0, 0) => 0.0,
+            (0, 1) => 0.5e-9, // inside the TIME_EPS = 1e-9 resolution
+            (1, _) => 1.0,
+            _ => unreachable!(),
+        });
+        let sys = System::new(etc, Network::unit(2));
+        let sched = Schedule::new(2, 2);
+        let loose = eft_candidates(&dag, &sys, &sched, TaskId(0), true, 0.25);
+        assert_eq!(
+            loose.len(),
+            2,
+            "positive tolerance at best == 0 must widen to TIME_EPS, got {loose:?}"
+        );
+        // tolerance 0.0 still means the exact EFT-minimal set
+        let tight = eft_candidates(&dag, &sys, &sched, TaskId(0), true, 0.0);
+        assert_eq!(tight.len(), 1);
+        assert_eq!(tight[0].0, ProcId(0));
+    }
+
+    #[test]
+    fn tolerance_cut_zero_best_cases() {
+        assert_eq!(tolerance_cut(0.0, 0.5), crate::schedule::TIME_EPS);
+        assert_eq!(tolerance_cut(0.0, 0.0), 1e-12, "zero tolerance stays exact");
+        assert_eq!(tolerance_cut(0.0, f64::INFINITY), f64::INFINITY);
+        assert_eq!(tolerance_cut(10.0, 0.1), 10.0 * 1.1 + 1e-12);
+    }
+
+    #[test]
+    fn critical_parent_tie_break_survives_pred_order_permutation() {
+        use serde::{Deserialize, Serialize};
+        // t0 and t1 both feed t2 with equal data; scheduled symmetrically,
+        // their messages reach a third processor at the same instant. The
+        // critical parent must be the smaller id (t0) regardless of the
+        // order `predecessors` yields the edges in.
+        let dag = dag_from_edges(&[1.0, 1.0, 1.0], &[(0, 2, 4.0), (1, 2, 4.0)]).unwrap();
+        // permute the stored predecessor order by round-tripping through
+        // serde: builder DAGs keep pred_edges ascending, deserialized DAGs
+        // keep whatever the document says.
+        let mut v = dag.to_value();
+        let pe = v
+            .as_object_mut()
+            .unwrap()
+            .get_mut("pred_edges")
+            .unwrap()
+            .as_array_mut()
+            .unwrap();
+        pe.reverse();
+        let permuted = Dag::from_value(&v).unwrap();
+        let order: Vec<TaskId> = permuted.predecessors(TaskId(2)).map(|(u, _)| u).collect();
+        assert_eq!(
+            order,
+            vec![TaskId(1), TaskId(0)],
+            "round-trip must yield descending pred ids for this test to bite"
+        );
+
+        let sys = System::homogeneous_unit(&dag, 3);
+        let mut sched = Schedule::new(3, 3);
+        sched.insert(TaskId(0), ProcId(0), 0.0, 1.0).unwrap();
+        sched.insert(TaskId(1), ProcId(1), 0.0, 1.0).unwrap();
+        // both arrivals on p2 are exactly 1 + 4 = 5 -> exact tie
+        assert_eq!(arrival_from(&sys, &sched, TaskId(0), 4.0, ProcId(2)), 5.0);
+        assert_eq!(arrival_from(&sys, &sched, TaskId(1), 4.0, ProcId(2)), 5.0);
+        assert_eq!(
+            critical_parent(&permuted, &sys, &sched, TaskId(2), ProcId(2)),
+            Some(TaskId(0)),
+            "tie must break toward the smaller task id, not iteration order"
+        );
+        // same answer on the builder-ordered DAG
+        assert_eq!(
+            critical_parent(&dag, &sys, &sched, TaskId(2), ProcId(2)),
+            Some(TaskId(0))
+        );
     }
 }

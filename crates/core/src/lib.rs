@@ -44,11 +44,13 @@ pub mod algorithms;
 pub mod compact;
 pub mod cost;
 pub mod eft;
+pub mod engine;
 pub mod rank;
 pub mod schedule;
 pub mod validate;
 
 pub use cost::CostAggregation;
+pub use engine::{with_reference_engine, EftContext};
 pub use schedule::{Schedule, Slot};
 pub use validate::{validate, ValidationError};
 

@@ -14,6 +14,25 @@ use crate::algorithms::all_heterogeneous;
 use crate::schedule::Schedule;
 use crate::validate::validate;
 
+/// Flatten a schedule into a bit-exact digest of every slot: any engine
+/// optimization that changes a single start/finish bit, an assignment, or
+/// a duplicate shows up as a digest mismatch.
+fn slot_digest(s: &Schedule) -> Vec<(usize, usize, u64, u64, bool)> {
+    let mut out = Vec::new();
+    for p in 0..s.num_procs() {
+        for slot in s.slots(ProcId(p as u32)) {
+            out.push((
+                p,
+                slot.task.index(),
+                slot.start.to_bits(),
+                slot.finish.to_bits(),
+                slot.duplicate,
+            ));
+        }
+    }
+    out
+}
+
 /// Random forward-edged DAG with seeded reproducibility.
 fn random_dag(n: usize, edge_prob: f64, seed: u64) -> Dag {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -129,6 +148,61 @@ proptest! {
                     "{} moved {}", alg.name(), t
                 );
             }
+        }
+    }
+
+    #[test]
+    fn cached_gap_search_is_bit_identical_to_scan(
+        grid in proptest::collection::vec((0u16..200, 1u8..30), 0..24),
+        queries in proptest::collection::vec((0u16..220, 0u8..40, 0u8..4), 1..24),
+    ) {
+        // Adversarial timelines: starts/durations snapped to a coarse grid
+        // with sub-TIME_EPS jitter, so slot boundaries collide exactly at
+        // the schedule's epsilon resolution — the regime where the cached
+        // search could plausibly diverge from the scan by one rounding bit.
+        let mut s = Schedule::new(64, 1);
+        for (i, &(start, dur)) in grid.iter().enumerate() {
+            let st = start as f64 * 0.5 + (start % 3) as f64 * 0.4e-9;
+            let d = dur as f64 * 0.5;
+            // overlapping placements are simply skipped
+            let _ = s.insert(TaskId(i as u32), ProcId(0), st, d);
+        }
+        for &(r, d, j) in &queries {
+            let ready = r as f64 * 0.5 + j as f64 * 0.3e-9;
+            let dur = d as f64 * 0.5 + j as f64 * 0.25e-9;
+            let fast = s.earliest_start(ProcId(0), ready, dur, true);
+            let scan = Schedule::earliest_start_scan(s.slots(ProcId(0)), ready, dur);
+            prop_assert_eq!(fast.to_bits(), scan.to_bits(),
+                "cached {} vs scan {} at ready={} dur={}", fast, scan, ready, dur);
+            let reference = crate::engine::with_reference_engine(
+                || s.earliest_start(ProcId(0), ready, dur, true));
+            prop_assert_eq!(fast.to_bits(), reference.to_bits());
+        }
+    }
+
+    #[test]
+    fn fast_engine_matches_reference_engine_bit_for_bit(
+        n in 2usize..35,
+        edge_prob in 0.0f64..0.35,
+        n_procs in 1usize..8,
+        beta in 0.0f64..1.9,
+        seed in 0u64..10_000,
+    ) {
+        // Every scheduler, run once through the optimized engine and once
+        // with the naive per-(task, processor) reference path, must emit
+        // byte-identical schedules: same slots, same starts to the last
+        // bit, same duplicates.
+        let dag = random_dag(n, edge_prob, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xa5a5);
+        let sys = System::heterogeneous_random(&dag, n_procs, &EtcParams::range_based(beta), &mut rng);
+        for alg in all_heterogeneous() {
+            let fast = alg.schedule(&dag, &sys);
+            let reference = crate::engine::with_reference_engine(|| alg.schedule(&dag, &sys));
+            prop_assert_eq!(
+                slot_digest(&fast), slot_digest(&reference),
+                "{} diverged on n={} procs={} beta={} seed={}",
+                alg.name(), n, n_procs, beta, seed
+            );
         }
     }
 

@@ -77,6 +77,60 @@ pub struct Schedule {
     primary: Vec<Option<(ProcId, f64, f64)>>,
     /// Per task: every copy as (proc, finish), primary included.
     copies: Vec<Vec<(ProcId, f64)>>,
+    /// Per-processor gap-search acceleration structure. Derived data only —
+    /// kept off the wire (so the serialized format is unchanged) and rebuilt
+    /// lazily: a deserialized schedule simply has an empty cache and every
+    /// query falls back to the full scan.
+    #[serde(default, skip_serializing_if = "skip_cache")]
+    cache: Vec<TimelineCache>,
+}
+
+/// `skip_serializing_if` predicate for [`Schedule::cache`]: always skip.
+#[allow(clippy::ptr_arg)]
+fn skip_cache(_: &Vec<TimelineCache>) -> bool {
+    true
+}
+
+/// Derived per-timeline data that lets [`Schedule::earliest_start`] answer
+/// most insertion queries without scanning the whole slot list. Invariant
+/// (whenever `prefix_max.len() == timeline.len()`):
+///
+/// * `prefix_max[i]` = running maximum of `slots[..=i].finish` — exactly the
+///   `prev_finish` value the naive scan holds after processing slot `i`
+///   (finishes are *not* monotone: slots may overlap boundaries by up to
+///   [`TIME_EPS`], so the last finish is not necessarily the largest).
+/// * `max_gap_ub` ≥ `fl(slots[i].start + TIME_EPS) - prefix_max[i-1]` for
+///   every `i` (with `prefix_max[-1] = 0`): an upper bound on every idle
+///   interval the scan could ever place work into.
+/// * `scale` = maximum slot finish, used to pad `max_gap_ub` comparisons by
+///   a margin that provably dominates all rounding error.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct TimelineCache {
+    prefix_max: Vec<f64>,
+    max_gap_ub: f64,
+    scale: f64,
+}
+
+impl TimelineCache {
+    /// Rebuild from a timeline (O(len)).
+    fn rebuild(&mut self, tl: &[Slot]) {
+        self.prefix_max.clear();
+        self.prefix_max.reserve(tl.len());
+        self.max_gap_ub = 0.0;
+        self.scale = 0.0;
+        let mut prev = 0.0f64;
+        for s in tl {
+            let gap = (s.start + TIME_EPS) - prev;
+            if gap > self.max_gap_ub {
+                self.max_gap_ub = gap;
+            }
+            prev = prev.max(s.finish);
+            self.prefix_max.push(prev);
+            if s.finish > self.scale {
+                self.scale = s.finish;
+            }
+        }
+    }
 }
 
 impl Schedule {
@@ -92,6 +146,7 @@ impl Schedule {
             timelines: vec![Vec::new(); n_procs],
             primary: vec![None; n_tasks],
             copies: vec![Vec::new(); n_tasks],
+            cache: vec![TimelineCache::default(); n_procs],
         }
     }
 
@@ -226,8 +281,69 @@ impl Schedule {
         if !insertion {
             return ready.max(self.proc_finish(p));
         }
+        let out = match self.cache.get(p.index()) {
+            // The cache is absent after deserialization (it is never on the
+            // wire) — fall back to the reference scan. When present it is
+            // kept in lockstep by `insert_slot`, and in reference-engine
+            // mode (conformance testing) the scan is forced.
+            Some(c)
+                if c.prefix_max.len() == tl.len() && !crate::engine::reference_engine_active() =>
+            {
+                Self::earliest_start_cached(tl, c, ready, dur)
+            }
+            _ => return Self::earliest_start_scan(tl, ready, dur),
+        };
+        debug_assert_eq!(
+            out.to_bits(),
+            Self::earliest_start_scan(tl, ready, dur).to_bits(),
+            "cached gap search must be bit-identical to the reference scan"
+        );
+        out
+    }
+
+    /// Reference insertion-policy gap search: linear scan over the whole
+    /// timeline. This is the semantic definition the cached variant must
+    /// reproduce bit-for-bit; it is kept both as the deserialization
+    /// fallback and as the oracle for the conformance/property tests.
+    pub(crate) fn earliest_start_scan(tl: &[Slot], ready: f64, dur: f64) -> f64 {
         let mut prev_finish = 0.0f64;
         for s in tl {
+            let candidate = ready.max(prev_finish);
+            if candidate + dur <= s.start + TIME_EPS {
+                return candidate;
+            }
+            prev_finish = prev_finish.max(s.finish);
+        }
+        ready.max(prev_finish)
+    }
+
+    /// Accelerated gap search. Exactly equivalent to
+    /// [`Self::earliest_start_scan`] (same returned bits):
+    ///
+    /// 1. **Fast reject.** The scan returns early at slot `i` only if
+    ///    `fl(candidate + dur) <= fl(start_i + TIME_EPS)` with
+    ///    `candidate >= prefix_max[i-1]`, which (allowing for rounding of
+    ///    the two additions and the cached subtraction, all bounded by
+    ///    `3·scale·2⁻⁵³`) forces `dur <= max_gap_ub + (scale+1)·1e-12`.
+    ///    When `dur` exceeds that padded bound no gap can accept it, and
+    ///    the scan's fall-through answer is `ready.max(prefix_max.last())`.
+    /// 2. **Prefix skip.** For any slot with `fl(start + TIME_EPS) <
+    ///    fl(ready + dur)` the early-return test is false regardless of
+    ///    `prev_finish` (since `candidate >= ready`), so the scan is
+    ///    entered at the first slot where that (monotone) predicate flips,
+    ///    seeding `prev_finish` from the prefix maximum — the exact value
+    ///    the naive loop would hold there.
+    fn earliest_start_cached(tl: &[Slot], c: &TimelineCache, ready: f64, dur: f64) -> f64 {
+        let Some(&last_max) = c.prefix_max.last() else {
+            return ready; // empty timeline
+        };
+        if dur > c.max_gap_ub + (c.scale + 1.0) * 1e-12 {
+            return ready.max(last_max);
+        }
+        let rd = ready + dur;
+        let lo = tl.partition_point(|s| s.start + TIME_EPS < rd);
+        let mut prev_finish = if lo == 0 { 0.0 } else { c.prefix_max[lo - 1] };
+        for s in &tl[lo..] {
             let candidate = ready.max(prev_finish);
             if candidate + dur <= s.start + TIME_EPS {
                 return candidate;
@@ -333,6 +449,16 @@ impl Schedule {
                 duplicate,
             },
         );
+        // Keep the gap-search cache in lockstep. A mid-timeline insert
+        // invalidates every prefix maximum (and gap) at or after `pos`, and
+        // `Vec::insert` above is already O(len), so a full O(len) rebuild
+        // keeps the same asymptotics with straight-line code. Schedules
+        // without a cache (deserialized) stay cacheless — queries scan.
+        if let Some(c) = self.cache.get_mut(p.index()) {
+            if c.prefix_max.len() + 1 == tl.len() {
+                c.rebuild(tl);
+            }
+        }
         self.copies[t.index()].push((p, finish));
         Ok(())
     }

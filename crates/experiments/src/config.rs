@@ -2,13 +2,18 @@
 
 /// Usage string printed on argument errors.
 pub const USAGE: &str = "\
-usage: hetsched-exp <experiment-id|all> [options]
+usage: hetsched-exp <experiment-id|all|perf> [options]
 options:
-  --seed <u64>    base RNG seed (default 42)
-  --reps <n>      repetitions per parameter point (default 5)
-  --procs <n>     default processor count (default 8)
-  --out <dir>     JSON output directory (default results; `--out -` disables)
-  --quick         smaller grids for smoke runs";
+  --seed <u64>       base RNG seed (default 42)
+  --reps <n>         repetitions per parameter point (default 5)
+  --procs <n>        default processor count (default 8)
+  --out <dir>        JSON output directory (default results; `--out -` disables)
+  --quick            smaller grids for smoke runs
+perf options:
+  --bench-out <file> write the perf benchmark JSON to <file>
+  --check <file>     compare against a baseline benchmark JSON; exit
+                     nonzero when any entry regresses by more than 25%
+                     (after normalizing out the machine-speed factor)";
 
 /// Parsed harness configuration.
 #[derive(Debug, Clone)]
@@ -23,6 +28,10 @@ pub struct Config {
     pub out_dir: Option<String>,
     /// Smaller grids for smoke runs.
     pub quick: bool,
+    /// `perf`: write the benchmark JSON to this file.
+    pub bench_out: Option<String>,
+    /// `perf`: baseline benchmark JSON to compare against.
+    pub check: Option<String>,
 }
 
 impl Default for Config {
@@ -33,6 +42,8 @@ impl Default for Config {
             procs: 8,
             out_dir: Some("results".into()),
             quick: false,
+            bench_out: None,
+            check: None,
         }
     }
 }
@@ -71,6 +82,8 @@ pub fn parse_args(args: &[String]) -> Result<(Vec<String>, Config), String> {
                 cfg.out_dir = if v == "-" { None } else { Some(v) };
             }
             "--quick" => cfg.quick = true,
+            "--bench-out" => cfg.bench_out = Some(take_value("--bench-out")?),
+            "--check" => cfg.check = Some(take_value("--check")?),
             _ if a.starts_with("--") => return Err(format!("unknown option {a}")),
             _ => ids.push(a.clone()),
         }

@@ -7,6 +7,7 @@ mod gap;
 mod homogeneous;
 mod metaheuristic;
 mod occupancy;
+pub mod perf;
 mod random_figs;
 mod robustness;
 mod runtime;

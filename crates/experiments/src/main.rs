@@ -46,6 +46,10 @@ fn main() -> ExitCode {
 }
 
 fn run_one(id: &str, cfg: &Config) -> Result<(), String> {
+    if id == "perf" {
+        // hot-path benchmark: its own output/check flow (see `perf.rs`)
+        return experiments::perf::run_perf(cfg);
+    }
     let known: Vec<&str> = experiments::catalog().iter().map(|(i, _)| *i).collect();
     if !known.contains(&id) {
         return Err(format!("unknown experiment `{id}`; try `all`"));

@@ -190,6 +190,21 @@ impl Network {
         self.startup[p.index() * self.n + q.index()]
     }
 
+    /// Contiguous outgoing link-cost rows for source processor `src`:
+    /// `(startup_row, inv_bw_row)`, each of length `num_procs()`, indexed by
+    /// destination. `comm_time(data, src, q)` equals
+    /// `startup_row[q] + data * inv_bw_row[q]` term for term, so hot loops
+    /// that fan a single transfer out to every destination can run on flat
+    /// slices instead of recomputing the matrix index per pair.
+    #[inline]
+    pub fn link_rows(&self, src: ProcId) -> (&[f64], &[f64]) {
+        let base = src.index() * self.n;
+        (
+            &self.startup[base..base + self.n],
+            &self.inv_bw[base..base + self.n],
+        )
+    }
+
     /// Mean communication time of `data` units over all ordered pairs of
     /// *distinct* processors. This is the `c̄` used by mean-based ranks
     /// (HEFT). Returns 0 for a single-processor network.
@@ -269,6 +284,21 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn link_rows_match_comm_time() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let net = Network::heterogeneous_random(5, (0.1, 0.9), (1.0, 4.0), &mut rng);
+        for p in 0..5u32 {
+            let (su, ib) = net.link_rows(ProcId(p));
+            assert_eq!(su.len(), 5);
+            assert_eq!(ib.len(), 5);
+            for q in 0..5u32 {
+                let via_rows = su[q as usize] + 8.0 * ib[q as usize];
+                assert_eq!(via_rows, net.comm_time(8.0, ProcId(p), ProcId(q)));
+            }
+        }
+    }
 
     #[test]
     fn uniform_costs() {

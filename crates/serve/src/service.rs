@@ -309,7 +309,7 @@ impl Service {
         }
 
         let remaining = deadline.saturating_sub(started.elapsed());
-        match reply_rx.recv_timeout(remaining) {
+        match await_reply(&reply_rx, remaining) {
             Ok(resp) => {
                 if matches!(resp, Response::Ok { .. }) {
                     m.latency.record(started.elapsed());
@@ -332,6 +332,27 @@ impl Service {
                 Response::error("worker pool shut down before replying")
             }
         }
+    }
+}
+
+/// Wait for the worker's reply until `remaining` elapses, then make one
+/// last non-blocking check before giving up: a reply that slipped into the
+/// channel between the timeout firing and this thread reporting it means
+/// the schedule *was* computed inside the client's window, and answering
+/// `timeout` would discard a finished result for no reason.
+fn await_reply(
+    reply_rx: &Receiver<Response>,
+    remaining: Duration,
+) -> Result<Response, channel::RecvTimeoutError> {
+    match reply_rx.recv_timeout(remaining) {
+        Err(channel::RecvTimeoutError::Timeout) => match reply_rx.try_recv() {
+            Ok(resp) => Ok(resp),
+            Err(channel::TryRecvError::Empty) => Err(channel::RecvTimeoutError::Timeout),
+            Err(channel::TryRecvError::Disconnected) => {
+                Err(channel::RecvTimeoutError::Disconnected)
+            }
+        },
+        other => other,
     }
 }
 
@@ -518,6 +539,25 @@ mod tests {
         let stats = svc.stats_body();
         assert_eq!(stats.panics, 1);
         svc.shutdown();
+    }
+
+    #[test]
+    fn await_reply_claims_queued_reply_even_after_deadline() {
+        // A reply already sitting in the channel at the deadline is a
+        // computed result, not a timeout — even with zero time remaining.
+        let (tx, rx) = channel::bounded::<Response>(1);
+        tx.send(Response::ShuttingDown).unwrap();
+        let got = await_reply(&rx, Duration::ZERO);
+        assert!(matches!(got, Ok(Response::ShuttingDown)), "got {got:?}");
+
+        // Same zero-deadline call with an empty channel is a real timeout.
+        let got = await_reply(&rx, Duration::ZERO);
+        assert_eq!(got.unwrap_err(), channel::RecvTimeoutError::Timeout);
+
+        // Dropped worker side surfaces as Disconnected, not Timeout.
+        drop(tx);
+        let got = await_reply(&rx, Duration::ZERO);
+        assert_eq!(got.unwrap_err(), channel::RecvTimeoutError::Disconnected);
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Bit-exact makespan dump across the algorithm x workload grid, used to
+//! verify schedule-identical engine changes across builds.
+use hetsched::core::algorithms::by_name;
+use hetsched::core::algorithms::known_names;
+use hetsched::dag::Dag;
+use hetsched::platform::{EtcParams, System};
+use hetsched::workloads::{fft, gauss, laplace, random_dag, RandomDagParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn instances() -> Vec<(String, Dag, System)> {
+    let mut v = Vec::new();
+    for (n, ccr) in [(60usize, 0.5), (60, 5.0), (200, 1.0)] {
+        let mut rng = StdRng::seed_from_u64(7 + n as u64);
+        let dag = random_dag(&RandomDagParams::new(n, 1.0, ccr), &mut rng);
+        let sys = System::heterogeneous_random(&dag, 6, &EtcParams::range_based(1.0), &mut rng);
+        v.push((format!("random-n{n}-ccr{ccr}"), dag, sys));
+    }
+    let mut rng = StdRng::seed_from_u64(31);
+    let dag = gauss::gaussian_elimination(10, 1.0, &mut rng);
+    let sys = System::heterogeneous_random(&dag, 4, &EtcParams::range_based(1.0), &mut rng);
+    v.push(("gauss-10".into(), dag, sys));
+    let mut rng = StdRng::seed_from_u64(32);
+    let dag = fft::fft_butterfly(32, 2.0, &mut rng);
+    let sys = System::heterogeneous_random(&dag, 4, &EtcParams::range_based(0.5), &mut rng);
+    v.push(("fft-32".into(), dag, sys));
+    let mut rng = StdRng::seed_from_u64(33);
+    let dag = laplace::laplace_wavefront(8, 1.0, &mut rng);
+    let sys = System::heterogeneous_random(&dag, 4, &EtcParams::range_based(1.0), &mut rng);
+    v.push(("laplace-8".into(), dag, sys));
+    let mut rng = StdRng::seed_from_u64(34);
+    let dag = random_dag(&RandomDagParams::new(80, 1.0, 1.0), &mut rng);
+    let sys = System::homogeneous_unit(&dag, 4);
+    v.push(("hom-80".into(), dag, sys));
+    v
+}
+
+fn main() {
+    for (label, dag, sys) in instances() {
+        for name in known_names() {
+            if name == "BNB" {
+                continue;
+            } // exponential; skip
+            let alg = by_name(name).unwrap();
+            let s = alg.schedule(&dag, &sys);
+            // bit-exact makespan plus a digest of all assignments
+            let mut h: u64 = 0xcbf29ce484222325;
+            for t in dag.task_ids() {
+                let (p, st, fin) = s.assignment(t).unwrap();
+                for b in [p.index() as u64, st.to_bits(), fin.to_bits()] {
+                    h ^= b;
+                    h = h.wrapping_mul(0x100000001b3);
+                }
+            }
+            println!(
+                "{label} {name} {:016x} {h:016x} dups={}",
+                s.makespan().to_bits(),
+                s.num_duplicates()
+            );
+        }
+    }
+}

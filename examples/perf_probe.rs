@@ -1,0 +1,37 @@
+//! Quick timing probe used to compare scheduler wall time across builds.
+use std::time::Instant;
+
+use hetsched::core::algorithms::by_name;
+use hetsched::platform::{EtcParams, System};
+use hetsched::workloads::{random_dag, RandomDagParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3200);
+    let reps: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let mut rng = StdRng::seed_from_u64(42);
+    let dag = random_dag(&RandomDagParams::new(n, 1.0, 1.0), &mut rng);
+    let sys = System::heterogeneous_random(&dag, 8, &EtcParams::range_based(1.0), &mut rng);
+    for name in ["HEFT", "ILS-H", "CPOP", "PETS", "PEFT", "MIN-MIN"] {
+        let Some(alg) = by_name(name) else { continue };
+        let mut best = f64::INFINITY;
+        let mut mk = 0.0;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let s = alg.schedule(&dag, &sys);
+            let dt = t0.elapsed().as_secs_f64();
+            mk = s.makespan();
+            if dt < best {
+                best = dt;
+            }
+        }
+        println!("{name}: {:.3}s makespan={mk:.6}", best);
+    }
+}

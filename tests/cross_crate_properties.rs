@@ -12,6 +12,72 @@ use hetsched::prelude::*;
 use hetsched::sim::{simulate, Noise, SimConfig};
 use hetsched::workloads::{random_dag, RandomDagParams};
 
+/// Bit-exact flattening of a schedule: processor, task, start/finish bits,
+/// duplicate flag for every slot, in timeline order.
+fn slot_digest(s: &hetsched::core::Schedule) -> Vec<(usize, usize, u64, u64, bool)> {
+    let mut out = Vec::new();
+    for p in 0..s.num_procs() {
+        for slot in s.slots(ProcId(p as u32)) {
+            out.push((
+                p,
+                slot.task.index(),
+                slot.start.to_bits(),
+                slot.finish.to_bits(),
+                slot.duplicate,
+            ));
+        }
+    }
+    out
+}
+
+/// Conformance sweep for the optimized EFT engine: every algorithm on a
+/// fixed grid of workload classes (random at three CCRs, Gaussian
+/// elimination, FFT, Laplace, homogeneous) must produce a schedule
+/// byte-identical to the naive reference engine's.
+#[test]
+fn optimized_engine_schedules_byte_identical_to_reference_across_grid() {
+    use hetsched::core::with_reference_engine;
+    use hetsched::workloads::{fft, gauss, laplace};
+
+    let mut grid: Vec<(String, Dag, System)> = Vec::new();
+    for (n, ccr) in [(40usize, 0.5), (40, 5.0), (150, 1.0)] {
+        let mut rng = StdRng::seed_from_u64(91 + n as u64);
+        let dag = random_dag(&RandomDagParams::new(n, 1.0, ccr), &mut rng);
+        let sys = System::heterogeneous_random(&dag, 6, &EtcParams::range_based(1.0), &mut rng);
+        grid.push((format!("random-n{n}-ccr{ccr}"), dag, sys));
+    }
+    let mut rng = StdRng::seed_from_u64(92);
+    let dag = gauss::gaussian_elimination(8, 1.0, &mut rng);
+    let sys = System::heterogeneous_random(&dag, 4, &EtcParams::range_based(1.0), &mut rng);
+    grid.push(("gauss-8".into(), dag, sys));
+    let mut rng = StdRng::seed_from_u64(93);
+    let dag = fft::fft_butterfly(16, 2.0, &mut rng);
+    let sys = System::heterogeneous_random(&dag, 4, &EtcParams::range_based(0.5), &mut rng);
+    grid.push(("fft-16".into(), dag, sys));
+    let mut rng = StdRng::seed_from_u64(94);
+    let dag = laplace::laplace_wavefront(6, 1.0, &mut rng);
+    let sys = System::heterogeneous_random(&dag, 4, &EtcParams::range_based(1.0), &mut rng);
+    grid.push(("laplace-6".into(), dag, sys));
+    let mut rng = StdRng::seed_from_u64(95);
+    let dag = random_dag(&RandomDagParams::new(60, 1.0, 1.0), &mut rng);
+    let sys = System::homogeneous_unit(&dag, 4);
+    grid.push(("hom-60".into(), dag, sys));
+
+    for (label, dag, sys) in &grid {
+        for alg in all_heterogeneous() {
+            let fast = alg.schedule(dag, sys);
+            let reference = with_reference_engine(|| alg.schedule(dag, sys));
+            assert_eq!(
+                slot_digest(&fast),
+                slot_digest(&reference),
+                "{} diverged from the reference engine on {label}",
+                alg.name()
+            );
+            assert_eq!(fast.makespan().to_bits(), reference.makespan().to_bits());
+        }
+    }
+}
+
 fn instance(n: usize, ccr: f64, procs: usize, beta: f64, seed: u64) -> (Dag, System) {
     let mut rng = StdRng::seed_from_u64(seed);
     let dag = random_dag(&RandomDagParams::new(n, 1.0, ccr), &mut rng);

@@ -14,7 +14,7 @@ pub struct Flags {
 }
 
 /// Known boolean switches (flags that take no value).
-const SWITCHES: &[&str] = &["quiet", "help", "stdin", "simulate"];
+const SWITCHES: &[&str] = &["quiet", "help", "stdin", "simulate", "trace"];
 
 impl Flags {
     /// Parse `args` (without the program/command names).

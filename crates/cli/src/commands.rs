@@ -176,6 +176,129 @@ pub fn schedule(flags: &Flags) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `explain` — trace one scheduling run: capture the decision log, engine
+/// counters, and phase timings, and export them as a human summary, an
+/// NDJSON event log, or a Chrome-trace JSON loadable in Perfetto /
+/// `chrome://tracing`.
+pub fn explain(flags: &Flags) -> Result<String, CliError> {
+    check_allowed(flags, &["dag", "system", "alg", "format", "out"])?;
+    let dag = load_dag(flags.require("dag")?)?;
+    let sys = load_system(flags.require("system")?, &dag)?;
+    let alg_name = flags.require("alg")?;
+    let alg = hetsched_core::algorithms::by_name(alg_name).ok_or_else(|| {
+        CliError(format!(
+            "unknown algorithm `{alg_name}`; run `hetsched-cli algorithms`"
+        ))
+    })?;
+    let (sched, trace) = hetsched_core::traced_schedule(&alg, &dag, &sys);
+    validate(&dag, &sys, &sched)
+        .map_err(|e| CliError(format!("internal error: invalid schedule: {e}")))?;
+    // Zero-perturbation guarantee, cross-checked on every run: the traced
+    // schedule must be bit-identical to an untraced one.
+    let untraced = alg.schedule(&dag, &sys);
+    if serde_json::to_string(&sched)? != serde_json::to_string(&untraced)? {
+        return Err(CliError(
+            "internal error: tracing perturbed the schedule".into(),
+        ));
+    }
+
+    let format = flags.get("format").unwrap_or("summary");
+    let payload = match format {
+        "summary" => explain_summary(alg_name, &sys, &sched, &trace),
+        "ndjson" => hetsched_trace::ndjson::event_log(&trace),
+        "chrome-trace" => hetsched_trace::chrome::to_chrome_trace(&trace, sys.num_procs()),
+        other => {
+            return Err(CliError(format!(
+                "unknown --format `{other}` (summary, ndjson, chrome-trace)"
+            )))
+        }
+    };
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, &payload)?;
+        Ok(format!(
+            "wrote {format} trace ({} events, {} placements) to {path}\n",
+            trace.events.len(),
+            trace.num_placements(),
+        ))
+    } else {
+        Ok(payload)
+    }
+}
+
+/// Human-readable `explain` report: run header, phase timings, engine
+/// counters, and the placement decision log.
+fn explain_summary(
+    alg_name: &str,
+    sys: &System,
+    sched: &Schedule,
+    trace: &hetsched_trace::Trace,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{alg_name} on {} tasks x {} processors: makespan {:.4}, {} events, {} placements ({} duplicates), {:.3} ms",
+        sched.num_scheduled(),
+        sys.num_procs(),
+        sched.makespan(),
+        trace.events.len(),
+        trace.num_placements(),
+        sched.num_duplicates(),
+        trace.wall_ns as f64 / 1e6,
+    );
+    if !trace.phases.is_empty() {
+        let _ = writeln!(out, "phases:");
+        for p in &trace.phases {
+            let pct = if trace.wall_ns > 0 {
+                100.0 * p.dur_ns as f64 / trace.wall_ns as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>10.3} ms  ({pct:.1}%)",
+                p.name,
+                p.dur_ns as f64 / 1e6
+            );
+        }
+    }
+    let c = &trace.counters;
+    let _ = writeln!(out, "engine counters:");
+    for (name, v) in [
+        ("eft_best_queries", c.eft_best_queries),
+        ("eft_candidate_queries", c.eft_candidate_queries),
+        ("drt_frontier_builds", c.drt_frontier_builds),
+        ("drt_single_copy_preds", c.drt_single_copy_preds),
+        ("drt_multi_copy_preds", c.drt_multi_copy_preds),
+        ("gap_fast_rejects", c.gap_fast_rejects),
+        ("gap_cached_searches", c.gap_cached_searches),
+        ("gap_full_scans", c.gap_full_scans),
+        ("append_queries", c.append_queries),
+        ("timeline_inserts", c.timeline_inserts),
+    ] {
+        let _ = writeln!(out, "  {name:<22} {v}");
+    }
+    let _ = writeln!(out, "decisions (start-time order):");
+    for e in &trace.events {
+        if let hetsched_trace::Event::Placed {
+            step,
+            task,
+            proc,
+            start,
+            finish,
+            duplicate,
+        } = e
+        {
+            let _ = writeln!(
+                out,
+                "  step {step:>4}: task {task:>4} -> proc {proc:>3}  [{start:.4}, {finish:.4}]{}",
+                if *duplicate { "  (duplicate)" } else { "" }
+            );
+        }
+    }
+    out
+}
+
 /// `validate` — re-check a stored schedule.
 pub fn validate_cmd(flags: &Flags) -> Result<String, CliError> {
     check_allowed(flags, &["dag", "system", "schedule"])?;
@@ -367,6 +490,7 @@ pub fn request(flags: &Flags) -> Result<String, CliError> {
     let op = flags.get("op").unwrap_or("schedule");
     let line = match op {
         "stats" => r#"{"op":"stats"}"#.to_string(),
+        "metrics" => r#"{"op":"metrics"}"#.to_string(),
         "shutdown" => r#"{"op":"shutdown"}"#.to_string(),
         "schedule" => {
             let read_json = |path: &str| -> Result<serde_json::Value, CliError> {
@@ -379,6 +503,9 @@ pub fn request(flags: &Flags) -> Result<String, CliError> {
             let mut options = serde_json::Map::new();
             if flags.has("simulate") {
                 options.insert("simulate", serde_json::Value::Bool(true));
+            }
+            if flags.has("trace") {
+                options.insert("trace", serde_json::Value::Bool(true));
             }
             if let Some(ms) = flags.get("deadline-ms") {
                 let ms: u64 = ms
@@ -399,7 +526,7 @@ pub fn request(flags: &Flags) -> Result<String, CliError> {
         }
         other => {
             return Err(CliError(format!(
-                "unknown --op `{other}` (schedule, stats, shutdown)"
+                "unknown --op `{other}` (schedule, stats, metrics, shutdown)"
             )))
         }
     };
@@ -415,6 +542,14 @@ pub fn request(flags: &Flags) -> Result<String, CliError> {
     BufReader::new(stream).read_line(&mut reply)?;
     if reply.is_empty() {
         return Err(CliError(format!("{addr} closed the connection")));
+    }
+    // The `metrics` op answers Prometheus text wrapped in the JSON
+    // envelope; unwrap it so the output scrapes directly.
+    if op == "metrics" {
+        let v: serde_json::Value = serde_json::from_str(reply.trim_end())?;
+        if let Some(text) = v.get("metrics").and_then(serde_json::Value::as_str) {
+            return Ok(text.to_string());
+        }
     }
     Ok(format!("{}\n", reply.trim_end()))
 }
@@ -523,6 +658,65 @@ mod tests {
             let dag = load_dag(&path).unwrap();
             assert!(dag.num_tasks() > 0);
         }
+    }
+
+    #[test]
+    fn explain_formats_and_outputs() {
+        let dag_path = tmp("explain-dag.json");
+        let sys_path = tmp("explain-sys.json");
+        let trace_path = tmp("explain-trace.json");
+        generate(&argv(&format!(
+            "--kind gauss --m 5 --ccr 1.0 --seed 9 --out {dag_path}"
+        )))
+        .unwrap();
+        write_system(&sys_path);
+
+        // summary: header + phases + counters + decision log
+        let msg = explain(&argv(&format!(
+            "--dag {dag_path} --system {sys_path} --alg ILS-D"
+        )))
+        .unwrap();
+        assert!(msg.contains("ILS-D on 14 tasks x 3 processors"), "{msg}");
+        assert!(msg.contains("engine counters:"), "{msg}");
+        assert!(msg.contains("eft_best_queries"), "{msg}");
+        assert!(msg.contains("decisions (start-time order):"), "{msg}");
+        assert!(msg.contains("-> proc"), "{msg}");
+
+        // ndjson: one self-describing JSON object per line
+        let nd = explain(&argv(&format!(
+            "--dag {dag_path} --system {sys_path} --alg HEFT --format ndjson"
+        )))
+        .unwrap();
+        let mut placements = 0;
+        for line in nd.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(v["event"].as_str().is_some(), "line: {line}");
+            if v["event"].as_str() == Some("placed") {
+                placements += 1;
+            }
+        }
+        assert_eq!(placements, 14);
+
+        // chrome-trace to a file: valid JSON with per-processor lanes
+        let msg = explain(&argv(&format!(
+            "--dag {dag_path} --system {sys_path} --alg HEFT --format chrome-trace --out {trace_path}"
+        )))
+        .unwrap();
+        assert!(msg.contains("wrote chrome-trace trace"), "{msg}");
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+        let events = v
+            .get("traceEvents")
+            .and_then(serde_json::Value::as_array)
+            .unwrap();
+        assert!(!events.is_empty());
+
+        // unknown format is reported
+        let err = explain(&argv(&format!(
+            "--dag {dag_path} --system {sys_path} --alg HEFT --format nope"
+        )))
+        .unwrap_err();
+        assert!(err.0.contains("unknown --format"), "{err}");
     }
 
     #[test]
@@ -640,6 +834,31 @@ mod tests {
         let reply = request(&argv(&format!("--addr {addr} --op stats"))).unwrap();
         let v: serde_json::Value = serde_json::from_str(reply.trim()).unwrap();
         assert_eq!(v["stats"]["computed"].as_u64(), Some(1));
+
+        // a traced request attaches the trace payload
+        let reply = request(&argv(&format!(
+            "--addr {addr} --dag {dag_path} --system {sys_path} --alg HEFT --trace"
+        )))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(reply.trim()).unwrap();
+        assert!(
+            v["schedule"]["trace"]["counters"]["eft_best_queries"]
+                .as_u64()
+                .unwrap()
+                > 0,
+            "reply: {reply}"
+        );
+
+        // the metrics op prints unwrapped Prometheus text
+        let text = request(&argv(&format!("--addr {addr} --op metrics"))).unwrap();
+        assert!(
+            text.contains("# TYPE hetsched_requests_total counter"),
+            "{text}"
+        );
+        assert!(
+            text.contains("hetsched_algorithm_latency_seconds_count{algorithm=\"HEFT\"}"),
+            "{text}"
+        );
 
         let err = request(&argv(&format!("--addr {addr} --op frobnicate"))).unwrap_err();
         assert!(err.0.contains("unknown --op"), "{err}");

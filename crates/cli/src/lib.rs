@@ -67,6 +67,10 @@ commands:
   schedule    schedule a DAG onto a system
               --dag FILE --system FILE --alg NAME
               [--out FILE] [--gantt FILE.svg] [--dot FILE.dot] [--quiet]
+  explain     trace a scheduling run: decision log, engine counters, and
+              phase timings
+              --dag FILE --system FILE --alg NAME
+              [--format summary|ndjson|chrome-trace] [--out FILE]
   validate    check a schedule against DAG + system
               --dag FILE --system FILE --schedule FILE
   simulate    replay a schedule in the discrete-event simulator
@@ -80,7 +84,8 @@ commands:
               [--addr HOST:PORT] [--stdin] [--workers N] [--queue N]
               [--cache N] [--deadline-ms MS]
   request     send one request to a running daemon and print the reply
-              --addr HOST:PORT [--op schedule|stats|shutdown]
+              --addr HOST:PORT [--op schedule|stats|metrics|shutdown]
               [--dag FILE --system FILE --alg NAME]
-              [--simulate] [--deadline-ms MS]
+              [--simulate] [--trace] [--deadline-ms MS]
+              (--op metrics prints the Prometheus text unwrapped)
   algorithms  list scheduler names usable with --alg";

@@ -65,11 +65,20 @@ impl Scheduler for Heft {
     }
 
     fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
-        let rank = upward_rank(dag, sys, self.agg);
+        let rank = {
+            let _span = hetsched_trace::span("rank");
+            upward_rank(dag, sys, self.agg)
+        };
         let order = sort_by_priority_desc(&rank);
         let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
         let mut ctx = EftContext::new(sys);
-        for t in order {
+        let _span = hetsched_trace::span("eft_loop");
+        for (step, t) in order.into_iter().enumerate() {
+            hetsched_trace::emit(|| hetsched_trace::Event::TaskSelected {
+                step: step as u64,
+                task: t.index() as u32,
+                priority: rank[t.index()],
+            });
             let (p, start, finish) = ctx.best_eft(dag, sys, &sched, t, self.insertion);
             sched
                 .insert(t, p, start, finish - start)

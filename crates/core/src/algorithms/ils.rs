@@ -200,12 +200,21 @@ impl Scheduler for IlsH {
     }
 
     fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
-        let rank = upward_rank(dag, sys, self.agg);
+        let rank = {
+            let _span = hetsched_trace::span("rank");
+            upward_rank(dag, sys, self.agg)
+        };
         let order = sort_by_priority_desc(&rank);
         let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
         let mut ctx = EftContext::new(sys);
         let mut cands = Vec::with_capacity(sys.num_procs());
-        for t in order {
+        let _span = hetsched_trace::span("place_loop");
+        for (step, t) in order.into_iter().enumerate() {
+            hetsched_trace::emit(|| hetsched_trace::Event::TaskSelected {
+                step: step as u64,
+                task: t.index() as u32,
+                priority: rank[t.index()],
+            });
             select_and_place(
                 dag,
                 sys,
@@ -257,12 +266,21 @@ impl Scheduler for IlsD {
     }
 
     fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
-        let rank = upward_rank(dag, sys, self.agg);
+        let rank = {
+            let _span = hetsched_trace::span("rank");
+            upward_rank(dag, sys, self.agg)
+        };
         let order = sort_by_priority_desc(&rank);
         let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
         let mut ctx = EftContext::new(sys);
         let mut cands = Vec::with_capacity(sys.num_procs());
-        for t in order {
+        let _span = hetsched_trace::span("place_loop");
+        for (step, t) in order.into_iter().enumerate() {
+            hetsched_trace::emit(|| hetsched_trace::Event::TaskSelected {
+                step: step as u64,
+                task: t.index() as u32,
+                priority: rank[t.index()],
+            });
             select_and_place(
                 dag,
                 sys,
@@ -308,14 +326,22 @@ impl Scheduler for IlsM {
 
     fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
         let agg = CostAggregation::Mean;
-        let alap = alst(dag, sys, agg);
+        let (alap, rank) = {
+            let _span = hetsched_trace::span("rank");
+            // lookahead uses upward rank to find critical children
+            (alst(dag, sys, agg), upward_rank(dag, sys, agg))
+        };
         let order = alap_order(dag, &alap);
-        // lookahead uses upward rank to find critical children
-        let rank = upward_rank(dag, sys, agg);
         let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
         let mut ctx = EftContext::new(sys);
         let mut cands = Vec::with_capacity(sys.num_procs());
-        for t in order {
+        let _span = hetsched_trace::span("place_loop");
+        for (step, t) in order.into_iter().enumerate() {
+            hetsched_trace::emit(|| hetsched_trace::Event::TaskSelected {
+                step: step as u64,
+                task: t.index() as u32,
+                priority: alap[t.index()],
+            });
             select_and_place(
                 dag,
                 sys,

@@ -103,6 +103,7 @@ impl EftContext {
         t: TaskId,
     ) -> &[f64] {
         debug_assert_eq!(self.ready.len(), sys.num_procs());
+        hetsched_trace::counters(|c| c.drt_frontier_builds += 1);
         if self.reference {
             for (i, r) in self.ready.iter_mut().enumerate() {
                 *r = eft::data_ready_time(dag, sys, sched, t, ProcId(i as u32));
@@ -111,6 +112,7 @@ impl EftContext {
         }
         self.ready.fill(0.0);
         let net = sys.network();
+        let (mut single, mut multi) = (0u64, 0u64);
         for (u, data) in dag.predecessors(t) {
             let copies = sched.copies(u);
             assert!(
@@ -121,6 +123,7 @@ impl EftContext {
                 // Single copy (the overwhelmingly common case — duplication
                 // off): one transfer fanned out over the contiguous link
                 // rows of the source processor.
+                single += 1;
                 let (startup, inv_bw) = net.link_rows(*q);
                 for ((r, &su), &ib) in self.ready.iter_mut().zip(startup).zip(inv_bw) {
                     let arrival = fin + (su + data * ib);
@@ -129,6 +132,7 @@ impl EftContext {
             } else {
                 // Several copies: min over copies in copy order, exactly as
                 // `eft::arrival_from` folds.
+                multi += 1;
                 for (i, r) in self.ready.iter_mut().enumerate() {
                     let p = ProcId(i as u32);
                     let arrival = copies
@@ -139,6 +143,10 @@ impl EftContext {
                 }
             }
         }
+        hetsched_trace::counters(|c| {
+            c.drt_single_copy_preds += single;
+            c.drt_multi_copy_preds += multi;
+        });
         &self.ready
     }
 
@@ -153,22 +161,50 @@ impl EftContext {
         t: TaskId,
         insertion: bool,
     ) -> (ProcId, f64, f64) {
+        let tracing = hetsched_trace::enabled();
+        if tracing {
+            hetsched_trace::counters(|c| c.eft_best_queries += 1);
+        }
         if self.reference {
             return eft::best_eft(dag, sys, sched, t, insertion);
         }
         self.data_ready_all(dag, sys, sched, t);
         let durs = sys.etc().row(t);
         let mut best: Option<(ProcId, f64, f64)> = None;
+        let mut cands: Vec<hetsched_trace::Candidate> = Vec::new();
         for (i, (&ready, &dur)) in self.ready.iter().zip(durs).enumerate() {
             let p = ProcId(i as u32);
             let start = sched.earliest_start(p, ready, dur, insertion);
             let f = start + dur;
+            if tracing {
+                cands.push(hetsched_trace::Candidate {
+                    proc: i as u32,
+                    ready,
+                    start,
+                    finish: f,
+                });
+            }
             match best {
                 Some((_, _, bf)) if f >= bf => {}
                 _ => best = Some((p, start, f)),
             }
         }
-        best.expect("system has at least one processor")
+        let best = best.expect("system has at least one processor");
+        if tracing {
+            let (p, start, finish) = best;
+            // The chosen start precedes the timeline end exactly when the
+            // insertion policy filled a gap rather than appending.
+            let gap_used = start < sched.proc_finish(p);
+            hetsched_trace::emit(|| hetsched_trace::Event::EftDecision {
+                task: t.index() as u32,
+                proc: p.index() as u32,
+                start,
+                finish,
+                gap_used,
+                candidates: cands,
+            });
+        }
+        best
     }
 
     /// Near-tie candidate set of `t`, written into the caller-owned `out`
@@ -187,6 +223,7 @@ impl EftContext {
         out: &mut Vec<(ProcId, f64, f64)>,
     ) {
         debug_assert!(tolerance >= 0.0);
+        hetsched_trace::counters(|c| c.eft_candidate_queries += 1);
         out.clear();
         if self.reference {
             out.extend(eft::eft_candidates(

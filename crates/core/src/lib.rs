@@ -55,7 +55,7 @@ pub use schedule::{Schedule, Slot};
 pub use validate::{validate, ValidationError};
 
 use hetsched_dag::Dag;
-use hetsched_platform::System;
+use hetsched_platform::{ProcId, System};
 
 /// A static scheduling algorithm: maps a task graph and a target system to
 /// a complete [`Schedule`].
@@ -87,6 +87,55 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
     fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
         (**self).schedule(dag, sys)
     }
+}
+
+/// Schedule `dag` on `sys` with `alg` under a [`hetsched_trace`] capture,
+/// returning the schedule together with everything recorded.
+///
+/// On top of the events the instrumented engine emits while the algorithm
+/// runs (task selections, EFT decisions — speculative evaluations by
+/// lookahead/duplication/search schedulers included), this appends the
+/// **placement decision log**: one [`hetsched_trace::Event::Placed`]
+/// record per slot of the *final* schedule, in start-time order. Deriving
+/// placements from the returned schedule rather than from `insert` calls
+/// keeps the log exact for every algorithm — trial schedules that search
+/// schedulers build and discard never pollute it — so the number of
+/// primary placement events always equals the number of scheduled tasks.
+///
+/// Tracing never perturbs scheduling: instrumentation only reads state,
+/// and the schedule returned here is bit-identical to
+/// `alg.schedule(dag, sys)` without a capture (enforced by property tests
+/// across the whole algorithm registry).
+pub fn traced_schedule<S: Scheduler + ?Sized>(
+    alg: &S,
+    dag: &Dag,
+    sys: &System,
+) -> (Schedule, hetsched_trace::Trace) {
+    let (sched, mut trace) = hetsched_trace::capture(|| alg.schedule(dag, sys));
+    let mut slots: Vec<(f64, u32, Slot)> = Vec::new();
+    for pi in 0..sched.num_procs() {
+        for s in sched.slots(ProcId(pi as u32)) {
+            slots.push((s.start, pi as u32, *s));
+        }
+    }
+    slots.sort_by(|a, b| {
+        a.0.total_cmp(&b.0)
+            .then_with(|| a.1.cmp(&b.1))
+            .then_with(|| a.2.task.cmp(&b.2.task))
+    });
+    trace
+        .events
+        .extend(slots.into_iter().enumerate().map(|(step, (_, proc, s))| {
+            hetsched_trace::Event::Placed {
+                step: step as u64,
+                task: s.task.index() as u32,
+                proc,
+                start: s.start,
+                finish: s.finish,
+                duplicate: s.duplicate,
+            }
+        }));
+    (sched, trace)
 }
 
 #[cfg(test)]

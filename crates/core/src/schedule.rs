@@ -279,6 +279,7 @@ impl Schedule {
     pub fn earliest_start(&self, p: ProcId, ready: f64, dur: f64, insertion: bool) -> f64 {
         let tl = &self.timelines[p.index()];
         if !insertion {
+            hetsched_trace::counters(|c| c.append_queries += 1);
             return ready.max(self.proc_finish(p));
         }
         let out = match self.cache.get(p.index()) {
@@ -291,7 +292,10 @@ impl Schedule {
             {
                 Self::earliest_start_cached(tl, c, ready, dur)
             }
-            _ => return Self::earliest_start_scan(tl, ready, dur),
+            _ => {
+                hetsched_trace::counters(|c| c.gap_full_scans += 1);
+                return Self::earliest_start_scan(tl, ready, dur);
+            }
         };
         debug_assert_eq!(
             out.to_bits(),
@@ -338,8 +342,10 @@ impl Schedule {
             return ready; // empty timeline
         };
         if dur > c.max_gap_ub + (c.scale + 1.0) * 1e-12 {
+            hetsched_trace::counters(|k| k.gap_fast_rejects += 1);
             return ready.max(last_max);
         }
+        hetsched_trace::counters(|k| k.gap_cached_searches += 1);
         let rd = ready + dur;
         let lo = tl.partition_point(|s| s.start + TIME_EPS < rd);
         let mut prev_finish = if lo == 0 { 0.0 } else { c.prefix_max[lo - 1] };
@@ -460,6 +466,7 @@ impl Schedule {
             }
         }
         self.copies[t.index()].push((p, finish));
+        hetsched_trace::counters(|c| c.timeline_inserts += 1);
         Ok(())
     }
 

@@ -1,5 +1,7 @@
 //! CLI configuration for the experiment harness.
 
+use hetsched_dag::Fingerprint;
+
 /// Usage string printed on argument errors.
 pub const USAGE: &str = "\
 usage: hetsched-exp <experiment-id|all|perf> [options]
@@ -32,6 +34,35 @@ pub struct Config {
     pub bench_out: Option<String>,
     /// `perf`: baseline benchmark JSON to compare against.
     pub check: Option<String>,
+}
+
+impl Config {
+    /// Fingerprint over every configuration field that influences the
+    /// numbers an experiment produces (`out_dir`/`bench_out`/`check` only
+    /// steer where output goes, so they are excluded).
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.tag("exp-config");
+        fp.push_u64(self.seed);
+        fp.push_usize(self.reps);
+        fp.push_usize(self.procs);
+        fp.push_u8(self.quick as u8);
+        fp.finish()
+    }
+
+    /// Reproducibility metadata echoed into every JSON output record: the
+    /// experiment id, the RNG seed and sweep parameters that generated the
+    /// numbers, and the config fingerprint tying them together.
+    pub fn meta_json(&self, id: &str) -> serde_json::Value {
+        serde_json::json!({
+            "experiment": id,
+            "seed": self.seed,
+            "reps": self.reps,
+            "procs": self.procs,
+            "quick": self.quick,
+            "config_fingerprint": format!("{:016x}", self.fingerprint()),
+        })
+    }
 }
 
 impl Default for Config {
@@ -136,6 +167,36 @@ mod tests {
     fn out_dash_disables_json() {
         let (_, cfg) = parse_args(&["x".into(), "--out".into(), "-".into()]).unwrap();
         assert!(cfg.out_dir.is_none());
+    }
+
+    #[test]
+    fn meta_echoes_seed_and_fingerprint() {
+        let cfg = Config {
+            seed: 7,
+            reps: 3,
+            quick: true,
+            ..Config::default()
+        };
+        let meta = cfg.meta_json("fig1-slr-vs-tasks");
+        assert_eq!(meta["experiment"].as_str(), Some("fig1-slr-vs-tasks"));
+        assert_eq!(meta["seed"].as_u64(), Some(7));
+        assert_eq!(meta["reps"].as_u64(), Some(3));
+        assert_eq!(meta["quick"].as_bool(), Some(true));
+        let fp = meta["config_fingerprint"].as_str().unwrap();
+        assert_eq!(fp.len(), 16);
+        // the fingerprint pins every result-influencing field
+        let other = Config {
+            seed: 8,
+            ..cfg.clone()
+        };
+        assert_ne!(cfg.fingerprint(), other.fingerprint());
+        assert_eq!(cfg.fingerprint(), cfg.clone().fingerprint());
+        // ...but not output routing
+        let routed = Config {
+            out_dir: None,
+            ..cfg.clone()
+        };
+        assert_eq!(cfg.fingerprint(), routed.fingerprint());
     }
 
     #[test]

@@ -182,8 +182,12 @@ fn serve_entries(cfg: &Config, reps: usize) -> Vec<BenchEntry> {
     }]
 }
 
-fn to_json(entries: &[BenchEntry]) -> Value {
+fn to_json(entries: &[BenchEntry], cfg: &Config) -> Value {
     let mut obj = serde_json::Map::new();
+    // `meta` pins the invocation (seed, reps, config fingerprint); the
+    // `--check` comparator looks up entries by their own ids only, so a
+    // baseline with or without this key works either way.
+    obj.insert("meta".to_string(), cfg.meta_json("perf"));
     for e in entries {
         obj.insert(
             e.id.clone(),
@@ -198,6 +202,59 @@ fn to_json(entries: &[BenchEntry]) -> Value {
         );
     }
     Value::Object(obj)
+}
+
+/// Phase-level profile: one traced run per headline algorithm on a
+/// fig10-sized instance, splitting wall time into the spans the schedulers
+/// mark (rank computation vs the placement loop). Runs with tracing
+/// enabled, so these numbers carry the (small) capture overhead and are
+/// reported separately from the benchmark entries `--check` compares.
+fn phase_profile(cfg: &Config) -> (String, Value) {
+    let n = if cfg.quick { 200usize } else { 1600 };
+    let seed = instance_seed(cfg.seed ^ 0xfa5e, n as u64, 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dag = random_dag(&RandomDagParams::new(n, 1.0, 1.0), &mut rng);
+    let sys = System::heterogeneous_random(&dag, cfg.procs, &EtcParams::range_based(1.0), &mut rng);
+
+    let mut table = TextTable::new(vec![
+        "algo".into(),
+        "phase".into(),
+        "ms".into(),
+        "share".into(),
+    ]);
+    let mut obj = serde_json::Map::new();
+    for name in ["HEFT", "ILS-H", "ILS-D"] {
+        let alg = by_name(name).expect("registry has the headline algorithms");
+        let (_sched, trace) = hetsched_core::traced_schedule(&alg, &dag, &sys);
+        let wall = trace.wall_ns.max(1) as f64;
+        let mut phases = Vec::new();
+        for p in &trace.phases {
+            let pct = 100.0 * p.dur_ns as f64 / wall;
+            table.row(vec![
+                name.to_string(),
+                p.name.clone(),
+                format!("{:.3}", p.dur_ns as f64 / 1e6),
+                format!("{pct:.1}%"),
+            ]);
+            phases.push(json!({
+                "name": p.name,
+                "ms": p.dur_ns as f64 / 1e6,
+                "pct": pct,
+            }));
+        }
+        obj.insert(
+            name.to_string(),
+            json!({
+                "wall_ms": trace.wall_ns as f64 / 1e6,
+                "phases": phases,
+            }),
+        );
+    }
+    let text = format!(
+        "== perf phase profile (traced, n={n}) ==\n{}",
+        table.render()
+    );
+    (text, json!({ "n": n, "algos": Value::Object(obj) }))
 }
 
 /// Compare fresh entries against a baseline JSON document. Returns the
@@ -276,8 +333,14 @@ pub fn run_perf(cfg: &Config) -> Result<(), String> {
     println!("== perf (median of {reps} runs) ==");
     println!("{}", table.render());
 
+    let (phase_text, phase_json) = phase_profile(cfg);
+    println!("{phase_text}");
+
     if let Some(path) = &cfg.bench_out {
-        let doc = to_json(&entries);
+        let mut doc = to_json(&entries, cfg);
+        if let Value::Object(map) = &mut doc {
+            map.insert("phase_profile".to_string(), phase_json);
+        }
         std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap())
             .map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote {path}");

@@ -54,9 +54,14 @@ fn run_one(id: &str, cfg: &Config) -> Result<(), String> {
     if !known.contains(&id) {
         return Err(format!("unknown experiment `{id}`; try `all`"));
     }
-    let report = experiments::run(id, cfg);
+    let mut report = experiments::run(id, cfg);
     println!("== {id} ==");
     println!("{}", report.text);
+    // Echo the seed and config fingerprint into every record, so any
+    // results file pins the exact invocation that produced it.
+    if let serde_json::Value::Object(map) = &mut report.json {
+        map.insert("meta".to_string(), cfg.meta_json(id));
+    }
     if let Some(dir) = &cfg.out_dir {
         std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
         let path = format!("{dir}/{id}.json");

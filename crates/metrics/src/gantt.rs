@@ -35,6 +35,25 @@ fn task_color(task: u32) -> String {
     format!("hsl({hue:.0}, 65%, 70%)")
 }
 
+/// Per-processor busy intervals of a schedule: for each lane, the
+/// `(start, finish)` pair of every slot in start-time order. This is the
+/// exact set of rectangles [`to_svg`] draws, exposed so other exporters of
+/// the same schedule (the Chrome-trace lanes in `hetsched-trace`) can be
+/// checked against the Gantt renderer interval for interval.
+pub fn busy_intervals(sched: &Schedule) -> Vec<Vec<(f64, f64)>> {
+    (0..sched.num_procs())
+        .map(|p| {
+            let mut lane: Vec<(f64, f64)> = sched
+                .slots(ProcId(p as u32))
+                .iter()
+                .map(|s| (s.start, s.finish))
+                .collect();
+            lane.sort_by(|a, b| a.0.total_cmp(&b.0));
+            lane
+        })
+        .collect()
+}
+
 /// Render `sched` as a standalone SVG document. One lane per processor,
 /// one rectangle per slot; duplicates are drawn hatched (dashed border)
 /// and labelled with `*`.
@@ -142,5 +161,48 @@ mod tests {
         let svg = to_svg(&s, &GanttStyle::default());
         assert!(svg.contains("</svg>"));
         assert_eq!(svg.matches("<rect").count(), 0);
+    }
+
+    #[test]
+    fn busy_intervals_cover_every_slot_in_order() {
+        let lanes = busy_intervals(&sample());
+        assert_eq!(lanes.len(), 2);
+        assert_eq!(lanes[0], vec![(0.0, 2.0), (2.0, 3.0)]);
+        assert_eq!(lanes[1], vec![(1.0, 4.0), (4.0, 6.0)]);
+    }
+
+    /// The Chrome-trace exporter and the Gantt renderer are two views of
+    /// the same schedule; their per-processor busy intervals must agree
+    /// exactly, lane by lane.
+    #[test]
+    fn chrome_trace_lanes_agree_with_gantt_intervals() {
+        use hetsched_core::traced_schedule;
+        use hetsched_dag::builder::dag_from_edges;
+        use hetsched_platform::{EtcMatrix, Network, System};
+
+        let dag = dag_from_edges(
+            &[2.0, 3.0, 3.0, 4.0, 2.0, 1.0],
+            &[
+                (0, 1, 4.0),
+                (0, 2, 3.0),
+                (1, 3, 2.0),
+                (2, 3, 5.0),
+                (2, 4, 1.0),
+                (3, 5, 2.0),
+                (4, 5, 3.0),
+            ],
+        )
+        .unwrap();
+        let etc = EtcMatrix::from_fn(6, 3, |t, p| 1.0 + ((t.index() * 3 + p.index()) % 5) as f64);
+        let sys = System::new(etc, Network::unit(3));
+        for alg_name in ["HEFT", "ILS-D"] {
+            let alg = hetsched_core::algorithms::by_name(alg_name).unwrap();
+            let (sched, trace) = traced_schedule(&alg, &dag, &sys);
+            assert_eq!(
+                hetsched_trace::chrome::lanes(&trace, sys.num_procs()),
+                busy_intervals(&sched),
+                "{alg_name}: Chrome-trace lanes diverge from Gantt intervals"
+            );
+        }
     }
 }

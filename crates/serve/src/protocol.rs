@@ -34,6 +34,13 @@ pub struct RequestOptions {
     /// `error`.
     #[serde(default)]
     pub debug_panic: bool,
+    /// Capture a scheduler trace while computing and attach it to the
+    /// response (`trace` field of the schedule payload): placement
+    /// decision log, engine counters, and phase timings. Tracing never
+    /// changes the produced schedule; it only observes. Part of the cache
+    /// key, so traced and untraced requests memoize separately.
+    #[serde(default)]
+    pub trace: bool,
 }
 
 /// A client request, dispatched on the `"op"` field.
@@ -58,6 +65,10 @@ pub enum Request {
     },
     /// Query service counters and latency quantiles.
     Stats,
+    /// Render every service metric family in the Prometheus text
+    /// exposition format (counters, gauges, latency histograms — global
+    /// and per algorithm).
+    Metrics,
     /// Begin graceful shutdown: stop accepting work, drain in-flight
     /// requests, then exit.
     Shutdown,
@@ -91,6 +102,23 @@ pub struct ScheduleBody {
     /// Zero-noise simulator replay, when `options.simulate` was set.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub sim: Option<SimBody>,
+    /// Scheduler trace, when `options.trace` was set.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trace: Option<TraceBody>,
+}
+
+/// Scheduler trace attached to a schedule response when `options.trace`
+/// is set. Cache hits return the trace captured when the schedule was
+/// first computed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceBody {
+    /// Engine counters accumulated over the whole run.
+    pub counters: hetsched_trace::Counters,
+    /// Phase-level profiling spans (rank computation, placement loop).
+    pub phases: Vec<hetsched_trace::PhaseSpan>,
+    /// Full event log: task selections, EFT decisions with per-processor
+    /// candidates, and the placement decision log of the final schedule.
+    pub events: Vec<hetsched_trace::Event>,
 }
 
 /// Simulator cross-check attached to a schedule response.
@@ -148,6 +176,9 @@ pub enum Response {
         /// Stats payload (`stats` op).
         #[serde(default, skip_serializing_if = "Option::is_none")]
         stats: Option<StatsBody>,
+        /// Prometheus text exposition (`metrics` op).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        metrics: Option<String>,
     },
     /// The bounded request queue is full; retry later.
     Busy {
@@ -184,6 +215,7 @@ impl Response {
         Response::Ok {
             schedule: Some(body),
             stats: None,
+            metrics: None,
         }
     }
 
@@ -192,6 +224,16 @@ impl Response {
         Response::Ok {
             schedule: None,
             stats: Some(body),
+            metrics: None,
+        }
+    }
+
+    /// Shorthand for a Prometheus metrics response.
+    pub fn metrics(text: impl Into<String>) -> Self {
+        Response::Ok {
+            schedule: None,
+            stats: None,
+            metrics: Some(text.into()),
         }
     }
 
@@ -234,9 +276,22 @@ mod tests {
             Request::Stats
         ));
         assert!(matches!(
+            Request::parse(r#"{"op":"metrics"}"#).unwrap(),
+            Request::Metrics
+        ));
+        assert!(matches!(
             Request::parse(r#"{"op":"shutdown"}"#).unwrap(),
             Request::Shutdown
         ));
+    }
+
+    #[test]
+    fn metrics_response_carries_text() {
+        let line = Response::metrics("# HELP x y\n# TYPE x counter\nx 1\n").to_line();
+        assert!(!line.contains('\n') || line.contains("\\n"));
+        let v: serde_json::Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(v["status"].as_str(), Some("ok"));
+        assert!(v["metrics"].as_str().unwrap().contains("# TYPE x counter"));
     }
 
     #[test]
@@ -267,5 +322,9 @@ mod tests {
         assert_eq!(opts.deadline_ms, Some(250));
         assert_eq!(opts.debug_sleep_ms, None);
         assert!(!opts.debug_panic);
+        assert!(!opts.trace);
+
+        let opts: RequestOptions = serde_json::from_str(r#"{"trace":true}"#).unwrap();
+        assert!(opts.trace);
     }
 }

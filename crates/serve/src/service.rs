@@ -39,8 +39,10 @@ use hetsched_platform::{System, SystemSpec};
 use hetsched_sim::{simulate, SimConfig};
 
 use crate::cache::LruCache;
-use crate::metrics::ServiceMetrics;
-use crate::protocol::{Request, RequestOptions, Response, ScheduleBody, SimBody, StatsBody};
+use crate::metrics::{GaugeSnapshot, ServiceMetrics};
+use crate::protocol::{
+    Request, RequestOptions, Response, ScheduleBody, SimBody, StatsBody, TraceBody,
+};
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -114,6 +116,7 @@ pub fn request_fingerprint(
     fp.push_u8(options.simulate as u8);
     fp.push_u8(options.debug_panic as u8);
     fp.push_u64(options.debug_sleep_ms.unwrap_or(0));
+    fp.push_u8(options.trace as u8);
     fp.finish()
 }
 
@@ -193,6 +196,7 @@ impl Service {
     pub fn handle(&self, req: Request) -> Response {
         match req {
             Request::Stats => Response::stats(self.stats_body()),
+            Request::Metrics => Response::metrics(self.metrics_text()),
             Request::Shutdown => {
                 self.begin_shutdown();
                 Response::ShuttingDown
@@ -224,6 +228,23 @@ impl Service {
             latency_p50_us: m.latency.quantile_us(0.50),
             latency_p99_us: m.latency.quantile_us(0.99),
         }
+    }
+
+    /// All metric families in Prometheus text exposition format.
+    pub fn metrics_text(&self) -> String {
+        let queue_depth = self
+            .tx
+            .lock()
+            .as_ref()
+            .map(|tx| tx.len() as u64)
+            .unwrap_or(0);
+        let gauges = GaugeSnapshot {
+            queue_depth,
+            cache_entries: self.shared.cache.lock().len() as u64,
+            workers: self.shared.config.workers as u64,
+            queue_capacity: self.shared.config.queue_capacity as u64,
+        };
+        self.shared.metrics.render_prometheus(&gauges)
     }
 
     fn handle_schedule(
@@ -267,7 +288,9 @@ impl Service {
             let mut body = hit.clone();
             body.cached = true;
             ServiceMetrics::bump(&m.cache_hits);
-            m.latency.record(started.elapsed());
+            let elapsed = started.elapsed();
+            m.latency.record(elapsed);
+            m.record_algorithm(&algorithm, elapsed);
             return Response::schedule(body);
         }
 
@@ -277,6 +300,7 @@ impl Service {
                 .unwrap_or(self.shared.config.default_deadline_ms),
         );
         let (reply_tx, reply_rx) = channel::bounded::<Response>(1);
+        let alg_name = algorithm.clone();
         let job = Job {
             dag,
             sys,
@@ -312,7 +336,9 @@ impl Service {
         match await_reply(&reply_rx, remaining) {
             Ok(resp) => {
                 if matches!(resp, Response::Ok { .. }) {
-                    m.latency.record(started.elapsed());
+                    let elapsed = started.elapsed();
+                    m.latency.record(elapsed);
+                    m.record_algorithm(&alg_name, elapsed);
                 }
                 resp
             }
@@ -393,7 +419,19 @@ fn compute(job: Job, shared: &Shared) -> Response {
         panic!("debug_panic requested by client");
     }
 
-    let sched = job.alg.schedule(&job.dag, &job.sys);
+    let (sched, trace) = if job.options.trace {
+        let (sched, trace) = hetsched_core::traced_schedule(&*job.alg, &job.dag, &job.sys);
+        (
+            sched,
+            Some(TraceBody {
+                counters: trace.counters,
+                phases: trace.phases,
+                events: trace.events,
+            }),
+        )
+    } else {
+        (job.alg.schedule(&job.dag, &job.sys), None)
+    };
     if let Err(e) = validate(&job.dag, &job.sys, &sched) {
         ServiceMetrics::bump(&shared.metrics.errors);
         return Response::error(format!(
@@ -419,6 +457,7 @@ fn compute(job: Job, shared: &Shared) -> Response {
         cached: false,
         schedule: sched,
         sim,
+        trace,
     };
     shared.cache.lock().insert(job.fingerprint, body.clone());
     ServiceMetrics::bump(&shared.metrics.computed);
@@ -633,6 +672,84 @@ mod tests {
         // New requests after shutdown are refused.
         let refused = svc.handle_line(&line);
         assert!(matches!(refused, Response::ShuttingDown), "got {refused:?}");
+    }
+
+    #[test]
+    fn metrics_op_renders_prometheus_text() {
+        let svc = Service::start(test_config());
+        svc.handle_line(&small_request(5, "HEFT", "{}"));
+        svc.handle_line(&small_request(5, "HEFT", "{}")); // cache hit
+        let resp = svc.handle_line(r#"{"op":"metrics"}"#);
+        let Response::Ok {
+            metrics: Some(text),
+            ..
+        } = &resp
+        else {
+            panic!("expected metrics payload, got {resp:?}");
+        };
+        for family in [
+            "hetsched_requests_total 2",
+            "hetsched_cache_hits_total 1",
+            "hetsched_cache_misses_total 1",
+            "hetsched_computed_total 1",
+            "hetsched_queue_depth 0",
+            "hetsched_queue_capacity 4",
+            "hetsched_cache_entries 1",
+            "hetsched_workers 2",
+            "# TYPE hetsched_request_latency_seconds histogram",
+            "hetsched_algorithm_latency_seconds_count{algorithm=\"HEFT\"} 2",
+        ] {
+            assert!(text.contains(family), "missing `{family}` in:\n{text}");
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn traced_request_attaches_trace_and_matches_untraced_schedule() {
+        let svc = Service::start(test_config());
+        let plain = svc.handle_line(&small_request(6, "HEFT", "{}"));
+        let traced = svc.handle_line(&small_request(6, "HEFT", "{\"trace\":true}"));
+        let Response::Ok {
+            schedule: Some(plain),
+            ..
+        } = &plain
+        else {
+            panic!("plain: {plain:?}");
+        };
+        let Response::Ok {
+            schedule: Some(traced),
+            ..
+        } = &traced
+        else {
+            panic!("traced: {traced:?}");
+        };
+        assert!(plain.trace.is_none());
+        let trace = traced.trace.as_ref().expect("trace requested");
+        // Tracing must not perturb the schedule.
+        assert_eq!(traced.makespan, plain.makespan);
+        assert_eq!(
+            serde_json::to_string(&traced.schedule).unwrap(),
+            serde_json::to_string(&plain.schedule).unwrap()
+        );
+        // One placement event per task, and the engine was exercised.
+        let placements = trace.events.iter().filter(|e| e.is_placement()).count();
+        assert_eq!(placements, 6);
+        assert!(trace.counters.eft_best_queries >= 6);
+        assert!(!trace.phases.is_empty());
+        // Traced and untraced requests memoize separately; a traced retry
+        // hits the cache and still carries the stored trace.
+        let retry = svc.handle_line(&small_request(6, "HEFT", "{\"trace\":true}"));
+        let Response::Ok {
+            schedule: Some(retry),
+            ..
+        } = &retry
+        else {
+            panic!("retry: {retry:?}");
+        };
+        assert!(retry.cached);
+        assert!(retry.trace.is_some());
+        assert_eq!(svc.stats_body().cache_hits, 1);
+        svc.shutdown();
     }
 
     #[test]

@@ -1,0 +1,286 @@
+//! # hetsched-trace
+//!
+//! Zero-cost-when-disabled structured tracing for the scheduling engine.
+//!
+//! The crate is a leaf: it knows nothing about DAGs, systems, or
+//! schedules. Instrumented code (the `hetsched-core` engine, the
+//! schedulers, the daemon) calls the free functions below; unless a
+//! [`capture`] is active on the current thread every call is a single
+//! thread-local boolean read followed by a predictable untaken branch —
+//! no allocation, no clock read, no event construction ([`emit`] takes a
+//! closure precisely so the event is never built when disabled).
+//!
+//! ## Model
+//!
+//! * [`capture`] runs a closure with tracing enabled on this thread and
+//!   returns whatever was recorded as a [`Trace`]: structured [`Event`]s,
+//!   monotonic engine [`Counters`], and wall-clock [`PhaseSpan`]s.
+//! * [`emit`] appends an event, [`counters`] updates the counters, and
+//!   [`span`] times a phase via an RAII guard.
+//! * Exporters turn a [`Trace`] into an NDJSON decision log
+//!   ([`ndjson`]) or a Chrome-trace JSON document loadable in
+//!   `chrome://tracing` / Perfetto ([`chrome`]).
+//!
+//! ## Zero-perturbation guarantee
+//!
+//! Instrumentation only ever *reads* scheduler state; enabling tracing
+//! must not change a single bit of any schedule. The workspace enforces
+//! this the same way the optimised engine is held to the reference
+//! semantics: property tests schedule every algorithm with tracing on and
+//! off and compare the schedules byte for byte.
+//!
+//! Captures are per-thread and do not nest meaningfully: starting a
+//! capture while one is active shadows the outer capture until the inner
+//! one finishes (the outer then resumes recording).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+mod event;
+pub mod ndjson;
+
+pub use event::{Candidate, Counters, Event, PhaseSpan, Trace};
+
+use std::cell::{Cell, RefCell};
+use std::time::Instant;
+
+/// Recording state of an in-progress capture on this thread.
+struct ActiveTrace {
+    t0: Instant,
+    events: Vec<Event>,
+    counters: Counters,
+    phases: Vec<PhaseSpan>,
+}
+
+thread_local! {
+    /// Fast-path gate: `true` iff a capture is active on this thread.
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    /// The collector behind the gate. Kept separate so the hot check is a
+    /// plain `Cell` read with no `RefCell` bookkeeping.
+    static ACTIVE: RefCell<Option<ActiveTrace>> = const { RefCell::new(None) };
+}
+
+/// Whether a trace capture is active on the current thread.
+///
+/// This is the only cost tracing adds to untraced runs: hot paths read
+/// this boolean and skip all instrumentation when it is `false`.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.with(Cell::get)
+}
+
+/// Apply `update` to the live collector, if any.
+#[inline]
+fn with_active(update: impl FnOnce(&mut ActiveTrace)) {
+    ACTIVE.with(|a| {
+        if let Some(t) = a.borrow_mut().as_mut() {
+            update(t);
+        }
+    });
+}
+
+/// Record a structured event. The closure is only invoked (and the event
+/// only constructed) when a capture is active.
+#[inline]
+pub fn emit(make: impl FnOnce() -> Event) {
+    if enabled() {
+        with_active(|t| {
+            let e = make();
+            t.events.push(e);
+        });
+    }
+}
+
+/// Update the engine counters of the live capture, e.g.
+/// `counters(|c| c.timeline_inserts += 1)`. No-op when disabled.
+#[inline]
+pub fn counters(update: impl FnOnce(&mut Counters)) {
+    if enabled() {
+        with_active(|t| update(&mut t.counters));
+    }
+}
+
+/// RAII guard returned by [`span`]: records a [`PhaseSpan`] when dropped
+/// (only if it was created while a capture was active).
+#[derive(Debug)]
+#[must_use = "a span measures the scope it is bound to; bind it to a variable"]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(started) = self.start {
+            let ended = Instant::now();
+            with_active(|t| {
+                let start_ns = saturating_ns(t.t0, started);
+                let dur_ns = saturating_ns(started, ended);
+                t.phases.push(PhaseSpan {
+                    name: self.name.to_string(),
+                    start_ns,
+                    dur_ns,
+                });
+            });
+        }
+    }
+}
+
+/// Nanoseconds from `a` to `b` (0 if `b` precedes `a`), clamped to `u64`.
+fn saturating_ns(a: Instant, b: Instant) -> u64 {
+    u64::try_from(b.saturating_duration_since(a).as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Start timing a named phase; the span is recorded when the returned
+/// guard drops. When no capture is active the guard is inert (no clock
+/// read at either end).
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    Span {
+        name,
+        start: enabled().then(Instant::now),
+    }
+}
+
+/// Run `f` with tracing enabled on this thread and return its result
+/// together with everything recorded.
+///
+/// The previous tracing state is restored on exit, including on unwind
+/// (a panicking `f` discards the partial capture).
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Trace) {
+    struct Restore {
+        prev: Option<ActiveTrace>,
+        prev_enabled: bool,
+    }
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            ACTIVE.with(|a| *a.borrow_mut() = self.prev.take());
+            ENABLED.with(|c| c.set(self.prev_enabled));
+        }
+    }
+
+    let fresh = ActiveTrace {
+        t0: Instant::now(),
+        events: Vec::new(),
+        counters: Counters::default(),
+        phases: Vec::new(),
+    };
+    let restore = Restore {
+        prev: ACTIVE.with(|a| a.borrow_mut().replace(fresh)),
+        prev_enabled: ENABLED.with(|c| c.replace(true)),
+    };
+
+    let out = f();
+
+    let active = ACTIVE
+        .with(|a| a.borrow_mut().take())
+        .expect("capture collector present: only `capture` itself removes it");
+    drop(restore);
+    let wall_ns = saturating_ns(active.t0, Instant::now());
+    (
+        out,
+        Trace {
+            events: active.events,
+            counters: active.counters,
+            phases: active.phases,
+            wall_ns,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn placed(step: u64, task: u32, start: f64, finish: f64, duplicate: bool) -> Event {
+        Event::Placed {
+            step,
+            task,
+            proc: 0,
+            start,
+            finish,
+            duplicate,
+        }
+    }
+
+    #[test]
+    fn disabled_by_default_and_all_calls_are_inert() {
+        assert!(!enabled());
+        emit(|| unreachable!("emit must not build events when disabled"));
+        counters(|_| unreachable!("counters must not run when disabled"));
+        let s = span("idle");
+        assert!(s.start.is_none());
+        drop(s);
+    }
+
+    #[test]
+    fn capture_records_events_counters_and_spans() {
+        let (value, trace) = capture(|| {
+            assert!(enabled());
+            emit(|| placed(0, 3, 0.0, 1.0, false));
+            emit(|| placed(1, 4, 1.0, 2.0, true));
+            counters(|c| c.timeline_inserts += 2);
+            {
+                let _s = span("phase_a");
+                std::hint::black_box(());
+            }
+            42
+        });
+        assert!(!enabled());
+        assert_eq!(value, 42);
+        assert_eq!(trace.events.len(), 2);
+        assert_eq!(trace.num_placements(), 2);
+        assert_eq!(trace.num_primary_placements(), 1);
+        assert_eq!(trace.counters.timeline_inserts, 2);
+        assert_eq!(trace.phases.len(), 1);
+        assert_eq!(trace.phases[0].name, "phase_a");
+    }
+
+    #[test]
+    fn nested_capture_shadows_then_restores_outer() {
+        let ((), outer) = capture(|| {
+            emit(|| placed(0, 0, 0.0, 1.0, false));
+            let ((), inner) = capture(|| {
+                emit(|| placed(0, 1, 0.0, 1.0, false));
+            });
+            assert_eq!(inner.events.len(), 1);
+            // the outer capture resumes
+            emit(|| placed(1, 2, 1.0, 2.0, false));
+        });
+        assert_eq!(outer.events.len(), 2);
+    }
+
+    #[test]
+    fn panic_inside_capture_restores_disabled_state() {
+        let r = std::panic::catch_unwind(|| {
+            capture(|| panic!("boom"));
+        });
+        assert!(r.is_err());
+        assert!(!enabled());
+        // a fresh capture still works
+        let ((), t) = capture(|| emit(|| placed(0, 0, 0.0, 1.0, false)));
+        assert_eq!(t.events.len(), 1);
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let e = Event::EftDecision {
+            task: 7,
+            proc: 1,
+            start: 2.5,
+            finish: 4.0,
+            gap_used: true,
+            candidates: vec![Candidate {
+                proc: 0,
+                ready: 1.0,
+                start: 3.0,
+                finish: 5.0,
+            }],
+        };
+        let s = serde_json::to_string(&e).unwrap();
+        assert!(s.contains("\"event\":\"eft_decision\""), "{s}");
+        let back: Event = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, e);
+    }
+}

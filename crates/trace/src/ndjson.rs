@@ -1,0 +1,67 @@
+//! NDJSON exporters: one self-describing JSON object per line.
+//!
+//! Two views of the same [`Trace`]:
+//!
+//! * [`event_log`] — every recorded event in emission order (selection and
+//!   EFT decisions first, the synthesized placement log last). This is the
+//!   full story of a run, speculation included.
+//! * [`decision_log`] — the placement decisions only: exactly one
+//!   [`Event::Placed`] line per committed slot, so the line count equals
+//!   scheduled tasks plus duplicates regardless of how much speculative
+//!   work the algorithm did.
+
+use crate::{Event, Trace};
+
+fn lines<'a>(events: impl Iterator<Item = &'a Event>) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&serde_json::to_string(e).expect("trace events serialize infallibly"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render every event of `trace` as NDJSON, one object per line.
+pub fn event_log(trace: &Trace) -> String {
+    lines(trace.events.iter())
+}
+
+/// Render only the placement decisions ([`Event::Placed`]) as NDJSON.
+pub fn decision_log(trace: &Trace) -> String {
+    lines(trace.events.iter().filter(|e| e.is_placement()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logs_split_events_correctly() {
+        let mut t = Trace::default();
+        t.events.push(Event::TaskSelected {
+            step: 0,
+            task: 0,
+            priority: 3.5,
+        });
+        t.events.push(Event::Placed {
+            step: 0,
+            task: 0,
+            proc: 1,
+            start: 0.0,
+            finish: 1.0,
+            duplicate: false,
+        });
+        let full = event_log(&t);
+        let decisions = decision_log(&t);
+        assert_eq!(full.lines().count(), 2);
+        assert_eq!(decisions.lines().count(), 1);
+        for line in full.lines() {
+            let e: Event = serde_json::from_str(line).unwrap();
+            assert!(matches!(
+                e,
+                Event::TaskSelected { .. } | Event::Placed { .. }
+            ));
+        }
+        assert!(decisions.contains("\"event\":\"placed\""));
+    }
+}

@@ -11,6 +11,7 @@ pub use hetsched_dag as dag;
 pub use hetsched_metrics as metrics;
 pub use hetsched_platform as platform;
 pub use hetsched_sim as sim;
+pub use hetsched_trace as trace;
 pub use hetsched_workloads as workloads;
 
 /// Commonly used items in one import.

@@ -1,0 +1,238 @@
+//! Observability property tests: tracing must never perturb scheduling,
+//! and the captured artifacts must be internally consistent — the decision
+//! log accounts for every committed slot, the NDJSON export parses line by
+//! line, and the Chrome-trace export carries one lane per processor.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hetsched::core::algorithms::{all_heterogeneous, by_name, homogeneous_set};
+use hetsched::core::{traced_schedule, validate, Schedule, Scheduler};
+use hetsched::prelude::*;
+use hetsched::workloads::{fft, gauss, laplace, random_dag, RandomDagParams};
+
+/// Bit-exact flattening of a schedule: processor, task, start/finish bits,
+/// duplicate flag for every slot, in timeline order.
+fn slot_digest(s: &Schedule) -> Vec<(usize, usize, u64, u64, bool)> {
+    let mut out = Vec::new();
+    for p in 0..s.num_procs() {
+        for slot in s.slots(ProcId(p as u32)) {
+            out.push((
+                p,
+                slot.task.index(),
+                slot.start.to_bits(),
+                slot.finish.to_bits(),
+                slot.duplicate,
+            ));
+        }
+    }
+    out
+}
+
+/// Assert the full tracing contract for one (algorithm, instance) pair:
+/// bit-identical schedule with tracing on vs off, and a decision log whose
+/// placement counts match the schedule exactly.
+fn assert_tracing_contract(alg: &dyn Scheduler, label: &str, dag: &Dag, sys: &System) {
+    let untraced = alg.schedule(dag, sys);
+    let (traced, trace) = traced_schedule(alg, dag, sys);
+    assert_eq!(
+        slot_digest(&traced),
+        slot_digest(&untraced),
+        "{} schedule perturbed by tracing on {label}",
+        alg.name()
+    );
+    assert_eq!(traced.makespan().to_bits(), untraced.makespan().to_bits());
+    assert_eq!(validate(dag, sys, &traced), Ok(()));
+    assert_eq!(
+        trace.num_primary_placements(),
+        dag.num_tasks(),
+        "{} decision log misses tasks on {label}",
+        alg.name()
+    );
+    assert_eq!(
+        trace.num_placements() - trace.num_primary_placements(),
+        traced.num_duplicates(),
+        "{} duplicate placements out of sync on {label}",
+        alg.name()
+    );
+    // the instrumented engine actually fired (every algorithm places via
+    // the EFT engine or timeline inserts)
+    assert!(
+        trace.counters.timeline_inserts as usize >= dag.num_tasks(),
+        "{} counters silent on {label}: {:?}",
+        alg.name(),
+        trace.counters
+    );
+}
+
+/// The workload grid of the conformance sweep: random DAGs at several
+/// CCRs, structured applications, and a homogeneous instance.
+fn grid() -> Vec<(String, Dag, System)> {
+    let mut grid: Vec<(String, Dag, System)> = Vec::new();
+    for (n, ccr) in [(30usize, 0.5), (30, 5.0), (80, 1.0)] {
+        let mut rng = StdRng::seed_from_u64(171 + n as u64);
+        let dag = random_dag(&RandomDagParams::new(n, 1.0, ccr), &mut rng);
+        let sys = System::heterogeneous_random(&dag, 5, &EtcParams::range_based(1.0), &mut rng);
+        grid.push((format!("random-n{n}-ccr{ccr}"), dag, sys));
+    }
+    let mut rng = StdRng::seed_from_u64(172);
+    let dag = gauss::gaussian_elimination(7, 1.0, &mut rng);
+    let sys = System::heterogeneous_random(&dag, 4, &EtcParams::range_based(1.0), &mut rng);
+    grid.push(("gauss-7".into(), dag, sys));
+    let mut rng = StdRng::seed_from_u64(173);
+    let dag = fft::fft_butterfly(16, 2.0, &mut rng);
+    let sys = System::heterogeneous_random(&dag, 4, &EtcParams::range_based(0.5), &mut rng);
+    grid.push(("fft-16".into(), dag, sys));
+    let mut rng = StdRng::seed_from_u64(174);
+    let dag = laplace::laplace_wavefront(5, 1.0, &mut rng);
+    let sys = System::heterogeneous_random(&dag, 4, &EtcParams::range_based(1.0), &mut rng);
+    grid.push(("laplace-5".into(), dag, sys));
+    grid
+}
+
+/// Every heterogeneous algorithm, on every grid instance: tracing on/off
+/// byte-identical and a complete decision log.
+#[test]
+fn tracing_never_perturbs_schedules_across_grid() {
+    for (label, dag, sys) in &grid() {
+        for alg in all_heterogeneous() {
+            assert_tracing_contract(&*alg, label, dag, sys);
+        }
+    }
+}
+
+/// The homogeneous algorithm set on a homogeneous machine, plus the
+/// registry-only search schedulers (branch-and-bound, CA-HEFT, GA) on a
+/// small instance — the speculative schedulers are exactly where a naive
+/// in-loop placement log would drift from the final schedule.
+#[test]
+fn tracing_contract_holds_for_search_and_homogeneous_schedulers() {
+    let mut rng = StdRng::seed_from_u64(175);
+    let dag = random_dag(&RandomDagParams::new(40, 1.0, 1.0), &mut rng);
+    let sys = System::homogeneous_unit(&dag, 4);
+    for alg in homogeneous_set() {
+        assert_tracing_contract(&*alg, "hom-40", &dag, &sys);
+    }
+
+    let mut rng = StdRng::seed_from_u64(176);
+    let dag = random_dag(&RandomDagParams::new(8, 1.0, 1.0), &mut rng);
+    let sys = System::heterogeneous_random(&dag, 3, &EtcParams::range_based(1.0), &mut rng);
+    for name in ["BNB", "CA-HEFT", "GA"] {
+        let Some(alg) = by_name(name) else {
+            panic!("registry lost {name}");
+        };
+        assert_tracing_contract(&*alg, "tiny-8", &dag, &sys);
+    }
+}
+
+/// The NDJSON export parses line by line, and its placement lines agree
+/// with the trace's own counts.
+#[test]
+fn ndjson_export_parses_and_counts_placements() {
+    let mut rng = StdRng::seed_from_u64(177);
+    let dag = random_dag(&RandomDagParams::new(50, 1.0, 1.0), &mut rng);
+    let sys = System::heterogeneous_random(&dag, 4, &EtcParams::range_based(1.0), &mut rng);
+    let alg = by_name("ILS-D").unwrap();
+    let (_sched, trace) = traced_schedule(&*alg, &dag, &sys);
+
+    let full = hetsched::trace::ndjson::event_log(&trace);
+    let mut placed = 0usize;
+    for line in full.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("NDJSON line parses");
+        assert!(v.get("event").is_some(), "line not self-describing: {line}");
+        if v["event"].as_str() == Some("placed") {
+            placed += 1;
+        }
+    }
+    assert_eq!(placed, trace.num_placements());
+
+    let decisions = hetsched::trace::ndjson::decision_log(&trace);
+    assert_eq!(decisions.lines().count(), trace.num_placements());
+    for line in decisions.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).unwrap();
+        assert_eq!(v["event"].as_str(), Some("placed"));
+    }
+}
+
+/// The Chrome-trace export is valid JSON with one named lane (thread
+/// metadata) per processor and one complete event per committed slot, and
+/// its per-processor busy intervals equal the schedule's slots.
+#[test]
+fn chrome_trace_export_has_one_lane_per_processor() {
+    let mut rng = StdRng::seed_from_u64(178);
+    let dag = random_dag(&RandomDagParams::new(40, 1.0, 1.0), &mut rng);
+    let sys = System::heterogeneous_random(&dag, 5, &EtcParams::range_based(1.0), &mut rng);
+    let alg = by_name("HEFT").unwrap();
+    let (sched, trace) = traced_schedule(&*alg, &dag, &sys);
+
+    let json = hetsched::trace::chrome::to_chrome_trace(&trace, sys.num_procs());
+    let v: serde_json::Value = serde_json::from_str(&json).expect("chrome trace parses");
+    let events = v
+        .get("traceEvents")
+        .and_then(serde_json::Value::as_array)
+        .expect("traceEvents array");
+
+    let lanes = events
+        .iter()
+        .filter(|e| {
+            e["ph"].as_str() == Some("M")
+                && e["name"].as_str() == Some("thread_name")
+                && e["pid"].as_u64() == Some(0)
+        })
+        .count();
+    assert_eq!(lanes, sys.num_procs(), "one metadata lane per processor");
+
+    let slots = events
+        .iter()
+        .filter(|e| e["ph"].as_str() == Some("X") && e["pid"].as_u64() == Some(0))
+        .count();
+    assert_eq!(slots, trace.num_placements());
+
+    // busy intervals from the trace agree with the schedule, lane by lane
+    let lanes = hetsched::trace::chrome::lanes(&trace, sys.num_procs());
+    for (p, lane) in lanes.iter().enumerate() {
+        let mut expected: Vec<(f64, f64)> = sched
+            .slots(ProcId(p as u32))
+            .iter()
+            .map(|s| (s.start, s.finish))
+            .collect();
+        expected.sort_by(|a, b| a.0.total_cmp(&b.0));
+        assert_eq!(lane, &expected, "lane {p} diverges from schedule");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized sweep of the tracing contract over every heterogeneous
+    /// algorithm: tracing on/off byte-identical schedules, decision-log
+    /// placement count equal to the number of scheduled tasks (plus
+    /// duplicates), on arbitrary instances.
+    #[test]
+    fn tracing_contract_randomized(
+        n in 2usize..45,
+        ccr in 0.0f64..6.0,
+        procs in 1usize..7,
+        seed in 0u64..100_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dag = random_dag(&RandomDagParams::new(n, 1.0, ccr), &mut rng);
+        let sys = System::heterogeneous_random(
+            &dag, procs, &EtcParams::range_based(1.0), &mut rng);
+        for alg in all_heterogeneous() {
+            let untraced = alg.schedule(&dag, &sys);
+            let (traced, trace) = traced_schedule(&*alg, &dag, &sys);
+            prop_assert_eq!(
+                slot_digest(&traced),
+                slot_digest(&untraced),
+                "{} perturbed (n={}, procs={}, seed={})", alg.name(), n, procs, seed
+            );
+            prop_assert_eq!(trace.num_primary_placements(), dag.num_tasks());
+            prop_assert_eq!(
+                trace.num_placements() - trace.num_primary_placements(),
+                traced.num_duplicates()
+            );
+        }
+    }
+}

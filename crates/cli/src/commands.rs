@@ -176,6 +176,80 @@ pub fn schedule(flags: &Flags) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `portfolio` — run a set of algorithms in parallel against one shared
+/// [`hetsched_core::ProblemInstance`] and report the per-algorithm
+/// makespan table plus the winning schedule.
+pub fn portfolio(flags: &Flags) -> Result<String, CliError> {
+    check_allowed(flags, &["dag", "system", "algs", "out", "gantt"])?;
+    let dag = load_dag(flags.require("dag")?)?;
+    let sys = load_system(flags.require("system")?, &dag)?;
+    let names: Vec<String> = match flags.get("algs") {
+        Some(s) => s
+            .split(',')
+            .map(|p| p.trim().to_string())
+            .filter(|p| !p.is_empty())
+            .collect(),
+        None => hetsched_core::algorithms::known_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    };
+    if names.is_empty() {
+        return Err(CliError("--algs lists no algorithms".into()));
+    }
+    let mut algs = Vec::with_capacity(names.len());
+    for name in &names {
+        algs.push(hetsched_core::algorithms::by_name(name).ok_or_else(|| {
+            CliError(format!(
+                "unknown algorithm `{name}`; run `hetsched-cli algorithms`"
+            ))
+        })?);
+    }
+    let inst = hetsched_core::ProblemInstance::new(dag, sys);
+    let refs: Vec<&(dyn hetsched_core::Scheduler + Send + Sync)> =
+        algs.iter().map(|b| &**b).collect();
+    let result = hetsched_core::run_portfolio(&inst, &refs);
+    let best = result.best_entry();
+    validate(inst.dag(), inst.sys(), &best.schedule)
+        .map_err(|e| CliError(format!("internal error: invalid schedule: {e}")))?;
+
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "portfolio over {} algorithms ({} tasks x {} processors):",
+        result.entries.len(),
+        inst.dag().num_tasks(),
+        inst.sys().num_procs()
+    );
+    for (i, entry) in result.entries.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {:<10} makespan {:>10.4}{}",
+            entry.algorithm,
+            entry.makespan,
+            if i == result.best { "  <- best" } else { "" }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "best: {} with makespan {:.4}, SLR {:.4}, speedup {:.3}",
+        best.algorithm,
+        best.makespan,
+        slr(inst.dag(), inst.sys(), best.makespan),
+        speedup(inst.dag(), inst.sys(), best.makespan),
+    );
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, serde_json::to_string_pretty(&best.schedule)?)?;
+        let _ = writeln!(out, "wrote best schedule to {path}");
+    }
+    if let Some(path) = flags.get("gantt") {
+        std::fs::write(path, to_svg(&best.schedule, &GanttStyle::default()))?;
+        let _ = writeln!(out, "wrote Gantt chart to {path}");
+    }
+    Ok(out)
+}
+
 /// `explain` — trace one scheduling run: capture the decision log, engine
 /// counters, and phase timings, and export them as a human summary, an
 /// NDJSON event log, or a Chrome-trace JSON loadable in Perfetto /
@@ -443,6 +517,7 @@ fn serve_config(flags: &Flags) -> Result<hetsched_serve::ServeConfig, CliError> 
         workers: flags.get_or("workers", d.workers)?,
         queue_capacity: flags.get_or("queue", d.queue_capacity)?,
         cache_capacity: flags.get_or("cache", d.cache_capacity)?,
+        instance_cache_capacity: flags.get_or("instance-cache", d.instance_cache_capacity)?,
         default_deadline_ms: flags.get_or("deadline-ms", d.default_deadline_ms)?,
     })
 }
@@ -450,7 +525,17 @@ fn serve_config(flags: &Flags) -> Result<hetsched_serve::ServeConfig, CliError> 
 /// `serve` — run the resident scheduling daemon until a `shutdown` request
 /// arrives. TCP by default; `--stdin` answers NDJSON on stdio instead.
 pub fn serve(flags: &Flags) -> Result<String, CliError> {
-    check_allowed(flags, &["addr", "workers", "queue", "cache", "deadline-ms"])?;
+    check_allowed(
+        flags,
+        &[
+            "addr",
+            "workers",
+            "queue",
+            "cache",
+            "instance-cache",
+            "deadline-ms",
+        ],
+    )?;
     let config = serve_config(flags)?;
     if flags.has("stdin") {
         let service = hetsched_serve::Service::start(config);
@@ -484,7 +569,7 @@ pub fn serve(flags: &Flags) -> Result<String, CliError> {
 pub fn request(flags: &Flags) -> Result<String, CliError> {
     check_allowed(
         flags,
-        &["addr", "op", "dag", "system", "alg", "deadline-ms"],
+        &["addr", "op", "dag", "system", "alg", "algs", "deadline-ms"],
     )?;
     let addr = flags.require("addr")?;
     let op = flags.get("op").unwrap_or("schedule");
@@ -524,9 +609,43 @@ pub fn request(flags: &Flags) -> Result<String, CliError> {
             req.insert("options", serde_json::Value::Object(options));
             serde_json::to_string(&serde_json::Value::Object(req))?
         }
+        "portfolio" => {
+            let read_json = |path: &str| -> Result<serde_json::Value, CliError> {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| CliError(format!("reading {path}: {e}")))?;
+                Ok(serde_json::from_str(&text)?)
+            };
+            let dag = read_json(flags.require("dag")?)?;
+            let system = read_json(flags.require("system")?)?;
+            // empty --algs (or none) means "every registered algorithm"
+            let algorithms: Vec<serde_json::Value> = flags
+                .get("algs")
+                .map(|s| {
+                    s.split(',')
+                        .map(str::trim)
+                        .filter(|p| !p.is_empty())
+                        .map(|p| serde_json::Value::String(p.into()))
+                        .collect()
+                })
+                .unwrap_or_default();
+            let mut options = serde_json::Map::new();
+            if let Some(ms) = flags.get("deadline-ms") {
+                let ms: u64 = ms
+                    .parse()
+                    .map_err(|e| CliError(format!("--deadline-ms: invalid value `{ms}` ({e})")))?;
+                options.insert("deadline_ms", serde_json::to_value(ms)?);
+            }
+            let mut req = serde_json::Map::new();
+            req.insert("op", serde_json::Value::String("portfolio".into()));
+            req.insert("dag", dag);
+            req.insert("system", system);
+            req.insert("algorithms", serde_json::Value::Array(algorithms));
+            req.insert("options", serde_json::Value::Object(options));
+            serde_json::to_string(&serde_json::Value::Object(req))?
+        }
         other => {
             return Err(CliError(format!(
-                "unknown --op `{other}` (schedule, stats, metrics, shutdown)"
+                "unknown --op `{other}` (schedule, portfolio, stats, metrics, shutdown)"
             )))
         }
     };
@@ -785,10 +904,14 @@ mod tests {
 
     #[test]
     fn serve_config_from_flags() {
-        let c = serve_config(&argv("--workers 3 --queue 9 --cache 11 --deadline-ms 1234")).unwrap();
+        let c = serve_config(&argv(
+            "--workers 3 --queue 9 --cache 11 --instance-cache 5 --deadline-ms 1234",
+        ))
+        .unwrap();
         assert_eq!(c.workers, 3);
         assert_eq!(c.queue_capacity, 9);
         assert_eq!(c.cache_capacity, 11);
+        assert_eq!(c.instance_cache_capacity, 5);
         assert_eq!(c.default_deadline_ms, 1234);
         let d = hetsched_serve::ServeConfig::default();
         assert_eq!(serve_config(&argv("")).unwrap().workers, d.workers);
@@ -811,6 +934,7 @@ mod tests {
                 workers: 2,
                 queue_capacity: 8,
                 cache_capacity: 8,
+                instance_cache_capacity: 8,
                 default_deadline_ms: 10_000,
             },
         )
@@ -860,12 +984,80 @@ mod tests {
             "{text}"
         );
 
+        // portfolio op: per-member table plus the winning schedule
+        let reply = request(&argv(&format!(
+            "--addr {addr} --op portfolio --dag {dag_path} --system {sys_path} --algs HEFT,CPOP,PETS"
+        )))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(reply.trim()).unwrap();
+        assert_eq!(v["status"].as_str(), Some("ok"), "reply: {reply}");
+        let entries = v["portfolio"]["entries"].as_array().unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0]["algorithm"].as_str(), Some("HEFT"));
+        let best = v["portfolio"]["best"].as_u64().unwrap() as usize;
+        let best_makespan = entries[best]["makespan"].as_f64().unwrap();
+        for e in entries {
+            assert!(e["makespan"].as_f64().unwrap() >= best_makespan);
+        }
+        assert_eq!(
+            v["portfolio"]["schedule"]["makespan"].as_f64(),
+            Some(best_makespan)
+        );
+
         let err = request(&argv(&format!("--addr {addr} --op frobnicate"))).unwrap_err();
         assert!(err.0.contains("unknown --op"), "{err}");
 
         let reply = request(&argv(&format!("--addr {addr} --op shutdown"))).unwrap();
         assert!(reply.contains("shutting_down"), "{reply}");
         daemon.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn portfolio_reports_table_and_writes_best_schedule() {
+        let dag_path = tmp("pf-dag.json");
+        let sys_path = tmp("pf-sys.json");
+        let sched_path = tmp("pf-sched.json");
+        generate(&argv(&format!(
+            "--kind gauss --m 6 --ccr 2.0 --seed 5 --out {dag_path}"
+        )))
+        .unwrap();
+        write_system(&sys_path);
+
+        let msg = portfolio(&argv(&format!(
+            "--dag {dag_path} --system {sys_path} --algs HEFT,CPOP,ILS-D --out {sched_path}"
+        )))
+        .unwrap();
+        assert!(msg.contains("portfolio over 3 algorithms"), "{msg}");
+        assert!(msg.contains("HEFT"), "{msg}");
+        assert!(msg.contains("<- best"), "{msg}");
+        assert!(msg.contains("best: "), "{msg}");
+
+        // the written schedule is the winner and validates
+        let sched = load_schedule(&sched_path).unwrap();
+        let dag = load_dag(&dag_path).unwrap();
+        let sys = load_system(&sys_path, &dag).unwrap();
+        assert_eq!(validate(&dag, &sys, &sched), Ok(()));
+        let mut best = f64::INFINITY;
+        for name in ["HEFT", "CPOP", "ILS-D"] {
+            let alg = hetsched_core::algorithms::by_name(name).unwrap();
+            best = best.min(alg.schedule(&dag, &sys).makespan());
+        }
+        assert_eq!(sched.makespan().to_bits(), best.to_bits());
+
+        // no --algs means the full registry
+        let msg = portfolio(&argv(&format!("--dag {dag_path} --system {sys_path}"))).unwrap();
+        let n = hetsched_core::algorithms::known_names().len();
+        assert!(
+            msg.contains(&format!("portfolio over {n} algorithms")),
+            "{msg}"
+        );
+
+        // unknown member is reported
+        let err = portfolio(&argv(&format!(
+            "--dag {dag_path} --system {sys_path} --algs HEFT,WAT"
+        )))
+        .unwrap_err();
+        assert!(err.0.contains("unknown algorithm `WAT`"), "{err}");
     }
 
     #[test]

@@ -67,6 +67,12 @@ commands:
   schedule    schedule a DAG onto a system
               --dag FILE --system FILE --alg NAME
               [--out FILE] [--gantt FILE.svg] [--dot FILE.dot] [--quiet]
+  portfolio   run several algorithms in parallel over one shared problem
+              instance; print the per-algorithm makespan table and keep
+              the best schedule
+              --dag FILE --system FILE [--algs A,B,C]
+              [--out FILE] [--gantt FILE.svg]
+              (no --algs runs every registered algorithm)
   explain     trace a scheduling run: decision log, engine counters, and
               phase timings
               --dag FILE --system FILE --alg NAME
@@ -82,10 +88,12 @@ commands:
               --from FILE --out FILE [--comm X]
   serve       run the resident scheduling daemon (NDJSON over TCP or stdin)
               [--addr HOST:PORT] [--stdin] [--workers N] [--queue N]
-              [--cache N] [--deadline-ms MS]
+              [--cache N] [--instance-cache N] [--deadline-ms MS]
   request     send one request to a running daemon and print the reply
-              --addr HOST:PORT [--op schedule|stats|metrics|shutdown]
-              [--dag FILE --system FILE --alg NAME]
+              --addr HOST:PORT
+              [--op schedule|portfolio|stats|metrics|shutdown]
+              [--dag FILE --system FILE --alg NAME] [--algs A,B,C]
               [--simulate] [--trace] [--deadline-ms MS]
-              (--op metrics prints the Prometheus text unwrapped)
+              (--op metrics prints the Prometheus text unwrapped;
+               --op portfolio fans --algs out across the worker pool)
   algorithms  list scheduler names usable with --alg";

@@ -30,6 +30,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "generate" => commands::generate(&flags),
         "schedule" => commands::schedule(&flags),
+        "portfolio" => commands::portfolio(&flags),
         "explain" => commands::explain(&flags),
         "validate" => commands::validate_cmd(&flags),
         "simulate" => commands::simulate_cmd(&flags),

@@ -17,7 +17,8 @@ use hetsched_dag::{Dag, TaskId};
 use hetsched_platform::{ProcId, System};
 
 use crate::cost::CostAggregation;
-use crate::rank::{sort_by_priority_desc, upward_rank};
+use crate::instance::ProblemInstance;
+use crate::rank::sort_by_priority_desc;
 use crate::schedule::Schedule;
 use crate::Scheduler;
 
@@ -106,8 +107,9 @@ impl Scheduler for CaHeft {
         "CA-HEFT"
     }
 
-    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
-        let rank = upward_rank(dag, sys, self.agg);
+    fn schedule_instance(&self, inst: &ProblemInstance) -> Schedule {
+        let (dag, sys) = (inst.dag(), inst.sys());
+        let rank = inst.upward_rank(self.agg);
         let order = sort_by_priority_desc(&rank);
         let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
         let mut ports = Ports::new(sys.num_procs());

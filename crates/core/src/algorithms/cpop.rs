@@ -4,13 +4,13 @@
 
 use std::collections::BinaryHeap;
 
-use hetsched_dag::{Dag, TaskId};
-use hetsched_platform::{ProcId, System};
+use hetsched_dag::TaskId;
+use hetsched_platform::ProcId;
 
 use crate::cost::CostAggregation;
 use crate::eft::eft_on;
 use crate::engine::EftContext;
-use crate::rank::{critical_path_tasks, downward_rank, upward_rank};
+use crate::instance::ProblemInstance;
 use crate::schedule::Schedule;
 use crate::Scheduler;
 
@@ -69,15 +69,16 @@ impl Scheduler for Cpop {
         "CPOP"
     }
 
-    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
-        let up = upward_rank(dag, sys, self.agg);
-        let down = downward_rank(dag, sys, self.agg);
-        let priority: Vec<f64> = up.iter().zip(&down).map(|(&u, &d)| u + d).collect();
+    fn schedule_instance(&self, inst: &ProblemInstance) -> Schedule {
+        let (dag, sys) = (inst.dag(), inst.sys());
+        let up = inst.upward_rank(self.agg);
+        let down = inst.downward_rank(self.agg);
+        let priority: Vec<f64> = up.iter().zip(down.iter()).map(|(&u, &d)| u + d).collect();
 
         // Critical-path processor: minimizes summed execution of CP tasks.
-        let cp_tasks = critical_path_tasks(dag, sys, self.agg);
+        let cp_tasks = inst.critical_path_tasks(self.agg);
         let mut on_cp = vec![false; dag.num_tasks()];
-        for &t in &cp_tasks {
+        for &t in cp_tasks.iter() {
             on_cp[t.index()] = true;
         }
         let cp_proc = sys
@@ -102,10 +103,10 @@ impl Scheduler for Cpop {
         let mut ctx = EftContext::new(sys);
         while let Some(Entry { task: t, .. }) = heap.pop() {
             let (p, start, finish) = if on_cp[t.index()] {
-                let (s, f) = eft_on(dag, sys, &sched, t, cp_proc, true);
+                let (s, f) = eft_on(inst, &sched, t, cp_proc, true);
                 (cp_proc, s, f)
             } else {
-                ctx.best_eft(dag, sys, &sched, t, true)
+                ctx.best_eft(inst, &sched, t, true)
             };
             sched
                 .insert(t, p, start, finish - start)
@@ -131,7 +132,7 @@ mod tests {
     use super::*;
     use crate::validate::validate;
     use hetsched_dag::builder::dag_from_edges;
-    use hetsched_platform::{EtcMatrix, Network};
+    use hetsched_platform::{EtcMatrix, Network, System};
 
     #[test]
     fn critical_path_lands_on_one_processor() {

@@ -14,12 +14,11 @@
 //! last finish, and `Δ` rewards placing a task on a processor that runs it
 //! faster than average. Classic DLS appends (no insertion).
 
-use hetsched_dag::{Dag, TaskId};
-use hetsched_platform::System;
+use hetsched_dag::TaskId;
 
 use crate::cost::CostAggregation;
 use crate::engine::EftContext;
-use crate::rank::static_level;
+use crate::instance::ProblemInstance;
 use crate::schedule::Schedule;
 use crate::Scheduler;
 
@@ -51,8 +50,9 @@ impl Scheduler for Dls {
         "DLS"
     }
 
-    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
-        let sl = static_level(dag, sys, self.agg);
+    fn schedule_instance(&self, inst: &ProblemInstance) -> Schedule {
+        let (dag, sys) = (inst.dag(), inst.sys());
+        let sl = inst.static_level(self.agg);
         let n = dag.num_tasks();
         let mut sched = Schedule::new(n, sys.num_procs());
         let mut remaining_preds: Vec<usize> = dag.task_ids().map(|t| dag.in_degree(t)).collect();
@@ -64,7 +64,7 @@ impl Scheduler for Dls {
             let mut best: Option<(usize, hetsched_platform::ProcId, f64, f64)> = None;
             for (ri, &t) in ready.iter().enumerate() {
                 let what = self.agg.exec(sys, t);
-                let drts = ctx.data_ready_all(dag, sys, &sched, t);
+                let drts = ctx.data_ready_all(inst, &sched, t);
                 for p in sys.proc_ids() {
                     let drt = drts[p.index()];
                     let start = drt.max(sched.proc_finish(p));
@@ -105,7 +105,7 @@ mod tests {
     use super::*;
     use crate::validate::validate;
     use hetsched_dag::builder::dag_from_edges;
-    use hetsched_platform::{EtcMatrix, Network, ProcId};
+    use hetsched_platform::{EtcMatrix, Network, ProcId, System};
 
     #[test]
     fn delta_prefers_affine_processor() {

@@ -12,9 +12,12 @@ use hetsched_dag::{Dag, TaskId};
 use hetsched_platform::{ProcId, System};
 
 use crate::cost::CostAggregation;
-use crate::eft::{arrival_from, critical_parent, data_ready_time, eft_on};
+use crate::eft::{
+    arrival_from, critical_parent_raw, data_ready_time_raw, eft_on_raw,
+};
 use crate::engine::EftContext;
-use crate::rank::{sort_by_priority_desc, upward_rank};
+use crate::instance::ProblemInstance;
+use crate::rank::sort_by_priority_desc;
 use crate::schedule::{Schedule, TIME_EPS};
 use crate::Scheduler;
 
@@ -36,15 +39,15 @@ pub(crate) fn place_with_duplication(
     p: ProcId,
 ) -> f64 {
     loop {
-        let (_, finish_now) = eft_on(dag, sys, sched, t, p, true);
-        let Some(u) = critical_parent(dag, sys, sched, t, p) else {
+        let (_, finish_now) = eft_on_raw(dag, sys, sched, t, p, true);
+        let Some(u) = critical_parent_raw(dag, sys, sched, t, p) else {
             break;
         };
         if sched.finish_on(u, p).is_some() {
             break; // already local
         }
         // Where could a copy of u go on p, honoring u's own parents?
-        let drt_u = data_ready_time(dag, sys, sched, u, p);
+        let drt_u = data_ready_time_raw(dag, sys, sched, u, p);
         let dur_u = sys.exec_time(u, p);
         let start_u = sched.earliest_start(p, drt_u, dur_u, true);
         let finish_u = start_u + dur_u;
@@ -60,12 +63,12 @@ pub(crate) fn place_with_duplication(
             .expect("gap search returned a free interval");
         // Only keep going if the consumer actually improved; otherwise a
         // different parent now dominates with no better options.
-        let (_, finish_after) = eft_on(dag, sys, sched, t, p, true);
+        let (_, finish_after) = eft_on_raw(dag, sys, sched, t, p, true);
         if finish_after + TIME_EPS >= finish_now {
             break;
         }
     }
-    let (start, finish) = eft_on(dag, sys, sched, t, p, true);
+    let (start, finish) = eft_on_raw(dag, sys, sched, t, p, true);
     sched
         .insert(t, p, start, finish - start)
         .expect("EFT placement is conflict-free");
@@ -108,8 +111,9 @@ impl Scheduler for DupHeft {
         "DUP-HEFT"
     }
 
-    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
-        let rank = upward_rank(dag, sys, self.agg);
+    fn schedule_instance(&self, inst: &ProblemInstance) -> Schedule {
+        let (dag, sys) = (inst.dag(), inst.sys());
+        let rank = inst.upward_rank(self.agg);
         let order = sort_by_priority_desc(&rank);
         let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
         let mut ctx = EftContext::new(sys);
@@ -117,7 +121,7 @@ impl Scheduler for DupHeft {
         for t in order {
             // rank candidate processors by plain EFT (infinite tolerance ->
             // all processors, sorted by finish then id)
-            ctx.eft_candidates_into(dag, sys, &sched, t, true, f64::INFINITY, &mut cand);
+            ctx.eft_candidates_into(inst, &sched, t, true, f64::INFINITY, &mut cand);
             cand.truncate(self.candidates.max(1));
 
             let mut best: Option<(f64, Schedule)> = None;

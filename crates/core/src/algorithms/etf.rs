@@ -4,12 +4,11 @@
 //! higher static level. The classic bounded-makespan homogeneous list
 //! scheduler; runs unchanged on heterogeneous ETC matrices.
 
-use hetsched_dag::{Dag, TaskId};
-use hetsched_platform::System;
+use hetsched_dag::TaskId;
 
 use crate::cost::CostAggregation;
 use crate::engine::EftContext;
-use crate::rank::static_level;
+use crate::instance::ProblemInstance;
 use crate::schedule::Schedule;
 use crate::Scheduler;
 
@@ -40,8 +39,9 @@ impl Scheduler for Etf {
         "ETF"
     }
 
-    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
-        let sl = static_level(dag, sys, self.agg);
+    fn schedule_instance(&self, inst: &ProblemInstance) -> Schedule {
+        let (dag, sys) = (inst.dag(), inst.sys());
+        let sl = inst.static_level(self.agg);
         let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
         let mut remaining_preds: Vec<usize> = dag.task_ids().map(|t| dag.in_degree(t)).collect();
         let mut ready: Vec<TaskId> = dag.entry_tasks().collect();
@@ -50,7 +50,7 @@ impl Scheduler for Etf {
         while !ready.is_empty() {
             let mut best: Option<(usize, hetsched_platform::ProcId, f64)> = None;
             for (ri, &t) in ready.iter().enumerate() {
-                let drts = ctx.data_ready_all(dag, sys, &sched, t);
+                let drts = ctx.data_ready_all(inst, &sched, t);
                 for p in sys.proc_ids() {
                     let drt = drts[p.index()];
                     let start = drt.max(sched.proc_finish(p));
@@ -95,6 +95,7 @@ mod tests {
     use super::*;
     use crate::validate::validate;
     use hetsched_dag::builder::dag_from_edges;
+    use hetsched_platform::System;
 
     #[test]
     fn fills_idle_processors_immediately() {

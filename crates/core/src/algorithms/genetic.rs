@@ -25,7 +25,7 @@ use hetsched_platform::{ProcId, System};
 
 use crate::algorithms::Heft;
 use crate::cost::CostAggregation;
-use crate::rank::upward_rank;
+use crate::instance::ProblemInstance;
 use crate::schedule::Schedule;
 use crate::Scheduler;
 
@@ -90,7 +90,7 @@ fn decode(dag: &Dag, sys: &System, ch: &Chromosome) -> Schedule {
             t
         };
         let p = ProcId(ch.assign[t.index()]);
-        let ready_time = crate::eft::data_ready_time(dag, sys, &sched, t, p);
+        let ready_time = crate::eft::data_ready_time_raw(dag, sys, &sched, t, p);
         let dur = sys.exec_time(t, p);
         let start = sched.earliest_start(p, ready_time, dur, true);
         sched
@@ -112,7 +112,8 @@ impl Scheduler for Genetic {
         "GA"
     }
 
-    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
+    fn schedule_instance(&self, inst: &ProblemInstance) -> Schedule {
+        let (dag, sys) = (inst.dag(), inst.sys());
         assert!(self.population >= 2, "population must be at least 2");
         let n = dag.num_tasks();
         let np = sys.num_procs() as u32;
@@ -120,9 +121,9 @@ impl Scheduler for Genetic {
 
         // seed individual: HEFT's upward ranks as priorities, HEFT's
         // assignment as genes — decodes to (essentially) HEFT's schedule
-        let heft_sched = Heft::new().schedule(dag, sys);
+        let heft_sched = Heft::new().schedule_instance(inst);
         let heft_chrom = Chromosome {
-            priority: upward_rank(dag, sys, CostAggregation::Mean),
+            priority: inst.upward_rank(CostAggregation::Mean).as_ref().clone(),
             assign: dag
                 .task_ids()
                 .map(|t| heft_sched.task_proc(t).expect("complete").0)
@@ -272,7 +273,7 @@ mod tests {
         let sys = System::heterogeneous_random(&dag, 4, &EtcParams::range_based(1.0), &mut rng);
         let heft_sched = Heft::new().schedule(&dag, &sys);
         let chrom = Chromosome {
-            priority: upward_rank(&dag, &sys, CostAggregation::Mean),
+            priority: crate::rank::upward_rank_raw(&dag, &sys, CostAggregation::Mean),
             assign: dag
                 .task_ids()
                 .map(|t| heft_sched.task_proc(t).unwrap().0)

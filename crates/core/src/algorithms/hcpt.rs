@@ -9,11 +9,10 @@
 //! `ALST(t) == AEST(t)`.
 
 use hetsched_dag::{Dag, TaskId};
-use hetsched_platform::System;
 
 use crate::cost::CostAggregation;
 use crate::engine::EftContext;
-use crate::rank::{aest, alst};
+use crate::instance::ProblemInstance;
 use crate::schedule::Schedule;
 use crate::Scheduler;
 
@@ -155,14 +154,15 @@ impl Scheduler for Hcpt {
         "HCPT"
     }
 
-    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
-        let a = aest(dag, sys, self.agg);
-        let l = alst(dag, sys, self.agg);
+    fn schedule_instance(&self, inst: &ProblemInstance) -> Schedule {
+        let (dag, sys) = (inst.dag(), inst.sys());
+        let a = inst.aest(self.agg);
+        let l = inst.alst(self.agg);
         let order = listing_order(dag, &a, &l);
         let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
         let mut ctx = EftContext::new(sys);
         for t in order {
-            let (p, start, finish) = ctx.best_eft(dag, sys, &sched, t, true);
+            let (p, start, finish) = ctx.best_eft(inst, &sched, t, true);
             sched
                 .insert(t, p, start, finish - start)
                 .expect("EFT placement is conflict-free");
@@ -198,8 +198,9 @@ mod tests {
     #[test]
     fn listing_order_is_topological_and_complete() {
         let (dag, sys) = setup();
-        let a = aest(&dag, &sys, CostAggregation::Mean);
-        let l = alst(&dag, &sys, CostAggregation::Mean);
+        let inst = ProblemInstance::from_refs(&dag, &sys);
+        let a = inst.aest(CostAggregation::Mean);
+        let l = inst.alst(CostAggregation::Mean);
         let order = listing_order(&dag, &a, &l);
         assert!(is_topological(&dag, &order));
     }
@@ -207,8 +208,9 @@ mod tests {
     #[test]
     fn critical_path_tasks_listed_before_slack_tasks_of_same_depth() {
         let (dag, sys) = setup();
-        let a = aest(&dag, &sys, CostAggregation::Mean);
-        let l = alst(&dag, &sys, CostAggregation::Mean);
+        let inst = ProblemInstance::from_refs(&dag, &sys);
+        let a = inst.aest(CostAggregation::Mean);
+        let l = inst.alst(CostAggregation::Mean);
         let order = listing_order(&dag, &a, &l);
         // t2 (critical branch) must come before t1 (slack branch)
         let pos = |t: TaskId| order.iter().position(|&x| x == t).unwrap();

@@ -2,12 +2,10 @@
 //! TPDS 2002). The reference list scheduler of the field and the primary
 //! baseline of every experiment in this repository.
 
-use hetsched_dag::Dag;
-use hetsched_platform::System;
-
 use crate::cost::CostAggregation;
 use crate::engine::EftContext;
-use crate::rank::{sort_by_priority_desc, upward_rank};
+use crate::instance::ProblemInstance;
+use crate::rank::sort_by_priority_desc;
 use crate::schedule::Schedule;
 use crate::Scheduler;
 
@@ -64,10 +62,11 @@ impl Scheduler for Heft {
         self.name
     }
 
-    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
+    fn schedule_instance(&self, inst: &ProblemInstance) -> Schedule {
+        let (dag, sys) = (inst.dag(), inst.sys());
         let rank = {
             let _span = hetsched_trace::span("rank");
-            upward_rank(dag, sys, self.agg)
+            inst.upward_rank(self.agg)
         };
         let order = sort_by_priority_desc(&rank);
         let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
@@ -79,7 +78,7 @@ impl Scheduler for Heft {
                 task: t.index() as u32,
                 priority: rank[t.index()],
             });
-            let (p, start, finish) = ctx.best_eft(dag, sys, &sched, t, self.insertion);
+            let (p, start, finish) = ctx.best_eft(inst, &sched, t, self.insertion);
             sched
                 .insert(t, p, start, finish - start)
                 .expect("EFT placement is conflict-free by construction");

@@ -5,12 +5,11 @@
 //! communication awareness in the priority). A floor every later
 //! heuristic should beat on communication-heavy graphs.
 
-use hetsched_dag::{Dag, TaskId};
-use hetsched_platform::System;
+use hetsched_dag::TaskId;
 
 use crate::cost::CostAggregation;
 use crate::engine::EftContext;
-use crate::rank::static_level;
+use crate::instance::ProblemInstance;
 use crate::schedule::Schedule;
 use crate::Scheduler;
 
@@ -41,8 +40,9 @@ impl Scheduler for Hlfet {
         "HLFET"
     }
 
-    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
-        let sl = static_level(dag, sys, self.agg);
+    fn schedule_instance(&self, inst: &ProblemInstance) -> Schedule {
+        let (dag, sys) = (inst.dag(), inst.sys());
+        let sl = inst.static_level(self.agg);
         let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
         let mut remaining_preds: Vec<usize> = dag.task_ids().map(|t| dag.in_degree(t)).collect();
         let mut ready: Vec<TaskId> = dag.entry_tasks().collect();
@@ -64,7 +64,7 @@ impl Scheduler for Hlfet {
                 t
             };
             // earliest-start processor (append policy)
-            let drts = ctx.data_ready_all(dag, sys, &sched, t);
+            let drts = ctx.data_ready_all(inst, &sched, t);
             let (p, start) = sys
                 .proc_ids()
                 .map(|p| {
@@ -95,6 +95,7 @@ mod tests {
     use super::*;
     use crate::validate::validate;
     use hetsched_dag::builder::dag_from_edges;
+    use hetsched_platform::System;
 
     #[test]
     fn prioritizes_long_chains() {

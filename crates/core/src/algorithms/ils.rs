@@ -28,7 +28,8 @@ use crate::algorithms::duplication::place_with_duplication;
 use crate::algorithms::mcp::alap_order;
 use crate::cost::CostAggregation;
 use crate::engine::EftContext;
-use crate::rank::{alst, sort_by_priority_desc, upward_rank};
+use crate::instance::ProblemInstance;
+use crate::rank::sort_by_priority_desc;
 use crate::schedule::{Schedule, TIME_EPS};
 use crate::Scheduler;
 
@@ -81,8 +82,7 @@ fn lookahead_score(
 /// and `cands` are scratch buffers owned by the caller's scheduling loop.
 #[allow(clippy::too_many_arguments)]
 fn select_and_place(
-    dag: &Dag,
-    sys: &System,
+    inst: &ProblemInstance,
     sched: &mut Schedule,
     ctx: &mut EftContext,
     cands: &mut Vec<(ProcId, f64, f64)>,
@@ -92,7 +92,8 @@ fn select_and_place(
     lookahead: bool,
     duplication: bool,
 ) {
-    ctx.eft_candidates_into(dag, sys, sched, t, true, tolerance, cands);
+    let (dag, sys) = (inst.dag(), inst.sys());
+    ctx.eft_candidates_into(inst, sched, t, true, tolerance, cands);
     let child = if lookahead {
         critical_child(dag, sys, rank, t)
     } else {
@@ -127,7 +128,7 @@ fn select_and_place(
     // the whole near-tie set, at most 3 extra).
     let near_ties = cands.len();
     let plain_best = cands[0]; // EFT-minimal placement without duplication
-    ctx.eft_candidates_into(dag, sys, sched, t, true, f64::INFINITY, cands);
+    ctx.eft_candidates_into(inst, sched, t, true, f64::INFINITY, cands);
     cands.truncate(near_ties.max(3));
     let mut best: Option<(f64, f64, Schedule)> = None; // (score, finish, trial)
     let consider =
@@ -199,15 +200,15 @@ impl Scheduler for IlsH {
         "ILS-H"
     }
 
-    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
+    fn schedule_instance(&self, inst: &ProblemInstance) -> Schedule {
         let rank = {
             let _span = hetsched_trace::span("rank");
-            upward_rank(dag, sys, self.agg)
+            inst.upward_rank(self.agg)
         };
         let order = sort_by_priority_desc(&rank);
-        let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
-        let mut ctx = EftContext::new(sys);
-        let mut cands = Vec::with_capacity(sys.num_procs());
+        let mut sched = Schedule::new(inst.dag().num_tasks(), inst.sys().num_procs());
+        let mut ctx = EftContext::new(inst.sys());
+        let mut cands = Vec::with_capacity(inst.sys().num_procs());
         let _span = hetsched_trace::span("place_loop");
         for (step, t) in order.into_iter().enumerate() {
             hetsched_trace::emit(|| hetsched_trace::Event::TaskSelected {
@@ -216,8 +217,7 @@ impl Scheduler for IlsH {
                 priority: rank[t.index()],
             });
             select_and_place(
-                dag,
-                sys,
+                inst,
                 &mut sched,
                 &mut ctx,
                 &mut cands,
@@ -265,15 +265,15 @@ impl Scheduler for IlsD {
         "ILS-D"
     }
 
-    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
+    fn schedule_instance(&self, inst: &ProblemInstance) -> Schedule {
         let rank = {
             let _span = hetsched_trace::span("rank");
-            upward_rank(dag, sys, self.agg)
+            inst.upward_rank(self.agg)
         };
         let order = sort_by_priority_desc(&rank);
-        let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
-        let mut ctx = EftContext::new(sys);
-        let mut cands = Vec::with_capacity(sys.num_procs());
+        let mut sched = Schedule::new(inst.dag().num_tasks(), inst.sys().num_procs());
+        let mut ctx = EftContext::new(inst.sys());
+        let mut cands = Vec::with_capacity(inst.sys().num_procs());
         let _span = hetsched_trace::span("place_loop");
         for (step, t) in order.into_iter().enumerate() {
             hetsched_trace::emit(|| hetsched_trace::Event::TaskSelected {
@@ -282,8 +282,7 @@ impl Scheduler for IlsD {
                 priority: rank[t.index()],
             });
             select_and_place(
-                dag,
-                sys,
+                inst,
                 &mut sched,
                 &mut ctx,
                 &mut cands,
@@ -324,17 +323,17 @@ impl Scheduler for IlsM {
         "ILS-M"
     }
 
-    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
+    fn schedule_instance(&self, inst: &ProblemInstance) -> Schedule {
         let agg = CostAggregation::Mean;
         let (alap, rank) = {
             let _span = hetsched_trace::span("rank");
             // lookahead uses upward rank to find critical children
-            (alst(dag, sys, agg), upward_rank(dag, sys, agg))
+            (inst.alst(agg), inst.upward_rank(agg))
         };
-        let order = alap_order(dag, &alap);
-        let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
-        let mut ctx = EftContext::new(sys);
-        let mut cands = Vec::with_capacity(sys.num_procs());
+        let order = alap_order(inst.dag(), &alap);
+        let mut sched = Schedule::new(inst.dag().num_tasks(), inst.sys().num_procs());
+        let mut ctx = EftContext::new(inst.sys());
+        let mut cands = Vec::with_capacity(inst.sys().num_procs());
         let _span = hetsched_trace::span("place_loop");
         for (step, t) in order.into_iter().enumerate() {
             hetsched_trace::emit(|| hetsched_trace::Event::TaskSelected {
@@ -343,8 +342,7 @@ impl Scheduler for IlsM {
                 priority: alap[t.index()],
             });
             select_and_place(
-                dag,
-                sys,
+                inst,
                 &mut sched,
                 &mut ctx,
                 &mut cands,
@@ -472,7 +470,7 @@ mod tests {
     fn critical_child_picks_heaviest_successor() {
         let dag = dag_from_edges(&[1.0, 5.0, 1.0], &[(0, 1, 2.0), (0, 2, 2.0)]).unwrap();
         let sys = System::homogeneous_unit(&dag, 2);
-        let rank = upward_rank(&dag, &sys, CostAggregation::Mean);
+        let rank = crate::rank::upward_rank_raw(&dag, &sys, CostAggregation::Mean);
         let cc = critical_child(&dag, &sys, &rank, hetsched_dag::TaskId(0));
         assert_eq!(cc.map(|(c, _)| c), Some(hetsched_dag::TaskId(1)));
         // exit task has no critical child

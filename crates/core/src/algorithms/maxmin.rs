@@ -3,10 +3,10 @@
 //! does not dangle at the end). Like Min-Min it ignores the critical
 //! path; the pair makes a useful bracket around batch heuristics.
 
-use hetsched_dag::{Dag, TaskId};
-use hetsched_platform::System;
+use hetsched_dag::TaskId;
 
 use crate::engine::EftContext;
+use crate::instance::ProblemInstance;
 use crate::schedule::Schedule;
 use crate::Scheduler;
 
@@ -26,7 +26,8 @@ impl Scheduler for MaxMin {
         "MaxMin"
     }
 
-    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
+    fn schedule_instance(&self, inst: &ProblemInstance) -> Schedule {
+        let (dag, sys) = (inst.dag(), inst.sys());
         let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
         let mut remaining_preds: Vec<usize> = dag.task_ids().map(|t| dag.in_degree(t)).collect();
         let mut ready: Vec<TaskId> = dag.entry_tasks().collect();
@@ -36,7 +37,7 @@ impl Scheduler for MaxMin {
             // pick the ready task with the LARGEST minimum EFT
             let mut best: Option<(usize, hetsched_platform::ProcId, f64, f64)> = None;
             for (ri, &t) in ready.iter().enumerate() {
-                let (p, s, f) = ctx.best_eft(dag, sys, &sched, t, true);
+                let (p, s, f) = ctx.best_eft(inst, &sched, t, true);
                 let better = match best {
                     None => true,
                     Some((bri, _, _, bf)) => f > bf || (f == bf && t < ready[bri]),
@@ -69,6 +70,7 @@ mod tests {
     use crate::algorithms::MinMin;
     use crate::validate::validate;
     use hetsched_dag::builder::dag_from_edges;
+    use hetsched_platform::System;
 
     #[test]
     fn schedules_longest_ready_task_first() {

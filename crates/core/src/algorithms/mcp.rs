@@ -12,11 +12,10 @@
 //! share one comparison set.
 
 use hetsched_dag::{Dag, TaskId};
-use hetsched_platform::System;
 
 use crate::cost::CostAggregation;
 use crate::engine::EftContext;
-use crate::rank::alst;
+use crate::instance::ProblemInstance;
 use crate::schedule::Schedule;
 use crate::Scheduler;
 
@@ -63,15 +62,16 @@ impl Scheduler for Mcp {
         "MCP"
     }
 
-    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
-        let alap = alst(dag, sys, self.agg);
+    fn schedule_instance(&self, inst: &ProblemInstance) -> Schedule {
+        let (dag, sys) = (inst.dag(), inst.sys());
+        let alap = inst.alst(self.agg);
         let order = alap_order(dag, &alap);
         let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
         let mut ctx = EftContext::new(sys);
         for t in order {
             // MCP selects the processor allowing the earliest *start*;
             // on homogeneous systems earliest start == earliest finish.
-            let (p, start, finish) = ctx.best_eft(dag, sys, &sched, t, true);
+            let (p, start, finish) = ctx.best_eft(inst, &sched, t, true);
             sched
                 .insert(t, p, start, finish - start)
                 .expect("placement is conflict-free");
@@ -95,7 +95,7 @@ mod tests {
         )
         .unwrap();
         let sys = System::homogeneous_unit(&dag, 2);
-        let alap = alst(&dag, &sys, CostAggregation::Mean);
+        let alap = ProblemInstance::from_refs(&dag, &sys).alst(CostAggregation::Mean);
         let order = alap_order(&dag, &alap);
         assert!(hetsched_dag::topo::is_topological(&dag, &order));
     }
@@ -106,7 +106,7 @@ mod tests {
         // tie-break must keep parents first.
         let dag = dag_from_edges(&[0.0, 0.0, 0.0], &[(0, 1, 0.0), (1, 2, 0.0)]).unwrap();
         let sys = System::homogeneous_unit(&dag, 2);
-        let alap = alst(&dag, &sys, CostAggregation::Mean);
+        let alap = ProblemInstance::from_refs(&dag, &sys).alst(CostAggregation::Mean);
         let order = alap_order(&dag, &alap);
         assert!(hetsched_dag::topo::is_topological(&dag, &order));
         let s = Mcp::new().schedule(&dag, &sys);

@@ -6,10 +6,10 @@
 //! which is exactly why it is a useful floor in comparisons: list
 //! schedulers that lose to Min-Min are mis-prioritizing.
 
-use hetsched_dag::{Dag, TaskId};
-use hetsched_platform::System;
+use hetsched_dag::TaskId;
 
 use crate::engine::EftContext;
+use crate::instance::ProblemInstance;
 use crate::schedule::Schedule;
 use crate::Scheduler;
 
@@ -29,7 +29,8 @@ impl Scheduler for MinMin {
         "MinMin"
     }
 
-    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
+    fn schedule_instance(&self, inst: &ProblemInstance) -> Schedule {
+        let (dag, sys) = (inst.dag(), inst.sys());
         let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
         let mut remaining_preds: Vec<usize> = dag.task_ids().map(|t| dag.in_degree(t)).collect();
         let mut ready: Vec<TaskId> = dag.entry_tasks().collect();
@@ -38,7 +39,7 @@ impl Scheduler for MinMin {
         while !ready.is_empty() {
             let mut best: Option<(usize, hetsched_platform::ProcId, f64, f64)> = None;
             for (ri, &t) in ready.iter().enumerate() {
-                let (p, s, f) = ctx.best_eft(dag, sys, &sched, t, true);
+                let (p, s, f) = ctx.best_eft(inst, &sched, t, true);
                 let better = match best {
                     None => true,
                     Some((bri, _, _, bf)) => f < bf || (f == bf && t < ready[bri]),
@@ -70,7 +71,7 @@ mod tests {
     use super::*;
     use crate::validate::validate;
     use hetsched_dag::builder::dag_from_edges;
-    use hetsched_platform::{EtcMatrix, Network, ProcId};
+    use hetsched_platform::{EtcMatrix, Network, ProcId, System};
 
     #[test]
     fn schedules_shortest_ready_task_first() {

@@ -26,7 +26,8 @@ use hetsched_dag::{Dag, TaskId};
 use hetsched_platform::System;
 
 use crate::algorithms::Heft;
-use crate::eft::eft_on;
+use crate::eft::eft_on_raw;
+use crate::instance::ProblemInstance;
 use crate::schedule::Schedule;
 use crate::Scheduler;
 
@@ -183,7 +184,7 @@ impl BranchAndBound {
                 let mut procs: Vec<(hetsched_platform::ProcId, f64, f64)> = sys
                     .proc_ids()
                     .map(|p| {
-                        let (s, f) = eft_on(dag, sys, &node.sched, t, p, true);
+                        let (s, f) = eft_on_raw(dag, sys, &node.sched, t, p, true);
                         (p, s, f)
                     })
                     .collect();
@@ -232,8 +233,8 @@ impl Scheduler for BranchAndBound {
         "BNB"
     }
 
-    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
-        self.solve(dag, sys).schedule
+    fn schedule_instance(&self, inst: &ProblemInstance) -> Schedule {
+        self.solve(inst.dag(), inst.sys()).schedule
     }
 }
 

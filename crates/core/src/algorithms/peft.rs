@@ -21,6 +21,7 @@ use hetsched_dag::{Dag, TaskId};
 use hetsched_platform::{ProcId, System};
 
 use crate::engine::EftContext;
+use crate::instance::ProblemInstance;
 use crate::rank::sort_by_priority_desc;
 use crate::schedule::Schedule;
 use crate::Scheduler;
@@ -68,7 +69,8 @@ impl Scheduler for Peft {
         "PEFT"
     }
 
-    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
+    fn schedule_instance(&self, inst: &ProblemInstance) -> Schedule {
+        let (dag, sys) = (inst.dag(), inst.sys());
         let np = sys.num_procs();
         let oct = oct_table(dag, sys);
         // priority: mean OCT over processors (rank_oct)
@@ -97,7 +99,7 @@ impl Scheduler for Peft {
                 .expect("a DAG always has a ready task");
             let t = pending.remove(pos);
             // choose processor minimizing EFT + OCT
-            let ready = ctx.data_ready_all(dag, sys, &sched, t);
+            let ready = ctx.data_ready_all(inst, &sched, t);
             let durs = sys.etc().row(t);
             let mut best: Option<(ProcId, f64, f64, f64)> = None; // (p, start, finish, key)
             for (i, p) in sys.proc_ids().enumerate() {

@@ -14,11 +14,11 @@
 //! Placement is insertion-based EFT, as in HEFT. PETS's selling point was
 //! HEFT-comparable schedules at lower prioritization cost.
 
-use hetsched_dag::{Dag, TaskId};
-use hetsched_platform::System;
+use hetsched_dag::TaskId;
 
 use crate::cost::CostAggregation;
 use crate::engine::EftContext;
+use crate::instance::ProblemInstance;
 use crate::schedule::Schedule;
 use crate::Scheduler;
 
@@ -44,28 +44,14 @@ impl Default for Pets {
     }
 }
 
-/// Compute PETS ranks (ACC + DTC + RPT) in topological order.
-fn pets_rank(dag: &Dag, sys: &System, agg: CostAggregation) -> Vec<f64> {
-    let mut rank = vec![0.0f64; dag.num_tasks()];
-    for &t in dag.topo_order() {
-        let acc = agg.exec(sys, t);
-        let dtc: f64 = dag.successors(t).map(|(_, data)| sys.mean_comm(data)).sum();
-        let rpt = dag
-            .predecessors(t)
-            .map(|(p, _)| rank[p.index()])
-            .fold(0.0f64, f64::max);
-        rank[t.index()] = (acc + dtc + rpt).round();
-    }
-    rank
-}
-
 impl Scheduler for Pets {
     fn name(&self) -> &'static str {
         "PETS"
     }
 
-    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
-        let rank = pets_rank(dag, sys, self.agg);
+    fn schedule_instance(&self, inst: &ProblemInstance) -> Schedule {
+        let (dag, sys) = (inst.dag(), inst.sys());
+        let rank = inst.pets_rank(self.agg);
         let levels = hetsched_dag::topo::asap_levels(dag);
 
         // order: by level ascending, then rank descending, then id
@@ -80,7 +66,7 @@ impl Scheduler for Pets {
         let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
         let mut ctx = EftContext::new(sys);
         for t in order {
-            let (p, start, finish) = ctx.best_eft(dag, sys, &sched, t, true);
+            let (p, start, finish) = ctx.best_eft(inst, &sched, t, true);
             sched
                 .insert(t, p, start, finish - start)
                 .expect("EFT placement is conflict-free");
@@ -95,6 +81,7 @@ mod tests {
     use crate::validate::validate;
     use hetsched_dag::builder::dag_from_edges;
     use hetsched_dag::Dag;
+    use hetsched_platform::System;
 
     fn setup() -> (Dag, System) {
         let dag = dag_from_edges(
@@ -109,7 +96,7 @@ mod tests {
     #[test]
     fn rank_accumulates_acc_dtc_rpt() {
         let (dag, sys) = setup();
-        let r = pets_rank(&dag, &sys, CostAggregation::Mean);
+        let r = crate::rank::pets_rank_raw(&dag, &sys, CostAggregation::Mean);
         // t0: acc 2 + dtc (6 + 2) = 10, rpt 0 -> 10
         assert_eq!(r[0], 10.0);
         // t1: acc 3 + dtc 4 + rpt 10 -> 17

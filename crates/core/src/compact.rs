@@ -45,7 +45,7 @@ pub fn left_shift(dag: &Dag, sys: &System, sched: &Schedule) -> Schedule {
         // data-ready time against the partially rebuilt schedule; in a
         // valid input every predecessor copy was originally ordered before
         // this slot, so it has already been re-placed.
-        let ready = crate::eft::data_ready_time(dag, sys, &out, slot.task, p);
+        let ready = crate::eft::data_ready_time_raw(dag, sys, &out, slot.task, p);
         let dur = slot.finish - slot.start;
         // order-preserving: append after the previous slot on p (no gap
         // search — that could reorder the processor's sequence)

@@ -1,10 +1,16 @@
 //! Earliest-finish-time machinery shared by every list scheduler:
 //! data-ready times (duplication-aware), per-processor EFT, best-processor
 //! selection, and candidate enumeration for lookahead policies.
+//!
+//! Public entry points take a [`ProblemInstance`]; the crate-internal
+//! `*_raw` twins take the underlying `(dag, sys)` pair directly and hold
+//! the actual fold bodies (the reference engine and trial-schedule loops
+//! call them without an instance in hand). Both paths are the same code.
 
 use hetsched_dag::{Dag, TaskId};
 use hetsched_platform::{ProcId, System};
 
+use crate::instance::ProblemInstance;
 use crate::schedule::Schedule;
 
 /// Arrival time on processor `p` of the data produced by task `u` for the
@@ -31,7 +37,17 @@ pub fn arrival_from(sys: &System, sched: &Schedule, u: TaskId, data: f64, p: Pro
 
 /// Data-ready time of task `t` on processor `p`: the latest arrival over
 /// all predecessors (0 for entry tasks).
-pub fn data_ready_time(dag: &Dag, sys: &System, sched: &Schedule, t: TaskId, p: ProcId) -> f64 {
+pub fn data_ready_time(inst: &ProblemInstance, sched: &Schedule, t: TaskId, p: ProcId) -> f64 {
+    data_ready_time_raw(inst.dag(), inst.sys(), sched, t, p)
+}
+
+pub(crate) fn data_ready_time_raw(
+    dag: &Dag,
+    sys: &System,
+    sched: &Schedule,
+    t: TaskId,
+    p: ProcId,
+) -> f64 {
     dag.predecessors(t)
         .map(|(u, data)| arrival_from(sys, sched, u, data, p))
         .fold(0.0f64, f64::max)
@@ -46,6 +62,15 @@ pub fn data_ready_time(dag: &Dag, sys: &System, sched: &Schedule, t: TaskId, p: 
 /// DAGs (the builder sorts edges), but a deserialized DAG keeps its stored
 /// edge order verbatim, and the duplicated parent must not depend on it.
 pub fn critical_parent(
+    inst: &ProblemInstance,
+    sched: &Schedule,
+    t: TaskId,
+    p: ProcId,
+) -> Option<TaskId> {
+    critical_parent_raw(inst.dag(), inst.sys(), sched, t, p)
+}
+
+pub(crate) fn critical_parent_raw(
     dag: &Dag,
     sys: &System,
     sched: &Schedule,
@@ -66,6 +91,16 @@ pub fn critical_parent(
 /// Earliest start and finish of `t` on `p` given the current partial
 /// schedule. `insertion` selects gap search vs append placement.
 pub fn eft_on(
+    inst: &ProblemInstance,
+    sched: &Schedule,
+    t: TaskId,
+    p: ProcId,
+    insertion: bool,
+) -> (f64, f64) {
+    eft_on_raw(inst.dag(), inst.sys(), sched, t, p, insertion)
+}
+
+pub(crate) fn eft_on_raw(
     dag: &Dag,
     sys: &System,
     sched: &Schedule,
@@ -73,7 +108,7 @@ pub fn eft_on(
     p: ProcId,
     insertion: bool,
 ) -> (f64, f64) {
-    let ready = data_ready_time(dag, sys, sched, t, p);
+    let ready = data_ready_time_raw(dag, sys, sched, t, p);
     let dur = sys.exec_time(t, p);
     let start = sched.earliest_start(p, ready, dur, insertion);
     (start, start + dur)
@@ -82,6 +117,15 @@ pub fn eft_on(
 /// The processor giving `t` the minimum EFT, with its start and finish.
 /// Ties break toward the smaller processor id (deterministic).
 pub fn best_eft(
+    inst: &ProblemInstance,
+    sched: &Schedule,
+    t: TaskId,
+    insertion: bool,
+) -> (ProcId, f64, f64) {
+    best_eft_raw(inst.dag(), inst.sys(), sched, t, insertion)
+}
+
+pub(crate) fn best_eft_raw(
     dag: &Dag,
     sys: &System,
     sched: &Schedule,
@@ -90,7 +134,7 @@ pub fn best_eft(
 ) -> (ProcId, f64, f64) {
     let mut best: Option<(ProcId, f64, f64)> = None;
     for p in sys.proc_ids() {
-        let (s, f) = eft_on(dag, sys, sched, t, p, insertion);
+        let (s, f) = eft_on_raw(dag, sys, sched, t, p, insertion);
         match best {
             Some((_, _, bf)) if f >= bf => {}
             _ => best = Some((p, s, f)),
@@ -110,6 +154,16 @@ pub fn best_eft(
 /// by the schedule's own time resolution is a candidate (see
 /// `tolerance_cut`).
 pub fn eft_candidates(
+    inst: &ProblemInstance,
+    sched: &Schedule,
+    t: TaskId,
+    insertion: bool,
+    tolerance: f64,
+) -> Vec<(ProcId, f64, f64)> {
+    eft_candidates_raw(inst.dag(), inst.sys(), sched, t, insertion, tolerance)
+}
+
+pub(crate) fn eft_candidates_raw(
     dag: &Dag,
     sys: &System,
     sched: &Schedule,
@@ -121,7 +175,7 @@ pub fn eft_candidates(
     let mut all: Vec<(ProcId, f64, f64)> = sys
         .proc_ids()
         .map(|p| {
-            let (s, f) = eft_on(dag, sys, sched, t, p, insertion);
+            let (s, f) = eft_on_raw(dag, sys, sched, t, p, insertion);
             (p, s, f)
         })
         .collect();
@@ -210,20 +264,20 @@ mod tests {
         sched.insert(TaskId(1), ProcId(1), 0.0, 1.0).unwrap();
         // on p0: t0 local (1.0), t1 remote (1 + 3 = 4) -> DRT 4
         assert_eq!(
-            data_ready_time(&dag, &sys, &sched, TaskId(2), ProcId(0)),
+            data_ready_time_raw(&dag, &sys, &sched, TaskId(2), ProcId(0)),
             4.0
         );
         // on p1: t0 remote (1 + 2 = 3), t1 local (1) -> DRT 3
         assert_eq!(
-            data_ready_time(&dag, &sys, &sched, TaskId(2), ProcId(1)),
+            data_ready_time_raw(&dag, &sys, &sched, TaskId(2), ProcId(1)),
             3.0
         );
         assert_eq!(
-            critical_parent(&dag, &sys, &sched, TaskId(2), ProcId(0)),
+            critical_parent_raw(&dag, &sys, &sched, TaskId(2), ProcId(0)),
             Some(TaskId(1))
         );
         assert_eq!(
-            critical_parent(&dag, &sys, &sched, TaskId(2), ProcId(1)),
+            critical_parent_raw(&dag, &sys, &sched, TaskId(2), ProcId(1)),
             Some(TaskId(0))
         );
     }
@@ -233,11 +287,11 @@ mod tests {
         let (dag, sys) = setup();
         let sched = Schedule::new(2, 2);
         assert_eq!(
-            data_ready_time(&dag, &sys, &sched, TaskId(0), ProcId(1)),
+            data_ready_time_raw(&dag, &sys, &sched, TaskId(0), ProcId(1)),
             0.0
         );
         assert_eq!(
-            critical_parent(&dag, &sys, &sched, TaskId(0), ProcId(0)),
+            critical_parent_raw(&dag, &sys, &sched, TaskId(0), ProcId(0)),
             None
         );
     }
@@ -249,7 +303,7 @@ mod tests {
         sched.insert(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
         // t1 on p0: start 2, finish 2 + 3 = 5
         // t1 on p1: start 8 (message), finish 9 — despite p1 being faster
-        let (p, s, f) = best_eft(&dag, &sys, &sched, TaskId(1), true);
+        let (p, s, f) = best_eft_raw(&dag, &sys, &sched, TaskId(1), true);
         assert_eq!((p, s, f), (ProcId(0), 2.0, 5.0));
     }
 
@@ -259,9 +313,9 @@ mod tests {
         let mut sched = Schedule::new(2, 2);
         // artificially occupy p0 late, leaving a gap
         sched.insert(TaskId(1), ProcId(0), 10.0, 3.0).unwrap();
-        let (s, f) = eft_on(&dag, &sys, &sched, TaskId(0), ProcId(0), true);
+        let (s, f) = eft_on_raw(&dag, &sys, &sched, TaskId(0), ProcId(0), true);
         assert_eq!((s, f), (0.0, 2.0), "fits in the leading gap");
-        let (s2, _) = eft_on(&dag, &sys, &sched, TaskId(0), ProcId(0), false);
+        let (s2, _) = eft_on_raw(&dag, &sys, &sched, TaskId(0), ProcId(0), false);
         assert_eq!(s2, 13.0, "append policy goes to the end");
     }
 
@@ -270,10 +324,10 @@ mod tests {
         let (dag, sys) = setup();
         let sched = Schedule::new(2, 2);
         // entry task t0: EFTs are 2 (p0) and 4 (p1)
-        let tight = eft_candidates(&dag, &sys, &sched, TaskId(0), true, 0.0);
+        let tight = eft_candidates_raw(&dag, &sys, &sched, TaskId(0), true, 0.0);
         assert_eq!(tight.len(), 1);
         assert_eq!(tight[0].0, ProcId(0));
-        let loose = eft_candidates(&dag, &sys, &sched, TaskId(0), true, 1.0);
+        let loose = eft_candidates_raw(&dag, &sys, &sched, TaskId(0), true, 1.0);
         assert_eq!(loose.len(), 2);
         assert!(loose[0].2 <= loose[1].2);
     }
@@ -283,7 +337,7 @@ mod tests {
     fn arrival_panics_on_unscheduled_parent() {
         let (dag, sys) = setup();
         let sched = Schedule::new(2, 2);
-        data_ready_time(&dag, &sys, &sched, TaskId(1), ProcId(0));
+        data_ready_time_raw(&dag, &sys, &sched, TaskId(1), ProcId(0));
     }
 
     #[test]
@@ -300,14 +354,14 @@ mod tests {
         });
         let sys = System::new(etc, Network::unit(2));
         let sched = Schedule::new(2, 2);
-        let loose = eft_candidates(&dag, &sys, &sched, TaskId(0), true, 0.25);
+        let loose = eft_candidates_raw(&dag, &sys, &sched, TaskId(0), true, 0.25);
         assert_eq!(
             loose.len(),
             2,
             "positive tolerance at best == 0 must widen to TIME_EPS, got {loose:?}"
         );
         // tolerance 0.0 still means the exact EFT-minimal set
-        let tight = eft_candidates(&dag, &sys, &sched, TaskId(0), true, 0.0);
+        let tight = eft_candidates_raw(&dag, &sys, &sched, TaskId(0), true, 0.0);
         assert_eq!(tight.len(), 1);
         assert_eq!(tight[0].0, ProcId(0));
     }
@@ -318,6 +372,35 @@ mod tests {
         assert_eq!(tolerance_cut(0.0, 0.0), 1e-12, "zero tolerance stays exact");
         assert_eq!(tolerance_cut(0.0, f64::INFINITY), f64::INFINITY);
         assert_eq!(tolerance_cut(10.0, 0.1), 10.0 * 1.1 + 1e-12);
+    }
+
+    #[test]
+    fn instance_wrappers_match_raw() {
+        let (dag, sys) = setup();
+        let inst = ProblemInstance::from_refs(&dag, &sys);
+        let mut sched = Schedule::new(2, 2);
+        sched.insert(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        let t = TaskId(1);
+        assert_eq!(
+            data_ready_time(&inst, &sched, t, ProcId(1)),
+            data_ready_time_raw(&dag, &sys, &sched, t, ProcId(1))
+        );
+        assert_eq!(
+            critical_parent(&inst, &sched, t, ProcId(1)),
+            critical_parent_raw(&dag, &sys, &sched, t, ProcId(1))
+        );
+        assert_eq!(
+            eft_on(&inst, &sched, t, ProcId(0), true),
+            eft_on_raw(&dag, &sys, &sched, t, ProcId(0), true)
+        );
+        assert_eq!(
+            best_eft(&inst, &sched, t, true),
+            best_eft_raw(&dag, &sys, &sched, t, true)
+        );
+        assert_eq!(
+            eft_candidates(&inst, &sched, t, true, 0.5),
+            eft_candidates_raw(&dag, &sys, &sched, t, true, 0.5)
+        );
     }
 
     #[test]
@@ -356,13 +439,13 @@ mod tests {
         assert_eq!(arrival_from(&sys, &sched, TaskId(0), 4.0, ProcId(2)), 5.0);
         assert_eq!(arrival_from(&sys, &sched, TaskId(1), 4.0, ProcId(2)), 5.0);
         assert_eq!(
-            critical_parent(&permuted, &sys, &sched, TaskId(2), ProcId(2)),
+            critical_parent_raw(&permuted, &sys, &sched, TaskId(2), ProcId(2)),
             Some(TaskId(0)),
             "tie must break toward the smaller task id, not iteration order"
         );
         // same answer on the builder-ordered DAG
         assert_eq!(
-            critical_parent(&dag, &sys, &sched, TaskId(2), ProcId(2)),
+            critical_parent_raw(&dag, &sys, &sched, TaskId(2), ProcId(2)),
             Some(TaskId(0))
         );
     }

@@ -31,6 +31,7 @@ use hetsched_dag::{Dag, TaskId};
 use hetsched_platform::{ProcId, System};
 
 use crate::eft;
+use crate::instance::ProblemInstance;
 use crate::schedule::Schedule;
 
 thread_local! {
@@ -97,6 +98,18 @@ impl EftContext {
     /// Panics if any predecessor of `t` has no scheduled copy.
     pub fn data_ready_all(
         &mut self,
+        inst: &ProblemInstance,
+        sched: &Schedule,
+        t: TaskId,
+    ) -> &[f64] {
+        self.data_ready_all_on(inst.dag(), inst.sys(), sched, t)
+    }
+
+    /// [`Self::data_ready_all`] on pre-resolved references — the per-query
+    /// hot path used by [`Self::best_eft`], which resolves the instance's
+    /// `Cow`s exactly once per call.
+    fn data_ready_all_on(
+        &mut self,
         dag: &Dag,
         sys: &System,
         sched: &Schedule,
@@ -106,7 +119,7 @@ impl EftContext {
         hetsched_trace::counters(|c| c.drt_frontier_builds += 1);
         if self.reference {
             for (i, r) in self.ready.iter_mut().enumerate() {
-                *r = eft::data_ready_time(dag, sys, sched, t, ProcId(i as u32));
+                *r = eft::data_ready_time_raw(dag, sys, sched, t, ProcId(i as u32));
             }
             return &self.ready;
         }
@@ -155,8 +168,7 @@ impl EftContext {
     /// processor id.
     pub fn best_eft(
         &mut self,
-        dag: &Dag,
-        sys: &System,
+        inst: &ProblemInstance,
         sched: &Schedule,
         t: TaskId,
         insertion: bool,
@@ -165,10 +177,11 @@ impl EftContext {
         if tracing {
             hetsched_trace::counters(|c| c.eft_best_queries += 1);
         }
+        let (dag, sys) = (inst.dag(), inst.sys());
         if self.reference {
-            return eft::best_eft(dag, sys, sched, t, insertion);
+            return eft::best_eft_raw(dag, sys, sched, t, insertion);
         }
-        self.data_ready_all(dag, sys, sched, t);
+        self.data_ready_all_on(dag, sys, sched, t);
         let durs = sys.etc().row(t);
         let mut best: Option<(ProcId, f64, f64)> = None;
         let mut cands: Vec<hetsched_trace::Candidate> = Vec::new();
@@ -214,8 +227,7 @@ impl EftContext {
     #[allow(clippy::too_many_arguments)]
     pub fn eft_candidates_into(
         &mut self,
-        dag: &Dag,
-        sys: &System,
+        inst: &ProblemInstance,
         sched: &Schedule,
         t: TaskId,
         insertion: bool,
@@ -225,13 +237,12 @@ impl EftContext {
         debug_assert!(tolerance >= 0.0);
         hetsched_trace::counters(|c| c.eft_candidate_queries += 1);
         out.clear();
+        let (dag, sys) = (inst.dag(), inst.sys());
         if self.reference {
-            out.extend(eft::eft_candidates(
-                dag, sys, sched, t, insertion, tolerance,
-            ));
+            out.extend(eft::eft_candidates_raw(dag, sys, sched, t, insertion, tolerance));
             return;
         }
-        self.data_ready_all(dag, sys, sched, t);
+        self.data_ready_all_on(dag, sys, sched, t);
         let durs = sys.etc().row(t);
         for (i, (&ready, &dur)) in self.ready.iter().zip(durs).enumerate() {
             let p = ProcId(i as u32);
@@ -275,21 +286,22 @@ mod tests {
         sched.insert(TaskId(1), ProcId(1), 3.0, 1.0).unwrap();
         sched.insert(TaskId(2), ProcId(0), 2.0, 1.5).unwrap();
 
-        let mut ctx = EftContext::new(&sys);
-        let ready = ctx.data_ready_all(&dag, &sys, &sched, TaskId(3)).to_vec();
+        let inst = ProblemInstance::from_refs(&dag, &sys);
+        let mut ctx = EftContext::new(inst.sys());
+        let ready = ctx.data_ready_all(&inst, &sched, TaskId(3)).to_vec();
         for (i, r) in ready.iter().enumerate() {
             let p = ProcId(i as u32);
-            let want = eft::data_ready_time(&dag, &sys, &sched, TaskId(3), p);
+            let want = eft::data_ready_time_raw(&dag, &sys, &sched, TaskId(3), p);
             assert_eq!(r.to_bits(), want.to_bits(), "DRT mismatch on {p}");
         }
-        let fast = ctx.best_eft(&dag, &sys, &sched, TaskId(3), true);
-        let naive = eft::best_eft(&dag, &sys, &sched, TaskId(3), true);
+        let fast = ctx.best_eft(&inst, &sched, TaskId(3), true);
+        let naive = eft::best_eft_raw(&dag, &sys, &sched, TaskId(3), true);
         assert_eq!(fast, naive);
 
         for tol in [0.0, 0.05, 0.5, f64::INFINITY] {
             let mut buf = Vec::new();
-            ctx.eft_candidates_into(&dag, &sys, &sched, TaskId(3), true, tol, &mut buf);
-            let want = eft::eft_candidates(&dag, &sys, &sched, TaskId(3), true, tol);
+            ctx.eft_candidates_into(&inst, &sched, TaskId(3), true, tol, &mut buf);
+            let want = eft::eft_candidates_raw(&dag, &sys, &sched, TaskId(3), true, tol);
             assert_eq!(buf, want, "candidate mismatch at tolerance {tol}");
         }
     }

@@ -1,0 +1,341 @@
+//! The immutable problem IR shared by every scheduler.
+//!
+//! [`ProblemInstance`] bundles one (DAG, system) pair behind a single
+//! handle. The underlying arenas are already struct-of-arrays — the
+//! [`Dag`] holds CSR predecessor/successor adjacency plus a cached
+//! topological order, and the [`System`] holds flattened ETC rows and a
+//! dense link-cost table — so the instance does not copy them; what it
+//! adds is a *memo* of the derived rank vectors (upward/downward rank,
+//! static level, ALST, PETS rank, critical-path membership) so that every
+//! algorithm run against the same instance shares one computation per
+//! `(rank kind, aggregation)` pair instead of recomputing privately.
+//!
+//! # Bit-identity contract
+//!
+//! Memoization never changes float results: each rank vector is computed
+//! by exactly the same fold, in exactly the same order, as the
+//! per-algorithm code previously ran — it is simply computed once and the
+//! resulting `Arc` shared. Every consumer therefore observes values
+//! bit-identical to a fresh computation, which is what keeps the PR 2
+//! reference-engine cross-check (and the cross-crate grid test) green.
+//!
+//! # Sharing
+//!
+//! `ProblemInstance` is `Send + Sync`: the serve daemon caches instances
+//! behind `Arc` keyed by content fingerprint so concurrent workers share
+//! one build, and the portfolio runner fans a single `&ProblemInstance`
+//! out across scoped threads.
+
+use std::borrow::Cow;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use hetsched_dag::{Dag, Fingerprint, TaskId};
+use hetsched_platform::System;
+
+use crate::cost::CostAggregation;
+use crate::rank;
+
+/// Lazily memoized rank vectors, keyed by aggregation policy.
+///
+/// Linear-scan association lists: real runs touch one or two aggregation
+/// policies per instance, so a `Vec` beats any map.
+#[derive(Debug, Default)]
+struct RankMemo {
+    upward: Vec<(CostAggregation, Arc<Vec<f64>>)>,
+    downward: Vec<(CostAggregation, Arc<Vec<f64>>)>,
+    static_level: Vec<(CostAggregation, Arc<Vec<f64>>)>,
+    alst: Vec<(CostAggregation, Arc<Vec<f64>>)>,
+    pets: Vec<(CostAggregation, Arc<Vec<f64>>)>,
+    critical_path: Vec<(CostAggregation, Arc<Vec<TaskId>>)>,
+}
+
+fn lookup<T>(slot: &[(CostAggregation, Arc<T>)], agg: CostAggregation) -> Option<Arc<T>> {
+    slot.iter()
+        .find(|(a, _)| *a == agg)
+        .map(|(_, v)| Arc::clone(v))
+}
+
+/// One immutable (DAG, system) pair with shared, lazily memoized ranks.
+///
+/// Build it once per problem with [`ProblemInstance::new`] (taking
+/// ownership — what long-lived holders like the serve instance cache
+/// need) or [`ProblemInstance::from_refs`] (borrowing the arenas with no
+/// copy or hash — what the transient default [`crate::Scheduler::schedule`]
+/// path uses), then hand `&ProblemInstance` to any number of schedulers —
+/// sequentially or concurrently.
+#[derive(Debug)]
+pub struct ProblemInstance<'a> {
+    dag: Cow<'a, Dag>,
+    sys: Cow<'a, System>,
+    fingerprint: OnceLock<u64>,
+    memo: Mutex<RankMemo>,
+}
+
+impl ProblemInstance<'static> {
+    /// Build an instance, taking ownership of the arenas.
+    pub fn new(dag: Dag, sys: System) -> Self {
+        ProblemInstance {
+            dag: Cow::Owned(dag),
+            sys: Cow::Owned(sys),
+            fingerprint: OnceLock::new(),
+            memo: Mutex::new(RankMemo::default()),
+        }
+    }
+}
+
+impl<'a> ProblemInstance<'a> {
+    /// Build an instance over borrowed arenas. No copy, no hashing: this
+    /// costs two empty lock initializations, which is what keeps the
+    /// single-shot `schedule(dag, sys)` path as fast as before the IR
+    /// existed.
+    pub fn from_refs(dag: &'a Dag, sys: &'a System) -> Self {
+        ProblemInstance {
+            dag: Cow::Borrowed(dag),
+            sys: Cow::Borrowed(sys),
+            fingerprint: OnceLock::new(),
+            memo: Mutex::new(RankMemo::default()),
+        }
+    }
+
+    /// The task graph.
+    #[inline]
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// The target platform.
+    #[inline]
+    pub fn sys(&self) -> &System {
+        &self.sys
+    }
+
+    /// Stable content fingerprint of the (DAG, system) pair — the key the
+    /// serve instance cache uses. Computed on first query and cached.
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        *self
+            .fingerprint
+            .get_or_init(|| Self::content_fingerprint(&self.dag, &self.sys))
+    }
+
+    /// The fingerprint [`ProblemInstance::fingerprint`] would report for
+    /// `(dag, sys)`, without building an instance. Lets a cache decide
+    /// hit-or-miss before building and storing anything.
+    pub fn content_fingerprint(dag: &Dag, sys: &System) -> u64 {
+        let mut fp = Fingerprint::new();
+        dag.fold_fingerprint(&mut fp);
+        sys.fold_fingerprint(&mut fp);
+        fp.finish()
+    }
+
+    fn memo(&self) -> MutexGuard<'_, RankMemo> {
+        // Rank computations cannot panic mid-insert in any way that leaves
+        // the memo inconsistent (entries are pushed whole), so a poisoned
+        // lock is safe to recover.
+        self.memo.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Memoize `compute` under `select(memo)` keyed by `agg`.
+    ///
+    /// The value is computed while holding the lock so concurrent callers
+    /// never duplicate work; `compute` must not touch the memo (all rank
+    /// kernels only read `dag`/`sys`).
+    fn memoized<T>(
+        &self,
+        select: impl FnOnce(&mut RankMemo) -> &mut Vec<(CostAggregation, Arc<T>)>,
+        agg: CostAggregation,
+        compute: impl FnOnce(&Dag, &System) -> T,
+    ) -> Arc<T> {
+        let mut memo = self.memo();
+        let slot = select(&mut memo);
+        if let Some(v) = lookup(slot, agg) {
+            hetsched_trace::counters(|c| c.rank_memo_hits += 1);
+            return v;
+        }
+        hetsched_trace::counters(|c| c.rank_memo_misses += 1);
+        let v = Arc::new(compute(&self.dag, &self.sys));
+        slot.push((agg, Arc::clone(&v)));
+        v
+    }
+
+    /// Like [`ProblemInstance::memoized`] for vectors *derived from other
+    /// memoized vectors*: the dependencies are resolved up front (each
+    /// taking the lock on its own), then the derived value is inserted
+    /// under a fresh lock. A racing thread may compute the same value; the
+    /// first insert wins so every consumer shares one `Arc`.
+    fn memoized_derived<T>(
+        &self,
+        select: impl Fn(&mut RankMemo) -> &mut Vec<(CostAggregation, Arc<T>)>,
+        agg: CostAggregation,
+        compute: impl FnOnce(&Self) -> T,
+    ) -> Arc<T> {
+        if let Some(v) = lookup(select(&mut self.memo()), agg) {
+            hetsched_trace::counters(|c| c.rank_memo_hits += 1);
+            return v;
+        }
+        hetsched_trace::counters(|c| c.rank_memo_misses += 1);
+        let v = Arc::new(compute(self));
+        let mut memo = self.memo();
+        let slot = select(&mut memo);
+        if let Some(existing) = lookup(slot, agg) {
+            return existing;
+        }
+        slot.push((agg, Arc::clone(&v)));
+        v
+    }
+
+    /// Upward rank (HEFT `rank_u`) under `agg`, memoized.
+    pub fn upward_rank(&self, agg: CostAggregation) -> Arc<Vec<f64>> {
+        self.memoized(|m| &mut m.upward, agg, |d, s| rank::upward_rank_raw(d, s, agg))
+    }
+
+    /// Downward rank (`rank_d`) under `agg`, memoized.
+    pub fn downward_rank(&self, agg: CostAggregation) -> Arc<Vec<f64>> {
+        self.memoized(|m| &mut m.downward, agg, |d, s| {
+            rank::downward_rank_raw(d, s, agg)
+        })
+    }
+
+    /// Static level (communication-free upward rank) under `agg`, memoized.
+    pub fn static_level(&self, agg: CostAggregation) -> Arc<Vec<f64>> {
+        self.memoized(|m| &mut m.static_level, agg, |d, s| {
+            rank::static_level_raw(d, s, agg)
+        })
+    }
+
+    /// Absolute earliest start time (HCPT AEST) under `agg` — an alias for
+    /// the downward rank, sharing its memo entry.
+    pub fn aest(&self, agg: CostAggregation) -> Arc<Vec<f64>> {
+        self.downward_rank(agg)
+    }
+
+    /// Absolute latest start time (HCPT/MCP ALST) under `agg`, memoized;
+    /// derived from the memoized upward rank.
+    pub fn alst(&self, agg: CostAggregation) -> Arc<Vec<f64>> {
+        self.memoized_derived(
+            |m| &mut m.alst,
+            agg,
+            |inst| {
+                let up = inst.upward_rank(agg);
+                let cp = up.iter().copied().fold(0.0f64, f64::max);
+                up.iter().map(|&r| cp - r).collect()
+            },
+        )
+    }
+
+    /// PETS rank (rounded ACC + DTC + RPT recurrence) under `agg`,
+    /// memoized.
+    pub fn pets_rank(&self, agg: CostAggregation) -> Arc<Vec<f64>> {
+        self.memoized(|m| &mut m.pets, agg, |d, s| rank::pets_rank_raw(d, s, agg))
+    }
+
+    /// Tasks on a critical path under `agg`, in topological order,
+    /// memoized; derived from the memoized upward and downward ranks.
+    pub fn critical_path_tasks(&self, agg: CostAggregation) -> Arc<Vec<TaskId>> {
+        self.memoized_derived(
+            |m| &mut m.critical_path,
+            agg,
+            |inst| {
+                let up = inst.upward_rank(agg);
+                let down = inst.downward_rank(agg);
+                rank::critical_path_from_ranks(&inst.dag, &up, &down)
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_dag::builder::dag_from_edges;
+
+    fn setup() -> (Dag, System) {
+        let dag = dag_from_edges(
+            &[1.0, 2.0, 3.0, 4.0],
+            &[(0, 1, 10.0), (0, 2, 20.0), (1, 3, 30.0), (2, 3, 40.0)],
+        )
+        .unwrap();
+        let sys = System::homogeneous_unit(&dag, 3);
+        (dag, sys)
+    }
+
+    #[test]
+    fn memoized_ranks_are_bit_identical_to_raw_and_shared() {
+        let (dag, sys) = setup();
+        let inst = ProblemInstance::new(dag.clone(), sys.clone());
+        let agg = CostAggregation::Mean;
+        let a = inst.upward_rank(agg);
+        let b = inst.upward_rank(agg);
+        assert!(Arc::ptr_eq(&a, &b), "second query must share the memo");
+        let fresh = rank::upward_rank_raw(&dag, &sys, agg);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&fresh));
+        assert_eq!(
+            bits(&inst.downward_rank(agg)),
+            bits(&rank::downward_rank_raw(&dag, &sys, agg))
+        );
+        assert_eq!(
+            bits(&inst.static_level(agg)),
+            bits(&rank::static_level_raw(&dag, &sys, agg))
+        );
+        assert_eq!(
+            bits(&inst.pets_rank(agg)),
+            bits(&rank::pets_rank_raw(&dag, &sys, agg))
+        );
+    }
+
+    #[test]
+    fn distinct_aggregations_get_distinct_entries() {
+        let (dag, sys) = setup();
+        let inst = ProblemInstance::new(dag, sys);
+        let mean = inst.upward_rank(CostAggregation::Mean);
+        let best = inst.upward_rank(CostAggregation::Best);
+        assert!(!Arc::ptr_eq(&mean, &best));
+        let again = inst.upward_rank(CostAggregation::Mean);
+        assert!(Arc::ptr_eq(&mean, &again));
+    }
+
+    #[test]
+    fn derived_vectors_match_their_definitions() {
+        let (dag, sys) = setup();
+        let inst = ProblemInstance::new(dag.clone(), sys.clone());
+        let agg = CostAggregation::Mean;
+        let up = inst.upward_rank(agg);
+        let cp = up.iter().copied().fold(0.0f64, f64::max);
+        let alst = inst.alst(agg);
+        for (a, &r) in alst.iter().zip(up.iter()) {
+            assert_eq!(a.to_bits(), (cp - r).to_bits());
+        }
+        assert!(Arc::ptr_eq(&inst.aest(agg), &inst.downward_rank(agg)));
+        // Diamond with heavier lower branch: critical path is 0 -> 2 -> 3.
+        let cp_tasks = inst.critical_path_tasks(agg);
+        assert_eq!(&*cp_tasks, &[TaskId(0), TaskId(2), TaskId(3)]);
+        assert!(Arc::ptr_eq(&cp_tasks, &inst.critical_path_tasks(agg)));
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_identity() {
+        let (dag, sys) = setup();
+        let fp_a = ProblemInstance::from_refs(&dag, &sys).fingerprint();
+        let fp_b = ProblemInstance::from_refs(&dag, &sys).fingerprint();
+        assert_eq!(fp_a, fp_b);
+        let other = System::homogeneous_unit(&dag, 4);
+        let c = ProblemInstance::new(dag, other);
+        assert_ne!(fp_a, c.fingerprint());
+    }
+
+    #[test]
+    fn concurrent_queries_share_one_computation() {
+        let (dag, sys) = setup();
+        let inst = ProblemInstance::new(dag, sys);
+        let arcs: Vec<Arc<Vec<f64>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| inst.upward_rank(CostAggregation::Mean)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for w in arcs.windows(2) {
+            assert!(Arc::ptr_eq(&w[0], &w[1]));
+        }
+    }
+}

@@ -45,12 +45,16 @@ pub mod compact;
 pub mod cost;
 pub mod eft;
 pub mod engine;
+pub mod instance;
+pub mod portfolio;
 pub mod rank;
 pub mod schedule;
 pub mod validate;
 
 pub use cost::CostAggregation;
 pub use engine::{with_reference_engine, EftContext};
+pub use instance::ProblemInstance;
+pub use portfolio::{run_portfolio, PortfolioEntry, PortfolioResult};
 pub use schedule::{Schedule, Slot};
 pub use validate::{validate, ValidationError};
 
@@ -59,21 +63,37 @@ use hetsched_platform::{ProcId, System};
 
 /// A static scheduling algorithm: maps a task graph and a target system to
 /// a complete [`Schedule`].
+///
+/// Algorithms implement [`Scheduler::schedule_instance`] against the
+/// shared [`ProblemInstance`] IR; the [`Scheduler::schedule`] convenience
+/// method keeps the original `(dag, sys)` call shape by building a
+/// transient instance. Both paths produce bit-identical schedules — the
+/// instance only memoizes values the algorithms would otherwise compute
+/// themselves, in the same fold order.
 pub trait Scheduler {
     /// Short stable name used in reports and benchmarks (e.g. `"HEFT"`).
     fn name(&self) -> &'static str;
 
-    /// Produce a complete schedule of `dag` on `sys`.
+    /// Produce a complete schedule of the instance's DAG on its system.
     ///
     /// Implementations must return a schedule that passes
     /// [`validate::validate`]; this is enforced for every algorithm in the
     /// test suite.
-    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule;
+    fn schedule_instance(&self, inst: &ProblemInstance) -> Schedule;
+
+    /// Produce a complete schedule of `dag` on `sys` via a transient
+    /// [`ProblemInstance`].
+    fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
+        self.schedule_instance(&ProblemInstance::from_refs(dag, sys))
+    }
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for &S {
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+    fn schedule_instance(&self, inst: &ProblemInstance) -> Schedule {
+        (**self).schedule_instance(inst)
     }
     fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
         (**self).schedule(dag, sys)
@@ -83,6 +103,9 @@ impl<S: Scheduler + ?Sized> Scheduler for &S {
 impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+    fn schedule_instance(&self, inst: &ProblemInstance) -> Schedule {
+        (**self).schedule_instance(inst)
     }
     fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
         (**self).schedule(dag, sys)
@@ -112,6 +135,24 @@ pub fn traced_schedule<S: Scheduler + ?Sized>(
     sys: &System,
 ) -> (Schedule, hetsched_trace::Trace) {
     let (sched, mut trace) = hetsched_trace::capture(|| alg.schedule(dag, sys));
+    append_placements(&sched, &mut trace);
+    (sched, trace)
+}
+
+/// Like [`traced_schedule`], but scheduling an existing
+/// [`ProblemInstance`] — the serve daemon's traced path, where the
+/// instance comes from the shared cache.
+pub fn traced_schedule_instance<S: Scheduler + ?Sized>(
+    alg: &S,
+    inst: &ProblemInstance,
+) -> (Schedule, hetsched_trace::Trace) {
+    let (sched, mut trace) = hetsched_trace::capture(|| alg.schedule_instance(inst));
+    append_placements(&sched, &mut trace);
+    (sched, trace)
+}
+
+/// Synthesize the post-run placement log (see [`traced_schedule`]).
+fn append_placements(sched: &Schedule, trace: &mut hetsched_trace::Trace) {
     let mut slots: Vec<(f64, u32, Slot)> = Vec::new();
     for pi in 0..sched.num_procs() {
         for s in sched.slots(ProcId(pi as u32)) {
@@ -135,7 +176,6 @@ pub fn traced_schedule<S: Scheduler + ?Sized>(
                 duplicate: s.duplicate,
             }
         }));
-    (sched, trace)
 }
 
 #[cfg(test)]

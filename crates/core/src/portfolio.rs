@@ -1,0 +1,132 @@
+//! Algorithm-portfolio execution: run several schedulers against one
+//! shared [`ProblemInstance`] in parallel and keep the best schedule.
+//!
+//! Static scheduling heuristics are incomparable across workload classes —
+//! HEFT wins on one DAG shape, PETS or a duplication scheduler on another
+//! — so a portfolio that runs a set of them and keeps the minimum-makespan
+//! result dominates any single member. The shared instance makes this
+//! cheap: rank vectors are memoized once and every member reads the same
+//! `Arc`s, so the marginal cost of an extra member is its EFT sweep only.
+
+use crate::instance::ProblemInstance;
+use crate::{Schedule, Scheduler};
+
+/// One portfolio member's result.
+#[derive(Debug, Clone)]
+pub struct PortfolioEntry {
+    /// The member's [`Scheduler::name`].
+    pub algorithm: String,
+    /// Makespan of the member's schedule.
+    pub makespan: f64,
+    /// The member's complete schedule.
+    pub schedule: Schedule,
+}
+
+/// Results of a portfolio run: every member's schedule plus the winner.
+#[derive(Debug, Clone)]
+pub struct PortfolioResult {
+    /// Per-member results, in the order the algorithms were given.
+    pub entries: Vec<PortfolioEntry>,
+    /// Index into `entries` of the winning (minimum-makespan) member; ties
+    /// go to the earliest member in the given order.
+    pub best: usize,
+}
+
+impl PortfolioResult {
+    /// The winning entry.
+    pub fn best_entry(&self) -> &PortfolioEntry {
+        &self.entries[self.best]
+    }
+}
+
+/// Run every scheduler in `algs` against `inst` on scoped threads and
+/// collect all results.
+///
+/// Each member runs `schedule_instance` against the same shared instance,
+/// so memoized ranks are computed once across the whole portfolio. Results
+/// come back in input order regardless of thread completion order, and the
+/// winner is the minimum makespan under `total_cmp` with ties broken
+/// toward the earliest member — fully deterministic.
+///
+/// # Panics
+///
+/// Panics if `algs` is empty, or propagates a member's panic.
+pub fn run_portfolio<S: Scheduler + Sync + ?Sized>(
+    inst: &ProblemInstance,
+    algs: &[&S],
+) -> PortfolioResult {
+    assert!(!algs.is_empty(), "portfolio needs at least one algorithm");
+    let entries: Vec<PortfolioEntry> = std::thread::scope(|scope| {
+        let handles: Vec<_> = algs
+            .iter()
+            .map(|alg| {
+                scope.spawn(move || {
+                    let schedule = alg.schedule_instance(inst);
+                    PortfolioEntry {
+                        algorithm: alg.name().to_string(),
+                        makespan: schedule.makespan(),
+                        schedule,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("portfolio member panicked"))
+            .collect()
+    });
+    let best = entries
+        .iter()
+        .enumerate()
+        .min_by(|(ia, a), (ib, b)| a.makespan.total_cmp(&b.makespan).then_with(|| ia.cmp(ib)))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    PortfolioResult { entries, best }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms;
+    use hetsched_dag::builder::dag_from_edges;
+    use hetsched_platform::System;
+
+    fn diamond() -> ProblemInstance<'static> {
+        let dag = dag_from_edges(
+            &[2.0, 3.0, 4.0, 1.0],
+            &[(0, 1, 5.0), (0, 2, 5.0), (1, 3, 5.0), (2, 3, 5.0)],
+        )
+        .unwrap();
+        let sys = System::homogeneous_unit(&dag, 2);
+        ProblemInstance::new(dag, sys)
+    }
+
+    #[test]
+    fn portfolio_matches_direct_calls_and_picks_minimum() {
+        let inst = diamond();
+        let algs = algorithms::all_heterogeneous();
+        let refs: Vec<&(dyn Scheduler + Send + Sync)> = algs.iter().map(|b| &**b).collect();
+        let result = run_portfolio(&inst, &refs);
+        assert_eq!(result.entries.len(), algs.len());
+        let mut best_direct = f64::INFINITY;
+        for (entry, alg) in result.entries.iter().zip(&algs) {
+            assert_eq!(entry.algorithm, alg.name());
+            let direct = alg.schedule_instance(&inst);
+            assert_eq!(entry.makespan.to_bits(), direct.makespan().to_bits());
+            best_direct = best_direct.min(direct.makespan());
+        }
+        assert_eq!(result.best_entry().makespan.to_bits(), best_direct.to_bits());
+        // tie-break: no earlier entry has the winning makespan
+        for entry in &result.entries[..result.best] {
+            assert!(entry.makespan > result.best_entry().makespan);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one algorithm")]
+    fn empty_portfolio_panics() {
+        let inst = diamond();
+        let refs: Vec<&(dyn Scheduler + Send + Sync)> = Vec::new();
+        run_portfolio(&inst, &refs);
+    }
+}

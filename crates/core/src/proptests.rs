@@ -217,7 +217,7 @@ proptest! {
         // NOT ordered — greedy decisions cascade — so only the
         // per-decision property is asserted.)
         use crate::algorithms::Heft;
-        use crate::eft::eft_on;
+        use crate::eft::eft_on_raw;
         use crate::Scheduler as _;
         let dag = random_dag(n, 0.2, seed);
         let mut rng = StdRng::seed_from_u64(seed ^ 77);
@@ -231,11 +231,54 @@ proptest! {
                 if sched.finish_on(t, p).is_some() {
                     continue;
                 }
-                let (s_ins, _) = eft_on(&dag, &sys, &sched, t, p, true);
-                let (s_app, _) = eft_on(&dag, &sys, &sched, t, p, false);
+                let (s_ins, _) = eft_on_raw(&dag, &sys, &sched, t, p, true);
+                let (s_app, _) = eft_on_raw(&dag, &sys, &sched, t, p, false);
                 prop_assert!(s_ins <= s_app + 1e-9,
                     "insertion start {} > append start {} for {} on {}", s_ins, s_app, t, p);
             }
+        }
+    }
+
+    #[test]
+    fn left_shift_is_idempotent_bitwise_across_workload_generators(
+        family in 0usize..4,
+        size in 2usize..5,
+        ccr in 0.2f64..5.0,
+        n_procs in 1usize..6,
+        seed in 0u64..10_000,
+    ) {
+        // `left_shift ∘ left_shift = left_shift`, to the last bit: a
+        // second pass finds every copy already at its earliest feasible
+        // start, so it must reproduce the exact same slots — across every
+        // workload generator family, not just the local random DAGs.
+        use crate::compact::left_shift;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc0_fface);
+        let dag = match family {
+            0 => hetsched_workloads::random_dag(
+                &hetsched_workloads::RandomDagParams::new(size * 8, 1.0, ccr),
+                &mut rng,
+            ),
+            1 => hetsched_workloads::gauss::gaussian_elimination(size + 3, ccr, &mut rng),
+            2 => hetsched_workloads::fft::fft_butterfly(1 << size, ccr, &mut rng),
+            _ => hetsched_workloads::laplace::laplace_wavefront(size + 1, ccr, &mut rng),
+        };
+        let sys = System::heterogeneous_random(
+            &dag, n_procs, &EtcParams::range_based(1.0), &mut rng);
+        for alg in all_heterogeneous() {
+            let sched = alg.schedule(&dag, &sys);
+            let once = left_shift(&dag, &sys, &sched);
+            prop_assert_eq!(validate(&dag, &sys, &once), Ok(()), "{}", alg.name());
+            prop_assert!(
+                once.makespan() <= sched.makespan() + 1e-9,
+                "{}: left_shift lengthened {} -> {}",
+                alg.name(), sched.makespan(), once.makespan()
+            );
+            let twice = left_shift(&dag, &sys, &once);
+            prop_assert_eq!(
+                slot_digest(&twice), slot_digest(&once),
+                "{}: left_shift not bitwise idempotent (family={}, seed={})",
+                alg.name(), family, seed
+            );
         }
     }
 }

@@ -4,11 +4,20 @@
 //! All ranks here are *platform-aware* (they use the system's ETC matrix
 //! and mean communication costs) unlike the abstract levels of
 //! `hetsched_dag::analysis`, which work on raw weights.
+//!
+//! The public functions take a [`ProblemInstance`] and return shared
+//! `Arc` vectors served from its memo, so every algorithm run against the
+//! same instance computes each `(rank, aggregation)` pair once. The
+//! `*_raw` kernels hold the actual folds; the memo only caches their
+//! results, so values are bit-identical to a fresh computation.
+
+use std::sync::Arc;
 
 use hetsched_dag::{Dag, TaskId};
 use hetsched_platform::System;
 
 use crate::cost::CostAggregation;
+use crate::instance::ProblemInstance;
 
 /// Upward rank of every task (HEFT's `rank_u`):
 ///
@@ -22,16 +31,21 @@ use crate::cost::CostAggregation;
 /// order.
 ///
 /// ```
-/// use hetsched_core::{rank::upward_rank, CostAggregation};
+/// use hetsched_core::{rank::upward_rank, CostAggregation, ProblemInstance};
 /// use hetsched_dag::builder::dag_from_edges;
 /// use hetsched_platform::System;
 ///
 /// let dag = dag_from_edges(&[2.0, 3.0], &[(0, 1, 4.0)]).unwrap();
 /// let sys = System::homogeneous_unit(&dag, 2);
-/// let r = upward_rank(&dag, &sys, CostAggregation::Mean);
-/// assert_eq!(r, vec![2.0 + 4.0 + 3.0, 3.0]);
+/// let inst = ProblemInstance::new(dag, sys);
+/// let r = upward_rank(&inst, CostAggregation::Mean);
+/// assert_eq!(*r, vec![2.0 + 4.0 + 3.0, 3.0]);
 /// ```
-pub fn upward_rank(dag: &Dag, sys: &System, agg: CostAggregation) -> Vec<f64> {
+pub fn upward_rank(inst: &ProblemInstance, agg: CostAggregation) -> Arc<Vec<f64>> {
+    inst.upward_rank(agg)
+}
+
+pub(crate) fn upward_rank_raw(dag: &Dag, sys: &System, agg: CostAggregation) -> Vec<f64> {
     let mut rank = vec![0.0f64; dag.num_tasks()];
     for &t in dag.topo_order().iter().rev() {
         let tail = dag
@@ -52,7 +66,11 @@ pub fn upward_rank(dag: &Dag, sys: &System, agg: CostAggregation) -> Vec<f64> {
 /// Entries have `rank_d = 0`. `rank_d(t) + rank_u(t)` is the length of the
 /// longest aggregated-cost path through `t`; CPOP uses it to find the
 /// critical path.
-pub fn downward_rank(dag: &Dag, sys: &System, agg: CostAggregation) -> Vec<f64> {
+pub fn downward_rank(inst: &ProblemInstance, agg: CostAggregation) -> Arc<Vec<f64>> {
+    inst.downward_rank(agg)
+}
+
+pub(crate) fn downward_rank_raw(dag: &Dag, sys: &System, agg: CostAggregation) -> Vec<f64> {
     let mut rank = vec![0.0f64; dag.num_tasks()];
     for &t in dag.topo_order() {
         let best = dag
@@ -66,7 +84,11 @@ pub fn downward_rank(dag: &Dag, sys: &System, agg: CostAggregation) -> Vec<f64> 
 
 /// Static level: like [`upward_rank`] but ignoring communication (the
 /// `SL` of DLS).
-pub fn static_level(dag: &Dag, sys: &System, agg: CostAggregation) -> Vec<f64> {
+pub fn static_level(inst: &ProblemInstance, agg: CostAggregation) -> Arc<Vec<f64>> {
+    inst.static_level(agg)
+}
+
+pub(crate) fn static_level_raw(dag: &Dag, sys: &System, agg: CostAggregation) -> Vec<f64> {
     let mut rank = vec![0.0f64; dag.num_tasks()];
     for &t in dag.topo_order().iter().rev() {
         let tail = dag
@@ -81,17 +103,37 @@ pub fn static_level(dag: &Dag, sys: &System, agg: CostAggregation) -> Vec<f64> {
 /// Earliest possible start times ignoring resource contention (ASAP times
 /// under aggregated costs): `aest(t) = rank_d(t)`, exposed separately for
 /// readability in HCPT-style algorithms.
-pub fn aest(dag: &Dag, sys: &System, agg: CostAggregation) -> Vec<f64> {
-    downward_rank(dag, sys, agg)
+pub fn aest(inst: &ProblemInstance, agg: CostAggregation) -> Arc<Vec<f64>> {
+    inst.aest(agg)
 }
 
 /// Latest start times without delaying the (aggregated-cost) critical
 /// path: `alst(t) = CP − rank_u(t)` where `CP = max rank_u`. A task is
 /// *critical* iff `alst(t) == aest(t)` (zero float).
-pub fn alst(dag: &Dag, sys: &System, agg: CostAggregation) -> Vec<f64> {
-    let up = upward_rank(dag, sys, agg);
-    let cp = up.iter().copied().fold(0.0f64, f64::max);
-    up.iter().map(|&r| cp - r).collect()
+pub fn alst(inst: &ProblemInstance, agg: CostAggregation) -> Arc<Vec<f64>> {
+    inst.alst(agg)
+}
+
+/// PETS rank: the rounded `ACC + DTC + RPT` recurrence over topological
+/// order, where `ACC` is the aggregated execution cost, `DTC` the total
+/// outgoing mean communication, and `RPT` the maximal rank of any
+/// predecessor.
+pub fn pets_rank(inst: &ProblemInstance, agg: CostAggregation) -> Arc<Vec<f64>> {
+    inst.pets_rank(agg)
+}
+
+pub(crate) fn pets_rank_raw(dag: &Dag, sys: &System, agg: CostAggregation) -> Vec<f64> {
+    let mut rank = vec![0.0f64; dag.num_tasks()];
+    for &t in dag.topo_order() {
+        let acc = agg.exec(sys, t);
+        let dtc: f64 = dag.successors(t).map(|(_, data)| sys.mean_comm(data)).sum();
+        let rpt = dag
+            .predecessors(t)
+            .map(|(p, _)| rank[p.index()])
+            .fold(0.0f64, f64::max);
+        rank[t.index()] = (acc + dtc + rpt).round();
+    }
+    rank
 }
 
 /// Indices of tasks sorted by **non-increasing** priority with a stable
@@ -109,9 +151,13 @@ pub fn sort_by_priority_desc(priority: &[f64]) -> Vec<TaskId> {
 /// The aggregated-cost critical path: tasks with maximal
 /// `rank_u + rank_d`, returned in topological order. This is CPOP's
 /// critical path set.
-pub fn critical_path_tasks(dag: &Dag, sys: &System, agg: CostAggregation) -> Vec<TaskId> {
-    let up = upward_rank(dag, sys, agg);
-    let down = downward_rank(dag, sys, agg);
+pub fn critical_path_tasks(inst: &ProblemInstance, agg: CostAggregation) -> Arc<Vec<TaskId>> {
+    inst.critical_path_tasks(agg)
+}
+
+/// Critical-path extraction given already-computed ranks (the memoized
+/// path used by [`ProblemInstance::critical_path_tasks`]).
+pub(crate) fn critical_path_from_ranks(dag: &Dag, up: &[f64], down: &[f64]) -> Vec<TaskId> {
     let cp = up.iter().copied().fold(0.0f64, f64::max);
     let eps = 1e-9 * cp.max(1.0);
     dag.topo_order()
@@ -140,53 +186,58 @@ mod tests {
         (dag, sys)
     }
 
+    fn setup_instance() -> ProblemInstance<'static> {
+        let (dag, sys) = setup();
+        ProblemInstance::new(dag, sys)
+    }
+
     #[test]
     fn upward_rank_matches_hand_computation() {
-        let (dag, sys) = setup();
-        let r = upward_rank(&dag, &sys, CostAggregation::Mean);
+        let inst = setup_instance();
+        let r = upward_rank(&inst, CostAggregation::Mean);
         // t3 = 4; t1 = 2 + 30 + 4 = 36; t2 = 3 + 40 + 4 = 47
         // t0 = 1 + max(10 + 36, 20 + 47) = 68
-        assert_eq!(r, vec![68.0, 36.0, 47.0, 4.0]);
+        assert_eq!(*r, vec![68.0, 36.0, 47.0, 4.0]);
     }
 
     #[test]
     fn downward_rank_matches_hand_computation() {
-        let (dag, sys) = setup();
-        let r = downward_rank(&dag, &sys, CostAggregation::Mean);
+        let inst = setup_instance();
+        let r = downward_rank(&inst, CostAggregation::Mean);
         // t0 = 0; t1 = 0 + 1 + 10 = 11; t2 = 0 + 1 + 20 = 21
         // t3 = max(11 + 2 + 30, 21 + 3 + 40) = 64
-        assert_eq!(r, vec![0.0, 11.0, 21.0, 64.0]);
+        assert_eq!(*r, vec![0.0, 11.0, 21.0, 64.0]);
     }
 
     #[test]
     fn static_level_ignores_comm() {
-        let (dag, sys) = setup();
-        let r = static_level(&dag, &sys, CostAggregation::Mean);
+        let inst = setup_instance();
+        let r = static_level(&inst, CostAggregation::Mean);
         // t3 = 4; t1 = 6; t2 = 7; t0 = 1 + 7 = 8
-        assert_eq!(r, vec![8.0, 6.0, 7.0, 4.0]);
+        assert_eq!(*r, vec![8.0, 6.0, 7.0, 4.0]);
     }
 
     #[test]
     fn rank_order_is_topological() {
-        let (dag, sys) = setup();
-        let r = upward_rank(&dag, &sys, CostAggregation::Mean);
+        let inst = setup_instance();
+        let r = upward_rank(&inst, CostAggregation::Mean);
         let order = sort_by_priority_desc(&r);
-        assert!(hetsched_dag::topo::is_topological(&dag, &order));
+        assert!(hetsched_dag::topo::is_topological(inst.dag(), &order));
     }
 
     #[test]
     fn critical_path_tasks_heavy_branch() {
-        let (dag, sys) = setup();
-        let cp = critical_path_tasks(&dag, &sys, CostAggregation::Mean);
-        assert_eq!(cp, vec![TaskId(0), TaskId(2), TaskId(3)]);
+        let inst = setup_instance();
+        let cp = critical_path_tasks(&inst, CostAggregation::Mean);
+        assert_eq!(*cp, vec![TaskId(0), TaskId(2), TaskId(3)]);
     }
 
     #[test]
     fn alst_zero_on_critical_path() {
-        let (dag, sys) = setup();
-        let a = aest(&dag, &sys, CostAggregation::Mean);
-        let l = alst(&dag, &sys, CostAggregation::Mean);
-        for t in critical_path_tasks(&dag, &sys, CostAggregation::Mean) {
+        let inst = setup_instance();
+        let a = aest(&inst, CostAggregation::Mean);
+        let l = alst(&inst, CostAggregation::Mean);
+        for &t in critical_path_tasks(&inst, CostAggregation::Mean).iter() {
             assert!((a[t.index()] - l[t.index()]).abs() < 1e-9, "{t} critical");
         }
         // non-critical task 1 has slack
@@ -197,7 +248,7 @@ mod tests {
     fn single_proc_system_mean_comm_is_zero() {
         let dag = dag_from_edges(&[1.0, 1.0], &[(0, 1, 100.0)]).unwrap();
         let sys = System::homogeneous_unit(&dag, 1);
-        let r = upward_rank(&dag, &sys, CostAggregation::Mean);
+        let r = upward_rank_raw(&dag, &sys, CostAggregation::Mean);
         // comm collapses to zero on one processor
         assert_eq!(r, vec![2.0, 1.0]);
     }
@@ -207,5 +258,36 @@ mod tests {
         let pri = vec![5.0, 7.0, 5.0];
         let order = sort_by_priority_desc(&pri);
         assert_eq!(order, vec![TaskId(1), TaskId(0), TaskId(2)]);
+    }
+
+    #[test]
+    fn raw_and_memoized_agree_bitwise() {
+        let (dag, sys) = setup();
+        let inst = ProblemInstance::from_refs(&dag, &sys);
+        for agg in [
+            CostAggregation::Mean,
+            CostAggregation::Median,
+            CostAggregation::Best,
+            CostAggregation::Worst,
+            CostAggregation::MeanStd(1.0),
+        ] {
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(
+                bits(&upward_rank(&inst, agg)),
+                bits(&upward_rank_raw(&dag, &sys, agg))
+            );
+            assert_eq!(
+                bits(&downward_rank(&inst, agg)),
+                bits(&downward_rank_raw(&dag, &sys, agg))
+            );
+            assert_eq!(
+                bits(&static_level(&inst, agg)),
+                bits(&static_level_raw(&dag, &sys, agg))
+            );
+            assert_eq!(
+                bits(&pets_rank(&inst, agg)),
+                bits(&pets_rank_raw(&dag, &sys, agg))
+            );
+        }
     }
 }

@@ -19,6 +19,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use hetsched_core::algorithms::{all_heterogeneous, by_name};
+use hetsched_core::{run_portfolio, ProblemInstance, Scheduler};
 use hetsched_metrics::table::TextTable;
 use hetsched_platform::{EtcParams, System};
 use hetsched_serve::{ServeConfig, Service};
@@ -165,6 +166,7 @@ fn serve_entries(cfg: &Config, reps: usize) -> Vec<BenchEntry> {
             workers: 1,
             queue_capacity: 4,
             cache_capacity: 8,
+            instance_cache_capacity: 8,
             default_deadline_ms: 60_000,
         });
         let resp = svc.handle_line(&line);
@@ -180,6 +182,145 @@ fn serve_entries(cfg: &Config, reps: usize) -> Vec<BenchEntry> {
         min_ns: min,
         reps,
     }]
+}
+
+/// The multi-algorithm path the shared [`ProblemInstance`] targets: the
+/// same (DAG, system) pair scheduled by every registered heterogeneous
+/// algorithm, measured three ways — fresh per-call transient instances
+/// (the pre-IR cost), one shared memoized instance walked sequentially,
+/// and the parallel portfolio runner. `run_perf` reports the fresh →
+/// portfolio ratio as the headline multi-algorithm speedup.
+fn multi_alg_entries(cfg: &Config, reps: usize) -> Vec<BenchEntry> {
+    let reps = reps.max(10);
+    let n = if cfg.quick { 100usize } else { 400 };
+    let seed = instance_seed(cfg.seed ^ 0x9f0, n as u64, 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dag = random_dag(&RandomDagParams::new(n, 1.0, 1.0), &mut rng);
+    let sys = System::heterogeneous_random(&dag, cfg.procs, &EtcParams::range_based(1.0), &mut rng);
+    let algs = all_heterogeneous();
+    let refs: Vec<&(dyn Scheduler + Send + Sync)> = algs.iter().map(|b| &**b).collect();
+
+    let entry = |id: String, (median_ns, min_ns): (f64, f64), reps: usize| BenchEntry {
+        id,
+        n,
+        procs: cfg.procs,
+        algo: "ALL".to_string(),
+        median_ns,
+        min_ns,
+        reps,
+    };
+    vec![
+        entry(
+            format!("multi-alg/n{n}/fresh"),
+            bench(reps, || {
+                let mut acc = 0.0f64;
+                for alg in &algs {
+                    acc += alg.schedule(&dag, &sys).makespan();
+                }
+                acc
+            }),
+            reps,
+        ),
+        entry(
+            format!("multi-alg/n{n}/shared"),
+            bench(reps, || {
+                // instance construction inside the sample: the comparison
+                // includes everything a caller pays per (DAG, system) pair
+                let inst = ProblemInstance::from_refs(&dag, &sys);
+                let mut acc = 0.0f64;
+                for alg in &algs {
+                    acc += alg.schedule_instance(&inst).makespan();
+                }
+                acc
+            }),
+            reps,
+        ),
+        entry(
+            format!("multi-alg/n{n}/portfolio"),
+            bench(reps, || {
+                let inst = ProblemInstance::from_refs(&dag, &sys);
+                run_portfolio(&inst, &refs).best_entry().makespan
+            }),
+            reps,
+        ),
+    ]
+}
+
+/// The serve-side multi-algorithm path, measured both ways a client can
+/// get four algorithms out of the daemon: one `portfolio` request (the
+/// request is parsed once, the instance is built once, the members fan out
+/// across the worker pool) versus four individual `schedule` requests
+/// (each pays its own JSON parse, spec validation, and reply round-trip —
+/// the instance cache only spares the rebuild from the second request on).
+/// Both run against a fresh daemon with cold caches; `run_perf` reports
+/// the individual → portfolio ratio as the serve multi-algorithm speedup.
+fn serve_portfolio_entries(cfg: &Config, reps: usize) -> Vec<BenchEntry> {
+    let reps = reps.max(10);
+    let n = if cfg.quick { 100usize } else { 400 };
+    const ALGS: [&str; 4] = ["HEFT", "CPOP", "PETS", "ILS-H"];
+    let tasks: Vec<String> = (0..n)
+        .map(|i| format!("{{\"weight\":{}}}", i % 7 + 1))
+        .collect();
+    let edges: Vec<String> = (1..n)
+        .map(|i| format!("{{\"src\":{},\"dst\":{i},\"data\":2.5}}", (i - 1) / 2))
+        .collect();
+    let problem = format!(
+        "\"dag\":{{\"tasks\":[{}],\"edges\":[{}]}},\
+         \"system\":{{\"processors\":{{\"kind\":\"homogeneous\",\"count\":{}}},\
+         \"network\":{{\"topology\":\"fully_connected\",\"bandwidth\":1.0}}}}",
+        tasks.join(","),
+        edges.join(","),
+        cfg.procs,
+    );
+    let portfolio_line = format!(
+        "{{\"op\":\"portfolio\",{problem},\
+         \"algorithms\":[\"HEFT\",\"CPOP\",\"PETS\",\"ILS-H\"],\"options\":{{}}}}"
+    );
+    let schedule_lines: Vec<String> = ALGS
+        .iter()
+        .map(|a| format!("{{\"op\":\"schedule\",{problem},\"algorithm\":\"{a}\",\"options\":{{}}}}"))
+        .collect();
+    let fresh_service = || {
+        Service::start(ServeConfig {
+            workers: 4,
+            queue_capacity: 16,
+            cache_capacity: 8,
+            instance_cache_capacity: 8,
+            default_deadline_ms: 60_000,
+        })
+    };
+    let entry = |id: String, (median_ns, min_ns): (f64, f64)| BenchEntry {
+        id,
+        n,
+        procs: cfg.procs,
+        algo: ALGS.join(","),
+        median_ns,
+        min_ns,
+        reps,
+    };
+    vec![
+        entry(
+            format!("serve-portfolio/n{n}/4algs"),
+            bench(reps, || {
+                let svc = fresh_service();
+                let resp = svc.handle_line(&portfolio_line);
+                svc.shutdown();
+                resp
+            }),
+        ),
+        entry(
+            format!("serve-multi-alg/n{n}/individual"),
+            bench(reps, || {
+                let svc = fresh_service();
+                let mut out = Vec::with_capacity(ALGS.len());
+                for line in &schedule_lines {
+                    out.push(svc.handle_line(line));
+                }
+                svc.shutdown();
+                out
+            }),
+        ),
+    ]
 }
 
 fn to_json(entries: &[BenchEntry], cfg: &Config) -> Value {
@@ -307,6 +448,8 @@ fn measure(cfg: &Config, reps: usize) -> Vec<BenchEntry> {
     let mut entries = grid_entries(cfg, reps);
     entries.extend(large_entries(cfg, reps));
     entries.extend(serve_entries(cfg, reps));
+    entries.extend(multi_alg_entries(cfg, reps));
+    entries.extend(serve_portfolio_entries(cfg, reps));
     entries
 }
 
@@ -332,6 +475,45 @@ pub fn run_perf(cfg: &Config) -> Result<(), String> {
     }
     println!("== perf (median of {reps} runs) ==");
     println!("{}", table.render());
+
+    // headline ratio of the shared-instance work: the same algorithm set
+    // over the same pair, sequential fresh instances vs the portfolio
+    let fresh = entries
+        .iter()
+        .find(|e| e.id.starts_with("multi-alg/") && e.id.ends_with("/fresh"));
+    let shared = entries
+        .iter()
+        .find(|e| e.id.starts_with("multi-alg/") && e.id.ends_with("/shared"));
+    let port = entries
+        .iter()
+        .find(|e| e.id.starts_with("multi-alg/") && e.id.ends_with("/portfolio"));
+    if let (Some(f), Some(s), Some(p)) = (fresh, shared, port) {
+        println!(
+            "multi-algorithm path: fresh {:.2} ms, shared instance {:.2} ms ({:.2}x), \
+             portfolio {:.2} ms ({:.2}x speedup)\n",
+            f.min_ns / 1e6,
+            s.min_ns / 1e6,
+            f.min_ns / s.min_ns,
+            p.min_ns / 1e6,
+            f.min_ns / p.min_ns,
+        );
+    }
+
+    // same comparison through the daemon: four schedule round-trips vs one
+    // portfolio request, both against cold caches
+    let individual = entries
+        .iter()
+        .find(|e| e.id.starts_with("serve-multi-alg/") && e.id.ends_with("/individual"));
+    let serve_port = entries.iter().find(|e| e.id.starts_with("serve-portfolio/"));
+    if let (Some(i), Some(p)) = (individual, serve_port) {
+        println!(
+            "serve multi-algorithm path: 4 schedule requests {:.2} ms, \
+             1 portfolio request {:.2} ms ({:.2}x speedup)\n",
+            i.min_ns / 1e6,
+            p.min_ns / 1e6,
+            i.min_ns / p.min_ns,
+        );
+    }
 
     let (phase_text, phase_json) = phase_profile(cfg);
     println!("{phase_text}");

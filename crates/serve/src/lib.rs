@@ -40,6 +40,9 @@ pub mod protocol;
 pub mod server;
 pub mod service;
 
-pub use protocol::{Request, RequestOptions, Response, ScheduleBody, SimBody, StatsBody};
+pub use protocol::{
+    PortfolioBody, PortfolioEntryBody, Request, RequestOptions, Response, ScheduleBody, SimBody,
+    StatsBody,
+};
 pub use server::{serve_lines, TcpServer};
 pub use service::{request_fingerprint, ServeConfig, Service};

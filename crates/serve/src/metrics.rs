@@ -160,6 +160,10 @@ pub struct ServiceMetrics {
     pub timeouts: AtomicU64,
     /// Queue-full rejections.
     pub busy_rejections: AtomicU64,
+    /// Requests that reused a cached shared `ProblemInstance`.
+    pub instance_cache_hits: AtomicU64,
+    /// Requests that had to build a fresh `ProblemInstance`.
+    pub instance_cache_misses: AtomicU64,
     /// End-to-end latency of completed schedule requests.
     pub latency: LatencyHistogram,
     /// Per-algorithm end-to-end latency (keyed by registry name). Kept in
@@ -175,6 +179,8 @@ pub struct GaugeSnapshot {
     pub queue_depth: u64,
     /// Entries currently in the memoization cache.
     pub cache_entries: u64,
+    /// Entries currently in the problem-instance cache.
+    pub instance_cache_entries: u64,
     /// Worker threads.
     pub workers: u64,
     /// Bounded queue capacity.
@@ -271,6 +277,16 @@ impl ServiceMetrics {
             "Requests rejected because the bounded queue was full.",
             Self::read(&self.busy_rejections),
         );
+        counter(
+            "hetsched_instance_cache_hits_total",
+            "Requests that reused a cached shared problem instance.",
+            Self::read(&self.instance_cache_hits),
+        );
+        counter(
+            "hetsched_instance_cache_misses_total",
+            "Requests that built a fresh problem instance.",
+            Self::read(&self.instance_cache_misses),
+        );
 
         let mut gauge = |name: &str, help: &str, value: u64| {
             let _ = writeln!(out, "# HELP {name} {help}");
@@ -291,6 +307,11 @@ impl ServiceMetrics {
             "hetsched_cache_entries",
             "Entries currently in the memoization cache.",
             g.cache_entries,
+        );
+        gauge(
+            "hetsched_instance_cache_entries",
+            "Entries currently in the problem-instance cache.",
+            g.instance_cache_entries,
         );
         gauge("hetsched_workers", "Worker threads.", g.workers);
 
@@ -489,12 +510,14 @@ mod tests {
         ServiceMetrics::bump(&m.requests);
         ServiceMetrics::bump(&m.requests);
         ServiceMetrics::bump(&m.cache_hits);
+        ServiceMetrics::bump(&m.instance_cache_misses);
         m.latency.record(Duration::from_micros(100));
         m.record_algorithm("HEFT", Duration::from_micros(100));
         m.record_algorithm("ILS-D", Duration::from_millis(2));
         let text = m.render_prometheus(&GaugeSnapshot {
             queue_depth: 1,
             cache_entries: 3,
+            instance_cache_entries: 2,
             workers: 4,
             queue_capacity: 64,
         });
@@ -504,6 +527,9 @@ mod tests {
             "hetsched_cache_misses_total 1",
             "hetsched_queue_depth 1",
             "hetsched_cache_entries 3",
+            "hetsched_instance_cache_hits_total 0",
+            "hetsched_instance_cache_misses_total 1",
+            "hetsched_instance_cache_entries 2",
             "hetsched_workers 4",
             "# TYPE hetsched_request_latency_seconds histogram",
             "hetsched_request_latency_seconds_bucket{le=\"+Inf\"} 1",

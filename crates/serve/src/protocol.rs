@@ -63,6 +63,25 @@ pub enum Request {
         #[serde(default)]
         options: RequestOptions,
     },
+    /// Run several schedulers against one shared problem instance and
+    /// return the best schedule plus a per-algorithm makespan table. The
+    /// member computations fan out across the worker pool and memoize
+    /// individually, exactly as if each had been its own `schedule`
+    /// request.
+    Portfolio {
+        /// Task graph (validated on receipt).
+        dag: DagSpec,
+        /// Target system (validated on receipt, sized to the DAG).
+        system: SystemSpec,
+        /// Registry names of the portfolio members, in priority order
+        /// (ties on makespan go to the earliest member). Empty means
+        /// "every registered algorithm".
+        #[serde(default)]
+        algorithms: Vec<String>,
+        /// Optional request modifiers, applied to every member.
+        #[serde(default)]
+        options: RequestOptions,
+    },
     /// Query service counters and latency quantiles.
     Stats,
     /// Render every service metric family in the Prometheus text
@@ -121,6 +140,30 @@ pub struct TraceBody {
     pub events: Vec<hetsched_trace::Event>,
 }
 
+/// One member row of a portfolio response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PortfolioEntryBody {
+    /// Scheduler registry name.
+    pub algorithm: String,
+    /// The member's predicted makespan.
+    pub makespan: f64,
+    /// Whether this member's schedule came from the memoization cache.
+    pub cached: bool,
+}
+
+/// Portfolio payload: the winning member's full schedule plus the
+/// per-algorithm makespan table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PortfolioBody {
+    /// Per-member results, in the requested order.
+    pub entries: Vec<PortfolioEntryBody>,
+    /// Index into `entries` of the winner (minimum makespan under total
+    /// order; ties go to the earliest member).
+    pub best: usize,
+    /// The winning member's full schedule payload.
+    pub schedule: ScheduleBody,
+}
+
 /// Simulator cross-check attached to a schedule response.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimBody {
@@ -151,6 +194,16 @@ pub struct StatsBody {
     pub busy_rejections: u64,
     /// Entries currently in the memoization cache.
     pub cache_entries: usize,
+    /// Problem-instance cache hits: requests that reused a shared
+    /// `ProblemInstance` (and therefore its memoized rank vectors).
+    #[serde(default)]
+    pub instance_cache_hits: u64,
+    /// Problem-instance cache misses: instances built fresh.
+    #[serde(default)]
+    pub instance_cache_misses: u64,
+    /// Entries currently in the problem-instance cache.
+    #[serde(default)]
+    pub instance_cache_entries: usize,
     /// Worker threads.
     pub workers: usize,
     /// Bounded queue capacity.
@@ -179,6 +232,9 @@ pub enum Response {
         /// Prometheus text exposition (`metrics` op).
         #[serde(default, skip_serializing_if = "Option::is_none")]
         metrics: Option<String>,
+        /// Portfolio payload (`portfolio` op).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        portfolio: Option<PortfolioBody>,
     },
     /// The bounded request queue is full; retry later.
     Busy {
@@ -216,6 +272,7 @@ impl Response {
             schedule: Some(body),
             stats: None,
             metrics: None,
+            portfolio: None,
         }
     }
 
@@ -225,6 +282,7 @@ impl Response {
             schedule: None,
             stats: Some(body),
             metrics: None,
+            portfolio: None,
         }
     }
 
@@ -234,6 +292,17 @@ impl Response {
             schedule: None,
             stats: None,
             metrics: Some(text.into()),
+            portfolio: None,
+        }
+    }
+
+    /// Shorthand for a portfolio payload response.
+    pub fn portfolio(body: PortfolioBody) -> Self {
+        Response::Ok {
+            schedule: None,
+            stats: None,
+            metrics: None,
+            portfolio: Some(body),
         }
     }
 

@@ -177,6 +177,7 @@ mod tests {
             workers: 2,
             queue_capacity: 8,
             cache_capacity: 8,
+            instance_cache_capacity: 8,
             default_deadline_ms: 10_000,
         }
     }

@@ -31,7 +31,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 
-use hetsched_core::{algorithms, validate, Scheduler};
+use hetsched_core::{algorithms, validate, ProblemInstance, Scheduler};
 use hetsched_dag::io::DagSpec;
 use hetsched_dag::{Dag, Fingerprint};
 use hetsched_metrics::{slr, speedup};
@@ -41,7 +41,8 @@ use hetsched_sim::{simulate, SimConfig};
 use crate::cache::LruCache;
 use crate::metrics::{GaugeSnapshot, ServiceMetrics};
 use crate::protocol::{
-    Request, RequestOptions, Response, ScheduleBody, SimBody, StatsBody, TraceBody,
+    PortfolioBody, PortfolioEntryBody, Request, RequestOptions, Response, ScheduleBody, SimBody,
+    StatsBody, TraceBody,
 };
 
 /// Service configuration.
@@ -53,6 +54,11 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Memoization cache capacity (entries).
     pub cache_capacity: usize,
+    /// Problem-instance cache capacity (entries). Instances are keyed by
+    /// the (DAG, system) content fingerprint only, so requests differing
+    /// in algorithm or options share one instance — and its memoized rank
+    /// vectors.
+    pub instance_cache_capacity: usize,
     /// Deadline applied when a request carries no `deadline_ms`.
     pub default_deadline_ms: u64,
 }
@@ -66,15 +72,17 @@ impl Default for ServeConfig {
             workers,
             queue_capacity: 64,
             cache_capacity: 256,
+            instance_cache_capacity: 64,
             default_deadline_ms: 30_000,
         }
     }
 }
 
-/// One queued scheduling job.
+/// One queued scheduling job. The instance is shared: concurrent jobs on
+/// the same (DAG, system) pair — portfolio members especially — hold the
+/// same `Arc` and reuse each other's memoized rank vectors.
 struct Job {
-    dag: Dag,
-    sys: System,
+    inst: Arc<ProblemInstance<'static>>,
     algorithm: String,
     alg: Box<dyn Scheduler + Send + Sync>,
     options: RequestOptions,
@@ -86,6 +94,7 @@ struct Shared {
     config: ServeConfig,
     metrics: ServiceMetrics,
     cache: Mutex<LruCache<ScheduleBody>>,
+    instances: Mutex<LruCache<Arc<ProblemInstance<'static>>>>,
     shutting: AtomicBool,
 }
 
@@ -131,6 +140,7 @@ impl Service {
         let (tx, rx) = channel::bounded::<Job>(config.queue_capacity);
         let shared = Arc::new(Shared {
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            instances: Mutex::new(LruCache::new(config.instance_cache_capacity)),
             metrics: ServiceMetrics::new(),
             shutting: AtomicBool::new(false),
             config,
@@ -207,6 +217,12 @@ impl Service {
                 algorithm,
                 options,
             } => self.handle_schedule(dag, system, algorithm, options),
+            Request::Portfolio {
+                dag,
+                system,
+                algorithms,
+                options,
+            } => self.handle_portfolio(dag, system, algorithms, options),
         }
     }
 
@@ -222,6 +238,9 @@ impl Service {
             timeouts: ServiceMetrics::read(&m.timeouts),
             busy_rejections: ServiceMetrics::read(&m.busy_rejections),
             cache_entries: self.shared.cache.lock().len(),
+            instance_cache_hits: ServiceMetrics::read(&m.instance_cache_hits),
+            instance_cache_misses: ServiceMetrics::read(&m.instance_cache_misses),
+            instance_cache_entries: self.shared.instances.lock().len(),
             workers: self.shared.config.workers,
             queue_capacity: self.shared.config.queue_capacity,
             latency_samples: m.latency.count(),
@@ -241,10 +260,131 @@ impl Service {
         let gauges = GaugeSnapshot {
             queue_depth,
             cache_entries: self.shared.cache.lock().len() as u64,
+            instance_cache_entries: self.shared.instances.lock().len() as u64,
             workers: self.shared.config.workers as u64,
             queue_capacity: self.shared.config.queue_capacity as u64,
         };
         self.shared.metrics.render_prometheus(&gauges)
+    }
+
+    /// Build the `Dag` and `System` from their wire specs, reporting
+    /// protocol errors uniformly.
+    #[allow(clippy::result_large_err)] // the Err is the wire `Response`; see `protocol::Response`
+    fn build_problem(&self, dag: DagSpec, system: SystemSpec) -> Result<(Dag, System), Response> {
+        let m = &self.shared.metrics;
+        let dag = match dag.build() {
+            Ok(d) => d,
+            Err(e) => {
+                ServiceMetrics::bump(&m.errors);
+                return Err(Response::error(format!("invalid dag: {e}")));
+            }
+        };
+        let sys = match system.build(&dag) {
+            Ok(s) => s,
+            Err(e) => {
+                ServiceMetrics::bump(&m.errors);
+                return Err(Response::error(format!("invalid system: {e}")));
+            }
+        };
+        Ok((dag, sys))
+    }
+
+    /// Fetch the shared [`ProblemInstance`] for `(dag, sys)` from the
+    /// instance cache, building and inserting it on a miss. The cache is
+    /// keyed by the (DAG, system) content fingerprint alone — algorithm
+    /// and options are deliberately excluded, so a portfolio's members and
+    /// repeat requests with different algorithms all share one instance
+    /// and its memoized rank vectors.
+    fn instance_for(&self, dag: Dag, sys: System) -> Arc<ProblemInstance<'static>> {
+        let m = &self.shared.metrics;
+        let key = ProblemInstance::content_fingerprint(&dag, &sys);
+        if let Some(inst) = self.shared.instances.lock().get(key) {
+            ServiceMetrics::bump(&m.instance_cache_hits);
+            return inst.clone();
+        }
+        // Build outside the lock: construction clones nothing (it takes
+        // the arenas by value) but hashing large DAGs under the lock would
+        // stall concurrent lookups.
+        let inst = Arc::new(ProblemInstance::new(dag, sys));
+        ServiceMetrics::bump(&m.instance_cache_misses);
+        self.shared.instances.lock().insert(key, inst.clone());
+        inst
+    }
+
+    /// Enqueue one scheduling job. With `block_until: None` a full queue
+    /// answers `busy` immediately (the single-request path). With a
+    /// deadline, the send blocks until a slot frees or the deadline
+    /// passes — the portfolio path, whose members arrive as one burst
+    /// that may legitimately exceed the queue capacity; the workers drain
+    /// the queue while the submitter waits.
+    #[allow(clippy::result_large_err)] // the Err is the wire `Response`; see `protocol::Response`
+    fn enqueue(&self, job: Job, block_until: Option<Instant>) -> Result<(), Response> {
+        let guard = self.tx.lock();
+        let Some(tx) = guard.as_ref() else {
+            return Err(Response::ShuttingDown);
+        };
+        let busy = |m: &ServiceMetrics| {
+            ServiceMetrics::bump(&m.busy_rejections);
+            Err(Response::Busy {
+                message: format!(
+                    "request queue full ({} pending)",
+                    self.shared.config.queue_capacity
+                ),
+            })
+        };
+        match block_until {
+            None => match tx.try_send(job) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Full(_)) => busy(&self.shared.metrics),
+                Err(TrySendError::Disconnected(_)) => Err(Response::ShuttingDown),
+            },
+            Some(deadline) => {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                match tx.send_timeout(job, remaining) {
+                    Ok(()) => Ok(()),
+                    Err(channel::SendTimeoutError::Timeout(_)) => busy(&self.shared.metrics),
+                    Err(channel::SendTimeoutError::Disconnected(_)) => {
+                        Err(Response::ShuttingDown)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reply-memo lookup or job submission for one `(instance, algorithm)`
+    /// pair: returns the cached body immediately on a memo hit, otherwise
+    /// enqueues the job and hands back the reply channel to wait on.
+    #[allow(clippy::result_large_err)] // the Err is the wire `Response`; see `protocol::Response`
+    fn memo_or_submit(
+        &self,
+        inst: &Arc<ProblemInstance<'static>>,
+        algorithm: &str,
+        alg: Box<dyn Scheduler + Send + Sync>,
+        options: &RequestOptions,
+        block_until: Option<Instant>,
+    ) -> Result<MemberState, Response> {
+        let m = &self.shared.metrics;
+        ServiceMetrics::bump(&m.requests);
+        let fp = request_fingerprint(inst.dag(), inst.sys(), algorithm, options);
+        if let Some(hit) = self.shared.cache.lock().get(fp) {
+            let mut body = hit.clone();
+            body.cached = true;
+            ServiceMetrics::bump(&m.cache_hits);
+            return Ok(MemberState::Cached(Box::new(body)));
+        }
+        let (reply_tx, reply_rx) = channel::bounded::<Response>(1);
+        self.enqueue(
+            Job {
+                inst: inst.clone(),
+                algorithm: algorithm.to_string(),
+                alg,
+                options: options.clone(),
+                fingerprint: fp,
+                reply: reply_tx,
+            },
+            block_until,
+        )?;
+        Ok(MemberState::Pending(reply_rx))
     }
 
     fn handle_schedule(
@@ -260,19 +400,9 @@ impl Service {
             return Response::ShuttingDown;
         }
 
-        let dag = match dag.build() {
-            Ok(d) => d,
-            Err(e) => {
-                ServiceMetrics::bump(&m.errors);
-                return Response::error(format!("invalid dag: {e}"));
-            }
-        };
-        let sys = match system.build(&dag) {
-            Ok(s) => s,
-            Err(e) => {
-                ServiceMetrics::bump(&m.errors);
-                return Response::error(format!("invalid system: {e}"));
-            }
+        let (dag, sys) = match self.build_problem(dag, system) {
+            Ok(v) => v,
+            Err(resp) => return resp,
         };
         let Some(alg) = algorithms::by_name(&algorithm) else {
             ServiceMetrics::bump(&m.errors);
@@ -282,63 +412,30 @@ impl Service {
             ));
         };
 
-        ServiceMetrics::bump(&m.requests);
-        let fp = request_fingerprint(&dag, &sys, &algorithm, &options);
-        if let Some(hit) = self.shared.cache.lock().get(fp) {
-            let mut body = hit.clone();
-            body.cached = true;
-            ServiceMetrics::bump(&m.cache_hits);
-            let elapsed = started.elapsed();
-            m.latency.record(elapsed);
-            m.record_algorithm(&algorithm, elapsed);
-            return Response::schedule(body);
-        }
+        let inst = self.instance_for(dag, sys);
+        let reply_rx = match self.memo_or_submit(&inst, &algorithm, alg, &options, None) {
+            Ok(MemberState::Cached(body)) => {
+                let elapsed = started.elapsed();
+                m.latency.record(elapsed);
+                m.record_algorithm(&algorithm, elapsed);
+                return Response::schedule(*body);
+            }
+            Ok(MemberState::Pending(rx)) => rx,
+            Err(resp) => return resp,
+        };
 
         let deadline = Duration::from_millis(
             options
                 .deadline_ms
                 .unwrap_or(self.shared.config.default_deadline_ms),
         );
-        let (reply_tx, reply_rx) = channel::bounded::<Response>(1);
-        let alg_name = algorithm.clone();
-        let job = Job {
-            dag,
-            sys,
-            algorithm,
-            alg,
-            options,
-            fingerprint: fp,
-            reply: reply_tx,
-        };
-        {
-            let guard = self.tx.lock();
-            let Some(tx) = guard.as_ref() else {
-                return Response::ShuttingDown;
-            };
-            match tx.try_send(job) {
-                Ok(()) => {}
-                Err(TrySendError::Full(_)) => {
-                    ServiceMetrics::bump(&m.busy_rejections);
-                    return Response::Busy {
-                        message: format!(
-                            "request queue full ({} pending)",
-                            self.shared.config.queue_capacity
-                        ),
-                    };
-                }
-                Err(TrySendError::Disconnected(_)) => {
-                    return Response::ShuttingDown;
-                }
-            }
-        }
-
         let remaining = deadline.saturating_sub(started.elapsed());
         match await_reply(&reply_rx, remaining) {
             Ok(resp) => {
                 if matches!(resp, Response::Ok { .. }) {
                     let elapsed = started.elapsed();
                     m.latency.record(elapsed);
-                    m.record_algorithm(&alg_name, elapsed);
+                    m.record_algorithm(&algorithm, elapsed);
                 }
                 resp
             }
@@ -359,6 +456,125 @@ impl Service {
             }
         }
     }
+
+    fn handle_portfolio(
+        &self,
+        dag: DagSpec,
+        system: SystemSpec,
+        algorithm_names: Vec<String>,
+        options: RequestOptions,
+    ) -> Response {
+        let started = Instant::now();
+        let m = &self.shared.metrics;
+        if self.is_shutting_down() {
+            return Response::ShuttingDown;
+        }
+
+        let names = if algorithm_names.is_empty() {
+            algorithms::known_names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        } else {
+            algorithm_names
+        };
+        let mut members = Vec::with_capacity(names.len());
+        for name in &names {
+            let Some(alg) = algorithms::by_name(name) else {
+                ServiceMetrics::bump(&m.errors);
+                return Response::error(format!(
+                    "unknown algorithm `{name}` (known: {})",
+                    algorithms::known_names().join(", ")
+                ));
+            };
+            members.push(alg);
+        }
+
+        let (dag, sys) = match self.build_problem(dag, system) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let inst = self.instance_for(dag, sys);
+
+        let deadline = Duration::from_millis(
+            options
+                .deadline_ms
+                .unwrap_or(self.shared.config.default_deadline_ms),
+        );
+        let deadline_at = started + deadline;
+
+        // Fan the members out across the worker pool: every one is an
+        // ordinary memoized job sharing the same instance `Arc`, so a
+        // later single-algorithm request for any member hits the cache.
+        // Submission blocks (up to the deadline) when the burst exceeds
+        // the queue capacity — workers drain it while we wait.
+        let mut states = Vec::with_capacity(members.len());
+        for (name, alg) in names.iter().zip(members) {
+            match self.memo_or_submit(&inst, name, alg, &options, Some(deadline_at)) {
+                Ok(state) => states.push(state),
+                Err(resp) => return resp,
+            }
+        }
+        let mut bodies: Vec<ScheduleBody> = Vec::with_capacity(states.len());
+        for (name, state) in names.iter().zip(states) {
+            let body = match state {
+                MemberState::Cached(body) => *body,
+                MemberState::Pending(rx) => {
+                    let remaining = deadline.saturating_sub(started.elapsed());
+                    match await_reply(&rx, remaining) {
+                        Ok(Response::Ok {
+                            schedule: Some(body),
+                            ..
+                        }) => body,
+                        Ok(other) => return other,
+                        Err(channel::RecvTimeoutError::Timeout) => {
+                            ServiceMetrics::bump(&m.timeouts);
+                            return Response::Timeout {
+                                message: format!(
+                                    "deadline of {} ms exceeded waiting for `{name}`; members keep computing and will be cached",
+                                    deadline.as_millis()
+                                ),
+                            };
+                        }
+                        Err(channel::RecvTimeoutError::Disconnected) => {
+                            ServiceMetrics::bump(&m.errors);
+                            return Response::error("worker pool shut down before replying");
+                        }
+                    }
+                }
+            };
+            bodies.push(body);
+        }
+
+        let best = bodies
+            .iter()
+            .enumerate()
+            .min_by(|(ia, a), (ib, b)| a.makespan.total_cmp(&b.makespan).then_with(|| ia.cmp(ib)))
+            .map(|(i, _)| i)
+            .expect("at least one member");
+        let entries = bodies
+            .iter()
+            .map(|b| PortfolioEntryBody {
+                algorithm: b.algorithm.clone(),
+                makespan: b.makespan,
+                cached: b.cached,
+            })
+            .collect();
+        m.latency.record(started.elapsed());
+        Response::portfolio(PortfolioBody {
+            entries,
+            best,
+            schedule: bodies.swap_remove(best),
+        })
+    }
+}
+
+/// A portfolio member after the memo lookup: already answered from the
+/// cache, or in flight on the worker pool.
+enum MemberState {
+    /// Boxed so the in-flight variant stays pointer-sized.
+    Cached(Box<ScheduleBody>),
+    Pending(Receiver<Response>),
 }
 
 /// Wait for the worker's reply until `remaining` elapses, then make one
@@ -419,8 +635,9 @@ fn compute(job: Job, shared: &Shared) -> Response {
         panic!("debug_panic requested by client");
     }
 
+    let (dag, sys) = (job.inst.dag(), job.inst.sys());
     let (sched, trace) = if job.options.trace {
-        let (sched, trace) = hetsched_core::traced_schedule(&*job.alg, &job.dag, &job.sys);
+        let (sched, trace) = hetsched_core::traced_schedule_instance(&*job.alg, &job.inst);
         (
             sched,
             Some(TraceBody {
@@ -430,9 +647,9 @@ fn compute(job: Job, shared: &Shared) -> Response {
             }),
         )
     } else {
-        (job.alg.schedule(&job.dag, &job.sys), None)
+        (job.alg.schedule_instance(&job.inst), None)
     };
-    if let Err(e) = validate(&job.dag, &job.sys, &sched) {
+    if let Err(e) = validate(dag, sys, &sched) {
         ServiceMetrics::bump(&shared.metrics.errors);
         return Response::error(format!(
             "scheduler `{}` produced an invalid schedule: {e:?}",
@@ -441,7 +658,7 @@ fn compute(job: Job, shared: &Shared) -> Response {
     }
     let makespan = sched.makespan();
     let sim = job.options.simulate.then(|| {
-        let result = simulate(&job.dag, &job.sys, &sched, &SimConfig::default());
+        let result = simulate(dag, sys, &sched, &SimConfig::default());
         let tol = 1e-6 * makespan.abs().max(1.0);
         SimBody {
             matches_prediction: (result.makespan - makespan).abs() <= tol,
@@ -451,8 +668,8 @@ fn compute(job: Job, shared: &Shared) -> Response {
     let body = ScheduleBody {
         algorithm: job.algorithm,
         makespan,
-        slr: slr(&job.dag, &job.sys, makespan),
-        speedup: speedup(&job.dag, &job.sys, makespan),
+        slr: slr(dag, sys, makespan),
+        speedup: speedup(dag, sys, makespan),
         fingerprint: format!("{:016x}", job.fingerprint),
         cached: false,
         schedule: sched,
@@ -490,6 +707,7 @@ mod tests {
             workers: 2,
             queue_capacity: 4,
             cache_capacity: 8,
+            instance_cache_capacity: 4,
             default_deadline_ms: 10_000,
         }
     }
@@ -535,7 +753,7 @@ mod tests {
     }
 
     #[test]
-    fn different_algorithm_misses_cache() {
+    fn different_algorithm_misses_cache_but_shares_instance() {
         let svc = Service::start(test_config());
         svc.handle_line(&small_request(5, "HEFT", "{}"));
         svc.handle_line(&small_request(5, "CPOP", "{}"));
@@ -543,6 +761,100 @@ mod tests {
         assert_eq!(stats.cache_hits, 0);
         assert_eq!(stats.computed, 2);
         assert_eq!(stats.cache_entries, 2);
+        // The reply memo missed, but the second request reused the first
+        // request's ProblemInstance: same (dag, system) content key.
+        assert_eq!(stats.instance_cache_misses, 1);
+        assert_eq!(stats.instance_cache_hits, 1);
+        assert_eq!(stats.instance_cache_entries, 1);
+        svc.shutdown();
+    }
+
+    fn portfolio_request(n_tasks: usize, algorithms: &[&str], options: &str) -> String {
+        let tasks: Vec<String> = (0..n_tasks)
+            .map(|i| format!("{{\"weight\":{}}}", i + 1))
+            .collect();
+        let edges: Vec<String> = (1..n_tasks)
+            .map(|i| format!("{{\"src\":0,\"dst\":{i},\"data\":2.0}}"))
+            .collect();
+        let algs: Vec<String> = algorithms.iter().map(|a| format!("\"{a}\"")).collect();
+        format!(
+            "{{\"op\":\"portfolio\",\"dag\":{{\"tasks\":[{}],\"edges\":[{}]}},\
+             \"system\":{{\"processors\":{{\"kind\":\"homogeneous\",\"count\":3}},\
+             \"network\":{{\"topology\":\"fully_connected\",\"bandwidth\":1.0}}}},\
+             \"algorithms\":[{}],\"options\":{options}}}",
+            tasks.join(","),
+            edges.join(","),
+            algs.join(","),
+        )
+    }
+
+    #[test]
+    fn portfolio_returns_per_member_table_and_minimum() {
+        let svc = Service::start(test_config());
+        let algs = ["HEFT", "CPOP", "PETS", "ILS-H"];
+        let resp = svc.handle_line(&portfolio_request(6, &algs, "{}"));
+        let Response::Ok {
+            portfolio: Some(body),
+            ..
+        } = &resp
+        else {
+            panic!("unexpected response: {resp:?}");
+        };
+        assert_eq!(body.entries.len(), algs.len());
+        // entries come back in request order and the winner is the min
+        let mut min = f64::INFINITY;
+        for (entry, name) in body.entries.iter().zip(&algs) {
+            assert_eq!(&entry.algorithm, name);
+            min = min.min(entry.makespan);
+        }
+        assert_eq!(body.entries[body.best].makespan, min);
+        assert_eq!(body.schedule.makespan, min);
+        assert_eq!(body.schedule.algorithm, body.entries[body.best].algorithm);
+        // one instance, built once, shared by all members
+        let stats = svc.stats_body();
+        assert_eq!(stats.instance_cache_misses, 1);
+        assert_eq!(stats.computed, algs.len() as u64);
+
+        // Portfolio members memoize individually: a follow-up single
+        // request for any member is a pure cache hit.
+        let follow = svc.handle_line(&small_request(6, "CPOP", "{}"));
+        let Response::Ok {
+            schedule: Some(follow),
+            ..
+        } = &follow
+        else {
+            panic!("follow-up: {follow:?}");
+        };
+        assert!(follow.cached);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn portfolio_rejects_unknown_member() {
+        let svc = Service::start(test_config());
+        let resp = svc.handle_line(&portfolio_request(4, &["HEFT", "NO-SUCH"], "{}"));
+        let Response::Error { message } = &resp else {
+            panic!("expected error, got {resp:?}");
+        };
+        assert!(message.contains("NO-SUCH"), "message: {message}");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn empty_portfolio_runs_every_registered_algorithm() {
+        let svc = Service::start(test_config());
+        let resp = svc.handle_line(&portfolio_request(4, &[], "{}"));
+        let Response::Ok {
+            portfolio: Some(body),
+            ..
+        } = &resp
+        else {
+            panic!("unexpected response: {resp:?}");
+        };
+        assert_eq!(
+            body.entries.len(),
+            hetsched_core::algorithms::known_names().len()
+        );
         svc.shutdown();
     }
 
@@ -629,6 +941,7 @@ mod tests {
             workers: 1,
             queue_capacity: 1,
             cache_capacity: 8,
+            instance_cache_capacity: 4,
             default_deadline_ms: 10_000,
         });
         // Occupy the single worker, then fill the one-slot queue, with

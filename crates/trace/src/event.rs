@@ -115,6 +115,13 @@ pub struct Counters {
     pub append_queries: u64,
     /// Slots committed into timelines (speculative trials included).
     pub timeline_inserts: u64,
+    /// Rank vectors served from a [`ProblemInstance`] memo without
+    /// recomputation (`ProblemInstance` lives in `hetsched-core`).
+    #[serde(default)]
+    pub rank_memo_hits: u64,
+    /// Rank vectors computed and inserted into an instance memo.
+    #[serde(default)]
+    pub rank_memo_misses: u64,
 }
 
 /// One named wall-clock phase of a scheduling run (e.g. rank computation

@@ -64,6 +64,10 @@ fn optimized_engine_schedules_byte_identical_to_reference_across_grid() {
     grid.push(("hom-60".into(), dag, sys));
 
     for (label, dag, sys) in &grid {
+        // One shared, memoized instance for the whole grid point: every
+        // algorithm must see exactly the schedule a fresh per-call
+        // instance produces — the memo may never change a bit.
+        let inst = hetsched::core::ProblemInstance::from_refs(dag, sys);
         for alg in all_heterogeneous() {
             let fast = alg.schedule(dag, sys);
             let reference = with_reference_engine(|| alg.schedule(dag, sys));
@@ -74,7 +78,53 @@ fn optimized_engine_schedules_byte_identical_to_reference_across_grid() {
                 alg.name()
             );
             assert_eq!(fast.makespan().to_bits(), reference.makespan().to_bits());
+            let shared = alg.schedule_instance(&inst);
+            assert_eq!(
+                slot_digest(&shared),
+                slot_digest(&fast),
+                "{} diverged on the shared ProblemInstance on {label}",
+                alg.name()
+            );
         }
+    }
+}
+
+/// The portfolio runner is exactly "run every member, keep the minimum":
+/// its per-member schedules are bit-identical to direct library calls and
+/// the winner is the per-algorithm minimum makespan.
+#[test]
+fn portfolio_equals_per_algorithm_minimum_of_direct_calls() {
+    use hetsched::core::{run_portfolio, ProblemInstance};
+
+    let mut rng = StdRng::seed_from_u64(96);
+    let dag = random_dag(&RandomDagParams::new(80, 1.0, 2.0), &mut rng);
+    let sys = System::heterogeneous_random(&dag, 5, &EtcParams::range_based(1.0), &mut rng);
+
+    let algs = all_heterogeneous();
+    let refs: Vec<&(dyn hetsched::core::Scheduler + Send + Sync)> =
+        algs.iter().map(|b| &**b).collect();
+    let inst = ProblemInstance::from_refs(&dag, &sys);
+    let result = run_portfolio(&inst, &refs);
+
+    assert_eq!(result.entries.len(), algs.len());
+    let mut min_direct = f64::INFINITY;
+    for (entry, alg) in result.entries.iter().zip(&algs) {
+        assert_eq!(entry.algorithm, alg.name());
+        let direct = alg.schedule(&dag, &sys);
+        assert_eq!(
+            slot_digest(&entry.schedule),
+            slot_digest(&direct),
+            "{} portfolio schedule differs from a direct call",
+            alg.name()
+        );
+        min_direct = min_direct.min(direct.makespan());
+    }
+    let best = result.best_entry();
+    assert_eq!(best.makespan.to_bits(), min_direct.to_bits());
+    assert_eq!(validate(&dag, &sys, &best.schedule), Ok(()));
+    // ties break toward the earliest member: nothing before `best` matches
+    for entry in &result.entries[..result.best] {
+        assert!(entry.makespan > best.makespan);
     }
 }
 

@@ -24,6 +24,7 @@ fn test_config() -> ServeConfig {
         workers: 2,
         queue_capacity: 16,
         cache_capacity: 16,
+        instance_cache_capacity: 16,
         default_deadline_ms: 10_000,
     }
 }

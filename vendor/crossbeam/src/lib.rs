@@ -70,6 +70,16 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Sender::send_timeout`].
+    pub enum SendTimeoutError<T> {
+        /// The channel stayed full for the whole timeout; the unsent
+        /// message is returned.
+        Timeout(T),
+        /// Every receiver has been dropped; the unsent message is
+        /// returned.
+        Disconnected(T),
+    }
+
     /// Error returned by [`Receiver::recv_timeout`].
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub enum RecvTimeoutError {
@@ -112,6 +122,39 @@ pub mod channel {
     }
 
     impl<T> std::error::Error for TrySendError<T> {}
+
+    impl<T> fmt::Debug for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => f.write_str("SendTimeoutError::Timeout(..)"),
+                SendTimeoutError::Disconnected(_) => {
+                    f.write_str("SendTimeoutError::Disconnected(..)")
+                }
+            }
+        }
+    }
+
+    impl<T> fmt::Display for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => f.write_str("sending timed out on a full channel"),
+                SendTimeoutError::Disconnected(_) => {
+                    f.write_str("sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl<T> std::error::Error for SendTimeoutError<T> {}
+
+    impl<T> SendTimeoutError<T> {
+        /// Recover the message that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                SendTimeoutError::Timeout(m) | SendTimeoutError::Disconnected(m) => m,
+            }
+        }
+    }
 
     impl<T> TrySendError<T> {
         /// Recover the message that could not be sent.
@@ -231,6 +274,41 @@ pub mod channel {
             if let Some(cap) = self.0.cap {
                 if st.queue.len() >= cap {
                     return Err(TrySendError::Full(msg));
+                }
+            }
+            st.queue.push_back(msg);
+            drop(st);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Send, blocking at most `timeout` while the channel is full.
+        ///
+        /// # Errors
+        /// [`SendTimeoutError::Timeout`] when still full at the deadline,
+        /// [`SendTimeoutError::Disconnected`] when every receiver is
+        /// gone; both return the unsent message.
+        pub fn send_timeout(&self, msg: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.0.lock();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(msg));
+                }
+                match self.0.cap {
+                    Some(cap) if st.queue.len() >= cap => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return Err(SendTimeoutError::Timeout(msg));
+                        }
+                        let (g, _) = self
+                            .0
+                            .not_full
+                            .wait_timeout(st, deadline - now)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        st = g;
+                    }
+                    _ => break,
                 }
             }
             st.queue.push_back(msg);

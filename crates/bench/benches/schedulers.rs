@@ -33,5 +33,45 @@ fn bench_schedulers(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_schedulers);
+/// The parallel search layer: GA and DUP-HEFT at jobs = 1 vs 4. The
+/// schedules are bit-identical at both settings, so the delta is pure
+/// wall-clock — the fan-out win on a multi-core host, pool overhead on a
+/// single core.
+fn bench_search_jobs(c: &mut Criterion) {
+    use hetsched_core::algorithms::{DupHeft, Genetic};
+    use hetsched_core::par::with_jobs;
+    use hetsched_core::Scheduler;
+
+    let inst = random_instance(200, 1.0, 8, 15);
+    let ga = Genetic {
+        population: 16,
+        generations: 12,
+        mutation_rate: 0.08,
+        seed: 21,
+    };
+    let dup = DupHeft::new();
+    let mut g = c.benchmark_group("search-jobs");
+    g.sample_size(10);
+    for jobs in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("GA", jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                with_jobs(jobs, || {
+                    let s = ga.schedule(black_box(&inst.dag), black_box(&inst.sys));
+                    black_box(s.makespan())
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("DUP-HEFT", jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                with_jobs(jobs, || {
+                    let s = dup.schedule(black_box(&inst.dag), black_box(&inst.sys));
+                    black_box(s.makespan())
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_search_jobs);
 criterion_main!(benches);

@@ -137,9 +137,29 @@ pub fn generate(flags: &Flags) -> Result<String, CliError> {
     ))
 }
 
+/// Run `f` under the `--jobs` search-parallelism override when the flag
+/// was given, otherwise directly (the `HETSCHED_JOBS` env fallback and the
+/// machine default then apply, see [`hetsched_core::par::effective_jobs`]).
+/// Schedules are bit-identical at any thread count, so `--jobs` changes
+/// speed only, never output.
+fn with_jobs_flag<R>(flags: &Flags, f: impl FnOnce() -> R) -> Result<R, CliError> {
+    match flags.get("jobs") {
+        Some(v) => {
+            let j: usize = v
+                .parse()
+                .map_err(|e| CliError(format!("--jobs: invalid value `{v}` ({e})")))?;
+            Ok(hetsched_core::par::with_jobs(j.max(1), f))
+        }
+        None => Ok(f()),
+    }
+}
+
 /// `schedule` — run an algorithm and optionally export artifacts.
 pub fn schedule(flags: &Flags) -> Result<String, CliError> {
-    check_allowed(flags, &["dag", "system", "alg", "out", "gantt", "dot"])?;
+    check_allowed(
+        flags,
+        &["dag", "system", "alg", "out", "gantt", "dot", "jobs"],
+    )?;
     let dag = load_dag(flags.require("dag")?)?;
     let sys = load_system(flags.require("system")?, &dag)?;
     let alg_name = flags.require("alg")?;
@@ -148,7 +168,7 @@ pub fn schedule(flags: &Flags) -> Result<String, CliError> {
             "unknown algorithm `{alg_name}`; run `hetsched-cli algorithms`"
         ))
     })?;
-    let sched = alg.schedule(&dag, &sys);
+    let sched = with_jobs_flag(flags, || alg.schedule(&dag, &sys))?;
     validate(&dag, &sys, &sched)
         .map_err(|e| CliError(format!("internal error: invalid schedule: {e}")))?;
 
@@ -180,7 +200,7 @@ pub fn schedule(flags: &Flags) -> Result<String, CliError> {
 /// [`hetsched_core::ProblemInstance`] and report the per-algorithm
 /// makespan table plus the winning schedule.
 pub fn portfolio(flags: &Flags) -> Result<String, CliError> {
-    check_allowed(flags, &["dag", "system", "algs", "out", "gantt"])?;
+    check_allowed(flags, &["dag", "system", "algs", "out", "gantt", "jobs"])?;
     let dag = load_dag(flags.require("dag")?)?;
     let sys = load_system(flags.require("system")?, &dag)?;
     let names: Vec<String> = match flags.get("algs") {
@@ -208,7 +228,7 @@ pub fn portfolio(flags: &Flags) -> Result<String, CliError> {
     let inst = hetsched_core::ProblemInstance::new(dag, sys);
     let refs: Vec<&(dyn hetsched_core::Scheduler + Send + Sync)> =
         algs.iter().map(|b| &**b).collect();
-    let result = hetsched_core::run_portfolio(&inst, &refs);
+    let result = with_jobs_flag(flags, || hetsched_core::run_portfolio(&inst, &refs))?;
     let best = result.best_entry();
     validate(inst.dag(), inst.sys(), &best.schedule)
         .map_err(|e| CliError(format!("internal error: invalid schedule: {e}")))?;
@@ -255,7 +275,7 @@ pub fn portfolio(flags: &Flags) -> Result<String, CliError> {
 /// NDJSON event log, or a Chrome-trace JSON loadable in Perfetto /
 /// `chrome://tracing`.
 pub fn explain(flags: &Flags) -> Result<String, CliError> {
-    check_allowed(flags, &["dag", "system", "alg", "format", "out"])?;
+    check_allowed(flags, &["dag", "system", "alg", "format", "out", "jobs"])?;
     let dag = load_dag(flags.require("dag")?)?;
     let sys = load_system(flags.require("system")?, &dag)?;
     let alg_name = flags.require("alg")?;
@@ -264,12 +284,13 @@ pub fn explain(flags: &Flags) -> Result<String, CliError> {
             "unknown algorithm `{alg_name}`; run `hetsched-cli algorithms`"
         ))
     })?;
-    let (sched, trace) = hetsched_core::traced_schedule(&alg, &dag, &sys);
+    let (sched, trace) =
+        with_jobs_flag(flags, || hetsched_core::traced_schedule(&alg, &dag, &sys))?;
     validate(&dag, &sys, &sched)
         .map_err(|e| CliError(format!("internal error: invalid schedule: {e}")))?;
     // Zero-perturbation guarantee, cross-checked on every run: the traced
     // schedule must be bit-identical to an untraced one.
-    let untraced = alg.schedule(&dag, &sys);
+    let untraced = with_jobs_flag(flags, || alg.schedule(&dag, &sys))?;
     if serde_json::to_string(&sched)? != serde_json::to_string(&untraced)? {
         return Err(CliError(
             "internal error: tracing perturbed the schedule".into(),
@@ -534,9 +555,18 @@ pub fn serve(flags: &Flags) -> Result<String, CliError> {
             "cache",
             "instance-cache",
             "deadline-ms",
+            "jobs",
         ],
     )?;
     let config = serve_config(flags)?;
+    // Daemon-wide default for intra-algorithm search threads; a request's
+    // own `jobs` option still overrides it per job.
+    if let Some(v) = flags.get("jobs") {
+        let j: usize = v
+            .parse()
+            .map_err(|e| CliError(format!("--jobs: invalid value `{v}` ({e})")))?;
+        hetsched_core::par::set_global_jobs(Some(j));
+    }
     if flags.has("stdin") {
         let service = hetsched_serve::Service::start(config);
         let stdin = std::io::stdin();
@@ -569,7 +599,16 @@ pub fn serve(flags: &Flags) -> Result<String, CliError> {
 pub fn request(flags: &Flags) -> Result<String, CliError> {
     check_allowed(
         flags,
-        &["addr", "op", "dag", "system", "alg", "algs", "deadline-ms"],
+        &[
+            "addr",
+            "op",
+            "dag",
+            "system",
+            "alg",
+            "algs",
+            "deadline-ms",
+            "jobs",
+        ],
     )?;
     let addr = flags.require("addr")?;
     let op = flags.get("op").unwrap_or("schedule");
@@ -597,6 +636,12 @@ pub fn request(flags: &Flags) -> Result<String, CliError> {
                     .parse()
                     .map_err(|e| CliError(format!("--deadline-ms: invalid value `{ms}` ({e})")))?;
                 options.insert("deadline_ms", serde_json::to_value(ms)?);
+            }
+            if let Some(j) = flags.get("jobs") {
+                let j: usize = j
+                    .parse()
+                    .map_err(|e| CliError(format!("--jobs: invalid value `{j}` ({e})")))?;
+                options.insert("jobs", serde_json::to_value(j)?);
             }
             let mut req = serde_json::Map::new();
             req.insert("op", serde_json::Value::String("schedule".into()));
@@ -634,6 +679,12 @@ pub fn request(flags: &Flags) -> Result<String, CliError> {
                     .parse()
                     .map_err(|e| CliError(format!("--deadline-ms: invalid value `{ms}` ({e})")))?;
                 options.insert("deadline_ms", serde_json::to_value(ms)?);
+            }
+            if let Some(j) = flags.get("jobs") {
+                let j: usize = j
+                    .parse()
+                    .map_err(|e| CliError(format!("--jobs: invalid value `{j}` ({e})")))?;
+                options.insert("jobs", serde_json::to_value(j)?);
             }
             let mut req = serde_json::Map::new();
             req.insert("op", serde_json::Value::String("portfolio".into()));
@@ -1058,6 +1109,35 @@ mod tests {
         )))
         .unwrap_err();
         assert!(err.0.contains("unknown algorithm `WAT`"), "{err}");
+    }
+
+    #[test]
+    fn jobs_flag_does_not_change_the_schedule() {
+        let dag_path = tmp("jobs-dag.json");
+        let sys_path = tmp("jobs-sys.json");
+        let seq_path = tmp("jobs-sched-1.json");
+        let par_path = tmp("jobs-sched-2.json");
+        generate(&argv(&format!(
+            "--kind gauss --m 6 --ccr 2.0 --seed 4 --out {dag_path}"
+        )))
+        .unwrap();
+        write_system(&sys_path);
+        for (jobs, path) in [("1", &seq_path), ("2", &par_path)] {
+            schedule(&argv(&format!(
+                "--dag {dag_path} --system {sys_path} --alg DUP-HEFT --jobs {jobs} --out {path}"
+            )))
+            .unwrap();
+        }
+        assert_eq!(
+            std::fs::read_to_string(&seq_path).unwrap(),
+            std::fs::read_to_string(&par_path).unwrap(),
+            "--jobs must never change the schedule"
+        );
+        let err = schedule(&argv(&format!(
+            "--dag {dag_path} --system {sys_path} --alg HEFT --jobs nope"
+        )))
+        .unwrap_err();
+        assert!(err.0.contains("--jobs"), "{err}");
     }
 
     #[test]

@@ -67,16 +67,17 @@ commands:
   schedule    schedule a DAG onto a system
               --dag FILE --system FILE --alg NAME
               [--out FILE] [--gantt FILE.svg] [--dot FILE.dot] [--quiet]
+              [--jobs N]
   portfolio   run several algorithms in parallel over one shared problem
               instance; print the per-algorithm makespan table and keep
               the best schedule
               --dag FILE --system FILE [--algs A,B,C]
-              [--out FILE] [--gantt FILE.svg]
+              [--out FILE] [--gantt FILE.svg] [--jobs N]
               (no --algs runs every registered algorithm)
   explain     trace a scheduling run: decision log, engine counters, and
               phase timings
               --dag FILE --system FILE --alg NAME
-              [--format summary|ndjson|chrome-trace] [--out FILE]
+              [--format summary|ndjson|chrome-trace] [--out FILE] [--jobs N]
   validate    check a schedule against DAG + system
               --dag FILE --system FILE --schedule FILE
   simulate    replay a schedule in the discrete-event simulator
@@ -88,12 +89,17 @@ commands:
               --from FILE --out FILE [--comm X]
   serve       run the resident scheduling daemon (NDJSON over TCP or stdin)
               [--addr HOST:PORT] [--stdin] [--workers N] [--queue N]
-              [--cache N] [--instance-cache N] [--deadline-ms MS]
+              [--cache N] [--instance-cache N] [--deadline-ms MS] [--jobs N]
   request     send one request to a running daemon and print the reply
               --addr HOST:PORT
               [--op schedule|portfolio|stats|metrics|shutdown]
               [--dag FILE --system FILE --alg NAME] [--algs A,B,C]
-              [--simulate] [--trace] [--deadline-ms MS]
+              [--simulate] [--trace] [--deadline-ms MS] [--jobs N]
               (--op metrics prints the Prometheus text unwrapped;
                --op portfolio fans --algs out across the worker pool)
-  algorithms  list scheduler names usable with --alg";
+  algorithms  list scheduler names usable with --alg
+
+--jobs N sets the intra-algorithm search threads for GA, ILS-D, DUP-HEFT,
+and BNB (schedules are bit-identical at any thread count). The
+HETSCHED_JOBS environment variable is the fallback; the default is the
+machine's available parallelism.";

@@ -118,6 +118,7 @@ impl Scheduler for Genetic {
         let n = dag.num_tasks();
         let np = sys.num_procs() as u32;
         let mut rng = StdRng::seed_from_u64(self.seed);
+        let jobs = crate::par::effective_jobs().min(self.population);
 
         // seed individual: HEFT's upward ranks as priorities, HEFT's
         // assignment as genes — decodes to (essentially) HEFT's schedule
@@ -130,34 +131,51 @@ impl Scheduler for Genetic {
                 .collect(),
         };
 
-        let mut population: Vec<(f64, Chromosome)> = Vec::with_capacity(self.population);
-        let fitness = |ch: &Chromosome| decode(dag, sys, ch).makespan();
-        population.push((fitness(&heft_chrom), heft_chrom.clone()));
-        while population.len() < self.population {
-            let ch = Chromosome {
+        // Fitness evaluation (decode + makespan) consumes no RNG, so
+        // generating every chromosome of a batch first and evaluating the
+        // batch afterwards — in parallel, results in submission order —
+        // consumes the exact RNG stream of the evaluate-as-you-generate
+        // sequential loop. Chromosomes and fitnesses live in parallel
+        // vectors; generations are ordered by an index argsort instead of
+        // re-sorting the population payloads (stable-sort permutation
+        // reproduced via the original-index tie-break).
+        let mut chroms: Vec<Chromosome> = Vec::with_capacity(self.population);
+        chroms.push(heft_chrom);
+        while chroms.len() < self.population {
+            chroms.push(Chromosome {
                 priority: (0..n).map(|_| rng.gen::<f64>()).collect(),
                 assign: (0..n).map(|_| rng.gen_range(0..np)).collect(),
-            };
-            population.push((fitness(&ch), ch));
+            });
         }
+        let eval = |batch: &[Chromosome]| -> Vec<f64> {
+            crate::par::par_map_collect(jobs, batch, |ch| decode(dag, sys, ch).makespan())
+        };
+        let mut fit: Vec<f64> = eval(&chroms);
+        let argsort = |fit: &[f64]| -> Vec<usize> {
+            let mut order: Vec<usize> = (0..fit.len()).collect();
+            order.sort_unstable_by(|&i, &j| fit[i].total_cmp(&fit[j]).then_with(|| i.cmp(&j)));
+            order
+        };
 
-        let tournament = |pop: &[(f64, Chromosome)], rng: &mut StdRng| -> Chromosome {
-            let a = rng.gen_range(0..pop.len());
-            let b = rng.gen_range(0..pop.len());
-            if pop[a].0 <= pop[b].0 {
-                pop[a].1.clone()
+        // tournament over the fitness-sorted view: positions index `order`
+        let tournament = |order: &[usize], fit: &[f64], rng: &mut StdRng| -> usize {
+            let a = rng.gen_range(0..order.len());
+            let b = rng.gen_range(0..order.len());
+            if fit[order[a]] <= fit[order[b]] {
+                order[a]
             } else {
-                pop[b].1.clone()
+                order[b]
             }
         };
 
         for _ in 0..self.generations {
-            population.sort_by(|x, y| x.0.total_cmp(&y.0));
-            let elite = population[0].clone();
+            let order = argsort(&fit);
+            let elite = chroms[order[0]].clone();
+            let elite_fit = fit[order[0]];
             let mut next = vec![elite];
             while next.len() < self.population {
-                let pa = tournament(&population, &mut rng);
-                let pb = tournament(&population, &mut rng);
+                let pa = &chroms[tournament(&order, &fit, &mut rng)];
+                let pb = &chroms[tournament(&order, &fit, &mut rng)];
                 // uniform crossover on both parts
                 let mut child = Chromosome {
                     priority: (0..n)
@@ -189,12 +207,17 @@ impl Scheduler for Genetic {
                         child.assign[i] = rng.gen_range(0..np);
                     }
                 }
-                next.push((fitness(&child), child));
+                next.push(child);
             }
-            population = next;
+            // elite fitness is carried, children are batch-evaluated
+            let child_fit = eval(&next[1..]);
+            fit.clear();
+            fit.push(elite_fit);
+            fit.extend(child_fit);
+            chroms = next;
         }
-        population.sort_by(|x, y| x.0.total_cmp(&y.0));
-        decode(dag, sys, &population[0].1)
+        let order = argsort(&fit);
+        decode(dag, sys, &chroms[order[0]])
     }
 }
 

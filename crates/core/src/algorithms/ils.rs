@@ -24,7 +24,7 @@
 use hetsched_dag::{Dag, TaskId};
 use hetsched_platform::{ProcId, System};
 
-use crate::algorithms::duplication::place_with_duplication;
+use crate::algorithms::duplication::{apply_spec, Commit, TrialSpec};
 use crate::algorithms::mcp::alap_order;
 use crate::cost::CostAggregation;
 use crate::engine::EftContext;
@@ -76,10 +76,45 @@ fn lookahead_score(
     best
 }
 
+/// One speculative ILS-D placement to score: the spec plus the critical
+/// child whose estimated finish breaks near-ties.
+#[derive(Debug, Clone, Copy)]
+struct EvalItem {
+    c: Commit,
+    child: Option<(TaskId, f64)>,
+}
+
+/// Probe `item` on `s` under the trial log and return
+/// `(lookahead score, finish)` — the score is computed *with the probe
+/// applied* (it reads processor availabilities the placement changes),
+/// then everything is rolled back, leaving `s` bit-identical.
+fn eval_trial(dag: &Dag, sys: &System, s: &mut Schedule, item: &EvalItem) -> (f64, f64) {
+    let p = match item.c.spec {
+        TrialSpec::Plain { p, .. } | TrialSpec::Dup { p } => p,
+    };
+    s.begin_trial();
+    let finish = apply_spec(dag, sys, s, &item.c);
+    let score = match item.child {
+        Some((c, data)) => lookahead_score(sys, s, c, data, p, finish),
+        None => finish,
+    };
+    s.rollback_trial();
+    (score, finish)
+}
+
+/// The replay-pool round type ILS-D fans its duplication trials out on.
+type DupRounds = crate::par::Rounds<Commit, EvalItem, (f64, f64)>;
+
 /// Shared ILS processor selection: take the EFT-candidate set within
 /// `tolerance`, re-rank near-ties by the lookahead score, and place `t`
 /// (with optional duplication). Returns nothing; mutates `sched`. `ctx`
 /// and `cands` are scratch buffers owned by the caller's scheduling loop.
+///
+/// With `duplication`, candidate probes either run in-place under the
+/// schedule trial log (`pool = None`) or fan out over a deterministic
+/// replay pool whose replicas are kept in lockstep by re-broadcasting the
+/// previous commit (`pending`). Both paths reduce with the identical fold
+/// in submission order, so the placement is the same bit-for-bit.
 #[allow(clippy::too_many_arguments)]
 fn select_and_place(
     inst: &ProblemInstance,
@@ -91,6 +126,8 @@ fn select_and_place(
     tolerance: f64,
     lookahead: bool,
     duplication: bool,
+    pool: Option<&mut DupRounds>,
+    pending: &mut Option<Commit>,
 ) {
     let (dag, sys) = (inst.dag(), inst.sys());
     ctx.eft_candidates_into(inst, sched, t, true, tolerance, cands);
@@ -130,41 +167,55 @@ fn select_and_place(
     let plain_best = cands[0]; // EFT-minimal placement without duplication
     ctx.eft_candidates_into(inst, sched, t, true, f64::INFINITY, cands);
     cands.truncate(near_ties.max(3));
-    let mut best: Option<(f64, f64, Schedule)> = None; // (score, finish, trial)
-    let consider =
-        |p: ProcId, finish: f64, trial: Schedule, best: &mut Option<(f64, f64, Schedule)>| {
-            let score = match child {
-                Some((c, data)) => lookahead_score(sys, &trial, c, data, p, finish),
-                None => finish,
-            };
-            let better = match best {
-                None => true,
-                Some((bs, bf, _)) => {
-                    score + TIME_EPS < *bs
-                        || ((score - *bs).abs() <= TIME_EPS && finish + TIME_EPS < *bf)
-                }
-            };
-            if better {
-                *best = Some((score, finish, trial));
-            }
-        };
     // the plain (no-duplication) placement competes too: greedy duplication
     // can occupy gaps later tasks would have used, so it must *win* the
-    // local comparison to be committed
+    // local comparison to be committed — it probes first, as it always has
+    let mut specs: Vec<Commit> = Vec::with_capacity(cands.len() + 1);
     {
         let (p, start, finish) = plain_best;
-        let mut trial = sched.clone();
-        trial
-            .insert(t, p, start, finish - start)
-            .expect("EFT placement is conflict-free");
-        consider(p, finish, trial, &mut best);
+        specs.push(Commit {
+            t,
+            spec: TrialSpec::Plain { p, start, finish },
+        });
     }
-    for &(p, _, _) in cands.iter() {
-        let mut trial = sched.clone();
-        let finish = place_with_duplication(dag, sys, &mut trial, t, p);
-        consider(p, finish, trial, &mut best);
+    specs.extend(cands.iter().map(|&(p, _, _)| Commit {
+        t,
+        spec: TrialSpec::Dup { p },
+    }));
+    let results: Vec<(f64, f64)> = match pool {
+        Some(rounds) => rounds.round(
+            pending.as_ref(),
+            specs.iter().map(|&c| EvalItem { c, child }).collect(),
+        ),
+        None => specs
+            .iter()
+            .map(|&c| eval_trial(dag, sys, sched, &EvalItem { c, child }))
+            .collect(),
+    };
+    // ordered fold over the probe results: the original `consider`
+    // comparison, verbatim, in submission order
+    let mut best: Option<(f64, f64, usize)> = None;
+    for (i, &(score, finish)) in results.iter().enumerate() {
+        let better = match &best {
+            None => true,
+            Some((bs, bf, _)) => {
+                score + TIME_EPS < *bs
+                    || ((score - *bs).abs() <= TIME_EPS && finish + TIME_EPS < *bf)
+            }
+        };
+        if better {
+            best = Some((score, finish, i));
+        }
     }
-    *sched = best.expect("candidate set non-empty").2;
+    let (_, best_finish, idx) = best.expect("candidate set non-empty");
+    let commit = specs[idx];
+    let finish = apply_spec(dag, sys, sched, &commit);
+    debug_assert_eq!(
+        finish.to_bits(),
+        best_finish.to_bits(),
+        "re-applying the winning trial must reproduce its finish"
+    );
+    *pending = Some(commit);
 }
 
 /// ILS-H: spread-aware ranks + lookahead EFT selection (heterogeneous).
@@ -226,6 +277,8 @@ impl Scheduler for IlsH {
                 self.tolerance,
                 self.lookahead,
                 false,
+                None,
+                &mut None,
             );
         }
         sched
@@ -266,34 +319,60 @@ impl Scheduler for IlsD {
     }
 
     fn schedule_instance(&self, inst: &ProblemInstance) -> Schedule {
+        let (dag, sys) = (inst.dag(), inst.sys());
         let rank = {
             let _span = hetsched_trace::span("rank");
             inst.upward_rank(self.agg)
         };
         let order = sort_by_priority_desc(&rank);
-        let mut sched = Schedule::new(inst.dag().num_tasks(), inst.sys().num_procs());
-        let mut ctx = EftContext::new(inst.sys());
-        let mut cands = Vec::with_capacity(inst.sys().num_procs());
-        let _span = hetsched_trace::span("place_loop");
-        for (step, t) in order.into_iter().enumerate() {
-            hetsched_trace::emit(|| hetsched_trace::Event::TaskSelected {
-                step: step as u64,
-                task: t.index() as u32,
-                priority: rank[t.index()],
-            });
-            select_and_place(
-                inst,
-                &mut sched,
-                &mut ctx,
-                &mut cands,
-                &rank,
-                t,
-                self.tolerance,
-                self.lookahead,
-                true,
-            );
+        // each round probes one plain placement plus up to
+        // `max(near_ties, 3)` duplication candidates — more workers than
+        // processors + 1 can never all be busy
+        let jobs = crate::par::effective_jobs().min(sys.num_procs() + 1);
+
+        let run = |pool: Option<&mut DupRounds>| -> Schedule {
+            let mut pool = pool;
+            let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
+            let mut ctx = EftContext::new(sys);
+            let mut cands = Vec::with_capacity(sys.num_procs());
+            let mut pending: Option<Commit> = None;
+            let _span = hetsched_trace::span("place_loop");
+            for (step, &t) in order.iter().enumerate() {
+                hetsched_trace::emit(|| hetsched_trace::Event::TaskSelected {
+                    step: step as u64,
+                    task: t.index() as u32,
+                    priority: rank[t.index()],
+                });
+                select_and_place(
+                    inst,
+                    &mut sched,
+                    &mut ctx,
+                    &mut cands,
+                    &rank,
+                    t,
+                    self.tolerance,
+                    self.lookahead,
+                    true,
+                    pool.as_deref_mut(),
+                    &mut pending,
+                );
+            }
+            sched
+        };
+
+        if jobs <= 1 {
+            run(None)
+        } else {
+            crate::par::scoped_replay_pool(
+                jobs,
+                || Schedule::new(dag.num_tasks(), sys.num_procs()),
+                |s: &mut Schedule, c: &Commit| {
+                    apply_spec(dag, sys, s, c);
+                },
+                |s: &mut Schedule, item: &EvalItem| eval_trial(dag, sys, s, item),
+                |rounds| run(Some(rounds)),
+            )
         }
-        sched
     }
 }
 
@@ -351,6 +430,8 @@ impl Scheduler for IlsM {
                 self.tolerance,
                 true,
                 false,
+                None,
+                &mut None,
             );
         }
         sched

@@ -22,6 +22,8 @@
 //! starts at its earliest feasible time given the decision order) with
 //! insertion, which preserves at least one optimal schedule.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use hetsched_dag::{Dag, TaskId};
 use hetsched_platform::System;
 
@@ -30,6 +32,166 @@ use crate::eft::eft_on_raw;
 use crate::instance::ProblemInstance;
 use crate::schedule::Schedule;
 use crate::Scheduler;
+
+/// Nodes the sequential warm-up phase expands before the search switches
+/// to round-based subtree exploration. Small instances finish entirely in
+/// this phase (identical to the classic DFS); the constant is independent
+/// of the thread count, so the phase structure — and therefore the result
+/// — is the same at any `jobs`.
+const SEQ_PREFIX_NODES: usize = 192;
+
+/// Subtree roots explored per round in the parallel phase. A fixed width
+/// (not `jobs`-derived!) keeps round boundaries, and with them every
+/// incumbent-bound update, identical at any thread count.
+const ROUND_WIDTH: usize = 16;
+
+/// One open node of the search: a partial schedule plus the ready-set
+/// bookkeeping to expand it.
+#[derive(Clone)]
+struct Node {
+    sched: Schedule,
+    scheduled: Vec<bool>,
+    remaining_preds: Vec<usize>,
+    done: usize,
+    remaining_work: f64,
+}
+
+/// Shared read-only search context.
+struct Ctx<'a> {
+    dag: &'a Dag,
+    sys: &'a System,
+    bl_min: Vec<f64>,
+    min_exec: Vec<f64>,
+    n: usize,
+}
+
+fn lower_bound(ctx: &Ctx<'_>, sched: &Schedule, scheduled: &[bool], remaining_work: f64) -> f64 {
+    let mut lb = sched.makespan();
+    // work bound: committed busy time + remaining fastest work
+    let wb = (sched.busy_time() + remaining_work) / ctx.sys.num_procs() as f64;
+    if wb > lb {
+        lb = wb;
+    }
+    // path bound
+    for t in ctx.dag.task_ids() {
+        if scheduled[t.index()] {
+            continue;
+        }
+        let mut est = 0.0f64;
+        for (u, _) in ctx.dag.predecessors(t) {
+            if let Some(f) = sched.task_finish(u) {
+                if f > est {
+                    est = f;
+                }
+            }
+        }
+        let pb = est + ctx.bl_min[t.index()];
+        if pb > lb {
+            lb = pb;
+        }
+    }
+    lb
+}
+
+/// Expand `node` onto `stack` in LIFO order: children are generated
+/// most-promising-first (deepest min-exec bottom level, then EFT) and
+/// pushed reversed so the most promising branch pops first.
+fn push_children(ctx: &Ctx<'_>, node: &Node, stack: &mut Vec<Node>) {
+    let (dag, sys) = (ctx.dag, ctx.sys);
+    let mut ready: Vec<TaskId> = dag
+        .task_ids()
+        .filter(|t| !node.scheduled[t.index()] && node.remaining_preds[t.index()] == 0)
+        .collect();
+    ready.sort_by(|&a, &b| {
+        ctx.bl_min[b.index()]
+            .total_cmp(&ctx.bl_min[a.index()])
+            .then_with(|| a.cmp(&b))
+    });
+    let mut children: Vec<Node> = Vec::new();
+    for &t in &ready {
+        let mut procs: Vec<(hetsched_platform::ProcId, f64, f64)> = sys
+            .proc_ids()
+            .map(|p| {
+                let (s, f) = eft_on_raw(dag, sys, &node.sched, t, p, true);
+                (p, s, f)
+            })
+            .collect();
+        procs.sort_by(|a, b| a.2.total_cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+        for (p, start, finish) in procs {
+            let mut sched = node.sched.clone();
+            sched
+                .insert(t, p, start, finish - start)
+                .expect("EFT placement is conflict-free");
+            let mut scheduled = node.scheduled.clone();
+            scheduled[t.index()] = true;
+            let mut remaining_preds = node.remaining_preds.clone();
+            for (s, _) in dag.successors(t) {
+                remaining_preds[s.index()] -= 1;
+            }
+            children.push(Node {
+                sched,
+                scheduled,
+                remaining_preds,
+                done: node.done + 1,
+                remaining_work: node.remaining_work - ctx.min_exec[t.index()],
+            });
+        }
+    }
+    while let Some(c) = children.pop() {
+        stack.push(c);
+    }
+}
+
+/// Outcome of exhausting (or capping) one subtree.
+struct SubResult {
+    /// Best complete schedule found in the subtree, if it beat the entry
+    /// bound.
+    best: Option<(f64, Schedule)>,
+    /// Nodes expanded.
+    nodes: usize,
+    /// Whether the node cap cut the subtree short (completeness lost).
+    capped: bool,
+}
+
+/// Exhaust the subtree under `root` by sequential DFS, pruning against
+/// `entry_bound` tightened only by the subtree's *own* discoveries.
+/// Deterministic: the result depends only on (`root`, `entry_bound`,
+/// `cap`), never on what concurrent subtrees find — cross-subtree bound
+/// sharing happens exclusively at round boundaries (see DESIGN.md §9 for
+/// why mid-round sharing would break bit-identity).
+fn explore_subtree(ctx: &Ctx<'_>, root: Node, entry_bound: f64, cap: usize) -> SubResult {
+    let mut local_bound = entry_bound;
+    let mut best: Option<(f64, Schedule)> = None;
+    let mut nodes = 0usize;
+    let mut capped = false;
+    let mut stack = vec![root];
+    while let Some(node) = stack.pop() {
+        nodes += 1;
+        if nodes > cap {
+            capped = true;
+            break;
+        }
+        if node.done == ctx.n {
+            let m = node.sched.makespan();
+            if m < local_bound - 1e-12 {
+                local_bound = m;
+                best = Some((m, node.sched));
+            }
+            continue;
+        }
+        if lower_bound(ctx, &node.sched, &node.scheduled, node.remaining_work)
+            >= local_bound - 1e-12
+        {
+            continue;
+        }
+        push_children(ctx, &node, &mut stack);
+    }
+    SubResult {
+        best,
+        nodes,
+        capped,
+    }
+}
 
 /// Result of an exact search.
 #[derive(Debug, Clone)]
@@ -62,8 +224,21 @@ impl BranchAndBound {
 
     /// Run the full search, returning the proof status alongside the
     /// schedule.
+    ///
+    /// The search runs in two phases, both with thread-count-independent
+    /// structure (the result is bit-identical at any
+    /// [`crate::par::effective_jobs`]):
+    ///
+    /// 1. a **sequential warm-up** — the classic DFS for the first
+    ///    `SEQ_PREFIX_NODES` expansions, which finishes small instances
+    ///    outright and otherwise builds a frontier of open subtrees;
+    /// 2. **rounds** of `ROUND_WIDTH` frontier subtrees, each exhausted
+    ///    independently against a shared atomic incumbent bound that is
+    ///    read at subtree entry and advanced only at round boundaries,
+    ///    after folding the round's results in submission order.
     pub fn solve(&self, dag: &Dag, sys: &System) -> BnbResult {
         let n = dag.num_tasks();
+        let jobs = crate::par::effective_jobs().min(ROUND_WIDTH);
         // seed incumbent with HEFT
         let incumbent = Heft::new().schedule(dag, sys);
         let mut best_makespan = incumbent.makespan();
@@ -81,60 +256,12 @@ impl BranchAndBound {
         let min_exec: Vec<f64> = dag.task_ids().map(|t| sys.etc().min_exec(t).0).collect();
         let total_min_work: f64 = min_exec.iter().sum();
 
-        struct Ctx<'a> {
-            dag: &'a Dag,
-            sys: &'a System,
-            bl_min: Vec<f64>,
-            min_exec: Vec<f64>,
-        }
-
-        fn lower_bound(
-            ctx: &Ctx<'_>,
-            sched: &Schedule,
-            scheduled: &[bool],
-            remaining_work: f64,
-        ) -> f64 {
-            let mut lb = sched.makespan();
-            // work bound: committed busy time + remaining fastest work
-            let wb = (sched.busy_time() + remaining_work) / ctx.sys.num_procs() as f64;
-            if wb > lb {
-                lb = wb;
-            }
-            // path bound
-            for t in ctx.dag.task_ids() {
-                if scheduled[t.index()] {
-                    continue;
-                }
-                let mut est = 0.0f64;
-                for (u, _) in ctx.dag.predecessors(t) {
-                    if let Some(f) = sched.task_finish(u) {
-                        if f > est {
-                            est = f;
-                        }
-                    }
-                }
-                let pb = est + ctx.bl_min[t.index()];
-                if pb > lb {
-                    lb = pb;
-                }
-            }
-            lb
-        }
-
         // `Schedule` is append-only (no removal), so the search snapshots
         // the schedule at each branch instead of undoing moves; an explicit
         // LIFO stack keeps memory proportional to the open frontier.
 
         let mut nodes = 0usize;
         let mut exhausted = false;
-        // explicit stack of (schedule, scheduled, remaining_preds, done, remaining_work)
-        struct Node {
-            sched: Schedule,
-            scheduled: Vec<bool>,
-            remaining_preds: Vec<usize>,
-            done: usize,
-            remaining_work: f64,
-        }
         let root = Node {
             sched: Schedule::new(n, sys.num_procs()),
             scheduled: vec![false; n],
@@ -147,7 +274,10 @@ impl BranchAndBound {
             sys,
             bl_min,
             min_exec,
+            n,
         };
+
+        // Phase 1: sequential warm-up (possibly the entire search).
         let mut stack = vec![root];
         while let Some(node) = stack.pop() {
             nodes += 1;
@@ -168,50 +298,50 @@ impl BranchAndBound {
             {
                 continue;
             }
-            let mut ready: Vec<TaskId> = dag
-                .task_ids()
-                .filter(|t| !node.scheduled[t.index()] && node.remaining_preds[t.index()] == 0)
-                .collect();
-            ready.sort_by(|&a, &b| {
-                ctx.bl_min[b.index()]
-                    .total_cmp(&ctx.bl_min[a.index()])
-                    .then_with(|| a.cmp(&b))
+            push_children(&ctx, &node, &mut stack);
+            if nodes >= SEQ_PREFIX_NODES {
+                break; // hand the open frontier to the round phase
+            }
+        }
+
+        // Phase 2: subtree rounds over the remaining frontier. The round
+        // structure (widths, caps, bound-update points) depends only on
+        // the frontier — never on `jobs` — so every thread count explores
+        // the identical tree and folds the identical results.
+        let bound = AtomicU64::new(best_makespan.to_bits());
+        while !stack.is_empty() && !exhausted {
+            let take = stack.len().min(ROUND_WIDTH);
+            let mut roots = stack.split_off(stack.len() - take);
+            // pop order: the top of the stack explores (and folds) first
+            roots.reverse();
+            let remaining = self.node_budget.saturating_sub(nodes);
+            if remaining == 0 {
+                exhausted = true;
+                break;
+            }
+            // per-subtree cap: a fair share of the remaining budget; a
+            // capped subtree forfeits the optimality proof below
+            let cap = remaining / take + 1;
+            let results = crate::par::par_map_collect(jobs, &roots, |r| {
+                let entry = f64::from_bits(bound.load(Ordering::SeqCst));
+                explore_subtree(&ctx, r.clone(), entry, cap)
             });
-            // LIFO stack: push in reverse so the most promising branch pops
-            // first
-            let mut children: Vec<Node> = Vec::new();
-            for &t in &ready {
-                let mut procs: Vec<(hetsched_platform::ProcId, f64, f64)> = sys
-                    .proc_ids()
-                    .map(|p| {
-                        let (s, f) = eft_on_raw(dag, sys, &node.sched, t, p, true);
-                        (p, s, f)
-                    })
-                    .collect();
-                procs.sort_by(|a, b| a.2.total_cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
-                for (p, start, finish) in procs {
-                    let mut sched = node.sched.clone();
-                    sched
-                        .insert(t, p, start, finish - start)
-                        .expect("EFT placement is conflict-free");
-                    let mut scheduled = node.scheduled.clone();
-                    scheduled[t.index()] = true;
-                    let mut remaining_preds = node.remaining_preds.clone();
-                    for (s, _) in dag.successors(t) {
-                        remaining_preds[s.index()] -= 1;
+            for r in results {
+                nodes += r.nodes;
+                if r.capped {
+                    exhausted = true;
+                }
+                if let Some((m, s)) = r.best {
+                    if m < best_makespan - 1e-12 {
+                        best_makespan = m;
+                        best = s;
                     }
-                    children.push(Node {
-                        sched,
-                        scheduled,
-                        remaining_preds,
-                        done: node.done + 1,
-                        remaining_work: node.remaining_work - ctx.min_exec[t.index()],
-                    });
                 }
             }
-            while let Some(c) = children.pop() {
-                stack.push(c);
+            if nodes > self.node_budget {
+                exhausted = true;
             }
+            bound.store(best_makespan.to_bits(), Ordering::SeqCst);
         }
 
         BnbResult {

@@ -239,7 +239,9 @@ impl EftContext {
         out.clear();
         let (dag, sys) = (inst.dag(), inst.sys());
         if self.reference {
-            out.extend(eft::eft_candidates_raw(dag, sys, sched, t, insertion, tolerance));
+            out.extend(eft::eft_candidates_raw(
+                dag, sys, sched, t, insertion, tolerance,
+            ));
             return;
         }
         self.data_ready_all_on(dag, sys, sched, t);

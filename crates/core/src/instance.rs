@@ -186,21 +186,29 @@ impl<'a> ProblemInstance<'a> {
 
     /// Upward rank (HEFT `rank_u`) under `agg`, memoized.
     pub fn upward_rank(&self, agg: CostAggregation) -> Arc<Vec<f64>> {
-        self.memoized(|m| &mut m.upward, agg, |d, s| rank::upward_rank_raw(d, s, agg))
+        self.memoized(
+            |m| &mut m.upward,
+            agg,
+            |d, s| rank::upward_rank_raw(d, s, agg),
+        )
     }
 
     /// Downward rank (`rank_d`) under `agg`, memoized.
     pub fn downward_rank(&self, agg: CostAggregation) -> Arc<Vec<f64>> {
-        self.memoized(|m| &mut m.downward, agg, |d, s| {
-            rank::downward_rank_raw(d, s, agg)
-        })
+        self.memoized(
+            |m| &mut m.downward,
+            agg,
+            |d, s| rank::downward_rank_raw(d, s, agg),
+        )
     }
 
     /// Static level (communication-free upward rank) under `agg`, memoized.
     pub fn static_level(&self, agg: CostAggregation) -> Arc<Vec<f64>> {
-        self.memoized(|m| &mut m.static_level, agg, |d, s| {
-            rank::static_level_raw(d, s, agg)
-        })
+        self.memoized(
+            |m| &mut m.static_level,
+            agg,
+            |d, s| rank::static_level_raw(d, s, agg),
+        )
     }
 
     /// Absolute earliest start time (HCPT AEST) under `agg` — an alias for

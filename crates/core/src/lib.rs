@@ -46,6 +46,7 @@ pub mod cost;
 pub mod eft;
 pub mod engine;
 pub mod instance;
+pub mod par;
 pub mod portfolio;
 pub mod rank;
 pub mod schedule;

@@ -1,0 +1,434 @@
+//! Deterministic intra-algorithm parallelism for candidate search.
+//!
+//! The search-based schedulers (GA, ILS-D, DUP-HEFT, BNB) evaluate many
+//! *independent* candidates per decision round: chromosomes of a
+//! generation, duplication trials per candidate processor, branch-and-bound
+//! subtrees. This module fans those evaluations out over scoped worker
+//! threads while keeping every schedule **bit-identical to the
+//! single-thread run at any thread count** — the same contract the
+//! optimized EFT engine ([`crate::engine`]) and the shared
+//! [`crate::instance::ProblemInstance`] already honour.
+//!
+//! Determinism is by construction, not by luck:
+//!
+//! * results are collected into **submission-order** slots, so reductions
+//!   run the caller's *exact* sequential fold (same tie-break expressions,
+//!   same operand order) regardless of completion order;
+//! * workers re-establish the calling thread's reference-engine flag
+//!   ([`crate::engine::reference_engine_active`]), so conformance runs stay
+//!   conformant across threads;
+//! * work is distributed over a chunked queue (vendored `crossbeam`
+//!   channels), which affects only *who* computes a slot, never its value.
+//!
+//! ## Thread-count resolution
+//!
+//! [`effective_jobs`] resolves, in order: the thread-local override
+//! ([`with_jobs`]) → the process-wide default ([`set_global_jobs`], wired
+//! to `--jobs` in the CLIs) → the `HETSCHED_JOBS` environment variable →
+//! [`std::thread::available_parallelism`]. `jobs = 1` always means "no
+//! threads": callers run their plain sequential loops.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+use crossbeam::channel;
+
+use crate::engine::{reference_engine_active, with_reference_engine};
+
+/// Process-wide default thread count; 0 means "unset".
+static GLOBAL_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Thread-local override; 0 means "no override".
+    static LOCAL_JOBS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The machine's available parallelism (≥ 1).
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Set (or clear, with `None`) the process-wide default thread count.
+///
+/// This is what `--jobs` on `hetsched-cli` / `hetsched-exp` wires up.
+/// Values are clamped to at least 1.
+pub fn set_global_jobs(jobs: Option<usize>) {
+    GLOBAL_JOBS.store(jobs.map_or(0, |j| j.max(1)), Ordering::SeqCst);
+}
+
+/// `HETSCHED_JOBS` environment fallback, parsed once. Unparsable or zero
+/// values are ignored.
+fn env_jobs() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("HETSCHED_JOBS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&j| j >= 1)
+    })
+}
+
+/// Run `f` with `jobs` as this thread's [`effective_jobs`] answer,
+/// restoring the previous override on exit (including unwind).
+///
+/// This is how the serve daemon applies a per-request `jobs` option and
+/// how the determinism tests pin thread counts.
+pub fn with_jobs<R>(jobs: usize, f: impl FnOnce() -> R) -> R {
+    struct Guard(usize);
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            LOCAL_JOBS.with(|c| c.set(self.0));
+        }
+    }
+    let _guard = Guard(LOCAL_JOBS.with(|c| c.replace(jobs.max(1))));
+    f()
+}
+
+/// The thread-local override installed by [`with_jobs`], if any.
+pub fn jobs_override() -> Option<usize> {
+    let j = LOCAL_JOBS.with(Cell::get);
+    (j > 0).then_some(j)
+}
+
+/// Resolve the thread count for intra-algorithm search parallelism:
+/// thread-local override → process-wide default → `HETSCHED_JOBS` →
+/// available parallelism. Always ≥ 1.
+pub fn effective_jobs() -> usize {
+    if let Some(j) = jobs_override() {
+        return j;
+    }
+    let global = GLOBAL_JOBS.load(Ordering::SeqCst);
+    if global > 0 {
+        return global;
+    }
+    if let Some(j) = env_jobs() {
+        return j;
+    }
+    available_jobs()
+}
+
+/// Map `f` over `items` on up to `jobs` scoped threads, returning results
+/// in **submission order**.
+///
+/// Work is handed out as index chunks over an mpmc channel (~4 chunks per
+/// worker: few messages, balanced tail). With `jobs <= 1` or fewer than
+/// two items this is a plain sequential `map` — no threads, no channels.
+/// Worker threads inherit the caller's reference-engine flag. A worker
+/// panic propagates when the scope joins.
+pub fn par_map_collect<T, R>(jobs: usize, items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let n = items.len();
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs <= 1 || n <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let reference = reference_engine_active();
+    let chunk = n.div_ceil(jobs * 4).max(1);
+    let (tx, rx) = channel::unbounded::<std::ops::Range<usize>>();
+    let mut lo = 0;
+    while lo < n {
+        let hi = (lo + chunk).min(n);
+        tx.send(lo..hi)
+            .expect("unbounded channel accepts all chunks");
+        lo = hi;
+    }
+    drop(tx);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let rx = rx.clone();
+            let (f, results) = (&f, &results);
+            scope.spawn(move || {
+                let body = || {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    while let Ok(range) = rx.recv() {
+                        for i in range {
+                            local.push((i, f(&items[i])));
+                        }
+                        let mut slots = results.lock().expect("results mutex poisoned");
+                        for (i, r) in local.drain(..) {
+                            slots[i] = Some(r);
+                        }
+                    }
+                };
+                if reference {
+                    with_reference_engine(body)
+                } else {
+                    body()
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("results mutex poisoned")
+        .into_iter()
+        .map(|r| r.expect("every index was evaluated"))
+        .collect()
+}
+
+/// [`par_map_collect`] followed by the caller's sequential reduction:
+/// fold results in submission order, replacing the incumbent exactly when
+/// `better(new, current)` — the caller passes its sequential tie-break
+/// expression verbatim, so the winner is bit-identical to the
+/// single-thread fold at any thread count.
+pub fn par_map_min<T, R>(
+    jobs: usize,
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+    better: impl Fn(&R, &R) -> bool,
+) -> Option<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let mut best: Option<R> = None;
+    for r in par_map_collect(jobs, items, f) {
+        let replace = match &best {
+            None => true,
+            Some(b) => better(&r, b),
+        };
+        if replace {
+            best = Some(r);
+        }
+    }
+    best
+}
+
+/// Per-worker message of a [`scoped_replay_pool`].
+enum WorkerMsg<B, T> {
+    /// One evaluation round: apply `broadcast` to the replica first, then
+    /// evaluate the (index-tagged) items.
+    Round {
+        broadcast: Option<B>,
+        items: Vec<(usize, T)>,
+    },
+    /// Shut the worker down.
+    Done,
+}
+
+/// Round handle passed to a [`scoped_replay_pool`] driver.
+pub struct Rounds<B, T, R> {
+    txs: Vec<channel::Sender<WorkerMsg<B, T>>>,
+    results: channel::Receiver<(usize, R)>,
+}
+
+impl<B: Send + Clone, T: Send, R: Send> Rounds<B, T, R> {
+    /// Run one round: every worker first applies `broadcast` to its
+    /// replica (commit replay), then the items are distributed round-robin
+    /// and evaluated; results come back in submission order.
+    pub fn round(&mut self, broadcast: Option<&B>, items: Vec<T>) -> Vec<R> {
+        let n = items.len();
+        let jobs = self.txs.len();
+        let mut per: Vec<Vec<(usize, T)>> = (0..jobs).map(|_| Vec::new()).collect();
+        for (i, it) in items.into_iter().enumerate() {
+            per[i % jobs].push((i, it));
+        }
+        for (w, tx) in self.txs.iter().enumerate() {
+            tx.send(WorkerMsg::Round {
+                broadcast: broadcast.cloned(),
+                items: std::mem::take(&mut per[w]),
+            })
+            .expect("pool worker hung up");
+        }
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, r) = self
+                .results
+                .recv_timeout(Duration::from_secs(300))
+                .expect("pool worker failed to answer");
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every index was answered"))
+            .collect()
+    }
+}
+
+/// Persistent scoped worker pool with **replicated state** — the engine
+/// behind the parallel trial loops of ILS-D and DUP-HEFT.
+///
+/// Those schedulers interleave *mutation* (committing the chosen placement
+/// of task *k*) with *fan-out* (trial-evaluating the candidates of task
+/// *k + 1* against the committed state). Cloning the schedule per round
+/// would drown the win, so instead each worker owns a replica built by
+/// `init` and kept in lockstep by replaying every committed decision (the
+/// `broadcast` of the next round) through `apply` — the same deterministic
+/// operation the driver applies to its own authoritative copy, so replicas
+/// are bit-identical to it by induction.
+///
+/// `eval` must leave the replica exactly as it found it (the schedule
+/// trial API — [`crate::Schedule::begin_trial`] /
+/// [`crate::Schedule::rollback_trial`] — exists for this), because the
+/// same replica serves every later round.
+///
+/// Requires `jobs >= 2`; with one job callers should run their plain
+/// sequential loop instead (no replicas at all). Workers inherit the
+/// caller's reference-engine flag.
+pub fn scoped_replay_pool<S, B, T, R, Out>(
+    jobs: usize,
+    init: impl Fn() -> S + Sync,
+    apply: impl Fn(&mut S, &B) + Sync,
+    eval: impl Fn(&mut S, &T) -> R + Sync,
+    driver: impl FnOnce(&mut Rounds<B, T, R>) -> Out,
+) -> Out
+where
+    B: Send + Clone,
+    T: Send,
+    R: Send,
+{
+    assert!(jobs >= 2, "a replay pool needs at least two workers");
+    let reference = reference_engine_active();
+    std::thread::scope(|scope| {
+        let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
+        let mut txs = Vec::with_capacity(jobs);
+        for _ in 0..jobs {
+            let (tx, rx) = channel::unbounded::<WorkerMsg<B, T>>();
+            txs.push(tx);
+            let res_tx = res_tx.clone();
+            let (init, apply, eval) = (&init, &apply, &eval);
+            scope.spawn(move || {
+                let body = || {
+                    let mut state = init();
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            WorkerMsg::Round { broadcast, items } => {
+                                if let Some(b) = &broadcast {
+                                    apply(&mut state, b);
+                                }
+                                for (i, it) in items {
+                                    let r = eval(&mut state, &it);
+                                    if res_tx.send((i, r)).is_err() {
+                                        return;
+                                    }
+                                }
+                            }
+                            WorkerMsg::Done => return,
+                        }
+                    }
+                };
+                if reference {
+                    with_reference_engine(body)
+                } else {
+                    body()
+                }
+            });
+        }
+        drop(res_tx);
+        let mut rounds = Rounds {
+            txs,
+            results: res_rx,
+        };
+        let out = driver(&mut rounds);
+        for tx in &rounds.txs {
+            let _ = tx.send(WorkerMsg::Done);
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order_and_values() {
+        let items: Vec<u64> = (0..257).collect();
+        for jobs in [1, 2, 3, 8] {
+            let out = par_map_collect(jobs, &items, |&x| x * 3 + 1);
+            assert_eq!(out, items.iter().map(|x| x * 3 + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_collect(8, &empty, |_| unreachable!() as u32).is_empty());
+        assert_eq!(par_map_collect(8, &[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_min_matches_sequential_fold_with_ties() {
+        // values with exact ties: the fold must keep the FIRST minimum,
+        // like a sequential `better = new < current` scan.
+        let items = [5u64, 3, 9, 3, 1, 1, 4];
+        for jobs in [1, 2, 4] {
+            let got = par_map_min(jobs, &items, |&x| x, |new, cur| new < cur);
+            assert_eq!(got, Some(1));
+            // tag by index to observe WHICH element won
+            let idx: Vec<(usize, u64)> = items.iter().copied().enumerate().collect();
+            let got = par_map_min(jobs, &idx, |&p| p, |new, cur| new.1 < cur.1);
+            assert_eq!(got, Some((4, 1)), "first of the tied minima must win");
+        }
+    }
+
+    #[test]
+    fn workers_inherit_the_reference_engine_flag() {
+        let items: Vec<u32> = (0..64).collect();
+        let flags =
+            with_reference_engine(|| par_map_collect(4, &items, |_| reference_engine_active()));
+        assert!(flags.iter().all(|&f| f));
+        let flags = par_map_collect(4, &items, |_| reference_engine_active());
+        assert!(flags.iter().all(|&f| !f));
+    }
+
+    #[test]
+    fn with_jobs_overrides_and_restores() {
+        set_global_jobs(None);
+        let outer = effective_jobs();
+        with_jobs(3, || {
+            assert_eq!(effective_jobs(), 3);
+            with_jobs(5, || assert_eq!(effective_jobs(), 5));
+            assert_eq!(effective_jobs(), 3);
+        });
+        assert_eq!(effective_jobs(), outer);
+        assert_eq!(jobs_override(), None);
+    }
+
+    #[test]
+    fn global_jobs_round_trip() {
+        set_global_jobs(Some(7));
+        // a thread-local override still wins
+        with_jobs(2, || assert_eq!(effective_jobs(), 2));
+        assert_eq!(effective_jobs(), 7);
+        set_global_jobs(None);
+    }
+
+    #[test]
+    fn replay_pool_keeps_replicas_in_lockstep() {
+        // state = running sum; commits add, evals probe (state + item).
+        // Replicas must equal the driver's own fold at every round.
+        let out = scoped_replay_pool(
+            3,
+            || 0i64,
+            |s: &mut i64, b: &i64| *s += b,
+            |s: &mut i64, t: &i64| *s + t,
+            |rounds| {
+                let mut acc = 0i64;
+                let mut seen = Vec::new();
+                let mut commit: Option<i64> = None;
+                for round in 0..10i64 {
+                    if let Some(c) = commit {
+                        acc += c;
+                    }
+                    let items: Vec<i64> = (0..5).map(|i| i * 100 + round).collect();
+                    let results = rounds.round(commit.as_ref(), items.clone());
+                    for (it, r) in items.iter().zip(&results) {
+                        assert_eq!(*r, acc + it);
+                    }
+                    seen.extend(results);
+                    commit = Some(round * 7);
+                }
+                seen
+            },
+        );
+        assert_eq!(out.len(), 50);
+    }
+}

@@ -48,6 +48,11 @@ impl PortfolioResult {
 /// winner is the minimum makespan under `total_cmp` with ties broken
 /// toward the earliest member — fully deterministic.
 ///
+/// The calling thread's [`crate::par::with_jobs`] override (the serve
+/// daemon's per-request `jobs`, for example) is re-established inside
+/// every member thread, so search members parallelize — or stay
+/// sequential — exactly as the caller configured.
+///
 /// # Panics
 ///
 /// Panics if `algs` is empty, or propagates a member's panic.
@@ -56,16 +61,23 @@ pub fn run_portfolio<S: Scheduler + Sync + ?Sized>(
     algs: &[&S],
 ) -> PortfolioResult {
     assert!(!algs.is_empty(), "portfolio needs at least one algorithm");
+    let jobs = crate::par::jobs_override();
     let entries: Vec<PortfolioEntry> = std::thread::scope(|scope| {
         let handles: Vec<_> = algs
             .iter()
             .map(|alg| {
                 scope.spawn(move || {
-                    let schedule = alg.schedule_instance(inst);
-                    PortfolioEntry {
-                        algorithm: alg.name().to_string(),
-                        makespan: schedule.makespan(),
-                        schedule,
+                    let run = || {
+                        let schedule = alg.schedule_instance(inst);
+                        PortfolioEntry {
+                            algorithm: alg.name().to_string(),
+                            makespan: schedule.makespan(),
+                            schedule,
+                        }
+                    };
+                    match jobs {
+                        Some(j) => crate::par::with_jobs(j, run),
+                        None => run(),
                     }
                 })
             })
@@ -115,7 +127,10 @@ mod tests {
             assert_eq!(entry.makespan.to_bits(), direct.makespan().to_bits());
             best_direct = best_direct.min(direct.makespan());
         }
-        assert_eq!(result.best_entry().makespan.to_bits(), best_direct.to_bits());
+        assert_eq!(
+            result.best_entry().makespan.to_bits(),
+            best_direct.to_bits()
+        );
         // tie-break: no earlier entry has the winning makespan
         for entry in &result.entries[..result.best] {
             assert!(entry.makespan > result.best_entry().makespan);

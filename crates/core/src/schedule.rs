@@ -83,6 +83,30 @@ pub struct Schedule {
     /// query falls back to the full scan.
     #[serde(default, skip_serializing_if = "skip_cache")]
     cache: Vec<TimelineCache>,
+    /// Undo log of the active trial (see [`Schedule::begin_trial`]); `None`
+    /// outside a trial, so mutation off the trial path stays log-free.
+    /// Ephemeral bookkeeping — always kept off the wire, like `cache`.
+    #[serde(default, skip_serializing_if = "skip_trial")]
+    trial: Option<Vec<TrialOp>>,
+}
+
+/// `skip_serializing_if` predicate for [`Schedule::trial`]: always skip.
+fn skip_trial(_: &Option<Vec<TrialOp>>) -> bool {
+    true
+}
+
+/// One reversible mutation recorded by the trial undo log.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum TrialOp {
+    /// `insert_slot` placed `task` at index `pos` of `proc`'s timeline
+    /// (and pushed a `copies` entry for it).
+    Slot {
+        proc: ProcId,
+        pos: usize,
+        task: TaskId,
+    },
+    /// `insert` set the primary assignment of `task`.
+    Primary { task: TaskId },
 }
 
 /// `skip_serializing_if` predicate for [`Schedule::cache`]: always skip.
@@ -147,6 +171,7 @@ impl Schedule {
             primary: vec![None; n_tasks],
             copies: vec![Vec::new(); n_tasks],
             cache: vec![TimelineCache::default(); n_procs],
+            trial: None,
         }
     }
 
@@ -377,6 +402,9 @@ impl Schedule {
         }
         self.insert_slot(t, p, start, dur, false)?;
         self.primary[t.index()] = Some((p, start, start + dur));
+        if let Some(log) = &mut self.trial {
+            log.push(TrialOp::Primary { task: t });
+        }
         Ok(())
     }
 
@@ -466,8 +494,74 @@ impl Schedule {
             }
         }
         self.copies[t.index()].push((p, finish));
+        if let Some(log) = &mut self.trial {
+            log.push(TrialOp::Slot {
+                proc: p,
+                pos,
+                task: t,
+            });
+        }
         hetsched_trace::counters(|c| c.timeline_inserts += 1);
         Ok(())
+    }
+
+    /// Start recording an undo log so subsequent insertions can be undone
+    /// with [`Schedule::rollback_trial`].
+    ///
+    /// This is the allocation-free alternative to cloning the whole
+    /// schedule per speculative candidate: the duplication-trial loops of
+    /// DUP-HEFT and ILS-D probe a placement (primary insert plus any
+    /// parent duplicates), read the resulting finish time, and roll the
+    /// probe back — touching only the slots the probe created.
+    ///
+    /// # Panics
+    /// Panics if a trial is already active (trials do not nest).
+    pub fn begin_trial(&mut self) {
+        assert!(self.trial.is_none(), "schedule trials do not nest");
+        self.trial = Some(Vec::new());
+    }
+
+    /// Undo every mutation since [`Schedule::begin_trial`], restoring the
+    /// schedule bit-for-bit (timelines, assignments, copies, and the
+    /// gap-search cache).
+    ///
+    /// # Panics
+    /// Panics if no trial is active.
+    pub fn rollback_trial(&mut self) {
+        let log = self.trial.take().expect("no active trial to roll back");
+        // Reverse order makes each recorded insertion index valid at the
+        // moment it is undone, and makes `copies.pop()` remove exactly the
+        // entry its op pushed.
+        for op in log.into_iter().rev() {
+            match op {
+                TrialOp::Primary { task } => {
+                    self.primary[task.index()] = None;
+                }
+                TrialOp::Slot { proc, pos, task } => {
+                    let tl = &mut self.timelines[proc.index()];
+                    let removed = tl.remove(pos);
+                    debug_assert_eq!(removed.task, task);
+                    self.copies[task.index()].pop();
+                    // Same lockstep guard as `insert_slot`: schedules whose
+                    // cache was in sync stay in sync, deserialized
+                    // (cacheless) schedules stay cacheless.
+                    if let Some(c) = self.cache.get_mut(proc.index()) {
+                        if c.prefix_max.len() == tl.len() + 1 {
+                            c.rebuild(tl);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Keep every mutation since [`Schedule::begin_trial`] and drop the
+    /// undo log.
+    ///
+    /// # Panics
+    /// Panics if no trial is active.
+    pub fn commit_trial(&mut self) {
+        assert!(self.trial.take().is_some(), "no active trial to commit");
     }
 
     /// Render the schedule as a plain-text Gantt chart (one line per
@@ -623,6 +717,59 @@ mod tests {
         s.insert(TaskId(0), ProcId(0), 1.0, 0.0).unwrap();
         s.insert(TaskId(1), ProcId(0), 1.0, 2.0).unwrap();
         assert_eq!(s.makespan(), 3.0);
+    }
+
+    #[test]
+    fn trial_rollback_restores_the_schedule_bit_for_bit() {
+        let mut s = Schedule::new(4, 2);
+        s.insert(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        s.insert(TaskId(1), ProcId(0), 5.0, 1.0).unwrap();
+        let before = serde_json::to_string(&s).unwrap();
+        let start_before = s.earliest_start(ProcId(0), 0.0, 3.0, true);
+
+        s.begin_trial();
+        // mid-timeline insert (fills the [2,5) gap), a duplicate, and a
+        // second primary on the other processor
+        s.insert(TaskId(2), ProcId(0), 2.0, 3.0).unwrap();
+        s.insert_duplicate(TaskId(0), ProcId(1), 0.0, 2.5).unwrap();
+        s.insert(TaskId(3), ProcId(1), 2.5, 1.0).unwrap();
+        assert_eq!(s.num_scheduled(), 4);
+        s.rollback_trial();
+
+        assert_eq!(serde_json::to_string(&s).unwrap(), before);
+        assert_eq!(s.num_scheduled(), 2);
+        assert_eq!(s.num_duplicates(), 0);
+        assert!(s.copies(TaskId(2)).is_empty());
+        // gap-search cache restored in lockstep too
+        assert_eq!(
+            s.earliest_start(ProcId(0), 0.0, 3.0, true).to_bits(),
+            start_before.to_bits()
+        );
+        // the schedule is fully usable afterwards
+        s.insert(TaskId(2), ProcId(0), 2.0, 3.0).unwrap();
+    }
+
+    #[test]
+    fn trial_commit_keeps_mutations() {
+        let mut s = Schedule::new(2, 1);
+        s.begin_trial();
+        s.insert(TaskId(0), ProcId(0), 0.0, 1.0).unwrap();
+        s.commit_trial();
+        assert_eq!(s.task_finish(TaskId(0)), Some(1.0));
+        // a later rollback must not see the committed ops
+        s.begin_trial();
+        s.insert(TaskId(1), ProcId(0), 1.0, 1.0).unwrap();
+        s.rollback_trial();
+        assert_eq!(s.task_finish(TaskId(0)), Some(1.0));
+        assert_eq!(s.task_finish(TaskId(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "trials do not nest")]
+    fn trials_do_not_nest() {
+        let mut s = Schedule::new(1, 1);
+        s.begin_trial();
+        s.begin_trial();
     }
 
     #[test]

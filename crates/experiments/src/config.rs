@@ -11,6 +11,10 @@ options:
   --procs <n>        default processor count (default 8)
   --out <dir>        JSON output directory (default results; `--out -` disables)
   --quick            smaller grids for smoke runs
+  --jobs <n>         intra-algorithm search threads (GA, ILS-D, DUP-HEFT,
+                     BNB); schedules are bit-identical at any thread count,
+                     so this never changes results. HETSCHED_JOBS is the
+                     env fallback; default is the machine parallelism
 perf options:
   --bench-out <file> write the perf benchmark JSON to <file>
   --check <file>     compare against a baseline benchmark JSON; exit
@@ -30,6 +34,10 @@ pub struct Config {
     pub out_dir: Option<String>,
     /// Smaller grids for smoke runs.
     pub quick: bool,
+    /// Intra-algorithm search threads (`None` keeps the process default).
+    /// Excluded from the fingerprint: schedules are bit-identical at any
+    /// thread count, so `jobs` changes speed, never numbers.
+    pub jobs: Option<usize>,
     /// `perf`: write the benchmark JSON to this file.
     pub bench_out: Option<String>,
     /// `perf`: baseline benchmark JSON to compare against.
@@ -73,6 +81,7 @@ impl Default for Config {
             procs: 8,
             out_dir: Some("results".into()),
             quick: false,
+            jobs: None,
             bench_out: None,
             check: None,
         }
@@ -113,6 +122,13 @@ pub fn parse_args(args: &[String]) -> Result<(Vec<String>, Config), String> {
                 cfg.out_dir = if v == "-" { None } else { Some(v) };
             }
             "--quick" => cfg.quick = true,
+            "--jobs" => {
+                cfg.jobs = Some(
+                    take_value("--jobs")?
+                        .parse()
+                        .map_err(|e| format!("--jobs: {e}"))?,
+                )
+            }
             "--bench-out" => cfg.bench_out = Some(take_value("--bench-out")?),
             "--check" => cfg.check = Some(take_value("--check")?),
             _ if a.starts_with("--") => return Err(format!("unknown option {a}")),
@@ -125,6 +141,9 @@ pub fn parse_args(args: &[String]) -> Result<(Vec<String>, Config), String> {
     }
     if cfg.procs == 0 {
         return Err("--procs must be at least 1".into());
+    }
+    if cfg.jobs == Some(0) {
+        return Err("--jobs must be at least 1".into());
     }
     if ids.iter().any(|i| i == "all") {
         ids = crate::experiments::catalog()
@@ -197,6 +216,19 @@ mod tests {
             ..cfg.clone()
         };
         assert_eq!(cfg.fingerprint(), routed.fingerprint());
+        // ...and not --jobs: schedules are thread-count-invariant
+        let threaded = Config {
+            jobs: Some(4),
+            ..cfg.clone()
+        };
+        assert_eq!(cfg.fingerprint(), threaded.fingerprint());
+    }
+
+    #[test]
+    fn jobs_flag_parses_and_rejects_zero() {
+        let (_, cfg) = parse_args(&["x".into(), "--jobs".into(), "4".into()]).unwrap();
+        assert_eq!(cfg.jobs, Some(4));
+        assert!(parse_args(&["x".into(), "--jobs".into(), "0".into()]).is_err());
     }
 
     #[test]

@@ -278,7 +278,9 @@ fn serve_portfolio_entries(cfg: &Config, reps: usize) -> Vec<BenchEntry> {
     );
     let schedule_lines: Vec<String> = ALGS
         .iter()
-        .map(|a| format!("{{\"op\":\"schedule\",{problem},\"algorithm\":\"{a}\",\"options\":{{}}}}"))
+        .map(|a| {
+            format!("{{\"op\":\"schedule\",{problem},\"algorithm\":\"{a}\",\"options\":{{}}}}")
+        })
         .collect();
     let fresh_service = || {
         Service::start(ServeConfig {
@@ -321,6 +323,69 @@ fn serve_portfolio_entries(cfg: &Config, reps: usize) -> Vec<BenchEntry> {
             }),
         ),
     ]
+}
+
+/// The search-scheduler section the deterministic parallel layer targets:
+/// GA, ILS-D, and DUP-HEFT at `jobs` 1 vs 4 on fig10-style instances,
+/// plus a budget-capped BNB. Ids are `search/<algo>/n<N>/jobs<J>`.
+/// Schedules are bit-identical at any thread count, so the jobs=4 entries
+/// measure pure wall-clock effect; on a single-core host the jobs=4/jobs=1
+/// ratio is ~1x (the pool degenerates to one busy worker), while a
+/// multi-core host shows the fan-out win. `--check` normalizes by the
+/// median ratio, so both kinds of host pass against either baseline.
+fn search_entries(cfg: &Config, reps: usize) -> Vec<BenchEntry> {
+    let reps = reps.max(5);
+    let sizes: &[usize] = if cfg.quick { &[200] } else { &[200, 400] };
+    let mut out = Vec::new();
+    for &n in sizes {
+        let seed = instance_seed(cfg.seed ^ 0x5ea, n as u64, 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dag = random_dag(&RandomDagParams::new(n, 1.0, 1.0), &mut rng);
+        let sys =
+            System::heterogeneous_random(&dag, cfg.procs, &EtcParams::range_based(1.0), &mut rng);
+        for name in ["GA", "ILS-D", "DUP-HEFT"] {
+            let alg = by_name(name).expect("registry has the search schedulers");
+            for jobs in [1usize, 4] {
+                let (med, min) = bench(reps, || {
+                    hetsched_core::par::with_jobs(jobs, || alg.schedule(&dag, &sys).makespan())
+                });
+                out.push(BenchEntry {
+                    id: format!("search/{name}/n{n}/jobs{jobs}"),
+                    n,
+                    procs: cfg.procs,
+                    algo: name.to_string(),
+                    median_ns: med,
+                    min_ns: min,
+                    reps,
+                });
+            }
+        }
+    }
+    // BNB explores a fixed node budget regardless of thread count, so a
+    // small instance with a capped budget gives a stable per-node cost.
+    let n = 30usize;
+    let seed = instance_seed(cfg.seed ^ 0x5ea, 0xb0b, 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dag = random_dag(&RandomDagParams::new(n, 1.0, 1.0), &mut rng);
+    let sys = System::heterogeneous_random(&dag, 3, &EtcParams::range_based(1.0), &mut rng);
+    let bnb = hetsched_core::algorithms::BranchAndBound {
+        node_budget: 20_000,
+    };
+    for jobs in [1usize, 4] {
+        let (med, min) = bench(reps, || {
+            hetsched_core::par::with_jobs(jobs, || bnb.schedule(&dag, &sys).makespan())
+        });
+        out.push(BenchEntry {
+            id: format!("search/BNB/n{n}/jobs{jobs}"),
+            n,
+            procs: 3,
+            algo: "BNB".to_string(),
+            median_ns: med,
+            min_ns: min,
+            reps,
+        });
+    }
+    out
 }
 
 fn to_json(entries: &[BenchEntry], cfg: &Config) -> Value {
@@ -450,6 +515,7 @@ fn measure(cfg: &Config, reps: usize) -> Vec<BenchEntry> {
     entries.extend(serve_entries(cfg, reps));
     entries.extend(multi_alg_entries(cfg, reps));
     entries.extend(serve_portfolio_entries(cfg, reps));
+    entries.extend(search_entries(cfg, reps));
     entries
 }
 
@@ -504,7 +570,9 @@ pub fn run_perf(cfg: &Config) -> Result<(), String> {
     let individual = entries
         .iter()
         .find(|e| e.id.starts_with("serve-multi-alg/") && e.id.ends_with("/individual"));
-    let serve_port = entries.iter().find(|e| e.id.starts_with("serve-portfolio/"));
+    let serve_port = entries
+        .iter()
+        .find(|e| e.id.starts_with("serve-portfolio/"));
     if let (Some(i), Some(p)) = (individual, serve_port) {
         println!(
             "serve multi-algorithm path: 4 schedule requests {:.2} ms, \
@@ -514,6 +582,25 @@ pub fn run_perf(cfg: &Config) -> Result<(), String> {
             i.min_ns / p.min_ns,
         );
     }
+
+    // the search-scheduler parallel layer: jobs=4 against jobs=1 per
+    // algorithm (≈1x on a single-core host; the speedup needs real cores)
+    for e1 in entries
+        .iter()
+        .filter(|e| e.id.starts_with("search/") && e.id.ends_with("/jobs1"))
+    {
+        let id4 = e1.id.replace("/jobs1", "/jobs4");
+        if let Some(e4) = entries.iter().find(|e| e.id == id4) {
+            println!(
+                "search {}: jobs=1 {:.2} ms, jobs=4 {:.2} ms ({:.2}x speedup)",
+                e1.algo,
+                e1.min_ns / 1e6,
+                e4.min_ns / 1e6,
+                e1.min_ns / e4.min_ns,
+            );
+        }
+    }
+    println!();
 
     let (phase_text, phase_json) = phase_profile(cfg);
     println!("{phase_text}");

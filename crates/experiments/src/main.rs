@@ -28,6 +28,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Process-wide search-thread override; results are bit-identical at
+    // any thread count, so this affects wall-clock only.
+    hetsched_core::par::set_global_jobs(cfg.jobs);
     if ids.is_empty() {
         eprintln!("{}", config::USAGE);
         eprintln!("available experiments:");

@@ -41,6 +41,14 @@ pub struct RequestOptions {
     /// key, so traced and untraced requests memoize separately.
     #[serde(default)]
     pub trace: bool,
+    /// Intra-algorithm search threads for this request (GA, ILS-D,
+    /// DUP-HEFT, BNB candidate evaluation), capped by the service's worker
+    /// pool size. Schedules are bit-identical at any thread count, so like
+    /// `deadline_ms` this is not part of the cache key. Falls back to the
+    /// daemon's environment (`HETSCHED_JOBS`, then available parallelism)
+    /// when absent.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub jobs: Option<usize>,
 }
 
 /// A client request, dispatched on the `"op"` field.

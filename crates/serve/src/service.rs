@@ -109,7 +109,9 @@ pub struct Service {
 /// Content fingerprint of a scheduling request: DAG structure and weights,
 /// full system (ETC + network), algorithm name, and the options that
 /// influence the response body. `deadline_ms` is deliberately excluded —
-/// it bounds how long the client waits, not what is computed.
+/// it bounds how long the client waits, not what is computed. `jobs` is
+/// excluded for the same reason: parallel search is bit-identical at any
+/// thread count, so it changes speed, never the response.
 pub fn request_fingerprint(
     dag: &Dag,
     sys: &System,
@@ -343,9 +345,7 @@ impl Service {
                 match tx.send_timeout(job, remaining) {
                     Ok(()) => Ok(()),
                     Err(channel::SendTimeoutError::Timeout(_)) => busy(&self.shared.metrics),
-                    Err(channel::SendTimeoutError::Disconnected(_)) => {
-                        Err(Response::ShuttingDown)
-                    }
+                    Err(channel::SendTimeoutError::Disconnected(_)) => Err(Response::ShuttingDown),
                 }
             }
         }
@@ -636,18 +636,27 @@ fn compute(job: Job, shared: &Shared) -> Response {
     }
 
     let (dag, sys) = (job.inst.dag(), job.inst.sys());
-    let (sched, trace) = if job.options.trace {
-        let (sched, trace) = hetsched_core::traced_schedule_instance(&*job.alg, &job.inst);
-        (
-            sched,
-            Some(TraceBody {
-                counters: trace.counters,
-                phases: trace.phases,
-                events: trace.events,
-            }),
-        )
-    } else {
-        (job.alg.schedule_instance(&job.inst), None)
+    let run = || {
+        if job.options.trace {
+            let (sched, trace) = hetsched_core::traced_schedule_instance(&*job.alg, &job.inst);
+            (
+                sched,
+                Some(TraceBody {
+                    counters: trace.counters,
+                    phases: trace.phases,
+                    events: trace.events,
+                }),
+            )
+        } else {
+            (job.alg.schedule_instance(&job.inst), None)
+        }
+    };
+    // Per-request search parallelism, capped by the pool size so one
+    // request cannot oversubscribe the host. Schedules are bit-identical
+    // at any thread count, so this needs no cache-key treatment.
+    let (sched, trace) = match job.options.jobs {
+        Some(j) => hetsched_core::par::with_jobs(j.clamp(1, shared.config.workers), run),
+        None => run(),
     };
     if let Err(e) = validate(dag, sys, &sched) {
         ServiceMetrics::bump(&shared.metrics.errors);
@@ -1062,6 +1071,66 @@ mod tests {
         assert!(retry.cached);
         assert!(retry.trace.is_some());
         assert_eq!(svc.stats_body().cache_hits, 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn jobs_option_is_byte_identical_to_direct_library_call() {
+        // A request carrying `jobs > 1` must produce exactly the schedule
+        // the library computes directly — parallel search is bit-identical
+        // — and must share the memo entry with a jobs-less request, since
+        // `jobs` is excluded from the fingerprint.
+        let svc = Service::start(test_config());
+        let resp = svc.handle_line(&small_request(8, "DUP-HEFT", "{\"jobs\":2}"));
+        let Response::Ok {
+            schedule: Some(body),
+            ..
+        } = &resp
+        else {
+            panic!("unexpected response: {resp:?}");
+        };
+        assert!(!body.cached);
+
+        // Rebuild the same problem through the same wire specs the service
+        // used, then call the library directly.
+        let dag = hetsched_dag::builder::dag_from_edges(
+            &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+            &(1..8u32).map(|i| (0, i, 2.0)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let sys = SystemSpec {
+            processors: hetsched_platform::spec::ProcessorsSpec::Homogeneous { count: 3 },
+            network: hetsched_platform::spec::NetworkSpec {
+                topology: "fully_connected".to_string(),
+                startup: 0.0,
+                bandwidth: 1.0,
+                rows: None,
+                cols: None,
+            },
+        }
+        .build(&dag)
+        .unwrap();
+        let direct = algorithms::by_name("DUP-HEFT")
+            .expect("registered algorithm")
+            .schedule(&dag, &sys);
+        assert_eq!(
+            serde_json::to_string(&body.schedule).unwrap(),
+            serde_json::to_string(&direct).unwrap(),
+            "serve with jobs=2 must be byte-identical to the direct call"
+        );
+
+        // Identical request without `jobs` is a pure cache hit: the option
+        // is not part of the fingerprint.
+        let retry = svc.handle_line(&small_request(8, "DUP-HEFT", "{}"));
+        let Response::Ok {
+            schedule: Some(retry),
+            ..
+        } = &retry
+        else {
+            panic!("retry: {retry:?}");
+        };
+        assert!(retry.cached);
+        assert_eq!(retry.fingerprint, body.fingerprint);
         svc.shutdown();
     }
 

@@ -115,7 +115,7 @@ pub struct Counters {
     pub append_queries: u64,
     /// Slots committed into timelines (speculative trials included).
     pub timeline_inserts: u64,
-    /// Rank vectors served from a [`ProblemInstance`] memo without
+    /// Rank vectors served from a `ProblemInstance` memo without
     /// recomputation (`ProblemInstance` lives in `hetsched-core`).
     #[serde(default)]
     pub rank_memo_hits: u64,

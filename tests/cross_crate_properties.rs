@@ -89,6 +89,74 @@ fn optimized_engine_schedules_byte_identical_to_reference_across_grid() {
     }
 }
 
+/// Search schedulers parallelized in the `par` layer, in cheap test
+/// configurations. The boxed trait objects let one grid drive all four.
+fn parallel_search_schedulers() -> Vec<Box<dyn hetsched::core::Scheduler + Send + Sync>> {
+    use hetsched::core::algorithms::{BranchAndBound, DupHeft, Genetic, IlsD};
+    vec![
+        Box::new(Genetic {
+            population: 10,
+            generations: 10,
+            mutation_rate: 0.1,
+            seed: 7,
+        }),
+        Box::new(IlsD::new()),
+        Box::new(DupHeft::new()),
+        Box::new(BranchAndBound { node_budget: 3_000 }),
+    ]
+}
+
+/// Determinism grid for the parallel search layer: every parallelized
+/// algorithm (GA, ILS-D, DUP-HEFT, BNB) on every workload class must
+/// produce bit-identical slot digests at jobs = 1, 2, and 8. This is the
+/// contract that lets `--jobs`, `HETSCHED_JOBS`, and the serve `jobs`
+/// option stay out of every cache key.
+#[test]
+fn parallel_search_is_bit_identical_across_thread_counts() {
+    use hetsched::core::par::with_jobs;
+    use hetsched::workloads::{fft, gauss, laplace};
+
+    let mut grid: Vec<(String, Dag, System)> = Vec::new();
+    for (n, ccr) in [(30usize, 0.5), (30, 5.0), (80, 1.0)] {
+        let mut rng = StdRng::seed_from_u64(191 + n as u64);
+        let dag = random_dag(&RandomDagParams::new(n, 1.0, ccr), &mut rng);
+        let sys = System::heterogeneous_random(&dag, 5, &EtcParams::range_based(1.0), &mut rng);
+        grid.push((format!("random-n{n}-ccr{ccr}"), dag, sys));
+    }
+    let mut rng = StdRng::seed_from_u64(192);
+    let dag = gauss::gaussian_elimination(6, 2.0, &mut rng);
+    let sys = System::heterogeneous_random(&dag, 4, &EtcParams::range_based(1.0), &mut rng);
+    grid.push(("gauss-6".into(), dag, sys));
+    let mut rng = StdRng::seed_from_u64(193);
+    let dag = fft::fft_butterfly(8, 2.0, &mut rng);
+    let sys = System::heterogeneous_random(&dag, 4, &EtcParams::range_based(0.5), &mut rng);
+    grid.push(("fft-8".into(), dag, sys));
+    let mut rng = StdRng::seed_from_u64(194);
+    let dag = laplace::laplace_wavefront(5, 1.0, &mut rng);
+    let sys = System::heterogeneous_random(&dag, 4, &EtcParams::range_based(1.0), &mut rng);
+    grid.push(("laplace-5".into(), dag, sys));
+    let mut rng = StdRng::seed_from_u64(195);
+    let dag = random_dag(&RandomDagParams::new(40, 1.0, 1.0), &mut rng);
+    let sys = System::homogeneous_unit(&dag, 4);
+    grid.push(("hom-40".into(), dag, sys));
+
+    for (label, dag, sys) in &grid {
+        for alg in parallel_search_schedulers() {
+            let sequential = with_jobs(1, || alg.schedule(dag, sys));
+            assert_eq!(validate(dag, sys, &sequential), Ok(()), "{label}");
+            for jobs in [2usize, 8] {
+                let parallel = with_jobs(jobs, || alg.schedule(dag, sys));
+                assert_eq!(
+                    slot_digest(&parallel),
+                    slot_digest(&sequential),
+                    "{} at jobs={jobs} diverged from jobs=1 on {label}",
+                    alg.name()
+                );
+            }
+        }
+    }
+}
+
 /// The portfolio runner is exactly "run every member, keep the minimum":
 /// its per-member schedules are bit-identical to direct library calls and
 /// the winner is the per-algorithm minimum makespan.
@@ -191,6 +259,30 @@ proptest! {
         // makespan is the max primary finish
         let max_fin = a.task_finish.iter().copied().fold(0.0f64, f64::max);
         prop_assert!((a.makespan - max_fin).abs() < 1e-12);
+    }
+
+    /// Randomized thread-count invariance: on arbitrary instances, every
+    /// parallelized search scheduler produces the same bits at jobs = 1
+    /// and at an arbitrary jobs in 2..=8.
+    #[test]
+    fn parallel_search_thread_count_invariance(
+        n in 2usize..40,
+        ccr in 0.0f64..6.0,
+        procs in 1usize..6,
+        seed in 0u64..100_000,
+        jobs in 2usize..9,
+    ) {
+        use hetsched::core::par::with_jobs;
+        let (dag, sys) = instance(n, ccr, procs, 1.0, seed);
+        for alg in parallel_search_schedulers() {
+            let sequential = with_jobs(1, || alg.schedule(&dag, &sys));
+            let parallel = with_jobs(jobs, || alg.schedule(&dag, &sys));
+            prop_assert_eq!(
+                slot_digest(&sequential),
+                slot_digest(&parallel),
+                "{} diverged at jobs={}", alg.name(), jobs
+            );
+        }
     }
 
     /// Adding processors never makes the *best achievable* HEFT makespan

@@ -544,12 +544,14 @@ fn serve_config(flags: &Flags) -> Result<hetsched_serve::ServeConfig, CliError> 
 }
 
 /// `serve` — run the resident scheduling daemon until a `shutdown` request
-/// arrives. TCP by default; `--stdin` answers NDJSON on stdio instead.
+/// arrives. TCP by default; `--stdin` answers NDJSON on stdio instead;
+/// `--shards N` runs N shard daemons behind an in-process gateway.
 pub fn serve(flags: &Flags) -> Result<String, CliError> {
     check_allowed(
         flags,
         &[
             "addr",
+            "shards",
             "workers",
             "queue",
             "cache",
@@ -566,6 +568,37 @@ pub fn serve(flags: &Flags) -> Result<String, CliError> {
             .parse()
             .map_err(|e| CliError(format!("--jobs: invalid value `{v}` ({e})")))?;
         hetsched_core::par::set_global_jobs(Some(j));
+    }
+    let shards: usize = flags.get_or("shards", 0)?;
+    if shards > 0 {
+        if flags.has("stdin") {
+            return Err(CliError("--shards and --stdin are exclusive".into()));
+        }
+        let mut shard_set = hetsched_gateway::LocalShards::spawn(shards, &config)
+            .map_err(|e| CliError(format!("spawning shards: {e}")))?;
+        let gw_config = hetsched_gateway::GatewayConfig {
+            backends: shard_set.addrs(),
+            default_deadline_ms: config.default_deadline_ms,
+            ..Default::default()
+        };
+        let addr = flags.get("addr").unwrap_or("127.0.0.1:7077");
+        let server = hetsched_gateway::GatewayServer::bind(addr, gw_config)
+            .map_err(|e| CliError(format!("binding {addr}: {e}")))?;
+        let local = server.local_addr()?;
+        // Shard lines first: scripts scrape the LAST "listening on " line
+        // for the client-facing (gateway) address.
+        for (i, a) in shard_set.addrs().iter().enumerate() {
+            println!("shard {i} on {a}");
+        }
+        println!("listening on {local}");
+        std::io::Write::flush(&mut std::io::stdout())?;
+        let router = server.router();
+        server.run()?;
+        shard_set.shutdown_all();
+        return Ok(format!(
+            "routed {} requests across {shards} shards\n",
+            hetsched_gateway::metrics::read(&router.metrics().requests)
+        ));
     }
     if flags.has("stdin") {
         let service = hetsched_serve::Service::start(config);
@@ -594,6 +627,56 @@ pub fn serve(flags: &Flags) -> Result<String, CliError> {
     }
 }
 
+/// `gateway` — run the scale-out front door against already-running shard
+/// daemons (for the single-process topology, use `serve --shards N`).
+pub fn gateway(flags: &Flags) -> Result<String, CliError> {
+    check_allowed(
+        flags,
+        &[
+            "addr",
+            "backends",
+            "inflight",
+            "queue",
+            "max-pending",
+            "threads",
+            "deadline-ms",
+            "connect-timeout-ms",
+        ],
+    )?;
+    let backends: Vec<String> = flags
+        .require("backends")?
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if backends.is_empty() {
+        return Err(CliError("--backends lists no shard addresses".into()));
+    }
+    let d = hetsched_gateway::GatewayConfig::default();
+    let config = hetsched_gateway::GatewayConfig {
+        backends,
+        inflight_per_shard: flags.get_or("inflight", d.inflight_per_shard)?,
+        queue_capacity: flags.get_or("queue", d.queue_capacity)?,
+        max_pending_per_conn: flags.get_or("max-pending", d.max_pending_per_conn)?,
+        router_threads: flags.get_or("threads", d.router_threads)?,
+        default_deadline_ms: flags.get_or("deadline-ms", d.default_deadline_ms)?,
+        connect_timeout_ms: flags.get_or("connect-timeout-ms", d.connect_timeout_ms)?,
+        propagate_shutdown: d.propagate_shutdown,
+    };
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7070");
+    let server = hetsched_gateway::GatewayServer::bind(addr, config)
+        .map_err(|e| CliError(format!("binding {addr}: {e}")))?;
+    let local = server.local_addr()?;
+    println!("listening on {local}");
+    std::io::Write::flush(&mut std::io::stdout())?;
+    let router = server.router();
+    server.run()?;
+    Ok(format!(
+        "routed {} requests\n",
+        hetsched_gateway::metrics::read(&router.metrics().requests)
+    ))
+}
+
 /// `request` — send one NDJSON request to a running daemon and print the
 /// raw response line.
 pub fn request(flags: &Flags) -> Result<String, CliError> {
@@ -613,6 +696,7 @@ pub fn request(flags: &Flags) -> Result<String, CliError> {
     let addr = flags.require("addr")?;
     let op = flags.get("op").unwrap_or("schedule");
     let line = match op {
+        "hello" => r#"{"op":"hello"}"#.to_string(),
         "stats" => r#"{"op":"stats"}"#.to_string(),
         "metrics" => r#"{"op":"metrics"}"#.to_string(),
         "shutdown" => r#"{"op":"shutdown"}"#.to_string(),
@@ -696,7 +780,7 @@ pub fn request(flags: &Flags) -> Result<String, CliError> {
         }
         other => {
             return Err(CliError(format!(
-                "unknown --op `{other}` (schedule, portfolio, stats, metrics, shutdown)"
+                "unknown --op `{other}` (schedule, portfolio, hello, stats, metrics, shutdown)"
             )))
         }
     };

@@ -90,9 +90,16 @@ commands:
   serve       run the resident scheduling daemon (NDJSON over TCP or stdin)
               [--addr HOST:PORT] [--stdin] [--workers N] [--queue N]
               [--cache N] [--instance-cache N] [--deadline-ms MS] [--jobs N]
+              [--shards N]  (run N shard daemons behind an in-process
+               gateway; clients talk to the gateway address)
+  gateway     run the scale-out front door against running shard daemons:
+              fingerprint routing, single-flight dedup, admission control
+              --backends HOST:PORT,HOST:PORT [--addr HOST:PORT]
+              [--inflight N] [--queue N] [--max-pending N] [--threads N]
+              [--deadline-ms MS] [--connect-timeout-ms MS]
   request     send one request to a running daemon and print the reply
               --addr HOST:PORT
-              [--op schedule|portfolio|stats|metrics|shutdown]
+              [--op schedule|portfolio|hello|stats|metrics|shutdown]
               [--dag FILE --system FILE --alg NAME] [--algs A,B,C]
               [--simulate] [--trace] [--deadline-ms MS] [--jobs N]
               (--op metrics prints the Prometheus text unwrapped;

@@ -37,6 +37,7 @@ fn main() -> ExitCode {
         "info" => commands::info(&flags),
         "convert" => commands::convert(&flags),
         "serve" => commands::serve(&flags),
+        "gateway" => commands::gateway(&flags),
         "request" => commands::request(&flags),
         "algorithms" => Ok(commands::algorithms()),
         other => Err(format!("unknown command `{other}`").into()),

@@ -19,7 +19,26 @@ perf options:
   --bench-out <file> write the perf benchmark JSON to <file>
   --check <file>     compare against a baseline benchmark JSON; exit
                      nonzero when any entry regresses by more than 25%
-                     (after normalizing out the machine-speed factor)";
+                     (after normalizing out the machine-speed factor)
+load options (saturation sweep against a gateway + shards topology):
+  --target <addr>    drive an already-running gateway instead of spawning
+                     an in-process gateway + shards topology
+  --shards <n>       shards of the in-process topology (default 2)
+  --rate <r>         base arrival rate in requests/second (default 150);
+                     the sweep runs 0.5x, 1x, and 3x (just 1x with --quick)
+  --duration-ms <ms> wall time per sweep step (default 3000)
+  --mix <u,d,p>      unique/duplicate/patch request shares (default
+                     0.5,0.3,0.2); duplicates exercise single-flight dedup
+  --hot-ms <ms>      debug-sleep carried by duplicate requests, holding
+                     the dedup leader in flight (default 25)
+  --work-ms <ms>     debug-sleep carried by unique/patch requests — a
+                     deterministic stand-in for compute cost (default 20)
+  --strict           exit nonzero on any protocol error, or when a
+                     duplicate-carrying mix produces zero dedup hits
+  --bench-out <file> merge `load/r<rate>/p50|p99` latency entries into
+                     <file> (other keys, e.g. perf entries, are kept)
+  --check <file>     compare latency percentiles against a baseline, like
+                     perf --check but with a 50% tolerance";
 
 /// Parsed harness configuration.
 #[derive(Debug, Clone)]
@@ -38,10 +57,28 @@ pub struct Config {
     /// Excluded from the fingerprint: schedules are bit-identical at any
     /// thread count, so `jobs` changes speed, never numbers.
     pub jobs: Option<usize>,
-    /// `perf`: write the benchmark JSON to this file.
+    /// `perf`/`load`: write (or, for `load`, merge into) the benchmark
+    /// JSON at this file.
     pub bench_out: Option<String>,
-    /// `perf`: baseline benchmark JSON to compare against.
+    /// `perf`/`load`: baseline benchmark JSON to compare against.
     pub check: Option<String>,
+    /// `load`: drive this already-running gateway instead of spawning an
+    /// in-process topology.
+    pub target: Option<String>,
+    /// `load`: shard count of the in-process topology.
+    pub shards: usize,
+    /// `load`: base arrival rate (requests/second).
+    pub rate: f64,
+    /// `load`: wall time per sweep step, in milliseconds.
+    pub duration_ms: u64,
+    /// `load`: unique / duplicate / patch-shaped request shares.
+    pub mix: (f64, f64, f64),
+    /// `load`: debug-sleep carried by duplicate requests (ms).
+    pub hot_ms: u64,
+    /// `load`: debug-sleep carried by unique/patch requests (ms).
+    pub work_ms: u64,
+    /// `load`: fail on protocol errors or a dedup-free duplicate mix.
+    pub strict: bool,
 }
 
 impl Config {
@@ -84,6 +121,14 @@ impl Default for Config {
             jobs: None,
             bench_out: None,
             check: None,
+            target: None,
+            shards: 2,
+            rate: 150.0,
+            duration_ms: 3_000,
+            mix: (0.5, 0.3, 0.2),
+            hot_ms: 25,
+            work_ms: 20,
+            strict: false,
         }
     }
 }
@@ -131,6 +176,49 @@ pub fn parse_args(args: &[String]) -> Result<(Vec<String>, Config), String> {
             }
             "--bench-out" => cfg.bench_out = Some(take_value("--bench-out")?),
             "--check" => cfg.check = Some(take_value("--check")?),
+            "--target" => cfg.target = Some(take_value("--target")?),
+            "--shards" => {
+                cfg.shards = take_value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
+            "--rate" => {
+                cfg.rate = take_value("--rate")?
+                    .parse()
+                    .map_err(|e| format!("--rate: {e}"))?
+            }
+            "--duration-ms" => {
+                cfg.duration_ms = take_value("--duration-ms")?
+                    .parse()
+                    .map_err(|e| format!("--duration-ms: {e}"))?
+            }
+            "--mix" => {
+                let v = take_value("--mix")?;
+                let parts: Vec<f64> = v
+                    .split(',')
+                    .map(|p| p.trim().parse::<f64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| format!("--mix: {e}"))?;
+                let [u, d, p] = parts[..] else {
+                    return Err("--mix needs three comma-separated shares (u,d,p)".into());
+                };
+                if u < 0.0 || d < 0.0 || p < 0.0 || u + d + p <= 0.0 {
+                    return Err("--mix shares must be non-negative and not all zero".into());
+                }
+                let total = u + d + p;
+                cfg.mix = (u / total, d / total, p / total);
+            }
+            "--hot-ms" => {
+                cfg.hot_ms = take_value("--hot-ms")?
+                    .parse()
+                    .map_err(|e| format!("--hot-ms: {e}"))?
+            }
+            "--work-ms" => {
+                cfg.work_ms = take_value("--work-ms")?
+                    .parse()
+                    .map_err(|e| format!("--work-ms: {e}"))?
+            }
+            "--strict" => cfg.strict = true,
             _ if a.starts_with("--") => return Err(format!("unknown option {a}")),
             _ => ids.push(a.clone()),
         }
@@ -144,6 +232,15 @@ pub fn parse_args(args: &[String]) -> Result<(Vec<String>, Config), String> {
     }
     if cfg.jobs == Some(0) {
         return Err("--jobs must be at least 1".into());
+    }
+    if cfg.shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    if !(cfg.rate > 0.0 && cfg.rate.is_finite()) {
+        return Err("--rate must be a positive number".into());
+    }
+    if cfg.duration_ms == 0 {
+        return Err("--duration-ms must be at least 1".into());
     }
     if ids.iter().any(|i| i == "all") {
         ids = crate::experiments::catalog()
@@ -235,5 +332,47 @@ mod tests {
     fn rejects_unknown_flag_and_zero_reps() {
         assert!(parse_args(&["--frobnicate".into()]).is_err());
         assert!(parse_args(&["x".into(), "--reps".into(), "0".into()]).is_err());
+    }
+
+    #[test]
+    fn load_flags_parse_and_mix_normalizes() {
+        let (ids, cfg) = parse_args(&[
+            "load".into(),
+            "--target".into(),
+            "127.0.0.1:7070".into(),
+            "--shards".into(),
+            "3".into(),
+            "--rate".into(),
+            "80".into(),
+            "--duration-ms".into(),
+            "500".into(),
+            "--mix".into(),
+            "1,2,1".into(),
+            "--hot-ms".into(),
+            "10".into(),
+            "--work-ms".into(),
+            "5".into(),
+            "--strict".into(),
+        ])
+        .unwrap();
+        assert_eq!(ids, vec!["load"]);
+        assert_eq!(cfg.target.as_deref(), Some("127.0.0.1:7070"));
+        assert_eq!(cfg.shards, 3);
+        assert_eq!(cfg.rate, 80.0);
+        assert_eq!(cfg.duration_ms, 500);
+        assert_eq!(cfg.mix, (0.25, 0.5, 0.25), "shares normalize to sum 1");
+        assert_eq!(cfg.hot_ms, 10);
+        assert_eq!(cfg.work_ms, 5);
+        assert!(cfg.strict);
+    }
+
+    #[test]
+    fn load_flags_reject_bad_values() {
+        assert!(parse_args(&["load".into(), "--shards".into(), "0".into()]).is_err());
+        assert!(parse_args(&["load".into(), "--rate".into(), "0".into()]).is_err());
+        assert!(parse_args(&["load".into(), "--rate".into(), "-5".into()]).is_err());
+        assert!(parse_args(&["load".into(), "--duration-ms".into(), "0".into()]).is_err());
+        assert!(parse_args(&["load".into(), "--mix".into(), "1,2".into()]).is_err());
+        assert!(parse_args(&["load".into(), "--mix".into(), "0,0,0".into()]).is_err());
     }
 }

@@ -1,0 +1,117 @@
+//! Baseline comparison shared by `perf --check` and `load --check`.
+//!
+//! Both benchmarks store entries as `{..., "min_ns": N}` keyed by a
+//! stable id and compare a fresh run against a committed baseline after
+//! dividing out the machine-speed factor — the median ratio across all
+//! shared entries. A uniformly faster or slower runner moves every ratio
+//! by the same factor and passes; a single regressed entry sticks out
+//! above it and fails.
+
+use serde_json::Value;
+
+/// Compare fresh `(id, value_ns)` pairs against a baseline JSON document
+/// whose entries carry `min_ns` (or, for older baselines, `median_ns`).
+/// Entries regressing more than `tolerance` (relative, after
+/// machine-factor normalization) are reported; an empty return means the
+/// check passed.
+///
+/// # Errors
+/// When the baseline is not an object or shares no entry ids with the
+/// fresh run (comparing against the wrong file should fail loudly, not
+/// pass vacuously).
+pub fn check_against(
+    pairs: &[(String, f64)],
+    baseline: &Value,
+    tolerance: f64,
+) -> Result<Vec<String>, String> {
+    let base = baseline
+        .as_object()
+        .ok_or("baseline is not a JSON object")?;
+    let mut ratios: Vec<(String, f64)> = Vec::new();
+    for (id, value) in pairs {
+        let Some(b) = base
+            .get(id)
+            .and_then(|v| v.get("min_ns").or_else(|| v.get("median_ns")))
+            .and_then(Value::as_f64)
+        else {
+            continue;
+        };
+        if b > 0.0 {
+            ratios.push((id.clone(), value / b));
+        }
+    }
+    if ratios.is_empty() {
+        return Err("baseline shares no entries with this run (did you forget --quick?)".into());
+    }
+    // machine-speed factor: the median ratio. A uniformly faster or slower
+    // machine moves every ratio by the same factor; regressions stick out
+    // above it.
+    let mut sorted: Vec<f64> = ratios.iter().map(|&(_, r)| r).collect();
+    sorted.sort_by(f64::total_cmp);
+    let factor = sorted[sorted.len() / 2];
+    let limit = factor * (1.0 + tolerance);
+    Ok(ratios
+        .iter()
+        .filter(|&&(_, r)| r > limit)
+        .map(|(id, r)| {
+            format!(
+                "{id}: {:.2}x the baseline ({:.2}x after machine factor {factor:.2})",
+                r,
+                r / factor
+            )
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(xs: &[(&str, f64)]) -> Vec<(String, f64)> {
+        xs.iter().map(|(id, v)| (id.to_string(), *v)).collect()
+    }
+
+    fn baseline_100_200_300() -> Value {
+        serde_json::from_str(
+            r#"{"a": {"min_ns": 100.0}, "b": {"min_ns": 200.0}, "c": {"min_ns": 300.0}}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn check_normalizes_out_machine_speed() {
+        // everything uniformly 3x slower: a slower machine, not a
+        // regression
+        let fresh = pairs(&[("a", 300.0), ("b", 600.0), ("c", 900.0)]);
+        let baseline = baseline_100_200_300();
+        assert!(check_against(&fresh, &baseline, 0.25).unwrap().is_empty());
+    }
+
+    #[test]
+    fn check_flags_single_entry_regression() {
+        // one entry 2x while the rest hold: a real regression
+        let fresh = pairs(&[("a", 100.0), ("b", 200.0), ("c", 600.0)]);
+        let baseline = baseline_100_200_300();
+        let failures = check_against(&fresh, &baseline, 0.25).unwrap();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].starts_with("c:"), "{failures:?}");
+    }
+
+    #[test]
+    fn tolerance_is_a_parameter() {
+        // 1.4x above the others: a regression at 25%, noise at 50%
+        let fresh = pairs(&[("a", 100.0), ("b", 200.0), ("c", 420.0)]);
+        let baseline = baseline_100_200_300();
+        assert_eq!(check_against(&fresh, &baseline, 0.25).unwrap().len(), 1);
+        assert!(check_against(&fresh, &baseline, 0.50).unwrap().is_empty());
+    }
+
+    #[test]
+    fn check_rejects_disjoint_baseline_and_older_median_fallback() {
+        let fresh = pairs(&[("a", 100.0)]);
+        let disjoint: Value = serde_json::from_str(r#"{"z": {"median_ns": 100.0}}"#).unwrap();
+        assert!(check_against(&fresh, &disjoint, 0.25).is_err());
+        let older: Value = serde_json::from_str(r#"{"a": {"median_ns": 100.0}}"#).unwrap();
+        assert!(check_against(&fresh, &older, 0.25).unwrap().is_empty());
+    }
+}

@@ -2,9 +2,11 @@
 
 mod ablation;
 mod apps;
+pub mod baseline;
 mod contention;
 mod gap;
 mod homogeneous;
+pub mod load;
 mod metaheuristic;
 mod occupancy;
 pub mod perf;

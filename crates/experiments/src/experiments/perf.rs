@@ -463,49 +463,12 @@ fn phase_profile(cfg: &Config) -> (String, Value) {
     (text, json!({ "n": n, "algos": Value::Object(obj) }))
 }
 
-/// Compare fresh entries against a baseline JSON document. Returns the
-/// list of regression messages (empty = pass).
+/// Compare fresh entries (by their noise-robust minimum) against a
+/// baseline JSON document via the shared machine-factor-normalizing
+/// comparator. Returns the list of regression messages (empty = pass).
 fn check_against(entries: &[BenchEntry], baseline: &Value) -> Result<Vec<String>, String> {
-    let base = baseline
-        .as_object()
-        .ok_or("baseline is not a JSON object")?;
-    // ratio current/baseline per shared entry, on the noise-robust
-    // minimum (older baselines without min_ns fall back to median_ns)
-    let mut ratios: Vec<(String, f64)> = Vec::new();
-    for e in entries {
-        let Some(b) = base
-            .get(&e.id)
-            .and_then(|v| v.get("min_ns").or_else(|| v.get("median_ns")))
-            .and_then(Value::as_f64)
-        else {
-            continue;
-        };
-        if b > 0.0 {
-            ratios.push((e.id.clone(), e.min_ns / b));
-        }
-    }
-    if ratios.is_empty() {
-        return Err("baseline shares no entries with this run (did you forget --quick?)".into());
-    }
-    // machine-speed factor: the median ratio. A uniformly faster or slower
-    // machine moves every ratio by the same factor; regressions stick out
-    // above it.
-    let mut sorted: Vec<f64> = ratios.iter().map(|&(_, r)| r).collect();
-    sorted.sort_by(f64::total_cmp);
-    let factor = sorted[sorted.len() / 2];
-    let limit = factor * (1.0 + REGRESSION_TOLERANCE);
-    let failures = ratios
-        .iter()
-        .filter(|&&(_, r)| r > limit)
-        .map(|(id, r)| {
-            format!(
-                "{id}: {:.2}x the baseline ({:.2}x after machine factor {factor:.2})",
-                r,
-                r / factor
-            )
-        })
-        .collect();
-    Ok(failures)
+    let pairs: Vec<(String, f64)> = entries.iter().map(|e| (e.id.clone(), e.min_ns)).collect();
+    super::baseline::check_against(&pairs, baseline, REGRESSION_TOLERANCE)
 }
 
 /// Measure every benchmark entry once.

@@ -53,6 +53,10 @@ fn run_one(id: &str, cfg: &Config) -> Result<(), String> {
         // hot-path benchmark: its own output/check flow (see `perf.rs`)
         return experiments::perf::run_perf(cfg);
     }
+    if id == "load" {
+        // gateway load harness: its own output/check flow (see `load.rs`)
+        return experiments::load::run_load(cfg);
+    }
     let known: Vec<&str> = experiments::catalog().iter().map(|(i, _)| *i).collect();
     if !known.contains(&id) {
         return Err(format!("unknown experiment `{id}`; try `all`"));

@@ -1,0 +1,542 @@
+//! The routing core: parse → fingerprint → admit → forward → reply.
+//!
+//! Every request line flows through [`Router::handle_line`]:
+//!
+//! 1. **Parse** and validate the problem (bad input is answered at the
+//!    gateway; it never costs a shard anything).
+//! 2. **Route** by content fingerprint: `fingerprint(dag, system) % N`
+//!    picks the home shard, so the shard's `ProblemInstance` cache and
+//!    reply memo see every repeat of the same problem.
+//! 3. **Coalesce**: identical requests already in flight are joined as
+//!    single-flight followers and get the leader's reply byte-for-byte.
+//! 4. **Admit**: a request whose deadline has already passed, or whose
+//!    home shard is at its inflight budget, is shed — it never occupies a
+//!    shard slot. The remaining deadline is rewritten into the forwarded
+//!    request, so shards enforce the client's clock, not their default.
+//! 5. **Forward** with failover: if the home shard is down, the next
+//!    healthy shard serves the request (a `reroute`); if none can, the
+//!    client gets a structured `error` — never a hang.
+
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::RecvTimeoutError;
+
+use hetsched_core::ProblemInstance;
+use hetsched_dag::{Dag, Fingerprint};
+use hetsched_platform::System;
+use hetsched_serve::protocol::{HelloBody, Request, RequestOptions, Response};
+
+use crate::backend::Backend;
+use crate::metrics::{bump, read, GatewayMetrics, ShardSnapshot};
+use crate::singleflight::{Flight, SingleFlight};
+use crate::GatewayConfig;
+
+/// How long a down shard is skipped before the next probe attempt.
+const RETRY_AFTER: Duration = Duration::from_millis(500);
+/// Extra wait granted to single-flight followers beyond their own
+/// deadline, covering the leader's reply delivery.
+const FOLLOWER_SLACK: Duration = Duration::from_millis(100);
+/// Extra wait granted to a shard beyond the propagated deadline: the
+/// shard answers `timeout` at the deadline itself and needs a moment to
+/// deliver that reply before the gateway cuts the connection.
+const SHARD_GRACE: Duration = Duration::from_millis(250);
+/// Deadline for control-plane fan-outs (per-shard stats, shutdown).
+const CONTROL_DEADLINE: Duration = Duration::from_secs(2);
+
+/// The gateway routing core. Cheap to share behind an `Arc`; every public
+/// method takes `&self`.
+pub struct Router {
+    config: GatewayConfig,
+    backends: Vec<Backend>,
+    singleflight: SingleFlight,
+    metrics: GatewayMetrics,
+    shutting: AtomicBool,
+}
+
+impl Router {
+    /// Build a router for the configured backends.
+    ///
+    /// # Errors
+    /// `InvalidInput` if no backends are configured.
+    pub fn new(config: GatewayConfig) -> io::Result<Router> {
+        if config.backends.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "gateway needs at least one backend shard",
+            ));
+        }
+        let connect_timeout = Duration::from_millis(config.connect_timeout_ms.max(1));
+        let backends = config
+            .backends
+            .iter()
+            .map(|addr| Backend::new(addr.clone(), connect_timeout))
+            .collect();
+        Ok(Router {
+            config,
+            backends,
+            singleflight: SingleFlight::new(),
+            metrics: GatewayMetrics::new(),
+            shutting: AtomicBool::new(false),
+        })
+    }
+
+    /// Gateway configuration.
+    pub fn config(&self) -> &GatewayConfig {
+        &self.config
+    }
+
+    /// Live gateway counters.
+    pub fn metrics(&self) -> &GatewayMetrics {
+        &self.metrics
+    }
+
+    /// Whether graceful shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting.load(Ordering::SeqCst)
+    }
+
+    /// Request graceful shutdown (front door stops accepting; in-flight
+    /// requests drain).
+    pub fn begin_shutdown(&self) {
+        self.shutting.store(true, Ordering::SeqCst);
+    }
+
+    /// Handle one NDJSON request line, returning the reply line (no
+    /// trailing newline). `arrival` anchors the request's deadline: pass
+    /// the instant the line was read off the socket, so queueing inside
+    /// the gateway counts against the client's budget.
+    pub fn handle_line(&self, line: &str, arrival: Instant) -> String {
+        match Request::parse(line) {
+            Err(e) => {
+                bump(&self.metrics.errors);
+                Response::error(format!("bad request: {e}")).to_line()
+            }
+            Ok(Request::Hello) => Response::hello(self.hello_body()).to_line(),
+            Ok(Request::Stats) => self.stats_line(),
+            Ok(Request::Metrics) => Response::metrics(self.metrics_text()).to_line(),
+            Ok(Request::Shutdown) => self.shutdown_line(),
+            Ok(req) => self.route(req, arrival),
+        }
+    }
+
+    /// Identification payload for the `hello` op.
+    fn hello_body(&self) -> HelloBody {
+        HelloBody {
+            service: "hetsched-gateway".to_string(),
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            workers: self.config.router_threads,
+            queue_capacity: self.config.queue_capacity,
+        }
+    }
+
+    /// Route one `schedule`/`portfolio` request.
+    fn route(&self, req: Request, arrival: Instant) -> String {
+        if self.is_shutting_down() {
+            return Response::ShuttingDown.to_line();
+        }
+        bump(&self.metrics.requests);
+        let (dag_spec, system_spec, alg_names, options) = match &req {
+            Request::Schedule {
+                dag,
+                system,
+                algorithm,
+                options,
+            } => (
+                dag,
+                system,
+                std::slice::from_ref(algorithm).to_vec(),
+                options,
+            ),
+            Request::Portfolio {
+                dag,
+                system,
+                algorithms,
+                options,
+            } => (dag, system, algorithms.clone(), options),
+            // `handle_line` only routes the two scheduling ops.
+            _ => unreachable!("route() called with a control op"),
+        };
+        let deadline = Duration::from_millis(
+            options
+                .deadline_ms
+                .unwrap_or(self.config.default_deadline_ms),
+        );
+        let deadline_at = arrival + deadline;
+
+        // Validate at the front door; a bad problem never costs a shard.
+        let dag = match dag_spec.build() {
+            Ok(d) => d,
+            Err(e) => {
+                bump(&self.metrics.errors);
+                return Response::error(format!("invalid dag: {e}")).to_line();
+            }
+        };
+        let sys = match system_spec.build(&dag) {
+            Ok(s) => s,
+            Err(e) => {
+                bump(&self.metrics.errors);
+                return Response::error(format!("invalid system: {e}")).to_line();
+            }
+        };
+        let home = (ProblemInstance::content_fingerprint(&dag, &sys) % self.backends.len() as u64)
+            as usize;
+        let key = dedup_key(&req, &dag, &sys, &alg_names, options);
+
+        match self.singleflight.join(key) {
+            Flight::Follower(rx) => {
+                let wait = deadline_at.saturating_duration_since(Instant::now()) + FOLLOWER_SLACK;
+                match rx.recv_timeout(wait) {
+                    Ok(reply) => {
+                        bump(&self.metrics.dedup_hits);
+                        self.metrics.latency.record(arrival.elapsed());
+                        (*reply).clone()
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        bump(&self.metrics.timeouts);
+                        Response::Timeout {
+                            message: format!(
+                                "deadline of {} ms exceeded waiting for an identical in-flight request",
+                                deadline.as_millis()
+                            ),
+                        }
+                        .to_line()
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        bump(&self.metrics.errors);
+                        Response::error("in-flight leader vanished before replying").to_line()
+                    }
+                }
+            }
+            Flight::Leader => {
+                let reply = Arc::new(self.lead(&req, home, deadline_at, arrival));
+                self.singleflight.complete(key, &reply);
+                (*reply).clone()
+            }
+        }
+    }
+
+    /// Forward a request as the single-flight leader: admission control,
+    /// deadline propagation, home-shard affinity with failover.
+    fn lead(&self, req: &Request, home: usize, deadline_at: Instant, arrival: Instant) -> String {
+        let n = self.backends.len();
+        let mut budget_full = false;
+        let mut last_error: Option<io::Error> = None;
+        for i in 0..n {
+            let backend = &self.backends[(home + i) % n];
+            if !backend.available(RETRY_AFTER) {
+                continue;
+            }
+            let remaining = deadline_at.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                // Shed, don't forward: the reply could never arrive in
+                // time, so the request must not occupy a shard slot.
+                bump(&self.metrics.sheds);
+                return Response::shed(
+                    "deadline expired before dispatch; the request never reached a shard",
+                )
+                .to_line();
+            }
+            let Some(_slot) = backend.try_reserve(self.config.inflight_per_shard) else {
+                budget_full = true;
+                if i == 0 {
+                    // The home shard is saturated. Shed rather than spill:
+                    // spilling would break cache affinity exactly when the
+                    // system is overloaded and the caches matter most.
+                    break;
+                }
+                continue;
+            };
+            let line = forward_line(req, remaining);
+            match backend.round_trip(&line, deadline_at + SHARD_GRACE) {
+                Ok(reply) => {
+                    bump(&self.metrics.forwarded);
+                    if i > 0 {
+                        bump(&self.metrics.reroutes);
+                    }
+                    if reply.starts_with("{\"status\":\"ok\"") {
+                        self.metrics.latency.record(arrival.elapsed());
+                    }
+                    return reply;
+                }
+                Err(e) if e.kind() == io::ErrorKind::TimedOut => {
+                    // The shard is alive but slow; its computation keeps
+                    // running and will populate its caches, so this is a
+                    // timeout, not a failover.
+                    bump(&self.metrics.timeouts);
+                    return Response::Timeout {
+                        message: format!(
+                            "shard {} did not reply within the deadline; an identical retry may hit its cache",
+                            backend.addr()
+                        ),
+                    }
+                    .to_line();
+                }
+                Err(e) => {
+                    bump(&self.metrics.shard_errors);
+                    last_error = Some(e);
+                    continue;
+                }
+            }
+        }
+        if budget_full {
+            bump(&self.metrics.sheds);
+            Response::shed(format!(
+                "shard inflight budget exhausted ({} per shard)",
+                self.config.inflight_per_shard
+            ))
+            .to_line()
+        } else {
+            bump(&self.metrics.errors);
+            let detail = match last_error {
+                Some(e) => format!("no shard could serve the request: {e}"),
+                None => "no healthy shard available".to_string(),
+            };
+            Response::error(detail).to_line()
+        }
+    }
+
+    /// Aggregate stats: gateway counters plus a live `stats` fan-out to
+    /// every shard (`null` for shards that cannot be reached).
+    fn stats_line(&self) -> String {
+        let shard_stats: Vec<serde_json::Value> = self
+            .backends
+            .iter()
+            .map(|b| {
+                b.round_trip(r#"{"op":"stats"}"#, Instant::now() + CONTROL_DEADLINE)
+                    .ok()
+                    .and_then(|reply| serde_json::from_str::<serde_json::Value>(&reply).ok())
+                    .map(|v| v["stats"].clone())
+                    .unwrap_or(serde_json::Value::Null)
+            })
+            .collect();
+        let m = &self.metrics;
+        let gateway = serde_json::json!({
+            "requests": read(&m.requests),
+            "forwarded": read(&m.forwarded),
+            "dedup_hits": read(&m.dedup_hits),
+            "sheds": read(&m.sheds),
+            "timeouts": read(&m.timeouts),
+            "reroutes": read(&m.reroutes),
+            "shard_errors": read(&m.shard_errors),
+            "errors": read(&m.errors),
+            "inflight_keys": self.singleflight.len(),
+            "latency_samples": m.latency.count(),
+            "latency_p50_us": m.latency.quantile_us(0.50),
+            "latency_p99_us": m.latency.quantile_us(0.99),
+            "shards": self.snapshots(),
+        });
+        serde_json::to_string(&serde_json::json!({
+            "status": "ok",
+            "gateway": gateway,
+            "shards": shard_stats,
+        }))
+        .expect("stats serialization is infallible")
+    }
+
+    /// Gateway metric families in Prometheus text exposition format.
+    fn metrics_text(&self) -> String {
+        self.metrics.render_prometheus(&self.snapshots())
+    }
+
+    fn snapshots(&self) -> Vec<ShardSnapshot> {
+        self.backends.iter().map(Backend::snapshot).collect()
+    }
+
+    /// Acknowledge shutdown, optionally propagating it to every shard so
+    /// one client request winds the whole deployment down.
+    fn shutdown_line(&self) -> String {
+        self.begin_shutdown();
+        if self.config.propagate_shutdown {
+            for b in &self.backends {
+                let _ = b.round_trip(r#"{"op":"shutdown"}"#, Instant::now() + CONTROL_DEADLINE);
+            }
+        }
+        Response::ShuttingDown.to_line()
+    }
+}
+
+/// Dedup key for single-flight coalescing: the op kind, the (DAG, system)
+/// content, the algorithm list, and the response-shaping options. Mirrors
+/// [`hetsched_serve::request_fingerprint`]'s exclusions: `deadline_ms`
+/// bounds the wait, `jobs` changes speed — neither changes the reply, so
+/// requests differing only in them coalesce.
+fn dedup_key(
+    req: &Request,
+    dag: &Dag,
+    sys: &System,
+    alg_names: &[String],
+    options: &RequestOptions,
+) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.tag("gateway-op");
+    fp.push_str(match req {
+        Request::Portfolio { .. } => "portfolio",
+        _ => "schedule",
+    });
+    dag.fold_fingerprint(&mut fp);
+    sys.fold_fingerprint(&mut fp);
+    fp.tag("algorithms");
+    fp.push_u64(alg_names.len() as u64);
+    for name in alg_names {
+        fp.push_str(name);
+    }
+    fp.tag("options");
+    fp.push_u8(options.simulate as u8);
+    fp.push_u8(options.debug_panic as u8);
+    fp.push_u64(options.debug_sleep_ms.unwrap_or(0));
+    fp.push_u8(options.trace as u8);
+    fp.finish()
+}
+
+/// Re-serialize a request with its deadline rewritten to the time
+/// actually remaining, so the shard enforces the client's clock (minus
+/// gateway queueing) rather than its own default.
+fn forward_line(req: &Request, remaining: Duration) -> String {
+    let remaining_ms = (remaining.as_millis() as u64).max(1);
+    let rewritten = match req.clone() {
+        Request::Schedule {
+            dag,
+            system,
+            algorithm,
+            mut options,
+        } => {
+            options.deadline_ms = Some(remaining_ms);
+            Request::Schedule {
+                dag,
+                system,
+                algorithm,
+                options,
+            }
+        }
+        Request::Portfolio {
+            dag,
+            system,
+            algorithms,
+            mut options,
+        } => {
+            options.deadline_ms = Some(remaining_ms);
+            Request::Portfolio {
+                dag,
+                system,
+                algorithms,
+                options,
+            }
+        }
+        other => other,
+    };
+    serde_json::to_string(&rewritten).expect("request serialization is infallible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_parts() -> (Dag, System, Request) {
+        let line = r#"{"op":"schedule","dag":{"tasks":[{"weight":1.0},{"weight":2.0}],"edges":[{"src":0,"dst":1,"data":1.5}]},"system":{"processors":{"kind":"homogeneous","count":2},"network":{"topology":"fully_connected","bandwidth":1.0}},"algorithm":"HEFT","options":{"deadline_ms":5000,"jobs":4}}"#;
+        let req = Request::parse(line).unwrap();
+        let Request::Schedule { dag, system, .. } = &req else {
+            unreachable!()
+        };
+        let dag = dag.build().unwrap();
+        let sys = system.build(&dag).unwrap();
+        (dag, sys, req)
+    }
+
+    #[test]
+    fn dedup_key_ignores_deadline_and_jobs_but_not_content() {
+        let (dag, sys, req) = small_parts();
+        let base = RequestOptions::default();
+        let k1 = dedup_key(&req, &dag, &sys, &["HEFT".to_string()], &base);
+        let with_deadline = RequestOptions {
+            deadline_ms: Some(10),
+            jobs: Some(8),
+            ..base.clone()
+        };
+        assert_eq!(
+            k1,
+            dedup_key(&req, &dag, &sys, &["HEFT".to_string()], &with_deadline),
+            "deadline/jobs must not split flights"
+        );
+        let traced = RequestOptions {
+            trace: true,
+            ..base.clone()
+        };
+        assert_ne!(
+            k1,
+            dedup_key(&req, &dag, &sys, &["HEFT".to_string()], &traced),
+            "trace changes the reply, so it must split flights"
+        );
+        assert_ne!(
+            k1,
+            dedup_key(&req, &dag, &sys, &["CPOP".to_string()], &base),
+            "different algorithm must split flights"
+        );
+    }
+
+    #[test]
+    fn forward_line_rewrites_only_the_deadline() {
+        let (_, _, req) = small_parts();
+        let line = forward_line(&req, Duration::from_millis(1234));
+        let back = Request::parse(&line).unwrap();
+        let Request::Schedule {
+            algorithm, options, ..
+        } = back
+        else {
+            panic!("op changed");
+        };
+        assert_eq!(algorithm, "HEFT");
+        assert_eq!(options.deadline_ms, Some(1234));
+        assert_eq!(options.jobs, Some(4), "other options must survive");
+    }
+
+    #[test]
+    fn router_requires_backends() {
+        assert!(Router::new(GatewayConfig::default()).is_err());
+    }
+
+    #[test]
+    fn unreachable_backends_give_structured_error_not_hang() {
+        let cfg = GatewayConfig {
+            backends: vec!["127.0.0.1:1".to_string()],
+            connect_timeout_ms: 100,
+            ..GatewayConfig::default()
+        };
+        let router = Router::new(cfg).unwrap();
+        let line = r#"{"op":"schedule","dag":{"tasks":[{"weight":1.0}],"edges":[]},"system":{"processors":{"kind":"homogeneous","count":1},"network":{"topology":"fully_connected","bandwidth":1.0}},"algorithm":"HEFT","options":{"deadline_ms":2000}}"#;
+        let started = Instant::now();
+        let reply = router.handle_line(line, Instant::now());
+        assert!(started.elapsed() < Duration::from_secs(2), "must not hang");
+        let v: serde_json::Value = serde_json::from_str(&reply).unwrap();
+        assert_eq!(v["status"].as_str(), Some("error"), "{reply}");
+        assert_eq!(read(&router.metrics().shard_errors), 1);
+
+        // Malformed lines are answered at the gateway.
+        let bad = router.handle_line("not json", Instant::now());
+        let v: serde_json::Value = serde_json::from_str(&bad).unwrap();
+        assert_eq!(v["status"].as_str(), Some("error"));
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_before_dispatch() {
+        let cfg = GatewayConfig {
+            backends: vec!["127.0.0.1:1".to_string()],
+            ..GatewayConfig::default()
+        };
+        let router = Router::new(cfg).unwrap();
+        let line = r#"{"op":"schedule","dag":{"tasks":[{"weight":1.0}],"edges":[]},"system":{"processors":{"kind":"homogeneous","count":1},"network":{"topology":"fully_connected","bandwidth":1.0}},"algorithm":"HEFT","options":{"deadline_ms":10}}"#;
+        // Arrival far enough in the past that the deadline already passed.
+        let arrival = Instant::now() - Duration::from_millis(100);
+        let reply = router.handle_line(line, arrival);
+        let v: serde_json::Value = serde_json::from_str(&reply).unwrap();
+        assert_eq!(v["status"].as_str(), Some("shed"), "{reply}");
+        assert_eq!(read(&router.metrics().sheds), 1);
+        assert_eq!(
+            read(&router.metrics().shard_errors),
+            0,
+            "a shed request must never touch a shard"
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! An in-process shard set: N `hetsched-serve` TCP servers on ephemeral
+//! loopback ports, each on its own thread.
+//!
+//! This is how `hetsched serve --shards N` runs a whole deployment in
+//! one process, and how the integration tests and the load harness get a
+//! gateway + shards topology without spawning child processes. Each
+//! shard is a real [`TcpServer`] speaking the real wire protocol — the
+//! gateway talks to it over loopback TCP exactly as it would talk to a
+//! remote shard, so killing one ([`LocalShards::kill`]) exercises the
+//! same failover paths a crashed process would.
+
+use std::io;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use hetsched_serve::{ServeConfig, Service, TcpServer};
+
+/// A set of in-process shard servers.
+pub struct LocalShards {
+    shards: Vec<Option<Shard>>,
+}
+
+struct Shard {
+    addr: String,
+    service: Arc<Service>,
+    thread: JoinHandle<io::Result<()>>,
+}
+
+impl LocalShards {
+    /// Spawn `count` shards, each a [`TcpServer`] bound to
+    /// `127.0.0.1:0` (kernel-assigned port) running `config`.
+    pub fn spawn(count: usize, config: &ServeConfig) -> io::Result<LocalShards> {
+        let mut shards = Vec::with_capacity(count);
+        for _ in 0..count {
+            let server = TcpServer::bind("127.0.0.1:0", config.clone())?;
+            let addr = server.local_addr()?.to_string();
+            let service = server.service();
+            let thread = std::thread::Builder::new()
+                .name(format!("shard-{addr}"))
+                .spawn(move || server.run())?;
+            shards.push(Some(Shard {
+                addr,
+                service,
+                thread,
+            }));
+        }
+        Ok(LocalShards { shards })
+    }
+
+    /// Shard addresses in index order — exactly the `backends` list for
+    /// [`GatewayConfig`](crate::GatewayConfig). Killed shards keep their
+    /// slot (and address) so routing indices stay stable.
+    pub fn addrs(&self) -> Vec<String> {
+        self.shards
+            .iter()
+            .map(|s| match s {
+                Some(shard) => shard.addr.clone(),
+                None => "killed".to_string(),
+            })
+            .collect()
+    }
+
+    /// How many shards were spawned (killed ones included).
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The service handle of shard `i` (for stats assertions in tests),
+    /// or `None` if it was killed.
+    pub fn service(&self, i: usize) -> Option<Arc<Service>> {
+        self.shards
+            .get(i)
+            .and_then(|s| s.as_ref())
+            .map(|s| s.service.clone())
+    }
+
+    /// Kill shard `i`: begin its shutdown, join its thread, drop its
+    /// listener. Subsequent gateway traffic to it fails at connect, which
+    /// is exactly what a crashed shard process looks like.
+    pub fn kill(&mut self, i: usize) {
+        if let Some(shard) = self.shards.get_mut(i).and_then(Option::take) {
+            shard.service.begin_shutdown();
+            let _ = shard.thread.join();
+            shard.service.shutdown();
+        }
+    }
+
+    /// Shut every remaining shard down and join its thread.
+    pub fn shutdown_all(&mut self) {
+        for i in 0..self.shards.len() {
+            self.kill(i);
+        }
+    }
+}
+
+impl Drop for LocalShards {
+    fn drop(&mut self) {
+        self.shutdown_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ServeConfig {
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 4,
+            cache_capacity: 4,
+            instance_cache_capacity: 4,
+            default_deadline_ms: 5_000,
+        }
+    }
+
+    #[test]
+    fn spawn_kill_and_drop() {
+        let mut shards = LocalShards::spawn(2, &tiny_config()).unwrap();
+        assert_eq!(shards.len(), 2);
+        let addrs = shards.addrs();
+        assert_ne!(addrs[0], addrs[1]);
+        assert!(shards.service(0).is_some());
+
+        shards.kill(0);
+        assert!(shards.service(0).is_none());
+        assert_eq!(shards.addrs()[0], "killed");
+        // The surviving shard still answers.
+        let svc = shards.service(1).unwrap();
+        assert!(!svc.is_shutting_down());
+        shards.shutdown_all();
+        assert!(shards.service(1).is_none());
+    }
+}

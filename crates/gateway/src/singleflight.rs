@@ -1,0 +1,152 @@
+//! Single-flight request coalescing: at most one copy of an identical
+//! request is ever in flight toward the shards.
+//!
+//! The first arrival for a key becomes the *leader* and forwards the
+//! request; arrivals while the leader is in flight become *followers* and
+//! block on a channel. When the leader completes — with any reply,
+//! including `shed`, `timeout`, or `error` — every follower receives the
+//! leader's reply byte-for-byte. Keys are removed on completion, so a
+//! request arriving after completion leads a fresh flight (and typically
+//! hits the shard's reply memo instead).
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+/// The coalescing table, keyed by the request dedup fingerprint.
+#[derive(Default)]
+pub struct SingleFlight {
+    inflight: Mutex<HashMap<u64, Vec<Sender<Arc<String>>>>>,
+}
+
+/// Outcome of joining a flight.
+pub enum Flight {
+    /// This request is the first for its key: forward it, then call
+    /// [`SingleFlight::complete`] with the reply (on every path).
+    Leader,
+    /// An identical request is already in flight: wait on the receiver
+    /// for the leader's reply.
+    Follower(Receiver<Arc<String>>),
+}
+
+impl SingleFlight {
+    /// Fresh, empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Join the flight for `key`: leader if none is in flight, follower
+    /// otherwise.
+    pub fn join(&self, key: u64) -> Flight {
+        match self.inflight.lock().entry(key) {
+            Entry::Occupied(mut e) => {
+                let (tx, rx) = bounded(1);
+                e.get_mut().push(tx);
+                Flight::Follower(rx)
+            }
+            Entry::Vacant(e) => {
+                e.insert(Vec::new());
+                Flight::Leader
+            }
+        }
+    }
+
+    /// Publish the leader's reply to every follower and retire the key.
+    /// Returns how many followers were notified. Followers that already
+    /// gave up (deadline) have dropped their receivers; sending to them
+    /// fails silently, which is correct — they were answered `timeout`.
+    pub fn complete(&self, key: u64, reply: &Arc<String>) -> usize {
+        let followers = self.inflight.lock().remove(&key).unwrap_or_default();
+        let n = followers.len();
+        for tx in followers {
+            let _ = tx.send(reply.clone());
+        }
+        n
+    }
+
+    /// Keys currently in flight (for stats).
+    pub fn len(&self) -> usize {
+        self.inflight.lock().len()
+    }
+
+    /// Whether no flight is active.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn leader_then_followers_then_fresh_leader() {
+        let sf = SingleFlight::new();
+        assert!(matches!(sf.join(7), Flight::Leader));
+        let Flight::Follower(rx_a) = sf.join(7) else {
+            panic!("second join must follow");
+        };
+        let Flight::Follower(rx_b) = sf.join(7) else {
+            panic!("third join must follow");
+        };
+        // A different key gets its own leader.
+        assert!(matches!(sf.join(8), Flight::Leader));
+        assert_eq!(sf.len(), 2);
+
+        let reply = Arc::new("{\"status\":\"ok\"}".to_string());
+        assert_eq!(sf.complete(7, &reply), 2);
+        assert_eq!(*rx_a.recv_timeout(Duration::from_secs(1)).unwrap(), *reply);
+        assert_eq!(*rx_b.recv_timeout(Duration::from_secs(1)).unwrap(), *reply);
+
+        // The key is retired: the next arrival leads again.
+        assert!(matches!(sf.join(7), Flight::Leader));
+        sf.complete(7, &reply);
+        sf.complete(8, &reply);
+        assert!(sf.is_empty());
+    }
+
+    #[test]
+    fn complete_tolerates_departed_followers() {
+        let sf = SingleFlight::new();
+        assert!(matches!(sf.join(1), Flight::Leader));
+        let Flight::Follower(rx) = sf.join(1) else {
+            panic!("must follow");
+        };
+        drop(rx); // follower gave up (deadline)
+        let reply = Arc::new("r".to_string());
+        // Notification count includes the departed follower; the send to
+        // it fails silently.
+        assert_eq!(sf.complete(1, &reply), 1);
+    }
+
+    #[test]
+    fn concurrent_joins_elect_exactly_one_leader() {
+        let sf = Arc::new(SingleFlight::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let sf = sf.clone();
+            handles.push(std::thread::spawn(move || match sf.join(42) {
+                Flight::Leader => {
+                    std::thread::sleep(Duration::from_millis(20));
+                    sf.complete(42, &Arc::new("done".to_string()));
+                    (1usize, 0usize)
+                }
+                Flight::Follower(rx) => {
+                    let got = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+                    assert_eq!(*got, "done");
+                    (0, 1)
+                }
+            }));
+        }
+        let (leaders, followers) = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .fold((0, 0), |(l, f), (dl, df)| (l + dl, f + df));
+        assert_eq!(leaders, 1);
+        assert_eq!(followers, 7);
+    }
+}

@@ -9,13 +9,18 @@
 //!
 //! Module map:
 //!
-//! | module       | contents |
-//! |--------------|----------|
-//! | [`protocol`] | request/response types, NDJSON framing |
-//! | [`service`]  | worker pool, bounded queue, deadlines, memoization, panic isolation |
-//! | [`cache`]    | fingerprint-keyed LRU memoization cache |
-//! | [`metrics`]  | atomic counters + streaming latency histogram |
-//! | [`server`]   | TCP accept loop and stdin runner |
+//! The crate is layered transport / routing / worker, so the scale-out
+//! gateway (`hetsched-gateway`) can reuse the protocol and metrics pieces
+//! while fronting many shard processes each running the full stack:
+//!
+//! | module        | layer     | contents |
+//! |---------------|-----------|----------|
+//! | [`protocol`]  | shared    | request/response types, NDJSON framing |
+//! | [`transport`] | transport | TCP accept loop, connection reaper, stdin runner |
+//! | [`service`]   | routing   | validation, bounded queue admission, deadlines, memoization |
+//! | `worker`      | worker    | the pool threads: scheduling, panic isolation |
+//! | [`cache`]     | shared    | fingerprint-keyed LRU memoization cache |
+//! | [`metrics`]   | shared    | atomic counters + streaming latency histogram |
 //!
 //! Guarantees the service makes:
 //!
@@ -37,12 +42,13 @@
 pub mod cache;
 pub mod metrics;
 pub mod protocol;
-pub mod server;
 pub mod service;
+pub mod transport;
+mod worker;
 
 pub use protocol::{
-    PortfolioBody, PortfolioEntryBody, Request, RequestOptions, Response, ScheduleBody, SimBody,
-    StatsBody,
+    HelloBody, PortfolioBody, PortfolioEntryBody, Request, RequestOptions, Response, ScheduleBody,
+    SimBody, StatsBody,
 };
-pub use server::{serve_lines, TcpServer};
 pub use service::{request_fingerprint, ServeConfig, Service};
+pub use transport::{serve_lines, TcpServer};

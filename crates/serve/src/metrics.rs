@@ -160,6 +160,9 @@ pub struct ServiceMetrics {
     pub timeouts: AtomicU64,
     /// Queue-full rejections.
     pub busy_rejections: AtomicU64,
+    /// Connection threads that exited by panicking (joined by the
+    /// transport's reaper).
+    pub connection_panics: AtomicU64,
     /// Requests that reused a cached shared `ProblemInstance`.
     pub instance_cache_hits: AtomicU64,
     /// Requests that had to build a fresh `ProblemInstance`.
@@ -278,6 +281,11 @@ impl ServiceMetrics {
             Self::read(&self.busy_rejections),
         );
         counter(
+            "hetsched_connection_panics_total",
+            "Connection threads that exited by panicking.",
+            Self::read(&self.connection_panics),
+        );
+        counter(
             "hetsched_instance_cache_hits_total",
             "Requests that reused a cached shared problem instance.",
             Self::read(&self.instance_cache_hits),
@@ -344,14 +352,14 @@ impl ServiceMetrics {
 }
 
 /// Escape a Prometheus label value (backslash, quote, newline).
-fn escape_label(v: &str) -> String {
+pub fn escape_label(v: &str) -> String {
     v.replace('\\', "\\\\")
         .replace('"', "\\\"")
         .replace('\n', "\\n")
 }
 
 /// Write one full histogram family (HELP + TYPE + series).
-fn render_histogram(
+pub fn render_histogram(
     out: &mut String,
     name: &str,
     help: &str,
@@ -365,7 +373,12 @@ fn render_histogram(
 
 /// Write the `_bucket`/`_sum`/`_count` series of one histogram, with
 /// `le` bounds converted from microseconds to seconds.
-fn render_histogram_series(out: &mut String, name: &str, labels: &str, hist: &LatencyHistogram) {
+pub fn render_histogram_series(
+    out: &mut String,
+    name: &str,
+    labels: &str,
+    hist: &LatencyHistogram,
+) {
     let sep = if labels.is_empty() { "" } else { "," };
     let count = hist.count();
     for (le_us, cum) in hist.cumulative_buckets() {

@@ -90,6 +90,12 @@ pub enum Request {
         #[serde(default)]
         options: RequestOptions,
     },
+    /// Identify the peer: answers with a `hello` payload naming the
+    /// service, its version, and its capacity. The gateway sends this as a
+    /// handshake when it opens a shard connection, so a misconfigured
+    /// backend (wrong port, wrong protocol) is caught before any request
+    /// is routed to it.
+    Hello,
     /// Query service counters and latency quantiles.
     Stats,
     /// Render every service metric family in the Prometheus text
@@ -183,6 +189,21 @@ pub struct SimBody {
     pub matches_prediction: bool,
 }
 
+/// Identification payload returned by the `hello` op. This is the shard
+/// handshake: the gateway refuses to route to a backend whose `service`
+/// field is not `"hetsched-serve"`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HelloBody {
+    /// Service identifier; always `"hetsched-serve"` for this daemon.
+    pub service: String,
+    /// Crate version of the responding daemon.
+    pub version: String,
+    /// Worker threads in the responding daemon's pool.
+    pub workers: usize,
+    /// Bounded queue capacity of the responding daemon.
+    pub queue_capacity: usize,
+}
+
 /// Service counters and latency quantiles returned by the `stats` op.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatsBody {
@@ -200,6 +221,10 @@ pub struct StatsBody {
     pub timeouts: u64,
     /// Requests answered `busy` (queue full).
     pub busy_rejections: u64,
+    /// Connection threads that exited by panicking (joined and counted by
+    /// the transport's reaper; the daemon itself keeps serving).
+    #[serde(default)]
+    pub connection_panics: u64,
     /// Entries currently in the memoization cache.
     pub cache_entries: usize,
     /// Problem-instance cache hits: requests that reused a shared
@@ -243,9 +268,21 @@ pub enum Response {
         /// Portfolio payload (`portfolio` op).
         #[serde(default, skip_serializing_if = "Option::is_none")]
         portfolio: Option<PortfolioBody>,
+        /// Identification payload (`hello` op).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        hello: Option<HelloBody>,
     },
     /// The bounded request queue is full; retry later.
     Busy {
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Load shed: the request was refused by admission control before it
+    /// occupied a shard slot (gateway queue over depth, per-shard inflight
+    /// budget exhausted, or the deadline already passed on arrival).
+    /// Distinct from `busy`, which means a shard's own bounded queue was
+    /// full: `shed` is the front door turning work away early.
+    Shed {
         /// Human-readable detail.
         message: String,
     },
@@ -274,6 +311,13 @@ impl Response {
         }
     }
 
+    /// Shorthand for a load-shed response.
+    pub fn shed(message: impl Into<String>) -> Self {
+        Response::Shed {
+            message: message.into(),
+        }
+    }
+
     /// Shorthand for a schedule payload response.
     pub fn schedule(body: ScheduleBody) -> Self {
         Response::Ok {
@@ -281,6 +325,7 @@ impl Response {
             stats: None,
             metrics: None,
             portfolio: None,
+            hello: None,
         }
     }
 
@@ -291,6 +336,7 @@ impl Response {
             stats: Some(body),
             metrics: None,
             portfolio: None,
+            hello: None,
         }
     }
 
@@ -301,6 +347,7 @@ impl Response {
             stats: None,
             metrics: Some(text.into()),
             portfolio: None,
+            hello: None,
         }
     }
 
@@ -311,6 +358,18 @@ impl Response {
             stats: None,
             metrics: None,
             portfolio: Some(body),
+            hello: None,
+        }
+    }
+
+    /// Shorthand for a hello (handshake) payload response.
+    pub fn hello(body: HelloBody) -> Self {
+        Response::Ok {
+            schedule: None,
+            stats: None,
+            metrics: None,
+            portfolio: None,
+            hello: Some(body),
         }
     }
 
@@ -344,6 +403,33 @@ mod tests {
         // And the serialized form parses back to the same op.
         let back = Request::parse(&serde_json::to_string(&req).unwrap()).unwrap();
         assert!(matches!(back, Request::Schedule { .. }));
+    }
+
+    #[test]
+    fn hello_roundtrip_and_shed_line() {
+        assert!(matches!(
+            Request::parse(r#"{"op":"hello"}"#).unwrap(),
+            Request::Hello
+        ));
+        let line = Response::hello(HelloBody {
+            service: "hetsched-serve".to_string(),
+            version: "0.1.0".to_string(),
+            workers: 2,
+            queue_capacity: 8,
+        })
+        .to_line();
+        let v: serde_json::Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(v["status"].as_str(), Some("ok"));
+        assert_eq!(v["hello"]["service"].as_str(), Some("hetsched-serve"));
+        assert_eq!(v["hello"]["workers"].as_u64(), Some(2));
+
+        let line = Response::shed("queue over depth").to_line();
+        let v: serde_json::Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(v["status"].as_str(), Some("shed"));
+        assert_eq!(v["message"].as_str(), Some("queue over depth"));
+        // and it parses back into the typed enum
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert!(matches!(back, Response::Shed { .. }));
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The resident scheduling service: bounded request queue, worker pool,
-//! memoization, deadlines, and panic isolation.
+//! Routing layer: request validation, memoization, deadlines, and
+//! admission to the bounded worker queue.
 //!
 //! Life of a `schedule` request:
 //!
@@ -10,9 +10,9 @@
 //! 3. Otherwise the job goes into a bounded crossbeam channel. A full
 //!    queue answers `busy` right away — backpressure is explicit, never
 //!    an unbounded pile-up.
-//! 4. A worker picks the job up and runs the scheduler inside
-//!    `catch_unwind`, so a panicking algorithm poisons nothing: the client
-//!    gets `error` and the daemon keeps serving.
+//! 4. A worker (`crate::worker`) picks the job up and runs the scheduler
+//!    inside `catch_unwind`, so a panicking algorithm poisons nothing: the
+//!    client gets `error` and the daemon keeps serving.
 //! 5. The submitting thread waits for the reply with a deadline
 //!    (`options.deadline_ms`, else the configured default) and answers
 //!    `timeout` if it passes. The worker still finishes and populates the
@@ -22,7 +22,6 @@
 //! lets workers finish every queued job (replies included), then joins
 //! them.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -31,19 +30,18 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 
-use hetsched_core::{algorithms, validate, ProblemInstance, Scheduler};
+use hetsched_core::{algorithms, ProblemInstance, Scheduler};
 use hetsched_dag::io::DagSpec;
 use hetsched_dag::{Dag, Fingerprint};
-use hetsched_metrics::{slr, speedup};
 use hetsched_platform::{System, SystemSpec};
-use hetsched_sim::{simulate, SimConfig};
 
 use crate::cache::LruCache;
 use crate::metrics::{GaugeSnapshot, ServiceMetrics};
 use crate::protocol::{
-    PortfolioBody, PortfolioEntryBody, Request, RequestOptions, Response, ScheduleBody, SimBody,
-    StatsBody, TraceBody,
+    HelloBody, PortfolioBody, PortfolioEntryBody, Request, RequestOptions, Response, ScheduleBody,
+    StatsBody,
 };
+use crate::worker::{worker_loop, Job};
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -78,24 +76,13 @@ impl Default for ServeConfig {
     }
 }
 
-/// One queued scheduling job. The instance is shared: concurrent jobs on
-/// the same (DAG, system) pair — portfolio members especially — hold the
-/// same `Arc` and reuse each other's memoized rank vectors.
-struct Job {
-    inst: Arc<ProblemInstance<'static>>,
-    algorithm: String,
-    alg: Box<dyn Scheduler + Send + Sync>,
-    options: RequestOptions,
-    fingerprint: u64,
-    reply: Sender<Response>,
-}
-
-struct Shared {
-    config: ServeConfig,
-    metrics: ServiceMetrics,
-    cache: Mutex<LruCache<ScheduleBody>>,
-    instances: Mutex<LruCache<Arc<ProblemInstance<'static>>>>,
-    shutting: AtomicBool,
+/// State shared between the routing layer and the worker pool.
+pub(crate) struct Shared {
+    pub(crate) config: ServeConfig,
+    pub(crate) metrics: ServiceMetrics,
+    pub(crate) cache: Mutex<LruCache<ScheduleBody>>,
+    pub(crate) instances: Mutex<LruCache<Arc<ProblemInstance<'static>>>>,
+    pub(crate) shutting: AtomicBool,
 }
 
 /// The resident scheduling service. Cheap to share behind an `Arc`; every
@@ -207,6 +194,7 @@ impl Service {
     /// Handle one parsed request.
     pub fn handle(&self, req: Request) -> Response {
         match req {
+            Request::Hello => Response::hello(self.hello_body()),
             Request::Stats => Response::stats(self.stats_body()),
             Request::Metrics => Response::metrics(self.metrics_text()),
             Request::Shutdown => {
@@ -228,6 +216,16 @@ impl Service {
         }
     }
 
+    /// Identification payload for the `hello` handshake.
+    pub fn hello_body(&self) -> HelloBody {
+        HelloBody {
+            service: "hetsched-serve".to_string(),
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            workers: self.shared.config.workers,
+            queue_capacity: self.shared.config.queue_capacity,
+        }
+    }
+
     /// Current counters as a stats payload.
     pub fn stats_body(&self) -> StatsBody {
         let m = &self.shared.metrics;
@@ -239,6 +237,7 @@ impl Service {
             panics: ServiceMetrics::read(&m.panics),
             timeouts: ServiceMetrics::read(&m.timeouts),
             busy_rejections: ServiceMetrics::read(&m.busy_rejections),
+            connection_panics: ServiceMetrics::read(&m.connection_panics),
             cache_entries: self.shared.cache.lock().len(),
             instance_cache_hits: ServiceMetrics::read(&m.instance_cache_hits),
             instance_cache_misses: ServiceMetrics::read(&m.instance_cache_misses),
@@ -596,98 +595,6 @@ fn await_reply(
         },
         other => other,
     }
-}
-
-fn worker_loop(rx: Receiver<Job>, shared: Arc<Shared>) {
-    while let Ok(job) = rx.recv() {
-        let reply = job.reply.clone();
-        let outcome = catch_unwind(AssertUnwindSafe(|| compute(job, &shared)));
-        let resp = match outcome {
-            Ok(resp) => resp,
-            Err(panic) => {
-                ServiceMetrics::bump(&shared.metrics.panics);
-                ServiceMetrics::bump(&shared.metrics.errors);
-                let msg = panic_message(&panic);
-                Response::error(format!("scheduler panicked: {msg}"))
-            }
-        };
-        // The requester may have timed out and dropped its receiver; a
-        // failed send is expected then.
-        let _ = reply.send(resp);
-    }
-}
-
-fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
-    if let Some(s) = panic.downcast_ref::<&str>() {
-        s
-    } else if let Some(s) = panic.downcast_ref::<String>() {
-        s
-    } else {
-        "unknown panic payload"
-    }
-}
-
-fn compute(job: Job, shared: &Shared) -> Response {
-    if let Some(ms) = job.options.debug_sleep_ms {
-        std::thread::sleep(Duration::from_millis(ms));
-    }
-    if job.options.debug_panic {
-        panic!("debug_panic requested by client");
-    }
-
-    let (dag, sys) = (job.inst.dag(), job.inst.sys());
-    let run = || {
-        if job.options.trace {
-            let (sched, trace) = hetsched_core::traced_schedule_instance(&*job.alg, &job.inst);
-            (
-                sched,
-                Some(TraceBody {
-                    counters: trace.counters,
-                    phases: trace.phases,
-                    events: trace.events,
-                }),
-            )
-        } else {
-            (job.alg.schedule_instance(&job.inst), None)
-        }
-    };
-    // Per-request search parallelism, capped by the pool size so one
-    // request cannot oversubscribe the host. Schedules are bit-identical
-    // at any thread count, so this needs no cache-key treatment.
-    let (sched, trace) = match job.options.jobs {
-        Some(j) => hetsched_core::par::with_jobs(j.clamp(1, shared.config.workers), run),
-        None => run(),
-    };
-    if let Err(e) = validate(dag, sys, &sched) {
-        ServiceMetrics::bump(&shared.metrics.errors);
-        return Response::error(format!(
-            "scheduler `{}` produced an invalid schedule: {e:?}",
-            job.algorithm
-        ));
-    }
-    let makespan = sched.makespan();
-    let sim = job.options.simulate.then(|| {
-        let result = simulate(dag, sys, &sched, &SimConfig::default());
-        let tol = 1e-6 * makespan.abs().max(1.0);
-        SimBody {
-            matches_prediction: (result.makespan - makespan).abs() <= tol,
-            result,
-        }
-    });
-    let body = ScheduleBody {
-        algorithm: job.algorithm,
-        makespan,
-        slr: slr(dag, sys, makespan),
-        speedup: speedup(dag, sys, makespan),
-        fingerprint: format!("{:016x}", job.fingerprint),
-        cached: false,
-        schedule: sched,
-        sim,
-        trace,
-    };
-    shared.cache.lock().insert(job.fingerprint, body.clone());
-    ServiceMetrics::bump(&shared.metrics.computed);
-    Response::schedule(body)
 }
 
 #[cfg(test)]
@@ -1131,6 +1038,20 @@ mod tests {
         };
         assert!(retry.cached);
         assert_eq!(retry.fingerprint, body.fingerprint);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn hello_identifies_the_service() {
+        let svc = Service::start(test_config());
+        let resp = svc.handle_line(r#"{"op":"hello"}"#);
+        let Response::Ok { hello: Some(h), .. } = resp else {
+            panic!("expected hello payload");
+        };
+        assert_eq!(h.service, "hetsched-serve");
+        assert_eq!(h.workers, 2);
+        assert_eq!(h.queue_capacity, 4);
+        assert!(!h.version.is_empty());
         svc.shutdown();
     }
 

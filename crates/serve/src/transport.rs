@@ -11,8 +11,10 @@
 use std::io::{self, BufRead, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crate::metrics::ServiceMetrics;
 use crate::protocol::Response;
 use crate::service::{ServeConfig, Service};
 
@@ -56,7 +58,7 @@ impl TcpServer {
     /// drain: join every connection thread and the worker pool before
     /// returning.
     pub fn run(self) -> io::Result<()> {
-        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut connections: Vec<JoinHandle<()>> = Vec::new();
         loop {
             if self.service.is_shutting_down() {
                 break;
@@ -69,7 +71,7 @@ impl TcpServer {
                         .spawn(move || serve_connection(stream, &service))
                         .expect("spawning connection thread");
                     connections.push(handle);
-                    connections.retain(|h| !h.is_finished());
+                    reap_finished(&mut connections, self.service.metrics());
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
                     std::thread::sleep(POLL_INTERVAL);
@@ -81,11 +83,36 @@ impl TcpServer {
                 }
             }
         }
-        for h in connections {
-            let _ = h.join();
-        }
+        join_all(connections, self.service.metrics());
         self.service.shutdown();
         Ok(())
+    }
+}
+
+/// Join every finished connection thread, keeping the live ones. A bare
+/// `retain(|h| !h.is_finished())` would drop finished handles without
+/// joining them, silently discarding any panic they died with; joining
+/// surfaces the panic and counts it.
+fn reap_finished(connections: &mut Vec<JoinHandle<()>>, metrics: &ServiceMetrics) {
+    let mut i = 0;
+    while i < connections.len() {
+        if connections[i].is_finished() {
+            let handle = connections.swap_remove(i);
+            if handle.join().is_err() {
+                ServiceMetrics::bump(&metrics.connection_panics);
+            }
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Join every connection thread (finished or not), counting panics.
+fn join_all(connections: Vec<JoinHandle<()>>, metrics: &ServiceMetrics) {
+    for handle in connections {
+        if handle.join().is_err() {
+            ServiceMetrics::bump(&metrics.connection_panics);
+        }
     }
 }
 
@@ -180,6 +207,38 @@ mod tests {
             instance_cache_capacity: 8,
             default_deadline_ms: 10_000,
         }
+    }
+
+    #[test]
+    fn reaper_joins_finished_threads_and_counts_panics() {
+        // Quiet the default panic hook for the deliberately-panicking
+        // thread, then restore it.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let panicker = std::thread::spawn(|| panic!("connection thread died"));
+        let clean = std::thread::spawn(|| {});
+        while !panicker.is_finished() || !clean.is_finished() {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        std::panic::set_hook(hook);
+
+        let metrics = ServiceMetrics::new();
+        let mut connections = vec![panicker, clean];
+        reap_finished(&mut connections, &metrics);
+        assert!(connections.is_empty(), "finished handles must be joined");
+        assert_eq!(ServiceMetrics::read(&metrics.connection_panics), 1);
+
+        // A still-running thread is left alone by the reaper and joined by
+        // the final drain.
+        let (tx, rx) = crossbeam::channel::bounded::<()>(1);
+        let mut connections = vec![std::thread::spawn(move || {
+            let _ = rx.recv();
+        })];
+        reap_finished(&mut connections, &metrics);
+        assert_eq!(connections.len(), 1, "live handle must be kept");
+        tx.send(()).unwrap();
+        join_all(connections, &metrics);
+        assert_eq!(ServiceMetrics::read(&metrics.connection_panics), 1);
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Worker layer: the threads that actually compute schedules.
+//!
+//! The routing layer ([`crate::service`]) validates requests, consults the
+//! reply memo, and enqueues [`Job`]s on a bounded crossbeam channel; the
+//! workers here pick them up, run the scheduler inside `catch_unwind`
+//! (panic isolation), validate the produced schedule, optionally replay it
+//! through the zero-noise simulator, and publish the body to the reply
+//! channel and the memoization cache.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use hetsched_core::{validate, ProblemInstance, Scheduler};
+use hetsched_metrics::{slr, speedup};
+use hetsched_sim::{simulate, SimConfig};
+
+use crate::metrics::ServiceMetrics;
+use crate::protocol::{RequestOptions, Response, ScheduleBody, SimBody, TraceBody};
+use crate::service::Shared;
+
+/// One queued scheduling job. The instance is shared: concurrent jobs on
+/// the same (DAG, system) pair — portfolio members especially — hold the
+/// same `Arc` and reuse each other's memoized rank vectors.
+pub(crate) struct Job {
+    pub(crate) inst: Arc<ProblemInstance<'static>>,
+    pub(crate) algorithm: String,
+    pub(crate) alg: Box<dyn Scheduler + Send + Sync>,
+    pub(crate) options: RequestOptions,
+    pub(crate) fingerprint: u64,
+    pub(crate) reply: Sender<Response>,
+}
+
+pub(crate) fn worker_loop(rx: Receiver<Job>, shared: Arc<Shared>) {
+    while let Ok(job) = rx.recv() {
+        let reply = job.reply.clone();
+        let outcome = catch_unwind(AssertUnwindSafe(|| compute(job, &shared)));
+        let resp = match outcome {
+            Ok(resp) => resp,
+            Err(panic) => {
+                ServiceMetrics::bump(&shared.metrics.panics);
+                ServiceMetrics::bump(&shared.metrics.errors);
+                let msg = panic_message(&panic);
+                Response::error(format!("scheduler panicked: {msg}"))
+            }
+        };
+        // The requester may have timed out and dropped its receiver; a
+        // failed send is expected then.
+        let _ = reply.send(resp);
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "unknown panic payload"
+    }
+}
+
+fn compute(job: Job, shared: &Shared) -> Response {
+    if let Some(ms) = job.options.debug_sleep_ms {
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+    if job.options.debug_panic {
+        panic!("debug_panic requested by client");
+    }
+
+    let (dag, sys) = (job.inst.dag(), job.inst.sys());
+    let run = || {
+        if job.options.trace {
+            let (sched, trace) = hetsched_core::traced_schedule_instance(&*job.alg, &job.inst);
+            (
+                sched,
+                Some(TraceBody {
+                    counters: trace.counters,
+                    phases: trace.phases,
+                    events: trace.events,
+                }),
+            )
+        } else {
+            (job.alg.schedule_instance(&job.inst), None)
+        }
+    };
+    // Per-request search parallelism, capped by the pool size so one
+    // request cannot oversubscribe the host. Schedules are bit-identical
+    // at any thread count, so this needs no cache-key treatment.
+    let (sched, trace) = match job.options.jobs {
+        Some(j) => hetsched_core::par::with_jobs(j.clamp(1, shared.config.workers), run),
+        None => run(),
+    };
+    if let Err(e) = validate(dag, sys, &sched) {
+        ServiceMetrics::bump(&shared.metrics.errors);
+        return Response::error(format!(
+            "scheduler `{}` produced an invalid schedule: {e:?}",
+            job.algorithm
+        ));
+    }
+    let makespan = sched.makespan();
+    let sim = job.options.simulate.then(|| {
+        let result = simulate(dag, sys, &sched, &SimConfig::default());
+        let tol = 1e-6 * makespan.abs().max(1.0);
+        SimBody {
+            matches_prediction: (result.makespan - makespan).abs() <= tol,
+            result,
+        }
+    });
+    let body = ScheduleBody {
+        algorithm: job.algorithm,
+        makespan,
+        slr: slr(dag, sys, makespan),
+        speedup: speedup(dag, sys, makespan),
+        fingerprint: format!("{:016x}", job.fingerprint),
+        cached: false,
+        schedule: sched,
+        sim,
+        trace,
+    };
+    shared.cache.lock().insert(job.fingerprint, body.clone());
+    ServiceMetrics::bump(&shared.metrics.computed);
+    Response::schedule(body)
+}

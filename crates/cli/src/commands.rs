@@ -689,6 +689,8 @@ pub fn request(flags: &Flags) -> Result<String, CliError> {
             "system",
             "alg",
             "algs",
+            "parent",
+            "deltas",
             "deadline-ms",
             "jobs",
         ],
@@ -778,10 +780,59 @@ pub fn request(flags: &Flags) -> Result<String, CliError> {
             req.insert("options", serde_json::Value::Object(options));
             serde_json::to_string(&serde_json::Value::Object(req))?
         }
+        "patch" => {
+            let read_json = |path: &str| -> Result<serde_json::Value, CliError> {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| CliError(format!("reading {path}: {e}")))?;
+                Ok(serde_json::from_str(&text)?)
+            };
+            // Deltas come from a file (like --dag/--system) or inline JSON:
+            // a value starting with `[` is parsed directly.
+            let deltas_arg = flags.require("deltas")?;
+            let deltas = if deltas_arg.trim_start().starts_with('[') {
+                serde_json::from_str(deltas_arg)?
+            } else {
+                read_json(deltas_arg)?
+            };
+            let mut options = serde_json::Map::new();
+            if flags.has("simulate") {
+                options.insert("simulate", serde_json::Value::Bool(true));
+            }
+            if flags.has("trace") {
+                options.insert("trace", serde_json::Value::Bool(true));
+            }
+            if let Some(ms) = flags.get("deadline-ms") {
+                let ms: u64 = ms
+                    .parse()
+                    .map_err(|e| CliError(format!("--deadline-ms: invalid value `{ms}` ({e})")))?;
+                options.insert("deadline_ms", serde_json::to_value(ms)?);
+            }
+            if let Some(j) = flags.get("jobs") {
+                let j: usize = j
+                    .parse()
+                    .map_err(|e| CliError(format!("--jobs: invalid value `{j}` ({e})")))?;
+                options.insert("jobs", serde_json::to_value(j)?);
+            }
+            let mut req = serde_json::Map::new();
+            req.insert("op", serde_json::Value::String("patch".into()));
+            req.insert(
+                "parent",
+                serde_json::Value::String(flags.require("parent")?.into()),
+            );
+            req.insert(
+                "algorithm",
+                serde_json::Value::String(flags.require("alg")?.into()),
+            );
+            req.insert("deltas", deltas);
+            req.insert("options", serde_json::Value::Object(options));
+            serde_json::to_string(&serde_json::Value::Object(req))?
+        }
         other => {
-            return Err(CliError(format!(
-                "unknown --op `{other}` (schedule, portfolio, hello, stats, metrics, shutdown)"
-            )))
+            let msg = format!(
+                "unknown --op `{other}` (schedule, portfolio, patch, hello, stats, metrics, \
+                 shutdown)"
+            );
+            return Err(CliError(msg));
         }
     };
 
@@ -1090,9 +1141,40 @@ mod tests {
             Some(true)
         );
 
+        let parent = v["schedule"]["problem"].as_str().unwrap().to_string();
+        assert_eq!(parent.len(), 16, "reply: {reply}");
+
         let reply = request(&argv(&format!("--addr {addr} --op stats"))).unwrap();
         let v: serde_json::Value = serde_json::from_str(reply.trim()).unwrap();
         assert_eq!(v["stats"]["computed"].as_u64(), Some(1));
+
+        // patch op: incremental reschedule keyed on the parent's problem
+        // field (--simulate matches the parent's options, so the repair
+        // path finds the memoized parent schedule)
+        let reply = request(&argv(&format!(
+            r#"--addr {addr} --op patch --parent {parent} --alg HEFT --simulate --deltas [{{"kind":"edge_data","src":0,"dst":4,"data":9.0}}]"#
+        )))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(reply.trim()).unwrap();
+        assert_eq!(v["status"].as_str(), Some("ok"), "reply: {reply}");
+        assert_eq!(v["schedule"]["cached"].as_bool(), Some(false));
+        assert_ne!(v["schedule"]["problem"].as_str(), Some(parent.as_str()));
+        assert!(
+            v["schedule"]["repair"].as_object().is_some(),
+            "reply: {reply}"
+        );
+
+        // an unknown parent is a clean error reply, not a daemon death
+        let reply = request(&argv(&format!(
+            "--addr {addr} --op patch --parent 0000000000000000 --alg HEFT --deltas []"
+        )))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(reply.trim()).unwrap();
+        assert_eq!(v["status"].as_str(), Some("error"), "reply: {reply}");
+        assert!(
+            v["message"].as_str().unwrap().contains("unknown_parent"),
+            "reply: {reply}"
+        );
 
         // a traced request attaches the trace payload
         let reply = request(&argv(&format!(

@@ -99,11 +99,15 @@ commands:
               [--deadline-ms MS] [--connect-timeout-ms MS]
   request     send one request to a running daemon and print the reply
               --addr HOST:PORT
-              [--op schedule|portfolio|hello|stats|metrics|shutdown]
+              [--op schedule|portfolio|patch|hello|stats|metrics|shutdown]
               [--dag FILE --system FILE --alg NAME] [--algs A,B,C]
+              [--parent HEX16 --deltas FILE|JSON]
               [--simulate] [--trace] [--deadline-ms MS] [--jobs N]
               (--op metrics prints the Prometheus text unwrapped;
-               --op portfolio fans --algs out across the worker pool)
+               --op portfolio fans --algs out across the worker pool;
+               --op patch reschedules a cached problem incrementally —
+               --parent is the `problem` field of an earlier reply,
+               --deltas a JSON array of problem deltas)
   algorithms  list scheduler names usable with --alg
 
 --jobs N sets the intra-algorithm search threads for GA, ILS-D, DUP-HEFT,

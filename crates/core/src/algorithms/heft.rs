@@ -49,6 +49,36 @@ impl Heft {
             agg,
         }
     }
+
+    /// The EFT placement loop from rank-order position `from` onward,
+    /// shared between [`Scheduler::schedule_instance`] (which runs it from
+    /// position 0 on an empty schedule) and [`Heft::repair`] (which replays
+    /// the parent's leading placements and runs it from the first touched
+    /// position). Both callers therefore execute the identical placement
+    /// code over identical schedule state — the repair bit-identity
+    /// argument needs exactly that.
+    pub(crate) fn run_eft_loop(
+        &self,
+        inst: &ProblemInstance,
+        rank: &[f64],
+        order: &[hetsched_dag::TaskId],
+        from: usize,
+        sched: &mut Schedule,
+    ) {
+        let mut ctx = EftContext::new(inst.sys());
+        let _span = hetsched_trace::span("eft_loop");
+        for (step, &t) in order.iter().enumerate().skip(from) {
+            hetsched_trace::emit(|| hetsched_trace::Event::TaskSelected {
+                step: step as u64,
+                task: t.index() as u32,
+                priority: rank[t.index()],
+            });
+            let (p, start, finish) = ctx.best_eft(inst, sched, t, self.insertion);
+            sched
+                .insert(t, p, start, finish - start)
+                .expect("EFT placement is conflict-free by construction");
+        }
+    }
 }
 
 impl Default for Heft {
@@ -70,19 +100,7 @@ impl Scheduler for Heft {
         };
         let order = sort_by_priority_desc(&rank);
         let mut sched = Schedule::new(dag.num_tasks(), sys.num_procs());
-        let mut ctx = EftContext::new(sys);
-        let _span = hetsched_trace::span("eft_loop");
-        for (step, t) in order.into_iter().enumerate() {
-            hetsched_trace::emit(|| hetsched_trace::Event::TaskSelected {
-                step: step as u64,
-                task: t.index() as u32,
-                priority: rank[t.index()],
-            });
-            let (p, start, finish) = ctx.best_eft(inst, &sched, t, self.insertion);
-            sched
-                .insert(t, p, start, finish - start)
-                .expect("EFT placement is conflict-free by construction");
-        }
+        self.run_eft_loop(inst, &rank, &order, 0, &mut sched);
         sched
     }
 }

@@ -1,0 +1,814 @@
+//! Incremental problem patching: apply a sequence of [`Delta`]s to a
+//! [`ProblemInstance`] copy-on-write, invalidating only the rank-memo
+//! entries reachable from the dirty region.
+//!
+//! The output of [`ProblemInstance::apply_deltas`] is a [`Patched`]
+//! instance plus a [`DirtyInfo`] describing which tasks' EFT inputs the
+//! deltas touched — the contract the `repair` path (see [`crate::repair`])
+//! uses to decide how much of the parent schedule it may replay verbatim.
+//!
+//! # Copy-on-write
+//!
+//! An untouched side of the problem stays `Cow::Borrowed` from the parent:
+//! an ETC-only delta borrows the parent's `Dag` outright, a weight-only
+//! delta borrows the parent's `System`. Touched sides are rebuilt through
+//! the same validating constructors a fresh build would use
+//! ([`DagBuilder`] / [`EtcMatrix::from_fn`]), so a patched instance is
+//! indistinguishable — fingerprint, topological order, rank vectors, and
+//! schedules — from one built from scratch with the patched content.
+//!
+//! # Dirty-region memo seeding
+//!
+//! For weight-level deltas (task weight, ETC cell, edge data volume) the
+//! patched instance's rank memo is *seeded* from the parent: each memoized
+//! rank vector is carried over and only the entries transitively reachable
+//! from the touched tasks are re-evaluated, using the exact per-task folds
+//! of the raw kernels. Structural deltas (task add/remove, processor
+//! removal) remap ids, so nothing is carried over and every consumer
+//! recomputes from scratch — still bit-identical, just not incremental.
+
+use std::borrow::Cow;
+
+use hetsched_dag::{Dag, DagBuilder, DagError, TaskId};
+use hetsched_platform::{EtcMatrix, ProcId, System};
+use serde::{Deserialize, Serialize};
+
+use crate::instance::{ProblemInstance, SeedPlan};
+
+/// One edit to a (DAG, system) pair.
+///
+/// Weight-level variants (`TaskWeight`, `EtcEntry`, `EdgeData`) preserve
+/// problem shape and keep task/processor ids stable; structural variants
+/// (`AddTask`, `RemoveTask`, `RemoveProc`) renumber ids densely, exactly as
+/// a fresh build of the edited problem would.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum Delta {
+    /// Set task `task`'s abstract computation weight to `weight`.
+    ///
+    /// Weights only feed DAG statistics (CCR, fingerprints); every rank
+    /// kernel and the EFT engine read aggregated ETC costs instead, so this
+    /// delta changes the content fingerprint but not the schedule.
+    TaskWeight {
+        /// Task whose weight changes.
+        task: TaskId,
+        /// New computation weight (finite, non-negative).
+        weight: f64,
+    },
+    /// Set the estimated execution time of `task` on `proc` to `time`.
+    EtcEntry {
+        /// Task whose ETC row changes.
+        task: TaskId,
+        /// Processor whose estimate changes.
+        proc: ProcId,
+        /// New execution-time estimate (finite, non-negative).
+        time: f64,
+    },
+    /// Set the data volume of the existing edge `src -> dst` to `data`.
+    EdgeData {
+        /// Producing task of the edge.
+        src: TaskId,
+        /// Consuming task of the edge.
+        dst: TaskId,
+        /// New data volume (finite, non-negative).
+        data: f64,
+    },
+    /// Append a new task (it receives the next dense id) with the given
+    /// weight, per-processor ETC row, and dependency edges.
+    AddTask {
+        /// Computation weight of the new task.
+        weight: f64,
+        /// Execution-time estimate per processor; length must equal the
+        /// current processor count.
+        exec: Vec<f64>,
+        /// Incoming edges `(pred, data)` from existing tasks.
+        preds: Vec<(TaskId, f64)>,
+        /// Outgoing edges `(succ, data)` to existing tasks.
+        succs: Vec<(TaskId, f64)>,
+    },
+    /// Remove `task` and every edge incident to it; tasks with larger ids
+    /// shift down by one (dense renumbering).
+    RemoveTask {
+        /// Task to remove.
+        task: TaskId,
+    },
+    /// Remove `proc` (its ETC column and network links); processors with
+    /// larger ids shift down by one.
+    RemoveProc {
+        /// Processor to remove.
+        proc: ProcId,
+    },
+}
+
+/// Why a delta sequence could not be applied.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaError {
+    /// A delta referenced a task id outside the current task range.
+    UnknownTask(TaskId),
+    /// A delta referenced a processor id outside the current range.
+    UnknownProc(ProcId),
+    /// [`Delta::EdgeData`] referenced an edge that does not exist.
+    UnknownEdge(TaskId, TaskId),
+    /// A weight/time/volume was non-finite or negative.
+    InvalidValue {
+        /// Which quantity was invalid.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// [`Delta::AddTask`]'s `exec` row length does not match the current
+    /// processor count.
+    ExecLenMismatch {
+        /// Current processor count.
+        expected: usize,
+        /// Length of the provided row.
+        got: usize,
+    },
+    /// [`Delta::RemoveProc`] would remove the last processor.
+    LastProc,
+    /// [`Delta::RemoveTask`] would remove the last task.
+    LastTask,
+    /// Rebuilding the patched DAG failed (duplicate edge or cycle
+    /// introduced by [`Delta::AddTask`]).
+    Dag(DagError),
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::UnknownTask(t) => write!(f, "unknown task {t}"),
+            DeltaError::UnknownProc(p) => write!(f, "unknown processor {p}"),
+            DeltaError::UnknownEdge(u, v) => write!(f, "no edge {u} -> {v}"),
+            DeltaError::InvalidValue { what, value } => {
+                write!(f, "invalid {what}: {value}")
+            }
+            DeltaError::ExecLenMismatch { expected, got } => {
+                write!(
+                    f,
+                    "exec row has {got} entries, system has {expected} processors"
+                )
+            }
+            DeltaError::LastProc => write!(f, "cannot remove the last processor"),
+            DeltaError::LastTask => write!(f, "cannot remove the last task"),
+            DeltaError::Dag(e) => write!(f, "patched DAG is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl From<DagError> for DeltaError {
+    fn from(e: DagError) -> Self {
+        DeltaError::Dag(e)
+    }
+}
+
+/// What a delta sequence touched, from the scheduler's point of view.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DirtyInfo {
+    /// A structural delta renumbered task or processor ids: no placement of
+    /// the parent schedule can be replayed, repair must fall back to a
+    /// from-scratch run.
+    Structural,
+    /// Only weights changed; ids are stable. `eft_dirty[t]` is true iff
+    /// task `t`'s direct EFT inputs were touched — its own ETC row or the
+    /// data volume of one of its incoming edges. Tasks left false compute
+    /// the exact same placement as in the parent, *provided* every task
+    /// placed before them was placed identically (the replay-prefix rule).
+    Tasks {
+        /// Per-task direct-input dirty flags, indexed by `TaskId::index`.
+        eft_dirty: Vec<bool>,
+    },
+}
+
+impl DirtyInfo {
+    /// Whether nothing that can influence any schedule was touched (e.g. a
+    /// pure task-weight delta).
+    pub fn is_clean(&self) -> bool {
+        match self {
+            DirtyInfo::Structural => false,
+            DirtyInfo::Tasks { eft_dirty } => eft_dirty.iter().all(|&d| !d),
+        }
+    }
+}
+
+/// A patched problem: the copy-on-write instance plus the dirty summary
+/// the repair path consumes.
+#[derive(Debug)]
+pub struct Patched<'a> {
+    /// The patched instance. Untouched arenas are borrowed from the
+    /// parent; the rank memo is seeded from the parent's where sound.
+    pub instance: ProblemInstance<'a>,
+    /// Which tasks the deltas touched.
+    pub dirty: DirtyInfo,
+}
+
+/// Mutable working copy of the problem while a delta sequence applies.
+struct Work {
+    weights: Vec<f64>,
+    edges: Vec<(TaskId, TaskId, f64)>,
+    n_procs: usize,
+    /// Row-major `n_tasks x n_procs` execution-time estimates.
+    etc: Vec<f64>,
+    /// Replacement network; `None` while the parent's links are untouched.
+    net: Option<hetsched_platform::Network>,
+    dag_touched: bool,
+    sys_touched: bool,
+    structural: bool,
+    /// Tasks whose ETC row changed (maintained only while `!structural`).
+    exec_dirty: Vec<bool>,
+    /// Edges whose data volume changed (only while `!structural`).
+    comm_edges: Vec<(TaskId, TaskId)>,
+}
+
+fn check_value(what: &'static str, value: f64) -> Result<f64, DeltaError> {
+    if !value.is_finite() || value < 0.0 {
+        return Err(DeltaError::InvalidValue { what, value });
+    }
+    Ok(value)
+}
+
+impl Work {
+    fn n_tasks(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn check_task(&self, t: TaskId) -> Result<TaskId, DeltaError> {
+        if t.index() >= self.n_tasks() {
+            return Err(DeltaError::UnknownTask(t));
+        }
+        Ok(t)
+    }
+
+    fn check_proc(&self, p: ProcId) -> Result<ProcId, DeltaError> {
+        if p.index() >= self.n_procs {
+            return Err(DeltaError::UnknownProc(p));
+        }
+        Ok(p)
+    }
+
+    fn apply(
+        &mut self,
+        delta: &Delta,
+        parent_net: &hetsched_platform::Network,
+    ) -> Result<(), DeltaError> {
+        match *delta {
+            Delta::TaskWeight { task, weight } => {
+                self.check_task(task)?;
+                let w = check_value("task weight", weight)?;
+                self.weights[task.index()] = w;
+                self.dag_touched = true;
+            }
+            Delta::EtcEntry { task, proc, time } => {
+                self.check_task(task)?;
+                self.check_proc(proc)?;
+                let v = check_value("execution time", time)?;
+                self.etc[task.index() * self.n_procs + proc.index()] = v;
+                self.sys_touched = true;
+                if !self.structural {
+                    self.exec_dirty[task.index()] = true;
+                }
+            }
+            Delta::EdgeData { src, dst, data } => {
+                self.check_task(src)?;
+                self.check_task(dst)?;
+                let d = check_value("edge data volume", data)?;
+                let e = self
+                    .edges
+                    .iter_mut()
+                    .find(|e| e.0 == src && e.1 == dst)
+                    .ok_or(DeltaError::UnknownEdge(src, dst))?;
+                e.2 = d;
+                self.dag_touched = true;
+                if !self.structural {
+                    self.comm_edges.push((src, dst));
+                }
+            }
+            Delta::AddTask {
+                weight,
+                ref exec,
+                ref preds,
+                ref succs,
+            } => {
+                let w = check_value("task weight", weight)?;
+                if exec.len() != self.n_procs {
+                    return Err(DeltaError::ExecLenMismatch {
+                        expected: self.n_procs,
+                        got: exec.len(),
+                    });
+                }
+                for &e in exec {
+                    check_value("execution time", e)?;
+                }
+                let new = TaskId::from_index(self.n_tasks());
+                for &(p, d) in preds {
+                    self.check_task(p)?;
+                    check_value("edge data volume", d)?;
+                }
+                for &(s, d) in succs {
+                    self.check_task(s)?;
+                    check_value("edge data volume", d)?;
+                }
+                self.weights.push(w);
+                self.etc.extend_from_slice(exec);
+                self.edges.extend(preds.iter().map(|&(p, d)| (p, new, d)));
+                self.edges.extend(succs.iter().map(|&(s, d)| (new, s, d)));
+                self.dag_touched = true;
+                self.sys_touched = true;
+                self.structural = true;
+            }
+            Delta::RemoveTask { task } => {
+                self.check_task(task)?;
+                if self.n_tasks() == 1 {
+                    return Err(DeltaError::LastTask);
+                }
+                let r = task.index();
+                self.weights.remove(r);
+                self.etc.drain(r * self.n_procs..(r + 1) * self.n_procs);
+                let shift = |t: TaskId| {
+                    if t.index() > r {
+                        TaskId::from_index(t.index() - 1)
+                    } else {
+                        t
+                    }
+                };
+                self.edges.retain(|&(u, v, _)| u != task && v != task);
+                for e in &mut self.edges {
+                    e.0 = shift(e.0);
+                    e.1 = shift(e.1);
+                }
+                self.dag_touched = true;
+                self.sys_touched = true;
+                self.structural = true;
+            }
+            Delta::RemoveProc { proc } => {
+                self.check_proc(proc)?;
+                if self.n_procs == 1 {
+                    return Err(DeltaError::LastProc);
+                }
+                let r = proc.index();
+                let old_np = self.n_procs;
+                let mut etc = Vec::with_capacity(self.n_tasks() * (old_np - 1));
+                for t in 0..self.n_tasks() {
+                    let row = &self.etc[t * old_np..(t + 1) * old_np];
+                    etc.extend(
+                        row.iter()
+                            .enumerate()
+                            .filter(|&(p, _)| p != r)
+                            .map(|(_, &v)| v),
+                    );
+                }
+                self.etc = etc;
+                self.n_procs = old_np - 1;
+                let current = self.net.as_ref().unwrap_or(parent_net);
+                self.net = Some(current.without_proc(proc));
+                self.sys_touched = true;
+                self.structural = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Mark every task from which a marked task is reachable (a task is dirty
+/// if any *successor* is dirty) — the input cone of the backward rank
+/// kernels, computed in one reverse-topological pass.
+fn close_ancestors(dag: &Dag, mut mask: Vec<bool>) -> Vec<bool> {
+    for &t in dag.topo_order().iter().rev() {
+        if !mask[t.index()] && dag.successors(t).any(|(s, _)| mask[s.index()]) {
+            mask[t.index()] = true;
+        }
+    }
+    mask
+}
+
+/// Mark every task reachable from a marked task (dirty if any
+/// *predecessor* is dirty) — the input cone of the forward kernels.
+fn close_descendants(dag: &Dag, mut mask: Vec<bool>) -> Vec<bool> {
+    for &t in dag.topo_order() {
+        if !mask[t.index()] && dag.predecessors(t).any(|(u, _)| mask[u.index()]) {
+            mask[t.index()] = true;
+        }
+    }
+    mask
+}
+
+impl<'a> ProblemInstance<'a> {
+    /// Apply `deltas` in order, producing a patched instance that borrows
+    /// every untouched arena from `self` and whose rank memo is seeded from
+    /// `self`'s wherever the deltas left a kernel's inputs clean.
+    ///
+    /// The patched instance is bit-for-bit equivalent to one built from
+    /// scratch with the edited content: same fingerprint, same topological
+    /// order (the rebuilt DAG goes through the same canonicalizing
+    /// [`DagBuilder`]), same rank vectors, and therefore the same schedule
+    /// from every deterministic algorithm.
+    ///
+    /// # Errors
+    /// Fails atomically — `self` is never modified — if any delta
+    /// references an unknown task/processor/edge, carries a non-finite or
+    /// negative value, or would leave the problem degenerate (no tasks, no
+    /// processors) or cyclic.
+    pub fn apply_deltas(&self, deltas: &[Delta]) -> Result<Patched<'_>, DeltaError> {
+        let dag = self.dag();
+        let sys = self.sys();
+        let n = dag.num_tasks();
+        let np = sys.num_procs();
+
+        let mut work = Work {
+            weights: (0..n)
+                .map(|i| dag.task_weight(TaskId::from_index(i)))
+                .collect(),
+            edges: dag.edges().iter().map(|e| (e.src, e.dst, e.data)).collect(),
+            n_procs: np,
+            etc: (0..n)
+                .flat_map(|i| sys.etc().row(TaskId::from_index(i)).iter().copied())
+                .collect(),
+            net: None,
+            dag_touched: false,
+            sys_touched: false,
+            structural: false,
+            exec_dirty: vec![false; n],
+            comm_edges: Vec::new(),
+        };
+        for delta in deltas {
+            work.apply(delta, sys.network())?;
+        }
+
+        let patched_dag: Cow<'_, Dag> = if work.dag_touched {
+            let mut b = DagBuilder::with_capacity(work.weights.len(), work.edges.len());
+            for &w in &work.weights {
+                b.add_task(w);
+            }
+            for &(u, v, d) in &work.edges {
+                b.add_edge(u, v, d)?;
+            }
+            Cow::Owned(b.build()?)
+        } else {
+            Cow::Borrowed(dag)
+        };
+        let patched_sys: Cow<'_, System> = if work.sys_touched {
+            let np = work.n_procs;
+            let etc = EtcMatrix::from_fn(work.weights.len(), np, |t, p| {
+                work.etc[t.index() * np + p.index()]
+            });
+            let net = work.net.take().unwrap_or_else(|| sys.network().clone());
+            Cow::Owned(System::new(etc, net))
+        } else {
+            Cow::Borrowed(sys)
+        };
+
+        let instance = ProblemInstance::from_cows(patched_dag, patched_sys);
+        let dirty = if work.structural {
+            DirtyInfo::Structural
+        } else {
+            let has_exec = work.exec_dirty.iter().any(|&d| d);
+            let has_comm = !work.comm_edges.is_empty();
+            let seeded =
+                |srcs: bool, close: fn(&Dag, Vec<bool>) -> Vec<bool>| -> Option<Vec<bool>> {
+                    (has_exec || has_comm).then(|| {
+                        let mut m = work.exec_dirty.clone();
+                        for &(u, v) in &work.comm_edges {
+                            m[if srcs { u.index() } else { v.index() }] = true;
+                        }
+                        close(instance.dag(), m)
+                    })
+                };
+            let plan = SeedPlan {
+                // rank_u(t) reads t's ETC row and t's outgoing edge data.
+                upward: seeded(true, close_ancestors),
+                // rank_d(t) reads its predecessors' ETC rows and incoming
+                // edge data.
+                downward: seeded(false, close_descendants),
+                // SL(t) reads only t's ETC row.
+                static_level: has_exec
+                    .then(|| close_ancestors(instance.dag(), work.exec_dirty.clone())),
+                // PETS rank(t) reads t's ETC row, t's outgoing edge data
+                // (DTC), and its predecessors' ranks (RPT).
+                pets: seeded(true, close_descendants),
+            };
+            instance.seed_memo_from(self, &plan);
+            let mut eft_dirty = work.exec_dirty;
+            for &(_, v) in &work.comm_edges {
+                eft_dirty[v.index()] = true;
+            }
+            DirtyInfo::Tasks { eft_dirty }
+        };
+        Ok(Patched { instance, dirty })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostAggregation;
+    use crate::rank;
+    use hetsched_dag::builder::dag_from_edges;
+    use std::sync::Arc;
+
+    fn setup() -> ProblemInstance<'static> {
+        let dag = dag_from_edges(
+            &[1.0, 2.0, 3.0, 4.0],
+            &[(0, 1, 10.0), (0, 2, 20.0), (1, 3, 30.0), (2, 3, 40.0)],
+        )
+        .unwrap();
+        let mut k = 0.0;
+        let etc = EtcMatrix::from_fn(4, 3, |_, _| {
+            k += 1.0;
+            k
+        });
+        let net = hetsched_platform::Network::uniform(3, 0.5, 2.0);
+        ProblemInstance::new(dag, System::new(etc, net))
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn each_minimal_delta_changes_the_fingerprint() {
+        let parent = setup();
+        let fp = parent.fingerprint();
+        let minimal = [
+            Delta::TaskWeight {
+                task: TaskId(1),
+                weight: 2.5,
+            },
+            Delta::EtcEntry {
+                task: TaskId(1),
+                proc: ProcId(2),
+                time: 99.0,
+            },
+            Delta::EdgeData {
+                src: TaskId(0),
+                dst: TaskId(2),
+                data: 20.5,
+            },
+        ];
+        let mut seen = vec![fp];
+        for d in minimal {
+            let p = parent.apply_deltas(std::slice::from_ref(&d)).unwrap();
+            let pfp = p.instance.fingerprint();
+            assert!(
+                !seen.contains(&pfp),
+                "{d:?} must produce a fingerprint distinct from the parent and the other deltas"
+            );
+            seen.push(pfp);
+        }
+    }
+
+    #[test]
+    fn untouched_sides_stay_borrowed() {
+        let parent = setup();
+        let p = parent
+            .apply_deltas(&[Delta::EtcEntry {
+                task: TaskId(0),
+                proc: ProcId(0),
+                time: 5.0,
+            }])
+            .unwrap();
+        assert!(
+            std::ptr::eq(p.instance.dag(), parent.dag()),
+            "ETC-only delta must borrow the parent DAG"
+        );
+        let q = parent
+            .apply_deltas(&[Delta::TaskWeight {
+                task: TaskId(0),
+                weight: 9.0,
+            }])
+            .unwrap();
+        assert!(
+            std::ptr::eq(q.instance.sys(), parent.sys()),
+            "weight-only delta must borrow the parent system"
+        );
+    }
+
+    #[test]
+    fn seeded_ranks_match_a_fresh_computation_bitwise() {
+        let parent = setup();
+        for agg in [CostAggregation::Mean, CostAggregation::Best] {
+            // Populate the parent memo so seeding has something to reuse.
+            parent.upward_rank(agg);
+            parent.downward_rank(agg);
+            parent.static_level(agg);
+            parent.pets_rank(agg);
+        }
+        let deltas = [
+            Delta::EtcEntry {
+                task: TaskId(2),
+                proc: ProcId(1),
+                time: 42.0,
+            },
+            Delta::EdgeData {
+                src: TaskId(1),
+                dst: TaskId(3),
+                data: 31.0,
+            },
+        ];
+        let p = parent.apply_deltas(&deltas).unwrap();
+        let (d, s) = (p.instance.dag(), p.instance.sys());
+        for agg in [CostAggregation::Mean, CostAggregation::Best] {
+            assert_eq!(
+                bits(&p.instance.upward_rank(agg)),
+                bits(&rank::upward_rank_raw(d, s, agg))
+            );
+            assert_eq!(
+                bits(&p.instance.downward_rank(agg)),
+                bits(&rank::downward_rank_raw(d, s, agg))
+            );
+            assert_eq!(
+                bits(&p.instance.static_level(agg)),
+                bits(&rank::static_level_raw(d, s, agg))
+            );
+            assert_eq!(
+                bits(&p.instance.pets_rank(agg)),
+                bits(&rank::pets_rank_raw(d, s, agg))
+            );
+        }
+        match p.dirty {
+            DirtyInfo::Tasks { eft_dirty } => {
+                // ETC delta marks t2; edge delta marks its destination t3.
+                assert_eq!(eft_dirty, vec![false, false, true, true]);
+            }
+            DirtyInfo::Structural => panic!("weight-level deltas are not structural"),
+        }
+    }
+
+    #[test]
+    fn weight_only_delta_is_clean_and_shares_the_whole_memo() {
+        let parent = setup();
+        let up = parent.upward_rank(CostAggregation::Mean);
+        let p = parent
+            .apply_deltas(&[Delta::TaskWeight {
+                task: TaskId(3),
+                weight: 4.5,
+            }])
+            .unwrap();
+        assert!(p.dirty.is_clean());
+        assert!(
+            Arc::ptr_eq(&p.instance.upward_rank(CostAggregation::Mean), &up),
+            "clean delta must share the parent's rank Arc"
+        );
+        assert_ne!(parent.fingerprint(), p.instance.fingerprint());
+    }
+
+    #[test]
+    fn structural_deltas_rebuild_and_renumber() {
+        let parent = setup();
+        let p = parent
+            .apply_deltas(&[Delta::RemoveTask { task: TaskId(1) }])
+            .unwrap();
+        assert_eq!(p.dirty, DirtyInfo::Structural);
+        let d = p.instance.dag();
+        assert_eq!(d.num_tasks(), 3);
+        // Old t2/t3 became t1/t2; the surviving diamond arm is intact.
+        assert_eq!(d.edge_data(TaskId(0), TaskId(1)), Some(20.0));
+        assert_eq!(d.edge_data(TaskId(1), TaskId(2)), Some(40.0));
+        assert_eq!(d.num_edges(), 2);
+        assert_eq!(p.instance.sys().etc().num_tasks(), 3);
+
+        let q = parent
+            .apply_deltas(&[Delta::AddTask {
+                weight: 1.0,
+                exec: vec![1.0, 2.0, 3.0],
+                preds: vec![(TaskId(3), 7.0)],
+                succs: vec![],
+            }])
+            .unwrap();
+        assert_eq!(q.dirty, DirtyInfo::Structural);
+        assert_eq!(q.instance.dag().num_tasks(), 5);
+        assert_eq!(q.instance.dag().edge_data(TaskId(3), TaskId(4)), Some(7.0));
+
+        let r = parent
+            .apply_deltas(&[Delta::RemoveProc { proc: ProcId(1) }])
+            .unwrap();
+        assert_eq!(r.dirty, DirtyInfo::Structural);
+        let etc = r.instance.sys().etc();
+        assert_eq!(etc.num_procs(), 2);
+        // Row of t0 was [1, 2, 3]; dropping p1 leaves [1, 3].
+        assert_eq!(etc.row(TaskId(0)), &[1.0, 3.0]);
+        assert_eq!(r.instance.sys().network().num_procs(), 2);
+    }
+
+    #[test]
+    fn sequences_apply_in_order_and_validate_against_current_state() {
+        let parent = setup();
+        // Add a task, then patch the ETC entry of the task just added.
+        let p = parent
+            .apply_deltas(&[
+                Delta::AddTask {
+                    weight: 1.0,
+                    exec: vec![1.0, 1.0, 1.0],
+                    preds: vec![],
+                    succs: vec![],
+                },
+                Delta::EtcEntry {
+                    task: TaskId(4),
+                    proc: ProcId(0),
+                    time: 8.0,
+                },
+            ])
+            .unwrap();
+        assert_eq!(p.instance.sys().exec_time(TaskId(4), ProcId(0)), 8.0);
+        // The same ETC delta alone is invalid: t4 does not exist yet.
+        assert_eq!(
+            parent
+                .apply_deltas(&[Delta::EtcEntry {
+                    task: TaskId(4),
+                    proc: ProcId(0),
+                    time: 8.0,
+                }])
+                .unwrap_err(),
+            DeltaError::UnknownTask(TaskId(4))
+        );
+    }
+
+    #[test]
+    fn invalid_deltas_are_rejected() {
+        let parent = setup();
+        assert_eq!(
+            parent
+                .apply_deltas(&[Delta::EdgeData {
+                    src: TaskId(1),
+                    dst: TaskId(2),
+                    data: 1.0,
+                }])
+                .unwrap_err(),
+            DeltaError::UnknownEdge(TaskId(1), TaskId(2))
+        );
+        assert_eq!(
+            parent
+                .apply_deltas(&[Delta::EtcEntry {
+                    task: TaskId(0),
+                    proc: ProcId(7),
+                    time: 1.0,
+                }])
+                .unwrap_err(),
+            DeltaError::UnknownProc(ProcId(7))
+        );
+        assert!(matches!(
+            parent
+                .apply_deltas(&[Delta::TaskWeight {
+                    task: TaskId(0),
+                    weight: f64::NAN,
+                }])
+                .unwrap_err(),
+            DeltaError::InvalidValue { .. }
+        ));
+        assert_eq!(
+            parent
+                .apply_deltas(&[Delta::AddTask {
+                    weight: 1.0,
+                    exec: vec![1.0],
+                    preds: vec![],
+                    succs: vec![],
+                }])
+                .unwrap_err(),
+            DeltaError::ExecLenMismatch {
+                expected: 3,
+                got: 1
+            }
+        );
+        // New task with pred t1 and succ t0 closes the cycle 0 -> 1 -> new -> 0.
+        assert!(matches!(
+            parent
+                .apply_deltas(&[Delta::AddTask {
+                    weight: 1.0,
+                    exec: vec![1.0, 1.0, 1.0],
+                    preds: vec![(TaskId(1), 1.0)],
+                    succs: vec![(TaskId(0), 1.0)],
+                }])
+                .unwrap_err(),
+            DeltaError::Dag(DagError::Cycle(_))
+        ));
+        let one_proc = {
+            let dag = dag_from_edges(&[1.0], &[]).unwrap();
+            let sys = System::homogeneous_unit(&dag, 1);
+            ProblemInstance::new(dag, sys)
+        };
+        assert_eq!(
+            one_proc
+                .apply_deltas(&[Delta::RemoveProc { proc: ProcId(0) }])
+                .unwrap_err(),
+            DeltaError::LastProc
+        );
+        assert_eq!(
+            one_proc
+                .apply_deltas(&[Delta::RemoveTask { task: TaskId(0) }])
+                .unwrap_err(),
+            DeltaError::LastTask
+        );
+    }
+
+    #[test]
+    fn delta_wire_format_round_trips() {
+        let d = Delta::EtcEntry {
+            task: TaskId(3),
+            proc: ProcId(1),
+            time: 6.5,
+        };
+        let json = serde_json::to_string(&d).unwrap();
+        assert!(json.contains("\"kind\":\"etc_entry\""), "{json}");
+        assert_eq!(serde_json::from_str::<Delta>(&json).unwrap(), d);
+    }
+}

@@ -97,6 +97,34 @@ impl<'a> ProblemInstance<'a> {
         }
     }
 
+    /// Build an instance from pre-assembled `Cow`s — the copy-on-write
+    /// path of [`ProblemInstance::apply_deltas`](crate::delta), where
+    /// untouched arenas stay borrowed from the parent and only the
+    /// modified side is owned. Fingerprint and memo start empty: the
+    /// fingerprint is recomputed lazily from the (patched) content, and the
+    /// memo is seeded explicitly by [`ProblemInstance::seed_memo_from`].
+    pub(crate) fn from_cows(dag: Cow<'a, Dag>, sys: Cow<'a, System>) -> Self {
+        ProblemInstance {
+            dag,
+            sys,
+            fingerprint: OnceLock::new(),
+            memo: Mutex::new(RankMemo::default()),
+        }
+    }
+
+    /// Convert into an owning (`'static`) instance, cloning any
+    /// still-borrowed arena and carrying the fingerprint cache and the
+    /// rank memo over untouched — what the serve instance cache needs to
+    /// store a patched instance whose memos were seeded from its parent.
+    pub fn into_owned(self) -> ProblemInstance<'static> {
+        ProblemInstance {
+            dag: Cow::Owned(self.dag.into_owned()),
+            sys: Cow::Owned(self.sys.into_owned()),
+            fingerprint: self.fingerprint,
+            memo: self.memo,
+        }
+    }
+
     /// The task graph.
     #[inline]
     pub fn dag(&self) -> &Dag {
@@ -250,6 +278,117 @@ impl<'a> ProblemInstance<'a> {
             },
         )
     }
+
+    /// Seed this (freshly patched) instance's rank memo from `parent`,
+    /// recomputing only the entries `plan` marks dirty.
+    ///
+    /// For each `(kernel, aggregation)` pair the parent has computed: if
+    /// the plan says the kernel's inputs are untouched, the parent's `Arc`
+    /// is shared outright; otherwise the parent's vector is cloned and the
+    /// dirty tasks are re-evaluated *in kernel order* with the exact
+    /// per-task fold the raw kernel uses ([`rank::upward_entry`] and
+    /// friends). Clean tasks keep the parent's bits, which a full fresh
+    /// recompute would reproduce anyway (their transitive inputs are
+    /// unchanged and each fold is pure) — so every seeded vector is
+    /// bit-identical to a from-scratch computation on the patched problem.
+    ///
+    /// Derived vectors (ALST, critical path) are only shared when nothing
+    /// is dirty; otherwise they are left empty and recomputed on demand
+    /// from the seeded base vectors by the same derivations, preserving
+    /// bit-identity transitively.
+    pub(crate) fn seed_memo_from(&self, parent: &ProblemInstance<'_>, plan: &SeedPlan) {
+        let (dag, sys) = (self.dag(), self.sys());
+        let parent_memo = parent.memo();
+        let mut memo = self.memo();
+        for &(agg, ref v) in parent_memo.upward.iter() {
+            let seeded = recompute_masked(
+                v,
+                plan.upward.as_deref(),
+                dag.topo_order().iter().rev().copied(),
+                |t, out| rank::upward_entry(dag, sys, agg, t, out),
+            );
+            memo.upward.push((agg, seeded));
+        }
+        for &(agg, ref v) in parent_memo.downward.iter() {
+            let seeded = recompute_masked(
+                v,
+                plan.downward.as_deref(),
+                dag.topo_order().iter().copied(),
+                |t, out| rank::downward_entry(dag, sys, agg, t, out),
+            );
+            memo.downward.push((agg, seeded));
+        }
+        for &(agg, ref v) in parent_memo.static_level.iter() {
+            let seeded = recompute_masked(
+                v,
+                plan.static_level.as_deref(),
+                dag.topo_order().iter().rev().copied(),
+                |t, out| rank::static_level_entry(dag, sys, agg, t, out),
+            );
+            memo.static_level.push((agg, seeded));
+        }
+        for &(agg, ref v) in parent_memo.pets.iter() {
+            let seeded = recompute_masked(
+                v,
+                plan.pets.as_deref(),
+                dag.topo_order().iter().copied(),
+                |t, out| rank::pets_entry(dag, sys, agg, t, out),
+            );
+            memo.pets.push((agg, seeded));
+        }
+        if plan.untouched() {
+            for &(agg, ref v) in parent_memo.alst.iter() {
+                memo.alst.push((agg, Arc::clone(v)));
+            }
+            for &(agg, ref v) in parent_memo.critical_path.iter() {
+                memo.critical_path.push((agg, Arc::clone(v)));
+            }
+        }
+    }
+}
+
+/// Per-kernel dirty masks for [`ProblemInstance::seed_memo_from`]: `None`
+/// means the kernel's inputs are untouched by the delta (share the
+/// parent's `Arc`), `Some(mask)` lists the tasks whose entries must be
+/// re-evaluated on the patched problem.
+#[derive(Debug, Default)]
+pub(crate) struct SeedPlan {
+    pub upward: Option<Vec<bool>>,
+    pub downward: Option<Vec<bool>>,
+    pub static_level: Option<Vec<bool>>,
+    pub pets: Option<Vec<bool>>,
+}
+
+impl SeedPlan {
+    /// Whether no kernel has any dirty task at all (a schedule-neutral
+    /// delta such as a pure task-weight change).
+    pub(crate) fn untouched(&self) -> bool {
+        self.upward.is_none()
+            && self.downward.is_none()
+            && self.static_level.is_none()
+            && self.pets.is_none()
+    }
+}
+
+/// Clone `parent` and re-evaluate the `mask`ed tasks in `order` with
+/// `entry` (`None` mask: share the parent `Arc` unchanged).
+fn recompute_masked(
+    parent: &Arc<Vec<f64>>,
+    mask: Option<&[bool]>,
+    order: impl Iterator<Item = TaskId>,
+    entry: impl Fn(TaskId, &[f64]) -> f64,
+) -> Arc<Vec<f64>> {
+    let Some(mask) = mask else {
+        return Arc::clone(parent);
+    };
+    let mut out = (**parent).clone();
+    for t in order {
+        if mask[t.index()] {
+            let v = entry(t, &out);
+            out[t.index()] = v;
+        }
+    }
+    Arc::new(out)
 }
 
 #[cfg(test)]

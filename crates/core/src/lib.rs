@@ -43,19 +43,23 @@
 pub mod algorithms;
 pub mod compact;
 pub mod cost;
+pub mod delta;
 pub mod eft;
 pub mod engine;
 pub mod instance;
 pub mod par;
 pub mod portfolio;
 pub mod rank;
+pub mod repair;
 pub mod schedule;
 pub mod validate;
 
 pub use cost::CostAggregation;
+pub use delta::{Delta, DeltaError, DirtyInfo, Patched};
 pub use engine::{with_reference_engine, EftContext};
 pub use instance::ProblemInstance;
 pub use portfolio::{run_portfolio, PortfolioEntry, PortfolioResult};
+pub use repair::{repairable, RepairStats};
 pub use schedule::{Schedule, Slot};
 pub use validate::{validate, ValidationError};
 

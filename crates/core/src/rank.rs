@@ -48,13 +48,28 @@ pub fn upward_rank(inst: &ProblemInstance, agg: CostAggregation) -> Arc<Vec<f64>
 pub(crate) fn upward_rank_raw(dag: &Dag, sys: &System, agg: CostAggregation) -> Vec<f64> {
     let mut rank = vec![0.0f64; dag.num_tasks()];
     for &t in dag.topo_order().iter().rev() {
-        let tail = dag
-            .successors(t)
-            .map(|(s, data)| sys.mean_comm(data) + rank[s.index()])
-            .fold(0.0f64, f64::max);
-        rank[t.index()] = agg.exec(sys, t) + tail;
+        rank[t.index()] = upward_entry(dag, sys, agg, t, &rank);
     }
     rank
+}
+
+/// The per-task fold of [`upward_rank_raw`], shared with the incremental
+/// dirty-region recompute of [`ProblemInstance::apply_deltas`]
+/// (`crate::delta`) so both paths evaluate the identical expression — the
+/// basis of the bit-identity argument for seeded rank memos.
+#[inline]
+pub(crate) fn upward_entry(
+    dag: &Dag,
+    sys: &System,
+    agg: CostAggregation,
+    t: TaskId,
+    rank: &[f64],
+) -> f64 {
+    let tail = dag
+        .successors(t)
+        .map(|(s, data)| sys.mean_comm(data) + rank[s.index()])
+        .fold(0.0f64, f64::max);
+    agg.exec(sys, t) + tail
 }
 
 /// Downward rank of every task (HEFT's `rank_d`):
@@ -73,13 +88,23 @@ pub fn downward_rank(inst: &ProblemInstance, agg: CostAggregation) -> Arc<Vec<f6
 pub(crate) fn downward_rank_raw(dag: &Dag, sys: &System, agg: CostAggregation) -> Vec<f64> {
     let mut rank = vec![0.0f64; dag.num_tasks()];
     for &t in dag.topo_order() {
-        let best = dag
-            .predecessors(t)
-            .map(|(p, data)| rank[p.index()] + agg.exec(sys, p) + sys.mean_comm(data))
-            .fold(0.0f64, f64::max);
-        rank[t.index()] = best;
+        rank[t.index()] = downward_entry(dag, sys, agg, t, &rank);
     }
     rank
+}
+
+/// The per-task fold of [`downward_rank_raw`] (see [`upward_entry`]).
+#[inline]
+pub(crate) fn downward_entry(
+    dag: &Dag,
+    sys: &System,
+    agg: CostAggregation,
+    t: TaskId,
+    rank: &[f64],
+) -> f64 {
+    dag.predecessors(t)
+        .map(|(p, data)| rank[p.index()] + agg.exec(sys, p) + sys.mean_comm(data))
+        .fold(0.0f64, f64::max)
 }
 
 /// Static level: like [`upward_rank`] but ignoring communication (the
@@ -91,13 +116,25 @@ pub fn static_level(inst: &ProblemInstance, agg: CostAggregation) -> Arc<Vec<f64
 pub(crate) fn static_level_raw(dag: &Dag, sys: &System, agg: CostAggregation) -> Vec<f64> {
     let mut rank = vec![0.0f64; dag.num_tasks()];
     for &t in dag.topo_order().iter().rev() {
-        let tail = dag
-            .successors(t)
-            .map(|(s, _)| rank[s.index()])
-            .fold(0.0f64, f64::max);
-        rank[t.index()] = agg.exec(sys, t) + tail;
+        rank[t.index()] = static_level_entry(dag, sys, agg, t, &rank);
     }
     rank
+}
+
+/// The per-task fold of [`static_level_raw`] (see [`upward_entry`]).
+#[inline]
+pub(crate) fn static_level_entry(
+    dag: &Dag,
+    sys: &System,
+    agg: CostAggregation,
+    t: TaskId,
+    rank: &[f64],
+) -> f64 {
+    let tail = dag
+        .successors(t)
+        .map(|(s, _)| rank[s.index()])
+        .fold(0.0f64, f64::max);
+    agg.exec(sys, t) + tail
 }
 
 /// Earliest possible start times ignoring resource contention (ASAP times
@@ -125,15 +162,27 @@ pub fn pets_rank(inst: &ProblemInstance, agg: CostAggregation) -> Arc<Vec<f64>> 
 pub(crate) fn pets_rank_raw(dag: &Dag, sys: &System, agg: CostAggregation) -> Vec<f64> {
     let mut rank = vec![0.0f64; dag.num_tasks()];
     for &t in dag.topo_order() {
-        let acc = agg.exec(sys, t);
-        let dtc: f64 = dag.successors(t).map(|(_, data)| sys.mean_comm(data)).sum();
-        let rpt = dag
-            .predecessors(t)
-            .map(|(p, _)| rank[p.index()])
-            .fold(0.0f64, f64::max);
-        rank[t.index()] = (acc + dtc + rpt).round();
+        rank[t.index()] = pets_entry(dag, sys, agg, t, &rank);
     }
     rank
+}
+
+/// The per-task fold of [`pets_rank_raw`] (see [`upward_entry`]).
+#[inline]
+pub(crate) fn pets_entry(
+    dag: &Dag,
+    sys: &System,
+    agg: CostAggregation,
+    t: TaskId,
+    rank: &[f64],
+) -> f64 {
+    let acc = agg.exec(sys, t);
+    let dtc: f64 = dag.successors(t).map(|(_, data)| sys.mean_comm(data)).sum();
+    let rpt = dag
+        .predecessors(t)
+        .map(|(p, _)| rank[p.index()])
+        .fold(0.0f64, f64::max);
+    (acc + dtc + rpt).round()
 }
 
 /// Indices of tasks sorted by **non-increasing** priority with a stable

@@ -1,0 +1,276 @@
+//! Incremental schedule repair for the EFT family.
+//!
+//! [`Heft::repair`] turns a parent schedule plus a patched problem
+//! (see [`crate::delta::Patched`]) into the schedule a from-scratch run would
+//! produce on the patched problem, replaying the parent's leading
+//! placements instead of recomputing them.
+//!
+//! # The replay-prefix rule
+//!
+//! List scheduling is a fold over the rank order: the placement of the
+//! task at position `i` depends only on (a) the schedule state built by
+//! positions `0..i` and (b) that task's own EFT inputs — its ETC row, its
+//! incoming edges' data volumes, and the network. Let `k` be the first
+//! position where the patched rank order diverges from the parent's *or*
+//! the task at that position is EFT-dirty. By induction, every placement
+//! before `k` is bit-identical to the parent's: same task at the same
+//! position, clean inputs, and (inductively) identical prior state. So
+//! the repair replays the parent's `0..k` placements verbatim — copying
+//! each recorded slot as stored, never re-deriving a finish time from a
+//! start/duration round trip — and re-runs the ordinary EFT loop from
+//! `k`. The result cannot differ from a fresh run in any bit.
+//!
+//! The replay is a single bulk pass (`Schedule::replay_prefix`): the
+//! parent's per-processor slot lists are filtered down to the replayed
+//! prefix — provably the same vectors a one-at-a-time
+//! [`Schedule::insert_with_finish`](crate::Schedule::insert_with_finish)
+//! loop would build — and each gap-search cache is rebuilt once, so
+//! replaying `k` placements costs O(slots) instead of one O(len) cache
+//! rebuild per insertion. If any replayed placement fails validation, the
+//! partially built schedule is discarded and the repair degrades to a
+//! plain from-scratch run — still bit-identical, just not incremental.
+
+use crate::algorithms::Heft;
+use crate::delta::DirtyInfo;
+use crate::instance::ProblemInstance;
+use crate::rank::sort_by_priority_desc;
+use crate::schedule::Schedule;
+use crate::Scheduler;
+
+/// How a repair run spent its work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RepairStats {
+    /// Leading rank-order placements replayed verbatim from the parent.
+    pub replayed: usize,
+    /// Tasks re-placed by the ordinary EFT loop.
+    pub rescheduled: usize,
+    /// Whether the repair fell back to a full from-scratch run (structural
+    /// delta, shape mismatch, or an unreplayable parent schedule).
+    pub fresh: bool,
+}
+
+/// The repair-capable EFT-family scheduler registered under `name`, if
+/// any. Repair replays placements through plain EFT list scheduling, so
+/// only the algorithms whose from-scratch run *is* that loop qualify.
+pub fn repairable(name: &str) -> Option<Heft> {
+    match name {
+        "HEFT" => Some(Heft::new()),
+        "HEFT-NI" => Some(Heft::no_insertion()),
+        _ => None,
+    }
+}
+
+impl Heft {
+    /// Schedule the patched problem `inst` (with `dirty` as reported by
+    /// [`ProblemInstance::apply_deltas`] — see [`crate::delta::Patched`]),
+    /// replaying the
+    /// parent's unaffected leading placements and re-running list
+    /// scheduling only from the first rank-order position the deltas
+    /// touched.
+    ///
+    /// `parent` must be the schedule this same configuration produced on
+    /// `parent_inst` (the instance `inst` was patched from); the result is
+    /// then bit-identical to `self.schedule_instance(inst)` — the
+    /// non-negotiable contract, enforced by the cross-crate delta-sequence
+    /// proptest. When the preconditions do not hold (shape changed, parent
+    /// incomplete or carrying duplicates), the repair falls back to
+    /// exactly that from-scratch call.
+    pub fn repair(
+        &self,
+        inst: &ProblemInstance<'_>,
+        dirty: &DirtyInfo,
+        parent_inst: &ProblemInstance<'_>,
+        parent: &Schedule,
+    ) -> (Schedule, RepairStats) {
+        let n = inst.dag().num_tasks();
+        let fresh = |heft: &Heft| {
+            (
+                heft.schedule_instance(inst),
+                RepairStats {
+                    replayed: 0,
+                    rescheduled: n,
+                    fresh: true,
+                },
+            )
+        };
+
+        let eft_dirty = match dirty {
+            DirtyInfo::Structural => return fresh(self),
+            DirtyInfo::Tasks { eft_dirty } => eft_dirty,
+        };
+        if parent.num_tasks() != n
+            || parent.num_procs() != inst.sys().num_procs()
+            || parent.num_duplicates() != 0
+            || !parent.is_complete()
+        {
+            return fresh(self);
+        }
+
+        // The patched rank order — computed from the seeded memo, hence
+        // exactly what a fresh run would use — against the parent's.
+        let rank_q = {
+            let _span = hetsched_trace::span("rank");
+            inst.upward_rank(self.agg)
+        };
+        let order_q = sort_by_priority_desc(&rank_q);
+        let order_p = sort_by_priority_desc(&parent_inst.upward_rank(self.agg));
+        let k = order_q
+            .iter()
+            .zip(order_p.iter())
+            .position(|(&q, &p)| q != p || eft_dirty[q.index()])
+            .unwrap_or(n);
+
+        let mut sched = Schedule::new(n, inst.sys().num_procs());
+        if k > 0 {
+            let _span = hetsched_trace::span("replay");
+            if sched.replay_prefix(parent, &order_q[..k]).is_err() {
+                return fresh(self);
+            }
+        }
+        self.run_eft_loop(inst, &rank_q, &order_q, k, &mut sched);
+        (
+            sched,
+            RepairStats {
+                replayed: k,
+                rescheduled: n - k,
+                fresh: false,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::Delta;
+    use hetsched_dag::builder::dag_from_edges;
+    use hetsched_dag::TaskId;
+    use hetsched_platform::{EtcMatrix, Network, ProcId, System};
+
+    fn instance() -> ProblemInstance<'static> {
+        let dag = dag_from_edges(
+            &[2.0, 3.0, 3.0, 2.0, 1.0],
+            &[
+                (0, 1, 4.0),
+                (0, 2, 4.0),
+                (1, 3, 4.0),
+                (2, 3, 4.0),
+                (3, 4, 2.0),
+            ],
+        )
+        .unwrap();
+        let etc = EtcMatrix::from_fn(5, 3, |t, p| 1.0 + ((t.index() * 3 + p.index()) % 7) as f64);
+        let sys = System::new(etc, Network::uniform(3, 0.25, 2.0));
+        ProblemInstance::new(dag, sys)
+    }
+
+    fn digest(s: &Schedule) -> Vec<(u32, u32, u64, u64)> {
+        (0..s.num_procs())
+            .flat_map(|p| {
+                s.slots(ProcId::from_index(p)).iter().map(move |slot| {
+                    (
+                        p as u32,
+                        slot.task.0,
+                        slot.start.to_bits(),
+                        slot.finish.to_bits(),
+                    )
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn repair_matches_fresh_bit_for_bit() {
+        let parent_inst = instance();
+        let heft = Heft::new();
+        let parent = heft.schedule_instance(&parent_inst);
+        for deltas in [
+            vec![Delta::EtcEntry {
+                task: TaskId(3),
+                proc: ProcId(1),
+                time: 20.0,
+            }],
+            vec![Delta::EdgeData {
+                src: TaskId(2),
+                dst: TaskId(3),
+                data: 9.0,
+            }],
+            vec![Delta::TaskWeight {
+                task: TaskId(0),
+                weight: 5.0,
+            }],
+        ] {
+            let patched = parent_inst.apply_deltas(&deltas).unwrap();
+            let (repaired, stats) =
+                heft.repair(&patched.instance, &patched.dirty, &parent_inst, &parent);
+            let fresh = heft.schedule_instance(&patched.instance);
+            assert_eq!(digest(&repaired), digest(&fresh), "deltas {deltas:?}");
+            assert!(!stats.fresh, "weight-level deltas must not fall back");
+            assert_eq!(stats.replayed + stats.rescheduled, 5);
+        }
+    }
+
+    #[test]
+    fn clean_delta_replays_everything() {
+        let parent_inst = instance();
+        let heft = Heft::new();
+        let parent = heft.schedule_instance(&parent_inst);
+        let patched = parent_inst
+            .apply_deltas(&[Delta::TaskWeight {
+                task: TaskId(4),
+                weight: 1.5,
+            }])
+            .unwrap();
+        let (repaired, stats) =
+            heft.repair(&patched.instance, &patched.dirty, &parent_inst, &parent);
+        assert_eq!(stats.replayed, 5);
+        assert_eq!(stats.rescheduled, 0);
+        assert_eq!(digest(&repaired), digest(&parent));
+    }
+
+    #[test]
+    fn structural_delta_falls_back_to_fresh() {
+        let parent_inst = instance();
+        let heft = Heft::new();
+        let parent = heft.schedule_instance(&parent_inst);
+        let patched = parent_inst
+            .apply_deltas(&[Delta::RemoveProc { proc: ProcId(2) }])
+            .unwrap();
+        let (repaired, stats) =
+            heft.repair(&patched.instance, &patched.dirty, &parent_inst, &parent);
+        assert!(stats.fresh);
+        assert_eq!(
+            digest(&repaired),
+            digest(&heft.schedule_instance(&patched.instance))
+        );
+    }
+
+    #[test]
+    fn incomplete_parent_falls_back_to_fresh() {
+        let parent_inst = instance();
+        let heft = Heft::new();
+        let empty = Schedule::new(5, 3);
+        let patched = parent_inst
+            .apply_deltas(&[Delta::EtcEntry {
+                task: TaskId(0),
+                proc: ProcId(0),
+                time: 3.0,
+            }])
+            .unwrap();
+        let (repaired, stats) =
+            heft.repair(&patched.instance, &patched.dirty, &parent_inst, &empty);
+        assert!(stats.fresh);
+        assert_eq!(
+            digest(&repaired),
+            digest(&heft.schedule_instance(&patched.instance))
+        );
+    }
+
+    #[test]
+    fn repairable_registry_covers_the_eft_family_only() {
+        assert_eq!(repairable("HEFT").map(|h| h.insertion), Some(true));
+        assert_eq!(repairable("HEFT-NI").map(|h| h.insertion), Some(false));
+        assert!(repairable("CPOP").is_none());
+        assert!(repairable("PETS").is_none());
+    }
+}

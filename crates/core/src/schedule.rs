@@ -88,6 +88,15 @@ pub struct Schedule {
     /// Ephemeral bookkeeping — always kept off the wire, like `cache`.
     #[serde(default, skip_serializing_if = "skip_trial")]
     trial: Option<Vec<TrialOp>>,
+    /// Per-processor mutation counter. Every timeline mutation (insert or
+    /// trial rollback) bumps the processor's epoch, and a rebuilt
+    /// [`TimelineCache`] records the epoch it was built at — the fast gap
+    /// search only accepts a cache stamped with the *current* epoch, so a
+    /// cache can never be mistaken for fresh just because the timeline
+    /// happens to have the same length again. Derived data, off the wire
+    /// like `cache`.
+    #[serde(default, skip_serializing_if = "skip_epoch")]
+    epoch: Vec<u64>,
 }
 
 /// `skip_serializing_if` predicate for [`Schedule::trial`]: always skip.
@@ -115,6 +124,12 @@ fn skip_cache(_: &Vec<TimelineCache>) -> bool {
     true
 }
 
+/// `skip_serializing_if` predicate for [`Schedule::epoch`]: always skip.
+#[allow(clippy::ptr_arg)]
+fn skip_epoch(_: &Vec<u64>) -> bool {
+    true
+}
+
 /// Derived per-timeline data that lets [`Schedule::earliest_start`] answer
 /// most insertion queries without scanning the whole slot list. Invariant
 /// (whenever `prefix_max.len() == timeline.len()`):
@@ -133,6 +148,11 @@ struct TimelineCache {
     prefix_max: Vec<f64>,
     max_gap_ub: f64,
     scale: f64,
+    /// Value of `Schedule::epoch[p]` when this cache was last rebuilt. A
+    /// cache is valid only while the stamp matches the live epoch — a
+    /// length match alone is not proof of freshness (a rolled-back trial
+    /// can restore a same-length timeline with different slot contents).
+    stamp: u64,
 }
 
 impl TimelineCache {
@@ -172,7 +192,20 @@ impl Schedule {
             copies: vec![Vec::new(); n_tasks],
             cache: vec![TimelineCache::default(); n_procs],
             trial: None,
+            epoch: vec![0; n_procs],
         }
+    }
+
+    /// Bump processor `p`'s mutation epoch and return the new value.
+    /// Deserialized schedules start with an empty epoch vector; it is grown
+    /// on demand so they stay mutable (their cache vector is empty anyway,
+    /// so every query falls back to the reference scan).
+    fn bump_epoch(&mut self, p: usize) -> u64 {
+        if self.epoch.len() <= p {
+            self.epoch.resize(p + 1, 0);
+        }
+        self.epoch[p] += 1;
+        self.epoch[p]
     }
 
     /// Number of tasks this schedule is sized for.
@@ -309,11 +342,17 @@ impl Schedule {
         }
         let out = match self.cache.get(p.index()) {
             // The cache is absent after deserialization (it is never on the
-            // wire) — fall back to the reference scan. When present it is
-            // kept in lockstep by `insert_slot`, and in reference-engine
-            // mode (conformance testing) the scan is forced.
+            // wire) — fall back to the reference scan. When present it must
+            // carry the stamp of the *current* mutation epoch (every
+            // timeline mutation bumps the epoch and restamps the rebuilt
+            // cache), so a stale cache whose timeline merely has the same
+            // length again is rejected here, not just by the debug assert.
+            // In reference-engine mode (conformance testing) the scan is
+            // forced.
             Some(c)
-                if c.prefix_max.len() == tl.len() && !crate::engine::reference_engine_active() =>
+                if c.stamp == self.epoch.get(p.index()).copied().unwrap_or(0)
+                    && c.prefix_max.len() == tl.len()
+                    && !crate::engine::reference_engine_active() =>
             {
                 Self::earliest_start_cached(tl, c, ready, dur)
             }
@@ -400,8 +439,146 @@ impl Schedule {
         if self.primary[t.index()].is_some() {
             return Err(ScheduleError::AlreadyScheduled(t));
         }
-        self.insert_slot(t, p, start, dur, false)?;
-        self.primary[t.index()] = Some((p, start, start + dur));
+        if !start.is_finite() || start < 0.0 {
+            return Err(ScheduleError::InvalidTime(start));
+        }
+        if !dur.is_finite() || dur < 0.0 {
+            return Err(ScheduleError::InvalidTime(dur));
+        }
+        self.insert_primary_at(t, p, start, start + dur)
+    }
+
+    /// Place the primary copy of `t` on `p` at `[start, finish)`, storing
+    /// `finish` **verbatim** instead of recomputing it as `start + dur`.
+    ///
+    /// This is the replay primitive of schedule repair: re-inserting a slot
+    /// from a previously computed schedule must reproduce its stored bits
+    /// exactly, and `fl(start + fl(finish - start))` is not guaranteed to
+    /// round back to `finish`. [`Schedule::insert`] computes `start + dur`
+    /// once and funnels through the same code path, so the two entry points
+    /// can never diverge.
+    ///
+    /// # Errors
+    /// As for [`Schedule::insert`], with [`ScheduleError::InvalidTime`] for
+    /// a non-finite `finish` or `finish < start`.
+    pub fn insert_with_finish(
+        &mut self,
+        t: TaskId,
+        p: ProcId,
+        start: f64,
+        finish: f64,
+    ) -> Result<(), ScheduleError> {
+        if self.primary[t.index()].is_some() {
+            return Err(ScheduleError::AlreadyScheduled(t));
+        }
+        if !start.is_finite() || start < 0.0 {
+            return Err(ScheduleError::InvalidTime(start));
+        }
+        if !finish.is_finite() || finish < start {
+            return Err(ScheduleError::InvalidTime(finish));
+        }
+        self.insert_primary_at(t, p, start, finish)
+    }
+
+    /// Bulk-replay the primary placements of `tasks` (a rank-order prefix)
+    /// from `parent` into this freshly created, empty schedule — the fast
+    /// path of schedule repair.
+    ///
+    /// Equivalent to calling [`Schedule::insert_with_finish`] once per task
+    /// in rank order, but the per-processor timelines are assembled in one
+    /// pass over the parent's slot lists and each gap-search cache is
+    /// rebuilt once at the end — O(slots) total instead of one O(len)
+    /// cache rebuild per insertion, which is what makes replaying nearly
+    /// the whole schedule cheaper than recomputing it.
+    ///
+    /// The resulting timeline vectors are bit-identical to the insertion
+    /// loop's: an insertion position is a `partition_point` over start
+    /// times, so the relative order of two replayed slots is a function
+    /// only of their start times and of which was inserted first — both
+    /// shared with the parent's own construction — and removing the
+    /// parent's non-replayed slots (`Vec::insert`/`Vec::remove` preserve
+    /// the relative order of the remaining elements) cannot reorder the
+    /// rest. Filtering the parent's timelines therefore reproduces exactly
+    /// the vectors the per-insert replay would build.
+    ///
+    /// On `Err` the schedule is left partially filled; the caller discards
+    /// it and falls back to a from-scratch run. Errors: a task listed
+    /// twice or already placed, a task without a primary in `parent`, a
+    /// duplicate copy of a replayed task, non-finite/negative times, or an
+    /// unsorted/overlapping parent timeline.
+    pub(crate) fn replay_prefix(&mut self, parent: &Schedule, tasks: &[TaskId]) -> Result<(), ()> {
+        debug_assert!(self.trial.is_none(), "replay_prefix runs outside trials");
+        debug_assert!(self.timelines.iter().all(Vec::is_empty));
+        let mut keep = vec![false; self.n_tasks];
+        for &t in tasks {
+            if t.index() >= self.n_tasks || keep[t.index()] || self.primary[t.index()].is_some() {
+                return Err(());
+            }
+            let Some((p, start, finish)) = parent.assignment(t) else {
+                return Err(());
+            };
+            if p.index() >= self.timelines.len()
+                || !start.is_finite()
+                || start < 0.0
+                || !finish.is_finite()
+                || finish < start
+            {
+                return Err(());
+            }
+            keep[t.index()] = true;
+            self.primary[t.index()] = Some((p, start, finish));
+            self.copies[t.index()].push((p, finish));
+        }
+        let mut placed = 0usize;
+        for pi in 0..self.timelines.len() {
+            if let Some(src) = parent.timelines.get(pi) {
+                let tl = &mut self.timelines[pi];
+                for s in src {
+                    if s.task.index() >= keep.len() || !keep[s.task.index()] {
+                        continue;
+                    }
+                    if s.duplicate {
+                        return Err(());
+                    }
+                    if let Some(prev) = tl.last() {
+                        // The kept subset must stay sorted by start with at
+                        // most boundary-coincidence overlap (the insertion
+                        // path's conflict formula, see `insert_slot_at`).
+                        if s.start < prev.start
+                            || (prev.start < s.finish - TIME_EPS
+                                && s.start < prev.finish - TIME_EPS)
+                        {
+                            return Err(());
+                        }
+                    }
+                    tl.push(*s);
+                    placed += 1;
+                }
+            }
+            let ep = self.bump_epoch(pi);
+            if let Some(c) = self.cache.get_mut(pi) {
+                c.rebuild(&self.timelines[pi]);
+                c.stamp = ep;
+            }
+        }
+        // Catches a parent whose timeline slots disagree with its primary
+        // table (possible only for hand-built or deserialized schedules).
+        if placed != tasks.len() {
+            return Err(());
+        }
+        hetsched_trace::counters(|c| c.timeline_inserts += tasks.len() as u64);
+        Ok(())
+    }
+
+    fn insert_primary_at(
+        &mut self,
+        t: TaskId,
+        p: ProcId,
+        start: f64,
+        finish: f64,
+    ) -> Result<(), ScheduleError> {
+        self.insert_slot_at(t, p, start, finish, false)?;
+        self.primary[t.index()] = Some((p, start, finish));
         if let Some(log) = &mut self.trial {
             log.push(TrialOp::Primary { task: t });
         }
@@ -429,24 +606,23 @@ impl Schedule {
         if self.finish_on(t, p).is_some() {
             return Err(ScheduleError::BadDuplicate(t));
         }
-        self.insert_slot(t, p, start, dur, true)
-    }
-
-    fn insert_slot(
-        &mut self,
-        t: TaskId,
-        p: ProcId,
-        start: f64,
-        dur: f64,
-        duplicate: bool,
-    ) -> Result<(), ScheduleError> {
         if !start.is_finite() || start < 0.0 {
             return Err(ScheduleError::InvalidTime(start));
         }
         if !dur.is_finite() || dur < 0.0 {
             return Err(ScheduleError::InvalidTime(dur));
         }
-        let finish = start + dur;
+        self.insert_slot_at(t, p, start, start + dur, true)
+    }
+
+    fn insert_slot_at(
+        &mut self,
+        t: TaskId,
+        p: ProcId,
+        start: f64,
+        finish: f64,
+        duplicate: bool,
+    ) -> Result<(), ScheduleError> {
         let tl = &mut self.timelines[p.index()];
         // Two intervals conflict iff their intersection has positive
         // measure; boundary coincidence (and zero-duration slots at
@@ -486,12 +662,13 @@ impl Schedule {
         // Keep the gap-search cache in lockstep. A mid-timeline insert
         // invalidates every prefix maximum (and gap) at or after `pos`, and
         // `Vec::insert` above is already O(len), so a full O(len) rebuild
-        // keeps the same asymptotics with straight-line code. Schedules
-        // without a cache (deserialized) stay cacheless — queries scan.
+        // keeps the same asymptotics with straight-line code. The rebuilt
+        // cache is stamped with the new mutation epoch; schedules without a
+        // cache (deserialized) stay cacheless — queries scan.
+        let ep = self.bump_epoch(p.index());
         if let Some(c) = self.cache.get_mut(p.index()) {
-            if c.prefix_max.len() + 1 == tl.len() {
-                c.rebuild(tl);
-            }
+            c.rebuild(&self.timelines[p.index()]);
+            c.stamp = ep;
         }
         self.copies[t.index()].push((p, finish));
         if let Some(log) = &mut self.trial {
@@ -538,17 +715,19 @@ impl Schedule {
                     self.primary[task.index()] = None;
                 }
                 TrialOp::Slot { proc, pos, task } => {
-                    let tl = &mut self.timelines[proc.index()];
-                    let removed = tl.remove(pos);
+                    let removed = self.timelines[proc.index()].remove(pos);
                     debug_assert_eq!(removed.task, task);
                     self.copies[task.index()].pop();
-                    // Same lockstep guard as `insert_slot`: schedules whose
-                    // cache was in sync stay in sync, deserialized
-                    // (cacheless) schedules stay cacheless.
+                    // A rollback is a timeline mutation like any other: bump
+                    // the epoch and restamp the rebuilt cache, so a cache
+                    // from before the trial can never be accepted against
+                    // the restored (same-length, different-content)
+                    // timeline. Deserialized (cacheless) schedules stay
+                    // cacheless.
+                    let ep = self.bump_epoch(proc.index());
                     if let Some(c) = self.cache.get_mut(proc.index()) {
-                        if c.prefix_max.len() == tl.len() + 1 {
-                            c.rebuild(tl);
-                        }
+                        c.rebuild(&self.timelines[proc.index()]);
+                        c.stamp = ep;
                     }
                 }
             }
@@ -747,6 +926,89 @@ mod tests {
         );
         // the schedule is fully usable afterwards
         s.insert(TaskId(2), ProcId(0), 2.0, 3.0).unwrap();
+    }
+
+    #[test]
+    fn trial_round_trip_to_equal_length_keeps_gap_search_fresh() {
+        // Round-trip a trial back to a timeline of the *same length* as the
+        // trial's peak, with different slot contents: the gap search must
+        // answer from the live timeline, never from a cache built during
+        // the trial.
+        let mut s = Schedule::new(4, 1);
+        s.insert(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        s.insert(TaskId(1), ProcId(0), 6.0, 1.0).unwrap();
+
+        s.begin_trial();
+        // fills the [2, 6) gap — length 3 with the gap occupied
+        s.insert(TaskId(2), ProcId(0), 2.0, 4.0).unwrap();
+        assert_eq!(s.earliest_start(ProcId(0), 0.0, 3.0, true), 7.0);
+        s.rollback_trial();
+
+        // back to length 3, but now with the gap open and changed finishes
+        s.insert(TaskId(3), ProcId(0), 9.0, 2.0).unwrap();
+        let got = s.earliest_start(ProcId(0), 0.0, 3.0, true);
+        let want = Schedule::earliest_start_scan(s.slots(ProcId(0)), 0.0, 3.0);
+        assert_eq!(got.to_bits(), want.to_bits());
+        assert_eq!(got, 2.0, "the [2, 6) gap must be rediscovered");
+    }
+
+    #[test]
+    fn stale_cache_with_matching_length_is_rejected_by_epoch_stamp() {
+        let mut s = Schedule::new(4, 1);
+        s.insert(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        s.insert(TaskId(1), ProcId(0), 6.0, 1.0).unwrap();
+        // Fabricate the release-mode hazard directly: a cache whose
+        // prefix-max has the right *length* but stale contents (it claims
+        // the timeline is gap-free) and an outdated stamp. Length-only
+        // validation would accept it and fast-reject the [2, 6) gap.
+        s.cache[0] = TimelineCache {
+            prefix_max: vec![7.0, 7.0],
+            max_gap_ub: 0.0,
+            scale: 7.0,
+            stamp: s.epoch[0].wrapping_sub(1),
+        };
+        assert_eq!(s.earliest_start(ProcId(0), 0.0, 3.0, true), 2.0);
+        // A fresh mutation restamps the cache; the fast path works again.
+        s.insert(TaskId(2), ProcId(0), 9.0, 1.0).unwrap();
+        assert_eq!(s.cache[0].stamp, s.epoch[0]);
+        assert_eq!(s.earliest_start(ProcId(0), 0.0, 3.0, true), 2.0);
+    }
+
+    #[test]
+    fn insert_with_finish_stores_the_finish_verbatim() {
+        let mut s = Schedule::new(3, 1);
+        // A (start, finish) pair where recomputing finish as
+        // `start + (finish - start)` need not round back to the same bits;
+        // the replay primitive must store the given finish untouched.
+        let (start, finish) = (0.1, 0.30000000000000004);
+        s.insert_with_finish(TaskId(0), ProcId(0), start, finish)
+            .unwrap();
+        let (p, got_start, got_finish) = s.assignment(TaskId(0)).unwrap();
+        assert_eq!(p, ProcId(0));
+        assert_eq!(got_start.to_bits(), start.to_bits());
+        assert_eq!(got_finish.to_bits(), finish.to_bits());
+        assert_eq!(s.slots(ProcId(0))[0].finish.to_bits(), finish.to_bits());
+
+        // error paths mirror `insert`
+        assert_eq!(
+            s.insert_with_finish(TaskId(0), ProcId(0), 1.0, 2.0)
+                .unwrap_err(),
+            ScheduleError::AlreadyScheduled(TaskId(0))
+        );
+        assert!(matches!(
+            s.insert_with_finish(TaskId(1), ProcId(0), 2.0, 1.0)
+                .unwrap_err(),
+            ScheduleError::InvalidTime(_)
+        ));
+        assert!(matches!(
+            s.insert_with_finish(TaskId(1), ProcId(0), -1.0, 1.0)
+                .unwrap_err(),
+            ScheduleError::InvalidTime(_)
+        ));
+        // zero-length and normal inserts still compose
+        s.insert_with_finish(TaskId(1), ProcId(0), finish, finish)
+            .unwrap();
+        s.insert(TaskId(2), ProcId(0), 1.0, 1.0).unwrap();
     }
 
     #[test]

@@ -28,13 +28,16 @@ load options (saturation sweep against a gateway + shards topology):
                      the sweep runs 0.5x, 1x, and 3x (just 1x with --quick)
   --duration-ms <ms> wall time per sweep step (default 3000)
   --mix <u,d,p>      unique/duplicate/patch request shares (default
-                     0.5,0.3,0.2); duplicates exercise single-flight dedup
+                     0.5,0.3,0.2); duplicates exercise single-flight
+                     dedup, patches send real `patch` ops against a
+                     parent learned from earlier replies
   --hot-ms <ms>      debug-sleep carried by duplicate requests, holding
                      the dedup leader in flight (default 25)
   --work-ms <ms>     debug-sleep carried by unique/patch requests — a
                      deterministic stand-in for compute cost (default 20)
-  --strict           exit nonzero on any protocol error, or when a
-                     duplicate-carrying mix produces zero dedup hits
+  --strict           exit nonzero on any protocol error, when a
+                     duplicate-carrying mix produces zero dedup hits, or
+                     when a patch-carrying mix sends zero patch ops
   --bench-out <file> merge `load/r<rate>/p50|p99` latency entries into
                      <file> (other keys, e.g. perf entries, are kept)
   --check <file>     compare latency percentiles against a baseline, like
@@ -77,7 +80,8 @@ pub struct Config {
     pub hot_ms: u64,
     /// `load`: debug-sleep carried by unique/patch requests (ms).
     pub work_ms: u64,
-    /// `load`: fail on protocol errors or a dedup-free duplicate mix.
+    /// `load`: fail on protocol errors, a dedup-free duplicate mix, or a
+    /// patch-free patch mix.
     pub strict: bool,
 }
 

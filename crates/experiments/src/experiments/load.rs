@@ -13,8 +13,15 @@
 //!   rotation's first arrival leads a flight long enough for followers to
 //!   coalesce on — the single-flight dedup path, exercised on purpose
 //!   rather than by luck.
-//! - **patch** — a near-identical variant of a unique problem (one task
-//!   weight nudged); must NOT coalesce and routes independently.
+//! - **patch** — a real `patch` op against the latest `problem`
+//!   fingerprint this connection learned from an earlier reply: the shard
+//!   resolves the parent from its instance cache, applies a one-weight
+//!   delta, and repairs incrementally. Patches route to the parent's home
+//!   shard and must NOT coalesce with the parent's flight. Before the
+//!   first reply arrives (no parent known yet) the connection falls back
+//!   to a pre-built near-identical full problem. A patch whose parent was
+//!   evicted from the shard's instance cache answers `unknown_parent`;
+//!   the harness counts those separately and `--strict` tolerates them.
 //!
 //! Unique/patch requests carry `debug_sleep_ms = work_ms`, a
 //! deterministic stand-in for compute cost, so the saturation point of
@@ -70,6 +77,12 @@ struct Counts {
     timeout: AtomicU64,
     error: AtomicU64,
     protocol_errors: AtomicU64,
+    /// Real `patch` ops sent (the mix's patch share minus the pre-parent
+    /// fallback sends).
+    patched: AtomicU64,
+    /// `unknown_parent` replies: the parent aged out of the shard's
+    /// instance cache between learning it and patching it.
+    patch_miss: AtomicU64,
 }
 
 /// Outcome of one sweep step.
@@ -82,6 +95,8 @@ struct StepResult {
     timeout: u64,
     error: u64,
     protocol_errors: u64,
+    patched: u64,
+    patch_miss: u64,
     p50_us: f64,
     p99_us: f64,
     dedup_delta: u64,
@@ -121,8 +136,32 @@ fn system_value(procs: usize) -> Value {
     .expect("literal system JSON parses")
 }
 
+/// Serialize one real `patch` request line: reschedule the cached parent
+/// problem with one task weight nudged. The nudge varies with `nudge`, so
+/// consecutive patches are distinct problems (own flight each), and a
+/// `task_weight` delta is valid against any parent regardless of its edge
+/// set.
+fn patch_line(parent: &str, nudge: u64, sleep_ms: u64) -> String {
+    let mut options = serde_json::Map::new();
+    options.insert("deadline_ms", serde_json::to_value(DEADLINE_MS).unwrap());
+    if sleep_ms > 0 {
+        options.insert("debug_sleep_ms", serde_json::to_value(sleep_ms).unwrap());
+    }
+    let weight = 1.0 + nudge as f64 * 0.25;
+    let mut req = serde_json::Map::new();
+    req.insert("op", Value::String("patch".into()));
+    req.insert("parent", Value::String(parent.into()));
+    req.insert("algorithm", Value::String("HEFT".into()));
+    let delta = serde_json::json!({"kind": "task_weight", "task": 0, "weight": weight});
+    req.insert("deltas", Value::Array(vec![delta]));
+    req.insert("options", Value::Object(options));
+    serde_json::to_string(&Value::Object(req)).expect("request serializes")
+}
+
 /// Nudge one task weight: a distinct content fingerprint (own routing,
-/// own flight) from a problem that is byte-identical otherwise.
+/// own flight) from a problem that is byte-identical otherwise. Used as
+/// the patch share's fallback until the connection learns a parent
+/// fingerprint from a reply.
 fn patched(dag: &Value) -> Value {
     let mut v = dag.clone();
     if let Some(w) = v
@@ -242,11 +281,16 @@ fn run_step(cfg: &Config, addr: &str, rate: f64, step: usize) -> Result<StepResu
         let reader_stream = stream.try_clone().map_err(|e| e.to_string())?;
         reader_stream.set_read_timeout(Some(READ_TIMEOUT)).ok();
         let (meta_tx, meta_rx) = unbounded::<Instant>();
+        // The latest `problem` fingerprint this connection saw in a
+        // reply: the reader learns it, the writer patches against it.
+        let parent = Arc::new(std::sync::Mutex::new(None::<String>));
 
         let writer = {
             let pools = pools.clone();
             let counts = counts.clone();
+            let parent = parent.clone();
             let mix = cfg.mix;
+            let work_ms = cfg.work_ms;
             let seed = cfg.seed ^ ((step as u64) << 32) ^ (c as u64);
             let mut stream = stream;
             std::thread::spawn(move || {
@@ -268,14 +312,26 @@ fn run_step(cfg: &Config, addr: &str, rate: f64, step: usize) -> Result<StepResu
                         std::thread::sleep(d);
                     }
                     let roll: f64 = rng.gen();
-                    let line = if roll < mix.1 {
-                        pools.hot_line(start.elapsed())
+                    let line: String = if roll < mix.1 {
+                        pools.hot_line(start.elapsed()).to_string()
                     } else if roll < mix.1 + mix.2 {
-                        let l = &pools.patch[patch_idx % pools.patch.len()];
+                        let learned = parent.lock().unwrap().clone();
+                        let l = match learned {
+                            // real incremental reschedule against the
+                            // learned parent (distinct weight per send,
+                            // so every patch is its own flight)
+                            Some(p) => {
+                                counts.patched.fetch_add(1, Ordering::Relaxed);
+                                patch_line(&p, patch_idx as u64, work_ms)
+                            }
+                            // no reply seen yet: fall back to the
+                            // near-identical full problem
+                            None => pools.patch[patch_idx % pools.patch.len()].clone(),
+                        };
                         patch_idx += conns;
                         l
                     } else {
-                        let l = &pools.unique[unique_idx % pools.unique.len()];
+                        let l = pools.unique[unique_idx % pools.unique.len()].clone();
                         unique_idx += conns;
                         l
                     };
@@ -297,6 +353,7 @@ fn run_step(cfg: &Config, addr: &str, rate: f64, step: usize) -> Result<StepResu
         let reader = {
             let counts = counts.clone();
             let hist = hist.clone();
+            let parent = parent.clone();
             std::thread::spawn(move || {
                 let mut reader = BufReader::new(reader_stream);
                 // the gateway answers in request order per connection, so
@@ -310,16 +367,25 @@ fn run_step(cfg: &Config, addr: &str, rate: f64, step: usize) -> Result<StepResu
                         }
                         Ok(_) => {
                             let latency = sent_at.elapsed();
-                            let status =
-                                serde_json::from_str::<Value>(line.trim())
-                                    .ok()
-                                    .and_then(|v| {
-                                        v.as_object()?.get("status")?.as_str().map(String::from)
-                                    });
-                            match status.as_deref() {
+                            let reply = serde_json::from_str::<Value>(line.trim()).ok();
+                            let status = reply
+                                .as_ref()
+                                .and_then(|v| v.as_object()?.get("status")?.as_str());
+                            match status {
                                 Some("ok") => {
                                     counts.ok.fetch_add(1, Ordering::Relaxed);
                                     hist.record(latency);
+                                    // learn the problem fingerprint so the
+                                    // writer's patch share has a parent
+                                    if let Some(p) = reply
+                                        .as_ref()
+                                        .and_then(|v| v.get("schedule"))
+                                        .and_then(|s| s.get("problem"))
+                                        .and_then(Value::as_str)
+                                        .filter(|p| !p.is_empty())
+                                    {
+                                        *parent.lock().unwrap() = Some(p.to_string());
+                                    }
                                 }
                                 Some("shed") => {
                                     counts.shed.fetch_add(1, Ordering::Relaxed);
@@ -331,7 +397,19 @@ fn run_step(cfg: &Config, addr: &str, rate: f64, step: usize) -> Result<StepResu
                                     counts.timeout.fetch_add(1, Ordering::Relaxed);
                                 }
                                 Some("error") | Some("shutting_down") => {
-                                    counts.error.fetch_add(1, Ordering::Relaxed);
+                                    let unknown_parent = reply
+                                        .as_ref()
+                                        .and_then(|v| v.get("message"))
+                                        .and_then(Value::as_str)
+                                        .is_some_and(|m| m.contains("unknown_parent"));
+                                    if unknown_parent {
+                                        // the parent aged out of the shard's
+                                        // instance cache: an expected miss
+                                        // under churn, not a failure
+                                        counts.patch_miss.fetch_add(1, Ordering::Relaxed);
+                                    } else {
+                                        counts.error.fetch_add(1, Ordering::Relaxed);
+                                    }
                                 }
                                 _ => {
                                     counts.protocol_errors.fetch_add(1, Ordering::Relaxed);
@@ -359,6 +437,8 @@ fn run_step(cfg: &Config, addr: &str, rate: f64, step: usize) -> Result<StepResu
         timeout: get(&counts.timeout),
         error: get(&counts.error),
         protocol_errors: get(&counts.protocol_errors),
+        patched: get(&counts.patched),
+        patch_miss: get(&counts.patch_miss),
         p50_us: hist.quantile_us(0.50),
         p99_us: hist.quantile_us(0.99),
         dedup_delta: counter(&after, "dedup_hits").saturating_sub(counter(&before, "dedup_hits")),
@@ -477,6 +557,8 @@ pub fn run_load(cfg: &Config) -> Result<(), String> {
         "error".into(),
         "proto".into(),
         "reroute".into(),
+        "patch".into(),
+        "pmiss".into(),
         "p50_ms".into(),
         "p99_ms".into(),
     ]);
@@ -492,6 +574,8 @@ pub fn run_load(cfg: &Config) -> Result<(), String> {
             s.error.to_string(),
             s.protocol_errors.to_string(),
             s.reroute_delta.to_string(),
+            s.patched.to_string(),
+            s.patch_miss.to_string(),
             format!("{:.2}", s.p50_us / 1e3),
             format!("{:.2}", s.p99_us / 1e3),
         ]);
@@ -573,7 +657,17 @@ pub fn run_load(cfg: &Config) -> Result<(), String> {
         if cfg.mix.1 > 0.0 && dedup == 0 {
             return Err("strict: duplicate mix produced zero dedup hits".into());
         }
-        println!("strict checks passed: 0 protocol errors, {dedup} dedup hits");
+        let patched: u64 = steps.iter().map(|s| s.patched).sum();
+        if cfg.mix.2 > 0.0 && patched == 0 {
+            return Err("strict: patch mix produced zero patch ops".into());
+        }
+        // unknown_parent replies are expected under instance-cache churn
+        // and explicitly tolerated; they are reported, never fatal
+        let misses: u64 = steps.iter().map(|s| s.patch_miss).sum();
+        println!(
+            "strict checks passed: 0 protocol errors, {dedup} dedup hits, \
+             {patched} patch ops ({misses} unknown_parent, tolerated)"
+        );
     }
     Ok(())
 }

@@ -19,9 +19,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use hetsched_core::algorithms::{all_heterogeneous, by_name};
-use hetsched_core::{run_portfolio, ProblemInstance, Scheduler};
+use hetsched_core::{
+    repairable, run_portfolio, CostAggregation, Delta, ProblemInstance, Scheduler,
+};
+use hetsched_dag::TaskId;
 use hetsched_metrics::table::TextTable;
-use hetsched_platform::{EtcParams, System};
+use hetsched_platform::{EtcParams, ProcId, System};
 use hetsched_serve::{ServeConfig, Service};
 use hetsched_workloads::{random_dag, RandomDagParams};
 use serde_json::{json, Value};
@@ -136,6 +139,80 @@ fn large_entries(cfg: &Config, reps: usize) -> Vec<BenchEntry> {
             }
         })
         .collect()
+}
+
+/// The incremental-rescheduling section the repair path targets: a fresh
+/// HEFT run on the patched problem versus `apply_deltas` + `repair` from
+/// the parent schedule, on a one-ETC-entry delta near the sink (most of
+/// the rank order replays, only the tail reschedules). Quick mode keeps
+/// the n = 800 point so CI gates the same ids against a full baseline;
+/// the full run adds the n = 3200 headline entry.
+fn repair_entries(cfg: &Config, reps: usize) -> Vec<BenchEntry> {
+    let sizes: &[usize] = if cfg.quick { &[800] } else { &[800, 3200] };
+    let reps = reps.max(5);
+    let mut out = Vec::new();
+    for &n in sizes {
+        let seed = instance_seed(cfg.seed ^ 0x4e9a, n as u64, 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dag = random_dag(&RandomDagParams::new(n, 1.0, 1.0), &mut rng);
+        let sys =
+            System::heterogeneous_random(&dag, cfg.procs, &EtcParams::range_based(1.0), &mut rng);
+        let parent_inst = ProblemInstance::from_refs(&dag, &sys);
+        let heft = repairable("HEFT").expect("HEFT is repair-capable");
+        // scheduling the parent warms its rank memo, exactly as a serve
+        // shard's instance cache would hold it when a patch arrives
+        let parent = heft.schedule_instance(&parent_inst);
+        // dirty the task HEFT schedules last (minimum upward rank) and
+        // nudge one of its ETC entries by 2%: a realistic re-estimate
+        // small enough to leave the prefix rank order intact, so nearly
+        // the whole parent schedule replays
+        let ranks = parent_inst.upward_rank(CostAggregation::Mean);
+        let last = ranks
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("non-empty DAG");
+        let task = TaskId(last as u32);
+        let deltas = [Delta::EtcEntry {
+            task,
+            proc: ProcId(0),
+            time: sys.exec_time(task, ProcId(0)) * 1.02,
+        }];
+        let patched_once = parent_inst
+            .apply_deltas(&deltas)
+            .expect("ETC delta applies");
+        let entry = |id: String, algo: &str, (median_ns, min_ns): (f64, f64)| BenchEntry {
+            id,
+            n,
+            procs: cfg.procs,
+            algo: algo.to_string(),
+            median_ns,
+            min_ns,
+            reps,
+        };
+        out.push(entry(
+            format!("repair/n{n}/fresh"),
+            "HEFT",
+            bench(reps, || {
+                heft.schedule(patched_once.instance.dag(), patched_once.instance.sys())
+                    .makespan()
+            }),
+        ));
+        out.push(entry(
+            format!("repair/n{n}/repair"),
+            "HEFT",
+            bench(reps, || {
+                let patched = parent_inst
+                    .apply_deltas(&deltas)
+                    .expect("ETC delta applies");
+                let (sched, _stats) =
+                    heft.repair(&patched.instance, &patched.dirty, &parent_inst, &parent);
+                sched.makespan()
+            }),
+        ));
+    }
+    out
 }
 
 /// The serve cache-miss path: a fresh daemon per repetition handles one
@@ -475,6 +552,7 @@ fn check_against(entries: &[BenchEntry], baseline: &Value) -> Result<Vec<String>
 fn measure(cfg: &Config, reps: usize) -> Vec<BenchEntry> {
     let mut entries = grid_entries(cfg, reps);
     entries.extend(large_entries(cfg, reps));
+    entries.extend(repair_entries(cfg, reps));
     entries.extend(serve_entries(cfg, reps));
     entries.extend(multi_alg_entries(cfg, reps));
     entries.extend(serve_portfolio_entries(cfg, reps));
@@ -545,6 +623,25 @@ pub fn run_perf(cfg: &Config) -> Result<(), String> {
             i.min_ns / p.min_ns,
         );
     }
+
+    // the incremental-rescheduling path: apply_deltas + repair from the
+    // parent schedule vs a fresh run on the patched problem
+    for ef in entries
+        .iter()
+        .filter(|e| e.id.starts_with("repair/") && e.id.ends_with("/fresh"))
+    {
+        let rid = ef.id.replace("/fresh", "/repair");
+        if let Some(er) = entries.iter().find(|e| e.id == rid) {
+            println!(
+                "repair n={}: fresh {:.2} ms, apply+repair {:.2} ms ({:.2}x speedup)",
+                ef.n,
+                ef.min_ns / 1e6,
+                er.min_ns / 1e6,
+                ef.min_ns / er.min_ns,
+            );
+        }
+    }
+    println!();
 
     // the search-scheduler parallel layer: jobs=4 against jobs=1 per
     // algorithm (≈1x on a single-core host; the speedup needs real cores)

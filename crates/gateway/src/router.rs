@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::RecvTimeoutError;
 
-use hetsched_core::ProblemInstance;
+use hetsched_core::{Delta, ProblemInstance};
 use hetsched_dag::{Dag, Fingerprint};
 use hetsched_platform::System;
 use hetsched_serve::protocol::{HelloBody, Request, RequestOptions, Response};
@@ -132,31 +132,17 @@ impl Router {
         }
     }
 
-    /// Route one `schedule`/`portfolio` request.
+    /// Route one `schedule`/`portfolio`/`patch` request.
     fn route(&self, req: Request, arrival: Instant) -> String {
         if self.is_shutting_down() {
             return Response::ShuttingDown.to_line();
         }
         bump(&self.metrics.requests);
-        let (dag_spec, system_spec, alg_names, options) = match &req {
-            Request::Schedule {
-                dag,
-                system,
-                algorithm,
-                options,
-            } => (
-                dag,
-                system,
-                std::slice::from_ref(algorithm).to_vec(),
-                options,
-            ),
-            Request::Portfolio {
-                dag,
-                system,
-                algorithms,
-                options,
-            } => (dag, system, algorithms.clone(), options),
-            // `handle_line` only routes the two scheduling ops.
+        let options = match &req {
+            Request::Schedule { options, .. }
+            | Request::Portfolio { options, .. }
+            | Request::Patch { options, .. } => options,
+            // `handle_line` only routes the scheduling ops.
             _ => unreachable!("route() called with a control op"),
         };
         let deadline = Duration::from_millis(
@@ -165,25 +151,82 @@ impl Router {
                 .unwrap_or(self.config.default_deadline_ms),
         );
         let deadline_at = arrival + deadline;
+        // Admission control runs *before* single-flight: a request whose
+        // deadline has already expired — `deadline_ms` of 0 included — is
+        // shed here, leaders and followers alike. (Checking only inside
+        // the leader's forward loop, as the gateway used to, let expired
+        // followers join a flight and wait out the follower slack for a
+        // reply that could never arrive in time, and answered `timeout`
+        // or `error` instead of the honest `shed`.)
+        if Instant::now() >= deadline_at {
+            bump(&self.metrics.sheds);
+            return Response::shed(
+                "deadline expired before dispatch; the request never reached a shard",
+            )
+            .to_line();
+        }
 
-        // Validate at the front door; a bad problem never costs a shard.
-        let dag = match dag_spec.build() {
-            Ok(d) => d,
-            Err(e) => {
-                bump(&self.metrics.errors);
-                return Response::error(format!("invalid dag: {e}")).to_line();
+        let (home, key) = match &req {
+            Request::Patch {
+                parent,
+                algorithm,
+                deltas,
+                options,
+            } => {
+                // A patch routes to its *parent's* home shard — the one
+                // whose instance cache can resolve the parent fingerprint.
+                let Some(parent_fp) = parse_parent(parent) else {
+                    bump(&self.metrics.errors);
+                    return Response::error(format!(
+                        "unknown_parent: `{parent}` is not a 16-hex-digit problem fingerprint \
+                         (use the `problem` field of an earlier schedule response)"
+                    ))
+                    .to_line();
+                };
+                (
+                    (parent_fp % self.backends.len() as u64) as usize,
+                    patch_dedup_key(parent_fp, algorithm, deltas, options),
+                )
+            }
+            _ => {
+                let (dag_spec, system_spec, alg_names) = match &req {
+                    Request::Schedule {
+                        dag,
+                        system,
+                        algorithm,
+                        ..
+                    } => (dag, system, std::slice::from_ref(algorithm).to_vec()),
+                    Request::Portfolio {
+                        dag,
+                        system,
+                        algorithms,
+                        ..
+                    } => (dag, system, algorithms.clone()),
+                    _ => unreachable!("patch is handled above"),
+                };
+                // Validate at the front door; a bad problem never costs a
+                // shard.
+                let dag = match dag_spec.build() {
+                    Ok(d) => d,
+                    Err(e) => {
+                        bump(&self.metrics.errors);
+                        return Response::error(format!("invalid dag: {e}")).to_line();
+                    }
+                };
+                let sys = match system_spec.build(&dag) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        bump(&self.metrics.errors);
+                        return Response::error(format!("invalid system: {e}")).to_line();
+                    }
+                };
+                (
+                    (ProblemInstance::content_fingerprint(&dag, &sys) % self.backends.len() as u64)
+                        as usize,
+                    dedup_key(&req, &dag, &sys, &alg_names, options),
+                )
             }
         };
-        let sys = match system_spec.build(&dag) {
-            Ok(s) => s,
-            Err(e) => {
-                bump(&self.metrics.errors);
-                return Response::error(format!("invalid system: {e}")).to_line();
-            }
-        };
-        let home = (ProblemInstance::content_fingerprint(&dag, &sys) % self.backends.len() as u64)
-            as usize;
-        let key = dedup_key(&req, &dag, &sys, &alg_names, options);
 
         match self.singleflight.join(key) {
             Flight::Follower(rx) => {
@@ -391,6 +434,45 @@ fn dedup_key(
     fp.finish()
 }
 
+/// Parse a `patch` parent key: exactly 16 hex digits, as the `problem`
+/// field of a schedule response carries it.
+fn parse_parent(parent: &str) -> Option<u64> {
+    if parent.len() != 16 || !parent.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u64::from_str_radix(parent, 16).ok()
+}
+
+/// Dedup key for `patch` requests: the parent fingerprint, the algorithm,
+/// the deltas' canonical wire form, and the response-shaping options. A
+/// patch never hashes the (DAG, system) content, and the op tag differs
+/// from `dedup_key`'s — so a patch can never coalesce with its parent's
+/// full request, not even when its deltas are a no-op. (Coalescing them
+/// would hand the parent's reply to a client that asked for the patched
+/// problem.)
+fn patch_dedup_key(
+    parent_fp: u64,
+    algorithm: &str,
+    deltas: &[Delta],
+    options: &RequestOptions,
+) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.tag("gateway-op");
+    fp.push_str("patch");
+    fp.push_u64(parent_fp);
+    fp.tag("algorithms");
+    fp.push_u64(1);
+    fp.push_str(algorithm);
+    fp.tag("deltas");
+    fp.push_str(&serde_json::to_string(&deltas).expect("delta serialization is infallible"));
+    fp.tag("options");
+    fp.push_u8(options.simulate as u8);
+    fp.push_u8(options.debug_panic as u8);
+    fp.push_u64(options.debug_sleep_ms.unwrap_or(0));
+    fp.push_u8(options.trace as u8);
+    fp.finish()
+}
+
 /// Re-serialize a request with its deadline rewritten to the time
 /// actually remaining, so the shard enforces the client's clock (minus
 /// gateway queueing) rather than its own default.
@@ -422,6 +504,20 @@ fn forward_line(req: &Request, remaining: Duration) -> String {
                 dag,
                 system,
                 algorithms,
+                options,
+            }
+        }
+        Request::Patch {
+            parent,
+            algorithm,
+            deltas,
+            mut options,
+        } => {
+            options.deadline_ms = Some(remaining_ms);
+            Request::Patch {
+                parent,
+                algorithm,
+                deltas,
                 options,
             }
         }
@@ -532,11 +628,155 @@ mod tests {
         let reply = router.handle_line(line, arrival);
         let v: serde_json::Value = serde_json::from_str(&reply).unwrap();
         assert_eq!(v["status"].as_str(), Some("shed"), "{reply}");
+        assert!(
+            v["message"]
+                .as_str()
+                .unwrap()
+                .contains("expired before dispatch"),
+            "{reply}"
+        );
         assert_eq!(read(&router.metrics().sheds), 1);
         assert_eq!(
             read(&router.metrics().shard_errors),
             0,
             "a shed request must never touch a shard"
         );
+    }
+
+    #[test]
+    fn zero_deadline_is_shed_before_joining_a_flight() {
+        // `deadline_ms: 0` means "already expired at arrival". The shed
+        // must happen before single-flight: the request must not become a
+        // leader (occupying the flight slot) or a follower (waiting out
+        // the follower slack for a reply that cannot arrive in time).
+        let cfg = GatewayConfig {
+            backends: vec!["127.0.0.1:1".to_string()],
+            ..GatewayConfig::default()
+        };
+        let router = Router::new(cfg).unwrap();
+        let line = r#"{"op":"schedule","dag":{"tasks":[{"weight":1.0}],"edges":[]},"system":{"processors":{"kind":"homogeneous","count":1},"network":{"topology":"fully_connected","bandwidth":1.0}},"algorithm":"HEFT","options":{"deadline_ms":0}}"#;
+        for expected_sheds in 1..=2 {
+            let started = Instant::now();
+            let reply = router.handle_line(line, Instant::now());
+            assert!(
+                started.elapsed() < FOLLOWER_SLACK,
+                "a zero-deadline request must be shed immediately, not waited out"
+            );
+            let v: serde_json::Value = serde_json::from_str(&reply).unwrap();
+            assert_eq!(v["status"].as_str(), Some("shed"), "{reply}");
+            assert!(
+                v["message"]
+                    .as_str()
+                    .unwrap()
+                    .contains("expired before dispatch"),
+                "{reply}"
+            );
+            assert_eq!(read(&router.metrics().sheds), expected_sheds);
+        }
+        assert_eq!(
+            router.singleflight.len(),
+            0,
+            "a shed request must never register as a flight leader"
+        );
+        assert_eq!(read(&router.metrics().shard_errors), 0);
+    }
+
+    #[test]
+    fn expired_patch_is_shed_not_errored() {
+        let cfg = GatewayConfig {
+            backends: vec!["127.0.0.1:1".to_string()],
+            ..GatewayConfig::default()
+        };
+        let router = Router::new(cfg).unwrap();
+        let line = r#"{"op":"patch","parent":"0123456789abcdef","algorithm":"HEFT","deltas":[],"options":{"deadline_ms":0}}"#;
+        let reply = router.handle_line(line, Instant::now());
+        let v: serde_json::Value = serde_json::from_str(&reply).unwrap();
+        assert_eq!(v["status"].as_str(), Some("shed"), "{reply}");
+        assert_eq!(read(&router.metrics().sheds), 1);
+    }
+
+    #[test]
+    fn patch_with_malformed_parent_is_answered_at_the_gateway() {
+        let cfg = GatewayConfig {
+            backends: vec!["127.0.0.1:1".to_string()],
+            ..GatewayConfig::default()
+        };
+        let router = Router::new(cfg).unwrap();
+        for parent in ["nope", "abc", "0123456789abcdef0"] {
+            let line =
+                format!(r#"{{"op":"patch","parent":"{parent}","algorithm":"HEFT","deltas":[]}}"#);
+            let reply = router.handle_line(&line, Instant::now());
+            let v: serde_json::Value = serde_json::from_str(&reply).unwrap();
+            assert_eq!(v["status"].as_str(), Some("error"), "{reply}");
+            assert!(
+                v["message"].as_str().unwrap().starts_with("unknown_parent"),
+                "{reply}"
+            );
+        }
+        assert_eq!(
+            read(&router.metrics().shard_errors),
+            0,
+            "malformed parents must never touch a shard"
+        );
+    }
+
+    #[test]
+    fn patch_key_never_coalesces_with_the_parents_schedule_key() {
+        let (dag, sys, req) = small_parts();
+        let base = RequestOptions::default();
+        let parent_fp = ProblemInstance::content_fingerprint(&dag, &sys);
+        let schedule_key = dedup_key(&req, &dag, &sys, &["HEFT".to_string()], &base);
+        // Even a delta-free patch of the same problem under the same
+        // algorithm must be its own flight.
+        let patch_key = patch_dedup_key(parent_fp, "HEFT", &[], &base);
+        assert_ne!(patch_key, schedule_key);
+        // Different deltas split patches from each other; identical
+        // patches coalesce.
+        let d1 = vec![Delta::TaskWeight {
+            task: hetsched_dag::TaskId(0),
+            weight: 2.0,
+        }];
+        let k1 = patch_dedup_key(parent_fp, "HEFT", &d1, &base);
+        assert_ne!(k1, patch_key);
+        assert_eq!(k1, patch_dedup_key(parent_fp, "HEFT", &d1.clone(), &base));
+        // Deadline and jobs still never split flights.
+        let with_deadline = RequestOptions {
+            deadline_ms: Some(10),
+            jobs: Some(8),
+            ..base.clone()
+        };
+        assert_eq!(k1, patch_dedup_key(parent_fp, "HEFT", &d1, &with_deadline));
+    }
+
+    #[test]
+    fn parse_parent_requires_exactly_16_hex_digits() {
+        assert_eq!(parse_parent("0123456789abcdef"), Some(0x0123456789abcdef));
+        assert_eq!(parse_parent("ffffffffffffffff"), Some(u64::MAX));
+        assert_eq!(parse_parent("0123456789abcde"), None, "15 digits");
+        assert_eq!(parse_parent("0123456789abcdef0"), None, "17 digits");
+        assert_eq!(parse_parent("0123456789abcdeg"), None, "not hex");
+        assert_eq!(parse_parent(""), None);
+        assert_eq!(parse_parent("+123456789abcdef"), None, "no sign prefix");
+    }
+
+    #[test]
+    fn forward_line_rewrites_patch_deadline() {
+        let line = r#"{"op":"patch","parent":"0123456789abcdef","algorithm":"HEFT","deltas":[{"kind":"task_weight","task":0,"weight":2.0}],"options":{"jobs":3}}"#;
+        let req = Request::parse(line).unwrap();
+        let out = forward_line(&req, Duration::from_millis(777));
+        let back = Request::parse(&out).unwrap();
+        let Request::Patch {
+            parent,
+            deltas,
+            options,
+            ..
+        } = back
+        else {
+            panic!("op changed");
+        };
+        assert_eq!(parent, "0123456789abcdef");
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(options.deadline_ms, Some(777));
+        assert_eq!(options.jobs, Some(3), "other options must survive");
     }
 }

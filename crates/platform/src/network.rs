@@ -170,6 +170,33 @@ impl Network {
         Network { n, startup, inv_bw }
     }
 
+    /// The network restricted to every processor except `removed`: the
+    /// surviving rows and columns are copied verbatim, so any pair of
+    /// surviving processors keeps exactly its old link costs (what the
+    /// processor-removal delta needs for bit-identical rescheduling).
+    ///
+    /// # Panics
+    /// Panics if `removed` is out of range or this is the last processor.
+    pub fn without_proc(&self, removed: ProcId) -> Self {
+        let r = removed.index();
+        assert!(r < self.n, "processor {r} out of range (n = {})", self.n);
+        assert!(self.n > 1, "cannot remove the last processor");
+        let m = self.n - 1;
+        let mut startup = Vec::with_capacity(m * m);
+        let mut inv_bw = Vec::with_capacity(m * m);
+        for a in (0..self.n).filter(|&a| a != r) {
+            for b in (0..self.n).filter(|&b| b != r) {
+                startup.push(self.startup[a * self.n + b]);
+                inv_bw.push(self.inv_bw[a * self.n + b]);
+            }
+        }
+        Network {
+            n: m,
+            startup,
+            inv_bw,
+        }
+    }
+
     /// Number of processors this network connects.
     #[inline]
     pub fn num_procs(&self) -> usize {
@@ -284,6 +311,24 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn without_proc_keeps_surviving_links_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let net = Network::heterogeneous_random(5, (0.1, 0.9), (1.0, 4.0), &mut rng);
+        let sub = net.without_proc(ProcId(2));
+        assert_eq!(sub.num_procs(), 4);
+        // Surviving processors, in order, map old ids {0, 1, 3, 4} onto
+        // new ids {0, 1, 2, 3}.
+        let old = [0u32, 1, 3, 4];
+        for (np, &op) in old.iter().enumerate() {
+            for (nq, &oq) in old.iter().enumerate() {
+                let a = sub.comm_time(3.5, ProcId(np as u32), ProcId(nq as u32));
+                let b = net.comm_time(3.5, ProcId(op), ProcId(oq));
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
 
     #[test]
     fn link_rows_match_comm_time() {

@@ -167,6 +167,11 @@ pub struct ServiceMetrics {
     pub instance_cache_hits: AtomicU64,
     /// Requests that had to build a fresh `ProblemInstance`.
     pub instance_cache_misses: AtomicU64,
+    /// `patch` requests accepted (parent found, deltas applied).
+    pub patches: AtomicU64,
+    /// Schedules produced by incremental repair rather than from-scratch
+    /// computation (a subset of `computed`).
+    pub repairs: AtomicU64,
     /// End-to-end latency of completed schedule requests.
     pub latency: LatencyHistogram,
     /// Per-algorithm end-to-end latency (keyed by registry name). Kept in
@@ -294,6 +299,16 @@ impl ServiceMetrics {
             "hetsched_instance_cache_misses_total",
             "Requests that built a fresh problem instance.",
             Self::read(&self.instance_cache_misses),
+        );
+        counter(
+            "hetsched_patches_total",
+            "Patch requests accepted (parent found, deltas applied).",
+            Self::read(&self.patches),
+        );
+        counter(
+            "hetsched_repairs_total",
+            "Schedules produced by incremental repair (subset of computed).",
+            Self::read(&self.repairs),
         );
 
         let mut gauge = |name: &str, help: &str, value: u64| {

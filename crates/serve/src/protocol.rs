@@ -90,6 +90,27 @@ pub enum Request {
         #[serde(default)]
         options: RequestOptions,
     },
+    /// Incrementally reschedule a cached problem: apply `deltas` to the
+    /// instance whose content fingerprint is `parent` (the `problem` field
+    /// of an earlier schedule response) and schedule the patched problem.
+    /// The reply is bit-identical to sending the full patched problem as a
+    /// `schedule` request — for the EFT family the service gets there by
+    /// *repairing* the parent's schedule instead of recomputing it. An
+    /// unknown or evicted `parent` answers with an error starting
+    /// `unknown_parent`; re-send the full problem to re-seed the cache.
+    Patch {
+        /// Content fingerprint (16 hex digits) of the parent problem, as
+        /// returned in the `problem` field of a schedule response.
+        parent: String,
+        /// Registry name of the scheduler (`"HEFT"`, `"ILS-D"`, ...).
+        algorithm: String,
+        /// Problem deltas, applied in order (validated against the state
+        /// each predecessor left behind).
+        deltas: Vec<hetsched_core::Delta>,
+        /// Optional request modifiers.
+        #[serde(default)]
+        options: RequestOptions,
+    },
     /// Identify the peer: answers with a `hello` payload naming the
     /// service, its version, and its capacity. The gateway sends this as a
     /// handshake when it opens a shard connection, so a misconfigured
@@ -128,6 +149,10 @@ pub struct ScheduleBody {
     pub speedup: f64,
     /// Content fingerprint of (DAG + system + algorithm + options), hex.
     pub fingerprint: String,
+    /// Content fingerprint of the problem alone (DAG + system), hex —
+    /// the key a later `patch` request names as its `parent`.
+    #[serde(default)]
+    pub problem: String,
     /// Whether this response was served from the memoization cache.
     pub cached: bool,
     /// The schedule itself (per-processor timelines).
@@ -138,6 +163,25 @@ pub struct ScheduleBody {
     /// Scheduler trace, when `options.trace` was set.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub trace: Option<TraceBody>,
+    /// How an incremental repair spent its work, when this schedule was
+    /// computed by the `patch` repair path (absent for from-scratch
+    /// computations). Cache hits replay whatever the stored body recorded.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub repair: Option<RepairBody>,
+}
+
+/// Repair accounting attached to a schedule computed via the `patch` op's
+/// incremental path. The schedule itself is bit-identical to a
+/// from-scratch run either way; this only reports how much work the
+/// service skipped.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RepairBody {
+    /// Leading rank-order placements replayed verbatim from the parent.
+    pub replayed: usize,
+    /// Tasks re-placed by the ordinary EFT loop.
+    pub rescheduled: usize,
+    /// Whether the repair fell back to a full from-scratch run.
+    pub fresh: bool,
 }
 
 /// Scheduler trace attached to a schedule response when `options.trace`
@@ -237,6 +281,13 @@ pub struct StatsBody {
     /// Entries currently in the problem-instance cache.
     #[serde(default)]
     pub instance_cache_entries: usize,
+    /// `patch` requests accepted (parent found, deltas applied).
+    #[serde(default)]
+    pub patches: u64,
+    /// Schedules produced by incremental repair rather than from-scratch
+    /// computation (a subset of `computed`).
+    #[serde(default)]
+    pub repairs: u64,
     /// Worker threads.
     pub workers: usize,
     /// Bounded queue capacity.
@@ -403,6 +454,47 @@ mod tests {
         // And the serialized form parses back to the same op.
         let back = Request::parse(&serde_json::to_string(&req).unwrap()).unwrap();
         assert!(matches!(back, Request::Schedule { .. }));
+    }
+
+    #[test]
+    fn patch_roundtrip() {
+        let req = Request::parse(
+            r#"{"op":"patch","parent":"00000000deadbeef","algorithm":"HEFT",
+                "deltas":[{"kind":"etc_entry","task":1,"proc":0,"time":4.5},
+                          {"kind":"task_weight","task":2,"weight":3.0}]}"#,
+        )
+        .unwrap();
+        match &req {
+            Request::Patch {
+                parent,
+                algorithm,
+                deltas,
+                options,
+            } => {
+                assert_eq!(parent, "00000000deadbeef");
+                assert_eq!(algorithm, "HEFT");
+                assert_eq!(deltas.len(), 2);
+                assert!(matches!(deltas[0], hetsched_core::Delta::EtcEntry { .. }));
+                assert_eq!(*options, RequestOptions::default());
+            }
+            other => panic!("wrong op: {other:?}"),
+        }
+        let back = Request::parse(&serde_json::to_string(&req).unwrap()).unwrap();
+        assert!(matches!(back, Request::Patch { .. }));
+    }
+
+    #[test]
+    fn schedule_body_problem_field_defaults_for_old_peers() {
+        // A pre-patch peer's schedule body (no `problem`, no `repair`)
+        // still deserializes; the patch key just comes back empty.
+        let v = serde_json::json!({
+            "algorithm": "HEFT", "makespan": 1.0, "slr": 1.0, "speedup": 1.0,
+            "fingerprint": "0000000000000001", "cached": false,
+            "schedule": Schedule::new(1, 1),
+        });
+        let body: ScheduleBody = serde_json::from_value(v).unwrap();
+        assert_eq!(body.problem, "");
+        assert!(body.repair.is_none());
     }
 
     #[test]

@@ -30,7 +30,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 
-use hetsched_core::{algorithms, ProblemInstance, Scheduler};
+use hetsched_core::{algorithms, repairable, Delta, ProblemInstance, Scheduler};
 use hetsched_dag::io::DagSpec;
 use hetsched_dag::{Dag, Fingerprint};
 use hetsched_platform::{System, SystemSpec};
@@ -41,7 +41,7 @@ use crate::protocol::{
     HelloBody, PortfolioBody, PortfolioEntryBody, Request, RequestOptions, Response, ScheduleBody,
     StatsBody,
 };
-use crate::worker::{worker_loop, Job};
+use crate::worker::{worker_loop, Job, RepairCtx};
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -213,6 +213,12 @@ impl Service {
                 algorithms,
                 options,
             } => self.handle_portfolio(dag, system, algorithms, options),
+            Request::Patch {
+                parent,
+                algorithm,
+                deltas,
+                options,
+            } => self.handle_patch(&parent, algorithm, &deltas, options),
         }
     }
 
@@ -242,6 +248,8 @@ impl Service {
             instance_cache_hits: ServiceMetrics::read(&m.instance_cache_hits),
             instance_cache_misses: ServiceMetrics::read(&m.instance_cache_misses),
             instance_cache_entries: self.shared.instances.lock().len(),
+            patches: ServiceMetrics::read(&m.patches),
+            repairs: ServiceMetrics::read(&m.repairs),
             workers: self.shared.config.workers,
             queue_capacity: self.shared.config.queue_capacity,
             latency_samples: m.latency.count(),
@@ -361,6 +369,7 @@ impl Service {
         alg: Box<dyn Scheduler + Send + Sync>,
         options: &RequestOptions,
         block_until: Option<Instant>,
+        repair: Option<RepairCtx>,
     ) -> Result<MemberState, Response> {
         let m = &self.shared.metrics;
         ServiceMetrics::bump(&m.requests);
@@ -379,6 +388,7 @@ impl Service {
                 alg,
                 options: options.clone(),
                 fingerprint: fp,
+                repair,
                 reply: reply_tx,
             },
             block_until,
@@ -412,15 +422,118 @@ impl Service {
         };
 
         let inst = self.instance_for(dag, sys);
-        let reply_rx = match self.memo_or_submit(&inst, &algorithm, alg, &options, None) {
-            Ok(MemberState::Cached(body)) => {
+        let state = match self.memo_or_submit(&inst, &algorithm, alg, &options, None, None) {
+            Ok(state) => state,
+            Err(resp) => return resp,
+        };
+        self.finish_single(started, &algorithm, &options, state)
+    }
+
+    /// Incrementally reschedule a cached problem: resolve `parent` through
+    /// the instance cache, apply the deltas, and answer exactly what a
+    /// `schedule` request for the patched problem would answer. For the
+    /// EFT family the worker gets a [`RepairCtx`] so it can replay the
+    /// parent's unaffected placements instead of recomputing them — the
+    /// response is bit-identical either way (the core repair contract).
+    fn handle_patch(
+        &self,
+        parent: &str,
+        algorithm: String,
+        deltas: &[Delta],
+        options: RequestOptions,
+    ) -> Response {
+        let started = Instant::now();
+        let m = &self.shared.metrics;
+        if self.is_shutting_down() {
+            return Response::ShuttingDown;
+        }
+
+        let parent_key = match u64::from_str_radix(parent, 16) {
+            Ok(k) if parent.len() == 16 => k,
+            _ => {
+                ServiceMetrics::bump(&m.errors);
+                return Response::error(format!(
+                    "unknown_parent: `{parent}` is not a 16-hex-digit problem fingerprint \
+                     (use the `problem` field of an earlier schedule response)"
+                ));
+            }
+        };
+        let Some(parent_inst) = self.shared.instances.lock().get(parent_key).cloned() else {
+            ServiceMetrics::bump(&m.errors);
+            return Response::error(format!(
+                "unknown_parent: no cached problem with fingerprint {parent} (never seen or \
+                 evicted); re-send the full problem as a `schedule` request to re-seed the cache"
+            ));
+        };
+        let Some(alg) = algorithms::by_name(&algorithm) else {
+            ServiceMetrics::bump(&m.errors);
+            return Response::error(format!(
+                "unknown algorithm `{algorithm}` (known: {})",
+                algorithms::known_names().join(", ")
+            ));
+        };
+
+        let (inst, dirty) = match parent_inst.apply_deltas(deltas) {
+            Ok(patched) => (Arc::new(patched.instance.into_owned()), patched.dirty),
+            Err(e) => {
+                ServiceMetrics::bump(&m.errors);
+                return Response::error(format!("invalid delta: {e}"));
+            }
+        };
+        ServiceMetrics::bump(&m.patches);
+        // Register the patched problem under its own content fingerprint
+        // so follow-up patches can chain off this one, exactly like a full
+        // request for the patched problem would have.
+        self.shared
+            .instances
+            .lock()
+            .insert(inst.fingerprint(), inst.clone());
+
+        // Repair wants the parent's schedule under the same algorithm and
+        // options; when it is no longer memoized (or the algorithm is not
+        // repair-capable) the worker simply computes from scratch. Traced
+        // requests also compute fresh: a replayed prefix would truncate
+        // the decision log the client asked for.
+        let repair = repairable(&algorithm)
+            .filter(|_| !options.trace)
+            .and_then(|heft| {
+                let parent_fp =
+                    request_fingerprint(parent_inst.dag(), parent_inst.sys(), &algorithm, &options);
+                let parent_body = self.shared.cache.lock().get(parent_fp).cloned()?;
+                Some(RepairCtx {
+                    heft,
+                    dirty,
+                    parent_inst: parent_inst.clone(),
+                    parent_sched: parent_body.schedule,
+                })
+            });
+
+        let state = match self.memo_or_submit(&inst, &algorithm, alg, &options, None, repair) {
+            Ok(state) => state,
+            Err(resp) => return resp,
+        };
+        self.finish_single(started, &algorithm, &options, state)
+    }
+
+    /// Single-request tail shared by `schedule` and `patch`: answer a memo
+    /// hit immediately, otherwise wait for the worker under the request
+    /// deadline.
+    fn finish_single(
+        &self,
+        started: Instant,
+        algorithm: &str,
+        options: &RequestOptions,
+        state: MemberState,
+    ) -> Response {
+        let m = &self.shared.metrics;
+        let reply_rx = match state {
+            MemberState::Cached(body) => {
                 let elapsed = started.elapsed();
                 m.latency.record(elapsed);
-                m.record_algorithm(&algorithm, elapsed);
+                m.record_algorithm(algorithm, elapsed);
                 return Response::schedule(*body);
             }
-            Ok(MemberState::Pending(rx)) => rx,
-            Err(resp) => return resp,
+            MemberState::Pending(rx) => rx,
         };
 
         let deadline = Duration::from_millis(
@@ -434,7 +547,7 @@ impl Service {
                 if matches!(resp, Response::Ok { .. }) {
                     let elapsed = started.elapsed();
                     m.latency.record(elapsed);
-                    m.record_algorithm(&algorithm, elapsed);
+                    m.record_algorithm(algorithm, elapsed);
                 }
                 resp
             }
@@ -509,7 +622,7 @@ impl Service {
         // the queue capacity — workers drain it while we wait.
         let mut states = Vec::with_capacity(members.len());
         for (name, alg) in names.iter().zip(members) {
-            match self.memo_or_submit(&inst, name, alg, &options, Some(deadline_at)) {
+            match self.memo_or_submit(&inst, name, alg, &options, Some(deadline_at), None) {
                 Ok(state) => states.push(state),
                 Err(resp) => return resp,
             }
@@ -789,6 +902,197 @@ mod tests {
             );
         }
         assert_eq!(svc.stats_body().errors, 3);
+        svc.shutdown();
+    }
+
+    fn patch_request(parent: &str, algorithm: &str, deltas: &str, options: &str) -> String {
+        format!(
+            "{{\"op\":\"patch\",\"parent\":\"{parent}\",\"algorithm\":\"{algorithm}\",\
+             \"deltas\":{deltas},\"options\":{options}}}"
+        )
+    }
+
+    fn schedule_body(resp: &Response) -> &ScheduleBody {
+        let Response::Ok {
+            schedule: Some(body),
+            ..
+        } = resp
+        else {
+            panic!("expected a schedule response, got {resp:?}");
+        };
+        body
+    }
+
+    #[test]
+    fn patch_repairs_and_aliases_the_equivalent_fresh_request() {
+        let svc = Service::start(test_config());
+        let parent_body = {
+            let resp = svc.handle_line(&small_request(5, "HEFT", "{}"));
+            schedule_body(&resp).clone()
+        };
+        assert_eq!(parent_body.problem.len(), 16, "problem key is 16 hex");
+
+        // An edge-data delta: only edge (0, 4) grows, so it has an exact
+        // full-request equivalent (a `task_weight` delta would not — the
+        // homogeneous system spec derives ETC from weights, while the
+        // delta deliberately leaves the ETC alone).
+        let deltas = r#"[{"kind":"edge_data","src":0,"dst":4,"data":7.5}]"#;
+        let resp = svc.handle_line(&patch_request(&parent_body.problem, "HEFT", deltas, "{}"));
+        let body = schedule_body(&resp).clone();
+        assert!(!body.cached, "a patch is never the parent's reply");
+        assert_ne!(body.problem, parent_body.problem);
+        assert_ne!(body.fingerprint, parent_body.fingerprint);
+        let repair = body
+            .repair
+            .as_ref()
+            .expect("HEFT patch takes the repair path");
+        assert!(!repair.fresh);
+        assert_eq!(repair.replayed + repair.rescheduled, 5);
+
+        // The equivalent full request on a *fresh* service computes from
+        // scratch; the repaired schedule must match it bit for bit.
+        let full = "{\"op\":\"schedule\",\"dag\":{\"tasks\":[{\"weight\":1},{\"weight\":2},\
+             {\"weight\":3},{\"weight\":4},{\"weight\":5}],\"edges\":[\
+             {\"src\":0,\"dst\":1,\"data\":2.0},{\"src\":0,\"dst\":2,\"data\":2.0},\
+             {\"src\":0,\"dst\":3,\"data\":2.0},{\"src\":0,\"dst\":4,\"data\":7.5}]},\
+             \"system\":{\"processors\":{\"kind\":\"homogeneous\",\"count\":3},\
+             \"network\":{\"topology\":\"fully_connected\",\"bandwidth\":1.0}},\
+             \"algorithm\":\"HEFT\",\"options\":{}}";
+        let other = Service::start(test_config());
+        let fresh = schedule_body(&other.handle_line(full)).clone();
+        assert_eq!(fresh.fingerprint, body.fingerprint, "same request key");
+        assert_eq!(fresh.problem, body.problem, "same problem key");
+        assert_eq!(
+            serde_json::to_string(&fresh.schedule).unwrap(),
+            serde_json::to_string(&body.schedule).unwrap(),
+            "repair must be bit-identical to from-scratch"
+        );
+        other.shutdown();
+
+        // And on the original service the patch reply memoized under the
+        // patched problem's request key, so the full request aliases it.
+        let aliased = schedule_body(&svc.handle_line(full)).clone();
+        assert!(aliased.cached);
+        assert_eq!(aliased.fingerprint, body.fingerprint);
+
+        let stats = svc.stats_body();
+        assert_eq!(stats.patches, 1);
+        assert_eq!(stats.repairs, 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn patch_never_coalesces_with_its_parent_and_chains() {
+        let svc = Service::start(test_config());
+        let parent = {
+            let resp = svc.handle_line(&small_request(4, "HEFT", "{}"));
+            schedule_body(&resp).clone()
+        };
+        // An ETC delta slows task 1 on proc 0: a genuinely different
+        // problem whose reply must be computed, not pulled from the
+        // parent's memo slot.
+        let deltas = r#"[{"kind":"etc_entry","task":1,"proc":0,"time":50.0}]"#;
+        let resp = svc.handle_line(&patch_request(&parent.problem, "HEFT", deltas, "{}"));
+        let child = schedule_body(&resp).clone();
+        assert!(!child.cached);
+        assert_ne!(child.problem, parent.problem);
+        assert_ne!(child.fingerprint, parent.fingerprint);
+
+        // The patched problem registered under its own key: chain off it.
+        let deltas2 = r#"[{"kind":"edge_data","src":0,"dst":2,"data":7.5}]"#;
+        let resp = svc.handle_line(&patch_request(&child.problem, "HEFT", deltas2, "{}"));
+        let grand = schedule_body(&resp).clone();
+        assert_ne!(grand.problem, child.problem);
+        assert_eq!(svc.stats_body().patches, 2);
+
+        // Re-sending the same patch line hits the reply memo.
+        let resp = svc.handle_line(&patch_request(&parent.problem, "HEFT", deltas, "{}"));
+        assert!(schedule_body(&resp).cached);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn patch_without_a_memoized_parent_schedule_still_answers() {
+        // The instance cache knows the parent but the reply memo does not
+        // (different algorithm): no repair context, plain computation.
+        let svc = Service::start(test_config());
+        let parent = {
+            let resp = svc.handle_line(&small_request(4, "CPOP", "{}"));
+            schedule_body(&resp).clone()
+        };
+        let deltas = r#"[{"kind":"etc_entry","task":2,"proc":1,"time":30.0}]"#;
+        // HEFT is repair-capable, but no HEFT parent schedule is cached.
+        let resp = svc.handle_line(&patch_request(&parent.problem, "HEFT", deltas, "{}"));
+        let body = schedule_body(&resp).clone();
+        assert!(body.repair.is_none(), "no parent schedule, no repair");
+        // CPOP is not repair-capable: patch works, computing from scratch.
+        let resp = svc.handle_line(&patch_request(&parent.problem, "CPOP", deltas, "{}"));
+        assert!(schedule_body(&resp).repair.is_none());
+        assert_eq!(svc.stats_body().repairs, 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn patch_unknown_parent_is_an_error_and_daemon_survives() {
+        let svc = Service::start(test_config());
+        for parent in ["0123456789abcdef", "not-hex", "abc"] {
+            let resp = svc.handle_line(&patch_request(
+                parent,
+                "HEFT",
+                r#"[{"kind":"task_weight","task":0,"weight":2.0}]"#,
+                "{}",
+            ));
+            let Response::Error { message } = &resp else {
+                panic!("expected error for parent `{parent}`, got {resp:?}");
+            };
+            assert!(
+                message.starts_with("unknown_parent"),
+                "parent `{parent}`: {message}"
+            );
+        }
+        // Invalid deltas against a known parent are errors too.
+        let parent = {
+            let resp = svc.handle_line(&small_request(3, "HEFT", "{}"));
+            schedule_body(&resp).clone()
+        };
+        let resp = svc.handle_line(&patch_request(
+            &parent.problem,
+            "HEFT",
+            r#"[{"kind":"task_weight","task":99,"weight":2.0}]"#,
+            "{}",
+        ));
+        let Response::Error { message } = &resp else {
+            panic!("expected error, got {resp:?}");
+        };
+        assert!(message.starts_with("invalid delta"), "{message}");
+        // The daemon keeps serving.
+        let ok = svc.handle_line(&small_request(3, "HEFT", "{}"));
+        assert!(schedule_body(&ok).cached);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn evicted_parent_is_unknown() {
+        // instance_cache_capacity is 4: five distinct problems evict the
+        // first, after which a patch naming it must answer unknown_parent.
+        let svc = Service::start(test_config());
+        let parent = {
+            let resp = svc.handle_line(&small_request(3, "HEFT", "{}"));
+            schedule_body(&resp).clone()
+        };
+        for n in 4..8 {
+            svc.handle_line(&small_request(n, "HEFT", "{}"));
+        }
+        let resp = svc.handle_line(&patch_request(
+            &parent.problem,
+            "HEFT",
+            r#"[{"kind":"task_weight","task":0,"weight":2.0}]"#,
+            "{}",
+        ));
+        let Response::Error { message } = &resp else {
+            panic!("expected error, got {resp:?}");
+        };
+        assert!(message.starts_with("unknown_parent"), "{message}");
         svc.shutdown();
     }
 

@@ -18,8 +18,27 @@ use hetsched_metrics::{slr, speedup};
 use hetsched_sim::{simulate, SimConfig};
 
 use crate::metrics::ServiceMetrics;
-use crate::protocol::{RequestOptions, Response, ScheduleBody, SimBody, TraceBody};
+use crate::protocol::{RepairBody, RequestOptions, Response, ScheduleBody, SimBody, TraceBody};
 use crate::service::Shared;
+
+/// Everything a worker needs to *repair* the parent's schedule instead of
+/// computing from scratch: the patch path attaches this when the algorithm
+/// is repair-capable and the parent's schedule is still memoized. The
+/// produced schedule is bit-identical either way (the [`Heft::repair`]
+/// contract), so repair needs no cache-key treatment.
+///
+/// [`Heft::repair`]: hetsched_core::algorithms::Heft::repair
+pub(crate) struct RepairCtx {
+    /// The repair-capable scheduler, configured exactly as the registry
+    /// entry the request named.
+    pub(crate) heft: hetsched_core::algorithms::Heft,
+    /// Dirty-region report from applying the deltas.
+    pub(crate) dirty: hetsched_core::DirtyInfo,
+    /// The instance the deltas were applied to.
+    pub(crate) parent_inst: Arc<ProblemInstance<'static>>,
+    /// The parent's memoized schedule under the same algorithm + options.
+    pub(crate) parent_sched: hetsched_core::Schedule,
+}
 
 /// One queued scheduling job. The instance is shared: concurrent jobs on
 /// the same (DAG, system) pair — portfolio members especially — hold the
@@ -30,6 +49,7 @@ pub(crate) struct Job {
     pub(crate) alg: Box<dyn Scheduler + Send + Sync>,
     pub(crate) options: RequestOptions,
     pub(crate) fingerprint: u64,
+    pub(crate) repair: Option<RepairCtx>,
     pub(crate) reply: Sender<Response>,
 }
 
@@ -81,18 +101,35 @@ fn compute(job: Job, shared: &Shared) -> Response {
                     phases: trace.phases,
                     events: trace.events,
                 }),
+                None,
+            )
+        } else if let Some(ctx) = &job.repair {
+            let (sched, stats) =
+                ctx.heft
+                    .repair(&job.inst, &ctx.dirty, &ctx.parent_inst, &ctx.parent_sched);
+            (
+                sched,
+                None,
+                Some(RepairBody {
+                    replayed: stats.replayed,
+                    rescheduled: stats.rescheduled,
+                    fresh: stats.fresh,
+                }),
             )
         } else {
-            (job.alg.schedule_instance(&job.inst), None)
+            (job.alg.schedule_instance(&job.inst), None, None)
         }
     };
     // Per-request search parallelism, capped by the pool size so one
     // request cannot oversubscribe the host. Schedules are bit-identical
     // at any thread count, so this needs no cache-key treatment.
-    let (sched, trace) = match job.options.jobs {
+    let (sched, trace, repair) = match job.options.jobs {
         Some(j) => hetsched_core::par::with_jobs(j.clamp(1, shared.config.workers), run),
         None => run(),
     };
+    if repair.as_ref().is_some_and(|r| !r.fresh) {
+        ServiceMetrics::bump(&shared.metrics.repairs);
+    }
     if let Err(e) = validate(dag, sys, &sched) {
         ServiceMetrics::bump(&shared.metrics.errors);
         return Response::error(format!(
@@ -115,10 +152,12 @@ fn compute(job: Job, shared: &Shared) -> Response {
         slr: slr(dag, sys, makespan),
         speedup: speedup(dag, sys, makespan),
         fingerprint: format!("{:016x}", job.fingerprint),
+        problem: format!("{:016x}", job.inst.fingerprint()),
         cached: false,
         schedule: sched,
         sim,
         trace,
+        repair,
     };
     shared.cache.lock().insert(job.fingerprint, body.clone());
     ServiceMetrics::bump(&shared.metrics.computed);

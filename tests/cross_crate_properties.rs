@@ -285,6 +285,94 @@ proptest! {
         }
     }
 
+    /// Repair bit-identity: applying a random delta sequence and repairing
+    /// the parent schedule yields exactly the bits of a from-scratch run
+    /// on the patched problem, for every repair-capable algorithm at
+    /// jobs = 1 and jobs = 4.
+    #[test]
+    fn repair_is_bit_identical_to_from_scratch(
+        n in 4usize..40,
+        ccr in 0.0f64..6.0,
+        procs in 2usize..6,
+        seed in 0u64..100_000,
+        raw in proptest::collection::vec(
+            (0u8..6, 0u64..u64::MAX, 0u64..u64::MAX, 0.0f64..10.0),
+            1..=8,
+        ),
+    ) {
+        use hetsched::core::par::with_jobs;
+        use hetsched::core::repairable;
+        use hetsched::core::{Delta, ProblemInstance};
+        use hetsched::core::Scheduler as _;
+
+        let (dag, sys) = instance(n, ccr, procs, 1.0, seed);
+        let parent = ProblemInstance::new(dag, sys);
+
+        // Resolve each raw seed into a delta valid against the problem as
+        // patched so far, so the whole sequence applies cleanly in order.
+        let mut cur = ProblemInstance::new(parent.dag().clone(), parent.sys().clone());
+        let mut deltas: Vec<Delta> = Vec::new();
+        for (kind, a, b, val) in raw {
+            let nt = cur.dag().num_tasks();
+            let np = cur.sys().num_procs();
+            let ne = cur.dag().num_edges();
+            let task = TaskId((a % nt as u64) as u32);
+            let delta = match kind {
+                2 if ne > 0 => {
+                    let e = cur.dag().edges()[(a % ne as u64) as usize];
+                    Delta::EdgeData { src: e.src, dst: e.dst, data: val }
+                }
+                1 => Delta::EtcEntry {
+                    task,
+                    proc: ProcId((b % np as u64) as u32),
+                    time: 0.1 + val,
+                },
+                3 => Delta::AddTask {
+                    weight: 1.0 + val,
+                    exec: (0..np).map(|p| 0.5 + ((a as usize + p) % 5) as f64).collect(),
+                    // predecessor edges only, so the graph stays acyclic
+                    preds: vec![(task, val)],
+                    succs: vec![],
+                },
+                4 if nt > 2 => Delta::RemoveTask { task },
+                5 if np > 1 => Delta::RemoveProc { proc: ProcId((b % np as u64) as u32) },
+                _ => Delta::TaskWeight { task, weight: 0.1 + val },
+            };
+            cur = cur
+                .apply_deltas(std::slice::from_ref(&delta))
+                .expect("resolved delta must apply")
+                .instance
+                .into_owned();
+            deltas.push(delta);
+        }
+
+        for name in ["HEFT", "HEFT-NI"] {
+            let alg = repairable(name).expect("registered as repair-capable");
+            for jobs in [1usize, 4] {
+                let parent_sched = with_jobs(jobs, || alg.schedule_instance(&parent));
+                let patched = parent.apply_deltas(&deltas).expect("sequence applies");
+                let (repaired, stats) =
+                    with_jobs(jobs, || {
+                        alg.repair(&patched.instance, &patched.dirty, &parent, &parent_sched)
+                    });
+                let fresh = with_jobs(jobs, || alg.schedule_instance(&patched.instance));
+                prop_assert_eq!(
+                    slot_digest(&repaired),
+                    slot_digest(&fresh),
+                    "{} at jobs={} diverged from from-scratch after {:?}",
+                    name, jobs, deltas
+                );
+                prop_assert_eq!(
+                    validate(patched.instance.dag(), patched.instance.sys(), &repaired),
+                    Ok(()),
+                    "{} repair produced an invalid schedule", name
+                );
+                prop_assert_eq!(stats.replayed + stats.rescheduled,
+                    patched.instance.dag().num_tasks());
+            }
+        }
+    }
+
     /// Adding processors never makes the *best achievable* HEFT makespan
     /// worse by more than noise: schedule on p and 2p homogeneous
     /// processors and require the bigger machine to be no slower than 1.02x

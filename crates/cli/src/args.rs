@@ -14,7 +14,9 @@ pub struct Flags {
 }
 
 /// Known boolean switches (flags that take no value).
-const SWITCHES: &[&str] = &["quiet", "help", "stdin", "simulate", "trace"];
+const SWITCHES: &[&str] = &[
+    "quiet", "help", "stdin", "simulate", "trace", "timing", "service",
+];
 
 impl Flags {
     /// Parse `args` (without the program/command names).

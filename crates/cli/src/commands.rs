@@ -275,7 +275,13 @@ pub fn portfolio(flags: &Flags) -> Result<String, CliError> {
 /// NDJSON event log, or a Chrome-trace JSON loadable in Perfetto /
 /// `chrome://tracing`.
 pub fn explain(flags: &Flags) -> Result<String, CliError> {
-    check_allowed(flags, &["dag", "system", "alg", "format", "out", "jobs"])?;
+    check_allowed(
+        flags,
+        &["dag", "system", "alg", "format", "out", "jobs", "addr"],
+    )?;
+    if flags.has("service") {
+        return explain_service(flags);
+    }
     let dag = load_dag(flags.require("dag")?)?;
     let sys = load_system(flags.require("system")?, &dag)?;
     let alg_name = flags.require("alg")?;
@@ -318,6 +324,77 @@ pub fn explain(flags: &Flags) -> Result<String, CliError> {
     } else {
         Ok(payload)
     }
+}
+
+/// `explain --service` — drain the span journals of a running deployment
+/// (gateway and, when one is fronting shards, every shard behind it) and
+/// merge them into one Chrome-trace timeline.
+fn explain_service(flags: &Flags) -> Result<String, CliError> {
+    let addr = flags.require("addr")?;
+    let stats_reply = send_line(addr, r#"{"op":"stats"}"#)?;
+    let stats: serde_json::Value = serde_json::from_str(stats_reply.trim_end())?;
+    // A gateway's stats carry its shard roster; a plain shard's do not —
+    // then the target itself is the only journal to drain.
+    let shard_addrs: Vec<String> = stats["gateway"]["shards"]
+        .as_array()
+        .map(|snaps| {
+            snaps
+                .iter()
+                .filter_map(|s| s["addr"].as_str().map(String::from))
+                .collect()
+        })
+        .unwrap_or_default();
+    let (gateway_spans, shard_journals) = if shard_addrs.is_empty() {
+        (Vec::new(), vec![(addr.to_string(), drain_journal(addr)?)])
+    } else {
+        let mut shards = Vec::with_capacity(shard_addrs.len());
+        for shard in &shard_addrs {
+            // A down shard must not sink the whole timeline; its spans
+            // are simply absent.
+            let spans = drain_journal(shard).unwrap_or_default();
+            shards.push((shard.clone(), spans));
+        }
+        (drain_journal(addr)?, shards)
+    };
+    let total: usize =
+        gateway_spans.len() + shard_journals.iter().map(|(_, s)| s.len()).sum::<usize>();
+    let payload = hetsched_serve::merge_chrome_trace(&gateway_spans, &shard_journals);
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, &payload)?;
+        Ok(format!(
+            "wrote merged service timeline ({total} spans, {} journals) to {path}\n",
+            1 + shard_journals.len(),
+        ))
+    } else {
+        Ok(payload)
+    }
+}
+
+/// Send one `journal` op and return the drained spans.
+fn drain_journal(addr: &str) -> Result<Vec<hetsched_serve::SpanRecord>, CliError> {
+    let reply = send_line(addr, r#"{"op":"journal"}"#)?;
+    let v: serde_json::Value = serde_json::from_str(reply.trim_end())?;
+    if v["status"].as_str() != Some("ok") {
+        return Err(CliError(format!("{addr} refused the journal op: {reply}")));
+    }
+    Ok(serde_json::from_value(v["journal"]["spans"].clone())?)
+}
+
+/// One NDJSON round trip: connect, send `line`, read the reply line.
+fn send_line(addr: &str, line: &str) -> Result<String, CliError> {
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| CliError(format!("connecting to {addr}: {e}")))?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply)?;
+    if reply.is_empty() {
+        return Err(CliError(format!("{addr} closed the connection")));
+    }
+    Ok(reply)
 }
 
 /// Human-readable `explain` report: run header, phase timings, engine
@@ -693,6 +770,7 @@ pub fn request(flags: &Flags) -> Result<String, CliError> {
             "deltas",
             "deadline-ms",
             "jobs",
+            "trace-id",
         ],
     )?;
     let addr = flags.require("addr")?;
@@ -701,6 +779,7 @@ pub fn request(flags: &Flags) -> Result<String, CliError> {
         "hello" => r#"{"op":"hello"}"#.to_string(),
         "stats" => r#"{"op":"stats"}"#.to_string(),
         "metrics" => r#"{"op":"metrics"}"#.to_string(),
+        "journal" => r#"{"op":"journal"}"#.to_string(),
         "shutdown" => r#"{"op":"shutdown"}"#.to_string(),
         "schedule" => {
             let read_json = |path: &str| -> Result<serde_json::Value, CliError> {
@@ -728,6 +807,9 @@ pub fn request(flags: &Flags) -> Result<String, CliError> {
                     .parse()
                     .map_err(|e| CliError(format!("--jobs: invalid value `{j}` ({e})")))?;
                 options.insert("jobs", serde_json::to_value(j)?);
+            }
+            if let Some(ctx) = trace_ctx_option(flags) {
+                options.insert("trace_ctx", ctx);
             }
             let mut req = serde_json::Map::new();
             req.insert("op", serde_json::Value::String("schedule".into()));
@@ -772,6 +854,9 @@ pub fn request(flags: &Flags) -> Result<String, CliError> {
                     .map_err(|e| CliError(format!("--jobs: invalid value `{j}` ({e})")))?;
                 options.insert("jobs", serde_json::to_value(j)?);
             }
+            if let Some(ctx) = trace_ctx_option(flags) {
+                options.insert("trace_ctx", ctx);
+            }
             let mut req = serde_json::Map::new();
             req.insert("op", serde_json::Value::String("portfolio".into()));
             req.insert("dag", dag);
@@ -813,6 +898,9 @@ pub fn request(flags: &Flags) -> Result<String, CliError> {
                     .map_err(|e| CliError(format!("--jobs: invalid value `{j}` ({e})")))?;
                 options.insert("jobs", serde_json::to_value(j)?);
             }
+            if let Some(ctx) = trace_ctx_option(flags) {
+                options.insert("trace_ctx", ctx);
+            }
             let mut req = serde_json::Map::new();
             req.insert("op", serde_json::Value::String("patch".into()));
             req.insert(
@@ -830,24 +918,13 @@ pub fn request(flags: &Flags) -> Result<String, CliError> {
         other => {
             let msg = format!(
                 "unknown --op `{other}` (schedule, portfolio, patch, hello, stats, metrics, \
-                 shutdown)"
+                 journal, shutdown)"
             );
             return Err(CliError(msg));
         }
     };
 
-    use std::io::{BufRead, BufReader, Write};
-    let stream = std::net::TcpStream::connect(addr)
-        .map_err(|e| CliError(format!("connecting to {addr}: {e}")))?;
-    let mut writer = stream.try_clone()?;
-    writer.write_all(line.as_bytes())?;
-    writer.write_all(b"\n")?;
-    writer.flush()?;
-    let mut reply = String::new();
-    BufReader::new(stream).read_line(&mut reply)?;
-    if reply.is_empty() {
-        return Err(CliError(format!("{addr} closed the connection")));
-    }
+    let reply = send_line(addr, &line)?;
     // The `metrics` op answers Prometheus text wrapped in the JSON
     // envelope; unwrap it so the output scrapes directly.
     if op == "metrics" {
@@ -856,7 +933,112 @@ pub fn request(flags: &Flags) -> Result<String, CliError> {
             return Ok(text.to_string());
         }
     }
+    // Gateway `stats` answers a fleet snapshot; render it as a compact
+    // table (shard stats keep the raw JSON, scripts depend on it).
+    if op == "stats" {
+        let v: serde_json::Value = serde_json::from_str(reply.trim_end())?;
+        if let Some(table) = gateway_stats_table(&v) {
+            return Ok(table);
+        }
+    }
     Ok(format!("{}\n", reply.trim_end()))
+}
+
+/// Render a gateway `stats` reply as an aligned per-shard table, or
+/// `None` when the reply did not come from a gateway.
+fn gateway_stats_table(v: &serde_json::Value) -> Option<String> {
+    use std::fmt::Write as _;
+    let gw = v.get("gateway")?.as_object()?;
+    let snaps = gw.get("shards")?.as_array()?;
+    let count = |key: &str| gw.get(key).and_then(serde_json::Value::as_u64).unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "gateway: requests {}  forwarded {}  dedup_hits {}  sheds {}  timeouts {}  \
+         reroutes {}  shard_errors {}  errors {}  p50 {:.0}us  p99 {:.0}us",
+        count("requests"),
+        count("forwarded"),
+        count("dedup_hits"),
+        count("sheds"),
+        count("timeouts"),
+        count("reroutes"),
+        count("shard_errors"),
+        count("errors"),
+        gw.get("latency_p50_us")
+            .and_then(serde_json::Value::as_f64)
+            .unwrap_or(0.0),
+        gw.get("latency_p99_us")
+            .and_then(serde_json::Value::as_f64)
+            .unwrap_or(0.0),
+    );
+    let _ = writeln!(
+        out,
+        "{:<21} {:>2} {:>8} {:>8} {:>8} {:>9} {:>5} {:>6} {:>7} {:>10} {:>11}",
+        "shard",
+        "up",
+        "inflight",
+        "requests",
+        "computed",
+        "memo_hits",
+        "busy",
+        "errors",
+        "panics",
+        "qwait_p99",
+        "compute_p99"
+    );
+    let bodies = v.get("shards").and_then(serde_json::Value::as_array);
+    for (i, snap) in snaps.iter().enumerate() {
+        // The live per-shard stats body; `null` when the fan-out could
+        // not reach the shard.
+        let body = bodies.and_then(|b| b.get(i)).cloned().unwrap_or_default();
+        let b = |key: &str| {
+            body.get(key)
+                .and_then(serde_json::Value::as_u64)
+                .unwrap_or(0)
+        };
+        let us = |key: &str| {
+            body.get(key)
+                .and_then(serde_json::Value::as_f64)
+                .unwrap_or(0.0)
+        };
+        let _ = writeln!(
+            out,
+            "{:<21} {:>2} {:>8} {:>8} {:>8} {:>9} {:>5} {:>6} {:>7} {:>9.0}u {:>10.0}u",
+            snap["addr"].as_str().unwrap_or("?"),
+            snap["up"].as_bool().map(u64::from).unwrap_or(0),
+            snap["inflight"].as_u64().unwrap_or(0),
+            b("requests"),
+            b("computed"),
+            b("cache_hits"),
+            b("busy_rejections"),
+            b("errors"),
+            b("connection_panics"),
+            us("qwait_p99_us"),
+            us("compute_p99_us"),
+        );
+    }
+    Some(out)
+}
+
+/// The `trace_ctx` request option for `--timing`/`--trace-id`: requests
+/// carrying it get the per-tier timing block and their spans journaled.
+/// The id is the caller's `--trace-id` if given, else derived from the
+/// wall clock.
+fn trace_ctx_option(flags: &Flags) -> Option<serde_json::Value> {
+    if !flags.has("timing") && flags.get("trace-id").is_none() {
+        return None;
+    }
+    let id = match flags.get("trace-id") {
+        Some(id) if !id.is_empty() => id.to_string(),
+        _ => {
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0);
+            format!("{:016x}", (nanos as u64) ^ ((nanos >> 64) as u64))
+        }
+    };
+    Some(serde_json::json!({ "trace_id": id }))
 }
 
 /// `algorithms` — list registry names.

@@ -78,6 +78,9 @@ commands:
               phase timings
               --dag FILE --system FILE --alg NAME
               [--format summary|ndjson|chrome-trace] [--out FILE] [--jobs N]
+              --service --addr HOST:PORT [--out FILE]  (drain the span
+               journals of a running gateway + its shards — or one plain
+               shard — and merge them into one Chrome-trace timeline)
   validate    check a schedule against DAG + system
               --dag FILE --system FILE --schedule FILE
   simulate    replay a schedule in the discrete-event simulator
@@ -99,15 +102,21 @@ commands:
               [--deadline-ms MS] [--connect-timeout-ms MS]
   request     send one request to a running daemon and print the reply
               --addr HOST:PORT
-              [--op schedule|portfolio|patch|hello|stats|metrics|shutdown]
+              [--op schedule|portfolio|patch|hello|stats|metrics|journal|
+               shutdown]
               [--dag FILE --system FILE --alg NAME] [--algs A,B,C]
               [--parent HEX16 --deltas FILE|JSON]
               [--simulate] [--trace] [--deadline-ms MS] [--jobs N]
+              [--timing] [--trace-id HEX16]
               (--op metrics prints the Prometheus text unwrapped;
+               --op stats against a gateway prints an aligned per-shard
+               table; --op journal drains the target's span journal;
                --op portfolio fans --algs out across the worker pool;
                --op patch reschedules a cached problem incrementally —
                --parent is the `problem` field of an earlier reply,
-               --deltas a JSON array of problem deltas)
+               --deltas a JSON array of problem deltas;
+               --timing attaches a trace context so the reply carries a
+               per-tier timing block, --trace-id pins the trace id)
   algorithms  list scheduler names usable with --alg
 
 --jobs N sets the intra-algorithm search threads for GA, ILS-D, DUP-HEFT,

@@ -38,8 +38,10 @@ load options (saturation sweep against a gateway + shards topology):
   --strict           exit nonzero on any protocol error, when a
                      duplicate-carrying mix produces zero dedup hits, or
                      when a patch-carrying mix sends zero patch ops
-  --bench-out <file> merge `load/r<rate>/p50|p99` latency entries into
-                     <file> (other keys, e.g. perf entries, are kept)
+  --bench-out <file> merge `load/r<rate>/p50|p99` client latency entries
+                     plus `load/r<rate>/qwait_p99|compute_p99` server-side
+                     breakdown entries into <file> (other keys, e.g. perf
+                     entries, are kept)
   --check <file>     compare latency percentiles against a baseline, like
                      perf --check but with a 50% tolerance";
 

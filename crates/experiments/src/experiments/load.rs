@@ -99,6 +99,12 @@ struct StepResult {
     patch_miss: u64,
     p50_us: f64,
     p99_us: f64,
+    /// Server-side 99th-percentile queue wait (worst shard), µs,
+    /// cumulative through the end of this step.
+    qwait_p99_us: f64,
+    /// Server-side 99th-percentile worker compute (worst shard), µs,
+    /// cumulative through the end of this step.
+    compute_p99_us: f64,
     dedup_delta: u64,
     reroute_delta: u64,
 }
@@ -236,10 +242,8 @@ fn build_pools(cfg: &Config, rate: f64, step: usize) -> Pools {
     }
 }
 
-/// Fetch the gateway's `stats` counters (`None` when the peer is
-/// unreachable or does not expose a gateway section — e.g. a plain
-/// `serve` daemon under `--target`).
-fn fetch_gateway_stats(addr: &str) -> Option<Value> {
+/// Fetch the target's full `stats` reply (`None` when unreachable).
+fn fetch_stats_value(addr: &str) -> Option<Value> {
     let stream = TcpStream::connect(addr).ok()?;
     stream.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
     let mut writer = stream.try_clone().ok()?;
@@ -247,8 +251,38 @@ fn fetch_gateway_stats(addr: &str) -> Option<Value> {
     writer.flush().ok()?;
     let mut reply = String::new();
     BufReader::new(stream).read_line(&mut reply).ok()?;
-    let v: Value = serde_json::from_str(reply.trim()).ok()?;
-    v.as_object()?.get("gateway").cloned()
+    serde_json::from_str(reply.trim()).ok()
+}
+
+/// Fetch the gateway's `stats` counters (`None` when the peer is
+/// unreachable or does not expose a gateway section — e.g. a plain
+/// `serve` daemon under `--target`).
+fn fetch_gateway_stats(addr: &str) -> Option<Value> {
+    fetch_stats_value(addr)?
+        .as_object()?
+        .get("gateway")
+        .cloned()
+}
+
+/// Server-side 99th-percentile queue wait and compute time, µs: the
+/// worst shard behind a gateway, or the target's own stats body when it
+/// is a plain `serve` daemon. Cumulative since server start — the
+/// closing step of a sweep reflects the whole sweep's pressure.
+fn fetch_server_percentiles(addr: &str) -> (f64, f64) {
+    let Some(v) = fetch_stats_value(addr) else {
+        return (0.0, 0.0);
+    };
+    let bodies: Vec<&Value> = match v.get("shards").and_then(Value::as_array) {
+        Some(arr) if !arr.is_empty() => arr.iter().collect(),
+        _ => v.get("stats").into_iter().collect(),
+    };
+    let pick = |key: &str| {
+        bodies
+            .iter()
+            .filter_map(|b| b.get(key).and_then(Value::as_f64))
+            .fold(0.0, f64::max)
+    };
+    (pick("qwait_p99_us"), pick("compute_p99_us"))
 }
 
 fn counter(stats: &Option<Value>, key: &str) -> u64 {
@@ -427,6 +461,7 @@ fn run_step(cfg: &Config, addr: &str, rate: f64, step: usize) -> Result<StepResu
         h.join().map_err(|_| "load worker thread panicked")?;
     }
     let after = fetch_gateway_stats(addr);
+    let (qwait_p99_us, compute_p99_us) = fetch_server_percentiles(addr);
     let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
     Ok(StepResult {
         rate,
@@ -441,6 +476,8 @@ fn run_step(cfg: &Config, addr: &str, rate: f64, step: usize) -> Result<StepResu
         patch_miss: get(&counts.patch_miss),
         p50_us: hist.quantile_us(0.50),
         p99_us: hist.quantile_us(0.99),
+        qwait_p99_us,
+        compute_p99_us,
         dedup_delta: counter(&after, "dedup_hits").saturating_sub(counter(&before, "dedup_hits")),
         reroute_delta: counter(&after, "reroutes").saturating_sub(counter(&before, "reroutes")),
     })
@@ -561,6 +598,8 @@ pub fn run_load(cfg: &Config) -> Result<(), String> {
         "pmiss".into(),
         "p50_ms".into(),
         "p99_ms".into(),
+        "qw99_ms".into(),
+        "cp99_ms".into(),
     ]);
     for s in &steps {
         table.row(vec![
@@ -578,6 +617,8 @@ pub fn run_load(cfg: &Config) -> Result<(), String> {
             s.patch_miss.to_string(),
             format!("{:.2}", s.p50_us / 1e3),
             format!("{:.2}", s.p99_us / 1e3),
+            format!("{:.2}", s.qwait_p99_us / 1e3),
+            format!("{:.2}", s.compute_p99_us / 1e3),
         ]);
     }
     println!(
@@ -590,11 +631,18 @@ pub fn run_load(cfg: &Config) -> Result<(), String> {
     );
     println!("{}", table.render());
 
-    // benchmark entries in the perf schema, one p50 + one p99 per rate
+    // benchmark entries in the perf schema: client-side p50 + p99 plus
+    // server-side queue-wait and compute p99, per rate
     let bench_entries: Vec<(String, Value)> = steps
         .iter()
         .flat_map(|s| {
-            [(0.50, s.p50_us), (0.99, s.p99_us)].map(|(q, us)| {
+            [
+                (format!("load/r{:.0}/p50", s.rate), s.p50_us),
+                (format!("load/r{:.0}/p99", s.rate), s.p99_us),
+                (format!("load/r{:.0}/qwait_p99", s.rate), s.qwait_p99_us),
+                (format!("load/r{:.0}/compute_p99", s.rate), s.compute_p99_us),
+            ]
+            .map(|(id, us)| {
                 let mut e = serde_json::Map::new();
                 e.insert("n", serde_json::to_value(s.sent).unwrap());
                 e.insert("procs", serde_json::to_value(cfg.shards).unwrap());
@@ -602,10 +650,7 @@ pub fn run_load(cfg: &Config) -> Result<(), String> {
                 e.insert("median_ns", serde_json::to_value(us * 1e3).unwrap());
                 e.insert("min_ns", serde_json::to_value(us * 1e3).unwrap());
                 e.insert("reps", serde_json::to_value(1).unwrap());
-                (
-                    format!("load/r{:.0}/p{:.0}", s.rate, q * 100.0),
-                    Value::Object(e),
-                )
+                (id, Value::Object(e))
             })
         })
         .collect();

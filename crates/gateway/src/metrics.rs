@@ -11,7 +11,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::Serialize;
 
-use hetsched_serve::metrics::{escape_label, render_histogram, LatencyHistogram};
+use hetsched_serve::metrics::{
+    escape_label, render_histogram, LatencyHistogram, OpOutcomes, StatusLatency,
+};
 
 /// All gateway counters.
 #[derive(Debug, Default)]
@@ -36,8 +38,14 @@ pub struct GatewayMetrics {
     /// Error responses originated by the gateway (malformed requests,
     /// invalid problems, no healthy shard).
     pub errors: AtomicU64,
-    /// End-to-end latency of requests answered `ok` (forwarded or dedup).
-    pub latency: LatencyHistogram,
+    /// End-to-end latency of routed requests, split by outcome
+    /// (`status` label in the exposition).
+    pub latency: StatusLatency,
+    /// Per-op request outcomes (`hetsched_gateway_op_outcomes_total`).
+    pub op_outcomes: OpOutcomes,
+    /// Remaining deadline slack when a request that carried an explicit
+    /// deadline was answered `ok`.
+    pub deadline_slack: LatencyHistogram,
 }
 
 /// Point-in-time view of one backend shard, for `stats` and `metrics`.
@@ -166,12 +174,22 @@ impl GatewayMetrics {
             &|s| s.errors,
         );
 
-        render_histogram(
+        self.latency.render(
             &mut out,
             "hetsched_gateway_latency_seconds",
-            "End-to-end latency of requests answered ok by the gateway.",
+            "End-to-end latency of routed requests, by outcome status.",
+        );
+        self.op_outcomes.render(
+            &mut out,
+            "hetsched_gateway_op_outcomes_total",
+            "Routed request outcomes by op and status.",
+        );
+        render_histogram(
+            &mut out,
+            "hetsched_gateway_deadline_slack_seconds",
+            "Remaining deadline slack of ok replies that carried an explicit deadline.",
             "",
-            &self.latency,
+            &self.deadline_slack,
         );
         out
     }
@@ -180,6 +198,7 @@ impl GatewayMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hetsched_serve::metrics::RequestStatus;
     use std::time::Duration;
 
     #[test]
@@ -189,7 +208,13 @@ mod tests {
         bump(&m.requests);
         bump(&m.dedup_hits);
         bump(&m.sheds);
-        m.latency.record(Duration::from_micros(300));
+        m.latency
+            .record(RequestStatus::Success, Duration::from_micros(300));
+        m.latency
+            .record(RequestStatus::Shed, Duration::from_micros(40));
+        m.op_outcomes.bump("schedule", RequestStatus::Success);
+        m.op_outcomes.bump("patch", RequestStatus::Shed);
+        m.deadline_slack.record(Duration::from_millis(12));
         let shards = vec![
             ShardSnapshot {
                 addr: "127.0.0.1:7001".to_string(),
@@ -217,7 +242,13 @@ mod tests {
             "hetsched_gateway_shard_inflight{shard=\"127.0.0.1:7001\"} 2",
             "hetsched_gateway_shard_errors_total{shard=\"127.0.0.1:7002\"} 3",
             "# TYPE hetsched_gateway_latency_seconds histogram",
-            "hetsched_gateway_latency_seconds_count 1",
+            "hetsched_gateway_latency_seconds_count{status=\"success\"} 1",
+            "hetsched_gateway_latency_seconds_count{status=\"shed\"} 1",
+            "hetsched_gateway_latency_seconds_count{status=\"timeout\"} 0",
+            "hetsched_gateway_op_outcomes_total{op=\"schedule\",status=\"success\"} 1",
+            "hetsched_gateway_op_outcomes_total{op=\"patch\",status=\"shed\"} 1",
+            "hetsched_gateway_op_outcomes_total{op=\"portfolio\",status=\"error\"} 0",
+            "hetsched_gateway_deadline_slack_seconds_count 1",
         ] {
             assert!(text.contains(family), "missing `{family}` in:\n{text}");
         }

@@ -27,7 +27,12 @@ use crossbeam::channel::RecvTimeoutError;
 use hetsched_core::{Delta, ProblemInstance};
 use hetsched_dag::{Dag, Fingerprint};
 use hetsched_platform::System;
-use hetsched_serve::protocol::{HelloBody, Request, RequestOptions, Response};
+use hetsched_serve::journal::Journal;
+use hetsched_serve::metrics::RequestStatus;
+use hetsched_serve::protocol::{
+    GatewayTiming, HelloBody, Hop, JournalBody, Request, RequestOptions, Response, SpanRecord,
+    TimingBody,
+};
 
 use crate::backend::Backend;
 use crate::metrics::{bump, read, GatewayMetrics, ShardSnapshot};
@@ -53,7 +58,53 @@ pub struct Router {
     backends: Vec<Backend>,
     singleflight: SingleFlight,
     metrics: GatewayMetrics,
+    journal: Journal,
     shutting: AtomicBool,
+}
+
+/// Per-request trace scratchpad. Every routed request carries one; all
+/// recording methods are no-ops when the request has no trace context,
+/// so the untraced hot path pays a branch and nothing else.
+struct TraceScratch {
+    trace_id: Option<String>,
+    arrival: Instant,
+    admission_us: u64,
+    dedup: &'static str,
+    backend_us: u64,
+    attempts: u32,
+    spans: Vec<SpanRecord>,
+}
+
+impl TraceScratch {
+    fn new(trace_id: Option<String>, arrival: Instant) -> TraceScratch {
+        TraceScratch {
+            trace_id,
+            arrival,
+            admission_us: 0,
+            dedup: "none",
+            backend_us: 0,
+            attempts: 0,
+            spans: Vec::new(),
+        }
+    }
+
+    /// µs between the request's arrival and `at` on this gateway's clock.
+    fn off(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.arrival).as_micros() as u64
+    }
+
+    /// Record a span (no-op when untraced).
+    fn span(&mut self, name: &str, start_us: u64, dur_us: u64, detail: impl Into<String>) {
+        if let Some(id) = &self.trace_id {
+            self.spans.push(SpanRecord {
+                trace_id: id.clone(),
+                name: name.to_string(),
+                start_us,
+                dur_us: dur_us.max(1),
+                detail: detail.into(),
+            });
+        }
+    }
 }
 
 impl Router {
@@ -79,6 +130,7 @@ impl Router {
             backends,
             singleflight: SingleFlight::new(),
             metrics: GatewayMetrics::new(),
+            journal: Journal::default(),
             shutting: AtomicBool::new(false),
         })
     }
@@ -117,6 +169,11 @@ impl Router {
             Ok(Request::Hello) => Response::hello(self.hello_body()).to_line(),
             Ok(Request::Stats) => self.stats_line(),
             Ok(Request::Metrics) => Response::metrics(self.metrics_text()).to_line(),
+            Ok(Request::Journal) => Response::journal(JournalBody {
+                source: "gateway".to_string(),
+                spans: self.journal.drain(),
+            })
+            .to_line(),
             Ok(Request::Shutdown) => self.shutdown_line(),
             Ok(req) => self.route(req, arrival),
         }
@@ -132,24 +189,49 @@ impl Router {
         }
     }
 
-    /// Route one `schedule`/`portfolio`/`patch` request.
+    /// Route one `schedule`/`portfolio`/`patch` request: record the SLO
+    /// outcome and, for traced requests, the gateway-side spans and the
+    /// `timing.gateway` block around the actual routing in
+    /// [`Router::route_inner`].
     fn route(&self, req: Request, arrival: Instant) -> String {
         if self.is_shutting_down() {
             return Response::ShuttingDown.to_line();
         }
         bump(&self.metrics.requests);
-        let options = match &req {
-            Request::Schedule { options, .. }
-            | Request::Portfolio { options, .. }
-            | Request::Patch { options, .. } => options,
-            // `handle_line` only routes the scheduling ops.
-            _ => unreachable!("route() called with a control op"),
+        let (op, deadline_ms, trace_id) = {
+            let options = match &req {
+                Request::Schedule { options, .. }
+                | Request::Portfolio { options, .. }
+                | Request::Patch { options, .. } => options,
+                // `handle_line` only routes the scheduling ops.
+                _ => unreachable!("route() called with a control op"),
+            };
+            let op = match &req {
+                Request::Portfolio { .. } => "portfolio",
+                Request::Patch { .. } => "patch",
+                _ => "schedule",
+            };
+            (
+                op,
+                options.deadline_ms,
+                options.trace_ctx.as_ref().map(|c| c.trace_id.clone()),
+            )
         };
-        let deadline = Duration::from_millis(
-            options
-                .deadline_ms
-                .unwrap_or(self.config.default_deadline_ms),
-        );
+        let mut scratch = TraceScratch::new(trace_id, arrival);
+        let reply = self.route_inner(&req, deadline_ms, arrival, &mut scratch);
+        self.finish_route(reply, op, deadline_ms, arrival, scratch)
+    }
+
+    /// The routing body proper: admission, single-flight, forwarding.
+    fn route_inner(
+        &self,
+        req: &Request,
+        deadline_ms: Option<u64>,
+        arrival: Instant,
+        scratch: &mut TraceScratch,
+    ) -> String {
+        let deadline =
+            Duration::from_millis(deadline_ms.unwrap_or(self.config.default_deadline_ms));
         let deadline_at = arrival + deadline;
         // Admission control runs *before* single-flight: a request whose
         // deadline has already expired — `deadline_ms` of 0 included — is
@@ -165,8 +247,14 @@ impl Router {
             )
             .to_line();
         }
+        let options = match req {
+            Request::Schedule { options, .. }
+            | Request::Portfolio { options, .. }
+            | Request::Patch { options, .. } => options,
+            _ => unreachable!("route_inner() called with a control op"),
+        };
 
-        let (home, key) = match &req {
+        let (home, key) = match req {
             Request::Patch {
                 parent,
                 algorithm,
@@ -189,7 +277,7 @@ impl Router {
                 )
             }
             _ => {
-                let (dag_spec, system_spec, alg_names) = match &req {
+                let (dag_spec, system_spec, alg_names) = match req {
                     Request::Schedule {
                         dag,
                         system,
@@ -223,18 +311,25 @@ impl Router {
                 (
                     (ProblemInstance::content_fingerprint(&dag, &sys) % self.backends.len() as u64)
                         as usize,
-                    dedup_key(&req, &dag, &sys, &alg_names, options),
+                    dedup_key(req, &dag, &sys, &alg_names, options),
                 )
             }
         };
+        scratch.admission_us = scratch.off(Instant::now());
+        scratch.span("admission", 0, scratch.admission_us, "");
 
         match self.singleflight.join(key) {
             Flight::Follower(rx) => {
-                let wait = deadline_at.saturating_duration_since(Instant::now()) + FOLLOWER_SLACK;
-                match rx.recv_timeout(wait) {
+                scratch.dedup = "follower";
+                let wait_start = Instant::now();
+                let wait = deadline_at.saturating_duration_since(wait_start) + FOLLOWER_SLACK;
+                let outcome = rx.recv_timeout(wait);
+                let waited_us = wait_start.elapsed().as_micros() as u64;
+                scratch.backend_us = waited_us;
+                scratch.span("dedup_wait", scratch.off(wait_start), waited_us, "");
+                match outcome {
                     Ok(reply) => {
                         bump(&self.metrics.dedup_hits);
-                        self.metrics.latency.record(arrival.elapsed());
                         (*reply).clone()
                     }
                     Err(RecvTimeoutError::Timeout) => {
@@ -254,16 +349,71 @@ impl Router {
                 }
             }
             Flight::Leader => {
-                let reply = Arc::new(self.lead(&req, home, deadline_at, arrival));
+                scratch.dedup = "leader";
+                // The flight completes with the *un-injected* shard reply:
+                // every requester — leader and followers alike — injects
+                // its own gateway timing into its own clone, so a
+                // follower's `timing.gateway` reflects its wait, not the
+                // leader's round trip.
+                let reply = Arc::new(self.lead(req, home, deadline_at, scratch));
                 self.singleflight.complete(key, &reply);
                 (*reply).clone()
             }
         }
     }
 
+    /// Record the request's SLO outcome, journal its spans, and inject
+    /// the `timing.gateway` block into traced `ok` replies.
+    fn finish_route(
+        &self,
+        reply: String,
+        op: &str,
+        deadline_ms: Option<u64>,
+        arrival: Instant,
+        mut scratch: TraceScratch,
+    ) -> String {
+        let elapsed = arrival.elapsed();
+        let Some(status) = status_of_line(&reply) else {
+            return reply; // shutting_down: not an SLO outcome
+        };
+        self.metrics.latency.record(status, elapsed);
+        self.metrics.op_outcomes.bump(op, status);
+        if status == RequestStatus::Success {
+            if let Some(d) = deadline_ms {
+                self.metrics
+                    .deadline_slack
+                    .record(Duration::from_millis(d).saturating_sub(elapsed));
+            }
+        }
+        let Some(trace_id) = scratch.trace_id.clone() else {
+            return reply;
+        };
+        let total_us = (elapsed.as_micros() as u64).max(1);
+        scratch.span("request", 0, total_us, scratch.dedup);
+        let timing = GatewayTiming {
+            total_us,
+            admission_us: scratch.admission_us,
+            dedup: scratch.dedup.to_string(),
+            backend_us: scratch.backend_us,
+            attempts: scratch.attempts,
+        };
+        self.journal.extend(scratch.spans);
+        if status == RequestStatus::Success {
+            inject_gateway_timing(&reply, &trace_id, &timing)
+        } else {
+            reply
+        }
+    }
+
     /// Forward a request as the single-flight leader: admission control,
     /// deadline propagation, home-shard affinity with failover.
-    fn lead(&self, req: &Request, home: usize, deadline_at: Instant, arrival: Instant) -> String {
+    fn lead(
+        &self,
+        req: &Request,
+        home: usize,
+        deadline_at: Instant,
+        scratch: &mut TraceScratch,
+    ) -> String {
         let n = self.backends.len();
         let mut budget_full = false;
         let mut last_error: Option<io::Error> = None;
@@ -292,15 +442,23 @@ impl Router {
                 }
                 continue;
             };
-            let line = forward_line(req, remaining);
-            match backend.round_trip(&line, deadline_at + SHARD_GRACE) {
+            let sent_at = Instant::now();
+            let line = forward_line(req, remaining, scratch.off(sent_at));
+            scratch.attempts += 1;
+            let outcome = backend.round_trip(&line, deadline_at + SHARD_GRACE);
+            let round_trip_us = sent_at.elapsed().as_micros() as u64;
+            scratch.backend_us += round_trip_us;
+            match outcome {
                 Ok(reply) => {
+                    scratch.span(
+                        "backend",
+                        scratch.off(sent_at),
+                        round_trip_us,
+                        backend.addr(),
+                    );
                     bump(&self.metrics.forwarded);
                     if i > 0 {
                         bump(&self.metrics.reroutes);
-                    }
-                    if reply.starts_with("{\"status\":\"ok\"") {
-                        self.metrics.latency.record(arrival.elapsed());
                     }
                     return reply;
                 }
@@ -308,6 +466,12 @@ impl Router {
                     // The shard is alive but slow; its computation keeps
                     // running and will populate its caches, so this is a
                     // timeout, not a failover.
+                    scratch.span(
+                        "backend",
+                        scratch.off(sent_at),
+                        round_trip_us,
+                        format!("{} timeout", backend.addr()),
+                    );
                     bump(&self.metrics.timeouts);
                     return Response::Timeout {
                         message: format!(
@@ -318,6 +482,12 @@ impl Router {
                     .to_line();
                 }
                 Err(e) => {
+                    scratch.span(
+                        "backend",
+                        scratch.off(sent_at),
+                        round_trip_us,
+                        format!("{} error: {e}", backend.addr()),
+                    );
                     bump(&self.metrics.shard_errors);
                     last_error = Some(e);
                     continue;
@@ -366,9 +536,9 @@ impl Router {
             "shard_errors": read(&m.shard_errors),
             "errors": read(&m.errors),
             "inflight_keys": self.singleflight.len(),
-            "latency_samples": m.latency.count(),
-            "latency_p50_us": m.latency.quantile_us(0.50),
-            "latency_p99_us": m.latency.quantile_us(0.99),
+            "latency_samples": m.latency.success().count(),
+            "latency_p50_us": m.latency.success().quantile_us(0.50),
+            "latency_p99_us": m.latency.success().quantile_us(0.99),
             "shards": self.snapshots(),
         });
         serde_json::to_string(&serde_json::json!({
@@ -475,55 +645,75 @@ fn patch_dedup_key(
 
 /// Re-serialize a request with its deadline rewritten to the time
 /// actually remaining, so the shard enforces the client's clock (minus
-/// gateway queueing) rather than its own default.
-fn forward_line(req: &Request, remaining: Duration) -> String {
+/// gateway queueing) rather than its own default. A traced request also
+/// gets a `gateway` hop stamp (`sent_at_us` on the gateway's clock,
+/// relative to the request's arrival) appended to its trace context.
+fn forward_line(req: &Request, remaining: Duration, sent_at_us: u64) -> String {
     let remaining_ms = (remaining.as_millis() as u64).max(1);
-    let rewritten = match req.clone() {
-        Request::Schedule {
-            dag,
-            system,
-            algorithm,
-            mut options,
-        } => {
+    let mut rewritten = req.clone();
+    match &mut rewritten {
+        Request::Schedule { options, .. }
+        | Request::Portfolio { options, .. }
+        | Request::Patch { options, .. } => {
             options.deadline_ms = Some(remaining_ms);
-            Request::Schedule {
-                dag,
-                system,
-                algorithm,
-                options,
+            if let Some(ctx) = options.trace_ctx.as_mut() {
+                ctx.hops.push(Hop {
+                    tier: "gateway".to_string(),
+                    sent_at_us,
+                });
             }
         }
-        Request::Portfolio {
-            dag,
-            system,
-            algorithms,
-            mut options,
-        } => {
-            options.deadline_ms = Some(remaining_ms);
-            Request::Portfolio {
-                dag,
-                system,
-                algorithms,
-                options,
-            }
-        }
-        Request::Patch {
-            parent,
-            algorithm,
-            deltas,
-            mut options,
-        } => {
-            options.deadline_ms = Some(remaining_ms);
-            Request::Patch {
-                parent,
-                algorithm,
-                deltas,
-                options,
-            }
-        }
-        other => other,
-    };
+        _ => {}
+    }
     serde_json::to_string(&rewritten).expect("request serialization is infallible")
+}
+
+/// Classify a reply line by its leading `status` field. Relies on serde's
+/// tag-first serialization, so no parse is needed on the hot path.
+/// `None` for `shutting_down` (not an SLO outcome) and for anything
+/// unrecognizable.
+fn status_of_line(line: &str) -> Option<RequestStatus> {
+    let rest = line.strip_prefix("{\"status\":\"")?;
+    if rest.starts_with("ok\"") {
+        Some(RequestStatus::Success)
+    } else if rest.starts_with("busy\"") || rest.starts_with("shed\"") {
+        Some(RequestStatus::Shed)
+    } else if rest.starts_with("timeout\"") {
+        Some(RequestStatus::Timeout)
+    } else if rest.starts_with("error\"") {
+        Some(RequestStatus::Error)
+    } else {
+        None
+    }
+}
+
+/// Insert the gateway's timing into a traced `ok` reply. The round trip
+/// goes through the typed [`Response`] — not `serde_json::Value`, which
+/// would reorder keys and break the `{"status":"ok"` prefix contract —
+/// so everything but the `timing.gateway` section is re-emitted
+/// byte-for-byte. The shard's serve breakdown and hop stamps are
+/// preserved; a reply that somehow reached `ok` without a shard timing
+/// block gets a fresh one with the gateway section only. Falls back to
+/// the untouched reply if it does not parse (it was produced by
+/// `Response::to_line`, so it always should).
+fn inject_gateway_timing(reply: &str, trace_id: &str, timing: &GatewayTiming) -> String {
+    let Ok(mut resp) = serde_json::from_str::<Response>(reply) else {
+        return reply.to_string();
+    };
+    let Response::Ok {
+        timing: block_slot, ..
+    } = &mut resp
+    else {
+        return reply.to_string();
+    };
+    let block = block_slot.get_or_insert_with(|| TimingBody {
+        trace_id: trace_id.to_string(),
+        hops: Vec::new(),
+        serve: None,
+        gateway: None,
+    });
+    block.gateway = Some(timing.clone());
+    resp.to_line()
 }
 
 #[cfg(test)]
@@ -575,7 +765,7 @@ mod tests {
     #[test]
     fn forward_line_rewrites_only_the_deadline() {
         let (_, _, req) = small_parts();
-        let line = forward_line(&req, Duration::from_millis(1234));
+        let line = forward_line(&req, Duration::from_millis(1234), 0);
         let back = Request::parse(&line).unwrap();
         let Request::Schedule {
             algorithm, options, ..
@@ -760,10 +950,107 @@ mod tests {
     }
 
     #[test]
+    fn forward_line_appends_gateway_hop_for_traced_requests() {
+        let line = r#"{"op":"schedule","dag":{"tasks":[{"weight":1.0}],"edges":[]},"system":{"processors":{"kind":"homogeneous","count":1},"network":{"topology":"fully_connected","bandwidth":1.0}},"algorithm":"HEFT","options":{"deadline_ms":500,"trace_ctx":{"trace_id":"00000000deadbeef"}}}"#;
+        let req = Request::parse(line).unwrap();
+        let out = forward_line(&req, Duration::from_millis(250), 42);
+        let back = Request::parse(&out).unwrap();
+        let Request::Schedule { options, .. } = back else {
+            panic!("op changed");
+        };
+        let ctx = options.trace_ctx.expect("trace context must survive");
+        assert_eq!(ctx.trace_id, "00000000deadbeef");
+        assert_eq!(ctx.hops.len(), 1, "one gateway hop appended");
+        assert_eq!(ctx.hops[0].tier, "gateway");
+        assert_eq!(ctx.hops[0].sent_at_us, 42);
+
+        // Untraced requests stay hop-free (and byte-stable).
+        let (_, _, plain) = small_parts();
+        let out = forward_line(&plain, Duration::from_millis(250), 42);
+        assert!(!out.contains("trace_ctx"), "{out}");
+    }
+
+    #[test]
+    fn status_of_line_classifies_reply_prefixes() {
+        assert_eq!(
+            status_of_line(r#"{"status":"ok","algorithm":"HEFT"}"#),
+            Some(RequestStatus::Success)
+        );
+        assert_eq!(
+            status_of_line(&Response::shed("x").to_line()),
+            Some(RequestStatus::Shed)
+        );
+        assert_eq!(
+            status_of_line(
+                &Response::Timeout {
+                    message: "m".to_string()
+                }
+                .to_line()
+            ),
+            Some(RequestStatus::Timeout)
+        );
+        assert_eq!(
+            status_of_line(&Response::error("x").to_line()),
+            Some(RequestStatus::Error)
+        );
+        assert_eq!(status_of_line(&Response::ShuttingDown.to_line()), None);
+        assert_eq!(status_of_line("not json"), None);
+    }
+
+    #[test]
+    fn traced_requests_journal_spans_and_account_outcomes_even_on_failure() {
+        let cfg = GatewayConfig {
+            backends: vec!["127.0.0.1:1".to_string()],
+            connect_timeout_ms: 100,
+            ..GatewayConfig::default()
+        };
+        let router = Router::new(cfg).unwrap();
+        let line = r#"{"op":"schedule","dag":{"tasks":[{"weight":1.0}],"edges":[]},"system":{"processors":{"kind":"homogeneous","count":1},"network":{"topology":"fully_connected","bandwidth":1.0}},"algorithm":"HEFT","options":{"deadline_ms":2000,"trace_ctx":{"trace_id":"feedfacecafebeef"}}}"#;
+        let reply = router.handle_line(line, Instant::now());
+        let v: serde_json::Value = serde_json::from_str(&reply).unwrap();
+        assert_eq!(v["status"].as_str(), Some("error"), "{reply}");
+
+        // The failed request is an SLO outcome, not a lost sample.
+        let m = router.metrics();
+        assert_eq!(m.latency.get(RequestStatus::Error).count(), 1);
+        assert_eq!(m.latency.get(RequestStatus::Success).count(), 0);
+        assert_eq!(m.op_outcomes.get("schedule", RequestStatus::Error), 1);
+
+        // Its spans are journaled: admission, the failed backend attempt,
+        // and the root request span that covers both.
+        let jline = router.handle_line(r#"{"op":"journal"}"#, Instant::now());
+        let jv: serde_json::Value = serde_json::from_str(&jline).unwrap();
+        assert_eq!(jv["status"].as_str(), Some("ok"), "{jline}");
+        assert_eq!(jv["journal"]["source"].as_str(), Some("gateway"));
+        let spans = jv["journal"]["spans"].as_array().unwrap();
+        let names: Vec<&str> = spans.iter().map(|s| s["name"].as_str().unwrap()).collect();
+        for expect in ["admission", "backend", "request"] {
+            assert!(names.contains(&expect), "missing `{expect}` in {names:?}");
+        }
+        let root = spans
+            .iter()
+            .find(|s| s["name"] == "request")
+            .expect("root span");
+        assert_eq!(root["start_us"].as_u64(), Some(0));
+        assert_eq!(root["detail"].as_str(), Some("leader"));
+        let root_end = root["dur_us"].as_u64().unwrap();
+        for s in spans {
+            assert_eq!(s["trace_id"].as_str(), Some("feedfacecafebeef"));
+            let end = s["start_us"].as_u64().unwrap() + s["dur_us"].as_u64().unwrap();
+            assert!(end <= root_end + 1, "span escapes the root: {s:?}");
+        }
+
+        // Drained means drained.
+        let again = router.handle_line(r#"{"op":"journal"}"#, Instant::now());
+        let jv: serde_json::Value = serde_json::from_str(&again).unwrap();
+        assert_eq!(jv["journal"]["spans"].as_array().map(Vec::len), Some(0));
+    }
+
+    #[test]
     fn forward_line_rewrites_patch_deadline() {
         let line = r#"{"op":"patch","parent":"0123456789abcdef","algorithm":"HEFT","deltas":[{"kind":"task_weight","task":0,"weight":2.0}],"options":{"jobs":3}}"#;
         let req = Request::parse(line).unwrap();
-        let out = forward_line(&req, Duration::from_millis(777));
+        let out = forward_line(&req, Duration::from_millis(777), 0);
         let back = Request::parse(&out).unwrap();
         let Request::Patch {
             parent,

@@ -21,6 +21,7 @@
 //! | `worker`      | worker    | the pool threads: scheduling, panic isolation |
 //! | [`cache`]     | shared    | fingerprint-keyed LRU memoization cache |
 //! | [`metrics`]   | shared    | atomic counters + streaming latency histogram |
+//! | [`journal`]   | shared    | bounded span journal + fleet Chrome-trace merger |
 //!
 //! Guarantees the service makes:
 //!
@@ -40,15 +41,18 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod journal;
 pub mod metrics;
 pub mod protocol;
 pub mod service;
 pub mod transport;
 mod worker;
 
+pub use journal::{merge_chrome_trace, Journal};
 pub use protocol::{
-    HelloBody, PortfolioBody, PortfolioEntryBody, Request, RequestOptions, Response, ScheduleBody,
-    SimBody, StatsBody,
+    GatewayTiming, HelloBody, Hop, JournalBody, PortfolioBody, PortfolioEntryBody, Request,
+    RequestOptions, Response, ScheduleBody, ServeTiming, SimBody, SpanRecord, StatsBody,
+    TimingBody, TraceCtx,
 };
 pub use service::{request_fingerprint, ServeConfig, Service};
 pub use transport::{serve_lines, TcpServer};

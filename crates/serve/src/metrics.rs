@@ -143,6 +143,147 @@ impl LatencyHistogram {
     }
 }
 
+/// Request outcome classes used as the `status` label on latency
+/// histograms and per-op outcome counters. `Success` covers `ok`
+/// replies; `Shed` covers busy/shed rejections; `Timeout` covers
+/// deadline expiries; `Error` covers everything else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestStatus {
+    /// The request got an `ok` reply.
+    Success,
+    /// The request was turned away by admission control (`busy`/`shed`).
+    Shed,
+    /// The request's deadline passed before the reply was ready.
+    Timeout,
+    /// The request failed (bad input, panic, internal error).
+    Error,
+}
+
+impl RequestStatus {
+    /// Every status, in render order.
+    pub const ALL: [RequestStatus; 4] = [
+        RequestStatus::Success,
+        RequestStatus::Shed,
+        RequestStatus::Timeout,
+        RequestStatus::Error,
+    ];
+
+    /// The `status` label value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RequestStatus::Success => "success",
+            RequestStatus::Shed => "shed",
+            RequestStatus::Timeout => "timeout",
+            RequestStatus::Error => "error",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            RequestStatus::Success => 0,
+            RequestStatus::Shed => 1,
+            RequestStatus::Timeout => 2,
+            RequestStatus::Error => 3,
+        }
+    }
+}
+
+/// One latency histogram per request outcome, rendered as a single
+/// Prometheus family with a `status` label. Every status series is
+/// rendered even when empty so scrapers (and CI greps) see a
+/// deterministic set of series.
+#[derive(Debug, Default)]
+pub struct StatusLatency {
+    by_status: [LatencyHistogram; 4],
+}
+
+impl StatusLatency {
+    /// Fresh, empty histograms.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample against an outcome.
+    pub fn record(&self, status: RequestStatus, latency: Duration) {
+        self.by_status[status.index()].record(latency);
+    }
+
+    /// The histogram for one outcome.
+    pub fn get(&self, status: RequestStatus) -> &LatencyHistogram {
+        &self.by_status[status.index()]
+    }
+
+    /// The success histogram (the series stats quantiles come from).
+    pub fn success(&self) -> &LatencyHistogram {
+        self.get(RequestStatus::Success)
+    }
+
+    /// Samples recorded across all outcomes.
+    pub fn total_count(&self) -> u64 {
+        self.by_status.iter().map(|h| h.count()).sum()
+    }
+
+    /// Render the whole family: HELP + TYPE, then one labeled series
+    /// set per status.
+    pub fn render(&self, out: &mut String, name: &str, help: &str) {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        for status in RequestStatus::ALL {
+            render_histogram_series(
+                out,
+                name,
+                &format!("status=\"{}\"", escape_label(status.as_str())),
+                self.get(status),
+            );
+        }
+    }
+}
+
+/// Operations distinguished by the per-op outcome counters.
+pub const OUTCOME_OPS: [&str; 3] = ["schedule", "patch", "portfolio"];
+
+/// Fixed matrix of `(op, status)` outcome counters rendered as
+/// `{prefix}_op_outcomes_total{op="...",status="..."}`. Every cell is
+/// always rendered so the exposition is deterministic.
+#[derive(Debug, Default)]
+pub struct OpOutcomes {
+    cells: [[AtomicU64; 4]; 3],
+}
+
+impl OpOutcomes {
+    fn op_index(op: &str) -> usize {
+        OUTCOME_OPS.iter().position(|o| *o == op).unwrap_or(0)
+    }
+
+    /// Count one request outcome for an op (`schedule`/`patch`/
+    /// `portfolio`; unknown ops count against `schedule`).
+    pub fn bump(&self, op: &str, status: RequestStatus) {
+        self.cells[Self::op_index(op)][status.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Read one cell.
+    pub fn get(&self, op: &str, status: RequestStatus) -> u64 {
+        self.cells[Self::op_index(op)][status.index()].load(Ordering::Relaxed)
+    }
+
+    /// Render the counter family under `name`.
+    pub fn render(&self, out: &mut String, name: &str, help: &str) {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        for (oi, op) in OUTCOME_OPS.iter().enumerate() {
+            for status in RequestStatus::ALL {
+                let v = self.cells[oi][status.index()].load(Ordering::Relaxed);
+                let _ = writeln!(
+                    out,
+                    "{name}{{op=\"{}\",status=\"{}\"}} {v}",
+                    escape_label(op),
+                    escape_label(status.as_str()),
+                );
+            }
+        }
+    }
+}
+
 /// All service counters.
 #[derive(Debug, Default)]
 pub struct ServiceMetrics {
@@ -172,8 +313,19 @@ pub struct ServiceMetrics {
     /// Schedules produced by incremental repair rather than from-scratch
     /// computation (a subset of `computed`).
     pub repairs: AtomicU64,
-    /// End-to-end latency of completed schedule requests.
-    pub latency: LatencyHistogram,
+    /// End-to-end latency of finished requests, split by outcome
+    /// (`status` label in the exposition).
+    pub latency: StatusLatency,
+    /// Per-op request outcomes (`hetsched_op_outcomes_total`).
+    pub op_outcomes: OpOutcomes,
+    /// Remaining deadline slack at completion for requests that carried
+    /// a deadline and succeeded.
+    pub deadline_slack: LatencyHistogram,
+    /// Time jobs spent waiting in the bounded queue before a worker
+    /// picked them up (computed jobs only — memo hits never queue).
+    pub queue_wait: LatencyHistogram,
+    /// Time workers spent inside the scheduling engine per computed job.
+    pub compute: LatencyHistogram,
     /// Per-algorithm end-to-end latency (keyed by registry name). Kept in
     /// `Arc`s so recording takes the map lock only for the lookup.
     per_algorithm: Mutex<BTreeMap<String, Arc<LatencyHistogram>>>,
@@ -338,12 +490,36 @@ impl ServiceMetrics {
         );
         gauge("hetsched_workers", "Worker threads.", g.workers);
 
-        render_histogram(
+        self.latency.render(
             &mut out,
             "hetsched_request_latency_seconds",
-            "End-to-end latency of completed schedule requests.",
+            "End-to-end latency of finished requests, by outcome status.",
+        );
+        self.op_outcomes.render(
+            &mut out,
+            "hetsched_op_outcomes_total",
+            "Request outcomes per operation and status.",
+        );
+        render_histogram(
+            &mut out,
+            "hetsched_deadline_slack_seconds",
+            "Deadline slack remaining when a deadlined request succeeded.",
             "",
-            &self.latency,
+            &self.deadline_slack,
+        );
+        render_histogram(
+            &mut out,
+            "hetsched_queue_wait_seconds",
+            "Queue wait before a worker picked up a computed job.",
+            "",
+            &self.queue_wait,
+        );
+        render_histogram(
+            &mut out,
+            "hetsched_compute_seconds",
+            "Engine compute time per computed job.",
+            "",
+            &self.compute,
         );
         let per_alg = self.algorithm_histograms();
         if !per_alg.is_empty() {
@@ -539,7 +715,15 @@ mod tests {
         ServiceMetrics::bump(&m.requests);
         ServiceMetrics::bump(&m.cache_hits);
         ServiceMetrics::bump(&m.instance_cache_misses);
-        m.latency.record(Duration::from_micros(100));
+        m.latency
+            .record(RequestStatus::Success, Duration::from_micros(100));
+        m.latency
+            .record(RequestStatus::Shed, Duration::from_micros(5));
+        m.op_outcomes.bump("schedule", RequestStatus::Success);
+        m.op_outcomes.bump("patch", RequestStatus::Timeout);
+        m.queue_wait.record(Duration::from_micros(10));
+        m.compute.record(Duration::from_micros(90));
+        m.deadline_slack.record(Duration::from_millis(40));
         m.record_algorithm("HEFT", Duration::from_micros(100));
         m.record_algorithm("ILS-D", Duration::from_millis(2));
         let text = m.render_prometheus(&GaugeSnapshot {
@@ -560,8 +744,20 @@ mod tests {
             "hetsched_instance_cache_entries 2",
             "hetsched_workers 4",
             "# TYPE hetsched_request_latency_seconds histogram",
-            "hetsched_request_latency_seconds_bucket{le=\"+Inf\"} 1",
-            "hetsched_request_latency_seconds_count 1",
+            "hetsched_request_latency_seconds_bucket{status=\"success\",le=\"+Inf\"} 1",
+            "hetsched_request_latency_seconds_count{status=\"success\"} 1",
+            "hetsched_request_latency_seconds_count{status=\"shed\"} 1",
+            "hetsched_request_latency_seconds_count{status=\"timeout\"} 0",
+            "hetsched_request_latency_seconds_count{status=\"error\"} 0",
+            "# TYPE hetsched_op_outcomes_total counter",
+            "hetsched_op_outcomes_total{op=\"schedule\",status=\"success\"} 1",
+            "hetsched_op_outcomes_total{op=\"patch\",status=\"timeout\"} 1",
+            "hetsched_op_outcomes_total{op=\"portfolio\",status=\"error\"} 0",
+            "# TYPE hetsched_deadline_slack_seconds histogram",
+            "# TYPE hetsched_queue_wait_seconds histogram",
+            "hetsched_queue_wait_seconds_count 1",
+            "# TYPE hetsched_compute_seconds histogram",
+            "hetsched_compute_seconds_count 1",
             "# TYPE hetsched_algorithm_latency_seconds histogram",
             "hetsched_algorithm_latency_seconds_bucket{algorithm=\"HEFT\",le=\"+Inf\"} 1",
             "hetsched_algorithm_latency_seconds_count{algorithm=\"ILS-D\"} 1",

@@ -49,6 +49,50 @@ pub struct RequestOptions {
     /// when absent.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub jobs: Option<usize>,
+    /// Distributed trace context. When present, every tier the request
+    /// passes through (gateway, shard service, worker) records spans under
+    /// `trace_id` into its in-memory journal (drained by the `journal` op)
+    /// and the reply carries a [`TimingBody`] with the hop-by-hop
+    /// breakdown. Like `deadline_ms` and `jobs`, the context is **not**
+    /// part of any memo or dedup key and never changes a schedule byte:
+    /// tracing observes routing and queueing, not scheduling.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trace_ctx: Option<TraceCtx>,
+}
+
+/// Per-request distributed trace context, carried in
+/// [`RequestOptions::trace_ctx`] and propagated gateway → shard → worker.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceCtx {
+    /// Request-unique trace id (16 lowercase hex digits by convention;
+    /// any non-empty string is accepted and echoed back verbatim).
+    pub trace_id: String,
+    /// Per-hop monotonic timestamps, appended by each tier that forwards
+    /// the request downstream. Clocks are per-process monotonic offsets
+    /// (µs since that tier received the request), not wall time, so hops
+    /// are comparable within a tier but only ordered across tiers.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub hops: Vec<Hop>,
+}
+
+impl TraceCtx {
+    /// A fresh context with the given id and no recorded hops.
+    pub fn new(trace_id: impl Into<String>) -> Self {
+        TraceCtx {
+            trace_id: trace_id.into(),
+            hops: Vec::new(),
+        }
+    }
+}
+
+/// One hop stamp in a [`TraceCtx`]: which tier forwarded the request, and
+/// how long it had held it (µs on that tier's monotonic clock).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hop {
+    /// Forwarding tier (`"gateway"`, `"shard"`).
+    pub tier: String,
+    /// µs between the tier receiving the request and forwarding it.
+    pub sent_at_us: u64,
 }
 
 /// A client request, dispatched on the `"op"` field.
@@ -119,6 +163,12 @@ pub enum Request {
     Hello,
     /// Query service counters and latency quantiles.
     Stats,
+    /// Drain this tier's bounded in-memory span journal: answers every
+    /// span recorded for traced requests (those carrying
+    /// `options.trace_ctx`) since the last drain, then forgets them.
+    /// `hetsched-cli explain --service` drains a gateway plus its shards
+    /// and merges the journals into one Chrome-trace timeline.
+    Journal,
     /// Render every service metric family in the Prometheus text
     /// exposition format (counters, gauges, latency histograms — global
     /// and per algorithm).
@@ -196,6 +246,96 @@ pub struct TraceBody {
     /// Full event log: task selections, EFT decisions with per-processor
     /// candidates, and the placement decision log of the final schedule.
     pub events: Vec<hetsched_trace::Event>,
+}
+
+/// Hop-by-hop latency breakdown attached to a reply when the request
+/// carried [`RequestOptions::trace_ctx`]. Purely observational: the
+/// scheduling payload is byte-identical with or without it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingBody {
+    /// Trace id echoed from the request's context.
+    pub trace_id: String,
+    /// Hop stamps accumulated while the request travelled downstream.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub hops: Vec<Hop>,
+    /// Shard-service breakdown (absent on gateway-local replies that
+    /// never reached a shard, e.g. sheds).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub serve: Option<ServeTiming>,
+    /// Gateway breakdown, inserted by the gateway on the way back
+    /// (absent when the client talked to a shard directly).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub gateway: Option<GatewayTiming>,
+}
+
+/// Shard-side timing: where the request spent its time inside one serve
+/// daemon.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ServeTiming {
+    /// End-to-end µs from transport parse to the reply being ready.
+    pub total_us: u64,
+    /// µs parsing the request line into the typed request.
+    pub parse_us: u64,
+    /// µs the job waited in the bounded queue before a worker picked it
+    /// up (0 for memo hits, which never enqueue).
+    pub queue_us: u64,
+    /// µs of worker compute (scheduling + validation + optional
+    /// simulation; 0 for memo hits).
+    pub compute_us: u64,
+    /// Cache disposition: `"memo"` (reply memo hit), `"computed"` (fresh
+    /// schedule), or `"repaired"` (patch served by incremental repair).
+    pub cache: String,
+}
+
+/// Gateway-side timing: admission, dedup disposition, and backend time.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GatewayTiming {
+    /// End-to-end µs from socket arrival to the reply line being ready.
+    pub total_us: u64,
+    /// µs spent on admission (parse, validation, deadline check, shard
+    /// selection) before the dedup/forward decision.
+    pub admission_us: u64,
+    /// Single-flight disposition: `"leader"` (this request computed),
+    /// `"follower"` (coalesced onto an identical in-flight request), or
+    /// `"none"` (gateway-local reply).
+    pub dedup: String,
+    /// µs spent inside backend round trips (leader) or waiting on the
+    /// leader's reply (follower).
+    pub backend_us: u64,
+    /// Backend attempts (1 = home shard; more = failover).
+    pub attempts: u32,
+}
+
+/// Journal payload returned by the `journal` op: every span recorded
+/// since the last drain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalBody {
+    /// Which tier recorded these spans (`"gateway"` or `"shard"`).
+    pub source: String,
+    /// Drained spans, in recording order.
+    pub spans: Vec<SpanRecord>,
+}
+
+/// One completed span in a tier's journal. Timestamps are µs offsets on
+/// the recording tier's monotonic clock, relative to the moment that
+/// tier received the traced request — so spans of one request nest
+/// within its root `request` span by construction, and a merger aligns
+/// tiers by nesting a shard's root span inside the gateway's `backend`
+/// span for the same trace id.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Trace id of the request this span belongs to.
+    pub trace_id: String,
+    /// Span name (`request`, `admission`, `backend`, `queue`,
+    /// `compute`, `engine:<phase>`, ...).
+    pub name: String,
+    /// µs offset from the request's arrival at the recording tier.
+    pub start_us: u64,
+    /// Span duration, µs.
+    pub dur_us: u64,
+    /// Free-form detail (shard address, dedup role, cache disposition).
+    #[serde(default, skip_serializing_if = "String::is_empty")]
+    pub detail: String,
 }
 
 /// One member row of a portfolio response.
@@ -298,6 +438,18 @@ pub struct StatsBody {
     pub latency_p50_us: f64,
     /// 99th-percentile end-to-end schedule latency, microseconds.
     pub latency_p99_us: f64,
+    /// Median queue wait of computed jobs (enqueue → worker dequeue), µs.
+    #[serde(default)]
+    pub qwait_p50_us: f64,
+    /// 99th-percentile queue wait of computed jobs, µs.
+    #[serde(default)]
+    pub qwait_p99_us: f64,
+    /// Median worker compute time of computed jobs, µs.
+    #[serde(default)]
+    pub compute_p50_us: f64,
+    /// 99th-percentile worker compute time of computed jobs, µs.
+    #[serde(default)]
+    pub compute_p99_us: f64,
 }
 
 /// A service response, discriminated on the `"status"` field.
@@ -322,6 +474,15 @@ pub enum Response {
         /// Identification payload (`hello` op).
         #[serde(default, skip_serializing_if = "Option::is_none")]
         hello: Option<HelloBody>,
+        /// Journal payload (`journal` op).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        journal: Option<JournalBody>,
+        /// Hop-by-hop latency breakdown, attached when the request
+        /// carried a trace context. Sits beside the scheduling payload
+        /// (never inside it) so memoized schedule bodies stay
+        /// byte-identical whether or not a request was traced.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        timing: Option<TimingBody>,
     },
     /// The bounded request queue is full; retry later.
     Busy {
@@ -369,59 +530,80 @@ impl Response {
         }
     }
 
-    /// Shorthand for a schedule payload response.
-    pub fn schedule(body: ScheduleBody) -> Self {
+    /// An `ok` response with every payload slot empty.
+    fn ok_empty() -> Self {
         Response::Ok {
-            schedule: Some(body),
+            schedule: None,
             stats: None,
             metrics: None,
             portfolio: None,
             hello: None,
+            journal: None,
+            timing: None,
         }
+    }
+
+    /// Shorthand for a schedule payload response.
+    pub fn schedule(body: ScheduleBody) -> Self {
+        let mut r = Self::ok_empty();
+        if let Response::Ok { schedule, .. } = &mut r {
+            *schedule = Some(body);
+        }
+        r
     }
 
     /// Shorthand for a stats payload response.
     pub fn stats(body: StatsBody) -> Self {
-        Response::Ok {
-            schedule: None,
-            stats: Some(body),
-            metrics: None,
-            portfolio: None,
-            hello: None,
+        let mut r = Self::ok_empty();
+        if let Response::Ok { stats, .. } = &mut r {
+            *stats = Some(body);
         }
+        r
     }
 
     /// Shorthand for a Prometheus metrics response.
     pub fn metrics(text: impl Into<String>) -> Self {
-        Response::Ok {
-            schedule: None,
-            stats: None,
-            metrics: Some(text.into()),
-            portfolio: None,
-            hello: None,
+        let mut r = Self::ok_empty();
+        if let Response::Ok { metrics, .. } = &mut r {
+            *metrics = Some(text.into());
         }
+        r
     }
 
     /// Shorthand for a portfolio payload response.
     pub fn portfolio(body: PortfolioBody) -> Self {
-        Response::Ok {
-            schedule: None,
-            stats: None,
-            metrics: None,
-            portfolio: Some(body),
-            hello: None,
+        let mut r = Self::ok_empty();
+        if let Response::Ok { portfolio, .. } = &mut r {
+            *portfolio = Some(body);
         }
+        r
     }
 
     /// Shorthand for a hello (handshake) payload response.
     pub fn hello(body: HelloBody) -> Self {
-        Response::Ok {
-            schedule: None,
-            stats: None,
-            metrics: None,
-            portfolio: None,
-            hello: Some(body),
+        let mut r = Self::ok_empty();
+        if let Response::Ok { hello, .. } = &mut r {
+            *hello = Some(body);
         }
+        r
+    }
+
+    /// Shorthand for a journal payload response.
+    pub fn journal(body: JournalBody) -> Self {
+        let mut r = Self::ok_empty();
+        if let Response::Ok { journal, .. } = &mut r {
+            *journal = Some(body);
+        }
+        r
+    }
+
+    /// Attach (or replace) the timing block of an `ok` response; a no-op
+    /// on every other status.
+    pub fn with_timing(mut self, body: TimingBody) -> Self {
+        if let Response::Ok { timing, .. } = &mut self {
+            *timing = Some(body);
+        }
+        self
     }
 
     /// Serialize as one NDJSON line (no trailing newline).
@@ -581,5 +763,84 @@ mod tests {
 
         let opts: RequestOptions = serde_json::from_str(r#"{"trace":true}"#).unwrap();
         assert!(opts.trace);
+    }
+
+    #[test]
+    fn trace_ctx_roundtrip_and_absence_is_byte_stable() {
+        // Absent context serializes to nothing: an untraced request line
+        // is byte-identical to one built before trace_ctx existed.
+        let line = serde_json::to_string(&RequestOptions::default()).unwrap();
+        assert!(!line.contains("trace_ctx"), "{line}");
+
+        let opts: RequestOptions = serde_json::from_str(
+            r#"{"trace_ctx":{"trace_id":"00deadbeef001234",
+                "hops":[{"tier":"gateway","sent_at_us":42}]}}"#,
+        )
+        .unwrap();
+        let ctx = opts.trace_ctx.as_ref().unwrap();
+        assert_eq!(ctx.trace_id, "00deadbeef001234");
+        assert_eq!(ctx.hops.len(), 1);
+        assert_eq!(ctx.hops[0].tier, "gateway");
+        assert_eq!(ctx.hops[0].sent_at_us, 42);
+        let back: RequestOptions =
+            serde_json::from_str(&serde_json::to_string(&opts).unwrap()).unwrap();
+        assert_eq!(back, opts);
+    }
+
+    #[test]
+    fn journal_op_and_timing_block_roundtrip() {
+        assert!(matches!(
+            Request::parse(r#"{"op":"journal"}"#).unwrap(),
+            Request::Journal
+        ));
+        let line = Response::journal(JournalBody {
+            source: "gateway".into(),
+            spans: vec![SpanRecord {
+                trace_id: "00deadbeef001234".into(),
+                name: "request".into(),
+                start_us: 0,
+                dur_us: 1200,
+                detail: String::new(),
+            }],
+        })
+        .to_line();
+        let v: serde_json::Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(v["status"].as_str(), Some("ok"));
+        assert_eq!(v["journal"]["source"].as_str(), Some("gateway"));
+        assert_eq!(v["journal"]["spans"][0]["dur_us"].as_u64(), Some(1200));
+        // empty detail is elided from the wire
+        assert!(!line.contains("detail"), "{line}");
+
+        let timing = TimingBody {
+            trace_id: "00deadbeef001234".into(),
+            hops: vec![],
+            serve: Some(ServeTiming {
+                total_us: 900,
+                parse_us: 10,
+                queue_us: 100,
+                compute_us: 700,
+                cache: "computed".into(),
+            }),
+            gateway: None,
+        };
+        let line = Response::hello(HelloBody {
+            service: "hetsched-serve".into(),
+            version: "0".into(),
+            workers: 1,
+            queue_capacity: 1,
+        })
+        .with_timing(timing)
+        .to_line();
+        let v: serde_json::Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(v["timing"]["serve"]["compute_us"].as_u64(), Some(700));
+        assert_eq!(v["timing"]["serve"]["cache"].as_str(), Some("computed"));
+        // with_timing leaves non-ok statuses untouched
+        let line = Response::error("boom").with_timing(TimingBody {
+            trace_id: "x".into(),
+            hops: vec![],
+            serve: None,
+            gateway: None,
+        });
+        assert!(!line.to_line().contains("timing"));
     }
 }

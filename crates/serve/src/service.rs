@@ -36,12 +36,13 @@ use hetsched_dag::{Dag, Fingerprint};
 use hetsched_platform::{System, SystemSpec};
 
 use crate::cache::LruCache;
-use crate::metrics::{GaugeSnapshot, ServiceMetrics};
+use crate::journal::Journal;
+use crate::metrics::{GaugeSnapshot, RequestStatus, ServiceMetrics};
 use crate::protocol::{
-    HelloBody, PortfolioBody, PortfolioEntryBody, Request, RequestOptions, Response, ScheduleBody,
-    StatsBody,
+    HelloBody, JournalBody, PortfolioBody, PortfolioEntryBody, Request, RequestOptions, Response,
+    ScheduleBody, ServeTiming, SpanRecord, StatsBody, TimingBody,
 };
-use crate::worker::{worker_loop, Job, RepairCtx};
+use crate::worker::{worker_loop, Job, JobCtx, RepairCtx};
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -83,6 +84,9 @@ pub(crate) struct Shared {
     pub(crate) cache: Mutex<LruCache<ScheduleBody>>,
     pub(crate) instances: Mutex<LruCache<Arc<ProblemInstance<'static>>>>,
     pub(crate) shutting: AtomicBool,
+    /// Bounded span journal for traced requests, drained by the
+    /// `journal` op. Untraced requests never touch it.
+    pub(crate) journal: Journal,
 }
 
 /// The resident scheduling service. Cheap to share behind an `Arc`; every
@@ -132,6 +136,7 @@ impl Service {
             instances: Mutex::new(LruCache::new(config.instance_cache_capacity)),
             metrics: ServiceMetrics::new(),
             shutting: AtomicBool::new(false),
+            journal: Journal::default(),
             config,
         });
         let workers = (0..shared.config.workers)
@@ -182,8 +187,12 @@ impl Service {
     /// Handle one NDJSON request line, returning the response (never
     /// panics, never blocks past the request deadline).
     pub fn handle_line(&self, line: &str) -> Response {
+        let arrival = Instant::now();
         match Request::parse(line) {
-            Ok(req) => self.handle(req),
+            Ok(req) => {
+                let parse_us = arrival.elapsed().as_micros() as u64;
+                self.handle_at(req, LineMeta { arrival, parse_us })
+            }
             Err(e) => {
                 ServiceMetrics::bump(&self.shared.metrics.errors);
                 Response::error(format!("bad request: {e}"))
@@ -193,10 +202,24 @@ impl Service {
 
     /// Handle one parsed request.
     pub fn handle(&self, req: Request) -> Response {
+        self.handle_at(
+            req,
+            LineMeta {
+                arrival: Instant::now(),
+                parse_us: 0,
+            },
+        )
+    }
+
+    fn handle_at(&self, req: Request, meta: LineMeta) -> Response {
         match req {
             Request::Hello => Response::hello(self.hello_body()),
             Request::Stats => Response::stats(self.stats_body()),
             Request::Metrics => Response::metrics(self.metrics_text()),
+            Request::Journal => Response::journal(JournalBody {
+                source: "shard".to_string(),
+                spans: self.shared.journal.drain(),
+            }),
             Request::Shutdown => {
                 self.begin_shutdown();
                 Response::ShuttingDown
@@ -206,20 +229,112 @@ impl Service {
                 system,
                 algorithm,
                 options,
-            } => self.handle_schedule(dag, system, algorithm, options),
+            } => {
+                let deadline_ms = options.deadline_ms;
+                let resp = self.handle_schedule(dag, system, algorithm, options, meta);
+                self.record_outcome("schedule", deadline_ms, meta.arrival, &resp);
+                resp
+            }
             Request::Portfolio {
                 dag,
                 system,
                 algorithms,
                 options,
-            } => self.handle_portfolio(dag, system, algorithms, options),
+            } => {
+                let deadline_ms = options.deadline_ms;
+                let resp = self.handle_portfolio(dag, system, algorithms, options, meta);
+                self.record_outcome("portfolio", deadline_ms, meta.arrival, &resp);
+                resp
+            }
             Request::Patch {
                 parent,
                 algorithm,
                 deltas,
                 options,
-            } => self.handle_patch(&parent, algorithm, &deltas, options),
+            } => {
+                let deadline_ms = options.deadline_ms;
+                let resp = self.handle_patch(&parent, algorithm, &deltas, options, meta);
+                self.record_outcome("patch", deadline_ms, meta.arrival, &resp);
+                resp
+            }
         }
+    }
+
+    /// Record the end-of-request SLO accounting in one place: the
+    /// status-labeled latency histogram, the per-op outcome counter, and —
+    /// for deadlined requests that made it — the remaining deadline slack.
+    fn record_outcome(
+        &self,
+        op: &str,
+        deadline_ms: Option<u64>,
+        started: Instant,
+        resp: &Response,
+    ) {
+        let status = match resp {
+            Response::Ok { .. } => RequestStatus::Success,
+            Response::Busy { .. } | Response::Shed { .. } => RequestStatus::Shed,
+            Response::Timeout { .. } => RequestStatus::Timeout,
+            Response::Error { .. } => RequestStatus::Error,
+            Response::ShuttingDown => return,
+        };
+        let m = &self.shared.metrics;
+        let elapsed = started.elapsed();
+        m.latency.record(status, elapsed);
+        m.op_outcomes.bump(op, status);
+        if status == RequestStatus::Success {
+            if let Some(d) = deadline_ms {
+                m.deadline_slack
+                    .record(Duration::from_millis(d).saturating_sub(elapsed));
+            }
+        }
+    }
+
+    /// Finish a traced request at this tier: push the root `request` (and
+    /// `parse`) spans to the journal and attach the reply's `timing`
+    /// block, merging whatever partial serve timing the worker recorded.
+    /// Untraced requests pass through untouched.
+    fn finalize_timing(
+        &self,
+        resp: Response,
+        options: &RequestOptions,
+        meta: LineMeta,
+        fallback_cache: &str,
+    ) -> Response {
+        let Some(ctx) = options.trace_ctx.as_ref() else {
+            return resp;
+        };
+        let total_us = (meta.arrival.elapsed().as_micros() as u64).max(1);
+        let mut serve = match &resp {
+            Response::Ok {
+                timing: Some(t), ..
+            } => t.serve.clone().unwrap_or_default(),
+            _ => ServeTiming::default(),
+        };
+        if serve.cache.is_empty() {
+            serve.cache = fallback_cache.to_string();
+        }
+        serve.total_us = total_us;
+        serve.parse_us = meta.parse_us;
+        self.shared.journal.push(SpanRecord {
+            trace_id: ctx.trace_id.clone(),
+            name: "parse".to_string(),
+            start_us: 0,
+            dur_us: meta.parse_us,
+            detail: String::new(),
+        });
+        self.shared.journal.push(SpanRecord {
+            trace_id: ctx.trace_id.clone(),
+            name: "request".to_string(),
+            start_us: 0,
+            dur_us: total_us,
+            detail: serve.cache.clone(),
+        });
+        resp.with_timing(TimingBody {
+            trace_id: ctx.trace_id.clone(),
+            hops: ctx.hops.clone(),
+            serve: Some(serve),
+            gateway: None,
+        })
     }
 
     /// Identification payload for the `hello` handshake.
@@ -252,9 +367,13 @@ impl Service {
             repairs: ServiceMetrics::read(&m.repairs),
             workers: self.shared.config.workers,
             queue_capacity: self.shared.config.queue_capacity,
-            latency_samples: m.latency.count(),
-            latency_p50_us: m.latency.quantile_us(0.50),
-            latency_p99_us: m.latency.quantile_us(0.99),
+            latency_samples: m.latency.success().count(),
+            latency_p50_us: m.latency.success().quantile_us(0.50),
+            latency_p99_us: m.latency.success().quantile_us(0.99),
+            qwait_p50_us: m.queue_wait.quantile_us(0.50),
+            qwait_p99_us: m.queue_wait.quantile_us(0.99),
+            compute_p50_us: m.compute.quantile_us(0.50),
+            compute_p99_us: m.compute.quantile_us(0.99),
         }
     }
 
@@ -362,6 +481,7 @@ impl Service {
     /// pair: returns the cached body immediately on a memo hit, otherwise
     /// enqueues the job and hands back the reply channel to wait on.
     #[allow(clippy::result_large_err)] // the Err is the wire `Response`; see `protocol::Response`
+    #[allow(clippy::too_many_arguments)] // one-call-site-per-op plumbing of request state
     fn memo_or_submit(
         &self,
         inst: &Arc<ProblemInstance<'static>>,
@@ -370,6 +490,7 @@ impl Service {
         options: &RequestOptions,
         block_until: Option<Instant>,
         repair: Option<RepairCtx>,
+        ctx: Option<JobCtx>,
     ) -> Result<MemberState, Response> {
         let m = &self.shared.metrics;
         ServiceMetrics::bump(&m.requests);
@@ -389,6 +510,8 @@ impl Service {
                 options: options.clone(),
                 fingerprint: fp,
                 repair,
+                enqueued: Instant::now(),
+                ctx,
                 reply: reply_tx,
             },
             block_until,
@@ -402,8 +525,9 @@ impl Service {
         system: SystemSpec,
         algorithm: String,
         options: RequestOptions,
+        meta: LineMeta,
     ) -> Response {
-        let started = Instant::now();
+        let started = meta.arrival;
         let m = &self.shared.metrics;
         if self.is_shutting_down() {
             return Response::ShuttingDown;
@@ -422,11 +546,12 @@ impl Service {
         };
 
         let inst = self.instance_for(dag, sys);
-        let state = match self.memo_or_submit(&inst, &algorithm, alg, &options, None, None) {
+        let ctx = JobCtx::for_options(&options, started);
+        let state = match self.memo_or_submit(&inst, &algorithm, alg, &options, None, None, ctx) {
             Ok(state) => state,
-            Err(resp) => return resp,
+            Err(resp) => return self.finalize_timing(resp, &options, meta, "none"),
         };
-        self.finish_single(started, &algorithm, &options, state)
+        self.finish_single(started, &algorithm, &options, meta, state)
     }
 
     /// Incrementally reschedule a cached problem: resolve `parent` through
@@ -441,8 +566,9 @@ impl Service {
         algorithm: String,
         deltas: &[Delta],
         options: RequestOptions,
+        meta: LineMeta,
     ) -> Response {
-        let started = Instant::now();
+        let started = meta.arrival;
         let m = &self.shared.metrics;
         if self.is_shutting_down() {
             return Response::ShuttingDown;
@@ -508,11 +634,12 @@ impl Service {
                 })
             });
 
-        let state = match self.memo_or_submit(&inst, &algorithm, alg, &options, None, repair) {
+        let ctx = JobCtx::for_options(&options, started);
+        let state = match self.memo_or_submit(&inst, &algorithm, alg, &options, None, repair, ctx) {
             Ok(state) => state,
-            Err(resp) => return resp,
+            Err(resp) => return self.finalize_timing(resp, &options, meta, "none"),
         };
-        self.finish_single(started, &algorithm, &options, state)
+        self.finish_single(started, &algorithm, &options, meta, state)
     }
 
     /// Single-request tail shared by `schedule` and `patch`: answer a memo
@@ -523,15 +650,15 @@ impl Service {
         started: Instant,
         algorithm: &str,
         options: &RequestOptions,
+        meta: LineMeta,
         state: MemberState,
     ) -> Response {
         let m = &self.shared.metrics;
         let reply_rx = match state {
             MemberState::Cached(body) => {
-                let elapsed = started.elapsed();
-                m.latency.record(elapsed);
-                m.record_algorithm(algorithm, elapsed);
-                return Response::schedule(*body);
+                m.record_algorithm(algorithm, started.elapsed());
+                let resp = Response::schedule(*body);
+                return self.finalize_timing(resp, options, meta, "memo");
             }
             MemberState::Pending(rx) => rx,
         };
@@ -542,12 +669,10 @@ impl Service {
                 .unwrap_or(self.shared.config.default_deadline_ms),
         );
         let remaining = deadline.saturating_sub(started.elapsed());
-        match await_reply(&reply_rx, remaining) {
+        let resp = match await_reply(&reply_rx, remaining) {
             Ok(resp) => {
                 if matches!(resp, Response::Ok { .. }) {
-                    let elapsed = started.elapsed();
-                    m.latency.record(elapsed);
-                    m.record_algorithm(algorithm, elapsed);
+                    m.record_algorithm(algorithm, started.elapsed());
                 }
                 resp
             }
@@ -566,7 +691,8 @@ impl Service {
                 ServiceMetrics::bump(&m.errors);
                 Response::error("worker pool shut down before replying")
             }
-        }
+        };
+        self.finalize_timing(resp, options, meta, "none")
     }
 
     fn handle_portfolio(
@@ -575,8 +701,9 @@ impl Service {
         system: SystemSpec,
         algorithm_names: Vec<String>,
         options: RequestOptions,
+        meta: LineMeta,
     ) -> Response {
-        let started = Instant::now();
+        let started = meta.arrival;
         let m = &self.shared.metrics;
         if self.is_shutting_down() {
             return Response::ShuttingDown;
@@ -622,9 +749,9 @@ impl Service {
         // the queue capacity — workers drain it while we wait.
         let mut states = Vec::with_capacity(members.len());
         for (name, alg) in names.iter().zip(members) {
-            match self.memo_or_submit(&inst, name, alg, &options, Some(deadline_at), None) {
+            match self.memo_or_submit(&inst, name, alg, &options, Some(deadline_at), None, None) {
                 Ok(state) => states.push(state),
-                Err(resp) => return resp,
+                Err(resp) => return self.finalize_timing(resp, &options, meta, "none"),
             }
         }
         let mut bodies: Vec<ScheduleBody> = Vec::with_capacity(states.len());
@@ -672,13 +799,22 @@ impl Service {
                 cached: b.cached,
             })
             .collect();
-        m.latency.record(started.elapsed());
-        Response::portfolio(PortfolioBody {
+        let resp = Response::portfolio(PortfolioBody {
             entries,
             best,
             schedule: bodies.swap_remove(best),
-        })
+        });
+        self.finalize_timing(resp, &options, meta, "portfolio")
     }
+}
+
+/// Per-line request metadata stamped by the transport-facing entry
+/// point: when the line arrived and how long it took to parse. `handle`
+/// (the parsed-request entry point) uses a zero-parse stamp.
+#[derive(Clone, Copy)]
+struct LineMeta {
+    arrival: Instant,
+    parse_us: u64,
 }
 
 /// A portfolio member after the memo lookup: already answered from the
@@ -1282,6 +1418,154 @@ mod tests {
         assert!(retry.cached);
         assert!(retry.trace.is_some());
         assert_eq!(svc.stats_body().cache_hits, 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn traced_request_journals_spans_and_shares_the_untraced_memo_entry() {
+        let svc = Service::start(test_config());
+        let traced = svc.handle_line(&small_request(
+            5,
+            "HEFT",
+            r#"{"trace_ctx":{"trace_id":"00aa00aa00aa00aa"}}"#,
+        ));
+        let Response::Ok {
+            schedule: Some(body),
+            timing: Some(timing),
+            ..
+        } = &traced
+        else {
+            panic!("traced: {traced:?}");
+        };
+        assert!(!body.cached);
+        assert!(body.trace.is_none(), "trace_ctx is not the decision log");
+        assert_eq!(timing.trace_id, "00aa00aa00aa00aa");
+        let serve = timing.serve.as_ref().expect("serve timing");
+        assert_eq!(serve.cache, "computed");
+        assert!(serve.compute_us >= 1);
+        assert!(
+            serve.total_us >= serve.queue_us + serve.compute_us,
+            "total {} < queue {} + compute {}",
+            serve.total_us,
+            serve.queue_us,
+            serve.compute_us
+        );
+
+        // The trace context is not part of the memo key: the identical
+        // untraced request is a pure cache hit, byte-identical, no timing.
+        let plain = svc.handle_line(&small_request(5, "HEFT", "{}"));
+        let Response::Ok {
+            schedule: Some(pb),
+            timing: plain_timing,
+            ..
+        } = &plain
+        else {
+            panic!("plain: {plain:?}");
+        };
+        assert!(plain_timing.is_none());
+        assert!(pb.cached, "trace_ctx must not split the memo key");
+        assert_eq!(
+            serde_json::to_string(&pb.schedule).unwrap(),
+            serde_json::to_string(&body.schedule).unwrap()
+        );
+
+        // A traced retry answers from the memo and says so.
+        let retry = svc.handle_line(&small_request(
+            5,
+            "HEFT",
+            r#"{"trace_ctx":{"trace_id":"00bb00bb00bb00bb"}}"#,
+        ));
+        let Response::Ok {
+            timing: Some(retry_timing),
+            ..
+        } = &retry
+        else {
+            panic!("retry: {retry:?}");
+        };
+        assert_eq!(retry_timing.serve.as_ref().unwrap().cache, "memo");
+
+        // The journal drained the spans of both traced requests; spans of
+        // one request nest inside its root `request` span.
+        let resp = svc.handle_line(r#"{"op":"journal"}"#);
+        let Response::Ok {
+            journal: Some(journal),
+            ..
+        } = &resp
+        else {
+            panic!("journal: {resp:?}");
+        };
+        assert_eq!(journal.source, "shard");
+        let of_first: Vec<_> = journal
+            .spans
+            .iter()
+            .filter(|s| s.trace_id == "00aa00aa00aa00aa")
+            .collect();
+        let names: Vec<&str> = of_first.iter().map(|s| s.name.as_str()).collect();
+        for expect in ["request", "queue", "compute"] {
+            assert!(names.contains(&expect), "missing {expect} in {names:?}");
+        }
+        assert!(
+            names.iter().any(|n| n.starts_with("engine:")),
+            "engine phases in {names:?}"
+        );
+        let root = of_first.iter().find(|s| s.name == "request").unwrap();
+        for s in &of_first {
+            assert!(
+                s.start_us + s.dur_us <= root.start_us + root.dur_us + 1,
+                "span {} [{}, +{}] escapes root [{}, +{}]",
+                s.name,
+                s.start_us,
+                s.dur_us,
+                root.start_us,
+                root.dur_us
+            );
+        }
+        // The memo-hit retry journaled a root span too, but no compute.
+        let of_retry: Vec<&str> = journal
+            .spans
+            .iter()
+            .filter(|s| s.trace_id == "00bb00bb00bb00bb")
+            .map(|s| s.name.as_str())
+            .collect();
+        assert!(of_retry.contains(&"request"));
+        assert!(!of_retry.contains(&"compute"));
+
+        // Draining again yields nothing; untraced requests journal nothing.
+        svc.handle_line(&small_request(4, "CPOP", "{}"));
+        let resp = svc.handle_line(r#"{"op":"journal"}"#);
+        let Response::Ok {
+            journal: Some(journal),
+            ..
+        } = &resp
+        else {
+            panic!("journal: {resp:?}");
+        };
+        assert!(journal.spans.is_empty(), "{:?}", journal.spans);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn outcome_accounting_labels_statuses() {
+        use crate::metrics::RequestStatus;
+        let svc = Service::start(test_config());
+        svc.handle_line(&small_request(5, "HEFT", "{\"deadline_ms\":5000}"));
+        svc.handle_line(&small_request(5, "NO-SUCH", "{}"));
+        let slow = small_request(6, "HEFT", "{\"debug_sleep_ms\":300,\"deadline_ms\":25}");
+        let resp = svc.handle_line(&slow);
+        assert!(matches!(resp, Response::Timeout { .. }), "got {resp:?}");
+        let m = svc.metrics();
+        assert_eq!(m.latency.get(RequestStatus::Success).count(), 1);
+        assert_eq!(m.latency.get(RequestStatus::Error).count(), 1);
+        assert_eq!(m.latency.get(RequestStatus::Timeout).count(), 1);
+        assert_eq!(m.op_outcomes.get("schedule", RequestStatus::Success), 1);
+        assert_eq!(m.op_outcomes.get("schedule", RequestStatus::Timeout), 1);
+        // The deadlined success recorded its remaining slack.
+        assert_eq!(m.deadline_slack.count(), 1);
+        // Queue-wait/compute histograms see every computed job.
+        assert!(m.queue_wait.count() >= 1);
+        assert!(m.compute.count() >= 1);
+        let stats = svc.stats_body();
+        assert!(stats.compute_p99_us > 0.0);
         svc.shutdown();
     }
 

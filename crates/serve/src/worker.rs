@@ -9,7 +9,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, Sender};
 
@@ -18,7 +18,10 @@ use hetsched_metrics::{slr, speedup};
 use hetsched_sim::{simulate, SimConfig};
 
 use crate::metrics::ServiceMetrics;
-use crate::protocol::{RepairBody, RequestOptions, Response, ScheduleBody, SimBody, TraceBody};
+use crate::protocol::{
+    RepairBody, RequestOptions, Response, ScheduleBody, ServeTiming, SimBody, SpanRecord,
+    TimingBody, TraceBody,
+};
 use crate::service::Shared;
 
 /// Everything a worker needs to *repair* the parent's schedule instead of
@@ -40,6 +43,25 @@ pub(crate) struct RepairCtx {
     pub(crate) parent_sched: hetsched_core::Schedule,
 }
 
+/// Distributed-trace context of one queued job: set only when the
+/// request carried `options.trace_ctx`. Span offsets are relative to
+/// `arrival` (the moment this tier received the request line), matching
+/// the routing layer's root `request` span.
+pub(crate) struct JobCtx {
+    pub(crate) trace_id: String,
+    pub(crate) arrival: Instant,
+}
+
+impl JobCtx {
+    /// The context for a request's options, or `None` when untraced.
+    pub(crate) fn for_options(options: &RequestOptions, arrival: Instant) -> Option<JobCtx> {
+        options.trace_ctx.as_ref().map(|ctx| JobCtx {
+            trace_id: ctx.trace_id.clone(),
+            arrival,
+        })
+    }
+}
+
 /// One queued scheduling job. The instance is shared: concurrent jobs on
 /// the same (DAG, system) pair — portfolio members especially — hold the
 /// same `Arc` and reuse each other's memoized rank vectors.
@@ -50,6 +72,11 @@ pub(crate) struct Job {
     pub(crate) options: RequestOptions,
     pub(crate) fingerprint: u64,
     pub(crate) repair: Option<RepairCtx>,
+    /// When the routing layer put this job on the bounded queue; the
+    /// worker turns it into the queue-wait measurement on dequeue.
+    pub(crate) enqueued: Instant,
+    /// Distributed-trace context (traced requests only).
+    pub(crate) ctx: Option<JobCtx>,
     pub(crate) reply: Sender<Response>,
 }
 
@@ -83,6 +110,11 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
 }
 
 fn compute(job: Job, shared: &Shared) -> Response {
+    let dequeued = Instant::now();
+    shared
+        .metrics
+        .queue_wait
+        .record(dequeued.duration_since(job.enqueued));
     if let Some(ms) = job.options.debug_sleep_ms {
         std::thread::sleep(Duration::from_millis(ms));
     }
@@ -91,9 +123,15 @@ fn compute(job: Job, shared: &Shared) -> Response {
     }
 
     let (dag, sys) = (job.inst.dag(), job.inst.sys());
+    // Traced requests (distributed trace context) harvest the engine's
+    // phase spans even when the client did not ask for the full decision
+    // log; the capture never changes a schedule byte (the PR 3 tracing
+    // contract), so the produced body memoizes identically.
+    let want_phases = job.ctx.is_some();
     let run = || {
         if job.options.trace {
             let (sched, trace) = hetsched_core::traced_schedule_instance(&*job.alg, &job.inst);
+            let phases = trace.phases.clone();
             (
                 sched,
                 Some(TraceBody {
@@ -102,6 +140,7 @@ fn compute(job: Job, shared: &Shared) -> Response {
                     events: trace.events,
                 }),
                 None,
+                phases,
             )
         } else if let Some(ctx) = &job.repair {
             let (sched, stats) =
@@ -115,15 +154,20 @@ fn compute(job: Job, shared: &Shared) -> Response {
                     rescheduled: stats.rescheduled,
                     fresh: stats.fresh,
                 }),
+                Vec::new(),
             )
+        } else if want_phases {
+            let (sched, trace) = hetsched_core::traced_schedule_instance(&*job.alg, &job.inst);
+            (sched, None, None, trace.phases)
         } else {
-            (job.alg.schedule_instance(&job.inst), None, None)
+            (job.alg.schedule_instance(&job.inst), None, None, Vec::new())
         }
     };
     // Per-request search parallelism, capped by the pool size so one
     // request cannot oversubscribe the host. Schedules are bit-identical
     // at any thread count, so this needs no cache-key treatment.
-    let (sched, trace, repair) = match job.options.jobs {
+    let engine_start = Instant::now();
+    let (sched, trace, repair, phases) = match job.options.jobs {
         Some(j) => hetsched_core::par::with_jobs(j.clamp(1, shared.config.workers), run),
         None => run(),
     };
@@ -146,8 +190,20 @@ fn compute(job: Job, shared: &Shared) -> Response {
             result,
         }
     });
+    let computed_at = Instant::now();
+    shared
+        .metrics
+        .compute
+        .record(computed_at.duration_since(dequeued));
+    let (cache_kind, repair_note) = match &repair {
+        Some(r) if !r.fresh => (
+            "repaired",
+            format!("replayed={} rescheduled={}", r.replayed, r.rescheduled),
+        ),
+        _ => ("computed", String::new()),
+    };
     let body = ScheduleBody {
-        algorithm: job.algorithm,
+        algorithm: job.algorithm.clone(),
         makespan,
         slr: slr(dag, sys, makespan),
         speedup: speedup(dag, sys, makespan),
@@ -161,5 +217,84 @@ fn compute(job: Job, shared: &Shared) -> Response {
     };
     shared.cache.lock().insert(job.fingerprint, body.clone());
     ServiceMetrics::bump(&shared.metrics.computed);
-    Response::schedule(body)
+    let mut resp = Response::schedule(body);
+    if let Some(ctx) = &job.ctx {
+        let timing = record_job_spans(
+            &job,
+            ctx,
+            shared,
+            dequeued,
+            engine_start,
+            computed_at,
+            phases,
+            cache_kind,
+            repair_note,
+        );
+        resp = resp.with_timing(timing);
+    }
+    resp
+}
+
+/// Push the worker-side spans of one traced job — `queue`, `compute`,
+/// and the engine phases nested inside `compute` — and build the partial
+/// serve timing the routing layer completes with `total_us`/`parse_us`.
+#[allow(clippy::too_many_arguments)] // one-call-site plumbing of timestamps
+fn record_job_spans(
+    job: &Job,
+    ctx: &JobCtx,
+    shared: &Shared,
+    dequeued: Instant,
+    engine_start: Instant,
+    computed_at: Instant,
+    phases: Vec<hetsched_trace::PhaseSpan>,
+    cache_kind: &str,
+    detail: String,
+) -> TimingBody {
+    let off = |i: Instant| i.saturating_duration_since(ctx.arrival).as_micros() as u64;
+    let (queue_start, compute_start) = (off(job.enqueued), off(dequeued));
+    let compute_end = off(computed_at).max(compute_start + 1);
+    let queue_us = compute_start.saturating_sub(queue_start);
+    let compute_us = compute_end - compute_start;
+    let mut spans = vec![
+        SpanRecord {
+            trace_id: ctx.trace_id.clone(),
+            name: "queue".to_string(),
+            start_us: queue_start,
+            dur_us: queue_us.max(1),
+            detail: String::new(),
+        },
+        SpanRecord {
+            trace_id: ctx.trace_id.clone(),
+            name: "compute".to_string(),
+            start_us: compute_start,
+            dur_us: compute_us,
+            detail,
+        },
+    ];
+    let engine_base = off(engine_start);
+    for p in &phases {
+        let start = engine_base + p.start_ns / 1_000;
+        let start = start.clamp(compute_start, compute_end.saturating_sub(1));
+        let dur = (p.dur_ns / 1_000).max(1).min(compute_end - start);
+        spans.push(SpanRecord {
+            trace_id: ctx.trace_id.clone(),
+            name: format!("engine:{}", p.name),
+            start_us: start,
+            dur_us: dur,
+            detail: String::new(),
+        });
+    }
+    shared.journal.extend(spans);
+    TimingBody {
+        trace_id: ctx.trace_id.clone(),
+        hops: Vec::new(),
+        serve: Some(ServeTiming {
+            total_us: 0,
+            parse_us: 0,
+            queue_us,
+            compute_us,
+            cache: cache_kind.to_string(),
+        }),
+        gateway: None,
+    }
 }

@@ -1,0 +1,525 @@
+//! End-to-end tests for distributed request tracing: the standing
+//! contract that tracing never changes a schedule byte or a memo key,
+//! and the fleet-wide span-journal pipeline (gateway + shards drained
+//! and merged into one nested Chrome-trace timeline).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hetsched::dag::io::DagSpec;
+use hetsched::workloads::gauss::gaussian_elimination;
+use hetsched_gateway::{GatewayConfig, GatewayServer, LocalShards};
+use hetsched_serve::{merge_chrome_trace, ServeConfig, Service, SpanRecord};
+
+const SYSTEM_JSON: &str = r#"{"processors": {"kind": "speeds", "speeds": [2.0, 1.0, 1.5]},
+    "network": {"topology": "fully_connected", "startup": 0.5, "bandwidth": 1.0}}"#;
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        queue_capacity: 16,
+        cache_capacity: 16,
+        instance_cache_capacity: 16,
+        default_deadline_ms: 10_000,
+    }
+}
+
+/// DagSpec JSON for a deterministic Gaussian-elimination workload.
+fn dag_json(m: usize, seed: u64) -> serde_json::Value {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dag = gaussian_elimination(m, 1.0, &mut rng);
+    serde_json::to_value(DagSpec::from_dag(&dag)).unwrap()
+}
+
+fn schedule_request(m: usize, seed: u64, algorithm: &str, options: &str) -> String {
+    format!(
+        "{{\"op\":\"schedule\",\"dag\":{},\"system\":{},\"algorithm\":\"{algorithm}\",\"options\":{options}}}",
+        serde_json::to_string(&dag_json(m, seed)).unwrap(),
+        SYSTEM_JSON.replace('\n', ""),
+    )
+}
+
+fn traced_options(trace_id: &str) -> String {
+    format!("{{\"trace_ctx\":{{\"trace_id\":\"{trace_id}\"}}}}")
+}
+
+/// Assert `traced` is byte-for-byte `plain` plus a trailing `timing`
+/// block: identical prefix, then `,"timing":{...}}`. This is the
+/// strongest form of the tracing-is-invisible contract — not merely
+/// value-equal, but the same bytes in the same order.
+fn assert_identical_modulo_timing(plain: &str, traced: &str) {
+    assert!(plain.starts_with("{\"status\":\"ok\""), "{plain}");
+    assert!(traced.starts_with("{\"status\":\"ok\""), "{traced}");
+    let prefix = &plain[..plain.len() - 1]; // drop the closing brace
+    assert!(
+        traced.starts_with(prefix),
+        "traced reply diverges from untraced before the timing block:\n  plain:  {plain}\n  traced: {traced}"
+    );
+    let tail = &traced[prefix.len()..];
+    assert!(
+        tail.starts_with(",\"timing\":{"),
+        "traced reply's extra bytes are not a trailing timing block: {tail}"
+    );
+}
+
+/// Tracing on vs off, across a grid of problems and algorithms: the
+/// traced reply must be the untraced reply's exact bytes plus a trailing
+/// timing block. Fresh service per side so both replies are fresh
+/// computations (a memo hit flips the `cached` flag, which would be a
+/// real difference, not a tracing artifact).
+#[test]
+fn tracing_is_invisible_across_a_problem_grid() {
+    for &m in &[4usize, 5, 6] {
+        for &alg in &["HEFT", "CPOP"] {
+            let plain_svc = Service::start(serve_config());
+            let traced_svc = Service::start(serve_config());
+
+            let plain = plain_svc
+                .handle_line(&schedule_request(m, 11, alg, "{}"))
+                .to_line();
+            let traced = traced_svc
+                .handle_line(&schedule_request(
+                    m,
+                    11,
+                    alg,
+                    &traced_options("00c0ffee00c0ffee"),
+                ))
+                .to_line();
+            assert_identical_modulo_timing(&plain, &traced);
+
+            let t: serde_json::Value = serde_json::from_str(&traced).unwrap();
+            assert_eq!(t["timing"]["trace_id"].as_str(), Some("00c0ffee00c0ffee"));
+            assert_eq!(t["timing"]["serve"]["cache"].as_str(), Some("computed"));
+            assert!(t["timing"]["serve"]["total_us"].as_u64().unwrap() > 0);
+
+            plain_svc.shutdown();
+            traced_svc.shutdown();
+        }
+    }
+}
+
+/// The portfolio and patch ops honor the same contract: traced replies
+/// are byte-identical to untraced ones modulo the trailing timing block.
+#[test]
+fn tracing_is_invisible_for_portfolio_and_patch() {
+    let plain_svc = Service::start(serve_config());
+    let traced_svc = Service::start(serve_config());
+    let dag = serde_json::to_string(&dag_json(5, 11)).unwrap();
+    let sys = SYSTEM_JSON.replace('\n', "");
+
+    let portfolio = |options: &str| {
+        format!(
+            "{{\"op\":\"portfolio\",\"dag\":{dag},\"system\":{sys},\"algorithms\":[\"HEFT\",\"CPOP\"],\"options\":{options}}}"
+        )
+    };
+    let plain = plain_svc.handle_line(&portfolio("{}")).to_line();
+    let traced = traced_svc
+        .handle_line(&portfolio(&traced_options("00000000000ff1ce")))
+        .to_line();
+    assert_identical_modulo_timing(&plain, &traced);
+
+    // Seed both instance caches with the same parent, then patch it —
+    // one side traced, one not.
+    let seed_line = schedule_request(5, 11, "HEFT", "{}");
+    let seeded: serde_json::Value =
+        serde_json::from_str(&plain_svc.handle_line(&seed_line).to_line()).unwrap();
+    traced_svc.handle_line(&seed_line);
+    let parent = seeded["schedule"]["problem"].as_str().unwrap().to_string();
+    // Weight 7.5 genuinely differs from the generated pivot weight (m),
+    // so the patched problem is a fresh fingerprint, not a memo hit.
+    let patch = |options: &str| {
+        format!(
+            "{{\"op\":\"patch\",\"parent\":\"{parent}\",\"algorithm\":\"HEFT\",\"deltas\":[{{\"kind\":\"task_weight\",\"task\":0,\"weight\":7.5}}],\"options\":{options}}}"
+        )
+    };
+    let plain = plain_svc.handle_line(&patch("{}")).to_line();
+    let traced = traced_svc
+        .handle_line(&patch(&traced_options("00000000deadbeef")))
+        .to_line();
+    assert_identical_modulo_timing(&plain, &traced);
+    let t: serde_json::Value = serde_json::from_str(&traced).unwrap();
+    assert_eq!(t["timing"]["serve"]["cache"].as_str(), Some("repaired"));
+
+    plain_svc.shutdown();
+    traced_svc.shutdown();
+}
+
+/// The trace context is not part of the memo key: a traced computation
+/// populates the cache for untraced repeats (and vice versa), and a
+/// traced memo hit reports `cache: "memo"` in its timing block while the
+/// schedule payload stays the stored bytes.
+#[test]
+fn trace_context_is_excluded_from_memo_keys() {
+    let svc = Service::start(serve_config());
+
+    let traced_fresh: serde_json::Value = serde_json::from_str(
+        &svc.handle_line(&schedule_request(
+            6,
+            11,
+            "HEFT",
+            &traced_options("aaaaaaaaaaaaaaaa"),
+        ))
+        .to_line(),
+    )
+    .unwrap();
+    assert_eq!(traced_fresh["schedule"]["cached"].as_bool(), Some(false));
+    assert_eq!(
+        traced_fresh["timing"]["serve"]["cache"].as_str(),
+        Some("computed")
+    );
+
+    // Untraced repeat: memo hit seeded by the traced computation, and no
+    // timing block appears.
+    let plain_repeat_line = svc
+        .handle_line(&schedule_request(6, 11, "HEFT", "{}"))
+        .to_line();
+    assert!(
+        !plain_repeat_line.contains("\"timing\""),
+        "{plain_repeat_line}"
+    );
+    let plain_repeat: serde_json::Value = serde_json::from_str(&plain_repeat_line).unwrap();
+    assert_eq!(plain_repeat["schedule"]["cached"].as_bool(), Some(true));
+    assert_eq!(
+        plain_repeat["schedule"]["schedule"],
+        traced_fresh["schedule"]["schedule"]
+    );
+
+    // Traced repeat under a different trace id: still the same memo
+    // entry, now reported as a memo hit.
+    let traced_repeat: serde_json::Value = serde_json::from_str(
+        &svc.handle_line(&schedule_request(
+            6,
+            11,
+            "HEFT",
+            &traced_options("bbbbbbbbbbbbbbbb"),
+        ))
+        .to_line(),
+    )
+    .unwrap();
+    assert_eq!(traced_repeat["schedule"]["cached"].as_bool(), Some(true));
+    assert_eq!(
+        traced_repeat["timing"]["trace_id"].as_str(),
+        Some("bbbbbbbbbbbbbbbb")
+    );
+    assert_eq!(
+        traced_repeat["timing"]["serve"]["cache"].as_str(),
+        Some("memo")
+    );
+    assert_eq!(
+        traced_repeat["timing"]["serve"]["queue_us"].as_u64(),
+        Some(0)
+    );
+    assert_eq!(
+        traced_repeat["schedule"]["schedule"],
+        traced_fresh["schedule"]["schedule"]
+    );
+
+    svc.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Property form of the invisibility contract: over random workloads
+    /// and algorithms, a traced fresh reply is byte-identical to an
+    /// untraced fresh reply plus a trailing timing block.
+    #[test]
+    fn prop_tracing_never_changes_reply_bytes(
+        m in 3usize..7,
+        seed in 0u64..1_000,
+        alg_idx in 0usize..2,
+    ) {
+        let alg = ["HEFT", "CPOP"][alg_idx];
+        let trace_id = format!("{:016x}", seed ^ 0xabcd_0123_4567_89ef);
+        let plain_svc = Service::start(serve_config());
+        let traced_svc = Service::start(serve_config());
+        let plain = plain_svc
+            .handle_line(&schedule_request(m, seed, alg, "{}"))
+            .to_line();
+        let traced = traced_svc
+            .handle_line(&schedule_request(m, seed, alg, &traced_options(&trace_id)))
+            .to_line();
+        assert_identical_modulo_timing(&plain, &traced);
+        plain_svc.shutdown();
+        traced_svc.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fleet-wide journal pipeline over a real 2-shard TCP topology.
+// ---------------------------------------------------------------------
+
+struct Topology {
+    shards: LocalShards,
+    gateway: std::thread::JoinHandle<std::io::Result<()>>,
+    addr: std::net::SocketAddr,
+}
+
+fn spawn_topology(shard_count: usize) -> Topology {
+    let shards = LocalShards::spawn(shard_count, &serve_config()).unwrap();
+    let config = GatewayConfig {
+        backends: shards.addrs(),
+        ..Default::default()
+    };
+    let server = GatewayServer::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let gateway = std::thread::spawn(move || server.run());
+    Topology {
+        shards,
+        gateway,
+        addr,
+    }
+}
+
+impl Topology {
+    fn shutdown(mut self) {
+        let mut c = Client::connect(self.addr);
+        let bye = c.roundtrip(r#"{"op":"shutdown"}"#);
+        assert_eq!(bye["status"].as_str(), Some("shutting_down"), "{bye:?}");
+        self.gateway.join().unwrap().unwrap();
+        self.shards.shutdown_all();
+    }
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn roundtrip_raw(&mut self, line: &str) -> String {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).unwrap();
+        assert!(!reply.is_empty(), "connection closed without a reply");
+        reply.trim().to_string()
+    }
+
+    fn roundtrip(&mut self, line: &str) -> serde_json::Value {
+        let raw = self.roundtrip_raw(line);
+        serde_json::from_str(&raw).unwrap_or_else(|e| panic!("bad reply `{raw}`: {e}"))
+    }
+}
+
+/// Drain one tier's span journal over the wire.
+fn drain_journal(addr: &str) -> Vec<SpanRecord> {
+    let mut c = Client::connect(addr.parse().unwrap());
+    let v = c.roundtrip(r#"{"op":"journal"}"#);
+    assert_eq!(v["status"].as_str(), Some("ok"), "{v:?}");
+    serde_json::from_value(v["journal"]["spans"].clone()).unwrap()
+}
+
+/// Spans of one trace id, asserting they nest inside that trace's root
+/// `request` span.
+fn trace_spans<'a>(spans: &'a [SpanRecord], trace_id: &str) -> Vec<&'a SpanRecord> {
+    let mine: Vec<&SpanRecord> = spans.iter().filter(|s| s.trace_id == trace_id).collect();
+    let root = mine
+        .iter()
+        .find(|s| s.name == "request")
+        .unwrap_or_else(|| panic!("trace {trace_id} has no root request span: {mine:?}"));
+    assert_eq!(root.start_us, 0, "root span starts at the tier's arrival");
+    for s in &mine {
+        assert!(
+            s.start_us + s.dur_us <= root.start_us + root.dur_us + 1,
+            "span {} [{}, {}] escapes the root request span [0, {}] of trace {trace_id}",
+            s.name,
+            s.start_us,
+            s.start_us + s.dur_us,
+            root.dur_us,
+        );
+    }
+    mine
+}
+
+/// One traced schedule + memo repeat + patch through a live 2-shard
+/// topology: the reply timing blocks account for the client-observed
+/// latency, both tiers journal nested spans, a second drain is empty,
+/// and the merged Chrome trace nests shard spans strictly inside the
+/// gateway's backend span.
+#[test]
+fn two_shard_journal_drain_merges_into_nested_timeline() {
+    const T_FRESH: &str = "aaaa00000000aaaa";
+    const T_MEMO: &str = "bbbb00000000bbbb";
+    const T_PATCH: &str = "cccc00000000cccc";
+    let topo = spawn_topology(2);
+    let mut client = Client::connect(topo.addr);
+
+    // Fresh traced schedule: timing block present and plausible.
+    let started = Instant::now();
+    let fresh = client.roundtrip(&schedule_request(6, 11, "HEFT", &traced_options(T_FRESH)));
+    let elapsed_us = started.elapsed().as_micros() as u64;
+    assert_eq!(fresh["status"].as_str(), Some("ok"), "{fresh:?}");
+    assert_eq!(fresh["schedule"]["cached"].as_bool(), Some(false));
+    let timing = &fresh["timing"];
+    assert_eq!(timing["trace_id"].as_str(), Some(T_FRESH));
+    assert_eq!(timing["hops"][0]["tier"].as_str(), Some("gateway"));
+    assert_eq!(timing["gateway"]["dedup"].as_str(), Some("leader"));
+    assert!(timing["gateway"]["attempts"].as_u64().unwrap() >= 1);
+    let gw_total = timing["gateway"]["total_us"].as_u64().unwrap();
+    let serve_total = timing["serve"]["total_us"].as_u64().unwrap();
+    let compute = timing["serve"]["compute_us"].as_u64().unwrap();
+    assert!(gw_total > 0 && serve_total > 0 && compute > 0, "{timing:?}");
+    // The gateway's end-to-end time sits inside the client's observed
+    // round trip, and the backend time it reports covers the shard's own
+    // account of the request.
+    assert!(
+        gw_total <= elapsed_us,
+        "gateway {gw_total}µs > client {elapsed_us}µs"
+    );
+    assert!(
+        timing["gateway"]["backend_us"].as_u64().unwrap() >= compute,
+        "backend round trip does not cover the shard compute: {timing:?}"
+    );
+    assert_eq!(timing["serve"]["cache"].as_str(), Some("computed"));
+
+    // Untraced identical repeat shares the memo entry and carries no
+    // timing block; the schedule payload is the stored bytes either way.
+    let untraced = client.roundtrip(&schedule_request(6, 11, "HEFT", "{}"));
+    assert_eq!(untraced["schedule"]["cached"].as_bool(), Some(true));
+    assert!(untraced.get("timing").is_none(), "{untraced:?}");
+    assert_eq!(
+        untraced["schedule"]["schedule"],
+        fresh["schedule"]["schedule"]
+    );
+
+    // Traced repeat under a new id: memo hit, reported as such.
+    let memo = client.roundtrip(&schedule_request(6, 11, "HEFT", &traced_options(T_MEMO)));
+    assert_eq!(memo["timing"]["serve"]["cache"].as_str(), Some("memo"));
+
+    // Traced incremental patch against the fresh schedule's problem key.
+    let parent = fresh["schedule"]["problem"].as_str().unwrap();
+    let patch = client.roundtrip(&format!(
+        "{{\"op\":\"patch\",\"parent\":\"{parent}\",\"algorithm\":\"HEFT\",\"deltas\":[{{\"kind\":\"task_weight\",\"task\":0,\"weight\":7.5}}],\"options\":{}}}",
+        traced_options(T_PATCH),
+    ));
+    assert_eq!(patch["status"].as_str(), Some("ok"), "{patch:?}");
+    assert_eq!(patch["timing"]["trace_id"].as_str(), Some(T_PATCH));
+
+    // Drain both tiers. Every traced request journals on the gateway;
+    // the shard side journals wherever each request was routed.
+    let gw_spans = drain_journal(&topo.addr.to_string());
+    let shard_journals: Vec<(String, Vec<SpanRecord>)> = topo
+        .shards
+        .addrs()
+        .into_iter()
+        .map(|a| {
+            let spans = drain_journal(&a);
+            (a, spans)
+        })
+        .collect();
+
+    for t in [T_FRESH, T_MEMO, T_PATCH] {
+        let mine = trace_spans(&gw_spans, t);
+        assert!(mine.iter().any(|s| s.name == "admission"), "{t}: {mine:?}");
+        assert!(mine.iter().any(|s| s.name == "backend"), "{t}: {mine:?}");
+    }
+    let all_shard_spans: Vec<SpanRecord> = shard_journals
+        .iter()
+        .flat_map(|(_, s)| s.iter().cloned())
+        .collect();
+    let shard_fresh = trace_spans(&all_shard_spans, T_FRESH);
+    for name in ["queue", "compute"] {
+        assert!(
+            shard_fresh.iter().any(|s| s.name == name),
+            "fresh compute journaled no {name} span: {shard_fresh:?}"
+        );
+    }
+    assert!(
+        shard_fresh.iter().any(|s| s.name.starts_with("engine:")),
+        "no engine phase spans nested under the fresh compute: {shard_fresh:?}"
+    );
+    // Engine phases nest inside the worker's compute span.
+    let compute_span = shard_fresh.iter().find(|s| s.name == "compute").unwrap();
+    for s in shard_fresh.iter().filter(|s| s.name.starts_with("engine:")) {
+        assert!(
+            s.start_us >= compute_span.start_us
+                && s.start_us + s.dur_us <= compute_span.start_us + compute_span.dur_us + 1,
+            "engine span {s:?} escapes compute span {compute_span:?}"
+        );
+    }
+    // The memo hit never reached a worker: no compute span under its id.
+    let shard_memo = trace_spans(&all_shard_spans, T_MEMO);
+    assert!(
+        !shard_memo.iter().any(|s| s.name == "compute"),
+        "memo hit journaled a compute span: {shard_memo:?}"
+    );
+
+    // Merge and validate the Chrome-trace document: shard spans nest
+    // strictly inside the gateway backend span of the same trace, the
+    // worker path renders on the worker lane, and events are in
+    // nondecreasing timestamp order.
+    let doc = merge_chrome_trace(&gw_spans, &shard_journals);
+    let merged: serde_json::Value = serde_json::from_str(&doc).unwrap();
+    let events = merged["traceEvents"].as_array().unwrap();
+    let xs: Vec<&serde_json::Value> = events
+        .iter()
+        .filter(|e| e["ph"].as_str() == Some("X"))
+        .collect();
+    assert!(xs.len() >= 8, "suspiciously few merged spans: {doc}");
+    let mut last_ts = -1.0;
+    for e in &xs {
+        let ts = e["ts"].as_f64().unwrap();
+        assert!(ts >= last_ts, "events out of timestamp order: {doc}");
+        assert!(e["dur"].as_f64().unwrap() >= 1.0, "zero-width span: {e:?}");
+        last_ts = ts;
+    }
+    let find = |pid_gateway: bool, name: &str, trace: &str| -> (f64, f64) {
+        let e = xs
+            .iter()
+            .find(|e| {
+                (pid_gateway == (e["pid"].as_u64() == Some(0)))
+                    && e["name"].as_str() == Some(name)
+                    && e["args"]["trace_id"].as_str() == Some(trace)
+            })
+            .unwrap_or_else(|| panic!("missing merged span {name} for {trace}"));
+        (e["ts"].as_f64().unwrap(), e["dur"].as_f64().unwrap())
+    };
+    let (be_ts, be_dur) = find(true, "backend", T_FRESH);
+    let (sh_ts, sh_dur) = find(false, "request", T_FRESH);
+    let (cp_ts, cp_dur) = find(false, "compute", T_FRESH);
+    assert!(
+        be_ts < sh_ts && sh_ts + sh_dur < be_ts + be_dur,
+        "shard request span [{sh_ts}, {}] not strictly inside gateway backend [{be_ts}, {}]",
+        sh_ts + sh_dur,
+        be_ts + be_dur,
+    );
+    assert!(
+        sh_ts <= cp_ts && cp_ts + cp_dur <= sh_ts + sh_dur,
+        "compute span escapes the shard request span"
+    );
+    let compute_event = xs
+        .iter()
+        .find(|e| e["name"].as_str() == Some("compute"))
+        .unwrap();
+    assert_eq!(
+        compute_event["tid"].as_u64(),
+        Some(1),
+        "compute off the worker lane"
+    );
+
+    // Journals drain destructively: a second drain is empty everywhere.
+    assert!(drain_journal(&topo.addr.to_string()).is_empty());
+    for a in topo.shards.addrs() {
+        assert!(drain_journal(&a).is_empty());
+    }
+
+    topo.shutdown();
+}

@@ -12,6 +12,7 @@ mod genetic;
 mod hcpt;
 mod heft;
 mod hlfet;
+mod hoft;
 mod ils;
 mod maxmin;
 mod mcp;
@@ -29,6 +30,7 @@ pub use genetic::Genetic;
 pub use hcpt::Hcpt;
 pub use heft::Heft;
 pub use hlfet::Hlfet;
+pub use hoft::Hoft;
 pub use ils::{IlsD, IlsH, IlsM};
 pub use maxmin::MaxMin;
 pub use mcp::Mcp;
@@ -50,6 +52,7 @@ pub fn heterogeneous_baselines() -> Vec<Box<dyn Scheduler + Send + Sync>> {
         Box::new(Hcpt::default()),
         Box::new(Pets::default()),
         Box::new(Peft),
+        Box::new(Hoft),
         Box::new(MinMin),
         Box::new(MaxMin),
         Box::new(DupHeft::default()),

@@ -45,15 +45,52 @@ const SEQ_PREFIX_NODES: usize = 192;
 /// incumbent-bound update, identical at any thread count.
 const ROUND_WIDTH: usize = 16;
 
+/// Retired nodes kept for allocation recycling (see [`push_children`]).
+/// Bounds pool memory, not correctness — beyond this, retired nodes are
+/// simply dropped.
+const NODE_POOL_CAP: usize = 512;
+
 /// One open node of the search: a partial schedule plus the ready-set
 /// bookkeeping to expand it.
-#[derive(Clone)]
 struct Node {
     sched: Schedule,
     scheduled: Vec<bool>,
     remaining_preds: Vec<usize>,
     done: usize,
     remaining_work: f64,
+}
+
+/// Manual so `clone_from` recycles the schedule's and bitmaps'
+/// allocations — the search clones one `Node` per branch, and with the
+/// struct-of-arrays `Schedule` a derived clone costs ~4 allocations per
+/// processor plus one per task. Recycling through the node pool makes a
+/// child expansion allocation-free in steady state.
+impl Clone for Node {
+    fn clone(&self) -> Self {
+        Node {
+            sched: self.sched.clone(),
+            scheduled: self.scheduled.clone(),
+            remaining_preds: self.remaining_preds.clone(),
+            done: self.done,
+            remaining_work: self.remaining_work,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.sched.clone_from(&source.sched);
+        self.scheduled.clone_from(&source.scheduled);
+        self.remaining_preds.clone_from(&source.remaining_preds);
+        self.done = source.done;
+        self.remaining_work = source.remaining_work;
+    }
+}
+
+/// Retire a dead node into the pool (or drop it once the pool is full).
+#[inline]
+fn retire(pool: &mut Vec<Node>, node: Node) {
+    if pool.len() < NODE_POOL_CAP {
+        pool.push(node);
+    }
 }
 
 /// Shared read-only search context.
@@ -96,7 +133,13 @@ fn lower_bound(ctx: &Ctx<'_>, sched: &Schedule, scheduled: &[bool], remaining_wo
 /// Expand `node` onto `stack` in LIFO order: children are generated
 /// most-promising-first (deepest min-exec bottom level, then EFT) and
 /// pushed reversed so the most promising branch pops first.
-fn push_children(ctx: &Ctx<'_>, node: &Node, stack: &mut Vec<Node>) {
+///
+/// Children draw their storage from `pool` (retired nodes) via
+/// `clone_from` where possible, falling back to a fresh clone only when
+/// the pool runs dry. This changes nothing about the search — same
+/// children, same order, same node counts — it only recycles
+/// allocations.
+fn push_children(ctx: &Ctx<'_>, node: &Node, stack: &mut Vec<Node>, pool: &mut Vec<Node>) {
     let (dag, sys) = (ctx.dag, ctx.sys);
     let mut ready: Vec<TaskId> = dag
         .task_ids()
@@ -118,23 +161,24 @@ fn push_children(ctx: &Ctx<'_>, node: &Node, stack: &mut Vec<Node>) {
             .collect();
         procs.sort_by(|a, b| a.2.total_cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
         for (p, start, finish) in procs {
-            let mut sched = node.sched.clone();
-            sched
+            let mut child = match pool.pop() {
+                Some(mut recycled) => {
+                    recycled.clone_from(node);
+                    recycled
+                }
+                None => node.clone(),
+            };
+            child
+                .sched
                 .insert(t, p, start, finish - start)
                 .expect("EFT placement is conflict-free");
-            let mut scheduled = node.scheduled.clone();
-            scheduled[t.index()] = true;
-            let mut remaining_preds = node.remaining_preds.clone();
+            child.scheduled[t.index()] = true;
             for (s, _) in dag.successors(t) {
-                remaining_preds[s.index()] -= 1;
+                child.remaining_preds[s.index()] -= 1;
             }
-            children.push(Node {
-                sched,
-                scheduled,
-                remaining_preds,
-                done: node.done + 1,
-                remaining_work: node.remaining_work - ctx.min_exec[t.index()],
-            });
+            child.done = node.done + 1;
+            child.remaining_work = node.remaining_work - ctx.min_exec[t.index()];
+            children.push(child);
         }
     }
     while let Some(c) = children.pop() {
@@ -165,6 +209,7 @@ fn explore_subtree(ctx: &Ctx<'_>, root: Node, entry_bound: f64, cap: usize) -> S
     let mut nodes = 0usize;
     let mut capped = false;
     let mut stack = vec![root];
+    let mut pool: Vec<Node> = Vec::new();
     while let Some(node) = stack.pop() {
         nodes += 1;
         if nodes > cap {
@@ -176,15 +221,19 @@ fn explore_subtree(ctx: &Ctx<'_>, root: Node, entry_bound: f64, cap: usize) -> S
             if m < local_bound - 1e-12 {
                 local_bound = m;
                 best = Some((m, node.sched));
+            } else {
+                retire(&mut pool, node);
             }
             continue;
         }
         if lower_bound(ctx, &node.sched, &node.scheduled, node.remaining_work)
             >= local_bound - 1e-12
         {
+            retire(&mut pool, node);
             continue;
         }
-        push_children(ctx, &node, &mut stack);
+        push_children(ctx, &node, &mut stack, &mut pool);
+        retire(&mut pool, node);
     }
     SubResult {
         best,
@@ -279,6 +328,7 @@ impl BranchAndBound {
 
         // Phase 1: sequential warm-up (possibly the entire search).
         let mut stack = vec![root];
+        let mut pool: Vec<Node> = Vec::new();
         while let Some(node) = stack.pop() {
             nodes += 1;
             if nodes > self.node_budget {
@@ -290,15 +340,19 @@ impl BranchAndBound {
                 if m < best_makespan - 1e-12 {
                     best_makespan = m;
                     best = node.sched;
+                } else {
+                    retire(&mut pool, node);
                 }
                 continue;
             }
             if lower_bound(&ctx, &node.sched, &node.scheduled, node.remaining_work)
                 >= best_makespan - 1e-12
             {
+                retire(&mut pool, node);
                 continue;
             }
-            push_children(&ctx, &node, &mut stack);
+            push_children(&ctx, &node, &mut stack, &mut pool);
+            retire(&mut pool, node);
             if nodes >= SEQ_PREFIX_NODES {
                 break; // hand the open frontier to the round phase
             }

@@ -1,0 +1,172 @@
+//! Per-thread scratch arena for per-schedule transient buffers.
+//!
+//! Every `schedule_instance` call needs the same transient state — most
+//! prominently the [`crate::EftContext`] arrival frontier, one `f64` per
+//! processor — and under the serve daemon those calls arrive thousands of
+//! times per second on resident worker threads. The arena turns those
+//! allocations into checkouts from a thread-local pool: a buffer is taken
+//! at context construction, recycled when the context drops, and handed
+//! back (re-zeroed, so contents are bit-identical to a fresh
+//! `vec![0.0; len]`) to the next call on the same thread. Steady state is
+//! zero allocation: after the first schedule on a thread, subsequent ones
+//! reuse its buffers.
+//!
+//! The crate is `#![forbid(unsafe_code)]`, so this is a *typed* arena —
+//! pools of `Vec<f64>` with ownership moved in and out — rather than a raw
+//! bump allocator over a byte buffer; the allocation-count outcome is the
+//! same and every checkout stays borrow-checked.
+//!
+//! Threading model: the pool is `thread_local!`, which covers every
+//! execution mode for free — the serve workers each own their thread (and
+//! thus their pool), and `par::scoped_replay_pool` runs its per-worker
+//! `init()` replicas on the worker threads themselves, so each replica's
+//! context checks out of that worker's pool with no sharing or locking.
+//!
+//! The `arena-poison` cargo feature NaN-fills every buffer at recycle
+//! time, so a use-after-recycle (a stale clone of a frontier slice, say)
+//! surfaces as NaNs propagating through the schedule — the miri-lite CI
+//! job runs the core test suite with this feature on and debug asserts
+//! enabled. Checkouts re-zero regardless, so poisoning never changes a
+//! schedule byte.
+
+use std::cell::RefCell;
+
+/// A pool of reusable scratch buffers. One lives per thread (see
+/// [`take_f64`] / [`recycle_f64`]); the type is public so tests and
+/// benchmarks can inspect checkout statistics.
+#[derive(Debug, Default)]
+pub struct ScratchArena {
+    f64_pool: Vec<Vec<f64>>,
+    stats: ArenaStats,
+}
+
+/// Checkout counters of one thread's [`ScratchArena`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Total buffer checkouts.
+    pub takes: u64,
+    /// Checkouts that had to allocate because the pool was empty (or
+    /// unavailable). `takes - fresh` buffers were served allocation-free.
+    pub fresh: u64,
+    /// Buffers returned to the pool.
+    pub recycled: u64,
+}
+
+impl ScratchArena {
+    const fn new() -> Self {
+        ScratchArena {
+            f64_pool: Vec::new(),
+            stats: ArenaStats {
+                takes: 0,
+                fresh: 0,
+                recycled: 0,
+            },
+        }
+    }
+
+    /// Check out a buffer of `len` zeros — contents bit-identical to a
+    /// fresh `vec![0.0; len]`, whatever the recycled capacity held.
+    pub fn take_f64(&mut self, len: usize) -> Vec<f64> {
+        self.stats.takes += 1;
+        match self.f64_pool.pop() {
+            Some(mut v) => {
+                v.clear();
+                v.resize(len, 0.0);
+                v
+            }
+            None => {
+                self.stats.fresh += 1;
+                vec![0.0; len]
+            }
+        }
+    }
+
+    /// Return a buffer to the pool for the next [`Self::take_f64`].
+    pub fn put_f64(&mut self, mut v: Vec<f64>) {
+        self.stats.recycled += 1;
+        // Poisoning makes any alias that outlived the recycle visibly
+        // wrong (NaN contaminates every downstream fold) instead of
+        // silently reading stale times.
+        #[cfg(feature = "arena-poison")]
+        v.iter_mut().for_each(|x| *x = f64::NAN);
+        #[cfg(not(feature = "arena-poison"))]
+        v.clear();
+        self.f64_pool.push(v);
+    }
+
+    /// This arena's checkout counters.
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
+    }
+}
+
+thread_local! {
+    static ARENA: RefCell<ScratchArena> = const { RefCell::new(ScratchArena::new()) };
+}
+
+/// Check out a `len`-zeros buffer from the current thread's arena.
+///
+/// Falls back to a plain allocation if the arena is unavailable
+/// (re-entrant call from a destructor, or thread teardown) — callers never
+/// observe the difference.
+pub fn take_f64(len: usize) -> Vec<f64> {
+    ARENA
+        .try_with(|a| match a.try_borrow_mut() {
+            Ok(mut arena) => arena.take_f64(len),
+            Err(_) => vec![0.0; len],
+        })
+        .unwrap_or_else(|_| vec![0.0; len])
+}
+
+/// Recycle a buffer into the current thread's arena (dropped on the floor
+/// if the arena is unavailable).
+pub fn recycle_f64(v: Vec<f64>) {
+    let _ = ARENA.try_with(|a| {
+        if let Ok(mut arena) = a.try_borrow_mut() {
+            arena.put_f64(v);
+        }
+    });
+}
+
+/// Checkout counters of the current thread's arena (zeros if unavailable).
+pub fn thread_stats() -> ArenaStats {
+    ARENA
+        .try_with(|a| a.try_borrow().map(|ar| ar.stats()).unwrap_or_default())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_is_zeroed_and_recycling_avoids_allocation() {
+        let mut arena = ScratchArena::new();
+        let a = arena.take_f64(4);
+        assert_eq!(a, vec![0.0; 4]);
+        assert_eq!(arena.stats().fresh, 1);
+        arena.put_f64(a);
+        // Second checkout reuses the pooled buffer — contents still zeros
+        // (even under `arena-poison`, which NaN-fills only while pooled)
+        // and no fresh allocation.
+        let b = arena.take_f64(6);
+        assert_eq!(b, vec![0.0; 6]);
+        let s = arena.stats();
+        assert_eq!((s.takes, s.fresh, s.recycled), (2, 1, 1));
+    }
+
+    #[test]
+    fn thread_local_take_recycle_round_trip() {
+        let before = thread_stats();
+        let v = take_f64(8);
+        assert_eq!(v, vec![0.0; 8]);
+        recycle_f64(v);
+        let after = thread_stats();
+        assert_eq!(after.takes, before.takes + 1);
+        assert_eq!(after.recycled, before.recycled + 1);
+        // steady state: a second round trip allocates nothing new
+        let v = take_f64(8);
+        recycle_f64(v);
+        assert_eq!(thread_stats().fresh, after.fresh);
+    }
+}

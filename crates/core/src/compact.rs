@@ -41,7 +41,7 @@ pub fn left_shift(dag: &Dag, sys: &System, sched: &Schedule) -> Schedule {
     let mut out = Schedule::new(dag.num_tasks(), sys.num_procs());
     for &(_, _, p, k) in &order {
         let p = hetsched_platform::ProcId(p);
-        let slot = sched.slots(p)[k];
+        let slot = sched.slots(p).get(k);
         // data-ready time against the partially rebuilt schedule; in a
         // valid input every predecessor copy was originally ordered before
         // this slot, so it has already been re-placed.

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod algorithms;
+pub mod arena;
 pub mod compact;
 pub mod cost;
 pub mod delta;
@@ -91,6 +92,21 @@ pub trait Scheduler {
     fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
         self.schedule_instance(&ProblemInstance::from_refs(dag, sys))
     }
+
+    /// Schedule a batch of instances, returning one schedule per instance
+    /// in input order.
+    ///
+    /// Semantically identical to mapping [`Scheduler::schedule_instance`]
+    /// over the batch — every returned schedule is bit-identical to the
+    /// sequential call, at every batch size (enforced by the cross-crate
+    /// property tests). The default implementation *is* that loop;
+    /// EFT-family schedulers override it to reuse one scratch context
+    /// (arrival frontier and arena buffers) across the whole batch, which
+    /// is where batched serve traffic of many small DAGs wins: per-instance
+    /// setup amortizes away while the scheduling math stays untouched.
+    fn schedule_many(&self, insts: &[ProblemInstance]) -> Vec<Schedule> {
+        insts.iter().map(|i| self.schedule_instance(i)).collect()
+    }
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for &S {
@@ -103,6 +119,9 @@ impl<S: Scheduler + ?Sized> Scheduler for &S {
     fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
         (**self).schedule(dag, sys)
     }
+    fn schedule_many(&self, insts: &[ProblemInstance]) -> Vec<Schedule> {
+        (**self).schedule_many(insts)
+    }
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
@@ -114,6 +133,9 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
     }
     fn schedule(&self, dag: &Dag, sys: &System) -> Schedule {
         (**self).schedule(dag, sys)
+    }
+    fn schedule_many(&self, insts: &[ProblemInstance]) -> Vec<Schedule> {
+        (**self).schedule_many(insts)
     }
 }
 
@@ -161,7 +183,7 @@ fn append_placements(sched: &Schedule, trace: &mut hetsched_trace::Trace) {
     let mut slots: Vec<(f64, u32, Slot)> = Vec::new();
     for pi in 0..sched.num_procs() {
         for s in sched.slots(ProcId(pi as u32)) {
-            slots.push((s.start, pi as u32, *s));
+            slots.push((s.start, pi as u32, s));
         }
     }
     slots.sort_by(|a, b| {

@@ -1,5 +1,17 @@
 //! Schedule representation: per-processor timelines with gap (insertion)
 //! search, primary assignments, and duplication support.
+//!
+//! Timelines are stored struct-of-arrays ([`Timeline`]): parallel
+//! `starts`/`finishes`/`tasks`/`dups` vectors instead of a `Vec<Slot>`.
+//! The gap search ([`Schedule::earliest_start`]) and the bulk replay of
+//! schedule repair ([`Schedule::replay_prefix`]) spend their time
+//! streaming start/finish times; keeping those as contiguous `f64` arrays
+//! halves the bytes those scans touch (no interleaved task ids or
+//! duplicate flags) and lets `partition_point` binary-search a plain
+//! `&[f64]`. [`Slot`] remains the public *view* type — `Timeline::get`
+//! and `Timeline::iter` materialize slots by value on demand — and the
+//! serialized wire format is the old array-of-slot-objects, byte for
+//! byte, via the manual serde impls below.
 
 use serde::{Deserialize, Serialize};
 
@@ -12,6 +24,10 @@ use hetsched_platform::ProcId;
 pub const TIME_EPS: f64 = 1e-9;
 
 /// One occupied interval on a processor timeline.
+///
+/// Since the struct-of-arrays refactor this is a *view*: timelines store
+/// the four fields in parallel vectors and materialize `Slot`s by value
+/// (it is 24 bytes and `Copy` — cheaper than chasing a reference).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Slot {
     /// The task executing in this interval.
@@ -22,6 +38,209 @@ pub struct Slot {
     pub finish: f64,
     /// Whether this is a duplicate copy (the primary copy lives elsewhere).
     pub duplicate: bool,
+}
+
+/// One processor's occupied intervals, sorted by start time, stored
+/// struct-of-arrays.
+///
+/// The four vectors always have equal length; index `i` across them is
+/// slot `i`. Mutation goes through the crate-internal `push`/`insert`/
+/// `remove`, which keep the arrays in lockstep; readers use the slice
+/// accessors ([`Timeline::starts`], [`Timeline::finishes`]) on hot paths
+/// and the [`Slot`]-view API ([`Timeline::get`], [`Timeline::iter`])
+/// everywhere else.
+#[derive(Debug, Default, PartialEq)]
+pub struct Timeline {
+    tasks: Vec<TaskId>,
+    starts: Vec<f64>,
+    finishes: Vec<f64>,
+    dups: Vec<bool>,
+}
+
+/// Manual so that `clone_from` recycles the four vectors' allocations —
+/// the derive would fall back to `*self = source.clone()`, which
+/// re-allocates all four. Snapshot-heavy consumers (the branch-and-bound
+/// search clones a `Schedule` per branch node) depend on this to keep the
+/// struct-of-arrays split from multiplying their allocation count.
+impl Clone for Timeline {
+    fn clone(&self) -> Self {
+        Timeline {
+            tasks: self.tasks.clone(),
+            starts: self.starts.clone(),
+            finishes: self.finishes.clone(),
+            dups: self.dups.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.tasks.clone_from(&source.tasks);
+        self.starts.clone_from(&source.starts);
+        self.finishes.clone_from(&source.finishes);
+        self.dups.clone_from(&source.dups);
+    }
+}
+
+impl Timeline {
+    /// Number of slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Whether the timeline has no slots.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+    }
+
+    /// Slot `i`, materialized by value.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Slot {
+        Slot {
+            task: self.tasks[i],
+            start: self.starts[i],
+            finish: self.finishes[i],
+            duplicate: self.dups[i],
+        }
+    }
+
+    /// The last slot, if any.
+    #[inline]
+    pub fn last(&self) -> Option<Slot> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.get(self.len() - 1))
+        }
+    }
+
+    /// Iterate slots (by value) in start order.
+    #[inline]
+    pub fn iter(&self) -> TimelineIter<'_> {
+        TimelineIter { tl: self, i: 0 }
+    }
+
+    /// Start times as a contiguous slice, in slot order.
+    #[inline]
+    pub fn starts(&self) -> &[f64] {
+        &self.starts
+    }
+
+    /// Finish times as a contiguous slice, in slot order.
+    #[inline]
+    pub fn finishes(&self) -> &[f64] {
+        &self.finishes
+    }
+
+    /// Task ids as a contiguous slice, in slot order.
+    #[inline]
+    pub fn tasks(&self) -> &[TaskId] {
+        &self.tasks
+    }
+
+    /// Finish time of the last slot (0.0 when empty).
+    #[inline]
+    fn last_finish(&self) -> f64 {
+        self.finishes.last().copied().unwrap_or(0.0)
+    }
+
+    /// Reserve capacity for exactly `additional` more slots in all four
+    /// arrays.
+    fn reserve_exact(&mut self, additional: usize) {
+        self.tasks.reserve_exact(additional);
+        self.starts.reserve_exact(additional);
+        self.finishes.reserve_exact(additional);
+        self.dups.reserve_exact(additional);
+    }
+
+    /// Append a slot (caller guarantees start-order).
+    fn push(&mut self, s: Slot) {
+        self.tasks.push(s.task);
+        self.starts.push(s.start);
+        self.finishes.push(s.finish);
+        self.dups.push(s.duplicate);
+    }
+
+    /// Insert a slot at index `i`, shifting the rest right.
+    fn insert(&mut self, i: usize, s: Slot) {
+        self.tasks.insert(i, s.task);
+        self.starts.insert(i, s.start);
+        self.finishes.insert(i, s.finish);
+        self.dups.insert(i, s.duplicate);
+    }
+
+    /// Remove and return the slot at index `i`, shifting the rest left.
+    fn remove(&mut self, i: usize) -> Slot {
+        Slot {
+            task: self.tasks.remove(i),
+            start: self.starts.remove(i),
+            finish: self.finishes.remove(i),
+            duplicate: self.dups.remove(i),
+        }
+    }
+}
+
+/// By-value slot iterator over a [`Timeline`].
+#[derive(Debug, Clone)]
+pub struct TimelineIter<'a> {
+    tl: &'a Timeline,
+    i: usize,
+}
+
+impl Iterator for TimelineIter<'_> {
+    type Item = Slot;
+
+    #[inline]
+    fn next(&mut self) -> Option<Slot> {
+        if self.i < self.tl.len() {
+            let s = self.tl.get(self.i);
+            self.i += 1;
+            Some(s)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.tl.len() - self.i;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for TimelineIter<'_> {}
+
+impl<'a> IntoIterator for &'a Timeline {
+    type Item = Slot;
+    type IntoIter = TimelineIter<'a>;
+
+    fn into_iter(self) -> TimelineIter<'a> {
+        self.iter()
+    }
+}
+
+/// Wire format: exactly the pre-SoA `Vec<Slot>` encoding — an array of
+/// slot objects — so serialized schedules (serve replies, CLI dumps,
+/// committed fixtures) are byte-identical across the layout change. Each
+/// element delegates to [`Slot`]'s derived impl.
+impl Serialize for Timeline {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Array(self.iter().map(|s| s.to_value()).collect())
+    }
+}
+
+impl Deserialize for Timeline {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let slots: Vec<Slot> = Vec::from_value(v)?;
+        let mut tl = Timeline::default();
+        tl.reserve_exact(slots.len());
+        for s in slots {
+            tl.push(s);
+        }
+        Ok(tl)
+    }
 }
 
 /// Errors from direct schedule mutation.
@@ -60,7 +279,7 @@ impl std::error::Error for ScheduleError {}
 
 /// A (possibly partial) static schedule.
 ///
-/// Each processor holds a list of [`Slot`]s sorted by start time; the
+/// Each processor holds a [`Timeline`] sorted by start time; the
 /// structure additionally tracks, per task, its *primary* assignment and
 /// the finish time of every copy (primary + duplicates) for duplication-
 /// aware data-ready-time queries.
@@ -69,10 +288,10 @@ impl std::error::Error for ScheduleError {}
 /// without re-checking the no-overlap invariant; run
 /// [`crate::validate::validate`] on any schedule loaded from external
 /// data (the CLI does exactly that).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Schedule {
     n_tasks: usize,
-    timelines: Vec<Vec<Slot>>,
+    timelines: Vec<Timeline>,
     /// Per task: primary (proc, start, finish), if placed.
     primary: Vec<Option<(ProcId, f64, f64)>>,
     /// Per task: every copy as (proc, finish), primary included.
@@ -97,6 +316,36 @@ pub struct Schedule {
     /// like `cache`.
     #[serde(default, skip_serializing_if = "skip_epoch")]
     epoch: Vec<u64>,
+}
+
+/// Manual for the same reason as [`Timeline`]'s: `clone_from` must
+/// recycle every nested allocation (timelines, per-task copy lists,
+/// cache prefix arrays) instead of re-allocating them. `Vec::clone_from`
+/// reuses its own buffer *and* `clone_from`s each element in place, so
+/// the recursion bottoms out with zero allocations once a recycled
+/// schedule has seen its capacity high-water mark.
+impl Clone for Schedule {
+    fn clone(&self) -> Self {
+        Schedule {
+            n_tasks: self.n_tasks,
+            timelines: self.timelines.clone(),
+            primary: self.primary.clone(),
+            copies: self.copies.clone(),
+            cache: self.cache.clone(),
+            trial: self.trial.clone(),
+            epoch: self.epoch.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.n_tasks = source.n_tasks;
+        self.timelines.clone_from(&source.timelines);
+        self.primary.clone_from(&source.primary);
+        self.copies.clone_from(&source.copies);
+        self.cache.clone_from(&source.cache);
+        self.trial.clone_from(&source.trial);
+        self.epoch.clone_from(&source.epoch);
+    }
 }
 
 /// `skip_serializing_if` predicate for [`Schedule::trial`]: always skip.
@@ -134,16 +383,16 @@ fn skip_epoch(_: &Vec<u64>) -> bool {
 /// most insertion queries without scanning the whole slot list. Invariant
 /// (whenever `prefix_max.len() == timeline.len()`):
 ///
-/// * `prefix_max[i]` = running maximum of `slots[..=i].finish` — exactly the
+/// * `prefix_max[i]` = running maximum of `finishes[..=i]` — exactly the
 ///   `prev_finish` value the naive scan holds after processing slot `i`
 ///   (finishes are *not* monotone: slots may overlap boundaries by up to
 ///   [`TIME_EPS`], so the last finish is not necessarily the largest).
-/// * `max_gap_ub` ≥ `fl(slots[i].start + TIME_EPS) - prefix_max[i-1]` for
+/// * `max_gap_ub` ≥ `fl(starts[i] + TIME_EPS) - prefix_max[i-1]` for
 ///   every `i` (with `prefix_max[-1] = 0`): an upper bound on every idle
 ///   interval the scan could ever place work into.
 /// * `scale` = maximum slot finish, used to pad `max_gap_ub` comparisons by
 ///   a margin that provably dominates all rounding error.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Default, Serialize, Deserialize)]
 struct TimelineCache {
     prefix_max: Vec<f64>,
     max_gap_ub: f64,
@@ -155,23 +404,44 @@ struct TimelineCache {
     stamp: u64,
 }
 
+/// Manual so `clone_from` keeps `prefix_max`'s buffer (see [`Timeline`]).
+impl Clone for TimelineCache {
+    fn clone(&self) -> Self {
+        TimelineCache {
+            prefix_max: self.prefix_max.clone(),
+            max_gap_ub: self.max_gap_ub,
+            scale: self.scale,
+            stamp: self.stamp,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.prefix_max.clone_from(&source.prefix_max);
+        self.max_gap_ub = source.max_gap_ub;
+        self.scale = source.scale;
+        self.stamp = source.stamp;
+    }
+}
+
 impl TimelineCache {
-    /// Rebuild from a timeline (O(len)).
-    fn rebuild(&mut self, tl: &[Slot]) {
+    /// Rebuild from a timeline (O(len)). The pass streams the `starts`
+    /// and `finishes` arrays in lockstep — two contiguous `f64` reads per
+    /// slot, nothing else.
+    fn rebuild(&mut self, tl: &Timeline) {
         self.prefix_max.clear();
         self.prefix_max.reserve(tl.len());
         self.max_gap_ub = 0.0;
         self.scale = 0.0;
         let mut prev = 0.0f64;
-        for s in tl {
-            let gap = (s.start + TIME_EPS) - prev;
+        for (&start, &finish) in tl.starts.iter().zip(&tl.finishes) {
+            let gap = (start + TIME_EPS) - prev;
             if gap > self.max_gap_ub {
                 self.max_gap_ub = gap;
             }
-            prev = prev.max(s.finish);
+            prev = prev.max(finish);
             self.prefix_max.push(prev);
-            if s.finish > self.scale {
-                self.scale = s.finish;
+            if finish > self.scale {
+                self.scale = finish;
             }
         }
     }
@@ -187,7 +457,7 @@ impl Schedule {
         assert!(n_procs > 0, "schedule needs at least one processor");
         Schedule {
             n_tasks,
-            timelines: vec![Vec::new(); n_procs],
+            timelines: vec![Timeline::default(); n_procs],
             primary: vec![None; n_tasks],
             copies: vec![Vec::new(); n_tasks],
             cache: vec![TimelineCache::default(); n_procs],
@@ -222,7 +492,7 @@ impl Schedule {
 
     /// Slots on processor `p`, sorted by start time.
     #[inline]
-    pub fn slots(&self, p: ProcId) -> &[Slot] {
+    pub fn slots(&self, p: ProcId) -> &Timeline {
         &self.timelines[p.index()]
     }
 
@@ -272,9 +542,8 @@ impl Schedule {
     pub fn num_duplicates(&self) -> usize {
         self.timelines
             .iter()
-            .flat_map(|tl| tl.iter())
-            .filter(|s| s.duplicate)
-            .count()
+            .map(|tl| tl.dups.iter().filter(|&&d| d).count())
+            .sum()
     }
 
     /// Completion time of the whole schedule: the latest primary finish
@@ -294,8 +563,8 @@ impl Schedule {
     pub fn busy_time(&self) -> f64 {
         self.timelines
             .iter()
-            .flat_map(|tl| tl.iter())
-            .map(|s| s.finish - s.start)
+            .flat_map(|tl| tl.starts.iter().zip(&tl.finishes))
+            .map(|(&s, &f)| f - s)
             .sum()
     }
 
@@ -311,7 +580,7 @@ impl Schedule {
 
     /// Latest finish time of any slot on `p` (0.0 if idle).
     pub fn proc_finish(&self, p: ProcId) -> f64 {
-        self.timelines[p.index()].last().map_or(0.0, |s| s.finish)
+        self.timelines[p.index()].last_finish()
     }
 
     /// Earliest time at or after `ready` when an idle interval of length
@@ -373,14 +642,15 @@ impl Schedule {
     /// timeline. This is the semantic definition the cached variant must
     /// reproduce bit-for-bit; it is kept both as the deserialization
     /// fallback and as the oracle for the conformance/property tests.
-    pub(crate) fn earliest_start_scan(tl: &[Slot], ready: f64, dur: f64) -> f64 {
+    /// The scan touches only the two contiguous time arrays.
+    pub(crate) fn earliest_start_scan(tl: &Timeline, ready: f64, dur: f64) -> f64 {
         let mut prev_finish = 0.0f64;
-        for s in tl {
+        for (&start, &finish) in tl.starts.iter().zip(&tl.finishes) {
             let candidate = ready.max(prev_finish);
-            if candidate + dur <= s.start + TIME_EPS {
+            if candidate + dur <= start + TIME_EPS {
                 return candidate;
             }
-            prev_finish = prev_finish.max(s.finish);
+            prev_finish = prev_finish.max(finish);
         }
         ready.max(prev_finish)
     }
@@ -400,8 +670,9 @@ impl Schedule {
     ///    `prev_finish` (since `candidate >= ready`), so the scan is
     ///    entered at the first slot where that (monotone) predicate flips,
     ///    seeding `prev_finish` from the prefix maximum — the exact value
-    ///    the naive loop would hold there.
-    fn earliest_start_cached(tl: &[Slot], c: &TimelineCache, ready: f64, dur: f64) -> f64 {
+    ///    the naive loop would hold there. The `partition_point` binary
+    ///    search runs directly on the contiguous `starts` array.
+    fn earliest_start_cached(tl: &Timeline, c: &TimelineCache, ready: f64, dur: f64) -> f64 {
         let Some(&last_max) = c.prefix_max.last() else {
             return ready; // empty timeline
         };
@@ -411,14 +682,14 @@ impl Schedule {
         }
         hetsched_trace::counters(|k| k.gap_cached_searches += 1);
         let rd = ready + dur;
-        let lo = tl.partition_point(|s| s.start + TIME_EPS < rd);
+        let lo = tl.starts.partition_point(|&s| s + TIME_EPS < rd);
         let mut prev_finish = if lo == 0 { 0.0 } else { c.prefix_max[lo - 1] };
-        for s in &tl[lo..] {
+        for (&start, &finish) in tl.starts[lo..].iter().zip(&tl.finishes[lo..]) {
             let candidate = ready.max(prev_finish);
-            if candidate + dur <= s.start + TIME_EPS {
+            if candidate + dur <= start + TIME_EPS {
                 return candidate;
             }
-            prev_finish = prev_finish.max(s.finish);
+            prev_finish = prev_finish.max(finish);
         }
         ready.max(prev_finish)
     }
@@ -489,15 +760,18 @@ impl Schedule {
     /// pass over the parent's slot lists and each gap-search cache is
     /// rebuilt once at the end — O(slots) total instead of one O(len)
     /// cache rebuild per insertion, which is what makes replaying nearly
-    /// the whole schedule cheaper than recomputing it.
+    /// the whole schedule cheaper than recomputing it. Each destination
+    /// timeline reserves its exact kept-slot count before the copy, so the
+    /// bulk replay performs one allocation per array, never a growth
+    /// doubling mid-pass.
     ///
     /// The resulting timeline vectors are bit-identical to the insertion
     /// loop's: an insertion position is a `partition_point` over start
     /// times, so the relative order of two replayed slots is a function
     /// only of their start times and of which was inserted first — both
     /// shared with the parent's own construction — and removing the
-    /// parent's non-replayed slots (`Vec::insert`/`Vec::remove` preserve
-    /// the relative order of the remaining elements) cannot reorder the
+    /// parent's non-replayed slots (`insert`/`remove` preserve the
+    /// relative order of the remaining elements) cannot reorder the
     /// rest. Filtering the parent's timelines therefore reproduces exactly
     /// the vectors the per-insert replay would build.
     ///
@@ -508,7 +782,7 @@ impl Schedule {
     /// unsorted/overlapping parent timeline.
     pub(crate) fn replay_prefix(&mut self, parent: &Schedule, tasks: &[TaskId]) -> Result<(), ()> {
         debug_assert!(self.trial.is_none(), "replay_prefix runs outside trials");
-        debug_assert!(self.timelines.iter().all(Vec::is_empty));
+        debug_assert!(self.timelines.iter().all(Timeline::is_empty));
         let mut keep = vec![false; self.n_tasks];
         for &t in tasks {
             if t.index() >= self.n_tasks || keep[t.index()] || self.primary[t.index()].is_some() {
@@ -532,8 +806,17 @@ impl Schedule {
         let mut placed = 0usize;
         for pi in 0..self.timelines.len() {
             if let Some(src) = parent.timelines.get(pi) {
+                // Exact per-processor capacity up front: count the kept
+                // slots once (a cheap pass over the task-id array), then
+                // fill — the copy loop below can never reallocate.
+                let kept = src
+                    .tasks
+                    .iter()
+                    .filter(|t| t.index() < keep.len() && keep[t.index()])
+                    .count();
                 let tl = &mut self.timelines[pi];
-                for s in src {
+                tl.reserve_exact(kept);
+                for s in src.iter() {
                     if s.task.index() >= keep.len() || !keep[s.task.index()] {
                         continue;
                     }
@@ -551,7 +834,7 @@ impl Schedule {
                             return Err(());
                         }
                     }
-                    tl.push(*s);
+                    tl.push(s);
                     placed += 1;
                 }
             }
@@ -559,6 +842,10 @@ impl Schedule {
             if let Some(c) = self.cache.get_mut(pi) {
                 c.rebuild(&self.timelines[pi]);
                 c.stamp = ep;
+                debug_assert_eq!(
+                    c.stamp, self.epoch[pi],
+                    "rebuilt gap cache must carry the live mutation epoch"
+                );
             }
         }
         // Catches a parent whose timeline slots disagree with its primary
@@ -631,22 +918,23 @@ impl Schedule {
         let overlaps = |a_start: f64, a_finish: f64, b_start: f64, b_finish: f64| {
             a_start < b_finish - TIME_EPS && b_start < a_finish - TIME_EPS
         };
-        // position of the first slot starting at or after `start`
-        let pos = tl.partition_point(|s| s.start < start);
-        if pos > 0 && overlaps(start, finish, tl[pos - 1].start, tl[pos - 1].finish) {
+        // position of the first slot starting at or after `start` — a
+        // binary search over the contiguous start-time array
+        let pos = tl.starts.partition_point(|&s| s < start);
+        if pos > 0 && overlaps(start, finish, tl.starts[pos - 1], tl.finishes[pos - 1]) {
             return Err(ScheduleError::Overlap {
                 proc: p,
-                existing: tl[pos - 1].task,
+                existing: tl.tasks[pos - 1],
             });
         }
-        for s in &tl[pos..] {
-            if s.start >= finish - TIME_EPS {
+        for k in pos..tl.len() {
+            if tl.starts[k] >= finish - TIME_EPS {
                 break;
             }
-            if overlaps(start, finish, s.start, s.finish) {
+            if overlaps(start, finish, tl.starts[k], tl.finishes[k]) {
                 return Err(ScheduleError::Overlap {
                     proc: p,
-                    existing: s.task,
+                    existing: tl.tasks[k],
                 });
             }
         }
@@ -661,7 +949,7 @@ impl Schedule {
         );
         // Keep the gap-search cache in lockstep. A mid-timeline insert
         // invalidates every prefix maximum (and gap) at or after `pos`, and
-        // `Vec::insert` above is already O(len), so a full O(len) rebuild
+        // the `insert` above is already O(len), so a full O(len) rebuild
         // keeps the same asymptotics with straight-line code. The rebuilt
         // cache is stamped with the new mutation epoch; schedules without a
         // cache (deserialized) stay cacheless — queries scan.
@@ -751,7 +1039,7 @@ impl Schedule {
         let _ = writeln!(s, "makespan = {:.4}", self.makespan());
         for (pi, tl) in self.timelines.iter().enumerate() {
             let _ = write!(s, "p{pi}: ");
-            for slot in tl {
+            for slot in tl.iter() {
                 let mark = if slot.duplicate { "*" } else { "" };
                 let _ = write!(
                     s,
@@ -899,6 +1187,59 @@ mod tests {
     }
 
     #[test]
+    fn timeline_view_and_soa_slices_agree() {
+        // The Slot-view API (get/iter/last) and the raw SoA slices expose
+        // the same data in the same order.
+        let mut s = Schedule::new(3, 1);
+        s.insert(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        s.insert(TaskId(2), ProcId(0), 5.0, 1.0).unwrap();
+        s.insert_duplicate(TaskId(1), ProcId(0), 3.0, 1.0).unwrap();
+        let tl = s.slots(ProcId(0));
+        assert_eq!(tl.len(), 3);
+        assert!(!tl.is_empty());
+        assert_eq!(tl.starts(), &[0.0, 3.0, 5.0]);
+        assert_eq!(tl.finishes(), &[2.0, 4.0, 6.0]);
+        assert_eq!(tl.tasks(), &[TaskId(0), TaskId(1), TaskId(2)]);
+        for (k, slot) in tl.iter().enumerate() {
+            assert_eq!(slot, tl.get(k));
+            assert_eq!(slot.start, tl.starts()[k]);
+            assert_eq!(slot.finish, tl.finishes()[k]);
+            assert_eq!(slot.task, tl.tasks()[k]);
+        }
+        assert_eq!(tl.iter().len(), 3);
+        assert_eq!(tl.last(), Some(tl.get(2)));
+        assert!(tl.get(1).duplicate);
+        // IntoIterator for &Timeline (the `for slot in sched.slots(p)` form)
+        let visited: Vec<Slot> = tl.into_iter().collect();
+        assert_eq!(visited, tl.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn timeline_wire_format_is_the_slot_array() {
+        // The SoA layout must serialize exactly as the old Vec<Slot> did:
+        // an array of {task, start, finish, duplicate} objects.
+        let mut s = Schedule::new(2, 1);
+        s.insert(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
+        s.insert_duplicate(TaskId(1), ProcId(0), 3.0, 1.5).unwrap();
+        s.insert(TaskId(1), ProcId(0), 6.0, 1.0).unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(
+            json.contains(r#""timelines":[[{"task":0,"start":0.0,"finish":2.0,"duplicate":false}"#),
+            "{json}"
+        );
+        // round trip restores every slot (and the ephemeral cache/epoch
+        // stay off the wire)
+        assert!(!json.contains("prefix_max"), "{json}");
+        assert!(!json.contains("epoch"), "{json}");
+        let back: Schedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.slots(ProcId(0)).len(), 3);
+        for k in 0..3 {
+            assert_eq!(back.slots(ProcId(0)).get(k), s.slots(ProcId(0)).get(k));
+        }
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
     fn trial_rollback_restores_the_schedule_bit_for_bit() {
         let mut s = Schedule::new(4, 2);
         s.insert(TaskId(0), ProcId(0), 0.0, 2.0).unwrap();
@@ -987,7 +1328,7 @@ mod tests {
         assert_eq!(p, ProcId(0));
         assert_eq!(got_start.to_bits(), start.to_bits());
         assert_eq!(got_finish.to_bits(), finish.to_bits());
-        assert_eq!(s.slots(ProcId(0))[0].finish.to_bits(), finish.to_bits());
+        assert_eq!(s.slots(ProcId(0)).get(0).finish.to_bits(), finish.to_bits());
 
         // error paths mirror `insert`
         assert_eq!(

@@ -113,12 +113,13 @@ pub fn validate(dag: &Dag, sys: &System, sched: &Schedule) -> Result<(), Validat
         // 2. non-overlap (slots are sorted by start; conflict requires a
         //    positive-measure intersection so zero-duration virtual tasks
         //    may share a boundary instant)
-        for w in slots.windows(2) {
-            if w[0].finish > w[1].start + TIME_EPS && w[1].finish > w[0].start + TIME_EPS {
+        for k in 1..slots.len() {
+            let (a, b) = (slots.get(k - 1), slots.get(k));
+            if a.finish > b.start + TIME_EPS && b.finish > a.start + TIME_EPS {
                 return Err(ValidationError::Overlap {
                     proc: p,
-                    first: w[0].task,
-                    second: w[1].task,
+                    first: a.task,
+                    second: b.task,
                 });
             }
         }

@@ -27,17 +27,20 @@ load options (saturation sweep against a gateway + shards topology):
   --rate <r>         base arrival rate in requests/second (default 150);
                      the sweep runs 0.5x, 1x, and 3x (just 1x with --quick)
   --duration-ms <ms> wall time per sweep step (default 3000)
-  --mix <u,d,p>      unique/duplicate/patch request shares (default
-                     0.5,0.3,0.2); duplicates exercise single-flight
-                     dedup, patches send real `patch` ops against a
-                     parent learned from earlier replies
+  --mix <u,d,p[,b]>  unique/duplicate/patch[/batch] request shares
+                     (default 0.5,0.3,0.2, batch 0); duplicates exercise
+                     single-flight dedup, patches send real `patch` ops
+                     against a parent learned from earlier replies, and
+                     batch sends `schedule_many` requests of 4-16
+                     instances each
   --hot-ms <ms>      debug-sleep carried by duplicate requests, holding
                      the dedup leader in flight (default 25)
   --work-ms <ms>     debug-sleep carried by unique/patch requests — a
                      deterministic stand-in for compute cost (default 20)
   --strict           exit nonzero on any protocol error, when a
-                     duplicate-carrying mix produces zero dedup hits, or
-                     when a patch-carrying mix sends zero patch ops
+                     duplicate-carrying mix produces zero dedup hits,
+                     when a patch-carrying mix sends zero patch ops, or
+                     when a batch reply's entries come back out of order
   --bench-out <file> merge `load/r<rate>/p50|p99` client latency entries
                      plus `load/r<rate>/qwait_p99|compute_p99` server-side
                      breakdown entries into <file> (other keys, e.g. perf
@@ -78,6 +81,9 @@ pub struct Config {
     pub duration_ms: u64,
     /// `load`: unique / duplicate / patch-shaped request shares.
     pub mix: (f64, f64, f64),
+    /// `load`: share of `schedule_many` batch requests (the optional
+    /// fourth `--mix` component; 0 when `--mix` has three parts).
+    pub mix_batch: f64,
     /// `load`: debug-sleep carried by duplicate requests (ms).
     pub hot_ms: u64,
     /// `load`: debug-sleep carried by unique/patch requests (ms).
@@ -132,6 +138,7 @@ impl Default for Config {
             rate: 150.0,
             duration_ms: 3_000,
             mix: (0.5, 0.3, 0.2),
+            mix_batch: 0.0,
             hot_ms: 25,
             work_ms: 20,
             strict: false,
@@ -205,14 +212,21 @@ pub fn parse_args(args: &[String]) -> Result<(Vec<String>, Config), String> {
                     .map(|p| p.trim().parse::<f64>())
                     .collect::<Result<_, _>>()
                     .map_err(|e| format!("--mix: {e}"))?;
-                let [u, d, p] = parts[..] else {
-                    return Err("--mix needs three comma-separated shares (u,d,p)".into());
+                let (u, d, p, b) = match parts[..] {
+                    [u, d, p] => (u, d, p, 0.0),
+                    [u, d, p, b] => (u, d, p, b),
+                    _ => {
+                        return Err(
+                            "--mix needs three or four comma-separated shares (u,d,p[,b])".into(),
+                        )
+                    }
                 };
-                if u < 0.0 || d < 0.0 || p < 0.0 || u + d + p <= 0.0 {
+                if u < 0.0 || d < 0.0 || p < 0.0 || b < 0.0 || u + d + p + b <= 0.0 {
                     return Err("--mix shares must be non-negative and not all zero".into());
                 }
-                let total = u + d + p;
+                let total = u + d + p + b;
                 cfg.mix = (u / total, d / total, p / total);
+                cfg.mix_batch = b / total;
             }
             "--hot-ms" => {
                 cfg.hot_ms = take_value("--hot-ms")?
@@ -370,6 +384,21 @@ mod tests {
         assert_eq!(cfg.hot_ms, 10);
         assert_eq!(cfg.work_ms, 5);
         assert!(cfg.strict);
+    }
+
+    #[test]
+    fn mix_accepts_an_optional_batch_share() {
+        let (_, cfg) = parse_args(&["load".into(), "--mix".into(), "1,1,1,1".into()]).unwrap();
+        assert_eq!(cfg.mix, (0.25, 0.25, 0.25));
+        assert_eq!(cfg.mix_batch, 0.25);
+        // three components keep batch at zero
+        let (_, cfg) = parse_args(&["load".into(), "--mix".into(), "1,1,2".into()]).unwrap();
+        assert_eq!(cfg.mix_batch, 0.0);
+        // a batch-only mix is valid: the other shares may all be zero
+        let (_, cfg) = parse_args(&["load".into(), "--mix".into(), "0,0,0,1".into()]).unwrap();
+        assert_eq!(cfg.mix_batch, 1.0);
+        assert!(parse_args(&["load".into(), "--mix".into(), "1,1,1,-1".into()]).is_err());
+        assert!(parse_args(&["load".into(), "--mix".into(), "1,1,1,1,1".into()]).is_err());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Drives a saturation sweep of Poisson-ish arrivals (seeded, vendored
 //! RNG — the arrival schedule and request mix are deterministic) against
 //! either an in-process gateway + shards topology it spawns itself, or an
-//! already-running gateway (`--target`). Requests come in three shapes:
+//! already-running gateway (`--target`). Requests come in four shapes:
 //!
 //! - **unique** — a fresh problem every time; exercises fingerprint
 //!   routing and the shard compute path.
@@ -22,6 +22,13 @@
 //!   to a pre-built near-identical full problem. A patch whose parent was
 //!   evicted from the shard's instance cache answers `unknown_parent`;
 //!   the harness counts those separately and `--strict` tolerates them.
+//! - **batch** — a `schedule_many` request of 4–16 instances (the
+//!   optional fourth `--mix` share, 0 by default). Batch member `i`
+//!   carries a strictly increasing task count, so the reply's per-entry
+//!   slot counts witness the request order; `--strict` fails when any
+//!   batch reply's entries come back out of order. Batch members carry
+//!   no compute stand-in (see [`many_line`]) — the shape measures
+//!   ordering and fan-out overhead, not saturation.
 //!
 //! Unique/patch requests carry `debug_sleep_ms = work_ms`, a
 //! deterministic stand-in for compute cost, so the saturation point of
@@ -63,6 +70,10 @@ const DEADLINE_MS: u64 = 2_000;
 /// Tasks per generated problem: small enough that parse + schedule are
 /// cheap and `debug_sleep_ms` dominates the (deterministic) service time.
 const TASKS_PER_PROBLEM: usize = 30;
+/// Tasks in the smallest batch member. Member `i` has
+/// `BATCH_BASE_TASKS + i` tasks — strictly increasing within a batch, so
+/// a reply entry's slot count identifies which member it answers.
+const BATCH_BASE_TASKS: usize = 8;
 /// Reply-wait bound: no reply within this window is a protocol error (a
 /// hung server must fail the harness, not wedge it).
 const READ_TIMEOUT: Duration = Duration::from_secs(15);
@@ -83,6 +94,12 @@ struct Counts {
     /// `unknown_parent` replies: the parent aged out of the shard's
     /// instance cache between learning it and patching it.
     patch_miss: AtomicU64,
+    /// `schedule_many` batch requests sent (the mix's batch share).
+    batch: AtomicU64,
+    /// Batch replies whose entries did not match the request order (or
+    /// count) — always zero against a correct server; fatal with
+    /// `--strict`.
+    batch_ooo: AtomicU64,
 }
 
 /// Outcome of one sweep step.
@@ -97,6 +114,8 @@ struct StepResult {
     protocol_errors: u64,
     patched: u64,
     patch_miss: u64,
+    batch: u64,
+    batch_ooo: u64,
     p50_us: f64,
     p99_us: f64,
     /// Server-side 99th-percentile queue wait (worst shard), µs,
@@ -115,6 +134,9 @@ struct Pools {
     patch: Vec<String>,
     /// Hot problems in rotation order; index = elapsed / rotation.
     hot: Vec<String>,
+    /// `schedule_many` lines, paired with their instance count so the
+    /// reader knows how many entries (and which sizes) to expect.
+    batch: Vec<(String, usize)>,
     rotation: Duration,
 }
 
@@ -129,8 +151,13 @@ impl Pools {
 
 /// One deterministic problem as a JSON value.
 fn problem_value(seed: u64) -> Value {
+    problem_value_n(seed, TASKS_PER_PROBLEM)
+}
+
+/// One deterministic problem of `tasks` tasks as a JSON value.
+fn problem_value_n(seed: u64, tasks: usize) -> Value {
     let mut rng = StdRng::seed_from_u64(seed);
-    let dag = random_dag(&RandomDagParams::new(TASKS_PER_PROBLEM, 1.0, 1.0), &mut rng);
+    let dag = random_dag(&RandomDagParams::new(tasks, 1.0, 1.0), &mut rng);
     serde_json::to_value(DagSpec::from_dag(&dag)).expect("DagSpec serializes")
 }
 
@@ -184,6 +211,47 @@ fn patched(dag: &Value) -> Value {
     v
 }
 
+/// Serialize one `schedule_many` request line of `count` instances.
+/// Member `i` carries `BATCH_BASE_TASKS + i` tasks: strictly increasing
+/// sizes, so the reply's per-entry slot counts witness the answer order.
+///
+/// Batch members deliberately carry **no** `debug_sleep_ms`: the batch
+/// mix exercises ordering, fan-out, and batching overhead — not compute
+/// saturation. A per-member sleep would multiply by the batch size and
+/// let a cold batch pool (before the memo absorbs its 16 distinct
+/// lines) shed the whole measurement window, which is exactly the kind
+/// of host-dependent transient the deterministic stand-in exists to
+/// avoid.
+fn many_line(seed: u64, count: usize, system: &Value) -> String {
+    let instances: Vec<Value> = (0..count)
+        .map(|i| {
+            let dag = problem_value_n(seed ^ (i as u64 + 1), BATCH_BASE_TASKS + i);
+            serde_json::json!({"dag": dag, "system": system})
+        })
+        .collect();
+    let mut options = serde_json::Map::new();
+    options.insert("deadline_ms", serde_json::to_value(DEADLINE_MS).unwrap());
+    let mut req = serde_json::Map::new();
+    req.insert("op", Value::String("schedule_many".into()));
+    req.insert("instances", Value::Array(instances));
+    req.insert("algorithm", Value::String("HEFT".into()));
+    req.insert("options", Value::Object(options));
+    serde_json::to_string(&Value::Object(req)).expect("request serializes")
+}
+
+/// Total scheduled slots in one batch-reply entry: HEFT places exactly
+/// one slot per task, so this recovers the member's task count.
+fn entry_slot_count(entry: &Value) -> Option<usize> {
+    let timelines = entry.get("schedule")?.get("timelines")?.as_array()?;
+    Some(
+        timelines
+            .iter()
+            .filter_map(Value::as_array)
+            .map(Vec::len)
+            .sum(),
+    )
+}
+
 /// Serialize one schedule request line.
 fn request_line(dag: &Value, system: &Value, sleep_ms: u64) -> String {
     let mut options = serde_json::Map::new();
@@ -234,10 +302,24 @@ fn build_pools(cfg: &Config, rate: f64, step: usize) -> Pools {
             request_line(&dag, &system, cfg.hot_ms)
         })
         .collect();
+    let batch_pool = if cfg.mix_batch > 0.0 {
+        size(cfg.mix_batch)
+    } else {
+        0 // no batch share: skip generating the (multi-instance) lines
+    };
+    let batch: Vec<(String, usize)> = (0..batch_pool)
+        .map(|i| {
+            // 4..=16 instances, cycling deterministically through sizes
+            let count = 4 + (i % 13);
+            let seed = base ^ (0x4000_0000 + ((i as u64) << 8));
+            (many_line(seed, count, &system), count)
+        })
+        .collect();
     Pools {
         unique,
         patch,
         hot,
+        batch,
         rotation,
     }
 }
@@ -314,7 +396,8 @@ fn run_step(cfg: &Config, addr: &str, rate: f64, step: usize) -> Result<StepResu
         stream.set_nodelay(true).ok();
         let reader_stream = stream.try_clone().map_err(|e| e.to_string())?;
         reader_stream.set_read_timeout(Some(READ_TIMEOUT)).ok();
-        let (meta_tx, meta_rx) = unbounded::<Instant>();
+        // send instant + expected batch entry count (0 for non-batch)
+        let (meta_tx, meta_rx) = unbounded::<(Instant, usize)>();
         // The latest `problem` fingerprint this connection saw in a
         // reply: the reader learns it, the writer patches against it.
         let parent = Arc::new(std::sync::Mutex::new(None::<String>));
@@ -324,6 +407,7 @@ fn run_step(cfg: &Config, addr: &str, rate: f64, step: usize) -> Result<StepResu
             let counts = counts.clone();
             let parent = parent.clone();
             let mix = cfg.mix;
+            let mix_batch = cfg.mix_batch;
             let work_ms = cfg.work_ms;
             let seed = cfg.seed ^ ((step as u64) << 32) ^ (c as u64);
             let mut stream = stream;
@@ -335,6 +419,7 @@ fn run_step(cfg: &Config, addr: &str, rate: f64, step: usize) -> Result<StepResu
                 // the same unique/patch entry
                 let mut unique_idx = c;
                 let mut patch_idx = c;
+                let mut batch_idx = c;
                 loop {
                     let u: f64 = rng.gen();
                     t += -(1.0 - u).max(f64::MIN_POSITIVE).ln() / lambda;
@@ -346,8 +431,8 @@ fn run_step(cfg: &Config, addr: &str, rate: f64, step: usize) -> Result<StepResu
                         std::thread::sleep(d);
                     }
                     let roll: f64 = rng.gen();
-                    let line: String = if roll < mix.1 {
-                        pools.hot_line(start.elapsed()).to_string()
+                    let (line, expected): (String, usize) = if roll < mix.1 {
+                        (pools.hot_line(start.elapsed()).to_string(), 0)
                     } else if roll < mix.1 + mix.2 {
                         let learned = parent.lock().unwrap().clone();
                         let l = match learned {
@@ -363,11 +448,16 @@ fn run_step(cfg: &Config, addr: &str, rate: f64, step: usize) -> Result<StepResu
                             None => pools.patch[patch_idx % pools.patch.len()].clone(),
                         };
                         patch_idx += conns;
-                        l
+                        (l, 0)
+                    } else if roll < mix.1 + mix.2 + mix_batch && !pools.batch.is_empty() {
+                        let (l, count) = &pools.batch[batch_idx % pools.batch.len()];
+                        batch_idx += conns;
+                        counts.batch.fetch_add(1, Ordering::Relaxed);
+                        (l.clone(), *count)
                     } else {
                         let l = pools.unique[unique_idx % pools.unique.len()].clone();
                         unique_idx += conns;
-                        l
+                        (l, 0)
                     };
                     let sent_at = Instant::now();
                     if stream.write_all(line.as_bytes()).is_err()
@@ -377,7 +467,7 @@ fn run_step(cfg: &Config, addr: &str, rate: f64, step: usize) -> Result<StepResu
                         break;
                     }
                     counts.sent.fetch_add(1, Ordering::Relaxed);
-                    if meta_tx.send(sent_at).is_err() {
+                    if meta_tx.send((sent_at, expected)).is_err() {
                         break; // reader gave up
                     }
                 }
@@ -392,7 +482,7 @@ fn run_step(cfg: &Config, addr: &str, rate: f64, step: usize) -> Result<StepResu
                 let mut reader = BufReader::new(reader_stream);
                 // the gateway answers in request order per connection, so
                 // FIFO pairing of send instants with reply lines is exact
-                while let Ok(sent_at) = meta_rx.recv() {
+                while let Ok((sent_at, expected)) = meta_rx.recv() {
                     let mut line = String::new();
                     match reader.read_line(&mut line) {
                         Ok(0) | Err(_) => {
@@ -409,6 +499,27 @@ fn run_step(cfg: &Config, addr: &str, rate: f64, step: usize) -> Result<StepResu
                                 Some("ok") => {
                                     counts.ok.fetch_add(1, Ordering::Relaxed);
                                     hist.record(latency);
+                                    if expected > 0 {
+                                        // batch reply: entry i must answer
+                                        // member i, whose task count (and so
+                                        // HEFT slot count) is
+                                        // BATCH_BASE_TASKS + i
+                                        let in_order = reply
+                                            .as_ref()
+                                            .and_then(|v| {
+                                                v.get("many")?.get("entries")?.as_array()
+                                            })
+                                            .is_some_and(|entries| {
+                                                entries.len() == expected
+                                                    && entries.iter().enumerate().all(|(i, e)| {
+                                                        entry_slot_count(e)
+                                                            == Some(BATCH_BASE_TASKS + i)
+                                                    })
+                                            });
+                                        if !in_order {
+                                            counts.batch_ooo.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                    }
                                     // learn the problem fingerprint so the
                                     // writer's patch share has a parent
                                     if let Some(p) = reply
@@ -474,6 +585,8 @@ fn run_step(cfg: &Config, addr: &str, rate: f64, step: usize) -> Result<StepResu
         protocol_errors: get(&counts.protocol_errors),
         patched: get(&counts.patched),
         patch_miss: get(&counts.patch_miss),
+        batch: get(&counts.batch),
+        batch_ooo: get(&counts.batch_ooo),
         p50_us: hist.quantile_us(0.50),
         p99_us: hist.quantile_us(0.99),
         qwait_p99_us,
@@ -596,6 +709,8 @@ pub fn run_load(cfg: &Config) -> Result<(), String> {
         "reroute".into(),
         "patch".into(),
         "pmiss".into(),
+        "batch".into(),
+        "booo".into(),
         "p50_ms".into(),
         "p99_ms".into(),
         "qw99_ms".into(),
@@ -615,6 +730,8 @@ pub fn run_load(cfg: &Config) -> Result<(), String> {
             s.reroute_delta.to_string(),
             s.patched.to_string(),
             s.patch_miss.to_string(),
+            s.batch.to_string(),
+            s.batch_ooo.to_string(),
             format!("{:.2}", s.p50_us / 1e3),
             format!("{:.2}", s.p99_us / 1e3),
             format!("{:.2}", s.qwait_p99_us / 1e3),
@@ -622,12 +739,13 @@ pub fn run_load(cfg: &Config) -> Result<(), String> {
         ]);
     }
     println!(
-        "== load ({} steps x {} ms, mix u/d/p {:.2}/{:.2}/{:.2}) ==",
+        "== load ({} steps x {} ms, mix u/d/p/b {:.2}/{:.2}/{:.2}/{:.2}) ==",
         steps.len(),
         cfg.duration_ms,
         cfg.mix.0,
         cfg.mix.1,
-        cfg.mix.2
+        cfg.mix.2,
+        cfg.mix_batch
     );
     println!("{}", table.render());
 
@@ -666,7 +784,7 @@ pub fn run_load(cfg: &Config) -> Result<(), String> {
         meta.insert("shards", serde_json::to_value(cfg.shards).unwrap());
         meta.insert(
             "mix",
-            serde_json::to_value([cfg.mix.0, cfg.mix.1, cfg.mix.2]).unwrap(),
+            serde_json::to_value([cfg.mix.0, cfg.mix.1, cfg.mix.2, cfg.mix_batch]).unwrap(),
         );
         meta.insert("quick", Value::Bool(cfg.quick));
         merge_bench_out(path, &bench_entries, Value::Object(meta))?;
@@ -706,12 +824,23 @@ pub fn run_load(cfg: &Config) -> Result<(), String> {
         if cfg.mix.2 > 0.0 && patched == 0 {
             return Err("strict: patch mix produced zero patch ops".into());
         }
+        let batches: u64 = steps.iter().map(|s| s.batch).sum();
+        if cfg.mix_batch > 0.0 && batches == 0 {
+            return Err("strict: batch mix sent zero schedule_many requests".into());
+        }
+        let ooo: u64 = steps.iter().map(|s| s.batch_ooo).sum();
+        if ooo > 0 {
+            return Err(format!(
+                "strict: {ooo} batch replies arrived out of order"
+            ));
+        }
         // unknown_parent replies are expected under instance-cache churn
         // and explicitly tolerated; they are reported, never fatal
         let misses: u64 = steps.iter().map(|s| s.patch_miss).sum();
         println!(
             "strict checks passed: 0 protocol errors, {dedup} dedup hits, \
-             {patched} patch ops ({misses} unknown_parent, tolerated)"
+             {patched} patch ops ({misses} unknown_parent, tolerated), \
+             {batches} batches all in order"
         );
     }
     Ok(())

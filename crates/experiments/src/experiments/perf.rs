@@ -20,7 +20,7 @@ use rand::SeedableRng;
 
 use hetsched_core::algorithms::{all_heterogeneous, by_name};
 use hetsched_core::{
-    repairable, run_portfolio, CostAggregation, Delta, ProblemInstance, Scheduler,
+    repairable, run_portfolio, CostAggregation, Delta, ProblemInstance, Schedule, Scheduler,
 };
 use hetsched_dag::TaskId;
 use hetsched_metrics::table::TextTable;
@@ -402,6 +402,133 @@ fn serve_portfolio_entries(cfg: &Config, reps: usize) -> Vec<BenchEntry> {
     ]
 }
 
+/// The batched-scheduling section `Scheduler::schedule_many` targets: a
+/// stream of small (n = 50) random DAGs — the high-QPS serve regime —
+/// scheduled by HEFT as N sequential `schedule_instance` calls versus one
+/// `schedule_many` call (one context, one arena checkout threaded through
+/// the whole stream). The same comparison runs through the daemon: N
+/// individual `schedule` request lines versus one `schedule_many` line,
+/// both against a fresh daemon with cold caches, so the serve pair prices
+/// the per-request parse/validate/enqueue/reply overhead the batch op
+/// amortizes. `run_perf` reports both ratios as headline numbers.
+fn many_entries(cfg: &Config, reps: usize) -> Vec<BenchEntry> {
+    let reps = reps.max(10);
+    let batch = if cfg.quick { 8usize } else { 16 };
+    let n = 50usize;
+
+    // library level: distinct random instances, one per stream slot
+    let insts: Vec<ProblemInstance<'static>> = (0..batch)
+        .map(|bi| {
+            let seed = instance_seed(cfg.seed ^ 0x3a9, bi as u64, 0);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let dag = random_dag(&RandomDagParams::new(n, 1.0, 1.0), &mut rng);
+            let sys = System::heterogeneous_random(
+                &dag,
+                cfg.procs,
+                &EtcParams::range_based(1.0),
+                &mut rng,
+            );
+            ProblemInstance::new(dag, sys)
+        })
+        .collect();
+    let heft = by_name("HEFT").expect("registry has HEFT");
+
+    // serve level: the same stream shape as NDJSON lines (deterministic
+    // weights varied per slot so every instance fingerprints distinctly)
+    let problem_json = |bi: usize| {
+        let tasks: Vec<String> = (0..n)
+            .map(|i| format!("{{\"weight\":{}}}", (i + bi) % 7 + 1))
+            .collect();
+        let edges: Vec<String> = (1..n)
+            .map(|i| format!("{{\"src\":{},\"dst\":{i},\"data\":2.5}}", (i - 1) / 2))
+            .collect();
+        format!(
+            "\"dag\":{{\"tasks\":[{}],\"edges\":[{}]}},\
+             \"system\":{{\"processors\":{{\"kind\":\"homogeneous\",\"count\":{}}},\
+             \"network\":{{\"topology\":\"fully_connected\",\"bandwidth\":1.0}}}}",
+            tasks.join(","),
+            edges.join(","),
+            cfg.procs,
+        )
+    };
+    let schedule_lines: Vec<String> = (0..batch)
+        .map(|bi| {
+            format!(
+                "{{\"op\":\"schedule\",{},\"algorithm\":\"HEFT\",\"options\":{{}}}}",
+                problem_json(bi)
+            )
+        })
+        .collect();
+    let many_line = format!(
+        "{{\"op\":\"schedule_many\",\"instances\":[{}],\"algorithm\":\"HEFT\",\"options\":{{}}}}",
+        (0..batch)
+            .map(|bi| format!("{{{}}}", problem_json(bi)))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    let fresh_service = || {
+        Service::start(ServeConfig {
+            workers: 2,
+            queue_capacity: 32,
+            cache_capacity: 32,
+            instance_cache_capacity: 32,
+            default_deadline_ms: 60_000,
+        })
+    };
+
+    let entry = |id: String, (median_ns, min_ns): (f64, f64)| BenchEntry {
+        id,
+        n,
+        procs: cfg.procs,
+        algo: "HEFT".to_string(),
+        median_ns,
+        min_ns,
+        reps,
+    };
+    vec![
+        entry(
+            format!("many/n{n}x{batch}/sequential"),
+            bench(reps, || {
+                let mut acc = 0.0f64;
+                for inst in &insts {
+                    acc += heft.schedule_instance(inst).makespan();
+                }
+                acc
+            }),
+        ),
+        entry(
+            format!("many/n{n}x{batch}/batched"),
+            bench(reps, || {
+                heft.schedule_many(&insts)
+                    .iter()
+                    .map(Schedule::makespan)
+                    .sum::<f64>()
+            }),
+        ),
+        entry(
+            format!("many/n{n}x{batch}/serve-individual"),
+            bench(reps, || {
+                let svc = fresh_service();
+                let mut out = Vec::with_capacity(schedule_lines.len());
+                for line in &schedule_lines {
+                    out.push(svc.handle_line(line));
+                }
+                svc.shutdown();
+                out
+            }),
+        ),
+        entry(
+            format!("many/n{n}x{batch}/serve-batch"),
+            bench(reps, || {
+                let svc = fresh_service();
+                let resp = svc.handle_line(&many_line);
+                svc.shutdown();
+                resp
+            }),
+        ),
+    ]
+}
+
 /// The search-scheduler section the deterministic parallel layer targets:
 /// GA, ILS-D, and DUP-HEFT at `jobs` 1 vs 4 on fig10-style instances,
 /// plus a budget-capped BNB. Ids are `search/<algo>/n<N>/jobs<J>`.
@@ -556,6 +683,7 @@ fn measure(cfg: &Config, reps: usize) -> Vec<BenchEntry> {
     entries.extend(serve_entries(cfg, reps));
     entries.extend(multi_alg_entries(cfg, reps));
     entries.extend(serve_portfolio_entries(cfg, reps));
+    entries.extend(many_entries(cfg, reps));
     entries.extend(search_entries(cfg, reps));
     entries
 }
@@ -621,6 +749,37 @@ pub fn run_perf(cfg: &Config) -> Result<(), String> {
             i.min_ns / 1e6,
             p.min_ns / 1e6,
             i.min_ns / p.min_ns,
+        );
+    }
+
+    // the batched-scheduling path: one schedule_many call / request line
+    // vs the equivalent stream of individual calls / round trips
+    let seq = entries
+        .iter()
+        .find(|e| e.id.starts_with("many/") && e.id.ends_with("/sequential"));
+    let bat = entries
+        .iter()
+        .find(|e| e.id.starts_with("many/") && e.id.ends_with("/batched"));
+    if let (Some(s), Some(b)) = (seq, bat) {
+        println!(
+            "batched scheduling: sequential {:.3} ms, schedule_many {:.3} ms ({:.2}x speedup)",
+            s.min_ns / 1e6,
+            b.min_ns / 1e6,
+            s.min_ns / b.min_ns,
+        );
+    }
+    let srv_ind = entries
+        .iter()
+        .find(|e| e.id.starts_with("many/") && e.id.ends_with("/serve-individual"));
+    let srv_bat = entries
+        .iter()
+        .find(|e| e.id.starts_with("many/") && e.id.ends_with("/serve-batch"));
+    if let (Some(i), Some(b)) = (srv_ind, srv_bat) {
+        println!(
+            "serve batched path: individual requests {:.2} ms, 1 schedule_many request {:.2} ms ({:.2}x speedup)\n",
+            i.min_ns / 1e6,
+            b.min_ns / 1e6,
+            i.min_ns / b.min_ns,
         );
     }
 

@@ -30,8 +30,8 @@ use hetsched_platform::System;
 use hetsched_serve::journal::Journal;
 use hetsched_serve::metrics::RequestStatus;
 use hetsched_serve::protocol::{
-    GatewayTiming, HelloBody, Hop, JournalBody, Request, RequestOptions, Response, SpanRecord,
-    TimingBody,
+    GatewayTiming, HelloBody, Hop, InstanceSpec, JournalBody, Request, RequestOptions, Response,
+    ScheduleBody, ScheduleManyBody, SpanRecord, TimingBody,
 };
 
 use crate::backend::Backend;
@@ -202,12 +202,14 @@ impl Router {
             let options = match &req {
                 Request::Schedule { options, .. }
                 | Request::Portfolio { options, .. }
+                | Request::ScheduleMany { options, .. }
                 | Request::Patch { options, .. } => options,
                 // `handle_line` only routes the scheduling ops.
                 _ => unreachable!("route() called with a control op"),
             };
             let op = match &req {
                 Request::Portfolio { .. } => "portfolio",
+                Request::ScheduleMany { .. } => "schedule_many",
                 Request::Patch { .. } => "patch",
                 _ => "schedule",
             };
@@ -246,6 +248,16 @@ impl Router {
                 "deadline expired before dispatch; the request never reached a shard",
             )
             .to_line();
+        }
+        // A batch fans out to *several* home shards; it has its own
+        // routing body and only shares admission and single-flight.
+        if let Request::ScheduleMany {
+            instances,
+            algorithm,
+            options,
+        } = req
+        {
+            return self.route_many(instances, algorithm, options, deadline, deadline_at, scratch);
         }
         let options = match req {
             Request::Schedule { options, .. }
@@ -318,6 +330,25 @@ impl Router {
         scratch.admission_us = scratch.off(Instant::now());
         scratch.span("admission", 0, scratch.admission_us, "");
 
+        self.coalesce(key, deadline, deadline_at, scratch, |router, scratch| {
+            router.lead(req, home, deadline_at, scratch)
+        })
+    }
+
+    /// Single-flight coalescing around a leader body: followers wait for
+    /// the leader's reply (plus slack); the leader runs `lead_fn` and
+    /// completes the flight with the *un-injected* reply — every
+    /// requester, leader and followers alike, injects its own gateway
+    /// timing into its own clone, so a follower's `timing.gateway`
+    /// reflects its wait, not the leader's round trip.
+    fn coalesce(
+        &self,
+        key: u64,
+        deadline: Duration,
+        deadline_at: Instant,
+        scratch: &mut TraceScratch,
+        lead_fn: impl FnOnce(&Self, &mut TraceScratch) -> String,
+    ) -> String {
         match self.singleflight.join(key) {
             Flight::Follower(rx) => {
                 scratch.dedup = "follower";
@@ -350,16 +381,133 @@ impl Router {
             }
             Flight::Leader => {
                 scratch.dedup = "leader";
-                // The flight completes with the *un-injected* shard reply:
-                // every requester — leader and followers alike — injects
-                // its own gateway timing into its own clone, so a
-                // follower's `timing.gateway` reflects its wait, not the
-                // leader's round trip.
-                let reply = Arc::new(self.lead(req, home, deadline_at, scratch));
+                let reply = Arc::new(lead_fn(self, scratch));
                 self.singleflight.complete(key, &reply);
                 (*reply).clone()
             }
         }
+    }
+
+    /// Route one `schedule_many` batch: validate every instance at the
+    /// front door, group the instances by their *own* home shards
+    /// (`fingerprint(dag, system) % N`, the same placement standalone
+    /// `schedule` requests get, so batches and singles share shard
+    /// caches), forward one sub-batch per shard through the ordinary
+    /// failover path, and reassemble the entries **in request order**.
+    /// The whole batch is one single-flight key, so identical concurrent
+    /// batches coalesce.
+    fn route_many(
+        &self,
+        instances: &[InstanceSpec],
+        algorithm: &str,
+        options: &RequestOptions,
+        deadline: Duration,
+        deadline_at: Instant,
+        scratch: &mut TraceScratch,
+    ) -> String {
+        if instances.is_empty() {
+            bump(&self.metrics.errors);
+            return Response::error("schedule_many requires at least one instance").to_line();
+        }
+        let n = self.backends.len();
+        let mut homes = Vec::with_capacity(instances.len());
+        let mut content_fps = Vec::with_capacity(instances.len());
+        for (i, spec) in instances.iter().enumerate() {
+            let dag = match spec.dag.build() {
+                Ok(d) => d,
+                Err(e) => {
+                    bump(&self.metrics.errors);
+                    return Response::error(format!("invalid dag (instance {i}): {e}")).to_line();
+                }
+            };
+            let sys = match spec.system.build(&dag) {
+                Ok(s) => s,
+                Err(e) => {
+                    bump(&self.metrics.errors);
+                    return Response::error(format!("invalid system (instance {i}): {e}"))
+                        .to_line();
+                }
+            };
+            let cfp = ProblemInstance::content_fingerprint(&dag, &sys);
+            homes.push((cfp % n as u64) as usize);
+            content_fps.push(cfp);
+        }
+        let key = many_dedup_key(&content_fps, algorithm, options);
+        scratch.admission_us = scratch.off(Instant::now());
+        scratch.span("admission", 0, scratch.admission_us, "");
+
+        self.coalesce(key, deadline, deadline_at, scratch, |router, scratch| {
+            router.lead_many(instances, algorithm, options, &homes, deadline_at, scratch)
+        })
+    }
+
+    /// Forward a batch as the single-flight leader: one `schedule_many`
+    /// sub-request per distinct home shard (in order of first appearance),
+    /// each through [`Router::lead`]'s admission/failover loop, then
+    /// scatter the sub-replies back into request order. Any non-`ok`
+    /// sub-reply answers the whole batch — partial batches would silently
+    /// drop instances, and the client can always retry (the completed
+    /// members are already cached on their shards).
+    fn lead_many(
+        &self,
+        instances: &[InstanceSpec],
+        algorithm: &str,
+        options: &RequestOptions,
+        homes: &[usize],
+        deadline_at: Instant,
+        scratch: &mut TraceScratch,
+    ) -> String {
+        let mut shard_order: Vec<usize> = Vec::new();
+        for &h in homes {
+            if !shard_order.contains(&h) {
+                shard_order.push(h);
+            }
+        }
+        let mut entries: Vec<Option<ScheduleBody>> = vec![None; instances.len()];
+        let (mut cached, mut computed) = (0usize, 0usize);
+        for home in shard_order {
+            let member_idx: Vec<usize> = (0..instances.len())
+                .filter(|&i| homes[i] == home)
+                .collect();
+            let sub_req = Request::ScheduleMany {
+                instances: member_idx.iter().map(|&i| instances[i].clone()).collect(),
+                algorithm: algorithm.to_string(),
+                options: options.clone(),
+            };
+            let reply = self.lead(&sub_req, home, deadline_at, scratch);
+            let Ok(Response::Ok {
+                many: Some(body), ..
+            }) = serde_json::from_str::<Response>(&reply)
+            else {
+                // busy / shed / timeout / error — or an `ok` without a
+                // batch payload, which a conforming shard never sends.
+                return reply;
+            };
+            if body.entries.len() != member_idx.len() {
+                bump(&self.metrics.errors);
+                return Response::error(format!(
+                    "shard answered {} entries for a {}-instance sub-batch",
+                    body.entries.len(),
+                    member_idx.len()
+                ))
+                .to_line();
+            }
+            cached += body.cached;
+            computed += body.computed;
+            for (&i, entry) in member_idx.iter().zip(body.entries) {
+                entries[i] = Some(entry);
+            }
+        }
+        let entries: Vec<ScheduleBody> = entries
+            .into_iter()
+            .map(|e| e.expect("every instance belongs to exactly one sub-batch"))
+            .collect();
+        Response::many(ScheduleManyBody {
+            entries,
+            cached,
+            computed,
+        })
+        .to_line()
     }
 
     /// Record the request's SLO outcome, journal its spans, and inject
@@ -604,6 +752,33 @@ fn dedup_key(
     fp.finish()
 }
 
+/// Dedup key for `schedule_many` batches: the per-instance content
+/// fingerprints **in request order**, the algorithm, and the
+/// response-shaping options. The op tag differs from `dedup_key`'s, so a
+/// one-instance batch never coalesces with the equivalent standalone
+/// `schedule` (their replies have different shapes). Order matters by
+/// design: the reply is ordered, so a permuted batch is a different
+/// request.
+fn many_dedup_key(content_fps: &[u64], algorithm: &str, options: &RequestOptions) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.tag("gateway-op");
+    fp.push_str("schedule_many");
+    fp.tag("instances");
+    fp.push_u64(content_fps.len() as u64);
+    for &c in content_fps {
+        fp.push_u64(c);
+    }
+    fp.tag("algorithms");
+    fp.push_u64(1);
+    fp.push_str(algorithm);
+    fp.tag("options");
+    fp.push_u8(options.simulate as u8);
+    fp.push_u8(options.debug_panic as u8);
+    fp.push_u64(options.debug_sleep_ms.unwrap_or(0));
+    fp.push_u8(options.trace as u8);
+    fp.finish()
+}
+
 /// Parse a `patch` parent key: exactly 16 hex digits, as the `problem`
 /// field of a schedule response carries it.
 fn parse_parent(parent: &str) -> Option<u64> {
@@ -654,6 +829,7 @@ fn forward_line(req: &Request, remaining: Duration, sent_at_us: u64) -> String {
     match &mut rewritten {
         Request::Schedule { options, .. }
         | Request::Portfolio { options, .. }
+        | Request::ScheduleMany { options, .. }
         | Request::Patch { options, .. } => {
             options.deadline_ms = Some(remaining_ms);
             if let Some(ctx) = options.trace_ctx.as_mut() {
@@ -936,6 +1112,84 @@ mod tests {
             ..base.clone()
         };
         assert_eq!(k1, patch_dedup_key(parent_fp, "HEFT", &d1, &with_deadline));
+    }
+
+    #[test]
+    fn many_dedup_key_is_order_sensitive_and_ignores_deadline() {
+        let base = RequestOptions::default();
+        let fps = [11u64, 22, 33];
+        let k = many_dedup_key(&fps, "HEFT", &base);
+        assert_eq!(k, many_dedup_key(&[11, 22, 33], "HEFT", &base));
+        assert_ne!(
+            k,
+            many_dedup_key(&[22, 11, 33], "HEFT", &base),
+            "the reply is ordered, so a permuted batch is a different request"
+        );
+        assert_ne!(k, many_dedup_key(&fps, "CPOP", &base));
+        let with_deadline = RequestOptions {
+            deadline_ms: Some(10),
+            jobs: Some(8),
+            ..base.clone()
+        };
+        assert_eq!(k, many_dedup_key(&fps, "HEFT", &with_deadline));
+        // a one-instance batch never coalesces with the standalone op
+        let (dag, sys, req) = small_parts();
+        let single = dedup_key(&req, &dag, &sys, &["HEFT".to_string()], &base);
+        let one = many_dedup_key(
+            &[ProblemInstance::content_fingerprint(&dag, &sys)],
+            "HEFT",
+            &base,
+        );
+        assert_ne!(single, one);
+    }
+
+    #[test]
+    fn forward_line_rewrites_schedule_many_deadline() {
+        let line = r#"{"op":"schedule_many","instances":[{"dag":{"tasks":[{"weight":1.0}],"edges":[]},"system":{"processors":{"kind":"homogeneous","count":2},"network":{"topology":"fully_connected","bandwidth":1.0}}}],"algorithm":"HEFT","options":{"jobs":2}}"#;
+        let req = Request::parse(line).unwrap();
+        let out = forward_line(&req, Duration::from_millis(321), 0);
+        let back = Request::parse(&out).unwrap();
+        let Request::ScheduleMany {
+            instances, options, ..
+        } = back
+        else {
+            panic!("op changed");
+        };
+        assert_eq!(instances.len(), 1);
+        assert_eq!(options.deadline_ms, Some(321));
+        assert_eq!(options.jobs, Some(2), "other options must survive");
+    }
+
+    #[test]
+    fn schedule_many_with_invalid_instance_is_answered_at_the_gateway() {
+        let cfg = GatewayConfig {
+            backends: vec!["127.0.0.1:1".to_string()],
+            ..GatewayConfig::default()
+        };
+        let router = Router::new(cfg).unwrap();
+        for (line, needle) in [
+            (
+                r#"{"op":"schedule_many","instances":[],"algorithm":"HEFT"}"#.to_string(),
+                "at least one instance",
+            ),
+            (
+                r#"{"op":"schedule_many","instances":[{"dag":{"tasks":[],"edges":[]},"system":{"processors":{"kind":"homogeneous","count":1},"network":{"topology":"fully_connected","bandwidth":1.0}}}],"algorithm":"HEFT"}"#.to_string(),
+                "invalid dag (instance 0)",
+            ),
+        ] {
+            let reply = router.handle_line(&line, Instant::now());
+            let v: serde_json::Value = serde_json::from_str(&reply).unwrap();
+            assert_eq!(v["status"].as_str(), Some("error"), "{reply}");
+            assert!(
+                v["message"].as_str().unwrap().contains(needle),
+                "{reply}"
+            );
+        }
+        assert_eq!(
+            read(&router.metrics().shard_errors),
+            0,
+            "invalid batches must never touch a shard"
+        );
     }
 
     #[test]

@@ -134,6 +134,23 @@ pub enum Request {
         #[serde(default)]
         options: RequestOptions,
     },
+    /// Schedule a whole batch of problem instances with one algorithm in
+    /// one round trip. Replies with an `ok` whose `many` payload holds one
+    /// schedule body **per instance, in request order** — each body
+    /// exactly what a standalone `schedule` request for that instance
+    /// would have produced (the reply memo is consulted per instance, so a
+    /// batch can mix cache hits and fresh computations). This is the wire
+    /// face of `Scheduler::schedule_many`: high-QPS streams of small DAGs
+    /// pay one request round trip and one batched compute instead of N.
+    ScheduleMany {
+        /// The batch, in reply order.
+        instances: Vec<InstanceSpec>,
+        /// Registry name of the scheduler, applied to every instance.
+        algorithm: String,
+        /// Optional request modifiers, applied to every instance.
+        #[serde(default)]
+        options: RequestOptions,
+    },
     /// Incrementally reschedule a cached problem: apply `deltas` to the
     /// instance whose content fingerprint is `parent` (the `problem` field
     /// of an earlier schedule response) and schedule the patched problem.
@@ -183,6 +200,27 @@ impl Request {
     pub fn parse(line: &str) -> Result<Request, serde_json::Error> {
         serde_json::from_str(line)
     }
+}
+
+/// One problem of a `schedule_many` batch: a DAG plus its target system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InstanceSpec {
+    /// Task graph (validated on receipt).
+    pub dag: DagSpec,
+    /// Target system (validated on receipt, sized to the DAG).
+    pub system: SystemSpec,
+}
+
+/// Batch payload of a `schedule_many` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScheduleManyBody {
+    /// One schedule body per requested instance, **in request order** —
+    /// entry `i` answers instance `i`.
+    pub entries: Vec<ScheduleBody>,
+    /// How many entries were served from the reply memo.
+    pub cached: usize,
+    /// How many entries were computed fresh by this request.
+    pub computed: usize,
 }
 
 /// Successful scheduling payload.
@@ -471,6 +509,9 @@ pub enum Response {
         /// Portfolio payload (`portfolio` op).
         #[serde(default, skip_serializing_if = "Option::is_none")]
         portfolio: Option<PortfolioBody>,
+        /// Batch payload (`schedule_many` op).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        many: Option<ScheduleManyBody>,
         /// Identification payload (`hello` op).
         #[serde(default, skip_serializing_if = "Option::is_none")]
         hello: Option<HelloBody>,
@@ -537,6 +578,7 @@ impl Response {
             stats: None,
             metrics: None,
             portfolio: None,
+            many: None,
             hello: None,
             journal: None,
             timing: None,
@@ -575,6 +617,15 @@ impl Response {
         let mut r = Self::ok_empty();
         if let Response::Ok { portfolio, .. } = &mut r {
             *portfolio = Some(body);
+        }
+        r
+    }
+
+    /// Shorthand for a `schedule_many` batch payload response.
+    pub fn many(body: ScheduleManyBody) -> Self {
+        let mut r = Self::ok_empty();
+        if let Response::Ok { many, .. } = &mut r {
+            *many = Some(body);
         }
         r
     }
@@ -636,6 +687,32 @@ mod tests {
         // And the serialized form parses back to the same op.
         let back = Request::parse(&serde_json::to_string(&req).unwrap()).unwrap();
         assert!(matches!(back, Request::Schedule { .. }));
+    }
+
+    #[test]
+    fn schedule_many_roundtrip() {
+        let line = r#"{"op":"schedule_many","instances":[
+            {"dag":{"tasks":[{"weight":2.0}],"edges":[]},
+             "system":{"processors":{"kind":"homogeneous","count":2},"network":{"topology":"fully_connected","bandwidth":1.0}}},
+            {"dag":{"tasks":[{"weight":1.0},{"weight":3.0}],"edges":[{"src":0,"dst":1,"data":4.0}]},
+             "system":{"processors":{"kind":"homogeneous","count":2},"network":{"topology":"fully_connected","bandwidth":1.0}}}],
+            "algorithm":"HEFT"}"#;
+        let req = Request::parse(line).unwrap();
+        match &req {
+            Request::ScheduleMany {
+                instances,
+                algorithm,
+                options,
+            } => {
+                assert_eq!(instances.len(), 2);
+                assert_eq!(instances[1].dag.tasks.len(), 2);
+                assert_eq!(algorithm, "HEFT");
+                assert_eq!(*options, RequestOptions::default());
+            }
+            other => panic!("wrong op: {other:?}"),
+        }
+        let back = Request::parse(&serde_json::to_string(&req).unwrap()).unwrap();
+        assert!(matches!(back, Request::ScheduleMany { .. }));
     }
 
     #[test]

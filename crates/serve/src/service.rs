@@ -39,8 +39,9 @@ use crate::cache::LruCache;
 use crate::journal::Journal;
 use crate::metrics::{GaugeSnapshot, RequestStatus, ServiceMetrics};
 use crate::protocol::{
-    HelloBody, JournalBody, PortfolioBody, PortfolioEntryBody, Request, RequestOptions, Response,
-    ScheduleBody, ServeTiming, SpanRecord, StatsBody, TimingBody,
+    HelloBody, InstanceSpec, JournalBody, PortfolioBody, PortfolioEntryBody, Request,
+    RequestOptions, Response, ScheduleBody, ScheduleManyBody, ServeTiming, SpanRecord, StatsBody,
+    TimingBody,
 };
 use crate::worker::{worker_loop, Job, JobCtx, RepairCtx};
 
@@ -244,6 +245,16 @@ impl Service {
                 let deadline_ms = options.deadline_ms;
                 let resp = self.handle_portfolio(dag, system, algorithms, options, meta);
                 self.record_outcome("portfolio", deadline_ms, meta.arrival, &resp);
+                resp
+            }
+            Request::ScheduleMany {
+                instances,
+                algorithm,
+                options,
+            } => {
+                let deadline_ms = options.deadline_ms;
+                let resp = self.handle_many(instances, algorithm, options, meta);
+                self.record_outcome("schedule_many", deadline_ms, meta.arrival, &resp);
                 resp
             }
             Request::Patch {
@@ -806,6 +817,123 @@ impl Service {
         });
         self.finalize_timing(resp, &options, meta, "portfolio")
     }
+
+    /// Batched scheduling: one request line carrying N `(dag, system)`
+    /// instances, answered with N schedule bodies **in request order**.
+    /// Every instance is an ordinary memoized job — the reply memo is
+    /// consulted per instance, repeats *within* the batch are served
+    /// single-flight from the first occurrence, and the whole burst is
+    /// submitted before any reply is awaited so the worker pool overlaps
+    /// the members (submission blocks up to the deadline when the burst
+    /// exceeds the queue capacity, exactly like a portfolio).
+    fn handle_many(
+        &self,
+        instances: Vec<InstanceSpec>,
+        algorithm: String,
+        options: RequestOptions,
+        meta: LineMeta,
+    ) -> Response {
+        let started = meta.arrival;
+        let m = &self.shared.metrics;
+        if self.is_shutting_down() {
+            return Response::ShuttingDown;
+        }
+        if instances.is_empty() {
+            ServiceMetrics::bump(&m.errors);
+            return Response::error("schedule_many requires at least one instance");
+        }
+        if algorithms::by_name(&algorithm).is_none() {
+            ServiceMetrics::bump(&m.errors);
+            return Response::error(format!(
+                "unknown algorithm `{algorithm}` (known: {})",
+                algorithms::known_names().join(", ")
+            ));
+        }
+
+        let deadline = Duration::from_millis(
+            options
+                .deadline_ms
+                .unwrap_or(self.shared.config.default_deadline_ms),
+        );
+        let deadline_at = started + deadline;
+
+        /// One batch member after submission: in flight (or memoized), or
+        /// a duplicate of an earlier member answered from its entry.
+        enum Member {
+            State(MemberState),
+            DupOf(usize),
+        }
+        let mut seen: Vec<(u64, usize)> = Vec::with_capacity(instances.len());
+        let mut members = Vec::with_capacity(instances.len());
+        for (i, spec) in instances.into_iter().enumerate() {
+            let (dag, sys) = match self.build_problem(spec.dag, spec.system) {
+                Ok(v) => v,
+                Err(resp) => return self.finalize_timing(resp, &options, meta, "none"),
+            };
+            let fp = request_fingerprint(&dag, &sys, &algorithm, &options);
+            if let Some(&(_, first)) = seen.iter().find(|(k, _)| *k == fp) {
+                members.push(Member::DupOf(first));
+                continue;
+            }
+            seen.push((fp, i));
+            let inst = self.instance_for(dag, sys);
+            let alg = algorithms::by_name(&algorithm).expect("validated above");
+            match self.memo_or_submit(&inst, &algorithm, alg, &options, Some(deadline_at), None, None)
+            {
+                Ok(state) => members.push(Member::State(state)),
+                Err(resp) => return self.finalize_timing(resp, &options, meta, "none"),
+            }
+        }
+
+        let mut cached = 0usize;
+        let mut entries: Vec<ScheduleBody> = Vec::with_capacity(members.len());
+        for (i, member) in members.into_iter().enumerate() {
+            let body = match member {
+                Member::DupOf(first) => {
+                    let mut body = entries[first].clone();
+                    body.cached = true;
+                    cached += 1;
+                    body
+                }
+                Member::State(MemberState::Cached(body)) => {
+                    cached += 1;
+                    *body
+                }
+                Member::State(MemberState::Pending(rx)) => {
+                    let remaining = deadline.saturating_sub(started.elapsed());
+                    match await_reply(&rx, remaining) {
+                        Ok(Response::Ok {
+                            schedule: Some(body),
+                            ..
+                        }) => body,
+                        Ok(other) => return other,
+                        Err(channel::RecvTimeoutError::Timeout) => {
+                            ServiceMetrics::bump(&m.timeouts);
+                            return Response::Timeout {
+                                message: format!(
+                                    "deadline of {} ms exceeded waiting for batch entry {i}; members keep computing and will be cached",
+                                    deadline.as_millis()
+                                ),
+                            };
+                        }
+                        Err(channel::RecvTimeoutError::Disconnected) => {
+                            ServiceMetrics::bump(&m.errors);
+                            return Response::error("worker pool shut down before replying");
+                        }
+                    }
+                }
+            };
+            entries.push(body);
+        }
+        m.record_algorithm(&algorithm, started.elapsed());
+        let computed = entries.len() - cached;
+        let resp = Response::many(ScheduleManyBody {
+            entries,
+            cached,
+            computed,
+        });
+        self.finalize_timing(resp, &options, meta, "many")
+    }
 }
 
 /// Per-line request metadata stamped by the transport-facing entry
@@ -1020,6 +1148,123 @@ mod tests {
             body.entries.len(),
             hetsched_core::algorithms::known_names().len()
         );
+        svc.shutdown();
+    }
+
+    /// A `schedule_many` line whose instances are star DAGs of the given
+    /// sizes (distinct sizes → distinct fingerprints; repeated sizes →
+    /// within-batch duplicates).
+    fn many_request(sizes: &[usize], algorithm: &str, options: &str) -> String {
+        let instances: Vec<String> = sizes
+            .iter()
+            .map(|&n| {
+                let tasks: Vec<String> = (0..n)
+                    .map(|i| format!("{{\"weight\":{}}}", i + 1))
+                    .collect();
+                let edges: Vec<String> = (1..n)
+                    .map(|i| format!("{{\"src\":0,\"dst\":{i},\"data\":2.0}}"))
+                    .collect();
+                format!(
+                    "{{\"dag\":{{\"tasks\":[{}],\"edges\":[{}]}},\
+                     \"system\":{{\"processors\":{{\"kind\":\"homogeneous\",\"count\":3}},\
+                     \"network\":{{\"topology\":\"fully_connected\",\"bandwidth\":1.0}}}}}}",
+                    tasks.join(","),
+                    edges.join(","),
+                )
+            })
+            .collect();
+        format!(
+            "{{\"op\":\"schedule_many\",\"instances\":[{}],\
+             \"algorithm\":\"{algorithm}\",\"options\":{options}}}",
+            instances.join(","),
+        )
+    }
+
+    #[test]
+    fn schedule_many_answers_in_request_order_and_matches_singles() {
+        let svc = Service::start(test_config());
+        let sizes = [4usize, 6, 5];
+        // standalone answers first, so the batch below is all memo hits —
+        // and must still come back in *request* order, not cache order
+        let singles: Vec<f64> = sizes
+            .iter()
+            .map(|&n| {
+                let resp = svc.handle_line(&small_request(n, "HEFT", "{}"));
+                schedule_body(&resp).makespan
+            })
+            .collect();
+        let resp = svc.handle_line(&many_request(&sizes, "HEFT", "{}"));
+        let Response::Ok {
+            many: Some(body), ..
+        } = &resp
+        else {
+            panic!("unexpected response: {resp:?}");
+        };
+        assert_eq!(body.entries.len(), sizes.len());
+        assert_eq!(body.cached, sizes.len());
+        assert_eq!(body.computed, 0);
+        for (entry, &makespan) in body.entries.iter().zip(&singles) {
+            assert!(entry.cached);
+            assert_eq!(entry.makespan, makespan);
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn schedule_many_computes_fresh_and_seeds_the_memo() {
+        let svc = Service::start(test_config());
+        let resp = svc.handle_line(&many_request(&[4, 6], "HEFT", "{}"));
+        let Response::Ok {
+            many: Some(body), ..
+        } = &resp
+        else {
+            panic!("unexpected response: {resp:?}");
+        };
+        assert_eq!((body.cached, body.computed), (0, 2));
+        assert!(body.entries.iter().all(|e| !e.cached));
+        // a later standalone request for a batch member is a memo hit
+        let single = svc.handle_line(&small_request(6, "HEFT", "{}"));
+        let sb = schedule_body(&single);
+        assert!(sb.cached);
+        assert_eq!(sb.makespan, body.entries[1].makespan);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn schedule_many_dedups_repeats_within_the_batch() {
+        let svc = Service::start(test_config());
+        let resp = svc.handle_line(&many_request(&[5, 5, 7], "HEFT", "{}"));
+        let Response::Ok {
+            many: Some(body), ..
+        } = &resp
+        else {
+            panic!("unexpected response: {resp:?}");
+        };
+        assert_eq!(body.entries.len(), 3);
+        // the repeat is answered single-flight from the first occurrence
+        assert_eq!((body.cached, body.computed), (1, 2));
+        assert!(!body.entries[0].cached);
+        assert!(body.entries[1].cached);
+        assert_eq!(body.entries[1].makespan, body.entries[0].makespan);
+        assert_eq!(body.entries[1].fingerprint, body.entries[0].fingerprint);
+        // only two jobs were actually computed
+        assert_eq!(svc.stats_body().computed, 2);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn schedule_many_rejects_empty_batch_and_unknown_algorithm() {
+        let svc = Service::start(test_config());
+        for line in [
+            &format!("{{\"op\":\"schedule_many\",\"instances\":[],\"algorithm\":\"HEFT\"}}"),
+            &many_request(&[4], "NO-SUCH-ALG", "{}"),
+        ] {
+            let resp = svc.handle_line(line);
+            assert!(
+                matches!(resp, Response::Error { .. }),
+                "line {line} gave {resp:?}"
+            );
+        }
         svc.shutdown();
     }
 

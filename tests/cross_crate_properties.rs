@@ -89,6 +89,68 @@ fn optimized_engine_schedules_byte_identical_to_reference_across_grid() {
     }
 }
 
+/// Batched scheduling is exactly the sequential loop, bit for bit: for
+/// every registered heterogeneous algorithm — the EFT-family
+/// `schedule_many` overrides that share one scratch context across the
+/// batch, and the default per-instance loop alike — a mixed-workload
+/// batch matches per-instance `schedule_instance` calls at batch sizes
+/// 1, 4, and 16.
+#[test]
+fn schedule_many_is_bit_identical_to_sequential_at_every_batch_size() {
+    use hetsched::core::ProblemInstance;
+    use hetsched::workloads::{fft, gauss, laplace};
+
+    // A mixed pool the batches cycle through. Varying processor counts
+    // within one batch exercise the shared context's `reset_for` path.
+    let mut pool: Vec<ProblemInstance> = Vec::new();
+    for (i, (n, ccr)) in [(12usize, 0.5), (25, 5.0), (18, 1.0)].iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(291 + i as u64);
+        let dag = random_dag(&RandomDagParams::new(*n, 1.0, *ccr), &mut rng);
+        let sys = System::heterogeneous_random(&dag, 4, &EtcParams::range_based(1.0), &mut rng);
+        pool.push(ProblemInstance::new(dag, sys));
+    }
+    let mut rng = StdRng::seed_from_u64(294);
+    let dag = gauss::gaussian_elimination(5, 1.0, &mut rng);
+    let sys = System::heterogeneous_random(&dag, 3, &EtcParams::range_based(1.0), &mut rng);
+    pool.push(ProblemInstance::new(dag, sys));
+    let mut rng = StdRng::seed_from_u64(295);
+    let dag = fft::fft_butterfly(8, 2.0, &mut rng);
+    let sys = System::heterogeneous_random(&dag, 5, &EtcParams::range_based(0.5), &mut rng);
+    pool.push(ProblemInstance::new(dag, sys));
+    let mut rng = StdRng::seed_from_u64(296);
+    let dag = laplace::laplace_wavefront(4, 1.0, &mut rng);
+    let sys = System::heterogeneous_random(&dag, 4, &EtcParams::range_based(1.0), &mut rng);
+    pool.push(ProblemInstance::new(dag, sys));
+    let mut rng = StdRng::seed_from_u64(297);
+    let dag = random_dag(&RandomDagParams::new(20, 1.0, 1.0), &mut rng);
+    let sys = System::homogeneous_unit(&dag, 4);
+    pool.push(ProblemInstance::new(dag, sys));
+
+    for &batch in &[1usize, 4, 16] {
+        let insts: Vec<ProblemInstance> = (0..batch)
+            .map(|i| {
+                let src = &pool[i % pool.len()];
+                ProblemInstance::new(src.dag().clone(), src.sys().clone())
+            })
+            .collect();
+        for alg in all_heterogeneous() {
+            let batched = alg.schedule_many(&insts);
+            assert_eq!(batched.len(), insts.len(), "{}", alg.name());
+            for (k, (got, inst)) in batched.iter().zip(&insts).enumerate() {
+                let want = alg.schedule_instance(inst);
+                assert_eq!(
+                    slot_digest(got),
+                    slot_digest(&want),
+                    "{} batch={batch} member {k} diverged from sequential",
+                    alg.name()
+                );
+                assert_eq!(got.makespan().to_bits(), want.makespan().to_bits());
+                assert_eq!(validate(inst.dag(), inst.sys(), got), Ok(()));
+            }
+        }
+    }
+}
+
 /// Search schedulers parallelized in the `par` layer, in cheap test
 /// configurations. The boxed trait objects let one grid drive all four.
 fn parallel_search_schedulers() -> Vec<Box<dyn hetsched::core::Scheduler + Send + Sync>> {
@@ -193,6 +255,31 @@ fn portfolio_equals_per_algorithm_minimum_of_direct_calls() {
     // ties break toward the earliest member: nothing before `best` matches
     for entry in &result.entries[..result.best] {
         assert!(entry.makespan > best.makespan);
+    }
+}
+
+/// Makespan sanity for the HOFT baseline on a fig10-style grid: across
+/// random instances at the runtime-experiment sizes, HOFT stays inside
+/// the baseline envelope — never worse than the worst other registered
+/// heterogeneous scheduler on the same instance. (HOFT is excluded from
+/// its own envelope; including it would make the bound vacuous.)
+#[test]
+fn hoft_stays_within_the_baseline_envelope_on_the_fig10_grid() {
+    use hetsched::core::algorithms::by_name;
+
+    let hoft = by_name("HOFT").expect("HOFT is registered");
+    for (n, seed) in [(20usize, 910u64), (50, 911), (80, 912), (120, 913)] {
+        let (dag, sys) = instance(n, 1.0, 6, 1.0, seed);
+        let m = hoft.schedule(&dag, &sys).makespan();
+        let worst = all_heterogeneous()
+            .iter()
+            .filter(|alg| alg.name() != "HOFT")
+            .map(|alg| alg.schedule(&dag, &sys).makespan())
+            .fold(0.0f64, f64::max);
+        assert!(
+            m <= worst + 1e-9,
+            "HOFT makespan {m} beats nothing at n={n}: worst baseline {worst}"
+        );
     }
 }
 
@@ -371,6 +458,30 @@ proptest! {
                     patched.instance.dag().num_tasks());
             }
         }
+    }
+
+    /// HOFT conformance on arbitrary instances: the optimized engine's
+    /// schedule is bit-identical to the naive reference engine's, valid,
+    /// and its SLR is bounded below by 1 like every other scheduler.
+    #[test]
+    fn hoft_is_bit_identical_to_the_reference_engine(
+        n in 2usize..50,
+        ccr in 0.0f64..6.0,
+        procs in 2usize..8,
+        beta in 0.0f64..1.9,
+        seed in 0u64..100_000,
+    ) {
+        use hetsched::core::algorithms::by_name;
+        use hetsched::core::with_reference_engine;
+
+        let (dag, sys) = instance(n, ccr, procs, beta, seed);
+        let hoft = by_name("HOFT").expect("HOFT is registered");
+        let fast = hoft.schedule(&dag, &sys);
+        let reference = with_reference_engine(|| hoft.schedule(&dag, &sys));
+        prop_assert_eq!(slot_digest(&fast), slot_digest(&reference));
+        prop_assert_eq!(fast.makespan().to_bits(), reference.makespan().to_bits());
+        prop_assert_eq!(validate(&dag, &sys, &fast), Ok(()));
+        prop_assert!(slr(&dag, &sys, fast.makespan()) >= 1.0 - 1e-9);
     }
 
     /// Adding processors never makes the *best achievable* HEFT makespan

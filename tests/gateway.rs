@@ -271,6 +271,74 @@ fn mixed_unique_and_duplicate_interleaving() {
     topo.shutdown();
 }
 
+/// A `schedule_many` batch through the gateway: entries come back in
+/// request order, each byte-identical to a direct library call, the
+/// fan-out splits by each instance's home shard, and a repeat batch is
+/// answered entirely from the shard memos.
+#[test]
+fn schedule_many_fans_out_by_home_shard_and_keeps_order() {
+    let topo = spawn_topology(2);
+    let mut client = Client::connect(topo.addr);
+
+    let sizes = [4usize, 5, 6, 7];
+    let instances: Vec<String> = sizes
+        .iter()
+        .map(|&m| {
+            format!(
+                "{{\"dag\":{},\"system\":{}}}",
+                serde_json::to_string(&dag_json(m)).unwrap(),
+                SYSTEM_JSON.replace('\n', ""),
+            )
+        })
+        .collect();
+    let line = format!(
+        "{{\"op\":\"schedule_many\",\"instances\":[{}],\"algorithm\":\"HEFT\"}}",
+        instances.join(","),
+    );
+
+    let reply = client.roundtrip(&line);
+    assert_eq!(reply["status"].as_str(), Some("ok"), "{reply:?}");
+    let body = &reply["many"];
+    let entries = body["entries"].as_array().unwrap();
+    assert_eq!(entries.len(), sizes.len());
+    assert_eq!(body["cached"].as_u64(), Some(0));
+    assert_eq!(body["computed"].as_u64(), Some(sizes.len() as u64));
+    let sys_spec: SystemSpec = serde_json::from_str(SYSTEM_JSON).unwrap();
+    for (entry, &m) in entries.iter().zip(&sizes) {
+        let dag_spec: DagSpec = serde_json::from_value(dag_json(m)).unwrap();
+        let dag = dag_spec.build().unwrap();
+        let sys = sys_spec.build(&dag).unwrap();
+        let direct = algorithms::by_name("HEFT").unwrap().schedule(&dag, &sys);
+        assert_eq!(
+            entry["schedule"],
+            serde_json::to_value(&direct).unwrap(),
+            "batch entry for m={m} differs from direct library call"
+        );
+        assert_eq!(entry["cached"].as_bool(), Some(false));
+    }
+
+    // The batch split across both shards (4 distinct fingerprints over 2
+    // shards virtually never all land on one) and seeded their memos:
+    // the identical batch answers cached, and so does a standalone
+    // request for any member.
+    let again = client.roundtrip(&line);
+    assert_eq!(again["many"]["cached"].as_u64(), Some(sizes.len() as u64));
+    assert_eq!(again["many"]["computed"].as_u64(), Some(0));
+    let again_entries = again["many"]["entries"].as_array().unwrap();
+    for (a, b) in again_entries.iter().zip(entries) {
+        // identical payloads; only the `cached` flag flips
+        assert_eq!(a["schedule"], b["schedule"]);
+        assert_eq!(a["cached"].as_bool(), Some(true));
+    }
+    let single = client.roundtrip(&schedule_request(5, "HEFT", "{}"));
+    assert_eq!(single["schedule"]["cached"].as_bool(), Some(true), "{single:?}");
+
+    let stats = client.roundtrip(r#"{"op":"stats"}"#);
+    assert_eq!(shard_sum(&stats, "computed"), sizes.len() as u64);
+
+    topo.shutdown();
+}
+
 /// Kill one shard mid-traffic: every subsequent request gets a structured
 /// reply within its deadline (reroute or shed — never a hang), and tail
 /// traffic still succeeds.

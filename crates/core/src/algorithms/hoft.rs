@@ -47,7 +47,7 @@ impl Hoft {
     ///
     /// computed backwards over the topological order. Exit tasks have no
     /// tail, so their row is the ETC row.
-    fn oft_table(dag: &Dag, sys: &System) -> Vec<f64> {
+    pub(crate) fn oft_table(dag: &Dag, sys: &System) -> Vec<f64> {
         let np = sys.num_procs();
         let net = sys.network();
         let mut oft = vec![0.0f64; dag.num_tasks() * np];
@@ -60,8 +60,7 @@ impl Hoft {
                     .map(|(c, data)| {
                         (0..np)
                             .map(|q| {
-                                oft[c.index() * np + q]
-                                    + net.comm_time(data, pid, ProcId(q as u32))
+                                oft[c.index() * np + q] + net.comm_time(data, pid, ProcId(q as u32))
                             })
                             .fold(f64::INFINITY, f64::min)
                     })
@@ -77,7 +76,7 @@ impl Hoft {
     /// when the minimum is zero — a zero-cost tail has nothing to gain
     /// from placement). `ratio >= 1`, so every task outranks all of its
     /// successors and the non-increasing order is topological.
-    fn priorities(dag: &Dag, np: usize, oft: &[f64]) -> Vec<f64> {
+    pub(crate) fn priorities(dag: &Dag, np: usize, oft: &[f64]) -> Vec<f64> {
         let mut rank = vec![0.0f64; dag.num_tasks()];
         for &t in dag.topo_order().iter().rev() {
             let row = &oft[t.index() * np..][..np];
@@ -109,20 +108,43 @@ impl Hoft {
         };
         let order = sort_by_priority_desc(&rank);
         let mut sched = Schedule::new(dag.num_tasks(), np);
+        self.place_from(inst, &oft, &rank, &order, 0, &mut sched, ctx);
+        sched
+    }
 
+    /// The two-candidate lookahead placement loop from rank-order position
+    /// `from` onward, shared between the from-scratch run (which starts at
+    /// 0 on an empty schedule) and [`Hoft::repair`] (which replays the
+    /// parent's leading placements and resumes from the first touched
+    /// position). Both callers execute identical placement code over
+    /// identical schedule state — the repair bit-identity argument needs
+    /// exactly that.
+    #[allow(clippy::too_many_arguments)] // two-call-site plumbing of run state
+    pub(crate) fn place_from(
+        &self,
+        inst: &ProblemInstance,
+        oft: &[f64],
+        rank: &[f64],
+        order: &[hetsched_dag::TaskId],
+        from: usize,
+        sched: &mut Schedule,
+        ctx: &mut EftContext,
+    ) {
+        let sys = inst.sys();
+        let np = sys.num_procs();
         let _span = hetsched_trace::span("eft_loop");
         let tracing = hetsched_trace::enabled();
         // per-task EFT row, arena-recycled like the context's frontier
         let mut starts = crate::arena::take_f64(np);
         let mut fins = crate::arena::take_f64(np);
-        for (step, &t) in order.iter().enumerate() {
+        for (step, &t) in order.iter().enumerate().skip(from) {
             hetsched_trace::emit(|| hetsched_trace::Event::TaskSelected {
                 step: step as u64,
                 task: t.index() as u32,
                 priority: rank[t.index()],
             });
             let durs = sys.etc().row(t);
-            let ready = ctx.data_ready_all(inst, &sched, t);
+            let ready = ctx.data_ready_all(inst, sched, t);
             let mut p_eft = 0usize;
             let mut p_fast = 0usize;
             for (p, (&r, &dur)) in ready.iter().zip(durs).enumerate() {
@@ -180,7 +202,6 @@ impl Hoft {
         }
         crate::arena::recycle_f64(starts);
         crate::arena::recycle_f64(fins);
-        sched
     }
 }
 
@@ -259,8 +280,7 @@ mod tests {
                 &hetsched_workloads::RandomDagParams::new(n, 1.0, 1.5),
                 &mut rng,
             );
-            let sys =
-                System::heterogeneous_random(&dag, 4, &EtcParams::range_based(1.0), &mut rng);
+            let sys = System::heterogeneous_random(&dag, 4, &EtcParams::range_based(1.0), &mut rng);
             let s = Hoft.schedule(&dag, &sys);
             assert_eq!(validate(&dag, &sys, &s), Ok(()), "n={n}");
             assert!(s.is_complete());

@@ -60,7 +60,7 @@ pub use delta::{Delta, DeltaError, DirtyInfo, Patched};
 pub use engine::{with_reference_engine, EftContext};
 pub use instance::ProblemInstance;
 pub use portfolio::{run_portfolio, PortfolioEntry, PortfolioResult};
-pub use repair::{repairable, RepairStats};
+pub use repair::{repairable, RepairScheduler, RepairStats};
 pub use schedule::{Schedule, Slot};
 pub use validate::{validate, ValidationError};
 

@@ -111,14 +111,24 @@ pub fn effective_jobs() -> usize {
     available_jobs()
 }
 
+/// Work sets smaller than this run sequentially even when `jobs > 1`:
+/// spawning scoped threads and routing a channel costs tens of
+/// microseconds, which dwarfs a handful of candidate evaluations. The
+/// value is deliberately small — fan-outs in the search schedulers are
+/// usually generation- or processor-count-sized, well above it.
+pub const SEQUENTIAL_WORK_THRESHOLD: usize = 8;
+
 /// Map `f` over `items` on up to `jobs` scoped threads, returning results
 /// in **submission order**.
 ///
 /// Work is handed out as index chunks over an mpmc channel (~4 chunks per
 /// worker: few messages, balanced tail). With `jobs <= 1` or fewer than
-/// two items this is a plain sequential `map` — no threads, no channels.
-/// Worker threads inherit the caller's reference-engine flag. A worker
-/// panic propagates when the scope joins.
+/// [`SEQUENTIAL_WORK_THRESHOLD`] items this is a plain sequential `map` —
+/// no threads, no channels. The fast path is result-identical by
+/// construction: the parallel path collects into submission-order slots,
+/// which is exactly the sequential map. Worker threads inherit the
+/// caller's reference-engine flag. A worker panic propagates when the
+/// scope joins.
 pub fn par_map_collect<T, R>(jobs: usize, items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R>
 where
     T: Sync,
@@ -126,7 +136,7 @@ where
 {
     let n = items.len();
     let jobs = jobs.max(1).min(n.max(1));
-    if jobs <= 1 || n <= 1 {
+    if jobs <= 1 || n < SEQUENTIAL_WORK_THRESHOLD {
         return items.iter().map(&f).collect();
     }
     let reference = reference_engine_active();
@@ -367,6 +377,21 @@ mod tests {
             let got = par_map_min(jobs, &idx, |&p| p, |new, cur| new.1 < cur.1);
             assert_eq!(got, Some((4, 1)), "first of the tied minima must win");
         }
+    }
+
+    #[test]
+    fn small_work_sets_stay_on_the_calling_thread() {
+        let caller = std::thread::current().id();
+        let items: Vec<u32> = (0..SEQUENTIAL_WORK_THRESHOLD as u32 - 1).collect();
+        let tids = par_map_collect(8, &items, |_| std::thread::current().id());
+        assert!(tids.iter().all(|&t| t == caller));
+        // at the threshold the pool engages (with jobs > 1)
+        let items: Vec<u32> = (0..SEQUENTIAL_WORK_THRESHOLD as u32).collect();
+        let tids = par_map_collect(8, &items, |_| std::thread::current().id());
+        assert!(tids.iter().all(|&t| t != caller));
+        // and the values still match the sequential map bit-for-bit
+        let seq: Vec<u32> = items.iter().map(|&x| x * 3 + 1).collect();
+        assert_eq!(par_map_collect(8, &items, |&x| x * 3 + 1), seq);
     }
 
     #[test]

@@ -12,7 +12,11 @@
 //!   `--hot-ms` windows and carry `debug_sleep_ms = hot_ms`, so each
 //!   rotation's first arrival leads a flight long enough for followers to
 //!   coalesce on — the single-flight dedup path, exercised on purpose
-//!   rather than by luck.
+//!   rather than by luck. Once a rotation's reply is memoized shard-side
+//!   (its second flight), later duplicates answer from the gateway's
+//!   raw-byte wire cache without a shard round trip; `--strict` requires
+//!   nonzero wire hits whenever the duplicate pressure is high enough
+//!   to make a third same-rotation wave statistically certain.
 //! - **patch** — a real `patch` op against the latest `problem`
 //!   fingerprint this connection learned from an earlier reply: the shard
 //!   resolves the parent from its instance cache, applies a one-weight
@@ -126,6 +130,9 @@ struct StepResult {
     compute_p99_us: f64,
     dedup_delta: u64,
     reroute_delta: u64,
+    /// Gateway wire-cache hits during this step: duplicates answered
+    /// from the raw-byte hot-line cache without a shard round trip.
+    wire_delta: u64,
 }
 
 /// Pre-generated request lines for one step.
@@ -506,9 +513,7 @@ fn run_step(cfg: &Config, addr: &str, rate: f64, step: usize) -> Result<StepResu
                                         // BATCH_BASE_TASKS + i
                                         let in_order = reply
                                             .as_ref()
-                                            .and_then(|v| {
-                                                v.get("many")?.get("entries")?.as_array()
-                                            })
+                                            .and_then(|v| v.get("many")?.get("entries")?.as_array())
                                             .is_some_and(|entries| {
                                                 entries.len() == expected
                                                     && entries.iter().enumerate().all(|(i, e)| {
@@ -593,6 +598,7 @@ fn run_step(cfg: &Config, addr: &str, rate: f64, step: usize) -> Result<StepResu
         compute_p99_us,
         dedup_delta: counter(&after, "dedup_hits").saturating_sub(counter(&before, "dedup_hits")),
         reroute_delta: counter(&after, "reroutes").saturating_sub(counter(&before, "reroutes")),
+        wire_delta: counter(&after, "wire_hits").saturating_sub(counter(&before, "wire_hits")),
     })
 }
 
@@ -701,6 +707,7 @@ pub fn run_load(cfg: &Config) -> Result<(), String> {
         "sent".into(),
         "ok".into(),
         "dedup".into(),
+        "wire".into(),
         "shed".into(),
         "busy".into(),
         "timeout".into(),
@@ -722,6 +729,7 @@ pub fn run_load(cfg: &Config) -> Result<(), String> {
             s.sent.to_string(),
             s.ok.to_string(),
             s.dedup_delta.to_string(),
+            s.wire_delta.to_string(),
             s.shed.to_string(),
             s.busy.to_string(),
             s.timeout.to_string(),
@@ -820,6 +828,23 @@ pub fn run_load(cfg: &Config) -> Result<(), String> {
         if cfg.mix.1 > 0.0 && dedup == 0 {
             return Err("strict: duplicate mix produced zero dedup hits".into());
         }
+        // Each hot rotation warms the gateway's raw-byte cache by its
+        // second flight, so a wire hit needs a *third* wave of
+        // duplicates inside one rotation window. The gate only arms
+        // when the duplicate pressure makes that statistically certain
+        // (≥ 2 expected duplicates per rotation at the sweep's top
+        // rate, across dozens of rotations); below that, zero hits
+        // means the traffic was too sparse, not that the path broke.
+        let wire: u64 = steps.iter().map(|s| s.wire_delta).sum();
+        let top_rate = cfg.rate * if cfg.quick { 1.0 } else { 3.0 };
+        let rotation_s = (2 * cfg.hot_ms).max(20) as f64 / 1e3;
+        let dups_per_rotation = top_rate * cfg.mix.1 * rotation_s;
+        if cfg.mix.1 > 0.0 && dups_per_rotation >= 2.0 && wire == 0 {
+            return Err(format!(
+                "strict: duplicate mix produced zero wire-cache hits \
+                 ({dups_per_rotation:.1} expected duplicates per hot rotation)"
+            ));
+        }
         let patched: u64 = steps.iter().map(|s| s.patched).sum();
         if cfg.mix.2 > 0.0 && patched == 0 {
             return Err("strict: patch mix produced zero patch ops".into());
@@ -830,15 +855,14 @@ pub fn run_load(cfg: &Config) -> Result<(), String> {
         }
         let ooo: u64 = steps.iter().map(|s| s.batch_ooo).sum();
         if ooo > 0 {
-            return Err(format!(
-                "strict: {ooo} batch replies arrived out of order"
-            ));
+            return Err(format!("strict: {ooo} batch replies arrived out of order"));
         }
         // unknown_parent replies are expected under instance-cache churn
         // and explicitly tolerated; they are reported, never fatal
         let misses: u64 = steps.iter().map(|s| s.patch_miss).sum();
         println!(
             "strict checks passed: 0 protocol errors, {dedup} dedup hits, \
+             {wire} wire-cache hits, \
              {patched} patch ops ({misses} unknown_parent, tolerated), \
              {batches} batches all in order"
         );

@@ -158,7 +158,8 @@ fn repair_entries(cfg: &Config, reps: usize) -> Vec<BenchEntry> {
         let sys =
             System::heterogeneous_random(&dag, cfg.procs, &EtcParams::range_based(1.0), &mut rng);
         let parent_inst = ProblemInstance::from_refs(&dag, &sys);
-        let heft = repairable("HEFT").expect("HEFT is repair-capable");
+        let heft = by_name("HEFT").expect("registry has HEFT");
+        let repairer = repairable("HEFT").expect("HEFT is repair-capable");
         // scheduling the parent warms its rank memo, exactly as a serve
         // shard's instance cache would hold it when a patch arrives
         let parent = heft.schedule_instance(&parent_inst);
@@ -207,7 +208,7 @@ fn repair_entries(cfg: &Config, reps: usize) -> Vec<BenchEntry> {
                     .apply_deltas(&deltas)
                     .expect("ETC delta applies");
                 let (sched, _stats) =
-                    heft.repair(&patched.instance, &patched.dirty, &parent_inst, &parent);
+                    repairer.repair(&patched.instance, &patched.dirty, &parent_inst, &parent);
                 sched.makespan()
             }),
         ));
@@ -259,6 +260,82 @@ fn serve_entries(cfg: &Config, reps: usize) -> Vec<BenchEntry> {
         min_ns: min,
         reps,
     }]
+}
+
+/// The wire-path section the raw-byte hot-line cache targets: one warmed
+/// daemon answers the same n = 50 schedule request three ways. The
+/// `memo-hit` entry is the pre-wire round trip — `handle_line` parses the
+/// JSON, hits the result memo, and re-serializes the reply per call. The
+/// `fallback` entry pushes a scanner-declined variant of the same line
+/// (one extra space) through `handle_line_bytes`: full parse, memo hit,
+/// preserialized reply bytes. The `hit` entry is the wire fast path on
+/// the compact line: one digest probe returns the cached reply `Arc`
+/// with no parsing or serialization at all. `run_perf` reports the
+/// memo-hit → wire-hit ratio as the headline wire speedup.
+fn wire_entries(cfg: &Config, reps: usize) -> Vec<BenchEntry> {
+    let reps = reps.max(15);
+    let n = 50usize;
+    let tasks: Vec<String> = (0..n)
+        .map(|i| format!("{{\"weight\":{}}}", i % 7 + 1))
+        .collect();
+    let edges: Vec<String> = (1..n)
+        .map(|i| format!("{{\"src\":{},\"dst\":{i},\"data\":2.5}}", (i - 1) / 2))
+        .collect();
+    let line = format!(
+        "{{\"op\":\"schedule\",\"dag\":{{\"tasks\":[{}],\"edges\":[{}]}},\
+         \"system\":{{\"processors\":{{\"kind\":\"homogeneous\",\"count\":{}}},\
+         \"network\":{{\"topology\":\"fully_connected\",\"bandwidth\":1.0}}}},\
+         \"algorithm\":\"HEFT\",\"options\":{{}}}}",
+        tasks.join(","),
+        edges.join(","),
+        cfg.procs,
+    );
+    // one leading space after the opening brace: parses identically, but
+    // the scanner declines it, forcing the full-parse fallback
+    let loose_line = format!(" {line}");
+    let svc = Service::start(ServeConfig {
+        workers: 1,
+        queue_capacity: 4,
+        cache_capacity: 8,
+        instance_cache_capacity: 8,
+        default_deadline_ms: 60_000,
+    });
+    // warm to the fixed point: first call computes and fills the memo,
+    // second replays the memo and writes the reply through to the wire
+    // cache, so every benched call below is a steady-state repeat
+    let first = svc.handle_line_bytes(&line);
+    assert!(
+        first.starts_with(b"{\"status\":\"ok\""),
+        "wire bench warmup failed: {}",
+        String::from_utf8_lossy(&first)
+    );
+    svc.handle_line_bytes(&line);
+
+    let entry = |id: String, (median_ns, min_ns): (f64, f64)| BenchEntry {
+        id,
+        n,
+        procs: cfg.procs,
+        algo: "HEFT".to_string(),
+        median_ns,
+        min_ns,
+        reps,
+    };
+    let out = vec![
+        entry(
+            format!("wire/n{n}/memo-hit"),
+            bench(reps, || svc.handle_line(&line).to_line()),
+        ),
+        entry(
+            format!("wire/n{n}/fallback"),
+            bench(reps, || svc.handle_line_bytes(&loose_line)),
+        ),
+        entry(
+            format!("wire/n{n}/hit"),
+            bench(reps, || svc.handle_line_bytes(&line)),
+        ),
+    ];
+    svc.shutdown();
+    out
 }
 
 /// The multi-algorithm path the shared [`ProblemInstance`] targets: the
@@ -681,6 +758,7 @@ fn measure(cfg: &Config, reps: usize) -> Vec<BenchEntry> {
     entries.extend(large_entries(cfg, reps));
     entries.extend(repair_entries(cfg, reps));
     entries.extend(serve_entries(cfg, reps));
+    entries.extend(wire_entries(cfg, reps));
     entries.extend(multi_alg_entries(cfg, reps));
     entries.extend(serve_portfolio_entries(cfg, reps));
     entries.extend(many_entries(cfg, reps));
@@ -731,6 +809,30 @@ pub fn run_perf(cfg: &Config) -> Result<(), String> {
             f.min_ns / s.min_ns,
             p.min_ns / 1e6,
             f.min_ns / p.min_ns,
+        );
+    }
+
+    // the wire path: the same warmed repeat answered by full parse +
+    // re-serialization, full parse + preserialized bytes, and the raw-byte
+    // hot-line cache
+    let memo = entries
+        .iter()
+        .find(|e| e.id.starts_with("wire/") && e.id.ends_with("/memo-hit"));
+    let fall = entries
+        .iter()
+        .find(|e| e.id.starts_with("wire/") && e.id.ends_with("/fallback"));
+    let hit = entries.iter().find(|e| {
+        e.id.starts_with("wire/") && e.id.ends_with("/hit") && !e.id.ends_with("memo-hit")
+    });
+    if let (Some(m), Some(f), Some(h)) = (memo, fall, hit) {
+        println!(
+            "wire path: memo-hit round trip {:.1} us, preserialized fallback {:.1} us ({:.2}x), \
+             wire hit {:.1} us ({:.2}x speedup)\n",
+            m.min_ns / 1e3,
+            f.min_ns / 1e3,
+            m.min_ns / f.min_ns,
+            h.min_ns / 1e3,
+            m.min_ns / h.min_ns,
         );
     }
 

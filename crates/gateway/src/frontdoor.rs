@@ -35,14 +35,51 @@ use hetsched_serve::protocol::Response;
 use crate::router::Router;
 use crate::GatewayConfig;
 
-/// Reactor idle poll interval: the latency floor for noticing new bytes
-/// when every connection is quiet.
-const POLL_INTERVAL: Duration = Duration::from_millis(2);
+/// Shortest reactor idle sleep: the latency floor for noticing new bytes
+/// right after a burst of activity.
+const BACKOFF_FLOOR: Duration = Duration::from_millis(1);
+/// Longest reactor idle sleep, reached after sustained quiet. Bounds the
+/// wake-up latency for the first request of a new burst.
+const BACKOFF_CEILING: Duration = Duration::from_millis(16);
+/// Sleep while a blocked reply write waits for the kernel buffer to
+/// drain (the peer controls the pace here, not the reactor).
+const WRITE_RETRY: Duration = Duration::from_millis(2);
 /// Per-connection read chunk.
 const CHUNK: usize = 16 * 1024;
 /// Cap on a single buffered line; a peer streaming an unbounded line
 /// would otherwise grow the read buffer without limit.
 const MAX_LINE_BYTES: usize = 8 * 1024 * 1024;
+
+/// Adaptive reactor idle backoff: sleeps start at [`BACKOFF_FLOOR`]
+/// right after activity and double toward [`BACKOFF_CEILING`] while the
+/// loop stays idle, so a busy gateway polls at the floor and a quiet one
+/// burns almost no CPU. Any progress snaps the next sleep back to the
+/// floor.
+#[derive(Debug)]
+pub(crate) struct Backoff {
+    next: Duration,
+}
+
+impl Backoff {
+    pub(crate) fn new() -> Backoff {
+        Backoff {
+            next: BACKOFF_FLOOR,
+        }
+    }
+
+    /// Work happened: the next idle sleep restarts at the floor.
+    pub(crate) fn reset(&mut self) {
+        self.next = BACKOFF_FLOOR;
+    }
+
+    /// The duration an idle iteration should sleep now; each call while
+    /// idle doubles the following one, up to the ceiling.
+    pub(crate) fn idle(&mut self) -> Duration {
+        let cur = self.next;
+        self.next = (cur * 2).min(BACKOFF_CEILING);
+        cur
+    }
+}
 
 /// One unit of work for a router worker.
 struct DispatchJob {
@@ -128,6 +165,9 @@ impl GatewayServer {
 
         let mut conns: HashMap<u64, ClientConn> = HashMap::new();
         let mut next_id: u64 = 0;
+        let mut backoff = Backoff::new();
+        // Reactor-side write scratch, reused across every shed marker.
+        let mut scratch: Vec<u8> = Vec::new();
         loop {
             let mut progressed = false;
 
@@ -187,7 +227,7 @@ impl GatewayServer {
                                 config.max_pending_per_conn
                             ))
                             .to_line();
-                            if write_line(&conn.writer, &line).is_err() {
+                            if write_line(&conn.writer, &mut scratch, &line).is_err() {
                                 conn.dead = true;
                                 break;
                             }
@@ -229,8 +269,10 @@ impl GatewayServer {
             {
                 break;
             }
-            if !progressed {
-                thread::sleep(POLL_INTERVAL);
+            if progressed {
+                backoff.reset();
+            } else {
+                thread::sleep(backoff.idle());
             }
         }
 
@@ -288,17 +330,23 @@ impl ClientConn {
         }
         let arrival = Instant::now();
         while let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
-            let line_bytes: Vec<u8> = self.buf.drain(..=pos).collect();
-            let line = String::from_utf8_lossy(&line_bytes).trim().to_string();
-            if line.is_empty() {
-                continue;
+            // Slice the line in place; only a queued job owns a String
+            // (it must outlive the buffer), so blank lines and shed
+            // markers cost no allocation at all.
+            {
+                let line = String::from_utf8_lossy(&self.buf[..pos]);
+                let line = line.trim();
+                if !line.is_empty() {
+                    if self.pending.len() >= max_pending {
+                        self.pending.push_back(PendingLine::Shed);
+                    } else {
+                        self.pending
+                            .push_back(PendingLine::Job(line.to_string(), arrival));
+                    }
+                    progressed = true;
+                }
             }
-            if self.pending.len() >= max_pending {
-                self.pending.push_back(PendingLine::Shed);
-            } else {
-                self.pending.push_back(PendingLine::Job(line, arrival));
-            }
-            progressed = true;
+            self.buf.drain(..=pos);
         }
         if self.buf.len() > MAX_LINE_BYTES {
             self.dead = true;
@@ -324,9 +372,11 @@ fn spawn_workers(
             thread::Builder::new()
                 .name(format!("gw-router-{i}"))
                 .spawn(move || {
+                    // Per-worker write scratch, reused across every reply.
+                    let mut scratch: Vec<u8> = Vec::new();
                     while let Ok(job) = jobs_rx.recv() {
                         let reply = router.handle_line(&job.line, job.arrival);
-                        let write_ok = write_line(&job.writer, &reply).is_ok();
+                        let write_ok = write_line(&job.writer, &mut scratch, &reply).is_ok();
                         let _ = done_tx.send(Done {
                             conn_id: job.conn_id,
                             write_ok,
@@ -339,19 +389,52 @@ fn spawn_workers(
 }
 
 /// Write one reply line to a (non-blocking) client socket, retrying
-/// `WouldBlock` until the kernel buffer drains.
-fn write_line(writer: &Arc<Mutex<TcpStream>>, line: &str) -> io::Result<()> {
+/// `WouldBlock` until the kernel buffer drains. `scratch` is the
+/// caller's reusable buffer for the `reply + '\n'` payload — no
+/// per-write allocation at steady state.
+fn write_line(writer: &Arc<Mutex<TcpStream>>, scratch: &mut Vec<u8>, line: &str) -> io::Result<()> {
+    scratch.clear();
+    scratch.extend_from_slice(line.as_bytes());
+    scratch.push(b'\n');
     let mut stream = writer.lock();
-    let payload = [line.as_bytes(), b"\n"].concat();
     let mut written = 0;
-    while written < payload.len() {
-        match stream.write(&payload[written..]) {
+    while written < scratch.len() {
+        match stream.write(&scratch[written..]) {
             Ok(0) => return Err(io::Error::new(ErrorKind::WriteZero, "peer stalled")),
             Ok(n) => written += n,
-            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(WRITE_RETRY),
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
         }
     }
     stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_while_idle_and_resets_on_progress() {
+        let mut b = Backoff::new();
+        // Idle sleeps double from the floor to the ceiling and stay there.
+        let mut seen = Vec::new();
+        for _ in 0..8 {
+            seen.push(b.idle());
+        }
+        assert_eq!(seen[0], BACKOFF_FLOOR, "first idle sleep is the floor");
+        for pair in seen.windows(2) {
+            assert!(
+                pair[1] == (pair[0] * 2).min(BACKOFF_CEILING),
+                "each idle sleep doubles (capped): {seen:?}"
+            );
+        }
+        assert_eq!(*seen.last().unwrap(), BACKOFF_CEILING, "ceiling reached");
+        assert_eq!(b.idle(), BACKOFF_CEILING, "and held");
+
+        // Any progress snaps the next sleep back to the floor.
+        b.reset();
+        assert_eq!(b.idle(), BACKOFF_FLOOR);
+        assert_eq!(b.idle(), BACKOFF_FLOOR * 2);
+    }
 }

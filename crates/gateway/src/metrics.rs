@@ -38,6 +38,16 @@ pub struct GatewayMetrics {
     /// Error responses originated by the gateway (malformed requests,
     /// invalid problems, no healthy shard).
     pub errors: AtomicU64,
+    /// Requests answered from the gateway's raw-byte hot-line cache —
+    /// no parse, no shard round trip.
+    pub wire_hits: AtomicU64,
+    /// Requests the wire scanner digested but whose reply was not (yet)
+    /// cached; routed normally.
+    pub wire_misses: AtomicU64,
+    /// Requests the wire scanner declined (control ops, traced requests,
+    /// non-compact or escaped JSON) or that arrived during shutdown or
+    /// past their deadline; routed normally without a digest.
+    pub wire_fallbacks: AtomicU64,
     /// End-to-end latency of routed requests, split by outcome
     /// (`status` label in the exposition).
     pub latency: StatusLatency,
@@ -129,6 +139,21 @@ impl GatewayMetrics {
             "Error responses originated by the gateway.",
             read(&self.errors),
         );
+        counter(
+            "hetsched_gateway_wire_hits_total",
+            "Requests answered from the raw-byte hot-line cache.",
+            read(&self.wire_hits),
+        );
+        counter(
+            "hetsched_gateway_wire_misses_total",
+            "Wire-scanned requests whose reply was not cached.",
+            read(&self.wire_misses),
+        );
+        counter(
+            "hetsched_gateway_wire_fallbacks_total",
+            "Requests the wire scanner declined; routed via full parse.",
+            read(&self.wire_fallbacks),
+        );
 
         let _ = writeln!(
             out,
@@ -215,6 +240,10 @@ mod tests {
         m.op_outcomes.bump("schedule", RequestStatus::Success);
         m.op_outcomes.bump("patch", RequestStatus::Shed);
         m.deadline_slack.record(Duration::from_millis(12));
+        bump(&m.wire_hits);
+        bump(&m.wire_misses);
+        bump(&m.wire_misses);
+        bump(&m.wire_fallbacks);
         let shards = vec![
             ShardSnapshot {
                 addr: "127.0.0.1:7001".to_string(),
@@ -236,6 +265,9 @@ mod tests {
             "hetsched_gateway_requests_total 2",
             "hetsched_gateway_dedup_hits_total 1",
             "hetsched_gateway_sheds_total 1",
+            "hetsched_gateway_wire_hits_total 1",
+            "hetsched_gateway_wire_misses_total 2",
+            "hetsched_gateway_wire_fallbacks_total 1",
             "hetsched_gateway_shards 2",
             "hetsched_gateway_shard_up{shard=\"127.0.0.1:7001\"} 1",
             "hetsched_gateway_shard_up{shard=\"127.0.0.1:7002\"} 0",

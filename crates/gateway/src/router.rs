@@ -23,16 +23,19 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::RecvTimeoutError;
+use parking_lot::Mutex;
 
 use hetsched_core::{Delta, ProblemInstance};
 use hetsched_dag::{Dag, Fingerprint};
 use hetsched_platform::System;
+use hetsched_serve::cache::LruCache;
 use hetsched_serve::journal::Journal;
 use hetsched_serve::metrics::RequestStatus;
 use hetsched_serve::protocol::{
     GatewayTiming, HelloBody, Hop, InstanceSpec, JournalBody, Request, RequestOptions, Response,
     ScheduleBody, ScheduleManyBody, SpanRecord, TimingBody,
 };
+use hetsched_serve::wire::{self, WireScan};
 
 use crate::backend::Backend;
 use crate::metrics::{bump, read, GatewayMetrics, ShardSnapshot};
@@ -50,6 +53,12 @@ const FOLLOWER_SLACK: Duration = Duration::from_millis(100);
 const SHARD_GRACE: Duration = Duration::from_millis(250);
 /// Deadline for control-plane fan-outs (per-shard stats, shutdown).
 const CONTROL_DEADLINE: Duration = Duration::from_secs(2);
+/// Capacity of the gateway's raw-byte hot-line cache. Unlike the shard's
+/// wire cache (coupled to its memo evictions), the gateway has no view
+/// into shard cache churn, so this stays a small fixed window over the
+/// hottest request lines; a stale entry can at worst re-serve a reply
+/// whose schedule bytes are deterministic anyway (see `handle_line`).
+const WIRE_CACHE_CAPACITY: usize = 256;
 
 /// The gateway routing core. Cheap to share behind an `Arc`; every public
 /// method takes `&self`.
@@ -57,6 +66,8 @@ pub struct Router {
     config: GatewayConfig,
     backends: Vec<Backend>,
     singleflight: SingleFlight,
+    /// Raw-byte hot-line cache: wire digest → preserialized reply line.
+    wire: Mutex<LruCache<Arc<String>>>,
     metrics: GatewayMetrics,
     journal: Journal,
     shutting: AtomicBool,
@@ -129,6 +140,7 @@ impl Router {
             config,
             backends,
             singleflight: SingleFlight::new(),
+            wire: Mutex::new(LruCache::new(WIRE_CACHE_CAPACITY)),
             metrics: GatewayMetrics::new(),
             journal: Journal::default(),
             shutting: AtomicBool::new(false),
@@ -156,27 +168,92 @@ impl Router {
         self.shutting.store(true, Ordering::SeqCst);
     }
 
-    /// Handle one NDJSON request line, returning the reply line (no
-    /// trailing newline). `arrival` anchors the request's deadline: pass
-    /// the instant the line was read off the socket, so queueing inside
-    /// the gateway counts against the client's budget.
-    pub fn handle_line(&self, line: &str, arrival: Instant) -> String {
-        match Request::parse(line) {
+    /// Handle one NDJSON request line, returning the shared reply line
+    /// (no trailing newline). `arrival` anchors the request's deadline:
+    /// pass the instant the line was read off the socket, so queueing
+    /// inside the gateway counts against the client's budget.
+    ///
+    /// Repeat traffic takes the **wire fast path**: a shallow byte scan
+    /// digests the line with its volatile fields (`deadline_ms`, `jobs`,
+    /// trace context) cut out, and a digest already mapped to a
+    /// preserialized reply answers without parsing the request or
+    /// touching a shard. The cache only admits memo-hit-shaped replies
+    /// ([`wire::reply_stable`]) — whose schedule bytes are deterministic
+    /// for the digest — and a hit is refused when the request's own
+    /// deadline has expired (the slow path would shed) or shutdown has
+    /// begun (the slow path would refuse), so the fast path answers
+    /// byte-for-byte what the slow path would have.
+    pub fn handle_line(&self, line: &str, arrival: Instant) -> Arc<String> {
+        let Some(scan) = wire::scan(line.as_bytes()) else {
+            bump(&self.metrics.wire_fallbacks);
+            return self.handle_line_slow(line, arrival, None);
+        };
+        if self.is_shutting_down() || !self.deadline_live(&scan, arrival) {
+            bump(&self.metrics.wire_fallbacks);
+            return self.handle_line_slow(line, arrival, None);
+        }
+        let hit = self.wire.lock().get(scan.digest).cloned();
+        if let Some(reply) = hit {
+            self.record_wire_hit(&scan, arrival);
+            return reply;
+        }
+        bump(&self.metrics.wire_misses);
+        self.handle_line_slow(line, arrival, Some(scan.digest))
+    }
+
+    /// Whether the scanned request's deadline has not yet expired on
+    /// this gateway's clock.
+    fn deadline_live(&self, scan: &WireScan, arrival: Instant) -> bool {
+        let deadline =
+            Duration::from_millis(scan.deadline_ms.unwrap_or(self.config.default_deadline_ms));
+        Instant::now() < arrival + deadline
+    }
+
+    /// Account a wire-cache hit with the same SLO bookkeeping the slow
+    /// path performs in [`Router::finish_route`]. The per-shard forward
+    /// counter is deliberately untouched: no shard served this request.
+    fn record_wire_hit(&self, scan: &WireScan, arrival: Instant) {
+        bump(&self.metrics.requests);
+        bump(&self.metrics.wire_hits);
+        let elapsed = arrival.elapsed();
+        self.metrics.latency.record(RequestStatus::Success, elapsed);
+        self.metrics
+            .op_outcomes
+            .bump(scan.op.as_str(), RequestStatus::Success);
+        if let Some(d) = scan.deadline_ms {
+            self.metrics
+                .deadline_slack
+                .record(Duration::from_millis(d).saturating_sub(elapsed));
+        }
+    }
+
+    /// The full parse-and-route path. `store` carries the wire digest of
+    /// a scanned-but-missed line; a stable reply is written back under it.
+    fn handle_line_slow(&self, line: &str, arrival: Instant, store: Option<u64>) -> Arc<String> {
+        let reply = match Request::parse(line) {
             Err(e) => {
                 bump(&self.metrics.errors);
-                Response::error(format!("bad request: {e}")).to_line()
+                Arc::new(Response::error(format!("bad request: {e}")).to_line())
             }
-            Ok(Request::Hello) => Response::hello(self.hello_body()).to_line(),
-            Ok(Request::Stats) => self.stats_line(),
-            Ok(Request::Metrics) => Response::metrics(self.metrics_text()).to_line(),
-            Ok(Request::Journal) => Response::journal(JournalBody {
-                source: "gateway".to_string(),
-                spans: self.journal.drain(),
-            })
-            .to_line(),
-            Ok(Request::Shutdown) => self.shutdown_line(),
+            Ok(Request::Hello) => Arc::new(Response::hello(self.hello_body()).to_line()),
+            Ok(Request::Stats) => Arc::new(self.stats_line()),
+            Ok(Request::Metrics) => Arc::new(Response::metrics(self.metrics_text()).to_line()),
+            Ok(Request::Journal) => Arc::new(
+                Response::journal(JournalBody {
+                    source: "gateway".to_string(),
+                    spans: self.journal.drain(),
+                })
+                .to_line(),
+            ),
+            Ok(Request::Shutdown) => Arc::new(self.shutdown_line()),
             Ok(req) => self.route(req, arrival),
+        };
+        if let Some(digest) = store {
+            if wire::reply_stable(reply.as_bytes()) {
+                self.wire.lock().insert(digest, reply.clone());
+            }
         }
+        reply
     }
 
     /// Identification payload for the `hello` op.
@@ -193,9 +270,9 @@ impl Router {
     /// outcome and, for traced requests, the gateway-side spans and the
     /// `timing.gateway` block around the actual routing in
     /// [`Router::route_inner`].
-    fn route(&self, req: Request, arrival: Instant) -> String {
+    fn route(&self, req: Request, arrival: Instant) -> Arc<String> {
         if self.is_shutting_down() {
-            return Response::ShuttingDown.to_line();
+            return Arc::new(Response::ShuttingDown.to_line());
         }
         bump(&self.metrics.requests);
         let (op, deadline_ms, trace_id) = {
@@ -231,7 +308,7 @@ impl Router {
         deadline_ms: Option<u64>,
         arrival: Instant,
         scratch: &mut TraceScratch,
-    ) -> String {
+    ) -> Arc<String> {
         let deadline =
             Duration::from_millis(deadline_ms.unwrap_or(self.config.default_deadline_ms));
         let deadline_at = arrival + deadline;
@@ -244,10 +321,12 @@ impl Router {
         // or `error` instead of the honest `shed`.)
         if Instant::now() >= deadline_at {
             bump(&self.metrics.sheds);
-            return Response::shed(
-                "deadline expired before dispatch; the request never reached a shard",
-            )
-            .to_line();
+            return Arc::new(
+                Response::shed(
+                    "deadline expired before dispatch; the request never reached a shard",
+                )
+                .to_line(),
+            );
         }
         // A batch fans out to *several* home shards; it has its own
         // routing body and only shares admission and single-flight.
@@ -257,7 +336,14 @@ impl Router {
             options,
         } = req
         {
-            return self.route_many(instances, algorithm, options, deadline, deadline_at, scratch);
+            return self.route_many(
+                instances,
+                algorithm,
+                options,
+                deadline,
+                deadline_at,
+                scratch,
+            );
         }
         let options = match req {
             Request::Schedule { options, .. }
@@ -277,11 +363,13 @@ impl Router {
                 // whose instance cache can resolve the parent fingerprint.
                 let Some(parent_fp) = parse_parent(parent) else {
                     bump(&self.metrics.errors);
-                    return Response::error(format!(
-                        "unknown_parent: `{parent}` is not a 16-hex-digit problem fingerprint \
-                         (use the `problem` field of an earlier schedule response)"
-                    ))
-                    .to_line();
+                    return Arc::new(
+                        Response::error(format!(
+                            "unknown_parent: `{parent}` is not a 16-hex-digit problem fingerprint \
+                             (use the `problem` field of an earlier schedule response)"
+                        ))
+                        .to_line(),
+                    );
                 };
                 (
                     (parent_fp % self.backends.len() as u64) as usize,
@@ -310,14 +398,14 @@ impl Router {
                     Ok(d) => d,
                     Err(e) => {
                         bump(&self.metrics.errors);
-                        return Response::error(format!("invalid dag: {e}")).to_line();
+                        return Arc::new(Response::error(format!("invalid dag: {e}")).to_line());
                     }
                 };
                 let sys = match system_spec.build(&dag) {
                     Ok(s) => s,
                     Err(e) => {
                         bump(&self.metrics.errors);
-                        return Response::error(format!("invalid system: {e}")).to_line();
+                        return Arc::new(Response::error(format!("invalid system: {e}")).to_line());
                     }
                 };
                 (
@@ -340,7 +428,9 @@ impl Router {
     /// completes the flight with the *un-injected* reply — every
     /// requester, leader and followers alike, injects its own gateway
     /// timing into its own clone, so a follower's `timing.gateway`
-    /// reflects its wait, not the leader's round trip.
+    /// reflects its wait, not the leader's round trip. Leader and
+    /// followers share the same `Arc`'d reply bytes — no follower ever
+    /// copies the payload.
     fn coalesce(
         &self,
         key: u64,
@@ -348,7 +438,7 @@ impl Router {
         deadline_at: Instant,
         scratch: &mut TraceScratch,
         lead_fn: impl FnOnce(&Self, &mut TraceScratch) -> String,
-    ) -> String {
+    ) -> Arc<String> {
         match self.singleflight.join(key) {
             Flight::Follower(rx) => {
                 scratch.dedup = "follower";
@@ -361,21 +451,25 @@ impl Router {
                 match outcome {
                     Ok(reply) => {
                         bump(&self.metrics.dedup_hits);
-                        (*reply).clone()
+                        reply
                     }
                     Err(RecvTimeoutError::Timeout) => {
                         bump(&self.metrics.timeouts);
-                        Response::Timeout {
-                            message: format!(
-                                "deadline of {} ms exceeded waiting for an identical in-flight request",
-                                deadline.as_millis()
-                            ),
-                        }
-                        .to_line()
+                        Arc::new(
+                            Response::Timeout {
+                                message: format!(
+                                    "deadline of {} ms exceeded waiting for an identical in-flight request",
+                                    deadline.as_millis()
+                                ),
+                            }
+                            .to_line(),
+                        )
                     }
                     Err(RecvTimeoutError::Disconnected) => {
                         bump(&self.metrics.errors);
-                        Response::error("in-flight leader vanished before replying").to_line()
+                        Arc::new(
+                            Response::error("in-flight leader vanished before replying").to_line(),
+                        )
                     }
                 }
             }
@@ -383,7 +477,7 @@ impl Router {
                 scratch.dedup = "leader";
                 let reply = Arc::new(lead_fn(self, scratch));
                 self.singleflight.complete(key, &reply);
-                (*reply).clone()
+                reply
             }
         }
     }
@@ -404,10 +498,12 @@ impl Router {
         deadline: Duration,
         deadline_at: Instant,
         scratch: &mut TraceScratch,
-    ) -> String {
+    ) -> Arc<String> {
         if instances.is_empty() {
             bump(&self.metrics.errors);
-            return Response::error("schedule_many requires at least one instance").to_line();
+            return Arc::new(
+                Response::error("schedule_many requires at least one instance").to_line(),
+            );
         }
         let n = self.backends.len();
         let mut homes = Vec::with_capacity(instances.len());
@@ -417,15 +513,18 @@ impl Router {
                 Ok(d) => d,
                 Err(e) => {
                     bump(&self.metrics.errors);
-                    return Response::error(format!("invalid dag (instance {i}): {e}")).to_line();
+                    return Arc::new(
+                        Response::error(format!("invalid dag (instance {i}): {e}")).to_line(),
+                    );
                 }
             };
             let sys = match spec.system.build(&dag) {
                 Ok(s) => s,
                 Err(e) => {
                     bump(&self.metrics.errors);
-                    return Response::error(format!("invalid system (instance {i}): {e}"))
-                        .to_line();
+                    return Arc::new(
+                        Response::error(format!("invalid system (instance {i}): {e}")).to_line(),
+                    );
                 }
             };
             let cfp = ProblemInstance::content_fingerprint(&dag, &sys);
@@ -466,9 +565,8 @@ impl Router {
         let mut entries: Vec<Option<ScheduleBody>> = vec![None; instances.len()];
         let (mut cached, mut computed) = (0usize, 0usize);
         for home in shard_order {
-            let member_idx: Vec<usize> = (0..instances.len())
-                .filter(|&i| homes[i] == home)
-                .collect();
+            let member_idx: Vec<usize> =
+                (0..instances.len()).filter(|&i| homes[i] == home).collect();
             let sub_req = Request::ScheduleMany {
                 instances: member_idx.iter().map(|&i| instances[i].clone()).collect(),
                 algorithm: algorithm.to_string(),
@@ -514,12 +612,12 @@ impl Router {
     /// the `timing.gateway` block into traced `ok` replies.
     fn finish_route(
         &self,
-        reply: String,
+        reply: Arc<String>,
         op: &str,
         deadline_ms: Option<u64>,
         arrival: Instant,
         mut scratch: TraceScratch,
-    ) -> String {
+    ) -> Arc<String> {
         let elapsed = arrival.elapsed();
         let Some(status) = status_of_line(&reply) else {
             return reply; // shutting_down: not an SLO outcome
@@ -547,7 +645,7 @@ impl Router {
         };
         self.journal.extend(scratch.spans);
         if status == RequestStatus::Success {
-            inject_gateway_timing(&reply, &trace_id, &timing)
+            Arc::new(inject_gateway_timing(&reply, &trace_id, &timing))
         } else {
             reply
         }
@@ -683,6 +781,9 @@ impl Router {
             "reroutes": read(&m.reroutes),
             "shard_errors": read(&m.shard_errors),
             "errors": read(&m.errors),
+            "wire_hits": read(&m.wire_hits),
+            "wire_misses": read(&m.wire_misses),
+            "wire_fallbacks": read(&m.wire_fallbacks),
             "inflight_keys": self.singleflight.len(),
             "latency_samples": m.latency.success().count(),
             "latency_p50_us": m.latency.success().quantile_us(0.50),

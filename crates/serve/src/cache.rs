@@ -99,22 +99,27 @@ impl<V> LruCache<V> {
     }
 
     /// Insert or replace `key`, evicting the least-recently-used entry if
-    /// the cache is full.
-    pub fn insert(&mut self, key: u64, value: V) {
+    /// the cache is full. Returns the evicted key, if any — the service
+    /// layer uses this to invalidate derived caches (the wire-level reply
+    /// cache bumps its epoch on every eviction).
+    pub fn insert(&mut self, key: u64, value: V) -> Option<u64> {
         if let Some(&idx) = self.map.get(&key) {
             self.slots[idx].value = value;
             if self.head != idx {
                 self.unlink(idx);
                 self.push_front(idx);
             }
-            return;
+            return None;
         }
+        let mut evicted = None;
         if self.map.len() == self.capacity {
             let lru = self.tail;
             debug_assert_ne!(lru, NONE);
             self.unlink(lru);
-            self.map.remove(&self.slots[lru].key);
+            let key = self.slots[lru].key;
+            self.map.remove(&key);
             self.free.push(lru);
+            evicted = Some(key);
         }
         let idx = match self.free.pop() {
             Some(i) => {
@@ -138,6 +143,7 @@ impl<V> LruCache<V> {
         };
         self.map.insert(key, idx);
         self.push_front(idx);
+        evicted
     }
 }
 
@@ -169,10 +175,10 @@ mod tests {
     #[test]
     fn eviction_is_lru() {
         let mut c = LruCache::new(2);
-        c.insert(1, 10);
-        c.insert(2, 20);
+        assert_eq!(c.insert(1, 10), None);
+        assert_eq!(c.insert(2, 20), None);
         c.get(1); // 2 becomes LRU
-        c.insert(3, 30);
+        assert_eq!(c.insert(3, 30), Some(2), "eviction reports the key");
         assert_eq!(c.get(2), None);
         assert_eq!(c.get(1), Some(&10));
         assert_eq!(c.get(3), Some(&30));
@@ -184,7 +190,7 @@ mod tests {
         let mut c = LruCache::new(2);
         c.insert(1, "a");
         c.insert(2, "b");
-        c.insert(1, "a2");
+        assert_eq!(c.insert(1, "a2"), None, "replacement never evicts");
         assert_eq!(c.get(1), Some(&"a2"));
         c.insert(3, "c"); // evicts 2, not 1
         assert_eq!(c.get(2), None);

@@ -19,6 +19,7 @@
 //! | [`transport`] | transport | TCP accept loop, connection reaper, stdin runner |
 //! | [`service`]   | routing   | validation, bounded queue admission, deadlines, memoization |
 //! | `worker`      | worker    | the pool threads: scheduling, panic isolation |
+//! | [`wire`]      | transport | raw-byte request scanner for the hot-line reply cache |
 //! | [`cache`]     | shared    | fingerprint-keyed LRU memoization cache |
 //! | [`metrics`]   | shared    | atomic counters + streaming latency histogram |
 //! | [`journal`]   | shared    | bounded span journal + fleet Chrome-trace merger |
@@ -46,6 +47,7 @@ pub mod metrics;
 pub mod protocol;
 pub mod service;
 pub mod transport;
+pub mod wire;
 mod worker;
 
 pub use journal::{merge_chrome_trace, Journal};

@@ -466,6 +466,16 @@ pub struct StatsBody {
     /// computation (a subset of `computed`).
     #[serde(default)]
     pub repairs: u64,
+    /// Requests answered from the wire-level reply cache without parsing
+    /// (a subset of `cache_hits`).
+    #[serde(default)]
+    pub wire_hits: u64,
+    /// Scanned requests whose digest missed the wire cache.
+    #[serde(default)]
+    pub wire_misses: u64,
+    /// Requests the wire scanner refused (full-parse path).
+    #[serde(default)]
+    pub wire_fallbacks: u64,
     /// Worker threads.
     pub workers: usize,
     /// Bounded queue capacity.

@@ -22,8 +22,8 @@
 //! lets workers finish every queued job (replies included), then joins
 //! them.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -43,6 +43,7 @@ use crate::protocol::{
     RequestOptions, Response, ScheduleBody, ScheduleManyBody, ServeTiming, SpanRecord, StatsBody,
     TimingBody,
 };
+use crate::wire::{self, WireScan};
 use crate::worker::{worker_loop, Job, JobCtx, RepairCtx};
 
 /// Service configuration.
@@ -78,16 +79,65 @@ impl Default for ServeConfig {
     }
 }
 
+/// One reply-memo entry: the computed body plus its reply line,
+/// serialized **once** — lazily, on the first memo hit, so a one-shot
+/// compute pays nothing for a repeat that never comes. Every later hit
+/// clones the `Arc` and re-serializes nothing; the wire-level cache
+/// shares the same bytes.
+pub(crate) struct MemoEntry {
+    /// The body as computed (`cached: false`); memo hits clone it and
+    /// flip the flag when a typed response is needed (tracing, batch
+    /// composition).
+    pub(crate) body: ScheduleBody,
+    /// `Response::schedule` of the body with `cached: true`, serialized —
+    /// exactly the line a slow-path memo hit would produce. Empty until
+    /// the first hit materializes it.
+    pub(crate) line: OnceLock<Arc<[u8]>>,
+}
+
+/// One wire-cache entry: preserialized reply bytes valid only while the
+/// epoch they were stored under is still current (see
+/// [`Shared::note_eviction`]).
+pub(crate) struct WireEntry {
+    bytes: Arc<[u8]>,
+    epoch: u64,
+}
+
 /// State shared between the routing layer and the worker pool.
 pub(crate) struct Shared {
     pub(crate) config: ServeConfig,
     pub(crate) metrics: ServiceMetrics,
-    pub(crate) cache: Mutex<LruCache<ScheduleBody>>,
+    pub(crate) cache: Mutex<LruCache<MemoEntry>>,
     pub(crate) instances: Mutex<LruCache<Arc<ProblemInstance<'static>>>>,
+    /// Wire digest → preserialized reply bytes: the raw-byte hot-line
+    /// cache consulted before any parsing. Write-through from the reply
+    /// memo (only memo-hit-shaped replies are stored) and invalidated
+    /// wholesale by epoch whenever either underlying cache evicts.
+    pub(crate) wire: Mutex<LruCache<WireEntry>>,
+    /// Invalidation epoch of the wire cache. Bumped on every memo-cache
+    /// *or* instance-cache eviction: a memo eviction can flip a repeat
+    /// from `cached: true` to a fresh compute, and an instance eviction
+    /// can flip a `patch` from answered to `unknown_parent` — either way
+    /// the preserialized bytes may no longer match the slow path, so all
+    /// of them are retired at once. Evictions are rare at steady state
+    /// (the working set fits or the memo is thrashing anyway), so the
+    /// blunt epoch beats per-digest dependency tracking.
+    pub(crate) wire_epoch: AtomicU64,
     pub(crate) shutting: AtomicBool,
     /// Bounded span journal for traced requests, drained by the
     /// `journal` op. Untraced requests never touch it.
     pub(crate) journal: Journal,
+}
+
+impl Shared {
+    /// Register an eviction reported by [`LruCache::insert`] on the memo
+    /// or instance cache: bump the wire epoch, invalidating every
+    /// wire-cache entry stored under earlier epochs.
+    pub(crate) fn note_eviction(&self, evicted: Option<u64>) {
+        if evicted.is_some() {
+            self.wire_epoch.fetch_add(1, Ordering::Release);
+        }
+    }
 }
 
 /// The resident scheduling service. Cheap to share behind an `Arc`; every
@@ -135,6 +185,8 @@ impl Service {
         let shared = Arc::new(Shared {
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             instances: Mutex::new(LruCache::new(config.instance_cache_capacity)),
+            wire: Mutex::new(LruCache::new(config.cache_capacity)),
+            wire_epoch: AtomicU64::new(0),
             metrics: ServiceMetrics::new(),
             shutting: AtomicBool::new(false),
             journal: Journal::default(),
@@ -192,13 +244,101 @@ impl Service {
         match Request::parse(line) {
             Ok(req) => {
                 let parse_us = arrival.elapsed().as_micros() as u64;
-                self.handle_at(req, LineMeta { arrival, parse_us })
+                self.handle_at(req, LineMeta { arrival, parse_us }, false)
+                    .into_response()
             }
             Err(e) => {
                 ServiceMetrics::bump(&self.shared.metrics.errors);
                 Response::error(format!("bad request: {e}"))
             }
         }
+    }
+
+    /// Handle one NDJSON request line entirely in bytes: the transport's
+    /// hot path. Repeat lines are answered from the wire cache without
+    /// any JSON parsing, instance construction, or serialization — one
+    /// digest probe returns the `Arc` of the exact bytes the slow path
+    /// would have produced. Everything else takes the ordinary
+    /// [`Service::handle_line`] route, preserialized where the memo
+    /// allows, serialized on the spot otherwise.
+    pub fn handle_line_bytes(&self, line: &str) -> Arc<[u8]> {
+        let arrival = Instant::now();
+        let m = &self.shared.metrics;
+        let Some(scan) = wire::scan(line.as_bytes()) else {
+            ServiceMetrics::bump(&m.wire_fallbacks);
+            return self.slow_line(line, arrival, None);
+        };
+        // During shutdown the slow path refuses scheduling ops; a wire
+        // hit must not answer what the slow path would refuse.
+        if !self.is_shutting_down() {
+            let epoch = self.shared.wire_epoch.load(Ordering::Acquire);
+            let hit = self
+                .shared
+                .wire
+                .lock()
+                .get(scan.digest)
+                .filter(|e| e.epoch == epoch)
+                .map(|e| e.bytes.clone());
+            if let Some(bytes) = hit {
+                self.record_wire_hit(&scan, arrival);
+                return bytes;
+            }
+            ServiceMetrics::bump(&m.wire_misses);
+            // The epoch is captured *before* the slow path runs: if any
+            // eviction lands while we compute, the entry we store is
+            // already stale and will never be served.
+            return self.slow_line(line, arrival, Some((scan.digest, epoch)));
+        }
+        ServiceMetrics::bump(&m.wire_fallbacks);
+        self.slow_line(line, arrival, None)
+    }
+
+    /// Account one wire-cache hit: it is a request, a cache hit, and a
+    /// success, with deadline slack measured from the scanner's raw
+    /// capture. The per-algorithm histogram is deliberately skipped —
+    /// knowing the algorithm would require the parse the fast path
+    /// exists to avoid.
+    fn record_wire_hit(&self, scan: &WireScan, arrival: Instant) {
+        let m = &self.shared.metrics;
+        ServiceMetrics::bump(&m.requests);
+        ServiceMetrics::bump(&m.cache_hits);
+        ServiceMetrics::bump(&m.wire_hits);
+        let elapsed = arrival.elapsed();
+        m.latency.record(RequestStatus::Success, elapsed);
+        m.op_outcomes.bump(scan.op.as_str(), RequestStatus::Success);
+        if let Some(d) = scan.deadline_ms {
+            m.deadline_slack
+                .record(Duration::from_millis(d).saturating_sub(elapsed));
+        }
+    }
+
+    /// Full-parse tail of [`Service::handle_line_bytes`]; when `store`
+    /// carries a scanned digest and its pre-captured epoch, a stable
+    /// reply is written through to the wire cache.
+    fn slow_line(&self, line: &str, arrival: Instant, store: Option<(u64, u64)>) -> Arc<[u8]> {
+        let reply = match Request::parse(line) {
+            Ok(req) => {
+                let parse_us = arrival.elapsed().as_micros() as u64;
+                self.handle_at(req, LineMeta { arrival, parse_us }, true)
+            }
+            Err(e) => {
+                ServiceMetrics::bump(&self.shared.metrics.errors);
+                Reply::Typed(Response::error(format!("bad request: {e}")))
+            }
+        };
+        let bytes = reply.into_bytes();
+        if let Some((digest, epoch)) = store {
+            if wire::reply_stable(&bytes) {
+                self.shared.wire.lock().insert(
+                    digest,
+                    WireEntry {
+                        bytes: bytes.clone(),
+                        epoch,
+                    },
+                );
+            }
+        }
+        bytes
     }
 
     /// Handle one parsed request.
@@ -209,21 +349,28 @@ impl Service {
                 arrival: Instant::now(),
                 parse_us: 0,
             },
+            false,
         )
+        .into_response()
     }
 
-    fn handle_at(&self, req: Request, meta: LineMeta) -> Response {
+    fn handle_at(&self, req: Request, meta: LineMeta, want_bytes: bool) -> Reply {
+        let record = |op: &str, deadline_ms: Option<u64>, reply: &Reply| {
+            if let Some(status) = reply.status() {
+                self.record_outcome(op, deadline_ms, meta.arrival, status);
+            }
+        };
         match req {
-            Request::Hello => Response::hello(self.hello_body()),
-            Request::Stats => Response::stats(self.stats_body()),
-            Request::Metrics => Response::metrics(self.metrics_text()),
-            Request::Journal => Response::journal(JournalBody {
+            Request::Hello => Reply::Typed(Response::hello(self.hello_body())),
+            Request::Stats => Reply::Typed(Response::stats(self.stats_body())),
+            Request::Metrics => Reply::Typed(Response::metrics(self.metrics_text())),
+            Request::Journal => Reply::Typed(Response::journal(JournalBody {
                 source: "shard".to_string(),
                 spans: self.shared.journal.drain(),
-            }),
+            })),
             Request::Shutdown => {
                 self.begin_shutdown();
-                Response::ShuttingDown
+                Reply::Typed(Response::ShuttingDown)
             }
             Request::Schedule {
                 dag,
@@ -232,9 +379,9 @@ impl Service {
                 options,
             } => {
                 let deadline_ms = options.deadline_ms;
-                let resp = self.handle_schedule(dag, system, algorithm, options, meta);
-                self.record_outcome("schedule", deadline_ms, meta.arrival, &resp);
-                resp
+                let reply = self.handle_schedule(dag, system, algorithm, options, meta, want_bytes);
+                record("schedule", deadline_ms, &reply);
+                reply
             }
             Request::Portfolio {
                 dag,
@@ -243,9 +390,10 @@ impl Service {
                 options,
             } => {
                 let deadline_ms = options.deadline_ms;
-                let resp = self.handle_portfolio(dag, system, algorithms, options, meta);
-                self.record_outcome("portfolio", deadline_ms, meta.arrival, &resp);
-                resp
+                let reply =
+                    Reply::Typed(self.handle_portfolio(dag, system, algorithms, options, meta));
+                record("portfolio", deadline_ms, &reply);
+                reply
             }
             Request::ScheduleMany {
                 instances,
@@ -253,9 +401,9 @@ impl Service {
                 options,
             } => {
                 let deadline_ms = options.deadline_ms;
-                let resp = self.handle_many(instances, algorithm, options, meta);
-                self.record_outcome("schedule_many", deadline_ms, meta.arrival, &resp);
-                resp
+                let reply = Reply::Typed(self.handle_many(instances, algorithm, options, meta));
+                record("schedule_many", deadline_ms, &reply);
+                reply
             }
             Request::Patch {
                 parent,
@@ -264,9 +412,10 @@ impl Service {
                 options,
             } => {
                 let deadline_ms = options.deadline_ms;
-                let resp = self.handle_patch(&parent, algorithm, &deltas, options, meta);
-                self.record_outcome("patch", deadline_ms, meta.arrival, &resp);
-                resp
+                let reply =
+                    self.handle_patch(&parent, algorithm, &deltas, options, meta, want_bytes);
+                record("patch", deadline_ms, &reply);
+                reply
             }
         }
     }
@@ -279,15 +428,8 @@ impl Service {
         op: &str,
         deadline_ms: Option<u64>,
         started: Instant,
-        resp: &Response,
+        status: RequestStatus,
     ) {
-        let status = match resp {
-            Response::Ok { .. } => RequestStatus::Success,
-            Response::Busy { .. } | Response::Shed { .. } => RequestStatus::Shed,
-            Response::Timeout { .. } => RequestStatus::Timeout,
-            Response::Error { .. } => RequestStatus::Error,
-            Response::ShuttingDown => return,
-        };
         let m = &self.shared.metrics;
         let elapsed = started.elapsed();
         m.latency.record(status, elapsed);
@@ -376,6 +518,9 @@ impl Service {
             instance_cache_entries: self.shared.instances.lock().len(),
             patches: ServiceMetrics::read(&m.patches),
             repairs: ServiceMetrics::read(&m.repairs),
+            wire_hits: ServiceMetrics::read(&m.wire_hits),
+            wire_misses: ServiceMetrics::read(&m.wire_misses),
+            wire_fallbacks: ServiceMetrics::read(&m.wire_fallbacks),
             workers: self.shared.config.workers,
             queue_capacity: self.shared.config.queue_capacity,
             latency_samples: m.latency.success().count(),
@@ -446,7 +591,8 @@ impl Service {
         // stall concurrent lookups.
         let inst = Arc::new(ProblemInstance::new(dag, sys));
         ServiceMetrics::bump(&m.instance_cache_misses);
-        self.shared.instances.lock().insert(key, inst.clone());
+        let evicted = self.shared.instances.lock().insert(key, inst.clone());
+        self.shared.note_eviction(evicted);
         inst
     }
 
@@ -491,6 +637,11 @@ impl Service {
     /// Reply-memo lookup or job submission for one `(instance, algorithm)`
     /// pair: returns the cached body immediately on a memo hit, otherwise
     /// enqueues the job and hands back the reply channel to wait on.
+    ///
+    /// `want_line` asks for the entry's preserialized memo line alongside
+    /// the body; only the bytes path sets it, so typed callers (portfolio
+    /// and batch composition, traced requests, in-process [`Service::handle`])
+    /// never pay the serialization.
     #[allow(clippy::result_large_err)] // the Err is the wire `Response`; see `protocol::Response`
     #[allow(clippy::too_many_arguments)] // one-call-site-per-op plumbing of request state
     fn memo_or_submit(
@@ -502,15 +653,32 @@ impl Service {
         block_until: Option<Instant>,
         repair: Option<RepairCtx>,
         ctx: Option<JobCtx>,
+        want_line: bool,
     ) -> Result<MemberState, Response> {
         let m = &self.shared.metrics;
         ServiceMetrics::bump(&m.requests);
         let fp = request_fingerprint(inst.dag(), inst.sys(), algorithm, options);
         if let Some(hit) = self.shared.cache.lock().get(fp) {
-            let mut body = hit.clone();
+            let mut body = hit.body.clone();
             body.cached = true;
+            // The first bytes-path hit serializes the memo line (under
+            // the cache lock — once per entry, and contenders would
+            // otherwise each serialize it themselves); every later hit
+            // clones the Arc. Typed hits skip the line entirely.
+            let line = want_line.then(|| {
+                hit.line
+                    .get_or_init(|| {
+                        let mut memo = hit.body.clone();
+                        memo.cached = true;
+                        Arc::from(Response::schedule(memo).to_line().into_bytes())
+                    })
+                    .clone()
+            });
             ServiceMetrics::bump(&m.cache_hits);
-            return Ok(MemberState::Cached(Box::new(body)));
+            return Ok(MemberState::Cached {
+                body: Box::new(body),
+                line,
+            });
         }
         let (reply_tx, reply_rx) = channel::bounded::<Response>(1);
         self.enqueue(
@@ -537,32 +705,36 @@ impl Service {
         algorithm: String,
         options: RequestOptions,
         meta: LineMeta,
-    ) -> Response {
+        want_bytes: bool,
+    ) -> Reply {
         let started = meta.arrival;
         let m = &self.shared.metrics;
         if self.is_shutting_down() {
-            return Response::ShuttingDown;
+            return Reply::Typed(Response::ShuttingDown);
         }
 
         let (dag, sys) = match self.build_problem(dag, system) {
             Ok(v) => v,
-            Err(resp) => return resp,
+            Err(resp) => return Reply::Typed(resp),
         };
         let Some(alg) = algorithms::by_name(&algorithm) else {
             ServiceMetrics::bump(&m.errors);
-            return Response::error(format!(
+            return Reply::Typed(Response::error(format!(
                 "unknown algorithm `{algorithm}` (known: {})",
                 algorithms::known_names().join(", ")
-            ));
+            )));
         };
 
         let inst = self.instance_for(dag, sys);
         let ctx = JobCtx::for_options(&options, started);
-        let state = match self.memo_or_submit(&inst, &algorithm, alg, &options, None, None, ctx) {
+        let want_line = want_bytes && options.trace_ctx.is_none();
+        let state = match self
+            .memo_or_submit(&inst, &algorithm, alg, &options, None, None, ctx, want_line)
+        {
             Ok(state) => state,
-            Err(resp) => return self.finalize_timing(resp, &options, meta, "none"),
+            Err(resp) => return Reply::Typed(self.finalize_timing(resp, &options, meta, "none")),
         };
-        self.finish_single(started, &algorithm, &options, meta, state)
+        self.finish_single(started, &algorithm, &options, meta, state, want_bytes)
     }
 
     /// Incrementally reschedule a cached problem: resolve `parent` through
@@ -578,53 +750,56 @@ impl Service {
         deltas: &[Delta],
         options: RequestOptions,
         meta: LineMeta,
-    ) -> Response {
+        want_bytes: bool,
+    ) -> Reply {
         let started = meta.arrival;
         let m = &self.shared.metrics;
         if self.is_shutting_down() {
-            return Response::ShuttingDown;
+            return Reply::Typed(Response::ShuttingDown);
         }
 
         let parent_key = match u64::from_str_radix(parent, 16) {
             Ok(k) if parent.len() == 16 => k,
             _ => {
                 ServiceMetrics::bump(&m.errors);
-                return Response::error(format!(
+                return Reply::Typed(Response::error(format!(
                     "unknown_parent: `{parent}` is not a 16-hex-digit problem fingerprint \
                      (use the `problem` field of an earlier schedule response)"
-                ));
+                )));
             }
         };
         let Some(parent_inst) = self.shared.instances.lock().get(parent_key).cloned() else {
             ServiceMetrics::bump(&m.errors);
-            return Response::error(format!(
+            return Reply::Typed(Response::error(format!(
                 "unknown_parent: no cached problem with fingerprint {parent} (never seen or \
                  evicted); re-send the full problem as a `schedule` request to re-seed the cache"
-            ));
+            )));
         };
         let Some(alg) = algorithms::by_name(&algorithm) else {
             ServiceMetrics::bump(&m.errors);
-            return Response::error(format!(
+            return Reply::Typed(Response::error(format!(
                 "unknown algorithm `{algorithm}` (known: {})",
                 algorithms::known_names().join(", ")
-            ));
+            )));
         };
 
         let (inst, dirty) = match parent_inst.apply_deltas(deltas) {
             Ok(patched) => (Arc::new(patched.instance.into_owned()), patched.dirty),
             Err(e) => {
                 ServiceMetrics::bump(&m.errors);
-                return Response::error(format!("invalid delta: {e}"));
+                return Reply::Typed(Response::error(format!("invalid delta: {e}")));
             }
         };
         ServiceMetrics::bump(&m.patches);
         // Register the patched problem under its own content fingerprint
         // so follow-up patches can chain off this one, exactly like a full
         // request for the patched problem would have.
-        self.shared
+        let evicted = self
+            .shared
             .instances
             .lock()
             .insert(inst.fingerprint(), inst.clone());
+        self.shared.note_eviction(evicted);
 
         // Repair wants the parent's schedule under the same algorithm and
         // options; when it is no longer memoized (or the algorithm is not
@@ -633,29 +808,38 @@ impl Service {
         // the decision log the client asked for.
         let repair = repairable(&algorithm)
             .filter(|_| !options.trace)
-            .and_then(|heft| {
+            .and_then(|scheduler| {
                 let parent_fp =
                     request_fingerprint(parent_inst.dag(), parent_inst.sys(), &algorithm, &options);
-                let parent_body = self.shared.cache.lock().get(parent_fp).cloned()?;
+                let parent_sched = self
+                    .shared
+                    .cache
+                    .lock()
+                    .get(parent_fp)
+                    .map(|e| e.body.schedule.clone())?;
                 Some(RepairCtx {
-                    heft,
+                    scheduler,
                     dirty,
                     parent_inst: parent_inst.clone(),
-                    parent_sched: parent_body.schedule,
+                    parent_sched,
                 })
             });
 
         let ctx = JobCtx::for_options(&options, started);
-        let state = match self.memo_or_submit(&inst, &algorithm, alg, &options, None, repair, ctx) {
+        let want_line = want_bytes && options.trace_ctx.is_none();
+        let state = match self.memo_or_submit(
+            &inst, &algorithm, alg, &options, None, repair, ctx, want_line,
+        ) {
             Ok(state) => state,
-            Err(resp) => return self.finalize_timing(resp, &options, meta, "none"),
+            Err(resp) => return Reply::Typed(self.finalize_timing(resp, &options, meta, "none")),
         };
-        self.finish_single(started, &algorithm, &options, meta, state)
+        self.finish_single(started, &algorithm, &options, meta, state, want_bytes)
     }
 
     /// Single-request tail shared by `schedule` and `patch`: answer a memo
-    /// hit immediately, otherwise wait for the worker under the request
-    /// deadline.
+    /// hit immediately — from the preserialized memo line when the caller
+    /// wants bytes and nothing per-request (timing) has to be injected —
+    /// otherwise wait for the worker under the request deadline.
     fn finish_single(
         &self,
         started: Instant,
@@ -663,13 +847,23 @@ impl Service {
         options: &RequestOptions,
         meta: LineMeta,
         state: MemberState,
-    ) -> Response {
+        want_bytes: bool,
+    ) -> Reply {
         let m = &self.shared.metrics;
         let reply_rx = match state {
-            MemberState::Cached(body) => {
+            MemberState::Cached { body, line } => {
                 m.record_algorithm(algorithm, started.elapsed());
+                if want_bytes && options.trace_ctx.is_none() {
+                    if let Some(line) = line {
+                        // The memo line is byte-for-byte what serializing
+                        // `Response::schedule(*body)` would produce from
+                        // the identical memoized body. Zero serialization
+                        // on this path.
+                        return Reply::Bytes(line);
+                    }
+                }
                 let resp = Response::schedule(*body);
-                return self.finalize_timing(resp, options, meta, "memo");
+                return Reply::Typed(self.finalize_timing(resp, options, meta, "memo"));
             }
             MemberState::Pending(rx) => rx,
         };
@@ -703,7 +897,7 @@ impl Service {
                 Response::error("worker pool shut down before replying")
             }
         };
-        self.finalize_timing(resp, options, meta, "none")
+        Reply::Typed(self.finalize_timing(resp, options, meta, "none"))
     }
 
     fn handle_portfolio(
@@ -760,7 +954,16 @@ impl Service {
         // the queue capacity — workers drain it while we wait.
         let mut states = Vec::with_capacity(members.len());
         for (name, alg) in names.iter().zip(members) {
-            match self.memo_or_submit(&inst, name, alg, &options, Some(deadline_at), None, None) {
+            match self.memo_or_submit(
+                &inst,
+                name,
+                alg,
+                &options,
+                Some(deadline_at),
+                None,
+                None,
+                false,
+            ) {
                 Ok(state) => states.push(state),
                 Err(resp) => return self.finalize_timing(resp, &options, meta, "none"),
             }
@@ -768,7 +971,7 @@ impl Service {
         let mut bodies: Vec<ScheduleBody> = Vec::with_capacity(states.len());
         for (name, state) in names.iter().zip(states) {
             let body = match state {
-                MemberState::Cached(body) => *body,
+                MemberState::Cached { body, .. } => *body,
                 MemberState::Pending(rx) => {
                     let remaining = deadline.saturating_sub(started.elapsed());
                     match await_reply(&rx, remaining) {
@@ -878,8 +1081,16 @@ impl Service {
             seen.push((fp, i));
             let inst = self.instance_for(dag, sys);
             let alg = algorithms::by_name(&algorithm).expect("validated above");
-            match self.memo_or_submit(&inst, &algorithm, alg, &options, Some(deadline_at), None, None)
-            {
+            match self.memo_or_submit(
+                &inst,
+                &algorithm,
+                alg,
+                &options,
+                Some(deadline_at),
+                None,
+                None,
+                false,
+            ) {
                 Ok(state) => members.push(Member::State(state)),
                 Err(resp) => return self.finalize_timing(resp, &options, meta, "none"),
             }
@@ -895,7 +1106,7 @@ impl Service {
                     cached += 1;
                     body
                 }
-                Member::State(MemberState::Cached(body)) => {
+                Member::State(MemberState::Cached { body, .. }) => {
                     cached += 1;
                     *body
                 }
@@ -948,9 +1159,65 @@ struct LineMeta {
 /// A portfolio member after the memo lookup: already answered from the
 /// cache, or in flight on the worker pool.
 enum MemberState {
-    /// Boxed so the in-flight variant stays pointer-sized.
-    Cached(Box<ScheduleBody>),
+    /// Answered from the reply memo: the typed body (for batch
+    /// composition and traced requests) plus — only when the caller asked
+    /// for it — the preserialized memo line (for the bytes path).
+    Cached {
+        /// Boxed so the in-flight variant stays small.
+        body: Box<ScheduleBody>,
+        line: Option<Arc<[u8]>>,
+    },
     Pending(Receiver<Response>),
+}
+
+/// One finished request, typed or preserialized. `Bytes` only ever
+/// carries a memo-hit-shaped `ok` line; everything that needs
+/// per-request mutation (timing injection, error text) stays `Typed`.
+// Transient return value consumed immediately by the dispatcher — never
+// stored or collected, so the Typed/Bytes size gap costs nothing.
+#[allow(clippy::large_enum_variant)]
+enum Reply {
+    Typed(Response),
+    Bytes(Arc<[u8]>),
+}
+
+impl Reply {
+    /// The outcome class for SLO accounting; `None` for responses that
+    /// are not accounted (`shutting_down`).
+    fn status(&self) -> Option<RequestStatus> {
+        match self {
+            Reply::Bytes(_) => Some(RequestStatus::Success),
+            Reply::Typed(resp) => match resp {
+                Response::Ok { .. } => Some(RequestStatus::Success),
+                Response::Busy { .. } | Response::Shed { .. } => Some(RequestStatus::Shed),
+                Response::Timeout { .. } => Some(RequestStatus::Timeout),
+                Response::Error { .. } => Some(RequestStatus::Error),
+                Response::ShuttingDown => None,
+            },
+        }
+    }
+
+    /// The typed response, deserializing a preserialized line if one got
+    /// this far (the typed entry points never request bytes, so this
+    /// branch is defensive).
+    fn into_response(self) -> Response {
+        match self {
+            Reply::Typed(resp) => resp,
+            Reply::Bytes(bytes) => {
+                let text = std::str::from_utf8(&bytes).expect("memo lines are UTF-8 JSON");
+                serde_json::from_str(text).expect("memo lines are serialized Responses")
+            }
+        }
+    }
+
+    /// The reply as wire bytes (no trailing newline), serializing typed
+    /// responses on the spot.
+    fn into_bytes(self) -> Arc<[u8]> {
+        match self {
+            Reply::Bytes(bytes) => bytes,
+            Reply::Typed(resp) => Arc::from(resp.to_line().into_bytes()),
+        }
+    }
 }
 
 /// Wait for the worker's reply until `remaining` elapses, then make one
@@ -1255,9 +1522,10 @@ mod tests {
     #[test]
     fn schedule_many_rejects_empty_batch_and_unknown_algorithm() {
         let svc = Service::start(test_config());
+        let unknown_alg = many_request(&[4], "NO-SUCH-ALG", "{}");
         for line in [
-            &format!("{{\"op\":\"schedule_many\",\"instances\":[],\"algorithm\":\"HEFT\"}}"),
-            &many_request(&[4], "NO-SUCH-ALG", "{}"),
+            "{\"op\":\"schedule_many\",\"instances\":[],\"algorithm\":\"HEFT\"}",
+            unknown_alg.as_str(),
         ] {
             let resp = svc.handle_line(line);
             assert!(

@@ -15,7 +15,6 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::metrics::ServiceMetrics;
-use crate::protocol::Response;
 use crate::service::{ServeConfig, Service};
 
 /// How often idle loops poll the shutdown flag.
@@ -118,25 +117,37 @@ fn join_all(connections: Vec<JoinHandle<()>>, metrics: &ServiceMetrics) {
 
 /// Serve one TCP connection: buffer bytes, answer each complete line,
 /// leave when the peer hangs up or the service shuts down.
+///
+/// The per-line path is allocation-free at steady state: lines are
+/// scanned **in place** inside the persistent read buffer (drained only
+/// after the reply is produced), replies arrive as shared `Arc` bytes
+/// from [`Service::handle_line_bytes`], and one reusable scratch buffer
+/// assembles `reply + '\n'` for a single `write_all`.
 fn serve_connection(stream: TcpStream, service: &Service) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let _ = stream.set_nodelay(true);
     let mut stream = stream;
     let mut pending: Vec<u8> = Vec::new();
+    let mut out: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
     loop {
         // Answer every complete line already buffered, even mid-shutdown:
         // drain-then-exit applies to connections too.
         while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
-            let line_bytes: Vec<u8> = pending.drain(..=pos).collect();
-            let line = String::from_utf8_lossy(&line_bytes);
-            let line = line.trim();
-            if line.is_empty() {
-                continue;
-            }
-            let response = service.handle_line(line);
-            if write_line(&mut stream, &response).is_err() {
-                return;
+            let reply = {
+                let line = String::from_utf8_lossy(&pending[..pos]);
+                let line = line.trim();
+                if line.is_empty() {
+                    None
+                } else {
+                    Some(service.handle_line_bytes(line))
+                }
+            };
+            pending.drain(..=pos);
+            if let Some(reply) = reply {
+                if write_reply(&mut stream, &mut out, &reply).is_err() {
+                    return;
+                }
             }
         }
         if service.is_shutting_down() {
@@ -154,10 +165,13 @@ fn serve_connection(stream: TcpStream, service: &Service) {
     }
 }
 
-fn write_line(w: &mut impl Write, response: &Response) -> io::Result<()> {
-    let mut line = response.to_line();
-    line.push('\n');
-    w.write_all(line.as_bytes())?;
+/// Assemble `reply + '\n'` in the caller's reusable scratch buffer and
+/// write it in one call (one packet under `TCP_NODELAY`).
+fn write_reply(w: &mut impl Write, scratch: &mut Vec<u8>, reply: &[u8]) -> io::Result<()> {
+    scratch.clear();
+    scratch.extend_from_slice(reply);
+    scratch.push(b'\n');
+    w.write_all(scratch)?;
     w.flush()
 }
 
@@ -169,13 +183,14 @@ pub fn serve_lines(
     input: impl BufRead,
     mut output: impl Write,
 ) -> io::Result<()> {
+    let mut out: Vec<u8> = Vec::new();
     for line in input.lines() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let response = service.handle_line(line.trim());
-        write_line(&mut output, &response)?;
+        let reply = service.handle_line_bytes(line.trim());
+        write_reply(&mut output, &mut out, &reply)?;
         if service.is_shutting_down() {
             break;
         }

@@ -34,7 +34,7 @@ use crate::service::Shared;
 pub(crate) struct RepairCtx {
     /// The repair-capable scheduler, configured exactly as the registry
     /// entry the request named.
-    pub(crate) heft: hetsched_core::algorithms::Heft,
+    pub(crate) scheduler: hetsched_core::RepairScheduler,
     /// Dirty-region report from applying the deltas.
     pub(crate) dirty: hetsched_core::DirtyInfo,
     /// The instance the deltas were applied to.
@@ -144,7 +144,7 @@ fn compute(job: Job, shared: &Shared) -> Response {
             )
         } else if let Some(ctx) = &job.repair {
             let (sched, stats) =
-                ctx.heft
+                ctx.scheduler
                     .repair(&job.inst, &ctx.dirty, &ctx.parent_inst, &ctx.parent_sched);
             (
                 sched,
@@ -215,7 +215,18 @@ fn compute(job: Job, shared: &Shared) -> Response {
         trace,
         repair,
     };
-    shared.cache.lock().insert(job.fingerprint, body.clone());
+    // The memo line (these bytes with `cached: true`) is serialized
+    // lazily by the first memo hit, so a one-shot compute pays nothing
+    // for a repeat that never comes; every repeat after that — routing
+    // memo hit or wire-cache hit — shares the hit's exact bytes.
+    let evicted = shared.cache.lock().insert(
+        job.fingerprint,
+        crate::service::MemoEntry {
+            body: body.clone(),
+            line: std::sync::OnceLock::new(),
+        },
+    );
+    shared.note_eviction(evicted);
     ServiceMetrics::bump(&shared.metrics.computed);
     let mut resp = Response::schedule(body);
     if let Some(ctx) = &job.ctx {

@@ -435,14 +435,15 @@ proptest! {
 
         for name in ["HEFT", "HEFT-NI"] {
             let alg = repairable(name).expect("registered as repair-capable");
+            let sched = hetsched::core::algorithms::by_name(name).expect("registered");
             for jobs in [1usize, 4] {
-                let parent_sched = with_jobs(jobs, || alg.schedule_instance(&parent));
+                let parent_sched = with_jobs(jobs, || sched.schedule_instance(&parent));
                 let patched = parent.apply_deltas(&deltas).expect("sequence applies");
                 let (repaired, stats) =
                     with_jobs(jobs, || {
                         alg.repair(&patched.instance, &patched.dirty, &parent, &parent_sched)
                     });
-                let fresh = with_jobs(jobs, || alg.schedule_instance(&patched.instance));
+                let fresh = with_jobs(jobs, || sched.schedule_instance(&patched.instance));
                 prop_assert_eq!(
                     slot_digest(&repaired),
                     slot_digest(&fresh),

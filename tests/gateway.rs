@@ -331,7 +331,11 @@ fn schedule_many_fans_out_by_home_shard_and_keeps_order() {
         assert_eq!(a["cached"].as_bool(), Some(true));
     }
     let single = client.roundtrip(&schedule_request(5, "HEFT", "{}"));
-    assert_eq!(single["schedule"]["cached"].as_bool(), Some(true), "{single:?}");
+    assert_eq!(
+        single["schedule"]["cached"].as_bool(),
+        Some(true),
+        "{single:?}"
+    );
 
     let stats = client.roundtrip(r#"{"op":"stats"}"#);
     assert_eq!(shard_sum(&stats, "computed"), sizes.len() as u64);
